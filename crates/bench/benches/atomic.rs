@@ -1,0 +1,84 @@
+//! Criterion benchmarks for atomic broadcast (Figures 4–7, wall-clock
+//! counterpart): full bursts through the deterministic cluster and the
+//! discrete-event simulator.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ritas::stack::Output;
+use ritas::testing::Cluster;
+use ritas_sim::harness::{run_agreement_cost_once as agreement_cost_once, run_burst_once};
+use ritas_sim::Faultload;
+use std::hint::black_box;
+
+fn run_ab_burst_cluster(n: usize, burst_per_process: usize, seed: u64) -> usize {
+    let mut cluster = Cluster::new(n, seed);
+    for p in 0..n {
+        for k in 0..burst_per_process {
+            let (_, step) = cluster
+                .stack_mut(p)
+                .ab_broadcast(0, Bytes::from(format!("m{p}:{k}")));
+            cluster.absorb(p, step);
+        }
+    }
+    cluster.run();
+    cluster
+        .outputs(0)
+        .iter()
+        .filter(|o| matches!(o, Output::AbDelivered { .. }))
+        .count()
+}
+
+fn bench_ab_cluster(c: &mut Criterion) {
+    let mut g = c.benchmark_group("atomic_broadcast_burst");
+    g.sample_size(10);
+    for burst in [1usize, 5, 25] {
+        g.bench_with_input(BenchmarkId::from_parameter(burst * 4), &burst, |b, &burst| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let delivered = run_ab_burst_cluster(4, burst, seed);
+                assert_eq!(delivered, burst * 4);
+                black_box(delivered)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_simulated_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulated_artifacts");
+    g.sample_size(10);
+    // One Figure-4-style point (failure-free, 10 B, burst 40).
+    g.bench_function("fig4_point_burst40", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_burst_once(Faultload::FailureFree, 10, 40, seed))
+        })
+    });
+    // One Figure-6-style point under the Byzantine faultload.
+    g.bench_function("fig6_point_burst40", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_burst_once(
+                Faultload::Byzantine { attacker: 3 },
+                10,
+                40,
+                seed,
+            ))
+        })
+    });
+    // One Figure-7-style point.
+    g.bench_function("fig7_point_burst40", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(agreement_cost_once(40, seed))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ab_cluster, bench_simulated_figures);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion benchmarks for the broadcast primitives (Table 1, rows 1–2,
+//! wall-clock counterpart).
+//!
+//! These measure the real execution cost of one full protocol instance —
+//! all `n` state machines plus message routing — on the deterministic
+//! in-memory cluster. They complement the `table1` binary, which
+//! regenerates the paper's *virtual-time* latencies.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ritas::stack::Output;
+use ritas::testing::Cluster;
+use std::hint::black_box;
+
+fn run_rb(n: usize, seed: u64, payload: &Bytes) -> usize {
+    let mut cluster = Cluster::new(n, seed);
+    let (_k, step) = cluster.stack_mut(0).rb_broadcast(payload.clone());
+    cluster.absorb(0, step);
+    cluster.run();
+    (0..n)
+        .filter(|p| {
+            cluster
+                .outputs(*p)
+                .iter()
+                .any(|o| matches!(o, Output::RbDelivered { .. }))
+        })
+        .count()
+}
+
+fn run_eb(n: usize, seed: u64, payload: &Bytes) -> usize {
+    let mut cluster = Cluster::new(n, seed);
+    let (_k, step) = cluster.stack_mut(0).eb_broadcast(payload.clone());
+    cluster.absorb(0, step);
+    cluster.run();
+    (0..n)
+        .filter(|p| {
+            cluster
+                .outputs(*p)
+                .iter()
+                .any(|o| matches!(o, Output::EbDelivered { .. }))
+        })
+        .count()
+}
+
+fn bench_broadcasts(c: &mut Criterion) {
+    let payload = Bytes::from_static(b"0123456789");
+    let mut g = c.benchmark_group("broadcast_instance");
+    for n in [4usize, 7, 10] {
+        g.bench_with_input(BenchmarkId::new("reliable", n), &n, |b, &n| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_rb(n, seed, &payload))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("echo", n), &n, |b, &n| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_eb(n, seed, &payload))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_payload_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reliable_broadcast_payload");
+    for size in [10usize, 1000, 10_000] {
+        let payload = Bytes::from(vec![0u8; size]);
+        g.bench_with_input(BenchmarkId::from_parameter(size), &payload, |b, p| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_rb(4, seed, p))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_broadcasts, bench_payload_sizes);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion benchmarks for the consensus layers (Table 1, rows 3–5,
+//! wall-clock counterpart): one full instance across all `n` processes
+//! on the deterministic cluster.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ritas::stack::Output;
+use ritas::testing::Cluster;
+use std::hint::black_box;
+
+fn run_bc(n: usize, seed: u64) -> bool {
+    let mut cluster = Cluster::new(n, seed);
+    for p in 0..n {
+        let step = cluster.stack_mut(p).bc_propose(1, true).unwrap();
+        cluster.absorb(p, step);
+    }
+    cluster.run();
+    cluster
+        .outputs(0)
+        .iter()
+        .any(|o| matches!(o, Output::BcDecided { decision: true, .. }))
+}
+
+fn run_mvc(n: usize, seed: u64) -> bool {
+    let mut cluster = Cluster::new(n, seed);
+    for p in 0..n {
+        let step = cluster
+            .stack_mut(p)
+            .mvc_propose(1, Bytes::from_static(b"0123456789"))
+            .unwrap();
+        cluster.absorb(p, step);
+    }
+    cluster.run();
+    cluster
+        .outputs(0)
+        .iter()
+        .any(|o| matches!(o, Output::MvcDecided { .. }))
+}
+
+fn run_vc(n: usize, seed: u64) -> bool {
+    let mut cluster = Cluster::new(n, seed);
+    for p in 0..n {
+        let step = cluster
+            .stack_mut(p)
+            .vc_propose(1, Bytes::from_static(b"0123456789"))
+            .unwrap();
+        cluster.absorb(p, step);
+    }
+    cluster.run();
+    cluster
+        .outputs(0)
+        .iter()
+        .any(|o| matches!(o, Output::VcDecided { .. }))
+}
+
+fn bench_consensus(c: &mut Criterion) {
+    let mut g = c.benchmark_group("consensus_instance");
+    g.sample_size(20);
+    for n in [4usize, 7] {
+        g.bench_with_input(BenchmarkId::new("binary", n), &n, |b, &n| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                assert!(black_box(run_bc(n, seed)))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("multi_valued", n), &n, |b, &n| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                assert!(black_box(run_mvc(n, seed)))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("vector", n), &n, |b, &n| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                assert!(black_box(run_vc(n, seed)))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_consensus);
+criterion_main!(benches);

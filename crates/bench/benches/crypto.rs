@@ -1,0 +1,49 @@
+//! Criterion benchmarks for the signature-free crypto substrate.
+//!
+//! The paper's performance argument rests on symmetric cryptography
+//! being "several orders of magnitude" faster than public-key
+//! operations; these benches pin the absolute cost of our from-scratch
+//! primitives (hashing, HMAC, the `H(m ‖ s_ij)` MAC and the echo
+//! broadcast hash vector).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ritas_crypto::{mac, Digest, Hmac, KeyTable, Sha1, Sha256};
+use std::hint::black_box;
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, d| {
+            b.iter(|| Sha256::digest(black_box(d)))
+        });
+        g.bench_with_input(BenchmarkId::new("sha1", size), &data, |b, d| {
+            b.iter(|| Sha1::digest(black_box(d)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_macs(c: &mut Criterion) {
+    let table = KeyTable::dealer(4, 7);
+    let key = table.shared_key(0, 1).unwrap();
+    let keys = table.view_of(0);
+    let msg = vec![0x5au8; 80]; // a typical RITAS frame
+
+    let mut g = c.benchmark_group("mac");
+    g.throughput(Throughput::Bytes(msg.len() as u64));
+    g.bench_function("paper_mac_h_m_s", |b| {
+        b.iter(|| mac::authenticate(black_box(&msg), &key))
+    });
+    g.bench_function("hmac_sha1_ah", |b| {
+        b.iter(|| Hmac::<Sha1>::mac(key.as_ref(), black_box(&msg)))
+    });
+    g.bench_function("echo_hash_vector_n4", |b| {
+        b.iter(|| mac::hash_vector(black_box(&msg), &keys))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hashes, bench_macs);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion benchmarks for the reliable-channel substrate: raw hub vs
+//! real TCP, plain vs AH-authenticated — the per-frame cost floor under
+//! everything the stack does.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ritas_crypto::KeyTable;
+use ritas_transport::{AuthConfig, AuthenticatedTransport, Hub, TcpEndpoint, Transport};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn roundtrip<T: Transport>(a: &T, b: &T, payload: &Bytes) {
+    a.send(1, payload.clone()).unwrap();
+    let (_, p) = b.recv().unwrap();
+    black_box(p);
+}
+
+fn bench_hub(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hub_oneway");
+    for size in [80usize, 1024] {
+        let payload = Bytes::from(vec![0x5au8; size]);
+        g.throughput(Throughput::Bytes(size as u64));
+
+        let mut hub = Hub::new(2);
+        let eps = hub.take_endpoints();
+        g.bench_with_input(BenchmarkId::new("plain", size), &payload, |bch, p| {
+            bch.iter(|| roundtrip(&eps[0], &eps[1], p))
+        });
+
+        let table = KeyTable::dealer(2, 1);
+        let mut hub = Hub::new(2);
+        let mut eps = hub.take_endpoints().into_iter();
+        let a = AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 0));
+        let b = AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 1));
+        g.bench_with_input(BenchmarkId::new("ah_sealed", size), &payload, |bch, p| {
+            bch.iter(|| roundtrip(&a, &b, p))
+        });
+    }
+    g.finish();
+}
+
+fn bench_tcp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tcp_oneway");
+    g.sample_size(30);
+    for size in [80usize, 1024] {
+        let payload = Bytes::from(vec![0x5au8; size]);
+        g.throughput(Throughput::Bytes(size as u64));
+
+        let eps = TcpEndpoint::ephemeral_mesh(2, Duration::from_secs(10)).unwrap();
+        g.bench_with_input(BenchmarkId::new("plain", size), &payload, |bch, p| {
+            bch.iter(|| roundtrip(&eps[0], &eps[1], p))
+        });
+
+        let table = KeyTable::dealer(2, 2);
+        let mut eps = TcpEndpoint::ephemeral_mesh(2, Duration::from_secs(10))
+            .unwrap()
+            .into_iter();
+        let a = AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 0));
+        let b = AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 1));
+        g.bench_with_input(BenchmarkId::new("ah_sealed", size), &payload, |bch, p| {
+            bch.iter(|| roundtrip(&a, &b, p))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hub, bench_tcp);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! **Ablation A2** (DESIGN.md): echo broadcast vs reliable broadcast for
+//! the multi-valued consensus `VECT` messages.
+//!
+//! This is precisely the optimization the paper claims over the original
+//! Correia et al. protocol ("the use of echo broadcast instead of
+//! reliable broadcast at a specific point", §2.5). The ablation measures
+//! what it buys at different group sizes.
+//!
+//! Usage: `cargo run --release -p ritas-bench --bin ablation_mvc_vect
+//! [--runs N] [--seed S]`
+
+use ritas::mvc::{MvcConfig, VectTransport};
+use ritas_bench::parse_figure_args;
+use ritas_sim::harness::stack_latency::{measure_with_config, ProtocolUnderTest};
+use ritas_sim::stats::mean;
+use ritas_sim::SimConfig;
+
+fn main() {
+    let args = parse_figure_args();
+    let samples = args.runs.max(5);
+    println!(
+        "{:>4} {:>18} {:>14} {:>12}",
+        "n", "VECT transport", "latency (us)", "vs reliable"
+    );
+    for n in [4usize, 7, 10] {
+        let mut reliable = 0.0;
+        for transport in [VectTransport::Reliable, VectTransport::Echo] {
+            let us: Vec<f64> = (0..samples)
+                .map(|i| {
+                    let seed = args.seed.wrapping_add(i as u64 * 104729).wrapping_add(n as u64);
+                    let config = SimConfig::paper_testbed(seed).with_n(n).with_mvc(MvcConfig {
+                        vect_transport: transport,
+                        ..MvcConfig::default()
+                    });
+                    measure_with_config(ProtocolUnderTest::MultiValuedConsensus, config, seed)
+                        as f64
+                        / 1000.0
+                })
+                .collect();
+            let m = mean(&us);
+            if matches!(transport, VectTransport::Reliable) {
+                reliable = m;
+            }
+            println!(
+                "{:>4} {:>18} {:>14.0} {:>11.2}x",
+                n,
+                format!("{transport:?}"),
+                m,
+                m / reliable
+            );
+        }
+    }
+    println!();
+    println!("paper's claim: echo broadcast is the cheaper transport for VECT");
+}

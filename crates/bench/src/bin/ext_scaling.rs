@@ -1,0 +1,71 @@
+//! **Extension X3**: scaling beyond the paper's `n = 4` testbed.
+//!
+//! The paper evaluates only the minimum resilient group. This experiment
+//! sweeps `n ∈ {4, 7, 10, 13}` (f = 1, 2, 3, 4) and reports isolated
+//! latencies of the key layers plus atomic broadcast burst throughput —
+//! quantifying the O(n²)/O(n³) message-complexity growth a deployer
+//! would face.
+//!
+//! Usage: `cargo run --release -p ritas-bench --bin ext_scaling
+//! [--runs N] [--seed S]`
+
+use bytes::Bytes;
+use ritas_bench::parse_figure_args;
+use ritas_sim::cluster::{Action, SimCluster, SimConfig};
+use ritas_sim::harness::{measure_with_config, ProtocolUnderTest};
+use ritas_sim::stats::mean;
+
+fn burst_throughput(n: usize, burst: usize, seed: u64) -> f64 {
+    let config = SimConfig::paper_testbed(seed).with_n(n);
+    let mut sim = SimCluster::new(config);
+    let share = burst / n;
+    for p in 0..n {
+        for _ in 0..share {
+            sim.schedule(0, p, Action::AbBroadcast(Bytes::from_static(b"0123456789")));
+        }
+    }
+    sim.run();
+    let times = sim.ab_delivery_times(sim.observer());
+    assert_eq!(times.len(), share * n);
+    (share * n) as f64 / (*times.last().unwrap() as f64 / 1e9)
+}
+
+fn main() {
+    let args = parse_figure_args();
+    let samples = args.runs.max(5);
+    println!(
+        "{:>4} {:>3} {:>10} {:>10} {:>10} {:>14}",
+        "n", "f", "RB (us)", "BC (us)", "AB (us)", "AB tput (m/s)"
+    );
+    for n in [4usize, 7, 10, 13] {
+        let lat = |protocol: ProtocolUnderTest| {
+            let us: Vec<f64> = (0..samples)
+                .map(|i| {
+                    let seed = args.seed.wrapping_add(i as u64 * 2903 + n as u64);
+                    let config = SimConfig::paper_testbed(seed).with_n(n);
+                    measure_with_config(protocol, config, seed) as f64 / 1000.0
+                })
+                .collect();
+            mean(&us)
+        };
+        let rb = lat(ProtocolUnderTest::ReliableBroadcast);
+        let bc = lat(ProtocolUnderTest::BinaryConsensus);
+        let ab = lat(ProtocolUnderTest::AtomicBroadcast);
+        let tput = burst_throughput(n, 120, args.seed);
+        println!(
+            "{:>4} {:>3} {:>10.0} {:>10.0} {:>10.0} {:>14.0}",
+            n,
+            (n - 1) / 3,
+            rb,
+            bc,
+            ab,
+            tput
+        );
+    }
+    println!();
+    println!(
+        "reliable broadcast grows ~O(n) in latency (fan-out serialization), binary\n\
+         consensus ~O(n^2) (n broadcasts per step over n-sized RBCs), and burst\n\
+         throughput falls accordingly — the cost of optimal resilience at scale."
+    );
+}

@@ -1,0 +1,22 @@
+//! Regenerates **Figure 4**: atomic broadcast burst latency and
+//! throughput with the failure-free faultload, one curve per message
+//! size (10 B, 100 B, 1 KB, 10 KB).
+//!
+//! Usage: `cargo run --release -p ritas-bench --bin fig4_failure_free
+//! [--runs N] [--seed S] [--quick]`
+
+use ritas_bench::{
+    default_bursts, default_msg_sizes, parse_figure_args, render_burst_series,
+    PAPER_FIG4_FAILURE_FREE,
+};
+use ritas_sim::harness::run_ab_burst;
+use ritas_sim::Faultload;
+
+fn main() {
+    let args = parse_figure_args();
+    let bursts = if args.quick { vec![4, 16, 100] } else { default_bursts() };
+    let sizes = if args.quick { vec![10, 1000] } else { default_msg_sizes() };
+    eprintln!("Figure 4 (failure-free): {} runs per point, seed {}", args.runs, args.seed);
+    let series = run_ab_burst(Faultload::FailureFree, &sizes, &bursts, args.runs, args.seed);
+    print!("{}", render_burst_series(&series, &PAPER_FIG4_FAILURE_FREE));
+}

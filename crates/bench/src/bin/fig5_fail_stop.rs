@@ -1,0 +1,28 @@
+//! Regenerates **Figure 5**: atomic broadcast burst latency and
+//! throughput with the fail-stop faultload (one process crashed before
+//! the measurements; each correct process sends `k/(n-1)` messages).
+//!
+//! Usage: `cargo run --release -p ritas-bench --bin fig5_fail_stop
+//! [--runs N] [--seed S] [--quick]`
+
+use ritas_bench::{
+    default_bursts, default_msg_sizes, parse_figure_args, render_burst_series,
+    PAPER_FIG5_FAIL_STOP,
+};
+use ritas_sim::harness::run_ab_burst;
+use ritas_sim::Faultload;
+
+fn main() {
+    let args = parse_figure_args();
+    let bursts = if args.quick { vec![4, 16, 100] } else { default_bursts() };
+    let sizes = if args.quick { vec![10, 1000] } else { default_msg_sizes() };
+    eprintln!("Figure 5 (fail-stop): {} runs per point, seed {}", args.runs, args.seed);
+    let series = run_ab_burst(
+        Faultload::FailStop { victim: 3 },
+        &sizes,
+        &bursts,
+        args.runs,
+        args.seed,
+    );
+    print!("{}", render_burst_series(&series, &PAPER_FIG5_FAIL_STOP));
+}

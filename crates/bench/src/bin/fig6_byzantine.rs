@@ -1,0 +1,33 @@
+//! Regenerates **Figure 6**: atomic broadcast burst latency and
+//! throughput with the Byzantine faultload — one process permanently
+//! attacks the consensus layers (always proposes 0 in binary consensus,
+//! proposes ⊥ in the multi-valued consensus INIT and VECT messages).
+//!
+//! The expected outcome (paper §4.2): performance "basically immune" —
+//! the curves coincide with the failure-free ones, and every consensus
+//! still decides in one round.
+//!
+//! Usage: `cargo run --release -p ritas-bench --bin fig6_byzantine
+//! [--runs N] [--seed S] [--quick]`
+
+use ritas_bench::{
+    default_bursts, default_msg_sizes, parse_figure_args, render_burst_series,
+    PAPER_FIG6_BYZANTINE,
+};
+use ritas_sim::harness::run_ab_burst;
+use ritas_sim::Faultload;
+
+fn main() {
+    let args = parse_figure_args();
+    let bursts = if args.quick { vec![4, 16, 100] } else { default_bursts() };
+    let sizes = if args.quick { vec![10, 1000] } else { default_msg_sizes() };
+    eprintln!("Figure 6 (Byzantine): {} runs per point, seed {}", args.runs, args.seed);
+    let series = run_ab_burst(
+        Faultload::Byzantine { attacker: 3 },
+        &sizes,
+        &bursts,
+        args.runs,
+        args.seed,
+    );
+    print!("{}", render_burst_series(&series, &PAPER_FIG6_BYZANTINE));
+}

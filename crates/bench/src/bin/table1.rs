@@ -1,0 +1,40 @@
+//! Regenerates **Table 1** of the paper: average latency for isolated
+//! executions of each protocol, with and without the channel
+//! authentication ("IPSec") layer, plus the overhead column.
+//!
+//! Usage: `cargo run -p ritas-bench --bin table1 [--samples N] [--seed S]`
+
+use ritas_bench::render_table1;
+use ritas_sim::harness::run_stack_latency;
+
+fn main() {
+    let mut samples = 20usize;
+    let mut seed = 42u64;
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--samples" => {
+                samples = args[i + 1].parse().expect("numeric --samples");
+                i += 2;
+            }
+            "--seed" => {
+                seed = args[i + 1].parse().expect("numeric --seed");
+                i += 2;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    eprintln!("Table 1: {samples} isolated executions per protocol per mode (seed {seed})");
+    let rows = run_stack_latency(samples, seed);
+    print!("{}", render_table1(&rows));
+    println!();
+    println!(
+        "Interdependencies (paper §4.1): MVC/BC = {:.2} (paper ~1.8 w/), VC/MVC = {:.2} \
+         (paper ~1.26), AB/MVC = {:.2} (paper ~1.45)",
+        rows[3].with_ipsec_us / rows[2].with_ipsec_us,
+        rows[4].with_ipsec_us / rows[3].with_ipsec_us,
+        rows[5].with_ipsec_us / rows[3].with_ipsec_us,
+    );
+}

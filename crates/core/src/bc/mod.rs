@@ -1,0 +1,1020 @@
+//! Randomized binary consensus — Bracha's protocol (paper §2.4).
+//!
+//! Each process proposes a bit; all correct processes decide the same bit,
+//! and if all correct processes propose `v` the decision is `v`. The
+//! protocol is the only randomized layer of the stack: it circumvents FLP
+//! with a *local coin* and terminates with probability 1, with no timing
+//! assumptions whatsoever.
+//!
+//! It proceeds in rounds of three steps. In each step every process
+//! (reliably) broadcasts a value and waits for `n − f` *valid* values:
+//!
+//! 1. broadcast `v_i`; set `v_i` to the **majority** of the values
+//!    received;
+//! 2. broadcast `v_i`; if more than half the received values are equal,
+//!    set `v_i` to that value, else `v_i ← ⊥`;
+//! 3. broadcast `v_i`; if `≥ 2f+1` received values are some `v ≠ ⊥`,
+//!    **decide** `v`; else if `≥ f+1` are `v ≠ ⊥`, adopt `v_i ← v`; else
+//!    flip a fair **coin**; in all cases start the next round (a decided
+//!    process participates for one more round so laggards can finish).
+//!
+//! Two implementation aspects deserve attention:
+//!
+//! * **Validation** ([`validation`]): received values are only *accepted*
+//!   once they are congruent with some `n − f` subset of the previous
+//!   step's accepted values; messages that cannot yet be justified are
+//!   parked. This neutralizes processes that do not follow the protocol —
+//!   the mechanism the paper credits for its Byzantine immunity results.
+//! * **Step transport**: per the paper, each step's broadcast uses the
+//!   underlying *reliable broadcast* ([`StepTransport::ReliableBroadcast`]),
+//!   which prevents equivocation inside a step. A cheaper
+//!   [`StepTransport::PlainFanout`] mode (one authenticated point-to-point
+//!   fan-out per step) is provided **for the crash-fault ablation bench
+//!   only** — it does not tolerate Byzantine equivocation.
+
+pub mod validation;
+
+use crate::codec::{Reader, WireError, WireMessage, Writer};
+use crate::config::Group;
+use crate::error::ProtocolError;
+use crate::rb::{RbMessage, ReliableBroadcast};
+use crate::step::{FaultKind, Step};
+use crate::ProcessId;
+use bytes::Bytes;
+use ritas_crypto::{Coin, LocalRoundCoin, RoundCoin};
+use std::collections::BTreeMap;
+use validation::{majority, next_round_valid, step2_valid, step3_valid, strict_majority, Tally};
+
+/// A protocol value: `Some(bit)` or `None` for the undefined value ⊥.
+pub type Val = Option<bool>;
+
+/// How far ahead of our current round we accept (and buffer) messages.
+/// Correct processes are normally within one round of each other; the
+/// bound only limits memory a Byzantine process can make us allocate.
+const MAX_ROUND_AHEAD: u32 = 64;
+
+/// Transport used for the per-step broadcasts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StepTransport {
+    /// Reliable broadcast per step — the paper's configuration, tolerates
+    /// Byzantine faults.
+    #[default]
+    ReliableBroadcast,
+    /// One plain fan-out per step — ablation mode; tolerates crash faults
+    /// only (an equivocating process can violate agreement).
+    PlainFanout,
+}
+
+/// Body of a [`BcMessage`]: a reliable-broadcast sub-message or a plain
+/// value, depending on the configured [`StepTransport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BcBody {
+    /// Reliable broadcast traffic for the step value of `origin`.
+    Rbc(RbMessage),
+    /// The step value itself (plain fan-out mode).
+    Plain(Val),
+}
+
+/// A binary consensus message: traffic of the broadcast of `origin`'s
+/// value for (`round`, `step`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BcMessage {
+    /// Round number (from 1).
+    pub round: u32,
+    /// Step within the round (1, 2 or 3).
+    pub step: u8,
+    /// The process whose step value this broadcast carries.
+    pub origin: ProcessId,
+    /// The payload.
+    pub body: BcBody,
+}
+
+fn encode_val(v: Val) -> u8 {
+    match v {
+        Some(false) => 0,
+        Some(true) => 1,
+        None => 2,
+    }
+}
+
+fn decode_val(b: u8) -> Result<Val, WireError> {
+    match b {
+        0 => Ok(Some(false)),
+        1 => Ok(Some(true)),
+        2 => Ok(None),
+        t => Err(WireError::InvalidTag { what: "bc.value", tag: t }),
+    }
+}
+
+const BODY_RBC: u8 = 1;
+const BODY_PLAIN: u8 = 2;
+
+impl WireMessage for BcMessage {
+    fn encode(&self, w: &mut Writer) {
+        w.u32(self.round).u8(self.step).u32(self.origin as u32);
+        match &self.body {
+            BcBody::Rbc(inner) => {
+                w.u8(BODY_RBC);
+                inner.encode(w);
+            }
+            BcBody::Plain(v) => {
+                w.u8(BODY_PLAIN).u8(encode_val(*v));
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let round = r.u32("bc.round")?;
+        let step = r.u8("bc.step")?;
+        let origin = r.u32("bc.origin")? as usize;
+        let body = match r.u8("bc.body")? {
+            BODY_RBC => BcBody::Rbc(RbMessage::decode(r)?),
+            BODY_PLAIN => BcBody::Plain(decode_val(r.u8("bc.plain")?)?),
+            t => return Err(WireError::InvalidTag { what: "bc.body", tag: t }),
+        };
+        Ok(BcMessage { round, step, origin, body })
+    }
+}
+
+/// Step type of a binary consensus instance: outgoing [`BcMessage`]s plus,
+/// at most once, the decided bit.
+pub type BcStep = Step<BcMessage, bool>;
+
+/// Per-(round, step) bookkeeping.
+#[derive(Debug, Clone)]
+struct StepState {
+    /// Values accepted (validated) per process.
+    accepted: Vec<Option<Val>>,
+    /// Values delivered by the step transport but not yet validated.
+    pending: Vec<Option<Val>>,
+    /// Whether this step's `n − f` threshold has been acted upon.
+    fired: bool,
+}
+
+impl StepState {
+    fn new(n: usize) -> Self {
+        StepState {
+            accepted: vec![None; n],
+            pending: vec![None; n],
+            fired: false,
+        }
+    }
+
+    fn accepted_count(&self) -> usize {
+        self.accepted.iter().filter(|v| v.is_some()).count()
+    }
+
+    fn tally(&self) -> Tally {
+        let mut t = Tally::default();
+        for v in self.accepted.iter().flatten() {
+            match v {
+                Some(false) => t.zeros += 1,
+                Some(true) => t.ones += 1,
+                None => t.bottoms += 1,
+            }
+        }
+        t
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RoundState {
+    steps: [StepState; 3],
+}
+
+impl RoundState {
+    fn new(n: usize) -> Self {
+        RoundState {
+            steps: [StepState::new(n), StepState::new(n), StepState::new(n)],
+        }
+    }
+}
+
+/// State of one binary consensus instance for process `me`.
+///
+/// The instance is generic-free: the coin is injected as a boxed
+/// [`Coin`] so that production, simulation and adversarial tests can plug
+/// different sources (see `ritas_crypto::coin`).
+///
+/// # Example
+///
+/// Most users reach binary consensus through
+/// [`crate::stack::Stack::bc_propose`] or
+/// [`crate::node::Node::binary_consensus`]; the state machine itself is
+/// constructed per instance:
+///
+/// ```
+/// use ritas::bc::BinaryConsensus;
+/// use ritas::config::Group;
+/// use ritas_crypto::DeterministicCoin;
+///
+/// let group = Group::new(4)?;
+/// let mut bc = BinaryConsensus::new(group, 0, Box::new(DeterministicCoin::new(1)));
+/// let step = bc.propose(true)?;
+/// assert!(!step.messages.is_empty(), "round 1 step 1 broadcast");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct BinaryConsensus {
+    group: Group,
+    me: ProcessId,
+    coin: Box<dyn RoundCoin + Send>,
+    transport: StepTransport,
+    started: bool,
+    /// Our value for the in-progress step broadcast.
+    current: Val,
+    round: u32,
+    step: u8,
+    decided: Option<bool>,
+    decided_round: Option<u32>,
+    /// True once we have completed our post-decision round and stopped
+    /// initiating new rounds.
+    halted: bool,
+    rounds: BTreeMap<u32, RoundState>,
+    /// Reliable-broadcast sub-instances keyed by (round, step, origin).
+    rbc: BTreeMap<(u32, u8, ProcessId), ReliableBroadcast>,
+    /// Rounds each process has completed (for statistics only).
+    rounds_executed: u32,
+}
+
+impl core::fmt::Debug for BinaryConsensus {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("BinaryConsensus")
+            .field("me", &self.me)
+            .field("round", &self.round)
+            .field("step", &self.step)
+            .field("decided", &self.decided)
+            .field("halted", &self.halted)
+            .finish_non_exhaustive()
+    }
+}
+
+impl BinaryConsensus {
+    /// Creates an instance with the paper's configuration (reliable
+    /// broadcast per step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is outside the group.
+    pub fn new(group: Group, me: ProcessId, coin: Box<dyn Coin + Send>) -> Self {
+        Self::with_transport(group, me, coin, StepTransport::ReliableBroadcast)
+    }
+
+    /// Creates an instance with an explicit step transport (ablations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is outside the group.
+    pub fn with_transport(
+        group: Group,
+        me: ProcessId,
+        coin: Box<dyn Coin + Send>,
+        transport: StepTransport,
+    ) -> Self {
+        Self::with_round_coin(group, me, Box::new(LocalRoundCoin(coin)), transport)
+    }
+
+    /// Creates an instance with a round-indexed coin — use with
+    /// [`ritas_crypto::SharedCoin`] for a Rabin-style common coin, which
+    /// keeps the expected round count constant even under an adversarial
+    /// message scheduler (paper §5's discussion of the two approaches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is outside the group.
+    pub fn with_round_coin(
+        group: Group,
+        me: ProcessId,
+        coin: Box<dyn RoundCoin + Send>,
+        transport: StepTransport,
+    ) -> Self {
+        assert!(group.contains(me), "me out of group");
+        BinaryConsensus {
+            group,
+            me,
+            coin,
+            transport,
+            started: false,
+            current: None,
+            round: 1,
+            step: 1,
+            decided: None,
+            decided_round: None,
+            halted: false,
+            rounds: BTreeMap::new(),
+            rbc: BTreeMap::new(),
+            rounds_executed: 0,
+        }
+    }
+
+    /// The decision, once taken.
+    pub fn decision(&self) -> Option<bool> {
+        self.decided
+    }
+
+    /// The round in which the decision was taken (1-based), once decided.
+    pub fn decided_round(&self) -> Option<u32> {
+        self.decided_round
+    }
+
+    /// Current round (1-based).
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// Proposes a bit and emits the round-1 step-1 broadcast.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::AlreadyStarted`] on a second call.
+    pub fn propose(&mut self, value: bool) -> Result<BcStep, ProtocolError> {
+        if self.started {
+            return Err(ProtocolError::AlreadyStarted);
+        }
+        self.started = true;
+        self.current = Some(value);
+        let mut out = Step::none();
+        self.broadcast_current(&mut out);
+        // Messages from peers may already be buffered and could even
+        // complete steps (if we are the last to propose).
+        out.extend(self.settle());
+        Ok(out)
+    }
+
+    /// Handles a protocol message from `from`.
+    pub fn handle_message(&mut self, from: ProcessId, message: BcMessage) -> BcStep {
+        if !self.group.contains(from) || !self.group.contains(message.origin) {
+            return Step::fault(from, FaultKind::NotEntitled);
+        }
+        if message.round == 0 || !(1..=3).contains(&message.step) {
+            return Step::fault(from, FaultKind::Malformed);
+        }
+        if message.round > self.round.saturating_add(MAX_ROUND_AHEAD) {
+            // Memory-bounding: refuse to buffer absurdly distant rounds.
+            return Step::fault(from, FaultKind::Unjustified);
+        }
+        let (round, step, origin) = (message.round, message.step, message.origin);
+        let mut out = Step::none();
+        match (message.body, self.transport) {
+            (BcBody::Rbc(inner), StepTransport::ReliableBroadcast) => {
+                let group = self.group;
+                let me = self.me;
+                let rbc = self
+                    .rbc
+                    .entry((round, step, origin))
+                    .or_insert_with(|| ReliableBroadcast::new(group, me, origin));
+                let mut sub = rbc.handle_message(from, inner);
+                out.faults.append(&mut sub.faults);
+                for m in sub.messages {
+                    out.messages.push(m.map(|inner| BcMessage {
+                        round,
+                        step,
+                        origin,
+                        body: BcBody::Rbc(inner),
+                    }));
+                }
+                for payload in sub.outputs {
+                    match Self::decode_step_value(&payload, step) {
+                        Ok(v) => self.record_pending(round, step, origin, v),
+                        Err(_) => out.push_fault(origin, FaultKind::Malformed),
+                    }
+                }
+            }
+            (BcBody::Plain(v), StepTransport::PlainFanout) => {
+                if from != origin {
+                    return Step::fault(from, FaultKind::NotEntitled);
+                }
+                if (step == 1 || step == 2) && v.is_none() {
+                    return Step::fault(from, FaultKind::Malformed);
+                }
+                self.record_pending(round, step, origin, v);
+            }
+            // Body does not match the configured transport.
+            _ => return Step::fault(from, FaultKind::Malformed),
+        }
+        out.extend(self.settle());
+        out
+    }
+
+    /// Decodes a step value from a reliable-broadcast payload, rejecting
+    /// ⊥ at steps 1 and 2 where only bits are legal.
+    fn decode_step_value(payload: &Bytes, step: u8) -> Result<Val, WireError> {
+        if payload.len() != 1 {
+            return Err(WireError::Truncated { what: "bc.value" });
+        }
+        let v = decode_val(payload[0])?;
+        if (step == 1 || step == 2) && v.is_none() {
+            return Err(WireError::InvalidTag { what: "bc.value", tag: 2 });
+        }
+        Ok(v)
+    }
+
+    fn round_mut(&mut self, round: u32) -> &mut RoundState {
+        let n = self.group.n();
+        self.rounds.entry(round).or_insert_with(|| RoundState::new(n))
+    }
+
+    fn record_pending(&mut self, round: u32, step: u8, origin: ProcessId, v: Val) {
+        let st = &mut self.round_mut(round).steps[(step - 1) as usize];
+        if st.accepted[origin].is_some() || st.pending[origin].is_some() {
+            return; // only the first delivered value per slot counts
+        }
+        st.pending[origin] = Some(v);
+    }
+
+    /// Runs validation and progress to a fixpoint.
+    fn settle(&mut self) -> BcStep {
+        let mut out = Step::none();
+        loop {
+            let validated = self.revalidate();
+            let advanced = self.try_advance(&mut out);
+            if !validated && !advanced {
+                break;
+            }
+        }
+        out
+    }
+
+    /// One pass moving justifiable pending values to accepted.
+    /// Returns whether anything moved.
+    fn revalidate(&mut self) -> bool {
+        let q = self.group.quorum();
+        let f = self.group.f();
+        let mut moved = false;
+        let round_nums: Vec<u32> = self.rounds.keys().copied().collect();
+        for r in round_nums {
+            for s in 1..=3u8 {
+                // Collect candidate (origin, value) pairs to avoid holding
+                // two mutable borrows of the rounds map.
+                let candidates: Vec<(ProcessId, Val)> = {
+                    let st = &self.rounds[&r].steps[(s - 1) as usize];
+                    st.pending
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(p, v)| v.map(|v| (p, v)))
+                        .collect()
+                };
+                if candidates.is_empty() {
+                    continue;
+                }
+                let prev_tally: Option<Tally> = match (r, s) {
+                    (1, 1) => None, // always valid
+                    (r, 1) => self.rounds.get(&(r - 1)).map(|rs| rs.steps[2].tally()),
+                    (r, s) => self.rounds.get(&r).map(|rs| rs.steps[(s - 2) as usize].tally()),
+                };
+                for (origin, v) in candidates {
+                    let valid = match (r, s) {
+                        (1, 1) => true,
+                        (_, 1) => prev_tally
+                            .map(|t| v.map(|b| next_round_valid(&t, b, q, f)).unwrap_or(false))
+                            .unwrap_or(false),
+                        (_, 2) => prev_tally
+                            .map(|t| v.map(|b| step2_valid(&t, b, q)).unwrap_or(false))
+                            .unwrap_or(false),
+                        (_, 3) => prev_tally.map(|t| step3_valid(&t, v, q)).unwrap_or(false),
+                        _ => unreachable!(),
+                    };
+                    if valid {
+                        let st = &mut self.rounds.get_mut(&r).unwrap().steps[(s - 1) as usize];
+                        st.pending[origin] = None;
+                        st.accepted[origin] = Some(v);
+                        moved = true;
+                    }
+                }
+            }
+        }
+        moved
+    }
+
+    /// Fires the transition for the current (round, step) if its threshold
+    /// is met. Returns whether a transition fired.
+    fn try_advance(&mut self, out: &mut BcStep) -> bool {
+        if self.halted || !self.started {
+            return false;
+        }
+        let (r, s) = (self.round, self.step);
+        let quorum = self.group.quorum();
+        let st = &mut self.round_mut(r).steps[(s - 1) as usize];
+        if st.fired || st.accepted_count() < quorum {
+            return false;
+        }
+        st.fired = true;
+        let tally = st.tally();
+        match s {
+            1 => {
+                self.current = Some(majority(&tally));
+                self.step = 2;
+                self.broadcast_current(out);
+            }
+            2 => {
+                self.current = strict_majority(&tally);
+                self.step = 3;
+                self.broadcast_current(out);
+            }
+            3 => {
+                self.finish_round(&tally, out);
+            }
+            _ => unreachable!(),
+        }
+        true
+    }
+
+    fn finish_round(&mut self, tally: &Tally, out: &mut BcStep) {
+        let threshold_decide = self.group.byzantine_majority();
+        let threshold_adopt = self.group.one_correct();
+        self.rounds_executed = self.round;
+
+        // Pick the non-⊥ value with the larger support (ties to 0).
+        let (lead, lead_count) = if tally.ones > tally.zeros {
+            (true, tally.ones)
+        } else {
+            (false, tally.zeros)
+        };
+
+        let next_value = if lead_count >= threshold_decide {
+            if self.decided.is_none() {
+                self.decided = Some(lead);
+                self.decided_round = Some(self.round);
+                out.push_output(lead);
+            }
+            lead
+        } else if lead_count >= threshold_adopt {
+            lead
+        } else {
+            self.coin.flip_round(self.round)
+        };
+
+        // A decided process participates for exactly one more round so
+        // that laggards (which are at most one round behind) can decide,
+        // then stops initiating rounds.
+        if let Some(dr) = self.decided_round {
+            if self.round > dr {
+                self.halted = true;
+                return;
+            }
+        }
+        self.current = Some(next_value);
+        self.round += 1;
+        self.step = 1;
+        self.broadcast_current(out);
+    }
+
+    /// Broadcasts our current value for (self.round, self.step).
+    fn broadcast_current(&mut self, out: &mut BcStep) {
+        let (round, step, origin) = (self.round, self.step, self.me);
+        match self.transport {
+            StepTransport::ReliableBroadcast => {
+                let payload = Bytes::copy_from_slice(&[encode_val(self.current)]);
+                let group = self.group;
+                let me = self.me;
+                let rbc = self
+                    .rbc
+                    .entry((round, step, origin))
+                    .or_insert_with(|| ReliableBroadcast::new(group, me, origin));
+                let sub = rbc
+                    .broadcast(payload)
+                    .expect("own step broadcast is unique per (round, step)");
+                for m in sub.messages {
+                    out.messages.push(m.map(|inner| BcMessage {
+                        round,
+                        step,
+                        origin,
+                        body: BcBody::Rbc(inner),
+                    }));
+                }
+            }
+            StepTransport::PlainFanout => {
+                out.push_broadcast(BcMessage {
+                    round,
+                    step,
+                    origin,
+                    body: BcBody::Plain(self.current),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step::Target;
+    use ritas_crypto::{DeterministicCoin, FixedCoin};
+
+    fn coin(seed: u64) -> Box<dyn Coin + Send> {
+        Box::new(DeterministicCoin::new(seed))
+    }
+
+    /// A tiny synchronous network: delivers all messages (in seeded
+    /// pseudo-random order) until quiescence. Returns decisions.
+    struct Net {
+        insts: Vec<BinaryConsensus>,
+        queue: Vec<(ProcessId, ProcessId, BcMessage)>,
+        decisions: Vec<Option<bool>>,
+        rng_state: u64,
+        /// Processes whose outgoing messages are dropped (crashed).
+        crashed: Vec<ProcessId>,
+    }
+
+    impl Net {
+        fn new(n: usize, transport: StepTransport, seed: u64) -> Self {
+            let g = Group::new(n).unwrap();
+            Net {
+                insts: (0..n)
+                    .map(|me| {
+                        BinaryConsensus::with_transport(g, me, coin(seed ^ me as u64), transport)
+                    })
+                    .collect(),
+                queue: Vec::new(),
+                decisions: vec![None; n],
+                rng_state: seed.wrapping_mul(0x9E3779B97F4A7C15) | 1,
+                crashed: Vec::new(),
+            }
+        }
+
+        fn next_rand(&mut self) -> u64 {
+            let mut x = self.rng_state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.rng_state = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+
+        fn absorb(&mut self, from: ProcessId, step: BcStep) {
+            if self.crashed.contains(&from) {
+                return;
+            }
+            let n = self.insts.len();
+            for out in step.messages {
+                match out.target {
+                    Target::All => {
+                        for to in 0..n {
+                            self.queue.push((from, to, out.message.clone()));
+                        }
+                    }
+                    Target::One(to) => self.queue.push((from, to, out.message.clone())),
+                }
+            }
+            for d in step.outputs {
+                assert!(self.decisions[from].is_none(), "double decision at {from}");
+                self.decisions[from] = Some(d);
+            }
+        }
+
+        fn propose(&mut self, p: ProcessId, v: bool) {
+            let step = self.insts[p].propose(v).unwrap();
+            self.absorb(p, step);
+        }
+
+        fn run(&mut self) {
+            let mut iterations = 0usize;
+            while !self.queue.is_empty() {
+                iterations += 1;
+                assert!(iterations < 2_000_000, "runaway execution");
+                let idx = (self.next_rand() as usize) % self.queue.len();
+                let (from, to, msg) = self.queue.swap_remove(idx);
+                if self.crashed.contains(&to) {
+                    continue;
+                }
+                let step = self.insts[to].handle_message(from, msg);
+                self.absorb(to, step);
+            }
+        }
+    }
+
+    #[test]
+    fn message_codec_roundtrip() {
+        for msg in [
+            BcMessage {
+                round: 3,
+                step: 2,
+                origin: 1,
+                body: BcBody::Rbc(RbMessage::Init(Bytes::from_static(&[1]))),
+            },
+            BcMessage {
+                round: 1,
+                step: 3,
+                origin: 0,
+                body: BcBody::Plain(None),
+            },
+        ] {
+            assert_eq!(BcMessage::from_bytes(&msg.to_bytes()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn codec_rejects_bad_value() {
+        assert!(decode_val(3).is_err());
+        assert!(BinaryConsensus::decode_step_value(&Bytes::from_static(&[2]), 1).is_err());
+        assert!(BinaryConsensus::decode_step_value(&Bytes::from_static(&[2]), 3).is_ok());
+        assert!(BinaryConsensus::decode_step_value(&Bytes::from_static(&[0, 0]), 1).is_err());
+    }
+
+    #[test]
+    fn unanimous_one_decides_one_in_one_round() {
+        let mut net = Net::new(4, StepTransport::ReliableBroadcast, 7);
+        for p in 0..4 {
+            net.propose(p, true);
+        }
+        net.run();
+        for p in 0..4 {
+            assert_eq!(net.decisions[p], Some(true), "process {p}");
+            assert_eq!(net.insts[p].decided_round(), Some(1));
+        }
+    }
+
+    #[test]
+    fn unanimous_zero_decides_zero() {
+        let mut net = Net::new(4, StepTransport::ReliableBroadcast, 8);
+        for p in 0..4 {
+            net.propose(p, false);
+        }
+        net.run();
+        for p in 0..4 {
+            assert_eq!(net.decisions[p], Some(false));
+        }
+    }
+
+    #[test]
+    fn mixed_proposals_agree() {
+        for seed in 0..10 {
+            let mut net = Net::new(4, StepTransport::ReliableBroadcast, 100 + seed);
+            net.propose(0, true);
+            net.propose(1, false);
+            net.propose(2, true);
+            net.propose(3, false);
+            net.run();
+            let d0 = net.decisions[0].expect("p0 decided");
+            for p in 1..4 {
+                assert_eq!(net.decisions[p], Some(d0), "agreement violated, seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn majority_proposal_wins_with_unanimity() {
+        // 3 of 4 propose 1: decision must be 1 when the fourth is silent
+        // (validity w.r.t. correct processes).
+        let mut net = Net::new(4, StepTransport::ReliableBroadcast, 21);
+        net.crashed.push(3);
+        net.propose(0, true);
+        net.propose(1, true);
+        net.propose(2, true);
+        net.run();
+        for p in 0..3 {
+            assert_eq!(net.decisions[p], Some(true), "process {p}");
+        }
+    }
+
+    #[test]
+    fn crash_fault_still_terminates() {
+        for seed in 0..5 {
+            let mut net = Net::new(4, StepTransport::ReliableBroadcast, 200 + seed);
+            net.crashed.push(2);
+            net.propose(0, true);
+            net.propose(1, false);
+            net.propose(3, true);
+            net.run();
+            let d = net.decisions[0].expect("decided despite crash");
+            assert_eq!(net.decisions[1], Some(d));
+            assert_eq!(net.decisions[3], Some(d));
+        }
+    }
+
+    #[test]
+    fn byzantine_always_zero_cannot_block_unanimous_one() {
+        // The paper's Byzantine faultload: one process always proposes 0
+        // (a legal value) while the correct ones propose 1. Decision: 1.
+        for seed in 0..5 {
+            let mut net = Net::new(4, StepTransport::ReliableBroadcast, 300 + seed);
+            net.propose(0, true);
+            net.propose(1, true);
+            net.propose(2, true);
+            net.propose(3, false); // the attacker
+            net.run();
+            for p in 0..3 {
+                assert_eq!(net.decisions[p], Some(true), "seed {seed} process {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn plain_fanout_terminates_under_crash() {
+        let mut net = Net::new(4, StepTransport::PlainFanout, 17);
+        net.crashed.push(1);
+        net.propose(0, true);
+        net.propose(2, true);
+        net.propose(3, true);
+        net.run();
+        assert_eq!(net.decisions[0], Some(true));
+        assert_eq!(net.decisions[2], Some(true));
+        assert_eq!(net.decisions[3], Some(true));
+    }
+
+    #[test]
+    fn larger_group_unanimous() {
+        let mut net = Net::new(7, StepTransport::ReliableBroadcast, 5);
+        for p in 0..7 {
+            net.propose(p, true);
+        }
+        net.run();
+        for p in 0..7 {
+            assert_eq!(net.decisions[p], Some(true));
+        }
+    }
+
+    #[test]
+    fn double_propose_rejected() {
+        let g = Group::new(4).unwrap();
+        let mut bc = BinaryConsensus::new(g, 0, coin(1));
+        let _ = bc.propose(true).unwrap();
+        assert_eq!(bc.propose(true).unwrap_err(), ProtocolError::AlreadyStarted);
+    }
+
+    #[test]
+    fn fixed_coin_adversarial_coins_still_agree() {
+        // Worst-case coins (all heads vs all tails across processes) must
+        // never break agreement, only possibly delay termination.
+        let g = Group::new(4).unwrap();
+        let mut net = Net::new(4, StepTransport::ReliableBroadcast, 1);
+        net.insts = (0..4)
+            .map(|me| {
+                BinaryConsensus::new(g, me, Box::new(FixedCoin(me % 2 == 0)) as Box<dyn Coin + Send>)
+            })
+            .collect();
+        net.propose(0, true);
+        net.propose(1, false);
+        net.propose(2, false);
+        net.propose(3, true);
+        net.run();
+        let d = net.decisions[0].expect("decided");
+        for p in 1..4 {
+            assert_eq!(net.decisions[p], Some(d));
+        }
+    }
+
+    #[test]
+    fn shared_coin_instances_agree() {
+        use ritas_crypto::SharedCoinDealer;
+        for seed in 0..5 {
+            let g = Group::new(4).unwrap();
+            let dealer = SharedCoinDealer::new(99);
+            let mut net = Net::new(4, StepTransport::ReliableBroadcast, 400 + seed);
+            net.insts = (0..4)
+                .map(|me| {
+                    BinaryConsensus::with_round_coin(
+                        g,
+                        me,
+                        Box::new(dealer.coin(1)),
+                        StepTransport::ReliableBroadcast,
+                    )
+                })
+                .collect();
+            net.propose(0, true);
+            net.propose(1, false);
+            net.propose(2, false);
+            net.propose(3, true);
+            net.run();
+            let d = net.decisions[0].expect("decided");
+            for p in 1..4 {
+                assert_eq!(net.decisions[p], Some(d), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_coin_beats_adversarial_local_coins() {
+        // With opposing FixedCoins (the worst local-coin draw), a split
+        // vote can take several rounds; the same schedule with a shared
+        // coin converges as soon as the coin round fires, because all
+        // correct processes flip the *same* bit.
+        use ritas_crypto::SharedCoinDealer;
+        let g = Group::new(4).unwrap();
+        let dealer = SharedCoinDealer::new(5);
+        let mut net = Net::new(4, StepTransport::ReliableBroadcast, 31);
+        net.insts = (0..4)
+            .map(|me| {
+                BinaryConsensus::with_round_coin(
+                    g,
+                    me,
+                    Box::new(dealer.coin(7)),
+                    StepTransport::ReliableBroadcast,
+                )
+            })
+            .collect();
+        net.propose(0, true);
+        net.propose(1, false);
+        net.propose(2, true);
+        net.propose(3, false);
+        net.run();
+        let d = net.decisions[0].expect("decided");
+        let max_round = (0..4)
+            .filter_map(|p| net.insts[p].decided_round())
+            .max()
+            .unwrap();
+        for p in 1..4 {
+            assert_eq!(net.decisions[p], Some(d));
+        }
+        assert!(max_round <= 3, "shared coin needed {max_round} rounds");
+    }
+
+    #[test]
+    fn laggard_decides_after_others_halt() {
+        // Deliver nothing to process 3 until processes 0-2 have decided
+        // and halted; then release its backlog. The one-extra-round
+        // participation of decided instances must let the laggard finish.
+        let mut net = Net::new(4, StepTransport::ReliableBroadcast, 77);
+        let mut held: Vec<(ProcessId, BcMessage)> = Vec::new();
+        for p in 0..4 {
+            net.propose(p, true);
+        }
+        // Run while diverting everything addressed to process 3.
+        while !net.queue.is_empty() {
+            let idx = (net.next_rand() as usize) % net.queue.len();
+            let (from, to, msg) = net.queue.swap_remove(idx);
+            if to == 3 {
+                held.push((from, msg));
+                continue;
+            }
+            let step = net.insts[to].handle_message(from, msg);
+            net.absorb(to, step);
+        }
+        for p in 0..3 {
+            assert_eq!(net.decisions[p], Some(true), "fast process {p}");
+        }
+        assert!(net.decisions[3].is_none());
+        // Release the backlog; the laggard's own new messages flow
+        // normally (the fast processes still respond to sub-broadcasts).
+        for (from, msg) in held {
+            let step = net.insts[3].handle_message(from, msg);
+            net.absorb(3, step);
+        }
+        net.run();
+        assert_eq!(net.decisions[3], Some(true), "laggard never decided");
+    }
+
+    #[test]
+    fn far_future_round_rejected() {
+        let g = Group::new(4).unwrap();
+        let mut bc = BinaryConsensus::new(g, 0, coin(1));
+        let step = bc.handle_message(
+            1,
+            BcMessage {
+                round: 1_000_000,
+                step: 1,
+                origin: 1,
+                body: BcBody::Rbc(RbMessage::Init(Bytes::from_static(&[1]))),
+            },
+        );
+        assert_eq!(step.faults[0].kind, FaultKind::Unjustified);
+    }
+
+    #[test]
+    fn malformed_step_rejected() {
+        let g = Group::new(4).unwrap();
+        let mut bc = BinaryConsensus::new(g, 0, coin(1));
+        let step = bc.handle_message(
+            1,
+            BcMessage {
+                round: 1,
+                step: 4,
+                origin: 1,
+                body: BcBody::Plain(Some(true)),
+            },
+        );
+        assert_eq!(step.faults[0].kind, FaultKind::Malformed);
+    }
+
+    #[test]
+    fn plain_body_rejected_in_rbc_mode() {
+        let g = Group::new(4).unwrap();
+        let mut bc = BinaryConsensus::new(g, 0, coin(1));
+        let step = bc.handle_message(
+            1,
+            BcMessage {
+                round: 1,
+                step: 1,
+                origin: 1,
+                body: BcBody::Plain(Some(true)),
+            },
+        );
+        assert_eq!(step.faults[0].kind, FaultKind::Malformed);
+    }
+
+    #[test]
+    fn plain_fanout_rejects_relayed_values() {
+        let g = Group::new(4).unwrap();
+        let mut bc =
+            BinaryConsensus::with_transport(g, 0, coin(1), StepTransport::PlainFanout);
+        let step = bc.handle_message(
+            2,
+            BcMessage {
+                round: 1,
+                step: 1,
+                origin: 1, // relayed: from != origin
+                body: BcBody::Plain(Some(true)),
+            },
+        );
+        assert_eq!(step.faults[0].kind, FaultKind::NotEntitled);
+    }
+}

@@ -1,0 +1,300 @@
+//! Bracha's message-validation rule (paper §2.4).
+//!
+//! > "A message received in the first step of the first round is always
+//! > considered valid. A message received in any other step k, for k > 1,
+//! > is valid if its value is congruent with any subset of n − f values
+//! > accepted at step k − 1."
+//!
+//! A value is *congruent* with a subset when a correct process that had
+//! accepted exactly that subset could have produced the value by following
+//! the protocol. Because the accepted sets only grow, validity is
+//! monotone: a message that is not yet valid may become valid later, so
+//! invalid messages are parked, never dropped (unless provably
+//! unjustifiable — which we do not attempt to prove; parking is cheap).
+//!
+//! For binary values these "∃ subset" conditions reduce to closed-form
+//! feasibility checks over the counts of accepted values, implemented
+//! here. The rules encoded:
+//!
+//! * **step 1 → step 2**: a step-2 value must be the majority of some
+//!   `q = n − f` subset of accepted step-1 values (ties broken to 0, the
+//!   same deterministic tie-break the state machine applies);
+//! * **step 2 → step 3**: a non-`⊥` step-3 value must hold a strict
+//!   majority (`> q/2`) in some `q`-subset; `⊥` requires a `q`-subset
+//!   where no value exceeds `q/2`;
+//! * **step 3 → next round's step 1**: the value must be adoptable
+//!   (`≥ f+1` copies in some `q`-subset) or the coin branch must be
+//!   reachable (a `q`-subset where no non-`⊥` value reaches `f+1`), in
+//!   which case any bit is justified.
+
+/// Counts of accepted values at one step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Tally {
+    /// Number of processes whose accepted value is 0.
+    pub zeros: usize,
+    /// Number of processes whose accepted value is 1.
+    pub ones: usize,
+    /// Number of processes whose accepted value is ⊥ (step 3 only).
+    pub bottoms: usize,
+}
+
+impl Tally {
+    /// Total accepted values.
+    pub fn total(&self) -> usize {
+        self.zeros + self.ones + self.bottoms
+    }
+
+    /// Count for a binary value.
+    pub fn count(&self, v: bool) -> usize {
+        if v {
+            self.ones
+        } else {
+            self.zeros
+        }
+    }
+}
+
+/// Whether a step-2 message with value `v` is congruent with some
+/// `q`-subset of the step-1 tally (majority rule, ties to 0).
+#[must_use]
+pub fn step2_valid(step1: &Tally, v: bool, q: usize) -> bool {
+    let usable = step1.zeros + step1.ones; // ⊥ cannot appear at step 1
+    if usable < q {
+        return false;
+    }
+    if v {
+        // 1 wins only with a strict majority of ones.
+        step1.ones > q / 2
+    } else {
+        // 0 wins with at least half (tie-break favours 0).
+        step1.zeros >= q.div_ceil(2)
+    }
+}
+
+/// Whether a step-3 message with value `v` (`None` = ⊥) is congruent with
+/// some `q`-subset of the step-2 tally.
+#[must_use]
+pub fn step3_valid(step2: &Tally, v: Option<bool>, q: usize) -> bool {
+    let usable = step2.zeros + step2.ones;
+    if usable < q {
+        return false;
+    }
+    match v {
+        Some(b) => step2.count(b) > q / 2,
+        None => {
+            // A subset where neither value exceeds half: take at most
+            // ⌊q/2⌋ of each.
+            let half = q / 2;
+            step2.zeros.min(half) + step2.ones.min(half) >= q
+        }
+    }
+}
+
+/// Whether a step-1 message of round `r+1` with value `v` is congruent
+/// with some `q`-subset of the round-`r` step-3 tally.
+///
+/// `f` is the fault threshold: the adopt branch needs `f+1` equal non-`⊥`
+/// values, the coin branch needs a subset where no non-`⊥` value reaches
+/// `f+1` (then any bit is a legitimate coin flip).
+#[must_use]
+pub fn next_round_valid(step3: &Tally, v: bool, q: usize, f: usize) -> bool {
+    if step3.total() < q {
+        return false;
+    }
+    let adopt = step3.count(v) > f;
+    let coin = step3.zeros.min(f) + step3.ones.min(f) + step3.bottoms >= q;
+    adopt || coin
+}
+
+/// The deterministic majority of a full snapshot of step-1 values (ties
+/// broken to 0) — the value a correct process carries into step 2.
+#[must_use]
+pub fn majority(tally: &Tally) -> bool {
+    tally.ones > tally.zeros
+}
+
+/// The step-2 → step-3 rule over a snapshot: `Some(v)` if `v` holds a
+/// strict majority of the snapshot, otherwise `None` (⊥).
+#[must_use]
+pub fn strict_majority(tally: &Tally) -> Option<bool> {
+    let total = tally.total();
+    if 2 * tally.ones > total {
+        Some(true)
+    } else if 2 * tally.zeros > total {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(zeros: usize, ones: usize, bottoms: usize) -> Tally {
+        Tally { zeros, ones, bottoms }
+    }
+
+    // n = 4, f = 1 → q = 3 (the paper's testbed).
+    const Q4: usize = 3;
+    const F4: usize = 1;
+
+    #[test]
+    fn step2_needs_enough_accepted() {
+        assert!(!step2_valid(&t(1, 1, 0), false, Q4));
+        assert!(!step2_valid(&t(0, 2, 0), true, Q4));
+    }
+
+    #[test]
+    fn step2_majority_one() {
+        // ones = 2 >= ⌊3/2⌋+1 = 2 → a subset {1,1,0} (or {1,1,1}) exists.
+        assert!(step2_valid(&t(1, 2, 0), true, Q4));
+        assert!(step2_valid(&t(0, 3, 0), true, Q4));
+        // Only one 1 can never be a majority of 3.
+        assert!(!step2_valid(&t(2, 1, 0), true, Q4));
+    }
+
+    #[test]
+    fn step2_majority_zero_with_tiebreak() {
+        // zeros = 2 >= ⌈3/2⌉ = 2 → subset {0,0,1}.
+        assert!(step2_valid(&t(2, 1, 0), false, Q4));
+        assert!(!step2_valid(&t(1, 2, 0), false, Q4));
+    }
+
+    #[test]
+    fn step2_even_quorum_tiebreak() {
+        // q = 4 (e.g. n = 5, f = 1): a 2-2 tie resolves to 0, so 0 is
+        // justifiable with only 2 zeros, while 1 needs 3 ones.
+        let q = 4;
+        assert!(step2_valid(&t(2, 2, 0), false, q));
+        assert!(!step2_valid(&t(2, 2, 0), true, q));
+        assert!(step2_valid(&t(1, 3, 0), true, q));
+    }
+
+    #[test]
+    fn step3_strict_majority() {
+        assert!(step3_valid(&t(1, 2, 0), Some(true), Q4));
+        assert!(!step3_valid(&t(2, 1, 0), Some(true), Q4));
+        assert!(step3_valid(&t(2, 1, 0), Some(false), Q4));
+    }
+
+    #[test]
+    fn step3_bottom_impossible_for_odd_quorum() {
+        // q = 3: any 3 binary values have a strict majority, so a correct
+        // process can never have produced ⊥.
+        assert!(!step3_valid(&t(2, 2, 0), None, Q4));
+        assert!(!step3_valid(&t(3, 3, 0), None, Q4));
+    }
+
+    #[test]
+    fn step3_bottom_feasible_for_even_quorum() {
+        // q = 4: a 2-2 split has no strict majority.
+        assert!(step3_valid(&t(2, 2, 0), None, 4));
+        assert!(!step3_valid(&t(1, 3, 0), None, 4));
+        assert!(step3_valid(&t(2, 3, 0), None, 4));
+    }
+
+    #[test]
+    fn next_round_adopt_branch() {
+        // f+1 = 2 copies of 1 among a 3-subset justify carrying 1.
+        assert!(next_round_valid(&t(0, 2, 1), true, Q4, F4));
+        assert!(!next_round_valid(&t(2, 1, 0), true, Q4, F4));
+    }
+
+    #[test]
+    fn next_round_coin_branch_justifies_both() {
+        // Subset {0, 1, ⊥}: no value reaches f+1 = 2 → coin flip, any bit.
+        let tally = t(1, 1, 1);
+        assert!(next_round_valid(&tally, true, Q4, F4));
+        assert!(next_round_valid(&tally, false, Q4, F4));
+    }
+
+    #[test]
+    fn next_round_all_bottom_is_coin() {
+        let tally = t(0, 0, 3);
+        assert!(next_round_valid(&tally, true, Q4, F4));
+        assert!(next_round_valid(&tally, false, Q4, F4));
+    }
+
+    #[test]
+    fn next_round_unjustifiable_value() {
+        // All three accepted step-3 values are 0 and no coin subset
+        // exists → 1 can never be justified.
+        assert!(!next_round_valid(&t(3, 0, 0), true, Q4, F4));
+        assert!(next_round_valid(&t(3, 0, 0), false, Q4, F4));
+    }
+
+    #[test]
+    fn next_round_needs_enough_values() {
+        assert!(!next_round_valid(&t(1, 1, 0), true, Q4, F4));
+    }
+
+    #[test]
+    fn majority_rules() {
+        assert!(majority(&t(1, 2, 0)));
+        assert!(!majority(&t(2, 1, 0)));
+        assert!(!majority(&t(2, 2, 0))); // tie → 0
+    }
+
+    #[test]
+    fn strict_majority_rules() {
+        assert_eq!(strict_majority(&t(1, 2, 0)), Some(true));
+        assert_eq!(strict_majority(&t(2, 1, 0)), Some(false));
+        assert_eq!(strict_majority(&t(2, 2, 0)), None);
+        assert_eq!(strict_majority(&t(3, 2, 0)), Some(false));
+    }
+
+    /// Soundness: whatever a correct process produces from its actual
+    /// snapshot must validate against any tally that contains the
+    /// snapshot. Brute-force over all snapshots of size q.
+    #[test]
+    fn validation_soundness_brute_force() {
+        let q = Q4;
+        // All step-1 snapshots (z zeros, q-z ones).
+        for z in 0..=q {
+            let snapshot = t(z, q - z, 0);
+            let produced = majority(&snapshot);
+            // The producing process's snapshot, possibly extended.
+            for extra_z in 0..3 {
+                for extra_o in 0..3 {
+                    let tally = t(z + extra_z, q - z + extra_o, 0);
+                    assert!(
+                        step2_valid(&tally, produced, q),
+                        "step2 soundness failed: snapshot {snapshot:?}, tally {tally:?}"
+                    );
+                }
+            }
+        }
+        // All step-2 snapshots.
+        for z in 0..=q {
+            let snapshot = t(z, q - z, 0);
+            let produced = strict_majority(&snapshot);
+            let tally = snapshot;
+            assert!(
+                step3_valid(&tally, produced, q),
+                "step3 soundness failed: snapshot {snapshot:?}"
+            );
+        }
+        // All step-3 snapshots (z zeros, o ones, rest ⊥).
+        for z in 0..=q {
+            for o in 0..=(q - z) {
+                let snapshot = t(z, o, q - z - o);
+                let f = F4;
+                // What can a correct process carry into the next round?
+                let candidates: Vec<bool> = if snapshot.zeros > f {
+                    vec![false]
+                } else if snapshot.ones > f {
+                    vec![true]
+                } else {
+                    vec![false, true] // coin
+                };
+                for v in candidates {
+                    assert!(
+                        next_round_valid(&snapshot, v, q, f),
+                        "next-round soundness failed: snapshot {snapshot:?}, v {v}"
+                    );
+                }
+            }
+        }
+    }
+}

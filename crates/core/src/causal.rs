@@ -1,0 +1,279 @@
+//! Causal-order adapter for atomic broadcast (CBCAST over ABCAST).
+//!
+//! Atomic broadcast totally orders messages, but the total order need not
+//! respect *causality*: if `p1` delivers `m_a` and then broadcasts `m_b`
+//! ("in reply"), the agreed order may still place `m_b` before `m_a`.
+//! The classic fix attaches a **vector clock** to every message — the
+//! per-sender counts of causally delivered messages at broadcast time —
+//! and holds a received message back until everything in its causal past
+//! has been delivered.
+//!
+//! Because every correct process feeds the adapter the *same* total order
+//! and the release rule is deterministic, the causally-adapted sequence
+//! is identical everywhere: the adapter upgrades "total order" to
+//! "causal total order" with no extra communication, only a small clock
+//! header per message.
+//!
+//! A Byzantine sender can attach an inflated clock, stranding *its own*
+//! messages in the holdback queue (self-censorship, as with skipped
+//! rbids in [`crate::fifo`]); [`CausalOrder::held`] and
+//! [`CausalOrder::evict_sender`] give the application visibility and a
+//! reclaim lever.
+
+use crate::ab::AbDelivery;
+use crate::codec::{Reader, WireError, Writer};
+use crate::ProcessId;
+use bytes::Bytes;
+
+/// A causal timestamp: entry `k` counts the messages from sender `k`
+/// delivered before the tagged message was broadcast.
+pub type VectorClock = Vec<u64>;
+
+/// Deterministic causal holdback over a-deliveries.
+///
+/// # Example
+///
+/// ```
+/// use ritas::ab::{AbDelivery, MsgId};
+/// use ritas::causal::CausalOrder;
+/// use bytes::Bytes;
+///
+/// let mut alice = CausalOrder::new(4, 0);
+/// let mut observer = CausalOrder::new(4, 3);
+///
+/// // Alice broadcasts m_a, then — having delivered it — a reply m_b.
+/// let m_a = alice.wrap(b"hello");
+/// let d_a = AbDelivery { id: MsgId { sender: 0, rbid: 0 }, payload: m_a };
+/// assert_eq!(alice.push(d_a.clone()).len(), 1);
+/// let m_b = alice.wrap(b"reply to my hello");
+/// let d_b = AbDelivery { id: MsgId { sender: 0, rbid: 1 }, payload: m_b };
+///
+/// // The observer's total order delivers the reply FIRST — the adapter
+/// // holds it until its causal past (m_a) has been delivered.
+/// assert!(observer.push(d_b).is_empty());
+/// let released = observer.push(d_a);
+/// assert_eq!(released.len(), 2);
+/// assert_eq!(released[0].1.as_ref(), b"hello");
+/// assert_eq!(released[1].1.as_ref(), b"reply to my hello");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CausalOrder {
+    /// This process's id (part of the adapter's identity; useful for
+    /// diagnostics and symmetry with the other adapters).
+    me: ProcessId,
+    /// Causally delivered message count per sender.
+    delivered: Vec<u64>,
+    /// Held-back messages: `(delivery, decoded clock)`.
+    held: Vec<(AbDelivery, VectorClock)>,
+}
+
+impl CausalOrder {
+    /// Creates the adapter for process `me` in a group of `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me >= n`.
+    pub fn new(n: usize, me: ProcessId) -> Self {
+        assert!(me < n, "me out of group");
+        CausalOrder {
+            me,
+            delivered: vec![0; n],
+            held: Vec::new(),
+        }
+    }
+
+    /// Tags `payload` with this process's current causal timestamp; the
+    /// result is what should be handed to `atomic_broadcast`.
+    pub fn wrap(&self, payload: &[u8]) -> Bytes {
+        let mut w = Writer::with_capacity(4 + 8 * self.delivered.len() + payload.len());
+        w.u32(self.delivered.len() as u32);
+        for c in &self.delivered {
+            w.u64(*c);
+        }
+        w.raw(payload);
+        w.freeze()
+    }
+
+    fn unwrap_clock(&self, payload: &Bytes) -> Result<(VectorClock, Bytes), WireError> {
+        let mut r = Reader::new(payload);
+        let len = r.u32("causal.clock.len")? as usize;
+        if len != self.delivered.len() {
+            return Err(WireError::FieldTooLong { what: "causal.clock", len });
+        }
+        let mut clock = Vec::with_capacity(len);
+        for _ in 0..len {
+            clock.push(r.u64("causal.clock.entry")?);
+        }
+        let body = payload.slice(payload.len() - r.remaining()..);
+        Ok((clock, body))
+    }
+
+    fn deliverable(&self, clock: &VectorClock) -> bool {
+        clock.iter().zip(self.delivered.iter()).all(|(c, d)| c <= d)
+    }
+
+    /// Feeds one a-delivery (in total order); returns the messages that
+    /// become causally deliverable, as `(id, unwrapped payload)` pairs in
+    /// release order. Messages with malformed clocks are dropped (they
+    /// can only come from corrupt senders).
+    pub fn push(&mut self, delivery: AbDelivery) -> Vec<(crate::ab::MsgId, Bytes)> {
+        match self.unwrap_clock(&delivery.payload) {
+            Ok((clock, body)) => {
+                self.held.push((
+                    AbDelivery { id: delivery.id, payload: body },
+                    clock,
+                ));
+            }
+            Err(_) => return Vec::new(),
+        }
+        let mut out = Vec::new();
+        loop {
+            let Some(pos) = self.held.iter().position(|(_, c)| self.deliverable(c)) else {
+                break;
+            };
+            let (d, _) = self.held.remove(pos);
+            self.delivered[d.id.sender] += 1;
+            out.push((d.id, d.payload));
+        }
+        out
+    }
+
+    /// This process's id.
+    pub fn id(&self) -> ProcessId {
+        self.me
+    }
+
+    /// The number of messages currently held back.
+    pub fn held(&self) -> usize {
+        self.held.len()
+    }
+
+    /// Drops every held message from `sender` (reclaiming memory from a
+    /// sender whose inflated clocks can never be satisfied). Returns how
+    /// many were dropped. Their slots still count as delivered so later
+    /// messages that causally depend on them do not wait forever.
+    pub fn evict_sender(&mut self, sender: ProcessId) -> usize {
+        let before = self.held.len();
+        let dropped = self
+            .held
+            .iter()
+            .filter(|(d, _)| d.id.sender == sender)
+            .count() as u64;
+        self.held.retain(|(d, _)| d.id.sender != sender);
+        if sender < self.delivered.len() {
+            self.delivered[sender] += dropped;
+        }
+        before - self.held.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ab::MsgId;
+
+    fn delivery(sender: ProcessId, rbid: u64, payload: Bytes) -> AbDelivery {
+        AbDelivery { id: MsgId { sender, rbid }, payload }
+    }
+
+    #[test]
+    fn independent_messages_flow_through() {
+        let mut co = CausalOrder::new(4, 0);
+        let a = CausalOrder::new(4, 1).wrap(b"a");
+        let b = CausalOrder::new(4, 2).wrap(b"b");
+        assert_eq!(co.push(delivery(1, 0, a)).len(), 1);
+        assert_eq!(co.push(delivery(2, 0, b)).len(), 1);
+        assert_eq!(co.held(), 0);
+    }
+
+    #[test]
+    fn reply_waits_for_its_cause() {
+        // p1 delivers p0's message, then replies; an observer that gets
+        // the reply first must hold it.
+        let mut p1 = CausalOrder::new(4, 1);
+        let m0 = CausalOrder::new(4, 0).wrap(b"cause");
+        let d0 = delivery(0, 0, m0);
+        assert_eq!(p1.push(d0.clone()).len(), 1);
+        let reply = p1.wrap(b"effect");
+        let d1 = delivery(1, 0, reply);
+
+        let mut observer = CausalOrder::new(4, 3);
+        assert!(observer.push(d1).is_empty());
+        assert_eq!(observer.held(), 1);
+        let released = observer.push(d0);
+        assert_eq!(released.len(), 2);
+        assert_eq!(released[0].1.as_ref(), b"cause");
+        assert_eq!(released[1].1.as_ref(), b"effect");
+    }
+
+    #[test]
+    fn transitive_chains_release_in_causal_order() {
+        // m0 → m1 → m2, delivered to the observer fully reversed.
+        let mut p0 = CausalOrder::new(4, 0);
+        let mut p1 = CausalOrder::new(4, 1);
+        let mut p2 = CausalOrder::new(4, 2);
+        let m0 = p0.wrap(b"m0");
+        let d0 = delivery(0, 0, m0);
+        p0.push(d0.clone());
+        p1.push(d0.clone());
+        p2.push(d0.clone());
+        let m1 = p1.wrap(b"m1");
+        let d1 = delivery(1, 0, m1);
+        p2.push(d1.clone());
+        let m2 = p2.wrap(b"m2");
+        let d2 = delivery(2, 0, m2);
+
+        let mut observer = CausalOrder::new(4, 3);
+        assert!(observer.push(d2).is_empty());
+        assert!(observer.push(d1).is_empty());
+        let released = observer.push(d0);
+        let texts: Vec<&[u8]> = released.iter().map(|(_, p)| p.as_ref()).collect();
+        assert_eq!(texts, vec![&b"m0"[..], b"m1", b"m2"]);
+    }
+
+    #[test]
+    fn malformed_clock_dropped() {
+        let mut co = CausalOrder::new(4, 0);
+        assert!(co.push(delivery(1, 0, Bytes::from_static(&[0xff, 0xff]))).is_empty());
+        assert_eq!(co.held(), 0);
+    }
+
+    #[test]
+    fn inflated_clock_strands_only_its_sender() {
+        let mut co = CausalOrder::new(4, 0);
+        // Sender 1 claims to have seen 100 messages from sender 2.
+        let mut forged_clock = Writer::new();
+        forged_clock.u32(4).u64(0).u64(0).u64(100).u64(0);
+        forged_clock.raw(b"stuck");
+        assert!(co.push(delivery(1, 0, forged_clock.freeze())).is_empty());
+        assert_eq!(co.held(), 1);
+        // Other traffic keeps flowing.
+        let ok = CausalOrder::new(4, 2).wrap(b"fine");
+        assert_eq!(co.push(delivery(2, 0, ok)).len(), 1);
+        // Eviction reclaims the stuck entry.
+        assert_eq!(co.evict_sender(1), 1);
+        assert_eq!(co.held(), 0);
+    }
+
+    #[test]
+    fn same_total_order_same_causal_order() {
+        // Determinism across observers.
+        let mut p0 = CausalOrder::new(4, 0);
+        let m0 = p0.wrap(b"x");
+        let d0 = delivery(0, 0, m0);
+        p0.push(d0.clone());
+        let m1 = p0.wrap(b"y");
+        let d1 = delivery(0, 1, m1);
+        let total_order = [d1, d0];
+        let run = |me: usize| {
+            let mut co = CausalOrder::new(4, me);
+            total_order
+                .iter()
+                .flat_map(|d| co.push(d.clone()))
+                .map(|(id, _)| id)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(2));
+        assert_eq!(run(1).len(), 2);
+    }
+}

@@ -1,0 +1,83 @@
+//! Wire-format trait for protocol messages.
+//!
+//! Every protocol message in the stack implements [`WireMessage`] and is
+//! encoded with the hardened reader/writer from `ritas-transport` — all
+//! inputs are assumed hostile (Byzantine peers can send arbitrary bytes).
+
+use bytes::Bytes;
+pub use ritas_transport::wire::{Reader, WireError, Writer};
+
+/// A message with a binary wire representation.
+pub trait WireMessage: Sized {
+    /// Appends the encoding of `self` to `w`.
+    fn encode(&self, w: &mut Writer);
+
+    /// Decodes a value from `r`, consuming exactly its encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on truncated, oversized or invalid input.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError>;
+
+    /// Encodes `self` into a fresh buffer.
+    fn to_bytes(&self) -> Bytes {
+        let mut w = Writer::new();
+        self.encode(&mut w);
+        w.freeze()
+    }
+
+    /// Decodes a value that must occupy the whole input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on any decode failure, including trailing
+    /// bytes after a structurally-valid prefix.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Pair(u32, Bytes);
+
+    impl WireMessage for Pair {
+        fn encode(&self, w: &mut Writer) {
+            w.u32(self.0).bytes(&self.1);
+        }
+
+        fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+            Ok(Pair(r.u32("pair.a")?, r.bytes("pair.b")?))
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let p = Pair(7, Bytes::from_static(b"xy"));
+        assert_eq!(Pair::from_bytes(&p.to_bytes()).unwrap(), p);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let p = Pair(7, Bytes::from_static(b"xy"));
+        let mut buf = p.to_bytes().to_vec();
+        buf.push(0xff);
+        assert!(matches!(
+            Pair::from_bytes(&buf),
+            Err(WireError::TrailingBytes { remaining: 1 })
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let p = Pair(7, Bytes::from_static(b"xy"));
+        let buf = p.to_bytes();
+        assert!(Pair::from_bytes(&buf[..buf.len() - 1]).is_err());
+    }
+}

@@ -1,0 +1,214 @@
+//! Group configuration and the quorum arithmetic of the paper.
+//!
+//! Every protocol in the stack is parameterized by the group size `n` and
+//! tolerates up to `f = ⌊(n-1)/3⌋` Byzantine processes — the optimal
+//! resilience bound (§2). The various thresholds that appear throughout
+//! the protocol descriptions (`n-f`, `f+1`, `2f+1`, `n-2f`,
+//! `⌊(n+f)/2⌋+1`) are centralized here so each protocol reads like its
+//! specification.
+
+use crate::ProcessId;
+
+/// Static description of the process group `P = {p_0 … p_{n-1}}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Group {
+    n: usize,
+    f: usize,
+}
+
+impl Group {
+    /// Creates a group of `n` processes with optimal resilience
+    /// `f = ⌊(n-1)/3⌋`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::GroupTooSmall`] for `n < 4`, the smallest
+    /// group that tolerates one Byzantine process (`n ≥ 3f + 1` with
+    /// `f ≥ 1`).
+    pub fn new(n: usize) -> Result<Self, ConfigError> {
+        if n < 4 {
+            return Err(ConfigError::GroupTooSmall { n });
+        }
+        Ok(Group { n, f: (n - 1) / 3 })
+    }
+
+    /// Creates a group with an explicit fault threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ResilienceViolated`] unless `n ≥ 3f + 1` and
+    /// `f ≥ 1`.
+    pub fn with_threshold(n: usize, f: usize) -> Result<Self, ConfigError> {
+        if f == 0 || n < 3 * f + 1 {
+            return Err(ConfigError::ResilienceViolated { n, f });
+        }
+        Ok(Group { n, f })
+    }
+
+    /// Number of processes `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Maximum number of corrupt processes `f = ⌊(n-1)/3⌋`.
+    pub fn f(&self) -> usize {
+        self.f
+    }
+
+    /// `n - f`: the number of messages a process can safely wait for
+    /// without risking blocking on corrupt processes.
+    pub fn quorum(&self) -> usize {
+        self.n - self.f
+    }
+
+    /// `f + 1`: at least one correct process among any such set.
+    pub fn one_correct(&self) -> usize {
+        self.f + 1
+    }
+
+    /// `2f + 1`: a majority of the correct processes; two such sets always
+    /// intersect in a correct process. Reliable broadcast delivers on this
+    /// many `READY`s, binary consensus decides on this many equal values.
+    pub fn byzantine_majority(&self) -> usize {
+        2 * self.f + 1
+    }
+
+    /// `n - 2f`: the number of *correct*-process messages guaranteed
+    /// inside any quorum of `n - f`. Multi-valued consensus requires this
+    /// many equal values to justify a proposal.
+    pub fn correct_in_quorum(&self) -> usize {
+        self.n - 2 * self.f
+    }
+
+    /// `⌊(n+f)/2⌋ + 1`: the `ECHO` threshold of Bracha's reliable
+    /// broadcast — any two sets of this size intersect in a correct
+    /// process, preventing two different `READY` values.
+    pub fn echo_threshold(&self) -> usize {
+        (self.n + self.f) / 2 + 1
+    }
+
+    /// Whether `p` is a member of the group.
+    pub fn contains(&self, p: ProcessId) -> bool {
+        p < self.n
+    }
+
+    /// Iterator over all process ids.
+    pub fn processes(&self) -> impl Iterator<Item = ProcessId> {
+        0..self.n
+    }
+}
+
+/// Errors creating a [`Group`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Fewer than 4 processes cannot tolerate any Byzantine fault.
+    GroupTooSmall {
+        /// The rejected group size.
+        n: usize,
+    },
+    /// The pair `(n, f)` violates `n ≥ 3f + 1` (or `f = 0`).
+    ResilienceViolated {
+        /// Group size.
+        n: usize,
+        /// Requested fault threshold.
+        f: usize,
+    },
+}
+
+impl core::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ConfigError::GroupTooSmall { n } => {
+                write!(f, "group of {n} processes cannot tolerate a Byzantine fault (need n >= 4)")
+            }
+            ConfigError::ResilienceViolated { n, f: t } => {
+                write!(f, "resilience bound violated: n = {n}, f = {t} (need n >= 3f+1, f >= 1)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimal_resilience_for_paper_testbed() {
+        // The paper's testbed: n = 4, f = 1.
+        let g = Group::new(4).unwrap();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.f(), 1);
+        assert_eq!(g.quorum(), 3);
+        assert_eq!(g.one_correct(), 2);
+        assert_eq!(g.byzantine_majority(), 3);
+        assert_eq!(g.correct_in_quorum(), 2);
+        assert_eq!(g.echo_threshold(), 3);
+    }
+
+    #[test]
+    fn thresholds_scale() {
+        let g = Group::new(10).unwrap();
+        assert_eq!(g.f(), 3);
+        assert_eq!(g.quorum(), 7);
+        assert_eq!(g.echo_threshold(), 7);
+        assert_eq!(g.byzantine_majority(), 7);
+        assert_eq!(g.correct_in_quorum(), 4);
+    }
+
+    #[test]
+    fn rejects_tiny_groups() {
+        for n in 0..4 {
+            assert_eq!(Group::new(n).unwrap_err(), ConfigError::GroupTooSmall { n });
+        }
+    }
+
+    #[test]
+    fn explicit_threshold_validated() {
+        assert!(Group::with_threshold(7, 2).is_ok());
+        assert_eq!(
+            Group::with_threshold(6, 2).unwrap_err(),
+            ConfigError::ResilienceViolated { n: 6, f: 2 }
+        );
+        assert_eq!(
+            Group::with_threshold(4, 0).unwrap_err(),
+            ConfigError::ResilienceViolated { n: 4, f: 0 }
+        );
+    }
+
+    #[test]
+    fn quorum_intersection_properties() {
+        // Sanity-check the quorum algebra for a range of group sizes: two
+        // byzantine-majorities intersect in >= f+1 processes; two echo
+        // quorums intersect in a correct process.
+        for n in 4..40 {
+            let g = Group::new(n).unwrap();
+            let (n, f) = (g.n(), g.f());
+            // Two echo quorums intersect in >= f+1 processes, hence in a
+            // correct one: no two different READY payloads can both win.
+            assert!(2 * g.echo_threshold() - n > f, "n={n}");
+            // Two n-f quorums intersect in >= f+1 processes.
+            assert!(2 * g.quorum() - n > f, "n={n}");
+            // A process can always wait for a quorum without blocking, and
+            // a quorum is enough to contain a byzantine majority.
+            assert!(g.quorum() >= g.byzantine_majority());
+            // Every quorum contains at least n-2f >= f+1 correct processes.
+            assert!(g.correct_in_quorum() > f);
+        }
+    }
+
+    #[test]
+    fn contains_and_iter() {
+        let g = Group::new(4).unwrap();
+        assert!(g.contains(3));
+        assert!(!g.contains(4));
+        assert_eq!(g.processes().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(!ConfigError::GroupTooSmall { n: 2 }.to_string().is_empty());
+        assert!(!ConfigError::ResilienceViolated { n: 5, f: 2 }.to_string().is_empty());
+    }
+}

@@ -1,0 +1,577 @@
+//! Echo broadcast — the *matrix echo broadcast* (paper §2.3).
+//!
+//! A weaker, cheaper alternative to reliable broadcast based on Reiter's
+//! echo multicast, with digital signatures replaced by vectors of
+//! keyed hashes. If the sender is corrupt, not every correct process is
+//! guaranteed to deliver — but every correct process that *does* deliver,
+//! delivers the same message.
+//!
+//! Flow (three communication steps):
+//!
+//! 1. the sender broadcasts `(INIT, m)`;
+//! 2. each process `p_i` builds the hash vector `V_i[j] = H(m ‖ s_ij)` and
+//!    unicasts `(VECT, V_i)` back to the sender;
+//! 3. the sender collects `n - f` vectors into a matrix `M` (row `j` is
+//!    `V_j`) and unicasts to each `p_j` the column `j` of `M` as
+//!    `(MAT, V'_j)`; `p_j` verifies the hashes it can check (entry `i`
+//!    with `s_ij`) and delivers `m` if at least `f + 1` are correct.
+//!
+//! The `f + 1` threshold means at least one *correct* process computed its
+//! row over the same `m`, pinning corrupt senders to a single message
+//! among delivering processes.
+
+use crate::codec::{Reader, WireError, WireMessage, Writer};
+use crate::config::Group;
+use crate::error::ProtocolError;
+use crate::step::{FaultKind, Step};
+use crate::ProcessId;
+use bytes::Bytes;
+use ritas_crypto::mac::{self, MacTag, TAG_LEN};
+use ritas_crypto::{Digest, ProcessKeys, Sha256};
+
+/// Upper bound on vector entries accepted by the decoder (defense against
+/// allocation attacks; far above any plausible group size).
+const MAX_VECTOR_LEN: usize = 4096;
+
+/// Messages of the matrix echo broadcast.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EbMessage {
+    /// The sender's initial transmission of `m`.
+    Init(Bytes),
+    /// A receiver's hash vector `V_i`, unicast to the sender.
+    Vect(Vec<MacTag>),
+    /// One matrix column, unicast by the sender to its receiver; `None`
+    /// marks rows of processes whose `VECT` was not collected.
+    Mat(Vec<Option<MacTag>>),
+}
+
+const TAG_INIT: u8 = 1;
+const TAG_VECT: u8 = 2;
+const TAG_MAT: u8 = 3;
+
+fn encode_tag_vec(w: &mut Writer, v: &[MacTag]) {
+    w.u32(v.len() as u32);
+    for t in v {
+        w.raw(t.as_bytes());
+    }
+}
+
+fn decode_tag_vec(r: &mut Reader<'_>) -> Result<Vec<MacTag>, WireError> {
+    let len = r.u32("eb.vect.len")? as usize;
+    if len > MAX_VECTOR_LEN {
+        return Err(WireError::FieldTooLong { what: "eb.vect", len });
+    }
+    (0..len)
+        .map(|_| Ok(MacTag::from_bytes(r.array::<TAG_LEN>("eb.vect.tag")?)))
+        .collect()
+}
+
+impl WireMessage for EbMessage {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            EbMessage::Init(m) => {
+                w.u8(TAG_INIT).bytes(m);
+            }
+            EbMessage::Vect(v) => {
+                w.u8(TAG_VECT);
+                encode_tag_vec(w, v);
+            }
+            EbMessage::Mat(col) => {
+                w.u8(TAG_MAT).u32(col.len() as u32);
+                for entry in col {
+                    match entry {
+                        Some(t) => {
+                            w.u8(1).raw(t.as_bytes());
+                        }
+                        None => {
+                            w.u8(0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8("eb.tag")? {
+            TAG_INIT => Ok(EbMessage::Init(r.bytes("eb.payload")?)),
+            TAG_VECT => Ok(EbMessage::Vect(decode_tag_vec(r)?)),
+            TAG_MAT => {
+                let len = r.u32("eb.mat.len")? as usize;
+                if len > MAX_VECTOR_LEN {
+                    return Err(WireError::FieldTooLong { what: "eb.mat", len });
+                }
+                let mut col = Vec::with_capacity(len);
+                for _ in 0..len {
+                    col.push(match r.u8("eb.mat.present")? {
+                        0 => None,
+                        1 => Some(MacTag::from_bytes(r.array::<TAG_LEN>("eb.mat.tag")?)),
+                        t => return Err(WireError::InvalidTag { what: "eb.mat.present", tag: t }),
+                    });
+                }
+                Ok(EbMessage::Mat(col))
+            }
+            t => Err(WireError::InvalidTag { what: "eb.tag", tag: t }),
+        }
+    }
+}
+
+/// Step type of an echo broadcast instance.
+pub type EbStep = Step<EbMessage, Bytes>;
+
+/// State of one matrix echo broadcast instance (one message, one
+/// designated sender), as seen by process `me`.
+///
+/// The sender's own instance plays both roles: it loops its `INIT` back to
+/// itself, contributes its own row, sends itself a column and delivers
+/// like any receiver.
+#[derive(Debug, Clone)]
+pub struct EchoBroadcast {
+    group: Group,
+    me: ProcessId,
+    sender: ProcessId,
+    keys: ProcessKeys,
+    sent_init: bool,
+    sent_vect: bool,
+    sent_mat: bool,
+    delivered: bool,
+    /// Digest of the `INIT` payload seen so far (equivocation detection).
+    init_digest: Option<[u8; 32]>,
+    /// The payload, once known.
+    payload: Option<Bytes>,
+    /// Sender role: collected rows of the matrix.
+    rows: Vec<Option<Vec<MacTag>>>,
+    /// Receiver role: a column that arrived before `INIT` (buffered).
+    pending_column: Option<Vec<Option<MacTag>>>,
+}
+
+impl EchoBroadcast {
+    /// Creates the instance for a broadcast by `sender`, as seen by `me`.
+    ///
+    /// `keys` must be `me`'s view of the pairwise key table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ids are out of group or `keys` is for a different process
+    /// or group size.
+    pub fn new(group: Group, me: ProcessId, sender: ProcessId, keys: ProcessKeys) -> Self {
+        assert!(group.contains(me), "me out of group");
+        assert!(group.contains(sender), "sender out of group");
+        assert_eq!(keys.me(), me, "key table view belongs to another process");
+        assert_eq!(keys.len(), group.n(), "key table size mismatch");
+        EchoBroadcast {
+            group,
+            me,
+            sender,
+            keys,
+            sent_init: false,
+            sent_vect: false,
+            sent_mat: false,
+            delivered: false,
+            init_digest: None,
+            payload: None,
+            rows: vec![None; group.n()],
+            pending_column: None,
+        }
+    }
+
+    /// The designated sender of this instance.
+    pub fn sender(&self) -> ProcessId {
+        self.sender
+    }
+
+    /// Whether this instance has delivered.
+    pub fn is_delivered(&self) -> bool {
+        self.delivered
+    }
+
+    /// Starts the broadcast (sender only).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::NotSender`] when `me` is not the sender,
+    /// [`ProtocolError::AlreadyStarted`] on a second call.
+    pub fn broadcast(&mut self, payload: Bytes) -> Result<EbStep, ProtocolError> {
+        if self.me != self.sender {
+            return Err(ProtocolError::NotSender {
+                me: self.me,
+                sender: self.sender,
+            });
+        }
+        if self.sent_init {
+            return Err(ProtocolError::AlreadyStarted);
+        }
+        self.sent_init = true;
+        Ok(Step::broadcast(EbMessage::Init(payload)))
+    }
+
+    /// Handles a protocol message from `from`.
+    pub fn handle_message(&mut self, from: ProcessId, message: EbMessage) -> EbStep {
+        if !self.group.contains(from) {
+            return Step::fault(from, FaultKind::NotEntitled);
+        }
+        match message {
+            EbMessage::Init(m) => self.on_init(from, m),
+            EbMessage::Vect(v) => self.on_vect(from, v),
+            EbMessage::Mat(col) => self.on_mat(from, col),
+        }
+    }
+
+    fn on_init(&mut self, from: ProcessId, m: Bytes) -> EbStep {
+        if from != self.sender {
+            return Step::fault(from, FaultKind::NotEntitled);
+        }
+        let d = Sha256::digest(&m);
+        match self.init_digest {
+            Some(prev) if prev != d => return Step::fault(from, FaultKind::Equivocation),
+            Some(_) => return Step::none(),
+            None => self.init_digest = Some(d),
+        }
+        self.payload = Some(m.clone());
+        let mut step = Step::none();
+        if !self.sent_vect {
+            self.sent_vect = true;
+            let v = mac::hash_vector(&m, &self.keys);
+            step.push_unicast(self.sender, EbMessage::Vect(v));
+        }
+        // A column may have been waiting for the payload.
+        if let Some(col) = self.pending_column.take() {
+            step.extend(self.try_deliver(&col));
+        }
+        step
+    }
+
+    fn on_vect(&mut self, from: ProcessId, v: Vec<MacTag>) -> EbStep {
+        if self.me != self.sender {
+            // Receivers never get VECTs; treat as misbehaviour.
+            return Step::fault(from, FaultKind::NotEntitled);
+        }
+        if v.len() != self.group.n() {
+            return Step::fault(from, FaultKind::Malformed);
+        }
+        if self.rows[from].is_some() {
+            return Step::none(); // duplicate row
+        }
+        self.rows[from] = Some(v);
+        if self.sent_mat {
+            return Step::none();
+        }
+        let collected = self.rows.iter().filter(|r| r.is_some()).count();
+        if collected < self.group.quorum() {
+            return Step::none();
+        }
+        // Enough rows: emit column j to every process j.
+        self.sent_mat = true;
+        let mut step = Step::none();
+        for j in self.group.processes() {
+            let column: Vec<Option<MacTag>> = self
+                .rows
+                .iter()
+                .map(|row| row.as_ref().map(|r| r[j]))
+                .collect();
+            step.push_unicast(j, EbMessage::Mat(column));
+        }
+        step
+    }
+
+    fn on_mat(&mut self, from: ProcessId, col: Vec<Option<MacTag>>) -> EbStep {
+        if from != self.sender {
+            return Step::fault(from, FaultKind::NotEntitled);
+        }
+        if col.len() != self.group.n() {
+            return Step::fault(from, FaultKind::Malformed);
+        }
+        if self.delivered {
+            return Step::none();
+        }
+        if self.payload.is_some() {
+            self.try_deliver(&col)
+        } else {
+            // INIT not here yet (asynchrony): hold the column.
+            self.pending_column = Some(col);
+            Step::none()
+        }
+    }
+
+    fn try_deliver(&mut self, col: &[Option<MacTag>]) -> EbStep {
+        let payload = self.payload.as_ref().expect("payload known").clone();
+        let valid = mac::count_valid_column_entries(&payload, &self.keys, col);
+        if valid >= self.group.one_correct() {
+            self.delivered = true;
+            Step::output(payload)
+        } else {
+            Step::fault(self.sender, FaultKind::BadAuthenticator)
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // indexing by process id is idiomatic here
+mod tests {
+    use super::*;
+    use crate::step::Target;
+    use ritas_crypto::KeyTable;
+
+    fn setup(n: usize, sender: ProcessId) -> Vec<EchoBroadcast> {
+        let g = Group::new(n).unwrap();
+        let table = KeyTable::dealer(n, 42);
+        (0..n)
+            .map(|me| EchoBroadcast::new(g, me, sender, table.view_of(me)))
+            .collect()
+    }
+
+    fn payload(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    /// Runs messages to quiescence; returns per-process deliveries.
+    fn run(
+        insts: &mut [EchoBroadcast],
+        from: ProcessId,
+        initial: EbStep,
+        skip: &[ProcessId],
+    ) -> Vec<Option<Bytes>> {
+        let n = insts.len();
+        let mut delivered = vec![None; n];
+        let mut queue: Vec<(ProcessId, ProcessId, EbMessage)> = Vec::new();
+        let enqueue = |queue: &mut Vec<_>, from: ProcessId, step: EbStep, delivered: &mut Vec<Option<Bytes>>| {
+            for out in step.messages {
+                match out.target {
+                    Target::All => {
+                        for to in 0..n {
+                            queue.push((from, to, out.message.clone()));
+                        }
+                    }
+                    Target::One(to) => queue.push((from, to, out.message.clone())),
+                }
+            }
+            for o in step.outputs {
+                delivered[from] = Some(o);
+            }
+        };
+        enqueue(&mut queue, from, initial, &mut delivered);
+        while let Some((src, dst, msg)) = queue.pop() {
+            if skip.contains(&dst) {
+                continue;
+            }
+            let step = insts[dst].handle_message(src, msg);
+            enqueue(&mut queue, dst, step, &mut delivered);
+        }
+        delivered
+    }
+
+    #[test]
+    fn codec_roundtrip_all_variants() {
+        let tags = vec![MacTag([1u8; TAG_LEN]), MacTag([2u8; TAG_LEN])];
+        for msg in [
+            EbMessage::Init(payload("m")),
+            EbMessage::Vect(tags.clone()),
+            EbMessage::Mat(vec![Some(tags[0]), None, Some(tags[1])]),
+        ] {
+            assert_eq!(EbMessage::from_bytes(&msg.to_bytes()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn codec_rejects_huge_vector() {
+        let mut w = Writer::new();
+        w.u8(TAG_VECT).u32((MAX_VECTOR_LEN + 1) as u32);
+        assert!(matches!(
+            EbMessage::from_bytes(&w.freeze()),
+            Err(WireError::FieldTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn codec_rejects_bad_present_flag() {
+        let mut w = Writer::new();
+        w.u8(TAG_MAT).u32(1).u8(7);
+        assert!(matches!(
+            EbMessage::from_bytes(&w.freeze()),
+            Err(WireError::InvalidTag { .. })
+        ));
+    }
+
+    #[test]
+    fn all_processes_deliver_with_correct_sender() {
+        let mut insts = setup(4, 0);
+        let init = insts[0].broadcast(payload("m")).unwrap();
+        let delivered = run(&mut insts, 0, init, &[]);
+        for (i, d) in delivered.iter().enumerate() {
+            assert_eq!(d.as_ref(), Some(&payload("m")), "process {i}");
+        }
+    }
+
+    #[test]
+    fn sender_delivers_its_own_message() {
+        let mut insts = setup(4, 2);
+        let init = insts[2].broadcast(payload("own")).unwrap();
+        let delivered = run(&mut insts, 2, init, &[]);
+        assert_eq!(delivered[2].as_ref(), Some(&payload("own")));
+    }
+
+    #[test]
+    fn delivery_with_one_unresponsive_receiver() {
+        // Process 3 never answers: the sender still gathers n-f = 3 rows.
+        let mut insts = setup(4, 0);
+        let init = insts[0].broadcast(payload("m")).unwrap();
+        let delivered = run(&mut insts, 0, init, &[3]);
+        for i in 0..3 {
+            assert_eq!(delivered[i].as_ref(), Some(&payload("m")), "process {i}");
+        }
+        assert!(delivered[3].is_none());
+    }
+
+    #[test]
+    fn column_with_too_few_valid_hashes_is_rejected() {
+        let g = Group::new(4).unwrap();
+        let table = KeyTable::dealer(4, 1);
+        let mut rx = EchoBroadcast::new(g, 1, 0, table.view_of(1));
+        let _ = rx.handle_message(0, EbMessage::Init(payload("m")));
+        // A column of garbage tags: 0 valid < f+1 = 2.
+        let col = vec![Some(MacTag([9u8; TAG_LEN])); 4];
+        let step = rx.handle_message(0, EbMessage::Mat(col));
+        assert!(step.outputs.is_empty());
+        assert_eq!(step.faults[0].kind, FaultKind::BadAuthenticator);
+        assert!(!rx.is_delivered());
+    }
+
+    #[test]
+    fn column_with_exactly_f_plus_1_valid_hashes_delivers() {
+        let g = Group::new(4).unwrap();
+        let table = KeyTable::dealer(4, 1);
+        let mut rx = EchoBroadcast::new(g, 1, 0, table.view_of(1));
+        let _ = rx.handle_message(0, EbMessage::Init(payload("m")));
+        // Rows 0 and 2 computed honestly (tags H(m ‖ s_{i,1})), rest bad.
+        let honest = |i: usize| mac::authenticate(b"m", &table.view_of(i).key_for(1));
+        let col = vec![Some(honest(0)), None, Some(honest(2)), Some(MacTag([0u8; TAG_LEN]))];
+        let step = rx.handle_message(0, EbMessage::Mat(col));
+        assert_eq!(step.outputs, vec![payload("m")]);
+    }
+
+    #[test]
+    fn mat_before_init_is_buffered() {
+        let g = Group::new(4).unwrap();
+        let table = KeyTable::dealer(4, 1);
+        let mut rx = EchoBroadcast::new(g, 1, 0, table.view_of(1));
+        let honest = |i: usize| mac::authenticate(b"m", &table.view_of(i).key_for(1));
+        // Column entries are indexed by ROW process.
+        let col = vec![Some(honest(0)), None, Some(honest(2)), Some(honest(3))];
+        let s1 = rx.handle_message(0, EbMessage::Mat(col));
+        assert!(s1.outputs.is_empty());
+        let s2 = rx.handle_message(0, EbMessage::Init(payload("m")));
+        assert_eq!(s2.outputs, vec![payload("m")]);
+    }
+
+    #[test]
+    fn init_equivocation_faulted() {
+        let g = Group::new(4).unwrap();
+        let table = KeyTable::dealer(4, 1);
+        let mut rx = EchoBroadcast::new(g, 1, 0, table.view_of(1));
+        let _ = rx.handle_message(0, EbMessage::Init(payload("a")));
+        let step = rx.handle_message(0, EbMessage::Init(payload("b")));
+        assert_eq!(step.faults[0].kind, FaultKind::Equivocation);
+    }
+
+    #[test]
+    fn vect_to_non_sender_faulted() {
+        let g = Group::new(4).unwrap();
+        let table = KeyTable::dealer(4, 1);
+        let mut rx = EchoBroadcast::new(g, 1, 0, table.view_of(1));
+        let step = rx.handle_message(2, EbMessage::Vect(vec![MacTag([0; TAG_LEN]); 4]));
+        assert_eq!(step.faults[0].kind, FaultKind::NotEntitled);
+    }
+
+    #[test]
+    fn wrong_length_vect_faulted() {
+        let g = Group::new(4).unwrap();
+        let table = KeyTable::dealer(4, 1);
+        let mut sender = EchoBroadcast::new(g, 0, 0, table.view_of(0));
+        let step = sender.handle_message(2, EbMessage::Vect(vec![MacTag([0; TAG_LEN]); 3]));
+        assert_eq!(step.faults[0].kind, FaultKind::Malformed);
+    }
+
+    #[test]
+    fn duplicate_vect_rows_ignored() {
+        let g = Group::new(4).unwrap();
+        let table = KeyTable::dealer(4, 1);
+        let mut sender = EchoBroadcast::new(g, 0, 0, table.view_of(0));
+        let _ = sender.broadcast(payload("m")).unwrap();
+        let v = vec![MacTag([1; TAG_LEN]); 4];
+        let s1 = sender.handle_message(1, EbMessage::Vect(v.clone()));
+        assert!(s1.is_empty());
+        let s2 = sender.handle_message(1, EbMessage::Vect(v.clone()));
+        assert!(s2.is_empty());
+        // Still needs a third distinct row before emitting the matrix.
+        let s3 = sender.handle_message(2, EbMessage::Vect(v.clone()));
+        assert!(s3.is_empty());
+        let s4 = sender.handle_message(3, EbMessage::Vect(v));
+        assert_eq!(s4.messages.len(), 4); // one column per process
+    }
+
+    #[test]
+    fn mat_from_non_sender_faulted() {
+        let g = Group::new(4).unwrap();
+        let table = KeyTable::dealer(4, 1);
+        let mut rx = EchoBroadcast::new(g, 1, 0, table.view_of(1));
+        let step = rx.handle_message(2, EbMessage::Mat(vec![None; 4]));
+        assert_eq!(step.faults[0].kind, FaultKind::NotEntitled);
+    }
+
+    #[test]
+    fn equivocating_sender_cannot_split_deliveries() {
+        // A corrupt sender (process 0) sends INIT "m1" to p1 and p2 but
+        // INIT "m2" to p3, then builds the best matrices it can for each
+        // side. p1/p2 can deliver m1 (two correct rows hashed m1), but p3
+        // can never collect f+1 = 2 valid hashes over m2: only the
+        // sender's own row can vouch for it. The echo broadcast property
+        // — correct deliverers deliver the same message — holds.
+        let g = Group::new(4).unwrap();
+        let table = KeyTable::dealer(4, 13);
+        let rx = |me: usize| EchoBroadcast::new(g, me, 0, table.view_of(me));
+        let mut p1 = rx(1);
+        let mut p2 = rx(2);
+        let mut p3 = rx(3);
+
+        let m1 = payload("m1");
+        let m2 = payload("m2");
+        // Equivocating INITs.
+        let s1 = p1.handle_message(0, EbMessage::Init(m1.clone()));
+        let s2 = p2.handle_message(0, EbMessage::Init(m1.clone()));
+        let _s3 = p3.handle_message(0, EbMessage::Init(m2.clone()));
+        // Extract the honest VECT rows p1/p2 produced over m1 (sent to
+        // the sender, i.e. the adversary).
+        let row = |s: &EbStep| match &s.messages[0].message {
+            EbMessage::Vect(v) => v.clone(),
+            other => panic!("expected VECT, got {other:?}"),
+        };
+        let row1 = row(&s1);
+        let row2 = row(&s2);
+        // The adversary's own rows for both messages.
+        let row0_m1 = mac::hash_vector(&m1, &table.view_of(0));
+        let row0_m2 = mac::hash_vector(&m2, &table.view_of(0));
+
+        // Best column it can offer p1: rows {0, 1, 2} over m1 → delivers.
+        let col_p1 = vec![Some(row0_m1[1]), Some(row1[1]), Some(row2[1]), None];
+        let d1 = p1.handle_message(0, EbMessage::Mat(col_p1));
+        assert_eq!(d1.outputs, vec![m1.clone()]);
+
+        // Best column it can offer p3 for m2: only its own row is valid;
+        // it pads with the m1 rows, which cannot verify against m2.
+        let col_p3 = vec![Some(row0_m2[3]), Some(row1[3]), Some(row2[3]), None];
+        let d3 = p3.handle_message(0, EbMessage::Mat(col_p3));
+        assert!(d3.outputs.is_empty(), "p3 must not deliver the equivocated m2");
+        assert_eq!(d3.faults[0].kind, FaultKind::BadAuthenticator);
+        assert!(!p3.is_delivered());
+    }
+
+    #[test]
+    fn larger_group_delivers() {
+        let mut insts = setup(7, 4);
+        let init = insts[4].broadcast(payload("seven")).unwrap();
+        let delivered = run(&mut insts, 4, init, &[]);
+        for (i, d) in delivered.iter().enumerate() {
+            assert_eq!(d.as_ref(), Some(&payload("seven")), "process {i}");
+        }
+    }
+}

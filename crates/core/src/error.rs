@@ -1,0 +1,67 @@
+//! Error types for the protocol stack.
+
+use crate::ProcessId;
+pub use ritas_transport::wire::WireError;
+
+/// Errors returned by protocol API calls (local misuse, never triggered by
+/// remote input — hostile remote input is reported as faults on a
+/// [`crate::step::Step`] instead).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A broadcast was attempted by a process that is not the designated
+    /// sender of the instance.
+    NotSender {
+        /// The caller.
+        me: ProcessId,
+        /// The instance's designated sender.
+        sender: ProcessId,
+    },
+    /// The instance's one-shot action (broadcast / propose) was invoked
+    /// twice.
+    AlreadyStarted,
+    /// A proposal value was invalid for the protocol (e.g. empty vector).
+    InvalidProposal {
+        /// Reason, for diagnostics.
+        reason: &'static str,
+    },
+    /// A process id was outside the group.
+    UnknownProcess(ProcessId),
+    /// The instance has already terminated.
+    Terminated,
+}
+
+impl core::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ProtocolError::NotSender { me, sender } => {
+                write!(f, "process {me} is not the designated sender {sender}")
+            }
+            ProtocolError::AlreadyStarted => write!(f, "instance already started"),
+            ProtocolError::InvalidProposal { reason } => {
+                write!(f, "invalid proposal: {reason}")
+            }
+            ProtocolError::UnknownProcess(p) => write!(f, "unknown process {p}"),
+            ProtocolError::Terminated => write!(f, "instance already terminated"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            ProtocolError::NotSender { me: 0, sender: 1 },
+            ProtocolError::AlreadyStarted,
+            ProtocolError::InvalidProposal { reason: "x" },
+            ProtocolError::UnknownProcess(9),
+            ProtocolError::Terminated,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! FIFO-order adapter for atomic broadcast.
+//!
+//! Atomic broadcast guarantees a *total* order, but not that a sender's
+//! messages appear in the order it broadcast them: a later message can be
+//! ordered in an earlier agreement batch if its reliable broadcast
+//! completed first. Since identifiers are `(sender, rbid)` with
+//! sender-local sequential `rbid`s (§2.7), FIFO order is recoverable with
+//! a deterministic holdback queue: release a delivery only when all of
+//! its sender's earlier `rbid`s have been released.
+//!
+//! Every correct process applies the same transformation to the same
+//! total order, so the FIFO-adapted sequence is itself identical
+//! everywhere — the adapter upgrades "total order" to "FIFO total order"
+//! with no extra communication.
+//!
+//! Holdback is bounded per *correct* sender (gaps fill as agreements
+//! complete). A Byzantine sender that deliberately skips an `rbid`
+//! strands its own later messages in the holdback queue — it can censor
+//! only itself; use [`FifoOrder::held`] to monitor and
+//! [`FifoOrder::evict_sender`] to reclaim the memory.
+
+use crate::ab::AbDelivery;
+use crate::ProcessId;
+use std::collections::BTreeMap;
+
+/// Deterministic FIFO holdback queue over a-deliveries.
+///
+/// # Example
+///
+/// ```
+/// use ritas::ab::{AbDelivery, MsgId};
+/// use ritas::fifo::FifoOrder;
+/// use bytes::Bytes;
+///
+/// let mut fifo = FifoOrder::new(4);
+/// let d = |rbid| AbDelivery {
+///     id: MsgId { sender: 2, rbid },
+///     payload: Bytes::new(),
+/// };
+/// // rbid 1 arrives before rbid 0: held back…
+/// assert!(fifo.push(d(1)).is_empty());
+/// // …until 0 arrives, releasing both in sender order.
+/// let released = fifo.push(d(0));
+/// assert_eq!(released.iter().map(|d| d.id.rbid).collect::<Vec<_>>(), vec![0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FifoOrder {
+    /// Next expected rbid per sender.
+    next: Vec<u64>,
+    /// Out-of-order deliveries per sender.
+    held: Vec<BTreeMap<u64, AbDelivery>>,
+}
+
+impl FifoOrder {
+    /// Creates the adapter for `n` senders.
+    pub fn new(n: usize) -> Self {
+        FifoOrder {
+            next: vec![0; n],
+            held: vec![BTreeMap::new(); n],
+        }
+    }
+
+    /// Feeds one a-delivery (in total order); returns the deliveries that
+    /// become releasable, in FIFO order. Duplicates and out-of-range
+    /// senders are dropped.
+    pub fn push(&mut self, delivery: AbDelivery) -> Vec<AbDelivery> {
+        let sender = delivery.id.sender;
+        if sender >= self.next.len() {
+            return Vec::new();
+        }
+        if delivery.id.rbid < self.next[sender] {
+            return Vec::new(); // duplicate of something already released
+        }
+        self.held[sender].insert(delivery.id.rbid, delivery);
+        let mut out = Vec::new();
+        while let Some(d) = self.held[sender].remove(&self.next[sender]) {
+            self.next[sender] += 1;
+            out.push(d);
+        }
+        out
+    }
+
+    /// Number of deliveries currently held back for `sender`.
+    pub fn held(&self, sender: ProcessId) -> usize {
+        self.held.get(sender).map(BTreeMap::len).unwrap_or(0)
+    }
+
+    /// Drops everything held for `sender` and stops expecting its gap to
+    /// fill (administrative eviction of a sender that skipped an rbid).
+    /// Returns the dropped deliveries.
+    pub fn evict_sender(&mut self, sender: ProcessId) -> Vec<AbDelivery> {
+        let Some(held) = self.held.get_mut(sender) else {
+            return Vec::new();
+        };
+        let dropped: Vec<AbDelivery> = std::mem::take(held).into_values().collect();
+        if let Some(d) = dropped.last() {
+            self.next[sender] = d.id.rbid + 1;
+        }
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ab::MsgId;
+    use bytes::Bytes;
+
+    fn d(sender: ProcessId, rbid: u64) -> AbDelivery {
+        AbDelivery {
+            id: MsgId { sender, rbid },
+            payload: Bytes::from(format!("{sender}:{rbid}")),
+        }
+    }
+
+    fn rbids(v: &[AbDelivery]) -> Vec<(usize, u64)> {
+        v.iter().map(|d| (d.id.sender, d.id.rbid)).collect()
+    }
+
+    #[test]
+    fn in_order_passes_through() {
+        let mut f = FifoOrder::new(2);
+        assert_eq!(rbids(&f.push(d(0, 0))), vec![(0, 0)]);
+        assert_eq!(rbids(&f.push(d(0, 1))), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn out_of_order_held_and_released_in_order() {
+        let mut f = FifoOrder::new(2);
+        assert!(f.push(d(0, 2)).is_empty());
+        assert!(f.push(d(0, 1)).is_empty());
+        assert_eq!(f.held(0), 2);
+        assert_eq!(rbids(&f.push(d(0, 0))), vec![(0, 0), (0, 1), (0, 2)]);
+        assert_eq!(f.held(0), 0);
+    }
+
+    #[test]
+    fn senders_are_independent() {
+        let mut f = FifoOrder::new(3);
+        assert!(f.push(d(1, 1)).is_empty());
+        assert_eq!(rbids(&f.push(d(2, 0))), vec![(2, 0)]);
+        assert_eq!(rbids(&f.push(d(1, 0))), vec![(1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn duplicates_dropped() {
+        let mut f = FifoOrder::new(1);
+        assert_eq!(f.push(d(0, 0)).len(), 1);
+        assert!(f.push(d(0, 0)).is_empty());
+    }
+
+    #[test]
+    fn out_of_range_sender_dropped() {
+        let mut f = FifoOrder::new(2);
+        assert!(f.push(d(7, 0)).is_empty());
+    }
+
+    #[test]
+    fn eviction_unsticks_a_gapped_sender() {
+        let mut f = FifoOrder::new(2);
+        assert!(f.push(d(0, 5)).is_empty());
+        assert!(f.push(d(0, 6)).is_empty());
+        let dropped = f.evict_sender(0);
+        assert_eq!(dropped.len(), 2);
+        // The sender resumes after the evicted range.
+        assert_eq!(rbids(&f.push(d(0, 7))), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn same_total_order_yields_same_fifo_order() {
+        // Determinism: two adapters fed the same sequence emit the same
+        // sequence.
+        let seq = [d(0, 1), d(1, 0), d(0, 0), d(1, 2), d(1, 1), d(0, 2)];
+        let run = || {
+            let mut f = FifoOrder::new(2);
+            seq.iter()
+                .flat_map(|x| f.push(x.clone()))
+                .map(|x| x.id)
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert_eq!(a.len(), 6);
+        // Per-sender rbids ascend.
+        for s in 0..2 {
+            let per: Vec<u64> = a.iter().filter(|i| i.sender == s).map(|i| i.rbid).collect();
+            assert!(per.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

@@ -1,0 +1,986 @@
+//! Multi-valued consensus (paper §2.5, after Correia et al.).
+//!
+//! Lifts binary consensus to values of arbitrary length: every process
+//! proposes some `v ∈ 𝒱`; the decision is one of the proposed values or
+//! the default value ⊥. The implementation follows the RITAS-optimized
+//! variant: the `VECT` messages travel by *echo broadcast* instead of
+//! reliable broadcast (cheaper; configurable back to reliable broadcast
+//! via [`VectTransport`] for the ablation bench), and vector validation is
+//! the simplified membership check described in the paper.
+//!
+//! Protocol outline:
+//!
+//! 1. reliably broadcast `(INIT, v_i)`; wait for `n − f` `INIT`s, storing
+//!    the received values in the vector `V_i`;
+//! 2. if some value `v` occurs `≥ n − 2f` times in `V_i`, echo-broadcast
+//!    `(VECT, v, V_i)` — `V_i` *justifies* `v`; otherwise echo-broadcast
+//!    `(VECT, ⊥)`;
+//! 3. wait for `n − f` **valid** `VECT`s. A `VECT` from `p_j` is valid if
+//!    `v_j = ⊥`, or if `≥ n − 2f` indices `k` satisfy
+//!    `V_i[k] = V_j[k] = v_j` (checked against *my own* received `INIT`s,
+//!    which keep arriving and can validate a parked `VECT` later);
+//! 4. propose `1` to binary consensus iff no two valid `VECT`s carry
+//!    different non-⊥ values **and** `≥ n − 2f` valid `VECT`s carry the
+//!    same value; otherwise propose `0`;
+//! 5. binary consensus `0` → decide ⊥; `1` → wait for `≥ n − 2f` valid
+//!    `VECT`s with the same value `v` and decide `v`.
+//!
+//! The Byzantine faultload of the paper's evaluation (§4.2) — a process
+//! that "always proposes the default value in both INIT and VECT
+//! messages" and proposes `0` at the binary consensus layer — is available
+//! as [`MultiValuedConsensus::propose_byzantine_bottom`], so the
+//! evaluation harness attacks through the real code path.
+
+use crate::bc::{BcMessage, BinaryConsensus, StepTransport};
+use crate::codec::{Reader, WireError, WireMessage, Writer};
+use crate::config::Group;
+use crate::eb::{EbMessage, EchoBroadcast};
+use crate::error::ProtocolError;
+use crate::rb::{RbMessage, ReliableBroadcast};
+use crate::step::{FaultKind, Step};
+use crate::ProcessId;
+use bytes::Bytes;
+use ritas_crypto::{Coin, ProcessKeys};
+
+/// Transport used for the `VECT` messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VectTransport {
+    /// Matrix echo broadcast — the paper's optimization (default).
+    #[default]
+    Echo,
+    /// Reliable broadcast — the original Correia et al. protocol; costs
+    /// one more communication step but gives `VECT`s full totality.
+    Reliable,
+}
+
+/// A proposal value: `Some(bytes)`, or `None` for the default value ⊥
+/// (only ever sent by the Byzantine faultload; correct processes propose
+/// real values).
+pub type MvcValue = Option<Bytes>;
+
+fn encode_value(w: &mut Writer, v: &MvcValue) {
+    match v {
+        Some(b) => {
+            w.u8(1).bytes(b);
+        }
+        None => {
+            w.u8(0);
+        }
+    }
+}
+
+fn decode_value(r: &mut Reader<'_>) -> Result<MvcValue, WireError> {
+    match r.u8("mvc.value.tag")? {
+        0 => Ok(None),
+        1 => Ok(Some(r.bytes("mvc.value")?)),
+        t => Err(WireError::InvalidTag { what: "mvc.value.tag", tag: t }),
+    }
+}
+
+/// The payload carried inside a `VECT` broadcast: the echoed value plus
+/// the justification vector (the sender's view of the `INIT` values).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectPayload {
+    /// The value the sender claims occurred `≥ n−2f` times (`None` = ⊥).
+    pub value: MvcValue,
+    /// The sender's `INIT` vector; `None` entries were not received.
+    /// Empty when `value` is ⊥ (⊥ needs no justification).
+    pub justification: Vec<MvcValue>,
+}
+
+/// Decoder bound for justification vectors.
+const MAX_JUSTIFICATION: usize = 4096;
+
+impl WireMessage for VectPayload {
+    fn encode(&self, w: &mut Writer) {
+        encode_value(w, &self.value);
+        w.u32(self.justification.len() as u32);
+        for v in &self.justification {
+            encode_value(w, v);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let value = decode_value(r)?;
+        let len = r.u32("mvc.vect.len")? as usize;
+        if len > MAX_JUSTIFICATION {
+            return Err(WireError::FieldTooLong { what: "mvc.vect", len });
+        }
+        let mut justification = Vec::with_capacity(len);
+        for _ in 0..len {
+            justification.push(decode_value(r)?);
+        }
+        Ok(VectPayload { value, justification })
+    }
+}
+
+/// Body of a `VECT` transmission, matching the configured transport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VectBody {
+    /// Echo broadcast traffic.
+    Echo(EbMessage),
+    /// Reliable broadcast traffic.
+    Reliable(RbMessage),
+}
+
+/// Messages of the multi-valued consensus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MvcMessage {
+    /// Reliable broadcast traffic of `origin`'s `INIT`.
+    Init {
+        /// Whose `INIT` broadcast this belongs to.
+        origin: ProcessId,
+        /// The broadcast traffic.
+        inner: RbMessage,
+    },
+    /// `VECT` broadcast traffic of `origin`.
+    Vect {
+        /// Whose `VECT` broadcast this belongs to.
+        origin: ProcessId,
+        /// The broadcast traffic.
+        inner: VectBody,
+    },
+    /// Binary consensus traffic.
+    Bin(BcMessage),
+}
+
+const TAG_INIT: u8 = 1;
+const TAG_VECT_ECHO: u8 = 2;
+const TAG_VECT_RB: u8 = 3;
+const TAG_BIN: u8 = 4;
+
+impl WireMessage for MvcMessage {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            MvcMessage::Init { origin, inner } => {
+                w.u8(TAG_INIT).u32(*origin as u32);
+                inner.encode(w);
+            }
+            MvcMessage::Vect { origin, inner } => match inner {
+                VectBody::Echo(m) => {
+                    w.u8(TAG_VECT_ECHO).u32(*origin as u32);
+                    m.encode(w);
+                }
+                VectBody::Reliable(m) => {
+                    w.u8(TAG_VECT_RB).u32(*origin as u32);
+                    m.encode(w);
+                }
+            },
+            MvcMessage::Bin(m) => {
+                w.u8(TAG_BIN);
+                m.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8("mvc.tag")? {
+            TAG_INIT => Ok(MvcMessage::Init {
+                origin: r.u32("mvc.origin")? as usize,
+                inner: RbMessage::decode(r)?,
+            }),
+            TAG_VECT_ECHO => Ok(MvcMessage::Vect {
+                origin: r.u32("mvc.origin")? as usize,
+                inner: VectBody::Echo(EbMessage::decode(r)?),
+            }),
+            TAG_VECT_RB => Ok(MvcMessage::Vect {
+                origin: r.u32("mvc.origin")? as usize,
+                inner: VectBody::Reliable(RbMessage::decode(r)?),
+            }),
+            TAG_BIN => Ok(MvcMessage::Bin(BcMessage::decode(r)?)),
+            t => Err(WireError::InvalidTag { what: "mvc.tag", tag: t }),
+        }
+    }
+}
+
+/// Step type of a multi-valued consensus instance: outgoing messages plus,
+/// at most once, the decision (`None` = the default value ⊥).
+pub type MvcStep = Step<MvcMessage, MvcValue>;
+
+/// One process's `VECT` broadcast instance (echo or reliable).
+#[derive(Debug)]
+enum VectInstance {
+    Echo(EchoBroadcast),
+    Reliable(ReliableBroadcast),
+}
+
+/// Configuration for a [`MultiValuedConsensus`] instance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MvcConfig {
+    /// Transport for `VECT` messages.
+    pub vect_transport: VectTransport,
+    /// Transport for the binary consensus steps.
+    pub bc_transport: StepTransport,
+}
+
+/// State of one multi-valued consensus instance for process `me`.
+pub struct MultiValuedConsensus {
+    group: Group,
+    me: ProcessId,
+    keys: ProcessKeys,
+    config: MvcConfig,
+    started: bool,
+    /// Byzantine faultload flag (paper §4.2): send ⊥ everywhere, 0 to BC.
+    byzantine_bottom: bool,
+    /// INIT reliable broadcasts, one per origin.
+    init_rbc: Vec<ReliableBroadcast>,
+    /// Delivered INIT values (our vector `V_i`). Outer `Option`:
+    /// delivered or not; inner [`MvcValue`]: the value (⊥ possible).
+    init_values: Vec<Option<MvcValue>>,
+    /// VECT broadcast instances, one per origin.
+    vect_inst: Vec<Option<VectInstance>>,
+    /// Delivered-but-unvalidated VECT payloads per origin.
+    vect_pending: Vec<Option<VectPayload>>,
+    /// Validated VECT values per origin.
+    vect_valid: Vec<Option<MvcValue>>,
+    sent_vect: bool,
+    /// Snapshot flag: the BC proposal has been computed and submitted.
+    bc_proposed: bool,
+    bc: BinaryConsensus,
+    bc_decision: Option<bool>,
+    decided: bool,
+    decision: Option<MvcValue>,
+}
+
+impl core::fmt::Debug for MultiValuedConsensus {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("MultiValuedConsensus")
+            .field("me", &self.me)
+            .field("sent_vect", &self.sent_vect)
+            .field("bc_proposed", &self.bc_proposed)
+            .field("decided", &self.decided)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MultiValuedConsensus {
+    /// Creates an instance with the paper's configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is out of group or the key view mismatches.
+    pub fn new(group: Group, me: ProcessId, keys: ProcessKeys, coin: Box<dyn Coin + Send>) -> Self {
+        Self::with_config(group, me, keys, coin, MvcConfig::default())
+    }
+
+    /// Creates an instance with explicit transports (ablations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is out of group or the key view mismatches.
+    pub fn with_config(
+        group: Group,
+        me: ProcessId,
+        keys: ProcessKeys,
+        coin: Box<dyn Coin + Send>,
+        config: MvcConfig,
+    ) -> Self {
+        assert!(group.contains(me), "me out of group");
+        assert_eq!(keys.me(), me, "key view mismatch");
+        let n = group.n();
+        MultiValuedConsensus {
+            group,
+            me,
+            keys,
+            config,
+            started: false,
+            byzantine_bottom: false,
+            init_rbc: (0..n).map(|o| ReliableBroadcast::new(group, me, o)).collect(),
+            init_values: vec![None; n],
+            vect_inst: (0..n).map(|_| None).collect(),
+            vect_pending: vec![None; n],
+            vect_valid: vec![None; n],
+            sent_vect: false,
+            bc_proposed: false,
+            bc: BinaryConsensus::with_transport(group, me, coin, config.bc_transport),
+            bc_decision: None,
+            decided: false,
+            decision: None,
+        }
+    }
+
+    /// The decision, once taken (`Some(None)` = decided ⊥).
+    pub fn decision(&self) -> Option<&MvcValue> {
+        if self.decided {
+            self.decision.as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// Whether this instance has decided.
+    pub fn is_decided(&self) -> bool {
+        self.decided
+    }
+
+    /// Number of rounds the underlying binary consensus ran (statistics).
+    pub fn bc_rounds(&self) -> Option<u32> {
+        self.bc.decided_round()
+    }
+
+    /// Proposes `value` and emits the `INIT` reliable broadcast.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::AlreadyStarted`] on a second call.
+    pub fn propose(&mut self, value: Bytes) -> Result<MvcStep, ProtocolError> {
+        self.propose_value(Some(value))
+    }
+
+    /// Runs the Byzantine faultload of the paper's evaluation: propose the
+    /// default value ⊥ in `INIT` and `VECT`, and `0` at the binary
+    /// consensus layer, "trying to force correct processes to decide on
+    /// the default value" (§4.2).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::AlreadyStarted`] on a second call.
+    pub fn propose_byzantine_bottom(&mut self) -> Result<MvcStep, ProtocolError> {
+        self.byzantine_bottom = true;
+        self.propose_value(None)
+    }
+
+    fn propose_value(&mut self, value: MvcValue) -> Result<MvcStep, ProtocolError> {
+        if self.started {
+            return Err(ProtocolError::AlreadyStarted);
+        }
+        self.started = true;
+        let me = self.me;
+        let mut payload = Writer::new();
+        encode_value(&mut payload, &value);
+        let sub = self.init_rbc[me].broadcast(payload.freeze())?;
+        let mut out = wrap_init(me, sub);
+        out.extend(self.settle());
+        Ok(out)
+    }
+
+    /// Handles a protocol message from `from`.
+    pub fn handle_message(&mut self, from: ProcessId, message: MvcMessage) -> MvcStep {
+        if !self.group.contains(from) {
+            return Step::fault(from, FaultKind::NotEntitled);
+        }
+        let mut out = match message {
+            MvcMessage::Init { origin, inner } => {
+                if !self.group.contains(origin) {
+                    return Step::fault(from, FaultKind::NotEntitled);
+                }
+                let sub = self.init_rbc[origin].handle_message(from, inner);
+                let mut out = Step::none();
+                let mut delivered = Vec::new();
+                for o in sub.outputs.iter() {
+                    delivered.push(o.clone());
+                }
+                out.extend(wrap_init(origin, sub.map_outputs(|_| None)));
+                for payload in delivered {
+                    match VectOrInit::decode_init(&payload) {
+                        Ok(v) => self.on_init_delivered(origin, v),
+                        Err(_) => out.push_fault(origin, FaultKind::Malformed),
+                    }
+                }
+                out
+            }
+            MvcMessage::Vect { origin, inner } => self.on_vect_message(from, origin, inner),
+            MvcMessage::Bin(m) => {
+                let sub = self.bc.handle_message(from, m);
+                let mut out = Step::none();
+                let mut decisions = Vec::new();
+                for d in sub.outputs.iter() {
+                    decisions.push(*d);
+                }
+                out.extend(wrap_bin(sub.map_outputs(|_| None)));
+                for d in decisions {
+                    self.on_bc_decision(d);
+                }
+                out
+            }
+        };
+        out.extend(self.settle());
+        out
+    }
+
+    fn vect_instance(&mut self, origin: ProcessId) -> &mut VectInstance {
+        if self.vect_inst[origin].is_none() {
+            let inst = match self.config.vect_transport {
+                VectTransport::Echo => VectInstance::Echo(EchoBroadcast::new(
+                    self.group,
+                    self.me,
+                    origin,
+                    self.keys.clone(),
+                )),
+                VectTransport::Reliable => {
+                    VectInstance::Reliable(ReliableBroadcast::new(self.group, self.me, origin))
+                }
+            };
+            self.vect_inst[origin] = Some(inst);
+        }
+        self.vect_inst[origin].as_mut().expect("just created")
+    }
+
+    fn on_vect_message(&mut self, from: ProcessId, origin: ProcessId, body: VectBody) -> MvcStep {
+        if !self.group.contains(origin) {
+            return Step::fault(from, FaultKind::NotEntitled);
+        }
+        let expected_echo = matches!(self.config.vect_transport, VectTransport::Echo);
+        let mut out = Step::none();
+        let mut delivered: Vec<Bytes> = Vec::new();
+        match (body, expected_echo) {
+            (VectBody::Echo(m), true) => {
+                let inst = self.vect_instance(origin);
+                let VectInstance::Echo(eb) = inst else { unreachable!() };
+                let mut sub = eb.handle_message(from, m);
+                out.faults.append(&mut sub.faults);
+                delivered.append(&mut sub.outputs);
+                for m in sub.messages {
+                    out.messages.push(m.map(|inner| MvcMessage::Vect {
+                        origin,
+                        inner: VectBody::Echo(inner),
+                    }));
+                }
+            }
+            (VectBody::Reliable(m), false) => {
+                let inst = self.vect_instance(origin);
+                let VectInstance::Reliable(rb) = inst else { unreachable!() };
+                let mut sub = rb.handle_message(from, m);
+                out.faults.append(&mut sub.faults);
+                delivered.append(&mut sub.outputs);
+                for m in sub.messages {
+                    out.messages.push(m.map(|inner| MvcMessage::Vect {
+                        origin,
+                        inner: VectBody::Reliable(inner),
+                    }));
+                }
+            }
+            _ => return Step::fault(from, FaultKind::Malformed),
+        }
+        for payload in delivered {
+            match VectPayload::from_bytes(&payload) {
+                Ok(p) => self.on_vect_delivered(origin, p),
+                Err(_) => out.push_fault(origin, FaultKind::Malformed),
+            }
+        }
+        out
+    }
+
+    fn on_init_delivered(&mut self, origin: ProcessId, value: MvcValue) {
+        if self.init_values[origin].is_none() {
+            self.init_values[origin] = Some(value);
+        }
+    }
+
+    fn on_vect_delivered(&mut self, origin: ProcessId, payload: VectPayload) {
+        if self.vect_pending[origin].is_none() && self.vect_valid[origin].is_none() {
+            self.vect_pending[origin] = Some(payload);
+        }
+    }
+
+    fn on_bc_decision(&mut self, d: bool) {
+        if self.bc_decision.is_none() {
+            self.bc_decision = Some(d);
+        }
+    }
+
+    fn init_count(&self) -> usize {
+        self.init_values.iter().filter(|v| v.is_some()).count()
+    }
+
+    /// Runs all deferred transitions to a fixpoint.
+    fn settle(&mut self) -> MvcStep {
+        let mut out = Step::none();
+        loop {
+            let mut progressed = false;
+            progressed |= self.validate_vects();
+            if let Some(step) = self.maybe_send_vect() {
+                out.extend(step);
+                progressed = true;
+            }
+            if let Some(step) = self.maybe_propose_bc() {
+                out.extend(step);
+                progressed = true;
+            }
+            if self.maybe_decide(&mut out) {
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Moves justifiable pending `VECT`s to the validated set.
+    fn validate_vects(&mut self) -> bool {
+        let mut moved = false;
+        for origin in 0..self.group.n() {
+            let Some(p) = self.vect_pending[origin].as_ref() else {
+                continue;
+            };
+            let valid = match &p.value {
+                None => true, // ⊥ needs no justification
+                Some(v) => {
+                    let matching = (0..self.group.n())
+                        .filter(|&k| {
+                            let mine = matches!(
+                                self.init_values.get(k),
+                                Some(Some(Some(b))) if b == v
+                            );
+                            let theirs = matches!(
+                                p.justification.get(k),
+                                Some(Some(b)) if b == v
+                            );
+                            mine && theirs
+                        })
+                        .count();
+                    matching >= self.group.correct_in_quorum()
+                }
+            };
+            if valid {
+                let p = self.vect_pending[origin].take().expect("checked above");
+                self.vect_valid[origin] = Some(p.value);
+                moved = true;
+            }
+        }
+        moved
+    }
+
+    /// After `n − f` `INIT`s: compose and broadcast our `VECT` (once).
+    fn maybe_send_vect(&mut self) -> Option<MvcStep> {
+        if self.sent_vect || !self.started || self.init_count() < self.group.quorum() {
+            return None;
+        }
+        self.sent_vect = true;
+
+        let value: MvcValue = if self.byzantine_bottom {
+            None
+        } else {
+            self.most_common_init().filter(|(_, c)| *c >= self.group.correct_in_quorum()).map(|(v, _)| v)
+        };
+        let payload = VectPayload {
+            justification: if value.is_some() {
+                self.init_values
+                    .iter()
+                    .map(|slot| slot.clone().flatten())
+                    .collect()
+            } else {
+                Vec::new()
+            },
+            value,
+        };
+        let bytes = payload.to_bytes();
+        let me = self.me;
+        let sub = match self.vect_instance(me) {
+            VectInstance::Echo(eb) => wrap_vect_echo(me, eb.broadcast(bytes).expect("one vect")),
+            VectInstance::Reliable(rb) => {
+                wrap_vect_rb(me, rb.broadcast(bytes).expect("one vect"))
+            }
+        };
+        Some(sub)
+    }
+
+    /// The most frequent non-⊥ `INIT` value with its count (ties broken by
+    /// smallest byte string, deterministically).
+    fn most_common_init(&self) -> Option<(Bytes, usize)> {
+        let mut best: Option<(Bytes, usize)> = None;
+        for slot in self.init_values.iter().flatten().flatten() {
+            let count = self
+                .init_values
+                .iter()
+                .flatten()
+                .flatten()
+                .filter(|v| *v == slot)
+                .count();
+            match &best {
+                Some((bv, bc)) if *bc > count || (*bc == count && bv <= slot) => {}
+                _ => best = Some((slot.clone(), count)),
+            }
+        }
+        best
+    }
+
+    /// After `n − f` valid `VECT`s: evaluate the condition and propose to
+    /// binary consensus (once).
+    fn maybe_propose_bc(&mut self) -> Option<MvcStep> {
+        if self.bc_proposed || !self.started {
+            return None;
+        }
+        let valid_count = self.vect_valid.iter().filter(|v| v.is_some()).count();
+        if valid_count < self.group.quorum() {
+            return None;
+        }
+        self.bc_proposed = true;
+
+        let proposal = if self.byzantine_bottom {
+            false
+        } else {
+            let values: Vec<&Bytes> = self
+                .vect_valid
+                .iter()
+                .flatten()
+                .flatten()
+                .collect();
+            let conflict = values
+                .iter()
+                .any(|a| values.iter().any(|b| a != b));
+            let supported = values
+                .iter()
+                .any(|v| values.iter().filter(|w| w == &v).count() >= self.group.correct_in_quorum());
+            !conflict && supported
+        };
+        let sub = self.bc.propose(proposal).expect("bc proposed once");
+        let mut decisions = Vec::new();
+        for d in sub.outputs.iter() {
+            decisions.push(*d);
+        }
+        let out = wrap_bin(sub.map_outputs(|_| None));
+        for d in decisions {
+            self.on_bc_decision(d);
+        }
+        Some(out)
+    }
+
+    /// Applies the decision rule once binary consensus has decided.
+    fn maybe_decide(&mut self, out: &mut MvcStep) -> bool {
+        if self.decided {
+            return false;
+        }
+        match self.bc_decision {
+            Some(false) => {
+                self.decided = true;
+                self.decision = Some(None);
+                out.push_output(None);
+                true
+            }
+            Some(true) => {
+                // Wait for n−2f valid VECTs with the same value v.
+                let threshold = self.group.correct_in_quorum();
+                let mut best: Option<(Bytes, usize)> = None;
+                for v in self.vect_valid.iter().flatten().flatten() {
+                    let count = self
+                        .vect_valid
+                        .iter()
+                        .flatten()
+                        .flatten()
+                        .filter(|w| *w == v)
+                        .count();
+                    match &best {
+                        Some((bv, bc)) if *bc > count || (*bc == count && bv <= v) => {}
+                        _ => best = Some((v.clone(), count)),
+                    }
+                }
+                if let Some((v, count)) = best {
+                    if count >= threshold {
+                        self.decided = true;
+                        self.decision = Some(Some(v.clone()));
+                        out.push_output(Some(v));
+                        return true;
+                    }
+                }
+                false
+            }
+            None => false,
+        }
+    }
+}
+
+/// `INIT` payload decoding helper.
+struct VectOrInit;
+
+impl VectOrInit {
+    fn decode_init(payload: &Bytes) -> Result<MvcValue, WireError> {
+        let mut r = Reader::new(payload);
+        let v = decode_value(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+fn wrap_init(origin: ProcessId, sub: Step<RbMessage, Bytes>) -> MvcStep {
+    sub.map_outputs(|_| None)
+        .map_messages(|inner| MvcMessage::Init { origin, inner })
+}
+
+fn wrap_vect_echo(origin: ProcessId, sub: Step<EbMessage, Bytes>) -> MvcStep {
+    sub.map_outputs(|_| None)
+        .map_messages(|inner| MvcMessage::Vect {
+            origin,
+            inner: VectBody::Echo(inner),
+        })
+}
+
+fn wrap_vect_rb(origin: ProcessId, sub: Step<RbMessage, Bytes>) -> MvcStep {
+    sub.map_outputs(|_| None)
+        .map_messages(|inner| MvcMessage::Vect {
+            origin,
+            inner: VectBody::Reliable(inner),
+        })
+}
+
+fn wrap_bin(sub: Step<BcMessage, bool>) -> MvcStep {
+    sub.map_outputs(|_| None).map_messages(MvcMessage::Bin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step::Target;
+    use ritas_crypto::{DeterministicCoin, KeyTable};
+
+    fn coin(seed: u64) -> Box<dyn Coin + Send> {
+        Box::new(DeterministicCoin::new(seed))
+    }
+
+    struct Net {
+        insts: Vec<MultiValuedConsensus>,
+        queue: Vec<(ProcessId, ProcessId, MvcMessage)>,
+        decisions: Vec<Option<MvcValue>>,
+        rng_state: u64,
+        crashed: Vec<ProcessId>,
+    }
+
+    impl Net {
+        fn new(n: usize, seed: u64, config: MvcConfig) -> Self {
+            let g = Group::new(n).unwrap();
+            let table = KeyTable::dealer(n, seed);
+            Net {
+                insts: (0..n)
+                    .map(|me| {
+                        MultiValuedConsensus::with_config(
+                            g,
+                            me,
+                            table.view_of(me),
+                            coin(seed ^ (me as u64) << 8),
+                            config,
+                        )
+                    })
+                    .collect(),
+                queue: Vec::new(),
+                decisions: vec![None; n],
+                rng_state: seed.wrapping_mul(0x9E3779B97F4A7C15) | 1,
+                crashed: Vec::new(),
+            }
+        }
+
+        fn next_rand(&mut self) -> u64 {
+            let mut x = self.rng_state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.rng_state = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+
+        fn absorb(&mut self, from: ProcessId, step: MvcStep) {
+            if self.crashed.contains(&from) {
+                return;
+            }
+            let n = self.insts.len();
+            for out in step.messages {
+                match out.target {
+                    Target::All => {
+                        for to in 0..n {
+                            self.queue.push((from, to, out.message.clone()));
+                        }
+                    }
+                    Target::One(to) => self.queue.push((from, to, out.message.clone())),
+                }
+            }
+            for d in step.outputs {
+                assert!(self.decisions[from].is_none(), "double decision at {from}");
+                self.decisions[from] = Some(d);
+            }
+        }
+
+        fn propose(&mut self, p: ProcessId, v: &[u8]) {
+            let step = self.insts[p].propose(Bytes::copy_from_slice(v)).unwrap();
+            self.absorb(p, step);
+        }
+
+        fn propose_byzantine(&mut self, p: ProcessId) {
+            let step = self.insts[p].propose_byzantine_bottom().unwrap();
+            self.absorb(p, step);
+        }
+
+        fn run(&mut self) {
+            let mut iterations = 0usize;
+            while !self.queue.is_empty() {
+                iterations += 1;
+                assert!(iterations < 5_000_000, "runaway execution");
+                let idx = (self.next_rand() as usize) % self.queue.len();
+                let (from, to, msg) = self.queue.swap_remove(idx);
+                if self.crashed.contains(&to) {
+                    continue;
+                }
+                let step = self.insts[to].handle_message(from, msg);
+                self.absorb(to, step);
+            }
+        }
+    }
+
+    #[test]
+    fn vect_payload_codec_roundtrip() {
+        let p = VectPayload {
+            value: Some(Bytes::from_static(b"v")),
+            justification: vec![Some(Bytes::from_static(b"v")), None, Some(Bytes::from_static(b"w"))],
+        };
+        assert_eq!(VectPayload::from_bytes(&p.to_bytes()).unwrap(), p);
+        let bottom = VectPayload { value: None, justification: vec![] };
+        assert_eq!(VectPayload::from_bytes(&bottom.to_bytes()).unwrap(), bottom);
+    }
+
+    #[test]
+    fn message_codec_roundtrip() {
+        let msgs = [
+            MvcMessage::Init {
+                origin: 2,
+                inner: RbMessage::Init(Bytes::from_static(b"x")),
+            },
+            MvcMessage::Vect {
+                origin: 0,
+                inner: VectBody::Reliable(RbMessage::Echo(Bytes::from_static(b"y"))),
+            },
+            MvcMessage::Bin(BcMessage {
+                round: 1,
+                step: 1,
+                origin: 3,
+                body: crate::bc::BcBody::Rbc(RbMessage::Init(Bytes::from_static(&[1]))),
+            }),
+        ];
+        for m in msgs {
+            assert_eq!(MvcMessage::from_bytes(&m.to_bytes()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn identical_proposals_decide_that_value() {
+        for seed in [1, 2, 3] {
+            let mut net = Net::new(4, seed, MvcConfig::default());
+            for p in 0..4 {
+                net.propose(p, b"agreed");
+            }
+            net.run();
+            for p in 0..4 {
+                assert_eq!(
+                    net.decisions[p],
+                    Some(Some(Bytes::from_static(b"agreed"))),
+                    "seed {seed} process {p}"
+                );
+                assert_eq!(net.insts[p].bc_rounds(), Some(1), "one-round BC expected");
+            }
+        }
+    }
+
+    #[test]
+    fn identical_proposals_with_reliable_vect_transport() {
+        let mut net = Net::new(
+            4,
+            9,
+            MvcConfig {
+                vect_transport: VectTransport::Reliable,
+                bc_transport: StepTransport::ReliableBroadcast,
+            },
+        );
+        for p in 0..4 {
+            net.propose(p, b"agreed");
+        }
+        net.run();
+        for p in 0..4 {
+            assert_eq!(net.decisions[p], Some(Some(Bytes::from_static(b"agreed"))));
+        }
+    }
+
+    #[test]
+    fn divergent_proposals_decide_bottom_or_common() {
+        // With four different proposals no value reaches n-2f = 2 INIT
+        // occurrences, so every correct process echoes ⊥, proposes 0, and
+        // the decision is ⊥.
+        let mut net = Net::new(4, 5, MvcConfig::default());
+        net.propose(0, b"a");
+        net.propose(1, b"b");
+        net.propose(2, b"c");
+        net.propose(3, b"d");
+        net.run();
+        for p in 0..4 {
+            assert_eq!(net.decisions[p], Some(None), "process {p}");
+        }
+    }
+
+    #[test]
+    fn agreement_under_mixed_proposals() {
+        for seed in 0..5 {
+            let mut net = Net::new(4, 40 + seed, MvcConfig::default());
+            net.propose(0, b"x");
+            net.propose(1, b"x");
+            net.propose(2, b"y");
+            net.propose(3, b"x");
+            net.run();
+            let d0 = net.decisions[0].clone().expect("decided");
+            for p in 1..4 {
+                assert_eq!(net.decisions[p], Some(d0.clone()), "seed {seed}");
+            }
+            // Validity: the decision is a proposed value or ⊥, never "y"
+            // alone... it must be x or ⊥ (y cannot gather n-2f support
+            // from correct processes... actually y could not reach 2).
+            if let Some(v) = d0 {
+                assert_eq!(v, Bytes::from_static(b"x"));
+            }
+        }
+    }
+
+    #[test]
+    fn crash_fault_terminates() {
+        let mut net = Net::new(4, 77, MvcConfig::default());
+        net.crashed.push(3);
+        net.propose(0, b"v");
+        net.propose(1, b"v");
+        net.propose(2, b"v");
+        net.run();
+        for p in 0..3 {
+            assert_eq!(net.decisions[p], Some(Some(Bytes::from_static(b"v"))));
+        }
+    }
+
+    #[test]
+    fn byzantine_bottom_cannot_force_default_decision() {
+        // The paper's §4.2 Byzantine faultload: the attacker proposes ⊥ in
+        // INIT and VECT and 0 at the BC layer; correct processes all
+        // propose the same value and still decide it.
+        for seed in 0..5 {
+            let mut net = Net::new(4, 500 + seed, MvcConfig::default());
+            net.propose(0, b"good");
+            net.propose(1, b"good");
+            net.propose(2, b"good");
+            net.propose_byzantine(3);
+            net.run();
+            for p in 0..3 {
+                assert_eq!(
+                    net.decisions[p],
+                    Some(Some(Bytes::from_static(b"good"))),
+                    "seed {seed} process {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn double_propose_rejected() {
+        let g = Group::new(4).unwrap();
+        let table = KeyTable::dealer(4, 0);
+        let mut mvc = MultiValuedConsensus::new(g, 0, table.view_of(0), coin(1));
+        let _ = mvc.propose(Bytes::from_static(b"v")).unwrap();
+        assert_eq!(
+            mvc.propose(Bytes::from_static(b"w")).unwrap_err(),
+            ProtocolError::AlreadyStarted
+        );
+    }
+
+    #[test]
+    fn larger_group_identical_proposals() {
+        let mut net = Net::new(7, 3, MvcConfig::default());
+        for p in 0..7 {
+            net.propose(p, b"seven");
+        }
+        net.run();
+        for p in 0..7 {
+            assert_eq!(net.decisions[p], Some(Some(Bytes::from_static(b"seven"))));
+        }
+    }
+}

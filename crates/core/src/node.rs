@@ -1,0 +1,817 @@
+//! Threaded blocking runtime — the Rust equivalent of the paper's C API
+//! (§3.1).
+//!
+//! The original RITAS library runs the whole protocol stack in a single
+//! thread, separate from the application thread, and offers blocking
+//! service requests (`ritas_rb_bcast`, `ritas_ab_recv`, `ritas_bc`, …).
+//! [`Node`] reproduces that shape: one stack thread per process drives a
+//! [`Stack`] over a [`Transport`]; the application calls blocking methods
+//! that mirror the C functions:
+//!
+//! | C API | [`Node`] method |
+//! |---|---|
+//! | `ritas_rb_bcast` / `ritas_rb_recv` | [`Node::reliable_broadcast`] / [`Node::rb_recv`] |
+//! | `ritas_eb_bcast` / `ritas_eb_recv` | [`Node::echo_broadcast`] / [`Node::eb_recv`] |
+//! | `ritas_ab_bcast` / `ritas_ab_recv` | [`Node::atomic_broadcast`] / [`Node::atomic_recv`] |
+//! | `ritas_bc` | [`Node::binary_consensus`] |
+//! | `ritas_mvc` | [`Node::multi_valued_consensus`] |
+//! | `ritas_vc` | [`Node::vector_consensus`] |
+//! | `ritas_destroy` | [`Node::shutdown`] |
+
+use crate::ab::AbDelivery;
+use crate::config::{ConfigError, Group};
+use crate::error::ProtocolError;
+use crate::mvc::MvcValue;
+use crate::stack::{InstanceKey, Output, Stack, StackConfig, StackStep};
+use crate::step::{Fault, Target};
+use crate::vc::DecisionVector;
+use crate::ProcessId;
+use bytes::Bytes;
+use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use ritas_crypto::KeyTable;
+use ritas_transport::{AuthConfig, AuthenticatedTransport, Hub, Transport};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Errors surfaced by the blocking node API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeError {
+    /// The stack thread has shut down.
+    Disconnected,
+    /// A protocol-level error (e.g. duplicate proposal tag).
+    Protocol(ProtocolError),
+    /// A timed receive expired.
+    Timeout,
+}
+
+impl core::fmt::Display for NodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NodeError::Disconnected => write!(f, "node has shut down"),
+            NodeError::Protocol(e) => write!(f, "protocol error: {e}"),
+            NodeError::Timeout => write!(f, "receive timed out"),
+        }
+    }
+}
+
+impl std::error::Error for NodeError {}
+
+impl From<ProtocolError> for NodeError {
+    fn from(e: ProtocolError) -> Self {
+        NodeError::Protocol(e)
+    }
+}
+
+/// Configuration for a node session.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    group: Group,
+    /// Seed for the trusted key dealer.
+    pub master_seed: u64,
+    /// Wrap the transport in the AH-style authentication layer (the
+    /// paper's "with IPSec" configuration).
+    pub authenticate: bool,
+    /// Stack configuration.
+    pub stack: StackConfig,
+}
+
+impl SessionConfig {
+    /// Creates a configuration for `n` processes with authentication on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `n < 4`.
+    pub fn new(n: usize) -> Result<Self, ConfigError> {
+        Ok(SessionConfig {
+            group: Group::new(n)?,
+            master_seed: 0x5249_5441_5321, // "RITAS!"
+            authenticate: true,
+            stack: StackConfig::default(),
+        })
+    }
+
+    /// Disables the channel authentication layer (the paper's "without
+    /// IPSec" configuration).
+    pub fn without_authentication(mut self) -> Self {
+        self.authenticate = false;
+        self
+    }
+
+    /// Sets the key-dealer seed.
+    pub fn with_master_seed(mut self, seed: u64) -> Self {
+        self.master_seed = seed;
+        self
+    }
+
+    /// The group this session runs with.
+    pub fn group(&self) -> Group {
+        self.group
+    }
+}
+
+enum Command {
+    RbBroadcast(Bytes),
+    EbBroadcast(Bytes),
+    AbBroadcast(Bytes, Sender<crate::ab::MsgId>),
+    BcPropose {
+        tag: u64,
+        value: bool,
+        reply: Sender<Result<bool, ProtocolError>>,
+    },
+    MvcPropose {
+        tag: u64,
+        value: Bytes,
+        reply: Sender<Result<MvcValue, ProtocolError>>,
+    },
+    VcPropose {
+        tag: u64,
+        value: Bytes,
+        reply: Sender<Result<DecisionVector, ProtocolError>>,
+    },
+    AbDebug {
+        reply: Sender<Option<(crate::ab::AbStats, u32, usize)>>,
+    },
+    AbDebugVerbose {
+        reply: Sender<Option<String>>,
+    },
+    Shutdown,
+}
+
+enum PendingReply {
+    Bc(Sender<Result<bool, ProtocolError>>),
+    Mvc(Sender<Result<MvcValue, ProtocolError>>),
+    Vc(Sender<Result<DecisionVector, ProtocolError>>),
+}
+
+/// A handle to one process of a running session.
+///
+/// All methods are thread-safe to call from the owning application
+/// thread; the protocol stack itself runs in a dedicated thread, as in
+/// the paper's implementation.
+pub struct Node {
+    id: ProcessId,
+    group_size: usize,
+    cmd_tx: Sender<Command>,
+    rb_rx: Receiver<(ProcessId, Bytes)>,
+    eb_rx: Receiver<(ProcessId, Bytes)>,
+    ab_rx: Receiver<AbDelivery>,
+    fault_rx: Receiver<Fault>,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl core::fmt::Debug for Node {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Node").field("id", &self.id).finish_non_exhaustive()
+    }
+}
+
+impl Node {
+    /// Builds an in-memory cluster of `n` nodes (one per process) over a
+    /// [`Hub`], with pairwise keys dealt from the session seed. This is
+    /// the quickest way to run the stack; for custom transports use
+    /// [`Node::spawn`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport construction failures (none today; reserved).
+    pub fn cluster(config: SessionConfig) -> Result<Vec<Node>, NodeError> {
+        let n = config.group.n();
+        let table = KeyTable::dealer(n, config.master_seed);
+        let mut hub = Hub::new(n);
+        let endpoints = hub.take_endpoints();
+        // The hub handle is dropped here: links stay up for the lifetime
+        // of the endpoints.
+        let mut nodes = Vec::with_capacity(n);
+        for (me, ep) in endpoints.into_iter().enumerate() {
+            let stack = Stack::with_config(
+                config.group,
+                me,
+                table.view_of(me),
+                config
+                    .master_seed
+                    .wrapping_mul(0xA076_1D64_78BD_642F)
+                    .wrapping_add(me as u64),
+                config.stack,
+            );
+            let node = if config.authenticate {
+                let auth = AuthConfig::from_key_table(&table, me);
+                Node::spawn(AuthenticatedTransport::new(ep, auth), stack)
+            } else {
+                Node::spawn(ep, stack)
+            };
+            nodes.push(node);
+        }
+        Ok(nodes)
+    }
+
+    /// Builds a cluster over a real localhost **TCP** mesh — the paper's
+    /// deployment transport — with the AH-style authentication layer on
+    /// top when the config requests it. One endpoint per process, all in
+    /// this OS process (for cross-host deployments, establish
+    /// [`ritas_transport::TcpEndpoint`]s manually and use [`Node::spawn`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates mesh establishment failures as
+    /// [`NodeError::Disconnected`].
+    pub fn tcp_cluster(
+        config: SessionConfig,
+        timeout: Duration,
+    ) -> Result<Vec<Node>, NodeError> {
+        let n = config.group.n();
+        let table = KeyTable::dealer(n, config.master_seed);
+        let endpoints = ritas_transport::TcpEndpoint::ephemeral_mesh(n, timeout)
+            .map_err(|_| NodeError::Disconnected)?;
+        let mut nodes = Vec::with_capacity(n);
+        for (me, ep) in endpoints.into_iter().enumerate() {
+            let stack = Stack::with_config(
+                config.group,
+                me,
+                table.view_of(me),
+                config
+                    .master_seed
+                    .wrapping_mul(0xA076_1D64_78BD_642F)
+                    .wrapping_add(me as u64),
+                config.stack,
+            );
+            let node = if config.authenticate {
+                let auth = AuthConfig::from_key_table(&table, me);
+                Node::spawn(AuthenticatedTransport::new(ep, auth), stack)
+            } else {
+                Node::spawn(ep, stack)
+            };
+            nodes.push(node);
+        }
+        Ok(nodes)
+    }
+
+    /// Spawns the stack thread for `stack` over `transport` and returns
+    /// the application handle.
+    pub fn spawn<T: Transport + Sync + 'static>(transport: T, stack: Stack) -> Node {
+        let id = stack.id();
+        let group_size = stack.group().n();
+        let transport = Arc::new(transport);
+        let stop = Arc::new(AtomicBool::new(false));
+        let (cmd_tx, cmd_rx) = unbounded::<Command>();
+        let (net_tx, net_rx) = unbounded::<(ProcessId, Bytes)>();
+        let (rb_tx, rb_rx) = unbounded();
+        let (eb_tx, eb_rx) = unbounded();
+        let (ab_tx, ab_rx) = unbounded();
+        let (fault_tx, fault_rx) = unbounded();
+
+        // Reader thread: pulls frames off the transport into a channel so
+        // the stack thread can select over commands and network input.
+        let reader = {
+            let transport = Arc::clone(&transport);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match transport.recv_timeout(Duration::from_millis(50)) {
+                        Ok(msg) => {
+                            if net_tx.send(msg).is_err() {
+                                break;
+                            }
+                        }
+                        Err(ritas_transport::TransportError::Timeout) => continue,
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+
+        // Stack thread: the single protocol thread of §3.
+        let worker = {
+            let transport = Arc::clone(&transport);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut state = Worker {
+                    stack,
+                    transport,
+                    replies: HashMap::new(),
+                    rb_tx,
+                    eb_tx,
+                    ab_tx,
+                    fault_tx,
+                };
+                loop {
+                    crossbeam_channel::select! {
+                        recv(cmd_rx) -> cmd => match cmd {
+                            Ok(Command::Shutdown) | Err(_) => break,
+                            Ok(cmd) => state.on_command(cmd),
+                        },
+                        recv(net_rx) -> msg => match msg {
+                            Ok((from, frame)) => state.on_frame(from, frame),
+                            Err(_) => break,
+                        },
+                    }
+                }
+                stop.store(true, Ordering::Relaxed);
+            })
+        };
+
+        Node {
+            id,
+            group_size,
+            cmd_tx,
+            rb_rx,
+            eb_rx,
+            ab_rx,
+            fault_rx,
+            stop,
+            threads: vec![reader, worker],
+        }
+    }
+
+    /// Number of processes in the group.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Atomic broadcast session introspection: `(stats, current agreement
+    /// round, messages pending ordering)`. `None` if the session has not
+    /// been touched yet.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Disconnected`] if the stack thread has stopped.
+    pub fn ab_debug(&self) -> Result<Option<(crate::ab::AbStats, u32, usize)>, NodeError> {
+        let (reply, rx) = bounded(1);
+        self.cmd_tx
+            .send(Command::AbDebug { reply })
+            .map_err(|_| NodeError::Disconnected)?;
+        rx.recv().map_err(|_| NodeError::Disconnected)
+    }
+
+    /// Verbose atomic broadcast snapshot (debugging stuck rounds).
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Disconnected`] if the stack thread has stopped.
+    pub fn ab_debug_verbose(&self) -> Result<Option<String>, NodeError> {
+        let (reply, rx) = bounded(1);
+        self.cmd_tx
+            .send(Command::AbDebugVerbose { reply })
+            .map_err(|_| NodeError::Disconnected)?;
+        rx.recv().map_err(|_| NodeError::Disconnected)
+    }
+
+    /// Drains the faults the stack has attributed to peers since the last
+    /// call (equivocation, forged authenticators, malformed frames…).
+    /// Purely observational — the protocols already ignored the offending
+    /// input — but useful for monitoring and intrusion *detection* on top
+    /// of intrusion tolerance.
+    pub fn take_faults(&self) -> Vec<Fault> {
+        self.fault_rx.try_iter().collect()
+    }
+
+    /// This process's identifier.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// Reliably broadcasts `payload` (`ritas_rb_bcast`).
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Disconnected`] if the stack thread has stopped.
+    pub fn reliable_broadcast(&self, payload: Bytes) -> Result<(), NodeError> {
+        self.cmd_tx
+            .send(Command::RbBroadcast(payload))
+            .map_err(|_| NodeError::Disconnected)
+    }
+
+    /// Blocks until a reliable broadcast is delivered (`ritas_rb_recv`).
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Disconnected`] if the stack thread has stopped.
+    pub fn rb_recv(&self) -> Result<(ProcessId, Bytes), NodeError> {
+        self.rb_rx.recv().map_err(|_| NodeError::Disconnected)
+    }
+
+    /// Like [`Node::rb_recv`] with a timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Timeout`] when nothing arrived in time.
+    pub fn rb_recv_timeout(&self, t: Duration) -> Result<(ProcessId, Bytes), NodeError> {
+        map_timeout(self.rb_rx.recv_timeout(t))
+    }
+
+    /// Echo-broadcasts `payload` (`ritas_eb_bcast`).
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Disconnected`] if the stack thread has stopped.
+    pub fn echo_broadcast(&self, payload: Bytes) -> Result<(), NodeError> {
+        self.cmd_tx
+            .send(Command::EbBroadcast(payload))
+            .map_err(|_| NodeError::Disconnected)
+    }
+
+    /// Blocks until an echo broadcast is delivered (`ritas_eb_recv`).
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Disconnected`] if the stack thread has stopped.
+    pub fn eb_recv(&self) -> Result<(ProcessId, Bytes), NodeError> {
+        self.eb_rx.recv().map_err(|_| NodeError::Disconnected)
+    }
+
+    /// Like [`Node::eb_recv`] with a timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Timeout`] when nothing arrived in time.
+    pub fn eb_recv_timeout(&self, t: Duration) -> Result<(ProcessId, Bytes), NodeError> {
+        map_timeout(self.eb_rx.recv_timeout(t))
+    }
+
+    /// Atomically broadcasts `payload` (`ritas_ab_bcast`); returns the
+    /// system-wide unique identifier `(sender, rbid)` assigned to the
+    /// message, which deliveries can be correlated against.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Disconnected`] if the stack thread has stopped.
+    pub fn atomic_broadcast(&self, payload: Bytes) -> Result<crate::ab::MsgId, NodeError> {
+        let (reply, rx) = bounded(1);
+        self.cmd_tx
+            .send(Command::AbBroadcast(payload, reply))
+            .map_err(|_| NodeError::Disconnected)?;
+        rx.recv().map_err(|_| NodeError::Disconnected)
+    }
+
+    /// Blocks until the next message in the total order (`ritas_ab_recv`).
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Disconnected`] if the stack thread has stopped.
+    pub fn atomic_recv(&self) -> Result<AbDelivery, NodeError> {
+        self.ab_rx.recv().map_err(|_| NodeError::Disconnected)
+    }
+
+    /// Like [`Node::atomic_recv`] with a timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Timeout`] when nothing arrived in time.
+    pub fn atomic_recv_timeout(&self, t: Duration) -> Result<AbDelivery, NodeError> {
+        map_timeout(self.ab_rx.recv_timeout(t))
+    }
+
+    /// Proposes a bit on binary consensus instance `tag` and blocks until
+    /// the decision (`ritas_bc`). All processes must use the same `tag`
+    /// for the same logical instance.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Protocol`] on duplicate tags,
+    /// [`NodeError::Disconnected`] if the stack thread stopped.
+    pub fn binary_consensus(&self, tag: u64, value: bool) -> Result<bool, NodeError> {
+        let (reply, rx) = bounded(1);
+        self.cmd_tx
+            .send(Command::BcPropose { tag, value, reply })
+            .map_err(|_| NodeError::Disconnected)?;
+        rx.recv().map_err(|_| NodeError::Disconnected)?.map_err(NodeError::Protocol)
+    }
+
+    /// Proposes a value on multi-valued consensus `tag`; blocks until the
+    /// decision (`ritas_mvc`). `None` is the default value ⊥.
+    ///
+    /// # Errors
+    ///
+    /// As [`Node::binary_consensus`].
+    pub fn multi_valued_consensus(&self, tag: u64, value: Bytes) -> Result<MvcValue, NodeError> {
+        let (reply, rx) = bounded(1);
+        self.cmd_tx
+            .send(Command::MvcPropose { tag, value, reply })
+            .map_err(|_| NodeError::Disconnected)?;
+        rx.recv().map_err(|_| NodeError::Disconnected)?.map_err(NodeError::Protocol)
+    }
+
+    /// Proposes a value on vector consensus `tag`; blocks until the
+    /// decided vector (`ritas_vc`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Node::binary_consensus`].
+    pub fn vector_consensus(&self, tag: u64, value: Bytes) -> Result<DecisionVector, NodeError> {
+        let (reply, rx) = bounded(1);
+        self.cmd_tx
+            .send(Command::VcPropose { tag, value, reply })
+            .map_err(|_| NodeError::Disconnected)?;
+        rx.recv().map_err(|_| NodeError::Disconnected)?.map_err(NodeError::Protocol)
+    }
+
+    /// Stops the stack thread (`ritas_destroy`). Idempotent.
+    pub fn shutdown(&self) {
+        let _ = self.cmd_tx.send(Command::Shutdown);
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+impl Drop for Node {
+    fn drop(&mut self) {
+        self.shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn map_timeout<T>(r: Result<T, RecvTimeoutError>) -> Result<T, NodeError> {
+    r.map_err(|e| match e {
+        RecvTimeoutError::Timeout => NodeError::Timeout,
+        RecvTimeoutError::Disconnected => NodeError::Disconnected,
+    })
+}
+
+/// The state owned by the stack thread.
+struct Worker<T: Transport> {
+    stack: Stack,
+    transport: Arc<T>,
+    replies: HashMap<InstanceKey, PendingReply>,
+    rb_tx: Sender<(ProcessId, Bytes)>,
+    eb_tx: Sender<(ProcessId, Bytes)>,
+    ab_tx: Sender<AbDelivery>,
+    fault_tx: Sender<Fault>,
+}
+
+impl<T: Transport> Worker<T> {
+    fn on_command(&mut self, cmd: Command) {
+        match cmd {
+            Command::RbBroadcast(payload) => {
+                let (_, step) = self.stack.rb_broadcast(payload);
+                self.dispatch(step);
+            }
+            Command::EbBroadcast(payload) => {
+                let (_, step) = self.stack.eb_broadcast(payload);
+                self.dispatch(step);
+            }
+            Command::AbBroadcast(payload, reply) => {
+                let (id, step) = self.stack.ab_broadcast(0, payload);
+                let _ = reply.send(id);
+                self.dispatch(step);
+            }
+            Command::BcPropose { tag, value, reply } => {
+                let key = InstanceKey::Bc { tag };
+                match self.stack.bc_propose(tag, value) {
+                    Ok(step) => {
+                        self.replies.insert(key, PendingReply::Bc(reply));
+                        self.dispatch(step);
+                    }
+                    Err(e) => {
+                        let _ = reply.send(Err(e));
+                    }
+                }
+            }
+            Command::MvcPropose { tag, value, reply } => {
+                let key = InstanceKey::Mvc { tag };
+                match self.stack.mvc_propose(tag, value) {
+                    Ok(step) => {
+                        self.replies.insert(key, PendingReply::Mvc(reply));
+                        self.dispatch(step);
+                    }
+                    Err(e) => {
+                        let _ = reply.send(Err(e));
+                    }
+                }
+            }
+            Command::VcPropose { tag, value, reply } => {
+                let key = InstanceKey::Vc { tag };
+                match self.stack.vc_propose(tag, value) {
+                    Ok(step) => {
+                        self.replies.insert(key, PendingReply::Vc(reply));
+                        self.dispatch(step);
+                    }
+                    Err(e) => {
+                        let _ = reply.send(Err(e));
+                    }
+                }
+            }
+            Command::AbDebug { reply } => {
+                let _ = reply.send(self.stack.ab_debug(0));
+            }
+            Command::AbDebugVerbose { reply } => {
+                let _ = reply.send(self.stack.ab_debug_verbose(0));
+            }
+            Command::Shutdown => unreachable!("handled by the select loop"),
+        }
+    }
+
+    fn on_frame(&mut self, from: ProcessId, frame: Bytes) {
+        let step = self.stack.handle_frame(from, frame);
+        self.dispatch(step);
+    }
+
+    fn dispatch(&mut self, step: StackStep) {
+        for fault in step.faults {
+            let _ = self.fault_tx.send(fault);
+        }
+        for out in step.messages {
+            let result = match out.target {
+                Target::All => self.transport.send_all(out.message),
+                Target::One(to) => self.transport.send(to, out.message),
+            };
+            // A send failure means the transport is gone; the loop will
+            // notice via the reader thread. Nothing sensible to do here.
+            let _ = result;
+        }
+        for output in step.outputs {
+            match output {
+                Output::RbDelivered { sender, payload, .. } => {
+                    let _ = self.rb_tx.send((sender, payload));
+                }
+                Output::EbDelivered { sender, payload, .. } => {
+                    let _ = self.eb_tx.send((sender, payload));
+                }
+                Output::AbDelivered { delivery, .. } => {
+                    let _ = self.ab_tx.send(delivery);
+                }
+                Output::BcDecided { key, decision } => {
+                    if let Some(PendingReply::Bc(tx)) = self.replies.remove(&key) {
+                        let _ = tx.send(Ok(decision));
+                    }
+                }
+                Output::MvcDecided { key, decision } => {
+                    if let Some(PendingReply::Mvc(tx)) = self.replies.remove(&key) {
+                        let _ = tx.send(Ok(decision));
+                    }
+                }
+                Output::VcDecided { key, vector } => {
+                    if let Some(PendingReply::Vc(tx)) = self.replies.remove(&key) {
+                        let _ = tx.send(Ok(vector));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cluster(
+        config: SessionConfig,
+        body: impl Fn(Node) + Send + Sync + Clone + 'static,
+    ) {
+        let nodes = Node::cluster(config).unwrap();
+        let mut handles = Vec::new();
+        for node in nodes {
+            let body = body.clone();
+            handles.push(std::thread::spawn(move || body(node)));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn reliable_broadcast_end_to_end() {
+        run_cluster(SessionConfig::new(4).unwrap(), |node| {
+            if node.id() == 0 {
+                node.reliable_broadcast(Bytes::from_static(b"rb")).unwrap();
+            }
+            let (sender, payload) = node.rb_recv().unwrap();
+            assert_eq!(sender, 0);
+            assert_eq!(payload.as_ref(), b"rb");
+            node.shutdown();
+        });
+    }
+
+    #[test]
+    fn echo_broadcast_end_to_end() {
+        run_cluster(SessionConfig::new(4).unwrap(), |node| {
+            if node.id() == 1 {
+                node.echo_broadcast(Bytes::from_static(b"eb")).unwrap();
+            }
+            let (sender, payload) = node.eb_recv().unwrap();
+            assert_eq!((sender, payload.as_ref()), (1, &b"eb"[..]));
+            node.shutdown();
+        });
+    }
+
+    #[test]
+    fn binary_consensus_end_to_end() {
+        run_cluster(SessionConfig::new(4).unwrap(), |node| {
+            let d = node.binary_consensus(7, true).unwrap();
+            assert!(d);
+            node.shutdown();
+        });
+    }
+
+    #[test]
+    fn multi_valued_consensus_end_to_end() {
+        run_cluster(SessionConfig::new(4).unwrap(), |node| {
+            let d = node
+                .multi_valued_consensus(3, Bytes::from_static(b"value"))
+                .unwrap();
+            assert_eq!(d.as_deref(), Some(&b"value"[..]));
+            node.shutdown();
+        });
+    }
+
+    #[test]
+    fn vector_consensus_end_to_end() {
+        run_cluster(SessionConfig::new(4).unwrap(), |node| {
+            let me = node.id();
+            let v = node
+                .vector_consensus(1, Bytes::copy_from_slice(format!("p{me}").as_bytes()))
+                .unwrap();
+            assert_eq!(v.len(), 4);
+            assert!(v.iter().flatten().count() >= 2);
+            node.shutdown();
+        });
+    }
+
+    #[test]
+    fn atomic_broadcast_end_to_end() {
+        run_cluster(SessionConfig::new(4).unwrap(), |node| {
+            node.atomic_broadcast(Bytes::copy_from_slice(format!("m{}", node.id()).as_bytes()))
+                .unwrap();
+            let mut got = Vec::new();
+            for _ in 0..4 {
+                got.push(node.atomic_recv().unwrap());
+            }
+            assert_eq!(got.len(), 4);
+            node.shutdown();
+        });
+    }
+
+    #[test]
+    fn without_authentication_works_too() {
+        run_cluster(
+            SessionConfig::new(4).unwrap().without_authentication(),
+            |node| {
+                let d = node.binary_consensus(1, false).unwrap();
+                assert!(!d);
+                node.shutdown();
+            },
+        );
+    }
+
+    #[test]
+    fn duplicate_tag_rejected() {
+        let nodes = Node::cluster(SessionConfig::new(4).unwrap()).unwrap();
+        let handles: Vec<_> = nodes
+            .into_iter()
+            .map(|node| {
+                std::thread::spawn(move || {
+                    let _ = node.binary_consensus(9, true).unwrap();
+                    if node.id() == 0 {
+                        let err = node.binary_consensus(9, true).unwrap_err();
+                        assert_eq!(err, NodeError::Protocol(ProtocolError::AlreadyStarted));
+                    }
+                    node.shutdown();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn faults_are_observable() {
+        use ritas_transport::Hub;
+        let group = Group::new(4).unwrap();
+        let table = KeyTable::dealer(4, 9);
+        let mut hub = Hub::new(4);
+        let mut eps = hub.take_endpoints().into_iter();
+        let ep0 = eps.next().unwrap();
+        let ep1 = eps.next().unwrap();
+        let stack = Stack::new(group, 0, table.view_of(0), 1);
+        let node = Node::spawn(ep0, stack);
+        // A peer sends garbage that cannot decode as any protocol frame.
+        ep1.send(0, Bytes::from_static(&[0xde, 0xad, 0xbe, 0xef])).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let faults = loop {
+            let f = node.take_faults();
+            if !f.is_empty() || std::time::Instant::now() > deadline {
+                break f;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        assert!(!faults.is_empty(), "garbage frame went unobserved");
+        assert_eq!(faults[0].from, 1);
+        node.shutdown();
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let nodes = Node::cluster(SessionConfig::new(4).unwrap()).unwrap();
+        assert_eq!(
+            nodes[0].rb_recv_timeout(Duration::from_millis(20)).unwrap_err(),
+            NodeError::Timeout
+        );
+        for n in &nodes {
+            n.shutdown();
+        }
+    }
+}

@@ -1,0 +1,519 @@
+//! Reliable broadcast — Bracha's protocol (paper §2.2).
+//!
+//! Properties: (1) all correct processes deliver the same messages;
+//! (2) if the sender is correct the message is delivered. The protocol is
+//! the classic three-step `INIT → ECHO → READY` pattern:
+//!
+//! 1. the sender broadcasts `(INIT, m)`;
+//! 2. on `INIT`, a process broadcasts `(ECHO, m)`;
+//! 3. on `⌊(n+f)/2⌋+1` `ECHO`s *or* `f+1` `READY`s for the same `m`, a
+//!    process broadcasts `(READY, m)` (once);
+//! 4. on `2f+1` `READY`s for the same `m`, it delivers `m`.
+//!
+//! One [`ReliableBroadcast`] value is the state of a single instance —
+//! one broadcast by one designated sender. Higher protocols create one
+//! instance per message they reliably broadcast (control block chaining,
+//! §3.3).
+
+use crate::codec::{Reader, WireError, WireMessage, Writer};
+use crate::config::Group;
+use crate::error::ProtocolError;
+use crate::step::{FaultKind, Step};
+use crate::ProcessId;
+use bytes::Bytes;
+use ritas_crypto::{Digest, Sha256};
+use std::collections::HashMap;
+
+/// Digest used to compare payload equality without storing duplicates.
+pub type PayloadDigest = [u8; 32];
+
+/// Messages of the reliable broadcast protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RbMessage {
+    /// The sender's initial transmission of `m`.
+    Init(Bytes),
+    /// A process echoing `m`.
+    Echo(Bytes),
+    /// A process asserting it will deliver `m`.
+    Ready(Bytes),
+}
+
+impl RbMessage {
+    /// The payload carried by the message.
+    pub fn payload(&self) -> &Bytes {
+        match self {
+            RbMessage::Init(m) | RbMessage::Echo(m) | RbMessage::Ready(m) => m,
+        }
+    }
+}
+
+const TAG_INIT: u8 = 1;
+const TAG_ECHO: u8 = 2;
+const TAG_READY: u8 = 3;
+
+impl WireMessage for RbMessage {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            RbMessage::Init(m) => w.u8(TAG_INIT).bytes(m),
+            RbMessage::Echo(m) => w.u8(TAG_ECHO).bytes(m),
+            RbMessage::Ready(m) => w.u8(TAG_READY).bytes(m),
+        };
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let tag = r.u8("rb.tag")?;
+        let m = r.bytes("rb.payload")?;
+        match tag {
+            TAG_INIT => Ok(RbMessage::Init(m)),
+            TAG_ECHO => Ok(RbMessage::Echo(m)),
+            TAG_READY => Ok(RbMessage::Ready(m)),
+            t => Err(WireError::InvalidTag { what: "rb.tag", tag: t }),
+        }
+    }
+}
+
+/// The step type produced by a reliable broadcast instance: outgoing
+/// [`RbMessage`]s plus, at most once, the delivered payload.
+pub type RbStep = Step<RbMessage, Bytes>;
+
+/// State of one reliable broadcast instance.
+///
+/// # Example
+///
+/// Three correct processes plus one silent one (`n = 4`, `f = 1`): driving
+/// the message flow by hand delivers the payload at a receiver.
+///
+/// ```
+/// use ritas::config::Group;
+/// use ritas::rb::{ReliableBroadcast, RbMessage};
+/// use bytes::Bytes;
+///
+/// let g = Group::new(4)?;
+/// let mut sender = ReliableBroadcast::new(g, 0, 0);
+/// let mut receiver = ReliableBroadcast::new(g, 1, 0);
+///
+/// let m = Bytes::from_static(b"hello");
+/// let init = sender.broadcast(m.clone())?;
+/// // Receiver gets INIT, echoes; then enough ECHOs and READYs arrive.
+/// let _ = receiver.handle_message(0, RbMessage::Init(m.clone()));
+/// for p in 0..3 {
+///     let _ = receiver.handle_message(p, RbMessage::Echo(m.clone()));
+/// }
+/// let mut delivered = None;
+/// for p in 0..3 {
+///     let step = receiver.handle_message(p, RbMessage::Ready(m.clone()));
+///     delivered = step.outputs.into_iter().next().or(delivered);
+/// }
+/// assert_eq!(delivered.as_deref(), Some(&b"hello"[..]));
+/// # drop(init);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReliableBroadcast {
+    group: Group,
+    me: ProcessId,
+    sender: ProcessId,
+    sent_init: bool,
+    sent_echo: bool,
+    sent_ready: bool,
+    delivered: bool,
+    /// Digest echoed by each process (one `ECHO` counted per process).
+    echoes: Vec<Option<PayloadDigest>>,
+    /// Digest `READY`ed by each process.
+    readies: Vec<Option<PayloadDigest>>,
+    /// Digest of the sender's `INIT`, to flag equivocation.
+    init_digest: Option<PayloadDigest>,
+    /// Payload bytes per digest (kept so `READY`/delivery can be produced
+    /// from whichever message first carried the winning payload).
+    payloads: HashMap<PayloadDigest, Bytes>,
+}
+
+impl ReliableBroadcast {
+    /// Creates the instance for a broadcast by `sender`, as seen by `me`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` or `sender` are outside the group.
+    pub fn new(group: Group, me: ProcessId, sender: ProcessId) -> Self {
+        assert!(group.contains(me), "me out of group");
+        assert!(group.contains(sender), "sender out of group");
+        ReliableBroadcast {
+            group,
+            me,
+            sender,
+            sent_init: false,
+            sent_echo: false,
+            sent_ready: false,
+            delivered: false,
+            echoes: vec![None; group.n()],
+            readies: vec![None; group.n()],
+            init_digest: None,
+            payloads: HashMap::new(),
+        }
+    }
+
+    /// The designated sender of this instance.
+    pub fn sender(&self) -> ProcessId {
+        self.sender
+    }
+
+    /// Whether this instance has delivered its payload.
+    pub fn is_delivered(&self) -> bool {
+        self.delivered
+    }
+
+    /// Starts the broadcast (sender only): emits `(INIT, m)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::NotSender`] if `me` is not the designated sender;
+    /// [`ProtocolError::AlreadyStarted`] on a second call.
+    pub fn broadcast(&mut self, payload: Bytes) -> Result<RbStep, ProtocolError> {
+        if self.me != self.sender {
+            return Err(ProtocolError::NotSender {
+                me: self.me,
+                sender: self.sender,
+            });
+        }
+        if self.sent_init {
+            return Err(ProtocolError::AlreadyStarted);
+        }
+        self.sent_init = true;
+        Ok(Step::broadcast(RbMessage::Init(payload)))
+    }
+
+    fn digest(payload: &Bytes) -> PayloadDigest {
+        Sha256::digest(payload)
+    }
+
+    fn remember(&mut self, payload: &Bytes) -> PayloadDigest {
+        let d = Self::digest(payload);
+        self.payloads.entry(d).or_insert_with(|| payload.clone());
+        d
+    }
+
+    fn count(slots: &[Option<PayloadDigest>], d: &PayloadDigest) -> usize {
+        slots.iter().filter(|s| s.as_ref() == Some(d)).count()
+    }
+
+    /// Handles a protocol message from `from`.
+    ///
+    /// Messages from corrupt processes (duplicate, equivocating,
+    /// not-entitled) are ignored and reported as faults on the step.
+    pub fn handle_message(&mut self, from: ProcessId, message: RbMessage) -> RbStep {
+        if !self.group.contains(from) {
+            return Step::fault(from, FaultKind::NotEntitled);
+        }
+        match message {
+            RbMessage::Init(m) => self.on_init(from, m),
+            RbMessage::Echo(m) => self.on_echo(from, m),
+            RbMessage::Ready(m) => self.on_ready(from, m),
+        }
+    }
+
+    fn on_init(&mut self, from: ProcessId, m: Bytes) -> RbStep {
+        if from != self.sender {
+            return Step::fault(from, FaultKind::NotEntitled);
+        }
+        let d = Self::digest(&m);
+        match self.init_digest {
+            Some(prev) if prev != d => return Step::fault(from, FaultKind::Equivocation),
+            Some(_) => return Step::none(), // duplicate
+            None => {
+                self.init_digest = Some(d);
+                self.remember(&m);
+            }
+        }
+        if self.sent_echo {
+            return Step::none();
+        }
+        self.sent_echo = true;
+        Step::broadcast(RbMessage::Echo(m))
+    }
+
+    fn on_echo(&mut self, from: ProcessId, m: Bytes) -> RbStep {
+        let d = Self::digest(&m);
+        match self.echoes[from] {
+            Some(prev) if prev != d => return Step::fault(from, FaultKind::Equivocation),
+            Some(_) => return Step::none(),
+            None => {
+                self.echoes[from] = Some(d);
+                self.remember(&m);
+            }
+        }
+        let mut step = Step::none();
+        if !self.sent_ready && Self::count(&self.echoes, &d) >= self.group.echo_threshold() {
+            self.sent_ready = true;
+            step.push_broadcast(RbMessage::Ready(m));
+        }
+        step
+    }
+
+    fn on_ready(&mut self, from: ProcessId, m: Bytes) -> RbStep {
+        let d = Self::digest(&m);
+        match self.readies[from] {
+            Some(prev) if prev != d => return Step::fault(from, FaultKind::Equivocation),
+            Some(_) => return Step::none(),
+            None => {
+                self.readies[from] = Some(d);
+                self.remember(&m);
+            }
+        }
+        let mut step = Step::none();
+        let count = Self::count(&self.readies, &d);
+        if !self.sent_ready && count >= self.group.one_correct() {
+            self.sent_ready = true;
+            step.push_broadcast(RbMessage::Ready(m.clone()));
+        }
+        if !self.delivered && count >= self.group.byzantine_majority() {
+            self.delivered = true;
+            step.push_output(m);
+        }
+        step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step::Target;
+
+    fn group4() -> Group {
+        Group::new(4).unwrap()
+    }
+
+    fn payload(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    /// Delivers every `Outgoing` of `step` from process `from` to all
+    /// instances, returning delivered payloads per process.
+    fn run_to_quiescence(instances: &mut [ReliableBroadcast], initial: RbStep) -> Vec<Option<Bytes>> {
+        let n = instances.len();
+        let mut delivered: Vec<Option<Bytes>> = vec![None; n];
+        // Queue of (from, to, message).
+        let mut queue: Vec<(ProcessId, ProcessId, RbMessage)> = Vec::new();
+        let push = |queue: &mut Vec<_>, from: ProcessId, step: RbStep, delivered: &mut Vec<Option<Bytes>>| {
+            for out in step.messages {
+                match out.target {
+                    Target::All => {
+                        for to in 0..n {
+                            queue.push((from, to, out.message.clone()));
+                        }
+                    }
+                    Target::One(to) => queue.push((from, to, out.message.clone())),
+                }
+            }
+            for o in step.outputs {
+                assert!(delivered[from].is_none(), "double delivery at {from}");
+                delivered[from] = Some(o);
+            }
+        };
+        push(&mut queue, instances[0].me, initial, &mut delivered);
+        // Fix: the initial step came from the instance that generated it.
+        while let Some((from, to, msg)) = queue.pop() {
+            let step = instances[to].handle_message(from, msg);
+            let me = instances[to].me;
+            push(&mut queue, me, step, &mut delivered);
+        }
+        delivered
+    }
+
+    #[test]
+    fn message_codec_roundtrip() {
+        for msg in [
+            RbMessage::Init(payload("a")),
+            RbMessage::Echo(payload("")),
+            RbMessage::Ready(payload("xyz")),
+        ] {
+            assert_eq!(RbMessage::from_bytes(&msg.to_bytes()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn codec_rejects_bad_tag() {
+        let mut w = Writer::new();
+        w.u8(9).bytes(b"m");
+        assert!(matches!(
+            RbMessage::from_bytes(&w.freeze()),
+            Err(WireError::InvalidTag { .. })
+        ));
+    }
+
+    #[test]
+    fn all_correct_deliver_senders_payload() {
+        let g = group4();
+        let mut insts: Vec<_> = (0..4).map(|me| ReliableBroadcast::new(g, me, 0)).collect();
+        let init = insts[0].broadcast(payload("m")).unwrap();
+        let delivered = run_to_quiescence(&mut insts, init);
+        for d in &delivered {
+            assert_eq!(d.as_ref(), Some(&payload("m")));
+        }
+    }
+
+    #[test]
+    fn delivery_with_one_silent_process() {
+        // Process 3 never participates (crash): the other three still
+        // deliver (n=4, f=1: echo threshold 3, ready threshold 3).
+        let g = group4();
+        let mut insts: Vec<_> = (0..3).map(|me| ReliableBroadcast::new(g, me, 0)).collect();
+        let init = insts[0].broadcast(payload("m")).unwrap();
+        let delivered = run_to_quiescence(&mut insts, init);
+        for d in &delivered {
+            assert_eq!(d.as_ref(), Some(&payload("m")));
+        }
+    }
+
+    #[test]
+    fn non_sender_cannot_broadcast() {
+        let g = group4();
+        let mut rb = ReliableBroadcast::new(g, 1, 0);
+        assert_eq!(
+            rb.broadcast(payload("m")).unwrap_err(),
+            ProtocolError::NotSender { me: 1, sender: 0 }
+        );
+    }
+
+    #[test]
+    fn double_broadcast_rejected() {
+        let g = group4();
+        let mut rb = ReliableBroadcast::new(g, 0, 0);
+        let _ = rb.broadcast(payload("m")).unwrap();
+        assert_eq!(rb.broadcast(payload("m")).unwrap_err(), ProtocolError::AlreadyStarted);
+    }
+
+    #[test]
+    fn init_from_non_sender_faulted() {
+        let g = group4();
+        let mut rb = ReliableBroadcast::new(g, 1, 0);
+        let step = rb.handle_message(2, RbMessage::Init(payload("evil")));
+        assert_eq!(step.faults[0].kind, FaultKind::NotEntitled);
+        assert!(step.messages.is_empty());
+    }
+
+    #[test]
+    fn equivocating_init_faulted() {
+        let g = group4();
+        let mut rb = ReliableBroadcast::new(g, 1, 0);
+        let _ = rb.handle_message(0, RbMessage::Init(payload("a")));
+        let step = rb.handle_message(0, RbMessage::Init(payload("b")));
+        assert_eq!(step.faults[0].kind, FaultKind::Equivocation);
+    }
+
+    #[test]
+    fn duplicate_init_ignored_silently() {
+        let g = group4();
+        let mut rb = ReliableBroadcast::new(g, 1, 0);
+        let _ = rb.handle_message(0, RbMessage::Init(payload("a")));
+        let step = rb.handle_message(0, RbMessage::Init(payload("a")));
+        assert!(step.is_empty());
+    }
+
+    #[test]
+    fn echo_counted_once_per_process() {
+        let g = group4();
+        let mut rb = ReliableBroadcast::new(g, 1, 0);
+        // Three echoes from the SAME process must not reach the threshold.
+        for _ in 0..3 {
+            let step = rb.handle_message(2, RbMessage::Echo(payload("m")));
+            assert!(step.messages.is_empty());
+        }
+        // Echo threshold is 3 distinct processes for n=4.
+        let _ = rb.handle_message(0, RbMessage::Echo(payload("m")));
+        let step = rb.handle_message(3, RbMessage::Echo(payload("m")));
+        assert!(matches!(step.messages[0].message, RbMessage::Ready(_)));
+    }
+
+    #[test]
+    fn equivocating_echo_faulted() {
+        let g = group4();
+        let mut rb = ReliableBroadcast::new(g, 1, 0);
+        let _ = rb.handle_message(2, RbMessage::Echo(payload("a")));
+        let step = rb.handle_message(2, RbMessage::Echo(payload("b")));
+        assert_eq!(step.faults[0].kind, FaultKind::Equivocation);
+    }
+
+    #[test]
+    fn ready_amplification_from_f_plus_1_readies() {
+        // A process that saw no INIT/ECHO still sends READY after f+1
+        // READYs, and delivers after 2f+1.
+        let g = group4();
+        let mut rb = ReliableBroadcast::new(g, 1, 0);
+        let s1 = rb.handle_message(2, RbMessage::Ready(payload("m")));
+        assert!(s1.messages.is_empty());
+        let s2 = rb.handle_message(3, RbMessage::Ready(payload("m")));
+        assert!(matches!(s2.messages[0].message, RbMessage::Ready(_)));
+        assert!(s2.outputs.is_empty());
+        let s3 = rb.handle_message(0, RbMessage::Ready(payload("m")));
+        assert_eq!(s3.outputs, vec![payload("m")]);
+        assert!(rb.is_delivered());
+    }
+
+    #[test]
+    fn delivery_happens_once() {
+        let g = group4();
+        let mut rb = ReliableBroadcast::new(g, 0, 0);
+        for p in 1..4 {
+            let _ = rb.handle_message(p, RbMessage::Ready(payload("m")));
+        }
+        assert!(rb.is_delivered());
+        // A fourth ready (own) must not deliver again.
+        let step = rb.handle_message(0, RbMessage::Ready(payload("m")));
+        assert!(step.outputs.is_empty());
+    }
+
+    #[test]
+    fn mixed_payload_readies_do_not_deliver() {
+        let g = group4();
+        let mut rb = ReliableBroadcast::new(g, 0, 0);
+        let _ = rb.handle_message(1, RbMessage::Ready(payload("a")));
+        let _ = rb.handle_message(2, RbMessage::Ready(payload("b")));
+        let step = rb.handle_message(3, RbMessage::Ready(payload("c")));
+        assert!(step.outputs.is_empty());
+        assert!(!rb.is_delivered());
+    }
+
+    #[test]
+    fn out_of_group_sender_faulted() {
+        let g = group4();
+        let mut rb = ReliableBroadcast::new(g, 0, 0);
+        let step = rb.handle_message(7, RbMessage::Echo(payload("m")));
+        assert_eq!(step.faults[0].kind, FaultKind::NotEntitled);
+    }
+
+    #[test]
+    fn larger_group_delivers() {
+        let g = Group::new(7).unwrap();
+        let mut insts: Vec<_> = (0..7).map(|me| ReliableBroadcast::new(g, me, 3)).collect();
+        let init = insts[3].broadcast(payload("wide")).unwrap();
+        // Patch: initial step originates from process 3.
+        let mut delivered: Vec<Option<Bytes>> = vec![None; 7];
+        let mut queue: Vec<(ProcessId, ProcessId, RbMessage)> = Vec::new();
+        for out in init.messages {
+            if let Target::All = out.target {
+                for to in 0..7 {
+                    queue.push((3, to, out.message.clone()));
+                }
+            }
+        }
+        while let Some((from, to, msg)) = queue.pop() {
+            let step = insts[to].handle_message(from, msg);
+            for out in step.messages {
+                match out.target {
+                    Target::All => {
+                        for t in 0..7 {
+                            queue.push((to, t, out.message.clone()));
+                        }
+                    }
+                    Target::One(t) => queue.push((to, t, out.message.clone())),
+                }
+            }
+            for o in step.outputs {
+                delivered[to] = Some(o);
+            }
+        }
+        for d in &delivered {
+            assert_eq!(d.as_ref(), Some(&payload("wide")));
+        }
+    }
+}

@@ -1,0 +1,1032 @@
+//! The per-process protocol stack: instance management, demultiplexing
+//! and out-of-context buffering (paper §3.2–§3.4).
+//!
+//! A [`Stack`] is the sans-io equivalent of the paper's `ritas_t` context:
+//! it owns every protocol instance of one process, routes inbound wire
+//! messages to the right instance (the paper's *control block chaining*
+//! becomes a typed [`InstanceKey`] carried in every envelope), and buffers
+//! *out-of-context* messages — correct messages that arrive before their
+//! instance exists — replaying them on creation, exactly as §3.4
+//! describes.
+//!
+//! Instance creation rules mirror the original implementation:
+//!
+//! * **broadcast instances** (`Rb`, `Eb`, `Ab`) auto-create on first
+//!   contact — their designated sender is part of the key, so a receiver
+//!   can always build the control block;
+//! * **consensus instances** (`Bc`, `Mvc`, `Vc`) are created by the local
+//!   `propose` call; traffic arriving earlier is parked in the OOC table
+//!   (bounded; see [`Stack::ooc_len`]).
+
+use crate::ab::{AbConfig, AbDelivery, AbMessage, AtomicBroadcast, MsgId};
+use crate::bc::{BcMessage, BinaryConsensus};
+use crate::codec::{Reader, WireError, WireMessage, Writer};
+use crate::config::Group;
+use crate::eb::{EbMessage, EchoBroadcast};
+use crate::error::ProtocolError;
+use crate::mvc::{MultiValuedConsensus, MvcConfig, MvcMessage, MvcValue};
+use crate::rb::{RbMessage, ReliableBroadcast};
+use crate::step::{FaultKind, Step};
+use crate::vc::{DecisionVector, VcMessage, VectorConsensus};
+use crate::ProcessId;
+use bytes::Bytes;
+use ritas_crypto::{Coin, DeterministicCoin, ProcessKeys};
+use std::collections::{HashMap, VecDeque};
+
+/// Bounds for the out-of-context table (§3.4): a Byzantine process must
+/// not be able to make us buffer unbounded state.
+const MAX_OOC_INSTANCES: usize = 4096;
+/// Per-instance OOC message cap.
+const MAX_OOC_PER_INSTANCE: usize = 65536;
+
+/// Identifies a top-level protocol instance within a session.
+///
+/// This is the root of the paper's control-block-chaining identifier: the
+/// nested instance ids of child protocols are encoded inside each
+/// protocol's own message types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum InstanceKey {
+    /// A reliable broadcast by `sender`, its `seq`-th.
+    Rb {
+        /// Designated sender.
+        sender: ProcessId,
+        /// Sender-local sequence number.
+        seq: u64,
+    },
+    /// An echo broadcast by `sender`, its `seq`-th.
+    Eb {
+        /// Designated sender.
+        sender: ProcessId,
+        /// Sender-local sequence number.
+        seq: u64,
+    },
+    /// A binary consensus with an application-agreed tag.
+    Bc {
+        /// Application-level instance tag.
+        tag: u64,
+    },
+    /// A multi-valued consensus with an application-agreed tag.
+    Mvc {
+        /// Application-level instance tag.
+        tag: u64,
+    },
+    /// A vector consensus with an application-agreed tag.
+    Vc {
+        /// Application-level instance tag.
+        tag: u64,
+    },
+    /// An atomic broadcast session.
+    Ab {
+        /// Session number (usually 0).
+        session: u32,
+    },
+}
+
+const KEY_RB: u8 = 1;
+const KEY_EB: u8 = 2;
+const KEY_BC: u8 = 3;
+const KEY_MVC: u8 = 4;
+const KEY_VC: u8 = 5;
+const KEY_AB: u8 = 6;
+
+impl WireMessage for InstanceKey {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            InstanceKey::Rb { sender, seq } => {
+                w.u8(KEY_RB).u32(*sender as u32).u64(*seq);
+            }
+            InstanceKey::Eb { sender, seq } => {
+                w.u8(KEY_EB).u32(*sender as u32).u64(*seq);
+            }
+            InstanceKey::Bc { tag } => {
+                w.u8(KEY_BC).u64(*tag);
+            }
+            InstanceKey::Mvc { tag } => {
+                w.u8(KEY_MVC).u64(*tag);
+            }
+            InstanceKey::Vc { tag } => {
+                w.u8(KEY_VC).u64(*tag);
+            }
+            InstanceKey::Ab { session } => {
+                w.u8(KEY_AB).u32(*session);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8("key.kind")? {
+            KEY_RB => Ok(InstanceKey::Rb {
+                sender: r.u32("key.sender")? as usize,
+                seq: r.u64("key.seq")?,
+            }),
+            KEY_EB => Ok(InstanceKey::Eb {
+                sender: r.u32("key.sender")? as usize,
+                seq: r.u64("key.seq")?,
+            }),
+            KEY_BC => Ok(InstanceKey::Bc { tag: r.u64("key.tag")? }),
+            KEY_MVC => Ok(InstanceKey::Mvc { tag: r.u64("key.tag")? }),
+            KEY_VC => Ok(InstanceKey::Vc { tag: r.u64("key.tag")? }),
+            KEY_AB => Ok(InstanceKey::Ab { session: r.u32("key.session")? }),
+            t => Err(WireError::InvalidTag { what: "key.kind", tag: t }),
+        }
+    }
+}
+
+/// An output delivered by the stack to the application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Output {
+    /// A reliable broadcast delivered.
+    RbDelivered {
+        /// The instance that delivered.
+        key: InstanceKey,
+        /// Its designated sender.
+        sender: ProcessId,
+        /// The payload.
+        payload: Bytes,
+    },
+    /// An echo broadcast delivered.
+    EbDelivered {
+        /// The instance that delivered.
+        key: InstanceKey,
+        /// Its designated sender.
+        sender: ProcessId,
+        /// The payload.
+        payload: Bytes,
+    },
+    /// A binary consensus decided.
+    BcDecided {
+        /// The instance that decided.
+        key: InstanceKey,
+        /// The decision.
+        decision: bool,
+    },
+    /// A multi-valued consensus decided (`None` = the default value ⊥).
+    MvcDecided {
+        /// The instance that decided.
+        key: InstanceKey,
+        /// The decision.
+        decision: MvcValue,
+    },
+    /// A vector consensus decided.
+    VcDecided {
+        /// The instance that decided.
+        key: InstanceKey,
+        /// The decided vector.
+        vector: DecisionVector,
+    },
+    /// An atomic broadcast a-delivered a message.
+    AbDelivered {
+        /// The session that delivered.
+        key: InstanceKey,
+        /// The delivery (id + payload), in total order.
+        delivery: AbDelivery,
+    },
+}
+
+/// A stack-level step: raw wire frames to transmit plus application
+/// outputs.
+pub type StackStep = Step<Bytes, Output>;
+
+enum Instance {
+    Rb(ReliableBroadcast),
+    Eb(EchoBroadcast),
+    Bc(BinaryConsensus),
+    Mvc(MultiValuedConsensus),
+    Vc(VectorConsensus),
+    Ab(Box<AtomicBroadcast>),
+}
+
+/// Which randomized-coin scheme standalone binary consensus instances
+/// use (paper §5: Ben-Or's local coins vs Rabin's dealer-distributed
+/// shared coins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoinPolicy {
+    /// Ben-Or-style private local coins — the paper's configuration; no
+    /// setup beyond the pairwise keys.
+    #[default]
+    Local,
+    /// Rabin-style shared coins dealt from a common seed: every process
+    /// flips the same bit in the same round, giving O(1) expected rounds
+    /// even under adversarial scheduling. All processes must configure
+    /// the same `dealer_seed`.
+    Shared {
+        /// The dealer's master seed (distributed with the keys).
+        dealer_seed: u64,
+    },
+}
+
+/// Stack-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct StackConfig {
+    /// Configuration for atomic broadcast sessions (and their agreement
+    /// sub-protocols).
+    pub ab: AbConfig,
+    /// Transports used by standalone consensus instances (`Bc`, `Mvc`,
+    /// `Vc`).
+    pub consensus: MvcConfig,
+    /// When `false`, vector consensus rounds are driven by
+    /// [`Stack::poll_all`] instead of starting eagerly (single-threaded
+    /// batching; see [`crate::vc::VectorConsensus::poll`]).
+    pub eager_vc_rounds: bool,
+    /// Coin scheme for standalone binary consensus instances.
+    pub coin: CoinPolicy,
+}
+
+impl Default for StackConfig {
+    fn default() -> Self {
+        StackConfig {
+            ab: AbConfig::default(),
+            consensus: MvcConfig::default(),
+            eager_vc_rounds: true,
+            coin: CoinPolicy::Local,
+        }
+    }
+}
+
+/// The per-process protocol stack (the `ritas_t` context of §3.1).
+///
+/// # Example
+///
+/// Stacks are sans-io; the [`crate::testing::Cluster`] drives four of
+/// them to a binary consensus decision:
+///
+/// ```
+/// use ritas::stack::Output;
+/// use ritas::testing::Cluster;
+///
+/// let mut cluster = Cluster::new(4, 7);
+/// for p in 0..4 {
+///     let step = cluster.stack_mut(p).bc_propose(1, true)?;
+///     cluster.absorb(p, step);
+/// }
+/// cluster.run();
+/// assert!(cluster.outputs(0).iter().any(|o| matches!(
+///     o,
+///     Output::BcDecided { decision: true, .. }
+/// )));
+/// # Ok::<(), ritas::ProtocolError>(())
+/// ```
+pub struct Stack {
+    group: Group,
+    me: ProcessId,
+    keys: ProcessKeys,
+    config: StackConfig,
+    coin_seed: u64,
+    instances: HashMap<InstanceKey, Instance>,
+    /// Out-of-context messages: (from, encoded inner message).
+    ooc: HashMap<InstanceKey, VecDeque<(ProcessId, Bytes)>>,
+    next_rb_seq: u64,
+    next_eb_seq: u64,
+    /// Total frames dropped because the OOC table was full.
+    ooc_dropped: u64,
+}
+
+impl core::fmt::Debug for Stack {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Stack")
+            .field("me", &self.me)
+            .field("instances", &self.instances.len())
+            .field("ooc", &self.ooc.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Stack {
+    /// Creates the stack for process `me`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is out of group or the key view mismatches.
+    pub fn new(group: Group, me: ProcessId, keys: ProcessKeys, coin_seed: u64) -> Self {
+        Self::with_config(group, me, keys, coin_seed, StackConfig::default())
+    }
+
+    /// Creates the stack with explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is out of group or the key view mismatches.
+    pub fn with_config(
+        group: Group,
+        me: ProcessId,
+        keys: ProcessKeys,
+        coin_seed: u64,
+        config: StackConfig,
+    ) -> Self {
+        assert!(group.contains(me), "me out of group");
+        assert_eq!(keys.me(), me, "key view mismatch");
+        Stack {
+            group,
+            me,
+            keys,
+            config,
+            coin_seed,
+            instances: HashMap::new(),
+            ooc: HashMap::new(),
+            next_rb_seq: 0,
+            next_eb_seq: 0,
+            ooc_dropped: 0,
+        }
+    }
+
+    /// This process's id.
+    pub fn id(&self) -> ProcessId {
+        self.me
+    }
+
+    /// The group configuration.
+    pub fn group(&self) -> Group {
+        self.group
+    }
+
+    /// Number of live protocol instances.
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Number of instances with buffered out-of-context messages.
+    pub fn ooc_len(&self) -> usize {
+        self.ooc.len()
+    }
+
+    /// Total frames dropped because the OOC table was at capacity.
+    pub fn ooc_dropped(&self) -> u64 {
+        self.ooc_dropped
+    }
+
+    fn coin_for(&self, key: &InstanceKey) -> Box<dyn Coin + Send> {
+        let salt = match key {
+            InstanceKey::Bc { tag } => 0x1000_0000_0000_0000u64 ^ *tag,
+            InstanceKey::Mvc { tag } => 0x2000_0000_0000_0000u64 ^ *tag,
+            InstanceKey::Vc { tag } => 0x3000_0000_0000_0000u64 ^ *tag,
+            InstanceKey::Ab { session } => 0x4000_0000_0000_0000u64 ^ *session as u64,
+            _ => 0,
+        };
+        Box::new(DeterministicCoin::new(
+            self.coin_seed.wrapping_mul(0x9E3779B97F4A7C15) ^ salt,
+        ))
+    }
+
+    fn sub_seed(&self, key: &InstanceKey) -> u64 {
+        let salt = match key {
+            InstanceKey::Vc { tag } => 0x5000_0000_0000_0000u64 ^ *tag,
+            InstanceKey::Ab { session } => 0x6000_0000_0000_0000u64 ^ *session as u64,
+            _ => 0,
+        };
+        self.coin_seed.wrapping_mul(0x517C_C1B7_2722_0A95) ^ salt
+    }
+
+    // ----- service requests (the ritas_XX_* functions of §3.1) -----
+
+    /// Reliably broadcasts `payload`; returns the instance key so the
+    /// caller can correlate deliveries.
+    pub fn rb_broadcast(&mut self, payload: Bytes) -> (InstanceKey, StackStep) {
+        let key = InstanceKey::Rb {
+            sender: self.me,
+            seq: self.next_rb_seq,
+        };
+        self.next_rb_seq += 1;
+        let mut inst = ReliableBroadcast::new(self.group, self.me, self.me);
+        let sub = inst.broadcast(payload).expect("fresh instance");
+        self.instances.insert(key, Instance::Rb(inst));
+        let mut out = encode_rb_step(key, self.me, sub);
+        out.extend(self.replay_ooc(key));
+        (key, out)
+    }
+
+    /// Echo-broadcasts `payload`.
+    pub fn eb_broadcast(&mut self, payload: Bytes) -> (InstanceKey, StackStep) {
+        let key = InstanceKey::Eb {
+            sender: self.me,
+            seq: self.next_eb_seq,
+        };
+        self.next_eb_seq += 1;
+        let mut inst = EchoBroadcast::new(self.group, self.me, self.me, self.keys.clone());
+        let sub = inst.broadcast(payload).expect("fresh instance");
+        self.instances.insert(key, Instance::Eb(inst));
+        let mut out = encode_eb_step(key, self.me, sub);
+        out.extend(self.replay_ooc(key));
+        (key, out)
+    }
+
+    /// Proposes a bit for binary consensus instance `tag`.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::AlreadyStarted`] if `tag` was already proposed.
+    pub fn bc_propose(&mut self, tag: u64, value: bool) -> Result<StackStep, ProtocolError> {
+        let key = InstanceKey::Bc { tag };
+        if self.instances.contains_key(&key) {
+            return Err(ProtocolError::AlreadyStarted);
+        }
+        let mut inst = match self.config.coin {
+            CoinPolicy::Local => BinaryConsensus::with_transport(
+                self.group,
+                self.me,
+                self.coin_for(&key),
+                self.config.consensus.bc_transport,
+            ),
+            CoinPolicy::Shared { dealer_seed } => BinaryConsensus::with_round_coin(
+                self.group,
+                self.me,
+                Box::new(ritas_crypto::SharedCoinDealer::new(dealer_seed).coin(tag)),
+                self.config.consensus.bc_transport,
+            ),
+        };
+        let sub = inst.propose(value)?;
+        self.instances.insert(key, Instance::Bc(inst));
+        let mut out = encode_bc_step(key, sub);
+        out.extend(self.replay_ooc(key));
+        Ok(out)
+    }
+
+    /// Proposes a value for multi-valued consensus instance `tag`.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::AlreadyStarted`] if `tag` was already proposed.
+    pub fn mvc_propose(&mut self, tag: u64, value: Bytes) -> Result<StackStep, ProtocolError> {
+        let key = InstanceKey::Mvc { tag };
+        if self.instances.contains_key(&key) {
+            return Err(ProtocolError::AlreadyStarted);
+        }
+        let mut inst = MultiValuedConsensus::with_config(
+            self.group,
+            self.me,
+            self.keys.clone(),
+            self.coin_for(&key),
+            self.config.consensus,
+        );
+        let sub = inst.propose(value)?;
+        self.instances.insert(key, Instance::Mvc(inst));
+        let mut out = encode_mvc_step(key, sub);
+        out.extend(self.replay_ooc(key));
+        Ok(out)
+    }
+
+    /// Runs the paper's §4.2 Byzantine faultload on multi-valued
+    /// consensus instance `tag`: propose ⊥ in INIT and VECT and 0 at the
+    /// binary consensus layer (evaluation harness only).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::AlreadyStarted`] if `tag` was already proposed.
+    pub fn mvc_propose_bottom(&mut self, tag: u64) -> Result<StackStep, ProtocolError> {
+        let key = InstanceKey::Mvc { tag };
+        if self.instances.contains_key(&key) {
+            return Err(ProtocolError::AlreadyStarted);
+        }
+        let mut inst = MultiValuedConsensus::with_config(
+            self.group,
+            self.me,
+            self.keys.clone(),
+            self.coin_for(&key),
+            self.config.consensus,
+        );
+        let sub = inst.propose_byzantine_bottom()?;
+        self.instances.insert(key, Instance::Mvc(inst));
+        let mut out = encode_mvc_step(key, sub);
+        out.extend(self.replay_ooc(key));
+        Ok(out)
+    }
+
+    /// Proposes a value for vector consensus instance `tag`.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::AlreadyStarted`] if `tag` was already proposed.
+    pub fn vc_propose(&mut self, tag: u64, value: Bytes) -> Result<StackStep, ProtocolError> {
+        let key = InstanceKey::Vc { tag };
+        if self.instances.contains_key(&key) {
+            return Err(ProtocolError::AlreadyStarted);
+        }
+        let mut inst = VectorConsensus::with_config(
+            self.group,
+            self.me,
+            self.keys.clone(),
+            self.sub_seed(&key),
+            self.config.consensus,
+        );
+        if !self.config.eager_vc_rounds {
+            inst = inst.deferred_rounds();
+        }
+        let sub = inst.propose(value)?;
+        self.instances.insert(key, Instance::Vc(inst));
+        let mut out = encode_vc_step(key, sub);
+        out.extend(self.replay_ooc(key));
+        Ok(out)
+    }
+
+    /// A-broadcasts `payload` on atomic broadcast session `session`.
+    pub fn ab_broadcast(&mut self, session: u32, payload: Bytes) -> (MsgId, StackStep) {
+        let key = InstanceKey::Ab { session };
+        self.ensure_ab(key);
+        let Some(Instance::Ab(ab)) = self.instances.get_mut(&key) else {
+            unreachable!("just ensured");
+        };
+        let (id, sub) = ab.broadcast(payload);
+        (id, encode_ab_step(key, sub))
+    }
+
+    /// Drives deferred agreement rounds for an atomic broadcast session
+    /// (see [`crate::ab::AbConfig::eager_rounds`]). Call when the inbound
+    /// queue has been drained. No-op if the session does not exist.
+    pub fn ab_poll(&mut self, session: u32) -> StackStep {
+        let key = InstanceKey::Ab { session };
+        match self.instances.get_mut(&key) {
+            Some(Instance::Ab(ab)) => encode_ab_step(key, ab.poll()),
+            _ => Step::none(),
+        }
+    }
+
+    /// Drives all deferred round machinery (atomic broadcast sessions and
+    /// vector consensus instances). Single-threaded drivers call this
+    /// when their inbound queue has been drained.
+    pub fn poll_all(&mut self) -> StackStep {
+        let keys: Vec<InstanceKey> = self
+            .instances
+            .iter()
+            .filter(|(k, _)| matches!(k, InstanceKey::Ab { .. } | InstanceKey::Vc { .. }))
+            .map(|(k, _)| *k)
+            .collect();
+        let mut out = Step::none();
+        for key in keys {
+            match self.instances.get_mut(&key) {
+                Some(Instance::Ab(ab)) => out.extend(encode_ab_step(key, ab.poll())),
+                Some(Instance::Vc(vc)) => out.extend(encode_vc_step(key, vc.poll())),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// The round in which binary consensus instance `tag` decided
+    /// (1-based), if it exists and has decided. Statistics for the
+    /// randomization experiments.
+    pub fn bc_decided_round(&self, tag: u64) -> Option<u32> {
+        match self.instances.get(&InstanceKey::Bc { tag }) {
+            Some(Instance::Bc(bc)) => bc.decided_round(),
+            _ => None,
+        }
+    }
+
+    /// The agreement round a vector consensus instance is in (0-based),
+    /// if it exists. A value above 0 means earlier rounds decided ⊥ and
+    /// were retried.
+    pub fn vc_round(&self, tag: u64) -> Option<u32> {
+        match self.instances.get(&InstanceKey::Vc { tag }) {
+            Some(Instance::Vc(vc)) => Some(vc.round()),
+            _ => None,
+        }
+    }
+
+    /// Atomic broadcast session statistics (Figures 4–7 harness).
+    pub fn ab_stats(&self, session: u32) -> Option<crate::ab::AbStats> {
+        match self.instances.get(&InstanceKey::Ab { session }) {
+            Some(Instance::Ab(ab)) => Some(ab.stats()),
+            _ => None,
+        }
+    }
+
+    /// Atomic broadcast introspection: `(stats, current round, pending)`.
+    pub fn ab_debug(&self, session: u32) -> Option<(crate::ab::AbStats, u32, usize)> {
+        match self.instances.get(&InstanceKey::Ab { session }) {
+            Some(Instance::Ab(ab)) => Some((ab.stats(), ab.round(), ab.pending())),
+            _ => None,
+        }
+    }
+
+    /// Verbose atomic broadcast snapshot (debugging stuck rounds).
+    pub fn ab_debug_verbose(&self, session: u32) -> Option<String> {
+        match self.instances.get(&InstanceKey::Ab { session }) {
+            Some(Instance::Ab(ab)) => Some(ab.debug_snapshot()),
+            _ => None,
+        }
+    }
+
+    fn ensure_ab(&mut self, key: InstanceKey) {
+        if !self.instances.contains_key(&key) {
+            let inst = AtomicBroadcast::with_config(
+                self.group,
+                self.me,
+                self.keys.clone(),
+                self.sub_seed(&key),
+                self.config.ab,
+            );
+            self.instances.insert(key, Instance::Ab(Box::new(inst)));
+            // Replay is handled by the caller paths that create instances;
+            // ensure_ab is also called from handle_frame where OOC cannot
+            // exist (auto-created on first contact).
+        }
+    }
+
+    /// Destroys an instance, purging its out-of-context messages (§3.4).
+    pub fn destroy(&mut self, key: InstanceKey) {
+        self.instances.remove(&key);
+        self.ooc.remove(&key);
+    }
+
+    // ----- inbound path -----
+
+    /// Handles one raw wire frame from `from`.
+    ///
+    /// Malformed frames are reported as faults; messages for instances
+    /// that cannot be auto-created are parked in the OOC table.
+    pub fn handle_frame(&mut self, from: ProcessId, frame: Bytes) -> StackStep {
+        if !self.group.contains(from) {
+            return Step::fault(from, FaultKind::NotEntitled);
+        }
+        let mut r = Reader::new(&frame);
+        let key = match InstanceKey::decode(&mut r) {
+            Ok(k) => k,
+            Err(_) => return Step::fault(from, FaultKind::Malformed),
+        };
+        let inner = Bytes::copy_from_slice(r.raw(r.remaining(), "frame.body").expect("len ok"));
+        self.dispatch(from, key, inner)
+    }
+
+    fn dispatch(&mut self, from: ProcessId, key: InstanceKey, inner: Bytes) -> StackStep {
+        // Auto-create broadcast instances on first contact.
+        if !self.instances.contains_key(&key) {
+            match key {
+                InstanceKey::Rb { sender, .. } if self.group.contains(sender) => {
+                    self.instances.insert(
+                        key,
+                        Instance::Rb(ReliableBroadcast::new(self.group, self.me, sender)),
+                    );
+                }
+                InstanceKey::Eb { sender, .. } if self.group.contains(sender) => {
+                    self.instances.insert(
+                        key,
+                        Instance::Eb(EchoBroadcast::new(
+                            self.group,
+                            self.me,
+                            sender,
+                            self.keys.clone(),
+                        )),
+                    );
+                }
+                InstanceKey::Ab { .. } => self.ensure_ab(key),
+                InstanceKey::Rb { .. } | InstanceKey::Eb { .. } => {
+                    return Step::fault(from, FaultKind::Malformed);
+                }
+                // Consensus instances wait for the local propose call.
+                InstanceKey::Bc { .. } | InstanceKey::Mvc { .. } | InstanceKey::Vc { .. } => {
+                    self.park_ooc(key, from, inner);
+                    return Step::none();
+                }
+            }
+        }
+        self.feed_instance(from, key, inner)
+    }
+
+    fn feed_instance(&mut self, from: ProcessId, key: InstanceKey, inner: Bytes) -> StackStep {
+        let Some(instance) = self.instances.get_mut(&key) else {
+            return Step::none();
+        };
+        match instance {
+            Instance::Rb(rb) => match RbMessage::from_bytes(&inner) {
+                Ok(m) => {
+                    let sender = rb.sender();
+                    encode_rb_step(key, sender, rb.handle_message(from, m))
+                }
+                Err(_) => Step::fault(from, FaultKind::Malformed),
+            },
+            Instance::Eb(eb) => match EbMessage::from_bytes(&inner) {
+                Ok(m) => {
+                    let sender = eb.sender();
+                    encode_eb_step(key, sender, eb.handle_message(from, m))
+                }
+                Err(_) => Step::fault(from, FaultKind::Malformed),
+            },
+            Instance::Bc(bc) => match BcMessage::from_bytes(&inner) {
+                Ok(m) => encode_bc_step(key, bc.handle_message(from, m)),
+                Err(_) => Step::fault(from, FaultKind::Malformed),
+            },
+            Instance::Mvc(mvc) => match MvcMessage::from_bytes(&inner) {
+                Ok(m) => encode_mvc_step(key, mvc.handle_message(from, m)),
+                Err(_) => Step::fault(from, FaultKind::Malformed),
+            },
+            Instance::Vc(vc) => match VcMessage::from_bytes(&inner) {
+                Ok(m) => encode_vc_step(key, vc.handle_message(from, m)),
+                Err(_) => Step::fault(from, FaultKind::Malformed),
+            },
+            Instance::Ab(ab) => match AbMessage::from_bytes(&inner) {
+                Ok(m) => encode_ab_step(key, ab.handle_message(from, m)),
+                Err(_) => Step::fault(from, FaultKind::Malformed),
+            },
+        }
+    }
+
+    fn park_ooc(&mut self, key: InstanceKey, from: ProcessId, inner: Bytes) {
+        if !self.ooc.contains_key(&key) && self.ooc.len() >= MAX_OOC_INSTANCES {
+            self.ooc_dropped += 1;
+            return;
+        }
+        let q = self.ooc.entry(key).or_default();
+        if q.len() >= MAX_OOC_PER_INSTANCE {
+            self.ooc_dropped += 1;
+            return;
+        }
+        q.push_back((from, inner));
+    }
+
+    fn replay_ooc(&mut self, key: InstanceKey) -> StackStep {
+        let Some(q) = self.ooc.remove(&key) else {
+            return Step::none();
+        };
+        let mut out = Step::none();
+        for (from, inner) in q {
+            out.extend(self.feed_instance(from, key, inner));
+        }
+        out
+    }
+}
+
+// ----- step encoding: wrap child messages into wire frames -----
+
+fn encode_frame<M: WireMessage>(key: InstanceKey, m: &M) -> Bytes {
+    let mut w = Writer::new();
+    key.encode(&mut w);
+    m.encode(&mut w);
+    w.freeze()
+}
+
+fn encode_rb_step(key: InstanceKey, sender: ProcessId, sub: Step<RbMessage, Bytes>) -> StackStep {
+    sub.map_messages(|m| encode_frame(key, &m))
+        .map_outputs(|payload| Some(Output::RbDelivered { key, sender, payload }))
+}
+
+fn encode_eb_step(key: InstanceKey, sender: ProcessId, sub: Step<EbMessage, Bytes>) -> StackStep {
+    sub.map_messages(|m| encode_frame(key, &m))
+        .map_outputs(|payload| Some(Output::EbDelivered { key, sender, payload }))
+}
+
+fn encode_bc_step(key: InstanceKey, sub: Step<BcMessage, bool>) -> StackStep {
+    sub.map_messages(|m| encode_frame(key, &m))
+        .map_outputs(|decision| Some(Output::BcDecided { key, decision }))
+}
+
+fn encode_mvc_step(key: InstanceKey, sub: Step<MvcMessage, MvcValue>) -> StackStep {
+    sub.map_messages(|m| encode_frame(key, &m))
+        .map_outputs(|decision| Some(Output::MvcDecided { key, decision }))
+}
+
+fn encode_vc_step(key: InstanceKey, sub: Step<VcMessage, DecisionVector>) -> StackStep {
+    sub.map_messages(|m| encode_frame(key, &m))
+        .map_outputs(|vector| Some(Output::VcDecided { key, vector }))
+}
+
+fn encode_ab_step(key: InstanceKey, sub: Step<AbMessage, AbDelivery>) -> StackStep {
+    sub.map_messages(|m| encode_frame(key, &m))
+        .map_outputs(|delivery| Some(Output::AbDelivered { key, delivery }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::Cluster;
+
+    #[test]
+    fn instance_key_codec_roundtrip() {
+        for key in [
+            InstanceKey::Rb { sender: 1, seq: 9 },
+            InstanceKey::Eb { sender: 0, seq: 0 },
+            InstanceKey::Bc { tag: 42 },
+            InstanceKey::Mvc { tag: u64::MAX },
+            InstanceKey::Vc { tag: 7 },
+            InstanceKey::Ab { session: 3 },
+        ] {
+            assert_eq!(InstanceKey::from_bytes(&key.to_bytes()).unwrap(), key);
+        }
+    }
+
+    #[test]
+    fn rb_broadcast_via_stack() {
+        let mut cluster = Cluster::new(4, 11);
+        let (_key, step) = cluster.stack_mut(0).rb_broadcast(Bytes::from_static(b"m"));
+        cluster.absorb(0, step);
+        cluster.run();
+        for p in 0..4 {
+            let delivered: Vec<_> = cluster
+                .outputs(p)
+                .iter()
+                .filter_map(|o| match o {
+                    Output::RbDelivered { sender, payload, .. } => Some((*sender, payload.clone())),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(delivered, vec![(0, Bytes::from_static(b"m"))], "process {p}");
+        }
+    }
+
+    #[test]
+    fn eb_broadcast_via_stack() {
+        let mut cluster = Cluster::new(4, 12);
+        let (_key, step) = cluster.stack_mut(2).eb_broadcast(Bytes::from_static(b"e"));
+        cluster.absorb(2, step);
+        cluster.run();
+        for p in 0..4 {
+            assert!(
+                cluster.outputs(p).iter().any(|o| matches!(
+                    o,
+                    Output::EbDelivered { sender: 2, payload, .. } if payload.as_ref() == b"e"
+                )),
+                "process {p} missing delivery"
+            );
+        }
+    }
+
+    #[test]
+    fn bc_via_stack_with_ooc_buffering() {
+        let mut cluster = Cluster::new(4, 13);
+        // Three processes propose immediately; the fourth receives all
+        // their traffic out-of-context first, then proposes.
+        for p in 0..3 {
+            let step = cluster.stack_mut(p).bc_propose(5, true).unwrap();
+            cluster.absorb(p, step);
+        }
+        cluster.run();
+        assert!(cluster.stack_mut(3).ooc_len() > 0, "OOC must have buffered");
+        let step = cluster.stack_mut(3).bc_propose(5, true).unwrap();
+        cluster.absorb(3, step);
+        cluster.run();
+        for p in 0..4 {
+            assert!(
+                cluster.outputs(p).iter().any(|o| matches!(
+                    o,
+                    Output::BcDecided { decision: true, .. }
+                )),
+                "process {p} missing decision"
+            );
+        }
+    }
+
+    #[test]
+    fn mvc_via_stack() {
+        let mut cluster = Cluster::new(4, 14);
+        for p in 0..4 {
+            let step = cluster
+                .stack_mut(p)
+                .mvc_propose(1, Bytes::from_static(b"val"))
+                .unwrap();
+            cluster.absorb(p, step);
+        }
+        cluster.run();
+        for p in 0..4 {
+            assert!(cluster.outputs(p).iter().any(|o| matches!(
+                o,
+                Output::MvcDecided { decision: Some(v), .. } if v.as_ref() == b"val"
+            )));
+        }
+    }
+
+    #[test]
+    fn vc_via_stack() {
+        let mut cluster = Cluster::new(4, 15);
+        for p in 0..4 {
+            let step = cluster
+                .stack_mut(p)
+                .vc_propose(1, Bytes::copy_from_slice(format!("p{p}").as_bytes()))
+                .unwrap();
+            cluster.absorb(p, step);
+        }
+        cluster.run();
+        for p in 0..4 {
+            assert!(cluster
+                .outputs(p)
+                .iter()
+                .any(|o| matches!(o, Output::VcDecided { .. })));
+        }
+    }
+
+    #[test]
+    fn ab_via_stack() {
+        let mut cluster = Cluster::new(4, 16);
+        let (_, step) = cluster.stack_mut(1).ab_broadcast(0, Bytes::from_static(b"a1"));
+        cluster.absorb(1, step);
+        let (_, step) = cluster.stack_mut(2).ab_broadcast(0, Bytes::from_static(b"a2"));
+        cluster.absorb(2, step);
+        cluster.run();
+        let order0: Vec<MsgId> = cluster
+            .outputs(0)
+            .iter()
+            .filter_map(|o| match o {
+                Output::AbDelivered { delivery, .. } => Some(delivery.id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(order0.len(), 2);
+        for p in 1..4 {
+            let order: Vec<MsgId> = cluster
+                .outputs(p)
+                .iter()
+                .filter_map(|o| match o {
+                    Output::AbDelivered { delivery, .. } => Some(delivery.id),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(order, order0, "total order diverged at {p}");
+        }
+    }
+
+    #[test]
+    fn double_propose_rejected() {
+        let mut cluster = Cluster::new(4, 17);
+        let step = cluster.stack_mut(0).bc_propose(9, false).unwrap();
+        cluster.absorb(0, step);
+        assert_eq!(
+            cluster.stack_mut(0).bc_propose(9, true).unwrap_err(),
+            ProtocolError::AlreadyStarted
+        );
+    }
+
+    #[test]
+    fn destroy_purges_ooc() {
+        let mut cluster = Cluster::new(4, 18);
+        for p in 0..3 {
+            let step = cluster.stack_mut(p).bc_propose(5, true).unwrap();
+            cluster.absorb(p, step);
+        }
+        cluster.run();
+        assert!(cluster.stack_mut(3).ooc_len() > 0);
+        cluster.stack_mut(3).destroy(InstanceKey::Bc { tag: 5 });
+        assert_eq!(cluster.stack_mut(3).ooc_len(), 0);
+    }
+
+    #[test]
+    fn shared_coin_cluster_agrees() {
+        use crate::testing::Cluster;
+        let group = crate::Group::new(4).unwrap();
+        let table = ritas_crypto::KeyTable::dealer(4, 3);
+        let stacks: Vec<Stack> = (0..4)
+            .map(|me| {
+                Stack::with_config(
+                    group,
+                    me,
+                    table.view_of(me),
+                    3 ^ (me as u64) << 8,
+                    StackConfig {
+                        coin: CoinPolicy::Shared { dealer_seed: 55 },
+                        ..StackConfig::default()
+                    },
+                )
+            })
+            .collect();
+        let mut cluster = Cluster::with_stacks(stacks, 3);
+        for p in 0..4 {
+            let s = cluster.stack_mut(p).bc_propose(8, p % 2 == 1).unwrap();
+            cluster.absorb(p, s);
+        }
+        cluster.run();
+        let decisions: Vec<bool> = (0..4)
+            .filter_map(|p| {
+                cluster.outputs(p).iter().find_map(|o| match o {
+                    Output::BcDecided { decision, .. } => Some(*decision),
+                    _ => None,
+                })
+            })
+            .collect();
+        assert_eq!(decisions.len(), 4);
+        assert!(decisions.iter().all(|d| *d == decisions[0]));
+    }
+
+    #[test]
+    fn ooc_table_is_bounded() {
+        // Flood a stack with traffic for thousands of distinct uncreated
+        // consensus instances: the OOC table must cap, not balloon.
+        let mut cluster = crate::testing::Cluster::new(4, 40);
+        let mut dropped_seen = false;
+        for tag in 0..6000u64 {
+            let frame = {
+                let mut w = Writer::new();
+                InstanceKey::Bc { tag }.encode(&mut w);
+                w.u8(0xff); // body irrelevant, parked raw
+                w.freeze()
+            };
+            let _ = cluster.stack_mut(0).handle_frame(1, frame);
+        }
+        let stack = cluster.stack_mut(0);
+        assert!(stack.ooc_len() <= 4096, "ooc instances: {}", stack.ooc_len());
+        if stack.ooc_dropped() > 0 {
+            dropped_seen = true;
+        }
+        assert!(dropped_seen, "expected drops after exceeding the cap");
+    }
+
+    #[test]
+    fn malformed_frame_faulted() {
+        let mut cluster = Cluster::new(4, 19);
+        let step = cluster
+            .stack_mut(0)
+            .handle_frame(1, Bytes::from_static(&[0xff, 0xff]));
+        assert_eq!(step.faults[0].kind, FaultKind::Malformed);
+    }
+
+    #[test]
+    fn frame_from_stranger_rejected() {
+        let mut cluster = Cluster::new(4, 20);
+        let step = cluster.stack_mut(0).handle_frame(9, Bytes::from_static(&[1]));
+        assert_eq!(step.faults[0].kind, FaultKind::NotEntitled);
+    }
+}

@@ -1,0 +1,372 @@
+//! Deterministic in-memory cluster for driving [`crate::stack::Stack`]s.
+//!
+//! The cluster is a zero-time message-passing harness: it holds one stack
+//! per process and a queue of in-flight frames, and drains the queue in a
+//! seeded pseudo-random order (every interleaving is a legal asynchronous
+//! schedule, so randomizing it is a cheap schedule-exploration tool for
+//! tests — rerun with different seeds to explore different schedules).
+//! Timing-aware execution lives in the `ritas-sim` crate; this harness is
+//! for functional tests of the protocol logic.
+
+use crate::config::Group;
+use crate::stack::{Output, Stack, StackStep};
+use crate::step::Target;
+use crate::ProcessId;
+use bytes::Bytes;
+use ritas_crypto::KeyTable;
+
+/// How in-flight frames are picked for delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Schedule {
+    /// Seeded pseudo-random order (default): each run explores one legal
+    /// asynchronous interleaving, determined by the cluster seed.
+    #[default]
+    Random,
+    /// Strict FIFO: messages delivered in send order.
+    Fifo,
+    /// LIFO: newest messages first — an adversarial-ish schedule that
+    /// maximizes reordering across protocol instances.
+    Lifo,
+}
+
+/// A deterministic cluster of `n` stacks connected by reliable links.
+///
+/// # Example
+///
+/// ```
+/// use ritas::testing::Cluster;
+/// use ritas::stack::Output;
+/// use bytes::Bytes;
+///
+/// let mut cluster = Cluster::new(4, 42);
+/// let (_key, step) = cluster.stack_mut(0).rb_broadcast(Bytes::from_static(b"hi"));
+/// cluster.absorb(0, step);
+/// cluster.run();
+/// assert!(cluster.outputs(3).iter().any(|o| matches!(
+///     o,
+///     Output::RbDelivered { payload, .. } if payload.as_ref() == b"hi"
+/// )));
+/// ```
+#[derive(Debug)]
+pub struct Cluster {
+    stacks: Vec<Stack>,
+    queue: Vec<(ProcessId, ProcessId, Bytes)>,
+    outputs: Vec<Vec<Output>>,
+    schedule: Schedule,
+    rng_state: u64,
+    crashed: Vec<bool>,
+    /// Processes whose outgoing frames are randomly mutated (dropped,
+    /// duplicated, bit-flipped or replaced with garbage) — a wire-level
+    /// Byzantine adversary.
+    corrupted: Vec<bool>,
+    /// Processes whose inbound frames are currently withheld (extreme
+    /// asynchrony: the frames are buffered, not lost, and re-enter the
+    /// queue on release — delay, never loss, per the reliable-channel
+    /// model).
+    held_inbound: Vec<bool>,
+    stash: Vec<(ProcessId, ProcessId, Bytes)>,
+    delivered_frames: u64,
+}
+
+impl Cluster {
+    /// Creates a cluster of `n` correct processes with dealt keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 4`.
+    pub fn new(n: usize, seed: u64) -> Self {
+        Self::with_stacks(
+            (0..n)
+                .map(|me| {
+                    let group = Group::new(n).expect("n >= 4");
+                    let table = KeyTable::dealer(n, seed);
+                    Stack::new(group, me, table.view_of(me), seed ^ ((me as u64) << 32))
+                })
+                .collect(),
+            seed,
+        )
+    }
+
+    /// Creates a cluster from pre-built stacks (custom configs, Byzantine
+    /// strategies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stacks` is empty.
+    pub fn with_stacks(stacks: Vec<Stack>, seed: u64) -> Self {
+        assert!(!stacks.is_empty(), "cluster needs stacks");
+        let n = stacks.len();
+        Cluster {
+            stacks,
+            queue: Vec::new(),
+            outputs: vec![Vec::new(); n],
+            schedule: Schedule::Random,
+            rng_state: seed.wrapping_mul(0x9E3779B97F4A7C15) | 1,
+            crashed: vec![false; n],
+            corrupted: vec![false; n],
+            held_inbound: vec![false; n],
+            stash: Vec::new(),
+            delivered_frames: 0,
+        }
+    }
+
+    /// Sets the delivery schedule.
+    pub fn set_schedule(&mut self, schedule: Schedule) {
+        self.schedule = schedule;
+    }
+
+    /// Crashes process `p`: its outgoing frames are dropped and inbound
+    /// frames are discarded from now on.
+    pub fn crash(&mut self, p: ProcessId) {
+        self.crashed[p] = true;
+    }
+
+    /// Starts withholding all inbound frames for `p` — extreme (but
+    /// model-faithful) asynchrony: the frames are buffered and re-enter
+    /// the network when [`Cluster::release`] is called; nothing is lost.
+    pub fn hold(&mut self, p: ProcessId) {
+        self.held_inbound[p] = true;
+    }
+
+    /// Stops withholding and re-queues everything buffered for `p`.
+    pub fn release(&mut self, p: ProcessId) {
+        self.held_inbound[p] = false;
+        let (for_p, rest): (Vec<_>, Vec<_>) =
+            std::mem::take(&mut self.stash).into_iter().partition(|(_, to, _)| *to == p);
+        self.stash = rest;
+        self.queue.extend(for_p);
+    }
+
+    /// Marks process `p` as a wire-level Byzantine adversary: every frame
+    /// it sends is randomly dropped, duplicated, bit-flipped or replaced
+    /// with garbage (seeded). The remaining correct processes must still
+    /// satisfy their protocols' agreement/validity/order properties —
+    /// this models a corrupt process that emits arbitrary bytes rather
+    /// than one that merely follows a clever high-level strategy.
+    pub fn corrupt(&mut self, p: ProcessId) {
+        self.corrupted[p] = true;
+    }
+
+    /// Applies the wire-level mutation to a frame from a corrupted
+    /// process; returns the (0, 1 or 2) frames that actually travel.
+    fn mutate(&mut self, frame: Bytes) -> Vec<Bytes> {
+        match self.next_rand() % 5 {
+            // Dropped entirely.
+            0 => vec![],
+            // Duplicated verbatim.
+            1 => vec![frame.clone(), frame],
+            // One random bit flipped.
+            2 => {
+                let mut v = frame.to_vec();
+                if !v.is_empty() {
+                    let i = (self.next_rand() as usize) % v.len();
+                    let bit = (self.next_rand() % 8) as u32;
+                    v[i] ^= 1 << bit;
+                }
+                vec![Bytes::from(v)]
+            }
+            // Replaced by random garbage of random length.
+            3 => {
+                let len = (self.next_rand() as usize) % 64;
+                let v: Vec<u8> = (0..len).map(|_| (self.next_rand() & 0xff) as u8).collect();
+                vec![Bytes::from(v)]
+            }
+            // Passed through unchanged (intermittent honesty).
+            _ => vec![frame],
+        }
+    }
+
+    /// Access to a process's stack, e.g. to issue service requests.
+    pub fn stack_mut(&mut self, p: ProcessId) -> &mut Stack {
+        &mut self.stacks[p]
+    }
+
+    /// The outputs process `p` has produced so far, in order.
+    pub fn outputs(&self, p: ProcessId) -> &[Output] {
+        &self.outputs[p]
+    }
+
+    /// Frames delivered since creation (a rough message-complexity meter).
+    pub fn delivered_frames(&self) -> u64 {
+        self.delivered_frames
+    }
+
+    /// Queues the messages of `step` as in-flight frames from `p` and
+    /// records its outputs.
+    pub fn absorb(&mut self, p: ProcessId, step: StackStep) {
+        if self.crashed[p] {
+            return;
+        }
+        let n = self.stacks.len();
+        for out in step.messages {
+            let frames = if self.corrupted[p] {
+                self.mutate(out.message)
+            } else {
+                vec![out.message]
+            };
+            for frame in frames {
+                match out.target {
+                    Target::All => {
+                        for to in 0..n {
+                            self.queue.push((p, to, frame.clone()));
+                        }
+                    }
+                    Target::One(to) => self.queue.push((p, to, frame.clone())),
+                }
+            }
+        }
+        self.outputs[p].extend(step.outputs);
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Delivers exactly one in-flight frame. Returns `false` when the
+    /// queue is empty.
+    pub fn step(&mut self) -> bool {
+        if self.queue.is_empty() {
+            return false;
+        }
+        let idx = match self.schedule {
+            Schedule::Fifo => 0,
+            Schedule::Lifo => self.queue.len() - 1,
+            Schedule::Random => (self.next_rand() as usize) % self.queue.len(),
+        };
+        let (from, to, frame) = self.queue.remove(idx);
+        if self.crashed[to] {
+            return true;
+        }
+        if self.held_inbound[to] {
+            self.stash.push((from, to, frame));
+            return true;
+        }
+        self.delivered_frames += 1;
+        let step = self.stacks[to].handle_frame(from, frame);
+        self.absorb(to, step);
+        true
+    }
+
+    /// Runs until no frames are in flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics after 50 million deliveries (runaway-execution guard).
+    pub fn run(&mut self) {
+        let mut iterations: u64 = 0;
+        while self.step() {
+            iterations += 1;
+            assert!(iterations < 50_000_000, "runaway execution");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_and_lifo_schedules_still_converge() {
+        for schedule in [Schedule::Fifo, Schedule::Lifo, Schedule::Random] {
+            let mut cluster = Cluster::new(4, 3);
+            cluster.set_schedule(schedule);
+            let (_k, step) = cluster.stack_mut(0).rb_broadcast(Bytes::from_static(b"s"));
+            cluster.absorb(0, step);
+            cluster.run();
+            for p in 0..4 {
+                assert!(
+                    cluster.outputs(p).iter().any(|o| matches!(
+                        o,
+                        Output::RbDelivered { payload, .. } if payload.as_ref() == b"s"
+                    )),
+                    "{schedule:?} process {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crashed_process_stops_participating() {
+        let mut cluster = Cluster::new(4, 4);
+        cluster.crash(3);
+        let (_k, step) = cluster.stack_mut(0).rb_broadcast(Bytes::from_static(b"c"));
+        cluster.absorb(0, step);
+        cluster.run();
+        assert!(cluster.outputs(3).is_empty());
+        for p in 0..3 {
+            assert!(!cluster.outputs(p).is_empty(), "process {p}");
+        }
+    }
+
+    #[test]
+    fn wire_level_byzantine_cannot_break_bc_agreement() {
+        for seed in [1u64, 2, 3, 4, 5] {
+            let mut cluster = Cluster::new(4, seed);
+            cluster.corrupt(3);
+            for p in 0..4 {
+                let step = cluster.stack_mut(p).bc_propose(1, p % 2 == 0).unwrap();
+                cluster.absorb(p, step);
+            }
+            cluster.run();
+            let decisions: Vec<bool> = (0..3)
+                .filter_map(|p| {
+                    cluster.outputs(p).iter().find_map(|o| match o {
+                        Output::BcDecided { decision, .. } => Some(*decision),
+                        _ => None,
+                    })
+                })
+                .collect();
+            assert_eq!(decisions.len(), 3, "seed {seed}: a correct process missed a decision");
+            assert!(
+                decisions.iter().all(|d| *d == decisions[0]),
+                "seed {seed}: agreement violated under wire-level corruption"
+            );
+        }
+    }
+
+    #[test]
+    fn wire_level_byzantine_cannot_break_ab_total_order() {
+        for seed in [7u64, 8, 9] {
+            let mut cluster = Cluster::new(4, seed);
+            cluster.corrupt(2);
+            for p in [0usize, 1, 3] {
+                let (_, step) = cluster
+                    .stack_mut(p)
+                    .ab_broadcast(0, Bytes::from(format!("w{p}")));
+                cluster.absorb(p, step);
+            }
+            cluster.run();
+            let order = |p: usize| -> Vec<crate::ab::MsgId> {
+                cluster
+                    .outputs(p)
+                    .iter()
+                    .filter_map(|o| match o {
+                        Output::AbDelivered { delivery, .. } => Some(delivery.id),
+                        _ => None,
+                    })
+                    .collect()
+            };
+            let o0 = order(0);
+            assert_eq!(o0.len(), 3, "seed {seed}: deliveries missing");
+            for p in [1usize, 3] {
+                assert_eq!(order(p), o0, "seed {seed}: order diverged at {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn delivered_frames_counts() {
+        let mut cluster = Cluster::new(4, 5);
+        let (_k, step) = cluster.stack_mut(0).rb_broadcast(Bytes::from_static(b"x"));
+        cluster.absorb(0, step);
+        cluster.run();
+        // 1 INIT broadcast + 4 ECHO broadcasts + 4 READY broadcasts,
+        // 4 destinations each = 36 frames.
+        assert_eq!(cluster.delivered_frames(), 36);
+    }
+}

@@ -1,0 +1,293 @@
+//! Local coin flips for Bracha-style randomized consensus.
+//!
+//! §2: "Each process has access to a random bit generator that returns
+//! unbiased bits observable only by the process". Ben-Or/Bracha protocols
+//! need only this *local* coin (unlike Rabin-style shared coins, which need
+//! a trusted dealer). The [`Coin`] trait abstracts the generator so that:
+//!
+//! * production uses an OS-seeded RNG ([`SeededCoin::from_entropy`]),
+//! * simulation/tests use a seeded deterministic RNG ([`DeterministicCoin`]),
+//! * adversarial tests force worst-case coins ([`FixedCoin`]).
+
+use crate::digest::Digest;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A source of unbiased random bits, private to one process.
+pub trait Coin {
+    /// Returns one unbiased random bit.
+    fn flip(&mut self) -> bool;
+}
+
+/// A coin backed by [`StdRng`] (cryptographically strong, reseedable).
+#[derive(Debug)]
+pub struct SeededCoin {
+    rng: StdRng,
+}
+
+impl SeededCoin {
+    /// Creates a coin seeded from OS entropy — the production configuration.
+    pub fn from_entropy() -> Self {
+        SeededCoin {
+            rng: StdRng::from_entropy(),
+        }
+    }
+
+    /// Creates a coin from an explicit seed (reproducible runs).
+    pub fn from_seed(seed: u64) -> Self {
+        SeededCoin {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Coin for SeededCoin {
+    fn flip(&mut self) -> bool {
+        self.rng.gen::<bool>()
+    }
+}
+
+/// A deterministic coin for simulation: identical seeds yield identical
+/// flip sequences, which makes every simulated execution replayable.
+#[derive(Debug, Clone)]
+pub struct DeterministicCoin {
+    state: u64,
+}
+
+impl DeterministicCoin {
+    /// Creates a deterministic coin from a seed.
+    pub fn new(seed: u64) -> Self {
+        // Avoid the all-zero fixpoint of the xorshift below.
+        DeterministicCoin {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1),
+        }
+    }
+}
+
+impl Coin for DeterministicCoin {
+    fn flip(&mut self) -> bool {
+        // xorshift64*; plenty for schedule-level randomness in a simulator.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 63) != 0
+    }
+}
+
+/// A coin that always returns the same bit — for adversarial tests that
+/// explore worst-case coin sequences (e.g. forcing extra consensus rounds).
+#[derive(Debug, Clone, Copy)]
+pub struct FixedCoin(pub bool);
+
+impl Coin for FixedCoin {
+    fn flip(&mut self) -> bool {
+        self.0
+    }
+}
+
+impl<C: Coin + ?Sized> Coin for Box<C> {
+    fn flip(&mut self) -> bool {
+        (**self).flip()
+    }
+}
+
+/// A coin indexed by protocol round — the interface randomized consensus
+/// actually needs.
+///
+/// Ben-Or-style *local* coins ignore the round (see [`LocalRoundCoin`]).
+/// Rabin-style *shared* coins ([`SharedCoin`]) return the **same** bit at
+/// every correct process for the same round, which collapses the expected
+/// round count to O(1) even against an adversarial message scheduler —
+/// the trade-off (paper §5) being that a trusted dealer must distribute
+/// the coin material beforehand.
+pub trait RoundCoin: Send {
+    /// Returns the coin for `round` (1-based protocol round).
+    fn flip_round(&mut self, round: u32) -> bool;
+}
+
+/// Adapts any local [`Coin`] to the [`RoundCoin`] interface by ignoring
+/// the round number (Ben-Or's scheme, the paper's default).
+#[derive(Debug)]
+pub struct LocalRoundCoin<C: Coin>(pub C);
+
+impl<C: Coin + Send> RoundCoin for LocalRoundCoin<C> {
+    fn flip_round(&mut self, _round: u32) -> bool {
+        self.0.flip()
+    }
+}
+
+/// A Rabin-style shared coin: the dealer distributes a common secret, and
+/// the coin for round `r` of instance `nonce` is a bit of
+/// `H(secret ‖ nonce ‖ r)` — identical at every holder.
+///
+/// This models the *outcome* of Rabin's scheme (dealer-distributed shares
+/// of pre-drawn coins) without threshold cryptography: every process can
+/// compute every round's coin locally. The adversary learns a round's
+/// coin as soon as any process uses it, exactly as in Rabin's protocol
+/// once `f + 1` shares are revealed.
+#[derive(Debug, Clone)]
+pub struct SharedCoin {
+    secret: [u8; 32],
+    nonce: u64,
+}
+
+impl SharedCoin {
+    /// The coin for `(nonce, round)` under `secret` — exposed for tests.
+    fn bit(secret: &[u8; 32], nonce: u64, round: u32) -> bool {
+        let d = crate::sha256::Sha256::digest_concat(&[
+            b"ritas-shared-coin".as_slice(),
+            secret.as_slice(),
+            &nonce.to_be_bytes(),
+            &round.to_be_bytes(),
+        ]);
+        d[0] & 1 == 1
+    }
+}
+
+impl RoundCoin for SharedCoin {
+    fn flip_round(&mut self, round: u32) -> bool {
+        Self::bit(&self.secret, self.nonce, round)
+    }
+}
+
+/// The trusted dealer of Rabin's scheme: deals [`SharedCoin`]s for
+/// consensus instances. Every process must be given a dealer built from
+/// the same seed (alongside the pairwise keys, §2's key distribution).
+#[derive(Debug, Clone)]
+pub struct SharedCoinDealer {
+    secret: [u8; 32],
+}
+
+impl SharedCoinDealer {
+    /// Derives the dealer's secret from a master seed.
+    pub fn new(master_seed: u64) -> Self {
+        SharedCoinDealer {
+            secret: crate::sha256::Sha256::digest_concat(&[
+                b"ritas-coin-dealer".as_slice(),
+                &master_seed.to_be_bytes(),
+            ]),
+        }
+    }
+
+    /// Deals the shared coin for the consensus instance identified by
+    /// `instance_nonce` (all processes must use the same nonce for the
+    /// same logical instance — e.g. the instance tag).
+    pub fn coin(&self, instance_nonce: u64) -> SharedCoin {
+        SharedCoin {
+            secret: self.secret,
+            nonce: instance_nonce,
+        }
+    }
+}
+
+/// A coin driven by any [`RngCore`], handy for plugging proptest-controlled
+/// RNGs into the protocol core.
+#[derive(Debug)]
+pub struct RngCoin<R: RngCore>(pub R);
+
+impl<R: RngCore> Coin for RngCoin<R> {
+    fn flip(&mut self) -> bool {
+        (self.0.next_u32() & 1) == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_coin_replays() {
+        let mut a = DeterministicCoin::new(42);
+        let mut b = DeterministicCoin::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.flip(), b.flip());
+        }
+    }
+
+    #[test]
+    fn deterministic_coin_varies_with_seed() {
+        let seq = |seed| {
+            let mut c = DeterministicCoin::new(seed);
+            (0..64).map(|_| c.flip()).collect::<Vec<_>>()
+        };
+        assert_ne!(seq(1), seq(2));
+    }
+
+    #[test]
+    fn deterministic_coin_is_roughly_unbiased() {
+        let mut c = DeterministicCoin::new(7);
+        let ones = (0..10_000).filter(|_| c.flip()).count();
+        assert!((4_000..6_000).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn seeded_coin_reproducible() {
+        let mut a = SeededCoin::from_seed(5);
+        let mut b = SeededCoin::from_seed(5);
+        for _ in 0..32 {
+            assert_eq!(a.flip(), b.flip());
+        }
+    }
+
+    #[test]
+    fn fixed_coin_is_fixed() {
+        let mut heads = FixedCoin(true);
+        let mut tails = FixedCoin(false);
+        for _ in 0..8 {
+            assert!(heads.flip());
+            assert!(!tails.flip());
+        }
+    }
+
+    #[test]
+    fn boxed_coin_dispatches() {
+        let mut c: Box<dyn Coin> = Box::new(FixedCoin(true));
+        assert!(c.flip());
+    }
+
+    #[test]
+    fn shared_coin_identical_across_holders() {
+        let a = SharedCoinDealer::new(7);
+        let b = SharedCoinDealer::new(7);
+        let mut ca = a.coin(3);
+        let mut cb = b.coin(3);
+        for round in 1..50 {
+            assert_eq!(ca.flip_round(round), cb.flip_round(round));
+        }
+    }
+
+    #[test]
+    fn shared_coin_differs_across_instances_and_seeds() {
+        let dealer = SharedCoinDealer::new(7);
+        let seq = |mut c: SharedCoin| (1..64).map(|r| c.flip_round(r)).collect::<Vec<_>>();
+        assert_ne!(seq(dealer.coin(1)), seq(dealer.coin(2)));
+        assert_ne!(
+            seq(SharedCoinDealer::new(1).coin(0)),
+            seq(SharedCoinDealer::new(2).coin(0))
+        );
+    }
+
+    #[test]
+    fn shared_coin_is_roughly_unbiased() {
+        let dealer = SharedCoinDealer::new(11);
+        let mut coin = dealer.coin(0);
+        let ones = (1..10_000).filter(|r| coin.flip_round(*r)).count();
+        assert!((4_000..6_000).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn shared_coin_stable_per_round() {
+        // Re-querying the same round yields the same bit (stateless).
+        let mut c = SharedCoinDealer::new(5).coin(9);
+        assert_eq!(c.flip_round(4), c.flip_round(4));
+    }
+
+    #[test]
+    fn local_round_coin_ignores_round() {
+        let mut c = LocalRoundCoin(FixedCoin(true));
+        assert!(c.flip_round(1));
+        assert!(c.flip_round(1000));
+    }
+}

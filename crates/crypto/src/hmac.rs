@@ -1,0 +1,163 @@
+//! HMAC (RFC 2104), generic over the [`Digest`] trait.
+//!
+//! The paper's reliable channel uses IPSec AH, whose integrity check value
+//! is HMAC-SHA-1-96 (RFC 2404): the 20-byte HMAC-SHA-1 output truncated to
+//! 12 bytes. `ritas-transport` builds exactly that from this module.
+
+use crate::digest::{ct_eq, Digest};
+
+/// An HMAC instance keyed with `K`, computing `H((K' ^ opad) ‖ H((K' ^ ipad) ‖ m))`.
+///
+/// # Example
+///
+/// ```
+/// use ritas_crypto::{Hmac, Sha256};
+///
+/// let tag = Hmac::<Sha256>::mac(b"key", b"message");
+/// assert!(Hmac::<Sha256>::verify(b"key", b"message", tag.as_ref()));
+/// assert!(!Hmac::<Sha256>::verify(b"key", b"tampered", tag.as_ref()));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Hmac<D: Digest> {
+    inner: D,
+    /// Outer pad-key block, kept to finish the outer hash on finalize.
+    okey: Vec<u8>,
+}
+
+impl<D: Digest> Hmac<D> {
+    /// Creates an HMAC instance for `key`.
+    ///
+    /// Keys longer than the block size are first hashed, per RFC 2104.
+    pub fn new(key: &[u8]) -> Self {
+        let mut kblock = vec![0u8; D::BLOCK_LEN];
+        if key.len() > D::BLOCK_LEN {
+            let kh = D::digest(key);
+            kblock[..kh.as_ref().len()].copy_from_slice(kh.as_ref());
+        } else {
+            kblock[..key.len()].copy_from_slice(key);
+        }
+        let ikey: Vec<u8> = kblock.iter().map(|b| b ^ 0x36).collect();
+        let okey: Vec<u8> = kblock.iter().map(|b| b ^ 0x5c).collect();
+        let mut inner = D::new();
+        inner.update(&ikey);
+        Hmac { inner, okey }
+    }
+
+    /// Absorbs message data.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finishes and returns the full-length tag.
+    pub fn finalize(self) -> D::Output {
+        let inner_hash = self.inner.finalize();
+        let mut outer = D::new();
+        outer.update(&self.okey);
+        outer.update(inner_hash.as_ref());
+        outer.finalize()
+    }
+
+    /// One-shot MAC of `msg` under `key`.
+    pub fn mac(key: &[u8], msg: &[u8]) -> D::Output {
+        let mut h = Self::new(key);
+        h.update(msg);
+        h.finalize()
+    }
+
+    /// Verifies `tag` (possibly truncated) against the MAC of `msg` under
+    /// `key` in constant time.
+    ///
+    /// A truncated `tag` is compared against the tag's prefix, matching
+    /// HMAC-SHA-1-96-style truncation. Empty tags never verify.
+    #[must_use]
+    pub fn verify(key: &[u8], msg: &[u8], tag: &[u8]) -> bool {
+        if tag.is_empty() || tag.len() > D::OUTPUT_LEN {
+            return false;
+        }
+        let full = Self::mac(key, msg);
+        ct_eq(&full.as_ref()[..tag.len()], tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sha1, Sha256};
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 4231 test case 1 (HMAC-SHA-256).
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0b; 20];
+        let tag = Hmac::<Sha256>::mac(&key, b"Hi There");
+        assert_eq!(
+            hex(tag.as_ref()),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    // RFC 4231 test case 2: key shorter than block, "what do ya want for nothing?".
+    #[test]
+    fn rfc4231_case2() {
+        let tag = Hmac::<Sha256>::mac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(tag.as_ref()),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    // RFC 4231 test case 6: key longer than block size.
+    #[test]
+    fn rfc4231_long_key() {
+        let key = [0xaa; 131];
+        let tag = Hmac::<Sha256>::mac(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(tag.as_ref()),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    // RFC 2202 test case 1 (HMAC-SHA-1).
+    #[test]
+    fn rfc2202_sha1_case1() {
+        let key = [0x0b; 20];
+        let tag = Hmac::<Sha1>::mac(&key, b"Hi There");
+        assert_eq!(hex(tag.as_ref()), "b617318655057264e28bc0b6fb378c8ef146be00");
+    }
+
+    // RFC 2202 test case 2.
+    #[test]
+    fn rfc2202_sha1_case2() {
+        let tag = Hmac::<Sha1>::mac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(hex(tag.as_ref()), "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+    }
+
+    #[test]
+    fn truncated_verify_hmac_sha1_96() {
+        // AH-style: verify on the first 12 bytes of HMAC-SHA-1.
+        let key = b"some channel key";
+        let full = Hmac::<Sha1>::mac(key, b"payload");
+        assert!(Hmac::<Sha1>::verify(key, b"payload", &full.as_ref()[..12]));
+        assert!(!Hmac::<Sha1>::verify(key, b"payloae", &full.as_ref()[..12]));
+    }
+
+    #[test]
+    fn rejects_oversized_or_empty_tags() {
+        let tag = Hmac::<Sha1>::mac(b"k", b"m");
+        let mut too_long = tag.as_ref().to_vec();
+        too_long.push(0);
+        assert!(!Hmac::<Sha1>::verify(b"k", b"m", &too_long));
+        assert!(!Hmac::<Sha1>::verify(b"k", b"m", &[]));
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let mut h = Hmac::<Sha256>::new(b"key");
+        h.update(b"hello ");
+        h.update(b"world");
+        assert_eq!(h.finalize(), Hmac::<Sha256>::mac(b"key", b"hello world"));
+    }
+}

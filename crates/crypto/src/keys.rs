@@ -1,0 +1,251 @@
+//! Pairwise shared secret keys.
+//!
+//! The paper's model (§2): "Each pair of processes (p_i, p_j) shares a
+//! secret key s_ij. It is out of the scope of the paper to present a
+//! solution for distributing these keys, but it may require a trusted
+//! dealer…". We provide exactly that: a [`KeyTable`] per process, and a
+//! deterministic [`KeyTable::dealer`] constructor that derives the full
+//! pairwise key matrix from a master seed (for tests, simulation and the
+//! examples — a production deployment would load dealt keys instead).
+
+use crate::digest::Digest;
+use crate::sha256::Sha256;
+
+/// Length of a shared secret key in bytes.
+pub const KEY_LEN: usize = 32;
+
+/// A pairwise shared secret `s_ij`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SecretKey([u8; KEY_LEN]);
+
+impl SecretKey {
+    /// Wraps raw key bytes.
+    pub fn from_bytes(bytes: [u8; KEY_LEN]) -> Self {
+        SecretKey(bytes)
+    }
+
+    /// The raw key bytes.
+    pub fn as_bytes(&self) -> &[u8; KEY_LEN] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for SecretKey {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl core::fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Never print key material.
+        write!(f, "SecretKey(..)")
+    }
+}
+
+/// The pairwise keys held by one process: `s_ij` for every peer `j`.
+///
+/// Keys are symmetric: `s_ij == s_ji`, so the table dealt to process `i`
+/// and the table dealt to process `j` agree on the key they share.
+///
+/// # Example
+///
+/// ```
+/// use ritas_crypto::KeyTable;
+///
+/// let t0 = KeyTable::dealer(4, 7).view_of(0);
+/// let t1 = KeyTable::dealer(4, 7).view_of(1);
+/// assert_eq!(t0.key_for(1), t1.key_for(0));
+/// assert_ne!(t0.key_for(1), t0.key_for(2));
+/// ```
+#[derive(Clone, Debug)]
+pub struct KeyTable {
+    n: usize,
+    /// Full symmetric matrix; entry `(i, j)` is `s_ij` (only the upper
+    /// triangle is distinct). A per-process *view* exposes one row.
+    matrix: Vec<SecretKey>,
+}
+
+impl KeyTable {
+    /// Acts as the trusted dealer: derives the full `n × n` pairwise key
+    /// matrix deterministically from `master_seed`.
+    ///
+    /// Key derivation is `SHA-256("ritas-key" ‖ seed ‖ min(i,j) ‖ max(i,j))`,
+    /// which guarantees symmetry (`s_ij == s_ji`) and pairwise-distinct keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn dealer(n: usize, master_seed: u64) -> Self {
+        assert!(n > 0, "key table needs at least one process");
+        let mut matrix = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                let (lo, hi) = (i.min(j) as u64, i.max(j) as u64);
+                let digest = Sha256::digest_concat(&[
+                    b"ritas-key",
+                    &master_seed.to_be_bytes(),
+                    &lo.to_be_bytes(),
+                    &hi.to_be_bytes(),
+                ]);
+                matrix.push(SecretKey(digest));
+            }
+        }
+        KeyTable { n, matrix }
+    }
+
+    /// Number of processes the table was dealt for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the table is empty (never true for a dealt table).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The key shared between processes `i` and `j`, or `None` when either
+    /// index is out of range.
+    pub fn shared_key(&self, i: usize, j: usize) -> Option<SecretKey> {
+        if i < self.n && j < self.n {
+            Some(self.matrix[i * self.n + j])
+        } else {
+            None
+        }
+    }
+
+    /// Extracts the per-process view held by process `me`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me >= n`.
+    pub fn view_of(&self, me: usize) -> ProcessKeys {
+        assert!(me < self.n, "process {me} out of range (n={})", self.n);
+        ProcessKeys {
+            me,
+            keys: (0..self.n)
+                .map(|j| self.matrix[me * self.n + j])
+                .collect(),
+        }
+    }
+}
+
+/// The row of the key matrix belonging to a single process: its shared key
+/// with every peer.
+#[derive(Clone, Debug)]
+pub struct ProcessKeys {
+    me: usize,
+    keys: Vec<SecretKey>,
+}
+
+impl ProcessKeys {
+    /// Builds a view directly from dealt keys (production path).
+    pub fn from_keys(me: usize, keys: Vec<SecretKey>) -> Self {
+        ProcessKeys { me, keys }
+    }
+
+    /// This process's identifier.
+    pub fn me(&self) -> usize {
+        self.me
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the view holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The key shared with peer `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn key_for(&self, j: usize) -> SecretKey {
+        self.keys[j]
+    }
+
+    /// The key shared with peer `j`, or `None` if out of range.
+    pub fn get(&self, j: usize) -> Option<SecretKey> {
+        self.keys.get(j).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_keys() {
+        let t = KeyTable::dealer(7, 123);
+        for i in 0..7 {
+            for j in 0..7 {
+                assert_eq!(t.shared_key(i, j), t.shared_key(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_distinct() {
+        let t = KeyTable::dealer(5, 9);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..5 {
+            for j in i..5 {
+                assert!(
+                    seen.insert(*t.shared_key(i, j).unwrap().as_bytes()),
+                    "key ({i},{j}) repeated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_different_keys() {
+        let a = KeyTable::dealer(4, 1);
+        let b = KeyTable::dealer(4, 2);
+        assert_ne!(a.shared_key(0, 1), b.shared_key(0, 1));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = KeyTable::dealer(4, 5);
+        let b = KeyTable::dealer(4, 5);
+        assert_eq!(a.shared_key(2, 3), b.shared_key(2, 3));
+    }
+
+    #[test]
+    fn out_of_range_is_none() {
+        let t = KeyTable::dealer(4, 5);
+        assert!(t.shared_key(0, 4).is_none());
+        assert!(t.shared_key(4, 0).is_none());
+    }
+
+    #[test]
+    fn view_matches_matrix() {
+        let t = KeyTable::dealer(6, 77);
+        for me in 0..6 {
+            let v = t.view_of(me);
+            assert_eq!(v.me(), me);
+            assert_eq!(v.len(), 6);
+            for j in 0..6 {
+                assert_eq!(Some(v.key_for(j)), t.shared_key(me, j));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn view_of_out_of_range_panics() {
+        KeyTable::dealer(3, 0).view_of(3);
+    }
+
+    #[test]
+    fn debug_hides_key_material() {
+        let t = KeyTable::dealer(2, 0);
+        let s = format!("{:?}", t.shared_key(0, 1).unwrap());
+        assert_eq!(s, "SecretKey(..)");
+    }
+}

@@ -1,0 +1,170 @@
+//! The paper's signature-free message authentication: `H(m ‖ s_ij)`.
+//!
+//! §2.3: "each process p_i builds a vector V_i with V_i\[j\] = H(m, s_ij) for
+//! every 0 ≤ j < n. The hash function H is applied to a concatenation of m
+//! with the secret key shared with each process … This is a simple and
+//! efficient form of Message Authentication Code". This module implements
+//! that MAC plus the hash-*vector* and hash-*matrix* helpers the matrix echo
+//! broadcast is built from.
+
+use crate::digest::{ct_eq, Digest};
+use crate::keys::{ProcessKeys, SecretKey};
+use crate::sha256::Sha256;
+
+/// Length of a MAC tag in bytes (SHA-256 output).
+pub const TAG_LEN: usize = 32;
+
+/// A MAC tag `H(m ‖ s_ij)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MacTag(pub [u8; TAG_LEN]);
+
+impl MacTag {
+    /// The raw tag bytes.
+    pub fn as_bytes(&self) -> &[u8; TAG_LEN] {
+        &self.0
+    }
+
+    /// Reconstructs a tag from raw bytes (e.g. after wire decoding).
+    pub fn from_bytes(bytes: [u8; TAG_LEN]) -> Self {
+        MacTag(bytes)
+    }
+}
+
+impl AsRef<[u8]> for MacTag {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl core::fmt::Debug for MacTag {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "MacTag({:02x}{:02x}{:02x}{:02x}…)",
+            self.0[0], self.0[1], self.0[2], self.0[3]
+        )
+    }
+}
+
+/// Computes the paper's MAC: `H(m ‖ s)`.
+pub fn authenticate(msg: &[u8], key: &SecretKey) -> MacTag {
+    MacTag(Sha256::digest_concat(&[msg, key.as_ref()]))
+}
+
+/// Verifies `tag == H(m ‖ s)` in constant time.
+#[must_use]
+pub fn verify(msg: &[u8], key: &SecretKey, tag: &MacTag) -> bool {
+    let expected = authenticate(msg, key);
+    ct_eq(expected.as_ref(), tag.as_ref())
+}
+
+/// Builds the echo-broadcast hash vector `V_i` for message `m`:
+/// `V_i[j] = H(m ‖ s_ij)` for every peer `j` (§2.3).
+pub fn hash_vector(msg: &[u8], keys: &ProcessKeys) -> Vec<MacTag> {
+    (0..keys.len())
+        .map(|j| authenticate(msg, &keys.key_for(j)))
+        .collect()
+}
+
+/// Counts how many entries of a received matrix *column* verify for this
+/// process.
+///
+/// In the matrix echo broadcast, process `p_j` receives column `j` of the
+/// sender's matrix: one entry per row-process `i`, each supposed to equal
+/// `H(m ‖ s_ij)`. Entry `i` is checkable by `p_j` because it knows `s_ij`.
+/// Missing entries (`None`, from processes whose VECT the sender did not
+/// include) do not count. Delivery requires `f + 1` valid entries.
+pub fn count_valid_column_entries(
+    msg: &[u8],
+    keys: &ProcessKeys,
+    column: &[Option<MacTag>],
+) -> usize {
+    column
+        .iter()
+        .enumerate()
+        .filter(|(i, entry)| match (entry, keys.get(*i)) {
+            (Some(tag), Some(key)) => verify(msg, &key, tag),
+            _ => false,
+        })
+        .count()
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // indexing by process id is idiomatic here
+mod tests {
+    use super::*;
+    use crate::keys::KeyTable;
+
+    #[test]
+    fn roundtrip() {
+        let keys = KeyTable::dealer(4, 1);
+        let k = keys.shared_key(0, 1).unwrap();
+        let tag = authenticate(b"msg", &k);
+        assert!(verify(b"msg", &k, &tag));
+    }
+
+    #[test]
+    fn rejects_wrong_message() {
+        let keys = KeyTable::dealer(4, 1);
+        let k = keys.shared_key(0, 1).unwrap();
+        let tag = authenticate(b"msg", &k);
+        assert!(!verify(b"msG", &k, &tag));
+    }
+
+    #[test]
+    fn rejects_wrong_key() {
+        let keys = KeyTable::dealer(4, 1);
+        let k01 = keys.shared_key(0, 1).unwrap();
+        let k02 = keys.shared_key(0, 2).unwrap();
+        let tag = authenticate(b"msg", &k01);
+        assert!(!verify(b"msg", &k02, &tag));
+    }
+
+    #[test]
+    fn hash_vector_entries_verify_at_the_peer() {
+        let table = KeyTable::dealer(4, 9);
+        let sender_view = table.view_of(2);
+        let v = hash_vector(b"payload", &sender_view);
+        assert_eq!(v.len(), 4);
+        for j in 0..4 {
+            // Peer j verifies entry j with its key shared with process 2.
+            let peer_view = table.view_of(j);
+            assert!(verify(b"payload", &peer_view.key_for(2), &v[j]));
+        }
+    }
+
+    #[test]
+    fn column_count_matches_valid_entries() {
+        // Simulate: processes 0..4, receiver is p_3; rows 0,1 send correct
+        // hashes, row 2 sends garbage, row 3 missing.
+        let table = KeyTable::dealer(4, 3);
+        let msg = b"m";
+        let recv = table.view_of(3);
+        let col = vec![
+            Some(authenticate(msg, &table.view_of(0).key_for(3))),
+            Some(authenticate(msg, &table.view_of(1).key_for(3))),
+            Some(MacTag([0u8; TAG_LEN])),
+            None,
+        ];
+        assert_eq!(count_valid_column_entries(msg, &recv, &col), 2);
+    }
+
+    #[test]
+    fn column_count_ignores_out_of_range_rows() {
+        let table = KeyTable::dealer(2, 3);
+        let recv = table.view_of(0);
+        // Column longer than n: extra rows cannot verify.
+        let col = vec![
+            Some(authenticate(b"m", &table.view_of(0).key_for(0))),
+            None,
+            Some(MacTag([1u8; TAG_LEN])),
+        ];
+        assert_eq!(count_valid_column_entries(b"m", &recv, &col), 1);
+    }
+
+    #[test]
+    fn tag_debug_is_prefix_only() {
+        let tag = MacTag([0xab; TAG_LEN]);
+        assert_eq!(format!("{tag:?}"), "MacTag(abababab…)");
+    }
+}

@@ -1,0 +1,115 @@
+//! The faultloads of the paper's evaluation (§4.2).
+
+use ritas::ProcessId;
+
+/// What, if anything, goes wrong during an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Faultload {
+    /// All processes behave correctly.
+    #[default]
+    FailureFree,
+    /// One process crashes before the measurements are taken (the
+    /// maximum for `n = 4`, since `n ≥ 3f + 1`).
+    FailStop {
+        /// The crashed process.
+        victim: ProcessId,
+    },
+    /// One process permanently tries to disrupt the protocols: it always
+    /// proposes 0 at the binary consensus layer and proposes the default
+    /// value ⊥ in the multi-valued consensus INIT and VECT messages.
+    Byzantine {
+        /// The attacking process.
+        attacker: ProcessId,
+    },
+    /// One process delays every frame it sends by a fixed amount — a
+    /// timing attack. The stack makes **no timing assumptions** (every
+    /// wait is for `n − f` messages), so a single slow process must not
+    /// slow the correct majority at all (extension experiment X6).
+    Slow {
+        /// The slowed process.
+        victim: ProcessId,
+        /// Added delay per sent frame, nanoseconds.
+        delay_ns: u64,
+    },
+}
+
+impl Faultload {
+    /// Whether process `p` participates at all.
+    pub fn participates(&self, p: ProcessId) -> bool {
+        !matches!(self, Faultload::FailStop { victim } if *victim == p)
+    }
+
+    /// Whether process `p` runs the Byzantine strategy.
+    pub fn is_byzantine(&self, p: ProcessId) -> bool {
+        matches!(self, Faultload::Byzantine { attacker } if *attacker == p)
+    }
+
+    /// The processes that send application traffic in a burst experiment
+    /// (the paper has each *correct* process send `k / senders` messages;
+    /// the Byzantine process sends its share too — its attack is at the
+    /// consensus layers).
+    pub fn senders(&self, n: usize) -> Vec<ProcessId> {
+        (0..n).filter(|p| self.participates(*p)).collect()
+    }
+
+    /// Extra send delay imposed on process `p`'s frames, if any.
+    pub fn send_delay(&self, p: ProcessId) -> u64 {
+        match self {
+            Faultload::Slow { victim, delay_ns } if *victim == p => *delay_ns,
+            _ => 0,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Faultload::FailureFree => "failure-free",
+            Faultload::FailStop { .. } => "fail-stop",
+            Faultload::Byzantine { .. } => "byzantine",
+            Faultload::Slow { .. } => "slow-process",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fail_stop_excludes_victim() {
+        let f = Faultload::FailStop { victim: 2 };
+        assert!(!f.participates(2));
+        assert!(f.participates(1));
+        assert_eq!(f.senders(4), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn byzantine_participates_but_is_flagged() {
+        let f = Faultload::Byzantine { attacker: 3 };
+        assert!(f.participates(3));
+        assert!(f.is_byzantine(3));
+        assert!(!f.is_byzantine(0));
+        assert_eq!(f.senders(4).len(), 4);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Faultload::FailureFree.label(), "failure-free");
+        assert_eq!(Faultload::FailStop { victim: 0 }.label(), "fail-stop");
+        assert_eq!(Faultload::Byzantine { attacker: 0 }.label(), "byzantine");
+        assert_eq!(
+            Faultload::Slow { victim: 0, delay_ns: 1 }.label(),
+            "slow-process"
+        );
+    }
+
+    #[test]
+    fn slow_delays_only_the_victim() {
+        let f = Faultload::Slow { victim: 2, delay_ns: 5_000 };
+        assert_eq!(f.send_delay(2), 5_000);
+        assert_eq!(f.send_delay(0), 0);
+        assert!(f.participates(2));
+        assert!(!f.is_byzantine(2));
+        assert_eq!(f.senders(4).len(), 4);
+    }
+}

@@ -1,0 +1,89 @@
+//! Figure 7 — relative cost of agreement.
+//!
+//! Reproduces §4.2: while a failure-free burst is being delivered, count
+//! every reliable/echo broadcast *instance* executed (identified by its
+//! `INIT` arriving at the observer) and classify it as payload
+//! dissemination (`AB_MSG`) or agreement machinery (`AB_VECT` +
+//! consensus-internal broadcasts). The figure plots the agreement share,
+//! which starts around 90 % for tiny bursts and "drops exponentially,
+//! reaching as low as 2.4 % for a burst size of 1000 messages".
+
+use crate::cluster::{Action, SimCluster, SimConfig};
+use bytes::Bytes;
+
+/// One point of the Figure 7 curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgreementCostPoint {
+    /// Total burst size.
+    pub burst: usize,
+    /// Payload broadcast instances observed.
+    pub payload_broadcasts: u64,
+    /// Agreement broadcast instances observed.
+    pub agreement_broadcasts: u64,
+    /// Agreement share of all broadcasts, in percent.
+    pub agreement_pct: f64,
+}
+
+/// Runs one burst and counts broadcasts by purpose.
+pub fn run_once(burst: usize, seed: u64) -> AgreementCostPoint {
+    let config = SimConfig::paper_testbed(seed);
+    let n = config.n;
+    let mut sim = SimCluster::new(config);
+    let share = (burst / n).max(1);
+    let payload = Bytes::from_static(b"0123456789");
+    for p in 0..n {
+        for _ in 0..share {
+            sim.schedule(0, p, Action::AbBroadcast(payload.clone()));
+        }
+    }
+    sim.run();
+    let c = sim.counters();
+    AgreementCostPoint {
+        burst: share * n,
+        payload_broadcasts: c.payload_broadcasts,
+        agreement_broadcasts: c.agreement_broadcasts,
+        agreement_pct: c.agreement_ratio().unwrap_or(0.0) * 100.0,
+    }
+}
+
+/// Runs the full curve.
+pub fn run_agreement_cost(bursts: &[usize], base_seed: u64) -> Vec<AgreementCostPoint> {
+    bursts
+        .iter()
+        .map(|&b| run_once(b, base_seed.wrapping_add((b as u64) << 8)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_bursts_are_dominated_by_agreement() {
+        let p = run_once(4, 1);
+        assert_eq!(p.payload_broadcasts, 4);
+        assert!(
+            p.agreement_pct > 70.0,
+            "expected agreement-dominated small burst, got {:.1}%",
+            p.agreement_pct
+        );
+    }
+
+    #[test]
+    fn cost_declines_with_burst_size() {
+        let small = run_once(4, 2);
+        let large = run_once(200, 2);
+        assert!(
+            large.agreement_pct < small.agreement_pct / 2.0,
+            "no decline: {:.1}% -> {:.1}%",
+            small.agreement_pct,
+            large.agreement_pct
+        );
+    }
+
+    #[test]
+    fn payload_count_matches_burst() {
+        let p = run_once(40, 3);
+        assert_eq!(p.payload_broadcasts, 40);
+    }
+}

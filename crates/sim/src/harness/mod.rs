@@ -1,0 +1,22 @@
+//! Experiment drivers, one per paper artifact.
+//!
+//! | Driver | Paper artifact |
+//! |---|---|
+//! | [`stack_latency`] | Table 1 — isolated per-protocol latency, with/without IPSec |
+//! | [`ab_burst`] | Figures 4–6 — atomic broadcast burst latency & throughput under the three faultloads |
+//! | [`agreement_cost`] | Figure 7 — relative cost of agreement vs burst size |
+//!
+//! Each driver returns plain data structures; the `ritas-bench` binaries
+//! render them as the tables/series the paper reports.
+
+pub mod ab_burst;
+pub mod agreement_cost;
+pub mod stack_latency;
+pub mod steady_state;
+
+pub use ab_burst::{run_ab_burst, run_burst_once, BurstPoint, BurstSeries};
+pub use agreement_cost::{run_agreement_cost, run_once as run_agreement_cost_once, AgreementCostPoint};
+pub use stack_latency::{
+    measure_once, measure_with_config, run_stack_latency, ProtocolUnderTest, StackLatencyRow,
+};
+pub use steady_state::{run_steady_state, SteadyStatePoint};

@@ -1,0 +1,224 @@
+//! Table 1 — average latency of isolated executions of each protocol.
+//!
+//! Reproduces §4.1: a signaling machine triggers `N` isolated instances
+//! (2 s apart in the paper; isolation is modeled here by running each
+//! instance in a fresh simulation). Broadcast payloads and consensus
+//! proposals carry 10 bytes (binary consensus: 1 bit). The latency of an
+//! instance is measured at one process, from its signal arrival to its
+//! delivery/decision. Signal arrivals carry a small per-process skew, as
+//! UDP signals would.
+
+use crate::cluster::{Action, SimCluster, SimConfig};
+use crate::stats::mean;
+use bytes::Bytes;
+use ritas::stack::Output;
+
+/// The protocol a latency measurement exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolUnderTest {
+    /// Matrix echo broadcast (§2.3).
+    EchoBroadcast,
+    /// Bracha reliable broadcast (§2.2).
+    ReliableBroadcast,
+    /// Randomized binary consensus (§2.4).
+    BinaryConsensus,
+    /// Multi-valued consensus (§2.5).
+    MultiValuedConsensus,
+    /// Vector consensus (§2.6).
+    VectorConsensus,
+    /// Atomic broadcast (§2.7).
+    AtomicBroadcast,
+}
+
+impl ProtocolUnderTest {
+    /// All protocols, in the stack order of Table 1.
+    pub const ALL: [ProtocolUnderTest; 6] = [
+        ProtocolUnderTest::EchoBroadcast,
+        ProtocolUnderTest::ReliableBroadcast,
+        ProtocolUnderTest::BinaryConsensus,
+        ProtocolUnderTest::MultiValuedConsensus,
+        ProtocolUnderTest::VectorConsensus,
+        ProtocolUnderTest::AtomicBroadcast,
+    ];
+
+    /// Row label as printed in Table 1.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProtocolUnderTest::EchoBroadcast => "Echo Broadcast",
+            ProtocolUnderTest::ReliableBroadcast => "Reliable Broadcast",
+            ProtocolUnderTest::BinaryConsensus => "Binary Consensus",
+            ProtocolUnderTest::MultiValuedConsensus => "Multi-valued Consensus",
+            ProtocolUnderTest::VectorConsensus => "Vector Consensus",
+            ProtocolUnderTest::AtomicBroadcast => "Atomic Broadcast",
+        }
+    }
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StackLatencyRow {
+    /// The protocol measured.
+    pub protocol: ProtocolUnderTest,
+    /// Average latency with channel authentication, microseconds.
+    pub with_ipsec_us: f64,
+    /// Average latency without, microseconds.
+    pub without_ipsec_us: f64,
+}
+
+impl StackLatencyRow {
+    /// The "IPSec overhead" column.
+    pub fn overhead_pct(&self) -> f64 {
+        (self.with_ipsec_us / self.without_ipsec_us - 1.0) * 100.0
+    }
+}
+
+/// Deterministic small skew (0–50 µs) for process `p`'s signal arrival.
+fn signal_skew(seed: u64, p: usize) -> u64 {
+    let x = seed
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(p as u64)
+        .wrapping_mul(0xBF58476D1CE4E5B9);
+    (x >> 33) % 50_000
+}
+
+/// Runs one isolated instance of `protocol` and returns the latency in
+/// nanoseconds, measured at the observer process.
+pub fn measure_once(protocol: ProtocolUnderTest, authenticated: bool, seed: u64) -> u64 {
+    let config = if authenticated {
+        SimConfig::paper_testbed(seed)
+    } else {
+        SimConfig::paper_testbed(seed).without_auth()
+    };
+    measure_with_config(protocol, config, seed)
+}
+
+/// Like [`measure_once`] but with a caller-supplied [`SimConfig`]
+/// (ablations: group size, transports, cost model).
+pub fn measure_with_config(protocol: ProtocolUnderTest, config: SimConfig, seed: u64) -> u64 {
+    let n = config.n;
+    let mut sim = SimCluster::new(config);
+    let payload = Bytes::from_static(b"0123456789"); // 10 bytes
+    let observer = sim.observer();
+    let observer_signal = signal_skew(seed, observer);
+
+    match protocol {
+        ProtocolUnderTest::EchoBroadcast => {
+            sim.schedule(signal_skew(seed, 0), 0, Action::EbBroadcast(payload));
+        }
+        ProtocolUnderTest::ReliableBroadcast => {
+            sim.schedule(signal_skew(seed, 0), 0, Action::RbBroadcast(payload));
+        }
+        ProtocolUnderTest::BinaryConsensus => {
+            for p in 0..n {
+                sim.schedule(signal_skew(seed, p), p, Action::BcPropose { tag: 1, value: true });
+            }
+        }
+        ProtocolUnderTest::MultiValuedConsensus => {
+            for p in 0..n {
+                sim.schedule(
+                    signal_skew(seed, p),
+                    p,
+                    Action::MvcPropose { tag: 1, value: payload.clone() },
+                );
+            }
+        }
+        ProtocolUnderTest::VectorConsensus => {
+            for p in 0..n {
+                sim.schedule(
+                    signal_skew(seed, p),
+                    p,
+                    Action::VcPropose { tag: 1, value: payload.clone() },
+                );
+            }
+        }
+        ProtocolUnderTest::AtomicBroadcast => {
+            sim.schedule(signal_skew(seed, 0), 0, Action::AbBroadcast(payload));
+        }
+    }
+    sim.run();
+
+    let matcher: fn(&Output) -> bool = match protocol {
+        ProtocolUnderTest::EchoBroadcast => |o| matches!(o, Output::EbDelivered { .. }),
+        ProtocolUnderTest::ReliableBroadcast => |o| matches!(o, Output::RbDelivered { .. }),
+        ProtocolUnderTest::BinaryConsensus => |o| matches!(o, Output::BcDecided { .. }),
+        ProtocolUnderTest::MultiValuedConsensus => |o| matches!(o, Output::MvcDecided { .. }),
+        ProtocolUnderTest::VectorConsensus => |o| matches!(o, Output::VcDecided { .. }),
+        ProtocolUnderTest::AtomicBroadcast => |o| matches!(o, Output::AbDelivered { .. }),
+    };
+    let (t, _) = sim
+        .first_output(observer, matcher)
+        .unwrap_or_else(|| panic!("{protocol:?}: observer produced no output"));
+    t.saturating_sub(observer_signal)
+}
+
+/// Runs the full Table 1: `samples` isolated executions per protocol per
+/// authentication mode, averaged.
+pub fn run_stack_latency(samples: usize, base_seed: u64) -> Vec<StackLatencyRow> {
+    ProtocolUnderTest::ALL
+        .iter()
+        .map(|&protocol| {
+            let collect = |auth: bool| {
+                let us: Vec<f64> = (0..samples)
+                    .map(|i| {
+                        measure_once(protocol, auth, base_seed.wrapping_add(i as u64 * 7919))
+                            as f64
+                            / 1000.0
+                    })
+                    .collect();
+                mean(&us)
+            };
+            StackLatencyRow {
+                protocol,
+                with_ipsec_us: collect(true),
+                without_ipsec_us: collect(false),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_protocol_completes() {
+        for protocol in ProtocolUnderTest::ALL {
+            let ns = measure_once(protocol, true, 42);
+            assert!(ns > 0, "{protocol:?}");
+            assert!(ns < 200_000_000, "{protocol:?} took {ns} ns of virtual time");
+        }
+    }
+
+    #[test]
+    fn layer_ordering_matches_table_1() {
+        // The paper's layering: EB < RB < BC < MVC < VC and MVC < AB.
+        let rows = run_stack_latency(5, 1);
+        let get = |p: ProtocolUnderTest| {
+            rows.iter().find(|r| r.protocol == p).unwrap().with_ipsec_us
+        };
+        let eb = get(ProtocolUnderTest::EchoBroadcast);
+        let rb = get(ProtocolUnderTest::ReliableBroadcast);
+        let bc = get(ProtocolUnderTest::BinaryConsensus);
+        let mvc = get(ProtocolUnderTest::MultiValuedConsensus);
+        let vc = get(ProtocolUnderTest::VectorConsensus);
+        let ab = get(ProtocolUnderTest::AtomicBroadcast);
+        assert!(eb < rb, "eb {eb} < rb {rb}");
+        assert!(rb < bc, "rb {rb} < bc {bc}");
+        assert!(bc < mvc, "bc {bc} < mvc {mvc}");
+        assert!(mvc < vc, "mvc {mvc} < vc {vc}");
+        assert!(mvc < ab, "mvc {mvc} < ab {ab}");
+    }
+
+    #[test]
+    fn ipsec_costs_something() {
+        let rows = run_stack_latency(3, 9);
+        for r in rows {
+            assert!(
+                r.overhead_pct() > 0.0,
+                "{:?} overhead {:.1}%",
+                r.protocol,
+                r.overhead_pct()
+            );
+        }
+    }
+}

@@ -1,0 +1,429 @@
+//! IPSec-AH-style channel authentication (integrity property of §2.1).
+//!
+//! The paper's testbed established IPSec *security associations* between
+//! every pair of hosts, using the Authentication Header protocol with
+//! HMAC-SHA-1 in transport mode (§4). This module reproduces the relevant
+//! behaviour of AH (RFC 2402 / RFC 2404) on top of any [`Transport`]:
+//!
+//! * a 24-byte header per frame — next-header, payload-length, reserved,
+//!   SPI, sequence number, and a 96-bit integrity check value (ICV) —
+//!   matching the +24-byte overhead the paper measures in Table 1;
+//! * ICV = HMAC-SHA-1-96 over the header (ICV zeroed) and payload, keyed
+//!   by the pairwise link key;
+//! * anti-replay via a 64-entry sliding window per source, as RFC 2402
+//!   prescribes.
+//!
+//! Frames that fail authentication are *dropped*, exactly like AH: the
+//! receiving protocol stack never sees them, which is how the integrity
+//! property is enforced against a network-level adversary.
+
+use crate::wire::{Reader, Writer};
+use crate::{ProcessId, Transport, TransportError};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use ritas_crypto::{Hmac, KeyTable, SecretKey, Sha1};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Bytes added to every frame by the AH-style header (matches the paper's
+/// measured IPSec AH overhead: "The IPSec AH header adds another 24 bytes").
+pub const AH_OVERHEAD: usize = 24;
+
+/// Length of the truncated HMAC-SHA-1-96 integrity check value.
+const ICV_LEN: usize = 12;
+
+/// AH anti-replay window size (RFC 2402 recommends at least 32; we use 64).
+const REPLAY_WINDOW: u64 = 64;
+
+/// Configuration for an [`AuthenticatedTransport`].
+#[derive(Debug, Clone)]
+pub struct AuthConfig {
+    /// Pairwise keys for this process (dealt out-of-band, §2).
+    keys: Vec<SecretKey>,
+    /// Whether replayed sequence numbers are rejected.
+    anti_replay: bool,
+}
+
+impl AuthConfig {
+    /// Builds the config for process `me` from a dealt [`KeyTable`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is out of range for the table.
+    pub fn from_key_table(table: &KeyTable, me: ProcessId) -> Self {
+        let view = table.view_of(me);
+        AuthConfig {
+            keys: (0..view.len()).map(|j| view.key_for(j)).collect(),
+            anti_replay: true,
+        }
+    }
+
+    /// Disables anti-replay (used by tests that re-inject frames).
+    pub fn without_anti_replay(mut self) -> Self {
+        self.anti_replay = false;
+        self
+    }
+}
+
+/// Per-source anti-replay state: highest sequence seen plus a bitmask of
+/// the window below it.
+#[derive(Debug, Default, Clone)]
+struct ReplayState {
+    highest: u64,
+    window: u64,
+}
+
+impl ReplayState {
+    /// Returns `true` (and records the number) if `seq` is new; `false` if
+    /// it is a replay or fell off the window.
+    fn accept(&mut self, seq: u64) -> bool {
+        if seq > self.highest {
+            let shift = seq - self.highest;
+            self.window = if shift >= REPLAY_WINDOW {
+                0
+            } else {
+                self.window << shift
+            };
+            self.window |= 1; // bit 0 = highest
+            self.highest = seq;
+            true
+        } else {
+            let offset = self.highest - seq;
+            if offset >= REPLAY_WINDOW {
+                return false; // too old
+            }
+            let bit = 1u64 << offset;
+            if self.window & bit != 0 {
+                return false; // replayed
+            }
+            self.window |= bit;
+            true
+        }
+    }
+}
+
+/// A [`Transport`] decorator that seals every outbound frame with an
+/// AH-style header and silently drops inbound frames that fail the ICV or
+/// replay checks.
+///
+/// # Example
+///
+/// ```
+/// use ritas_transport::{AuthConfig, AuthenticatedTransport, Hub, Transport};
+/// use ritas_crypto::KeyTable;
+/// use bytes::Bytes;
+///
+/// let table = KeyTable::dealer(2, 7);
+/// let mut hub = Hub::new(2);
+/// let mut eps = hub.take_endpoints().into_iter();
+/// let a = AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 0));
+/// let b = AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 1));
+/// a.send(1, Bytes::from_static(b"sealed")).unwrap();
+/// assert_eq!(b.recv().unwrap(), (0, Bytes::from_static(b"sealed")));
+/// ```
+#[derive(Debug)]
+pub struct AuthenticatedTransport<T: Transport> {
+    inner: T,
+    config: AuthConfig,
+    /// Outbound sequence counter per destination.
+    tx_seq: Vec<AtomicU64>,
+    /// Inbound replay window per source.
+    rx_replay: Mutex<Vec<ReplayState>>,
+    /// Count of inbound frames dropped by authentication.
+    rejected: AtomicU64,
+}
+
+impl<T: Transport> AuthenticatedTransport<T> {
+    /// Wraps `inner` with authentication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key count in `config` does not match the group size.
+    pub fn new(inner: T, config: AuthConfig) -> Self {
+        assert_eq!(
+            config.keys.len(),
+            inner.group_size(),
+            "one key per peer required"
+        );
+        let n = inner.group_size();
+        AuthenticatedTransport {
+            inner,
+            config,
+            tx_seq: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            rx_replay: Mutex::new(vec![ReplayState::default(); n]),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of inbound frames dropped for failing authentication.
+    pub fn rejected_frames(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Gives back the wrapped transport.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    /// SPI for the security association `src → dst` (deterministic, both
+    /// ends derive the same pair of unidirectional SAs).
+    fn spi(src: ProcessId, dst: ProcessId) -> u32 {
+        ((src as u32) << 16) | (dst as u32 & 0xffff)
+    }
+
+    fn seal(&self, to: ProcessId, payload: &[u8]) -> Bytes {
+        let seq = self.tx_seq[to].fetch_add(1, Ordering::Relaxed) + 1; // AH starts at 1
+        let me = self.inner.local_id();
+        let mut w = Writer::with_capacity(AH_OVERHEAD + payload.len());
+        w.u8(0) // next header (opaque payload)
+            .u8(((AH_OVERHEAD / 4) - 2) as u8) // AH "payload len" in 32-bit words minus 2
+            .u16(0) // reserved
+            .u32(Self::spi(me, to))
+            .u32(seq as u32)
+            .raw(&[0u8; ICV_LEN]) // ICV placeholder
+            .raw(payload);
+        let mut frame = w.freeze().to_vec();
+        let icv = Self::icv(&self.config.keys[to], &frame);
+        frame[12..12 + ICV_LEN].copy_from_slice(&icv);
+        Bytes::from(frame)
+    }
+
+    /// Computes HMAC-SHA-1-96 over the frame with the ICV field zeroed
+    /// (the frame passed in must already have zeros there).
+    fn icv(key: &SecretKey, frame_with_zero_icv: &[u8]) -> [u8; ICV_LEN] {
+        let full = Hmac::<Sha1>::mac(key.as_ref(), frame_with_zero_icv);
+        let mut out = [0u8; ICV_LEN];
+        out.copy_from_slice(&full[..ICV_LEN]);
+        out
+    }
+
+    /// Validates a sealed frame from `from`; returns the payload on success.
+    fn open(&self, from: ProcessId, frame: &Bytes) -> Option<Bytes> {
+        let mut r = Reader::new(frame);
+        let _next = r.u8("ah.next").ok()?;
+        let _plen = r.u8("ah.len").ok()?;
+        let _resv = r.u16("ah.reserved").ok()?;
+        let spi = r.u32("ah.spi").ok()?;
+        let seq = r.u32("ah.seq").ok()? as u64;
+        let icv: [u8; ICV_LEN] = r.array("ah.icv").ok()?;
+
+        if spi != Self::spi(from, self.inner.local_id()) {
+            return None;
+        }
+
+        // Recompute the ICV over the frame with the ICV field zeroed.
+        let mut zeroed = frame.to_vec();
+        zeroed[12..12 + ICV_LEN].fill(0);
+        let expected = Self::icv(&self.config.keys[from], &zeroed);
+        if !ritas_crypto::digest::ct_eq(&expected, &icv) {
+            return None;
+        }
+
+        if self.config.anti_replay {
+            let mut windows = self.rx_replay.lock();
+            if !windows[from].accept(seq) {
+                return None;
+            }
+        }
+
+        Some(frame.slice(AH_OVERHEAD..))
+    }
+}
+
+impl<T: Transport> Transport for AuthenticatedTransport<T> {
+    fn local_id(&self) -> ProcessId {
+        self.inner.local_id()
+    }
+
+    fn group_size(&self) -> usize {
+        self.inner.group_size()
+    }
+
+    fn send(&self, to: ProcessId, payload: Bytes) -> Result<(), TransportError> {
+        if to >= self.inner.group_size() {
+            return Err(TransportError::UnknownPeer(to));
+        }
+        self.inner.send(to, self.seal(to, &payload))
+    }
+
+    fn recv(&self) -> Result<(ProcessId, Bytes), TransportError> {
+        loop {
+            let (from, frame) = self.inner.recv()?;
+            match self.open(from, &frame) {
+                Some(payload) => return Ok((from, payload)),
+                None => {
+                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<(ProcessId, Bytes), TransportError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(TransportError::Timeout);
+            }
+            let (from, frame) = self.inner.recv_timeout(remaining)?;
+            match self.open(from, &frame) {
+                Some(payload) => return Ok((from, payload)),
+                None => {
+                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hub::Hub;
+
+    fn pair() -> (AuthenticatedTransport<crate::MemoryEndpoint>, AuthenticatedTransport<crate::MemoryEndpoint>) {
+        let table = KeyTable::dealer(2, 99);
+        let mut hub = Hub::new(2);
+        let mut eps = hub.take_endpoints().into_iter();
+        (
+            AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 0)),
+            AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 1)),
+        )
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let (a, b) = pair();
+        a.send(1, Bytes::from_static(b"payload")).unwrap();
+        assert_eq!(b.recv().unwrap(), (0, Bytes::from_static(b"payload")));
+        assert_eq!(b.rejected_frames(), 0);
+    }
+
+    #[test]
+    fn overhead_is_exactly_24_bytes() {
+        let table = KeyTable::dealer(2, 1);
+        let mut hub = Hub::new(2);
+        let mut eps = hub.take_endpoints().into_iter();
+        let raw_receiver = eps.next().unwrap(); // endpoint 0, unwrapped
+        let a = AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 1));
+        a.send(0, Bytes::from_static(b"ten bytes!")).unwrap();
+        let (_, frame) = raw_receiver.recv().unwrap();
+        assert_eq!(frame.len(), 10 + AH_OVERHEAD);
+    }
+
+    #[test]
+    fn tampered_payload_dropped() {
+        let table = KeyTable::dealer(2, 2);
+        let mut hub = Hub::new(2);
+        let mut eps = hub.take_endpoints().into_iter();
+        let ep0 = eps.next().unwrap();
+        let b = AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 1));
+        // Process 0 (acting as a man-in-the-middle) forges a frame without
+        // knowing the key.
+        let mut forged = vec![0u8; AH_OVERHEAD];
+        forged[4..8].copy_from_slice(&1u32.to_be_bytes()); // SPI for 0 -> 1
+        forged.extend_from_slice(b"evil");
+        ep0.send(1, Bytes::from(forged)).unwrap();
+        // Then a genuine frame via a proper wrapper so recv returns.
+        let a = AuthenticatedTransport::new(ep0, AuthConfig::from_key_table(&table, 0));
+        a.send(1, Bytes::from_static(b"good")).unwrap();
+        assert_eq!(b.recv().unwrap(), (0, Bytes::from_static(b"good")));
+        assert_eq!(b.rejected_frames(), 1);
+    }
+
+    #[test]
+    fn bitflip_in_payload_detected() {
+        let table = KeyTable::dealer(2, 3);
+        let mut hub = Hub::new(2);
+        let mut eps = hub.take_endpoints().into_iter();
+        let ep0 = eps.next().unwrap();
+        let b = AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 1));
+        let a = AuthenticatedTransport::new(ep0, AuthConfig::from_key_table(&table, 0));
+        // Seal a frame, flip one payload bit, re-inject through the inner
+        // transport — the open() path must reject it.
+        let sealed = a.seal(1, b"x");
+        let mut bad = sealed.to_vec();
+        *bad.last_mut().unwrap() ^= 0x01;
+        a.inner.send(1, Bytes::from(bad)).unwrap();
+        a.send(1, Bytes::from_static(b"ok")).unwrap();
+        assert_eq!(b.recv().unwrap(), (0, Bytes::from_static(b"ok")));
+        assert_eq!(b.rejected_frames(), 1);
+    }
+
+    #[test]
+    fn replayed_frame_dropped() {
+        let table = KeyTable::dealer(2, 4);
+        let mut hub = Hub::new(2);
+        let mut eps = hub.take_endpoints().into_iter();
+        let ep0 = eps.next().unwrap();
+        let b = AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 1));
+        let a = AuthenticatedTransport::new(ep0, AuthConfig::from_key_table(&table, 0));
+        let sealed = a.seal(1, b"once");
+        a.inner.send(1, sealed.clone()).unwrap();
+        a.inner.send(1, sealed).unwrap(); // replay
+        a.send(1, Bytes::from_static(b"end")).unwrap();
+        assert_eq!(b.recv().unwrap(), (0, Bytes::from_static(b"once")));
+        assert_eq!(b.recv().unwrap(), (0, Bytes::from_static(b"end")));
+        assert_eq!(b.rejected_frames(), 1);
+    }
+
+    #[test]
+    fn replay_allowed_when_disabled() {
+        let table = KeyTable::dealer(2, 5);
+        let mut hub = Hub::new(2);
+        let mut eps = hub.take_endpoints().into_iter();
+        let ep0 = eps.next().unwrap();
+        let b = AuthenticatedTransport::new(
+            eps.next().unwrap(),
+            AuthConfig::from_key_table(&table, 1).without_anti_replay(),
+        );
+        let a = AuthenticatedTransport::new(ep0, AuthConfig::from_key_table(&table, 0));
+        let sealed = a.seal(1, b"dup");
+        a.inner.send(1, sealed.clone()).unwrap();
+        a.inner.send(1, sealed).unwrap();
+        assert_eq!(b.recv().unwrap(), (0, Bytes::from_static(b"dup")));
+        assert_eq!(b.recv().unwrap(), (0, Bytes::from_static(b"dup")));
+    }
+
+    #[test]
+    fn wrong_claimed_origin_rejected() {
+        // A frame sealed by 0 for 1 but arriving labeled as from another
+        // peer fails the SPI check. Build a 3-party hub; peer 2 replays a
+        // frame that 0 sealed.
+        let table = KeyTable::dealer(3, 6);
+        let mut hub = Hub::new(3);
+        let mut eps = hub.take_endpoints().into_iter();
+        let a = AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 0));
+        let b = AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 1));
+        let ep2 = eps.next().unwrap();
+        let sealed_by_0 = a.seal(1, b"stolen");
+        ep2.send(1, sealed_by_0).unwrap(); // claims from=2, SPI says 0→1
+        a.send(1, Bytes::from_static(b"real")).unwrap();
+        assert_eq!(b.recv().unwrap(), (0, Bytes::from_static(b"real")));
+        assert_eq!(b.rejected_frames(), 1);
+    }
+
+    #[test]
+    fn replay_window_accepts_out_of_order_but_not_duplicates() {
+        let mut st = ReplayState::default();
+        assert!(st.accept(3));
+        assert!(st.accept(1)); // late but new
+        assert!(!st.accept(1)); // duplicate
+        assert!(st.accept(2));
+        assert!(st.accept(100));
+        assert!(!st.accept(3)); // too old / already seen
+        assert!(!st.accept(100 - REPLAY_WINDOW)); // fell off the window
+        assert!(st.accept(99));
+    }
+
+    #[test]
+    fn recv_timeout_propagates() {
+        let (_a, b) = pair();
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(5)).unwrap_err(),
+            TransportError::Timeout
+        );
+    }
+
+    use ritas_crypto::KeyTable;
+}

@@ -1,0 +1,363 @@
+//! In-memory full-mesh of reliable FIFO links.
+//!
+//! Substitutes the paper's TCP mesh: every pair of processes is connected
+//! by a channel that delivers every sent message exactly once, in order —
+//! the reliability property of §2.1. The hub additionally supports the
+//! fault injections used by the evaluation and the tests:
+//!
+//! * **crash** ([`Hub::crash`]) — the fail-stop faultload of §4.2: the
+//!   process stops sending and its inbound queue is closed;
+//! * **partition** ([`Hub::set_link`]) — link cuts for liveness tests
+//!   (never applied between correct processes in conformance tests, since
+//!   the model assumes reliable channels).
+
+use crate::{ProcessId, Transport, TransportError};
+use bytes::Bytes;
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Shared hub state: link matrix and crash flags.
+#[derive(Debug)]
+struct HubState {
+    /// `links[i][j]` is `true` when the `i → j` link is up.
+    links: Vec<Vec<bool>>,
+    /// `crashed[i]` marks a fail-stopped process.
+    crashed: Vec<bool>,
+}
+
+/// An in-memory network connecting `n` processes with reliable FIFO links.
+///
+/// # Example
+///
+/// ```
+/// use ritas_transport::{Hub, Transport};
+/// use bytes::Bytes;
+///
+/// let mut hub = Hub::new(3);
+/// let endpoints = hub.take_endpoints();
+/// endpoints[0].send(1, Bytes::from_static(b"ping")).unwrap();
+/// let (from, payload) = endpoints[1].recv().unwrap();
+/// assert_eq!((from, payload.as_ref()), (0, &b"ping"[..]));
+/// ```
+#[derive(Debug)]
+pub struct Hub {
+    n: usize,
+    state: Arc<RwLock<HubState>>,
+    endpoints: Vec<MemoryEndpoint>,
+}
+
+impl Hub {
+    /// Creates a hub for `n` processes with all links up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "hub needs at least one process");
+        let state = Arc::new(RwLock::new(HubState {
+            links: vec![vec![true; n]; n],
+            crashed: vec![false; n],
+        }));
+
+        let mut txs: Vec<Sender<(ProcessId, Bytes)>> = Vec::with_capacity(n);
+        let mut rxs: Vec<Receiver<(ProcessId, Bytes)>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+
+        let endpoints = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(me, rx)| MemoryEndpoint {
+                me,
+                n,
+                state: Arc::clone(&state),
+                peers: txs.clone(),
+                rx,
+                closed: Arc::new(AtomicBool::new(false)),
+            })
+            .collect();
+
+        Hub { n, state, endpoints }
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the hub connects zero processes (never true).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Removes and returns all endpoints (one per process), to be moved
+    /// into per-process threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn take_endpoints(&mut self) -> Vec<MemoryEndpoint> {
+        assert!(
+            !self.endpoints.is_empty(),
+            "endpoints already taken from this hub"
+        );
+        std::mem::take(&mut self.endpoints)
+    }
+
+    /// Fail-stops process `p`: all its links go down and its inbound
+    /// endpoint stops yielding messages.
+    pub fn crash(&self, p: ProcessId) {
+        let mut s = self.state.write();
+        if p < self.n {
+            s.crashed[p] = true;
+            for j in 0..self.n {
+                s.links[p][j] = false;
+                s.links[j][p] = false;
+            }
+        }
+    }
+
+    /// Raises or cuts the directed link `from → to`.
+    pub fn set_link(&self, from: ProcessId, to: ProcessId, up: bool) {
+        let mut s = self.state.write();
+        if from < self.n && to < self.n {
+            s.links[from][to] = up;
+        }
+    }
+
+    /// Whether process `p` has been crashed.
+    pub fn is_crashed(&self, p: ProcessId) -> bool {
+        self.state.read().crashed.get(p).copied().unwrap_or(false)
+    }
+}
+
+/// One process's endpoint on a [`Hub`].
+#[derive(Debug)]
+pub struct MemoryEndpoint {
+    me: ProcessId,
+    n: usize,
+    state: Arc<RwLock<HubState>>,
+    peers: Vec<Sender<(ProcessId, Bytes)>>,
+    rx: Receiver<(ProcessId, Bytes)>,
+    closed: Arc<AtomicBool>,
+}
+
+impl MemoryEndpoint {
+    /// Closes this endpoint locally; subsequent operations fail with
+    /// [`TransportError::Disconnected`].
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+    }
+
+    fn check_open(&self) -> Result<(), TransportError> {
+        if self.closed.load(Ordering::SeqCst) {
+            Err(TransportError::Disconnected)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Drains any immediately-available message without blocking.
+    pub fn try_recv(&self) -> Option<(ProcessId, Bytes)> {
+        if self.closed.load(Ordering::SeqCst) {
+            return None;
+        }
+        match self.rx.try_recv() {
+            Ok(v) => Some(v),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+}
+
+impl Transport for MemoryEndpoint {
+    fn local_id(&self) -> ProcessId {
+        self.me
+    }
+
+    fn group_size(&self) -> usize {
+        self.n
+    }
+
+    fn send(&self, to: ProcessId, payload: Bytes) -> Result<(), TransportError> {
+        self.check_open()?;
+        if to >= self.n {
+            return Err(TransportError::UnknownPeer(to));
+        }
+        {
+            let s = self.state.read();
+            // A crashed or partitioned link silently drops: from the
+            // receiver's perspective this is indistinguishable from an
+            // arbitrarily slow asynchronous link, which is the model.
+            if s.crashed[self.me] || !s.links[self.me][to] {
+                return Ok(());
+            }
+        }
+        // A peer whose endpoint has been dropped (its process exited) is
+        // indistinguishable from a crashed one: the frame vanishes
+        // silently, exactly like the crash/partition cases above.
+        let _ = self.peers[to].send((self.me, payload));
+        Ok(())
+    }
+
+    fn recv(&self) -> Result<(ProcessId, Bytes), TransportError> {
+        self.check_open()?;
+        self.rx.recv().map_err(|_| TransportError::Disconnected)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<(ProcessId, Bytes), TransportError> {
+        self.check_open()?;
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => TransportError::Timeout,
+            RecvTimeoutError::Disconnected => TransportError::Disconnected,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bytes(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn delivers_point_to_point() {
+        let mut hub = Hub::new(2);
+        let eps = hub.take_endpoints();
+        eps[0].send(1, bytes("hi")).unwrap();
+        assert_eq!(eps[1].recv().unwrap(), (0, bytes("hi")));
+    }
+
+    #[test]
+    fn per_link_fifo_order() {
+        let mut hub = Hub::new(2);
+        let eps = hub.take_endpoints();
+        for i in 0..100u32 {
+            eps[0].send(1, Bytes::copy_from_slice(&i.to_be_bytes())).unwrap();
+        }
+        for i in 0..100u32 {
+            let (_, p) = eps[1].recv().unwrap();
+            assert_eq!(p.as_ref(), i.to_be_bytes());
+        }
+    }
+
+    #[test]
+    fn loopback_send_to_self() {
+        let mut hub = Hub::new(1);
+        let eps = hub.take_endpoints();
+        eps[0].send(0, bytes("self")).unwrap();
+        assert_eq!(eps[0].recv().unwrap(), (0, bytes("self")));
+    }
+
+    #[test]
+    fn send_all_reaches_everyone() {
+        let mut hub = Hub::new(4);
+        let eps = hub.take_endpoints();
+        eps[2].send_all(bytes("b")).unwrap();
+        for ep in &eps {
+            assert_eq!(ep.recv().unwrap(), (2, bytes("b")));
+        }
+    }
+
+    #[test]
+    fn unknown_peer_rejected() {
+        let mut hub = Hub::new(2);
+        let eps = hub.take_endpoints();
+        assert_eq!(
+            eps[0].send(5, bytes("x")).unwrap_err(),
+            TransportError::UnknownPeer(5)
+        );
+    }
+
+    #[test]
+    fn crash_silences_process() {
+        let mut hub = Hub::new(3);
+        let eps = hub.take_endpoints();
+        hub.crash(0);
+        assert!(hub.is_crashed(0));
+        eps[0].send(1, bytes("from crashed")).unwrap(); // silently dropped
+        eps[2].send(1, bytes("alive")).unwrap();
+        assert_eq!(eps[1].recv().unwrap(), (2, bytes("alive")));
+        assert!(eps[1].try_recv().is_none());
+    }
+
+    #[test]
+    fn crash_cuts_inbound_links_too() {
+        let mut hub = Hub::new(3);
+        let eps = hub.take_endpoints();
+        hub.crash(1);
+        eps[0].send(1, bytes("into the void")).unwrap();
+        assert!(eps[1].try_recv().is_none());
+    }
+
+    #[test]
+    fn partition_drops_directed_link_only() {
+        let mut hub = Hub::new(2);
+        let eps = hub.take_endpoints();
+        hub.set_link(0, 1, false);
+        eps[0].send(1, bytes("dropped")).unwrap();
+        eps[1].send(0, bytes("still up")).unwrap();
+        assert_eq!(eps[0].recv().unwrap(), (1, bytes("still up")));
+        assert!(eps[1].try_recv().is_none());
+        hub.set_link(0, 1, true);
+        eps[0].send(1, bytes("back")).unwrap();
+        assert_eq!(eps[1].recv().unwrap(), (0, bytes("back")));
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let mut hub = Hub::new(1);
+        let eps = hub.take_endpoints();
+        assert_eq!(
+            eps[0].recv_timeout(Duration::from_millis(10)).unwrap_err(),
+            TransportError::Timeout
+        );
+    }
+
+    #[test]
+    fn closed_endpoint_disconnects() {
+        let mut hub = Hub::new(2);
+        let eps = hub.take_endpoints();
+        eps[0].close();
+        assert_eq!(eps[0].recv().unwrap_err(), TransportError::Disconnected);
+        assert_eq!(
+            eps[0].send(1, bytes("x")).unwrap_err(),
+            TransportError::Disconnected
+        );
+    }
+
+    #[test]
+    fn concurrent_senders_all_delivered() {
+        let mut hub = Hub::new(4);
+        let mut eps = hub.take_endpoints();
+        let receiver = eps.remove(3);
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|ep| {
+                std::thread::spawn(move || {
+                    for i in 0..50u32 {
+                        ep.send(3, Bytes::copy_from_slice(&i.to_be_bytes())).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut per_sender = [0u32; 3];
+        for _ in 0..150 {
+            let (from, p) = receiver.recv().unwrap();
+            let v = u32::from_be_bytes(p.as_ref().try_into().unwrap());
+            // FIFO per sender: values from one sender arrive in order.
+            assert_eq!(v, per_sender[from]);
+            per_sender[from] += 1;
+        }
+    }
+}

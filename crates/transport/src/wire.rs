@@ -1,0 +1,327 @@
+//! Byte-level codec helpers shared by every layer of the stack.
+//!
+//! The paper's implementation passes *mbufs* (message buffers) between
+//! layers (§3.2); this module is our equivalent of the header read/write
+//! routines those mbufs carry. All integers are big-endian ("network
+//! order"), variable-length fields are length-prefixed with a `u32`.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Maximum accepted length for a length-prefixed field (16 MiB). A decoder
+/// limit, not a protocol limit: it bounds allocation when decoding hostile
+/// input from Byzantine peers.
+pub const MAX_FIELD_LEN: usize = 16 * 1024 * 1024;
+
+/// Errors produced while decoding wire data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the expected field.
+    Truncated {
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// A length prefix exceeded [`MAX_FIELD_LEN`].
+    FieldTooLong {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending length.
+        len: usize,
+    },
+    /// A tag/discriminant byte had no defined meaning.
+    InvalidTag {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending tag value.
+        tag: u8,
+    },
+    /// Trailing bytes remained after a complete decode.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        remaining: usize,
+    },
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Truncated { what } => write!(f, "truncated input while decoding {what}"),
+            WireError::FieldTooLong { what, len } => {
+                write!(f, "field {what} too long ({len} bytes)")
+            }
+            WireError::InvalidTag { what, tag } => {
+                write!(f, "invalid tag {tag:#04x} while decoding {what}")
+            }
+            WireError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after decode")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A decoding cursor over a byte slice.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps `buf` for decoding.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Fails with [`WireError::TrailingBytes`] unless the input was fully
+    /// consumed.
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes {
+                remaining: self.buf.len(),
+            })
+        }
+    }
+
+    fn take(&mut self, len: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        if self.buf.len() < len {
+            return Err(WireError::Truncated { what });
+        }
+        let (head, tail) = self.buf.split_at(len);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Reads a big-endian `u16`.
+    pub fn u16(&mut self, what: &'static str) -> Result<u16, WireError> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a big-endian `u32`.
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a big-endian `u64`.
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        let b = self.take(8, what)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_be_bytes(a))
+    }
+
+    /// Reads exactly `N` raw bytes into an array.
+    pub fn array<const N: usize>(&mut self, what: &'static str) -> Result<[u8; N], WireError> {
+        let b = self.take(N, what)?;
+        let mut a = [0u8; N];
+        a.copy_from_slice(b);
+        Ok(a)
+    }
+
+    /// Reads a `u32`-length-prefixed byte field.
+    pub fn bytes(&mut self, what: &'static str) -> Result<Bytes, WireError> {
+        let len = self.u32(what)? as usize;
+        if len > MAX_FIELD_LEN {
+            return Err(WireError::FieldTooLong { what, len });
+        }
+        Ok(Bytes::copy_from_slice(self.take(len, what)?))
+    }
+
+    /// Reads exactly `len` raw (non-prefixed) bytes.
+    pub fn raw(&mut self, len: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        self.take(len, what)
+    }
+}
+
+/// An encoding buffer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Creates a writer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        Writer {
+            buf: BytesMut::with_capacity(cap),
+        }
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.put_u8(v);
+        self
+    }
+
+    /// Appends a big-endian `u16`.
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.put_u16(v);
+        self
+    }
+
+    /// Appends a big-endian `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.put_u32(v);
+        self
+    }
+
+    /// Appends a big-endian `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.put_u64(v);
+        self
+    }
+
+    /// Appends a `u32`-length-prefixed byte field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` exceeds `u32::MAX` bytes (unreachable for our frames).
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.put_u32(u32::try_from(v.len()).expect("field length fits in u32"));
+        self.buf.put_slice(v);
+        self
+    }
+
+    /// Appends raw bytes with no length prefix.
+    pub fn raw(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.put_slice(v);
+        self
+    }
+
+    /// Current encoded length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finishes encoding and returns the immutable buffer.
+    pub fn freeze(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// Encodes `value` as a `u32` checked at encode time.
+///
+/// # Errors
+///
+/// Never fails for values below `u32::MAX`; provided for symmetry with
+/// hostile decoding where range checks matter.
+pub fn checked_u32(value: usize, what: &'static str) -> Result<u32, WireError> {
+    u32::try_from(value).map_err(|_| WireError::FieldTooLong { what, len: value })
+}
+
+/// Consumes `buf` ensuring it still has at least `len` bytes (decode guard
+/// used by the AH layer before splitting header/payload).
+pub fn require_len(buf: &Bytes, len: usize, what: &'static str) -> Result<(), WireError> {
+    if buf.remaining() < len {
+        Err(WireError::Truncated { what })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut w = Writer::new();
+        w.u8(7).u16(1000).u32(70_000).u64(u64::MAX);
+        let buf = w.freeze();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8("a").unwrap(), 7);
+        assert_eq!(r.u16("b").unwrap(), 1000);
+        assert_eq!(r.u32("c").unwrap(), 70_000);
+        assert_eq!(r.u64("d").unwrap(), u64::MAX);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let mut w = Writer::new();
+        w.bytes(b"hello").bytes(b"");
+        let buf = w.freeze();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.bytes("x").unwrap(), Bytes::from_static(b"hello"));
+        assert_eq!(r.bytes("y").unwrap(), Bytes::new());
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_scalar() {
+        let mut r = Reader::new(&[0x01]);
+        assert_eq!(r.u32("field").unwrap_err(), WireError::Truncated { what: "field" });
+    }
+
+    #[test]
+    fn truncated_bytes_body() {
+        let mut w = Writer::new();
+        w.u32(10).raw(b"abc"); // claims 10, provides 3
+        let buf = w.freeze();
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.bytes("f"), Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        let mut w = Writer::new();
+        w.u32((MAX_FIELD_LEN + 1) as u32);
+        let buf = w.freeze();
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.bytes("f"), Err(WireError::FieldTooLong { .. })));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut w = Writer::new();
+        w.u8(1).u8(2);
+        let buf = w.freeze();
+        let mut r = Reader::new(&buf);
+        r.u8("a").unwrap();
+        assert_eq!(r.finish().unwrap_err(), WireError::TrailingBytes { remaining: 1 });
+    }
+
+    #[test]
+    fn array_roundtrip() {
+        let mut w = Writer::new();
+        w.raw(&[1, 2, 3, 4]);
+        let buf = w.freeze();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.array::<4>("arr").unwrap(), [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            WireError::Truncated { what: "x" },
+            WireError::FieldTooLong { what: "x", len: 1 },
+            WireError::InvalidTag { what: "x", tag: 9 },
+            WireError::TrailingBytes { remaining: 3 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

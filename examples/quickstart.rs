@@ -1,0 +1,64 @@
+//! Quickstart: four intrusion-tolerant processes totally ordering
+//! messages with atomic broadcast.
+//!
+//! Run with: `cargo run --example quickstart`
+//!
+//! Each process runs in its own thread (its protocol stack in yet
+//! another, as in the paper's C implementation), connected by an
+//! in-memory reliable channel sealed with the AH-style authentication
+//! layer. Every process a-broadcasts one message; all four observe the
+//! identical delivery order — even though they start concurrently and
+//! the network interleaves arbitrarily.
+
+use bytes::Bytes;
+use ritas::node::{Node, SessionConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Configure a session for n = 4 processes (tolerates f = 1
+    //    Byzantine process). Keys are dealt from the session seed, as by
+    //    the paper's trusted dealer.
+    let config = SessionConfig::new(4)?;
+    let nodes = Node::cluster(config)?;
+
+    // 2. Each process broadcasts one message and collects the total order.
+    let mut handles = Vec::new();
+    for node in nodes {
+        handles.push(std::thread::spawn(move || -> Result<_, ritas::node::NodeError> {
+            let me = node.id();
+            node.atomic_broadcast(Bytes::from(format!("greetings from p{me}")))?;
+
+            let mut order = Vec::new();
+            for _ in 0..4 {
+                let delivery = node.atomic_recv()?;
+                order.push((delivery.id, String::from_utf8_lossy(&delivery.payload).into_owned()));
+            }
+            node.shutdown();
+            Ok((me, order))
+        }));
+    }
+
+    // 3. Verify every process delivered the same messages in the same
+    //    order — the total order property.
+    let mut results: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("thread panicked"))
+        .collect::<Result<_, _>>()?;
+    results.sort_by_key(|(me, _)| *me);
+
+    println!("Total order observed by each process:");
+    for (me, order) in &results {
+        let rendered: Vec<String> = order
+            .iter()
+            .map(|(id, text)| format!("[p{}#{}: {text}]", id.sender, id.rbid))
+            .collect();
+        println!("  p{me}: {}", rendered.join(" "));
+    }
+
+    let reference = &results[0].1;
+    assert!(
+        results.iter().all(|(_, order)| order == reference),
+        "total order violated!"
+    );
+    println!("\nAll 4 processes agree on the order. ✔");
+    Ok(())
+}

@@ -1,0 +1,102 @@
+//! A BFT replicated bank built with the [`ritas::rsm::Replica`] state
+//! machine wrapper — the high-level application API: deterministic apply
+//! function in, linearizable replicated service out, tolerating one
+//! arbitrary replica out of four.
+//!
+//! Run with: `cargo run --example replicated_bank`
+//!
+//! Four replicas process concurrent transfers; `submit_sync` + `barrier`
+//! give each client read-your-writes and a linearization point, and the
+//! final balances agree everywhere (money is conserved despite racing
+//! withdrawals).
+
+use bytes::Bytes;
+use ritas::node::{Node, SessionConfig};
+use ritas::rsm::Replica;
+use std::collections::BTreeMap;
+
+type Accounts = BTreeMap<String, i64>;
+
+/// Command format: "transfer <from> <to> <amount>"; applied only if the
+/// source stays non-negative — deterministically, so every replica makes
+/// the same accept/reject decision.
+fn apply(state: &mut Accounts, _submitter: usize, cmd: &[u8]) {
+    let Ok(s) = std::str::from_utf8(cmd) else { return };
+    let mut parts = s.split_whitespace();
+    if parts.next() != Some("transfer") {
+        return;
+    }
+    let (Some(from), Some(to), Some(amount)) = (parts.next(), parts.next(), parts.next()) else {
+        return;
+    };
+    let Ok(amount) = amount.parse::<i64>() else { return };
+    if amount <= 0 {
+        return;
+    }
+    let balance = state.get(from).copied().unwrap_or(0);
+    if balance >= amount {
+        *state.entry(from.to_owned()).or_insert(0) -= amount;
+        *state.entry(to.to_owned()).or_insert(0) += amount;
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let nodes = Node::cluster(SessionConfig::new(4)?)?;
+    let mut initial = Accounts::new();
+    initial.insert("alice".into(), 100);
+    initial.insert("bob".into(), 100);
+
+    let replicas: Vec<Replica<Accounts>> = nodes
+        .into_iter()
+        .map(|node| Replica::new(node, initial.clone(), apply))
+        .collect();
+
+    // Every replica races to drain alice's account: only the transfers
+    // the agreed order admits can succeed — money is never created.
+    let mut handles = Vec::new();
+    for replica in replicas {
+        handles.push(std::thread::spawn(move || -> Result<_, ritas::node::NodeError> {
+            let me = replica.id();
+            for k in 0..4 {
+                replica.submit(Bytes::from(format!("transfer alice p{me} {}", 20 + k)))?;
+            }
+            // Read-your-writes, then wait until all 16 racing transfers
+            // are ordered (everyone's last command applied implies ours;
+            // we poll the conserved total for the others).
+            replica.submit_sync(Bytes::from(format!("transfer bob p{me} 10")))?;
+            replica.barrier()?;
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            let accounts = loop {
+                let snapshot = replica.read(|s| s.clone());
+                let alice = snapshot.get("alice").copied().unwrap_or(0);
+                let settled = alice < 20; // can't afford any pending transfer
+                if settled || std::time::Instant::now() > deadline {
+                    break snapshot;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            };
+            replica.shutdown();
+            Ok((me, accounts))
+        }));
+    }
+
+    let mut results: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("thread panicked"))
+        .collect::<Result<_, _>>()?;
+    results.sort_by_key(|(me, _)| *me);
+
+    println!("Final balances (identical at every replica):");
+    for (name, balance) in &results[0].1 {
+        println!("  {name:>6}: {balance}");
+    }
+    let total: i64 = results[0].1.values().sum();
+    println!("  total: {total}");
+
+    for (me, accounts) in &results {
+        assert_eq!(accounts, &results[0].1, "replica p{me} diverged");
+    }
+    assert_eq!(total, 200, "money was created or destroyed!");
+    println!("\nAll replicas agree; 200 units conserved under racing withdrawals. ✔");
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Intrusion-tolerant sensor snapshot with **vector consensus**: four
+//! monitoring stations agree on a common vector of readings, of which at
+//! least f+1 are guaranteed to come from correct stations — even if one
+//! station lies or stays silent.
+//!
+//! Run with: `cargo run --example sensor_snapshot`
+//!
+//! This is the classic use case for vector consensus (interactive
+//! consistency): a downstream controller can apply any deterministic
+//! fusion rule (median, trimmed mean…) to the agreed vector and every
+//! correct station computes the same fused value.
+
+use bytes::Bytes;
+use ritas::node::{Node, SessionConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let nodes = Node::cluster(SessionConfig::new(4)?)?;
+
+    // Station 3 is compromised and reports a wild value, trying to skew
+    // the fused reading.
+    let readings = [21.4f64, 21.9, 21.6, 999.0];
+
+    let mut handles = Vec::new();
+    for node in nodes {
+        let my_reading = readings[node.id()];
+        handles.push(std::thread::spawn(move || -> Result<_, ritas::node::NodeError> {
+            let proposal = Bytes::from(my_reading.to_be_bytes().to_vec());
+            let vector = node.vector_consensus(1, proposal)?;
+            node.shutdown();
+            Ok((node.id(), vector))
+        }));
+    }
+
+    let mut results: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("thread panicked"))
+        .collect::<Result<_, _>>()?;
+    results.sort_by_key(|(me, _)| *me);
+
+    // Decode each station's agreed view.
+    let decode = |vector: &[Option<Bytes>]| -> Vec<Option<f64>> {
+        vector
+            .iter()
+            .map(|slot| {
+                slot.as_ref()
+                    .and_then(|b| <[u8; 8]>::try_from(b.as_ref()).ok())
+                    .map(f64::from_be_bytes)
+            })
+            .collect()
+    };
+
+    let reference = decode(&results[0].1);
+    println!("Agreed snapshot vector (identical at every correct station):");
+    for (i, r) in reference.iter().enumerate() {
+        match r {
+            Some(v) => println!("  station {i}: {v:>8.1}"),
+            None => println!("  station {i}:        ⊥ (no value agreed)"),
+        }
+    }
+    for (me, vector) in &results {
+        assert_eq!(decode(vector), reference, "station {me} disagreed");
+    }
+
+    // Deterministic fusion: the median of the agreed readings is immune
+    // to a single outlier because >= f+1 entries come from correct
+    // stations and every correct station fuses the same vector.
+    let mut values: Vec<f64> = reference.iter().flatten().copied().collect();
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = values[values.len() / 2];
+    println!("\nFused (median) temperature: {median:.1} °C");
+    assert!(values.len() >= 2, "vector consensus guarantees >= f+1 entries");
+    assert!((20.0..25.0).contains(&median), "outlier skewed the median!");
+    println!("The compromised station could not skew the fused reading. ✔");
+    Ok(())
+}

@@ -1,0 +1,20 @@
+//! Umbrella crate for the RITAS reproduction workspace.
+//!
+//! Re-exports the member crates so the examples and integration tests at
+//! the repository root can reach everything through one dependency:
+//!
+//! * [`ritas`] — the protocol stack (reliable/echo broadcast, binary,
+//!   multi-valued and vector consensus, atomic broadcast);
+//! * [`ritas_crypto`] — the signature-free crypto substrate;
+//! * [`ritas_transport`] — reliable channels (in-memory hub + AH layer);
+//! * [`ritas_sim`] — the calibrated discrete-event evaluation harness.
+//!
+//! See `README.md` for the project tour and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the reproduction methodology and results.
+
+#![forbid(unsafe_code)]
+
+pub use ritas;
+pub use ritas_crypto;
+pub use ritas_sim;
+pub use ritas_transport;

@@ -1,0 +1,126 @@
+//! True multi-process deployment test: four separate OS processes run
+//! the `ritas-node` binary over real TCP sockets, each atomically
+//! broadcasting a burst, and every process must print the identical
+//! total order.
+
+use std::io::Read;
+use std::net::TcpListener;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Reserves `n` distinct localhost ports by binding-and-dropping.
+/// Slightly racy in principle; retried by the caller on failure.
+fn free_ports(n: usize) -> Vec<u16> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().unwrap().port())
+        .collect()
+}
+
+fn wait_with_timeout(child: &mut Child, deadline: Instant) -> Option<std::process::ExitStatus> {
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            return Some(status);
+        }
+        if Instant::now() > deadline {
+            return None;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn run_cluster_once(burst: usize) -> Result<Vec<Vec<String>>, String> {
+    let n = 4;
+    let ports = free_ports(n);
+    let peers: Vec<String> = ports.iter().map(|p| format!("127.0.0.1:{p}")).collect();
+    let peers_arg = peers.join(",");
+    let bin = env!("CARGO_BIN_EXE_ritas-node");
+
+    let mut children: Vec<Child> = (0..n)
+        .map(|me| {
+            Command::new(bin)
+                .args([
+                    "--me",
+                    &me.to_string(),
+                    "--peers",
+                    &peers_arg,
+                    "--burst",
+                    &burst.to_string(),
+                    "--connect-timeout-secs",
+                    "20",
+                ])
+                .stdout(Stdio::piped())
+                .stderr(Stdio::null())
+                .spawn()
+                .expect("spawn ritas-node")
+        })
+        .collect();
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut outputs = Vec::new();
+    let mut failed = false;
+    for child in &mut children {
+        match wait_with_timeout(child, deadline) {
+            Some(status) if status.success() => {}
+            _ => {
+                failed = true;
+                let _ = child.kill();
+            }
+        }
+    }
+    for mut child in children {
+        let mut out = String::new();
+        if let Some(stdout) = child.stdout.as_mut() {
+            let _ = stdout.read_to_string(&mut out);
+        }
+        let _ = child.wait();
+        outputs.push(
+            out.lines()
+                .filter(|l| l.starts_with("DELIVER "))
+                .map(|l| l.to_owned())
+                .collect::<Vec<_>>(),
+        );
+    }
+    if failed {
+        return Err("a node did not exit cleanly (port race?)".into());
+    }
+    Ok(outputs)
+}
+
+#[test]
+fn four_os_processes_agree_on_the_total_order() {
+    let burst = 3;
+    // The bind-and-drop port reservation can race with other tests or
+    // system daemons; retry a couple of times before declaring failure.
+    let mut last_err = String::new();
+    for attempt in 0..3 {
+        match run_cluster_once(burst) {
+            Ok(outputs) => {
+                for (me, out) in outputs.iter().enumerate() {
+                    assert_eq!(
+                        out.len(),
+                        burst * 4,
+                        "process {me} delivered {} of {} messages",
+                        out.len(),
+                        burst * 4
+                    );
+                }
+                for me in 1..4 {
+                    assert_eq!(
+                        outputs[me], outputs[0],
+                        "total order diverged between OS processes 0 and {me}"
+                    );
+                }
+                return;
+            }
+            Err(e) => {
+                last_err = format!("attempt {attempt}: {e}");
+                std::thread::sleep(Duration::from_millis(200));
+            }
+        }
+    }
+    panic!("multi-process cluster failed: {last_err}");
+}

@@ -1,0 +1,86 @@
+//! Liveness of atomic broadcast across mid-protocol crashes, swept over
+//! crash points (deterministic search for stuck states).
+
+use bytes::Bytes;
+use ritas::stack::Output;
+use ritas::testing::Cluster;
+
+fn delivered(cluster: &Cluster, p: usize) -> usize {
+    cluster
+        .outputs(p)
+        .iter()
+        .filter(|o| matches!(o, Output::AbDelivered { .. }))
+        .count()
+}
+
+/// Survivors keep ordering after a peer crashes right after it delivered
+/// its own message — the scenario that exposed the `send_all` early-abort
+/// bug in the threaded runtime (see `tests/node_runtime.rs::
+/// survivors_progress_after_a_node_departs` for the runtime-level twin).
+#[test]
+fn crash_after_own_delivery_liveness() {
+    for seed in 0..10u64 {
+        let mut cluster = Cluster::new(4, seed);
+        for p in 0..4 {
+            for k in 0..4 {
+                let (_, s) = cluster
+                    .stack_mut(p)
+                    .ab_broadcast(0, Bytes::from(format!("c{p}-{k}")));
+                cluster.absorb(p, s);
+            }
+        }
+        cluster.run();
+        let mut marker_ids = Vec::new();
+        for p in 0..4 {
+            let (id, s) = cluster.stack_mut(p).ab_broadcast(0, Bytes::from(format!("m{p}")));
+            marker_ids.push(id);
+            cluster.absorb(p, s);
+        }
+        let own = marker_ids[1];
+        loop {
+            let done = cluster.outputs(1).iter().any(|o| matches!(
+                o, Output::AbDelivered { delivery, .. } if delivery.id == own));
+            if done {
+                break;
+            }
+            assert!(cluster.step(), "seed {seed}: quiesced before p1 got its marker");
+        }
+        cluster.crash(1);
+        cluster.run();
+        for p in [0usize, 2, 3] {
+            let n = delivered(&cluster, p);
+            assert_eq!(n, 20, "seed {seed}: survivor {p} delivered {n}/20");
+        }
+    }
+}
+
+#[test]
+fn mid_stream_crash_liveness_sweep() {
+    for seed in 0..3u64 {
+        for crash_at in [0usize, 50, 150, 300, 600, 1200, 2500] {
+            let mut cluster = Cluster::new(4, seed);
+            for p in 0..4 {
+                let (_, s) = cluster.stack_mut(p).ab_broadcast(0, Bytes::from(format!("a{p}")));
+                cluster.absorb(p, s);
+            }
+            for _ in 0..crash_at {
+                if !cluster.step() {
+                    break;
+                }
+            }
+            cluster.crash(2);
+            for p in [0usize, 1, 3] {
+                let (_, s) = cluster.stack_mut(p).ab_broadcast(0, Bytes::from(format!("b{p}")));
+                cluster.absorb(p, s);
+            }
+            cluster.run();
+            for p in [0usize, 1, 3] {
+                let n = delivered(&cluster, p);
+                assert_eq!(
+                    n, 7,
+                    "seed {seed} crash_at {crash_at}: survivor {p} delivered {n}/7"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Cross-crate integration tests: the full protocol stack driven through
+//! the deterministic cluster under different group sizes, schedules and
+//! faultloads.
+
+use bytes::Bytes;
+use ritas::stack::{InstanceKey, Output, Stack, StackConfig};
+use ritas::testing::{Cluster, Schedule};
+use ritas::Group;
+use ritas_crypto::KeyTable;
+
+fn ab_order(cluster: &Cluster, p: usize) -> Vec<ritas::ab::MsgId> {
+    cluster
+        .outputs(p)
+        .iter()
+        .filter_map(|o| match o {
+            Output::AbDelivered { delivery, .. } => Some(delivery.id),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn full_stack_smoke_all_protocols_n4() {
+    let mut cluster = Cluster::new(4, 1);
+    // Run one instance of every protocol concurrently, interleaved.
+    let (_k, s) = cluster.stack_mut(0).rb_broadcast(Bytes::from_static(b"rb"));
+    cluster.absorb(0, s);
+    let (_k, s) = cluster.stack_mut(1).eb_broadcast(Bytes::from_static(b"eb"));
+    cluster.absorb(1, s);
+    for p in 0..4 {
+        let s = cluster.stack_mut(p).bc_propose(1, p % 2 == 0).unwrap();
+        cluster.absorb(p, s);
+        let s = cluster
+            .stack_mut(p)
+            .mvc_propose(1, Bytes::from_static(b"mvc-value"))
+            .unwrap();
+        cluster.absorb(p, s);
+        let s = cluster
+            .stack_mut(p)
+            .vc_propose(1, Bytes::from(format!("vc{p}")))
+            .unwrap();
+        cluster.absorb(p, s);
+        let (_, s) = cluster.stack_mut(p).ab_broadcast(0, Bytes::from(format!("ab{p}")));
+        cluster.absorb(p, s);
+    }
+    cluster.run();
+
+    for p in 0..4 {
+        let outs = cluster.outputs(p);
+        assert!(outs.iter().any(|o| matches!(o, Output::RbDelivered { .. })), "rb at {p}");
+        assert!(outs.iter().any(|o| matches!(o, Output::EbDelivered { .. })), "eb at {p}");
+        assert!(outs.iter().any(|o| matches!(o, Output::BcDecided { .. })), "bc at {p}");
+        assert!(outs.iter().any(|o| matches!(o, Output::MvcDecided { .. })), "mvc at {p}");
+        assert!(outs.iter().any(|o| matches!(o, Output::VcDecided { .. })), "vc at {p}");
+        assert_eq!(ab_order(&cluster, p).len(), 4, "ab at {p}");
+    }
+    // Agreement across processes for each consensus.
+    let bc0 = cluster.outputs(0).iter().find_map(|o| match o {
+        Output::BcDecided { decision, .. } => Some(*decision),
+        _ => None,
+    });
+    let order0 = ab_order(&cluster, 0);
+    for p in 1..4 {
+        let bcp = cluster.outputs(p).iter().find_map(|o| match o {
+            Output::BcDecided { decision, .. } => Some(*decision),
+            _ => None,
+        });
+        assert_eq!(bcp, bc0, "bc agreement at {p}");
+        assert_eq!(ab_order(&cluster, p), order0, "ab order at {p}");
+    }
+}
+
+#[test]
+fn seven_processes_two_crashes() {
+    // n = 7 tolerates f = 2; crash two processes.
+    let mut cluster = Cluster::new(7, 5);
+    cluster.crash(5);
+    cluster.crash(6);
+    for p in 0..5 {
+        let s = cluster
+            .stack_mut(p)
+            .mvc_propose(9, Bytes::from_static(b"survivors"))
+            .unwrap();
+        cluster.absorb(p, s);
+    }
+    cluster.run();
+    for p in 0..5 {
+        assert!(
+            cluster.outputs(p).iter().any(|o| matches!(
+                o,
+                Output::MvcDecided { decision: Some(v), .. } if v.as_ref() == b"survivors"
+            )),
+            "process {p} missing decision"
+        );
+    }
+}
+
+#[test]
+fn ten_processes_atomic_broadcast_total_order() {
+    let mut cluster = Cluster::new(10, 7);
+    for p in 0..10 {
+        let (_, s) = cluster.stack_mut(p).ab_broadcast(0, Bytes::from(format!("n10-{p}")));
+        cluster.absorb(p, s);
+    }
+    cluster.run();
+    let order0 = ab_order(&cluster, 0);
+    assert_eq!(order0.len(), 10);
+    for p in 1..10 {
+        assert_eq!(ab_order(&cluster, p), order0, "order diverged at {p}");
+    }
+}
+
+#[test]
+fn adversarial_lifo_schedule_preserves_agreement() {
+    for seed in [1u64, 2, 3] {
+        let mut cluster = Cluster::new(4, seed);
+        cluster.set_schedule(Schedule::Lifo);
+        for p in 0..4 {
+            let s = cluster.stack_mut(p).bc_propose(2, p < 2).unwrap();
+            cluster.absorb(p, s);
+        }
+        cluster.run();
+        let decisions: Vec<Option<bool>> = (0..4)
+            .map(|p| {
+                cluster.outputs(p).iter().find_map(|o| match o {
+                    Output::BcDecided { decision, .. } => Some(*decision),
+                    _ => None,
+                })
+            })
+            .collect();
+        assert!(decisions[0].is_some(), "seed {seed}: no decision");
+        assert!(
+            decisions.iter().all(|d| *d == decisions[0]),
+            "seed {seed}: disagreement {decisions:?}"
+        );
+    }
+}
+
+#[test]
+fn byzantine_stack_cannot_break_atomic_broadcast() {
+    // Build a cluster where process 3's stack runs the paper's §4.2
+    // Byzantine strategy inside its AB agreement.
+    let n = 4;
+    let seed = 11;
+    let group = Group::new(n).unwrap();
+    let table = KeyTable::dealer(n, seed);
+    let stacks: Vec<Stack> = (0..n)
+        .map(|me| {
+            let config = StackConfig {
+                ab: ritas::ab::AbConfig {
+                    byzantine_bottom: me == 3,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            Stack::with_config(group, me, table.view_of(me), seed ^ (me as u64) << 8, config)
+        })
+        .collect();
+    let mut cluster = Cluster::with_stacks(stacks, seed);
+    for p in 0..4 {
+        let (_, s) = cluster.stack_mut(p).ab_broadcast(0, Bytes::from(format!("byz{p}")));
+        cluster.absorb(p, s);
+    }
+    cluster.run();
+    let order0 = ab_order(&cluster, 0);
+    assert_eq!(order0.len(), 4, "attack blocked deliveries");
+    for p in 1..3 {
+        assert_eq!(ab_order(&cluster, p), order0, "order diverged at correct {p}");
+    }
+}
+
+#[test]
+fn multiple_concurrent_consensus_instances() {
+    let mut cluster = Cluster::new(4, 21);
+    for tag in 0..8u64 {
+        for p in 0..4 {
+            let s = cluster
+                .stack_mut(p)
+                .mvc_propose(tag, Bytes::from(format!("v{tag}")))
+                .unwrap();
+            cluster.absorb(p, s);
+        }
+    }
+    cluster.run();
+    for p in 0..4 {
+        for tag in 0..8u64 {
+            assert!(
+                cluster.outputs(p).iter().any(|o| matches!(
+                    o,
+                    Output::MvcDecided { key: InstanceKey::Mvc { tag: t }, decision: Some(v) }
+                        if *t == tag && v.as_ref() == format!("v{tag}").as_bytes()
+                )),
+                "process {p} missing decision for tag {tag}"
+            );
+        }
+    }
+}
+
+#[test]
+fn extreme_delay_is_harmless() {
+    // The asynchronous model's promise is about *delay*, not loss: a
+    // process whose entire inbound traffic is withheld until the others
+    // have decided and halted still decides afterwards, and nobody waits
+    // for it meanwhile. This is the model-faithful version of "a
+    // partition that heals" — reliable channels buffer, they never drop
+    // (TCP retransmits; the cluster's hold/release does the same).
+    for seed in [9u64, 10, 11] {
+        let mut cluster = Cluster::new(4, seed);
+        cluster.hold(3);
+        for p in 0..4 {
+            let s = cluster.stack_mut(p).bc_propose(4, p != 2).unwrap();
+            cluster.absorb(p, s);
+        }
+        cluster.run();
+        // The three connected processes decided without p3.
+        let decided = |c: &Cluster, p: usize| {
+            c.outputs(p).iter().find_map(|o| match o {
+                Output::BcDecided { decision, .. } => Some(*decision),
+                _ => None,
+            })
+        };
+        let d0 = decided(&cluster, 0).expect("p0 decided during the delay");
+        for p in 1..3 {
+            assert_eq!(decided(&cluster, p), Some(d0), "seed {seed}");
+        }
+        assert_eq!(decided(&cluster, 3), None, "p3 decided without input?!");
+        // Release the backlog: p3 catches up and agrees.
+        cluster.release(3);
+        cluster.run();
+        assert_eq!(decided(&cluster, 3), Some(d0), "seed {seed}: p3 never caught up");
+    }
+}
+
+#[test]
+fn vector_consensus_survives_bottom_rounds() {
+    // With four distinct proposals and adversarial (LIFO/random)
+    // schedules, the eager round-0 snapshots can differ across processes,
+    // making the round-0 MVC decide ⊥ and forcing a retry with a larger
+    // wait threshold. Whatever happens, agreement and validity must hold;
+    // this test also hunts for at least one multi-round execution so the
+    // retry path is actually exercised.
+    let mut saw_retry = false;
+    for seed in 0..30u64 {
+        let mut cluster = Cluster::new(4, seed);
+        if seed % 2 == 0 {
+            cluster.set_schedule(Schedule::Lifo);
+        }
+        for p in 0..4 {
+            let s = cluster
+                .stack_mut(p)
+                .vc_propose(1, Bytes::from(format!("r{seed}p{p}")))
+                .unwrap();
+            cluster.absorb(p, s);
+        }
+        cluster.run();
+        let mut vectors = Vec::new();
+        for p in 0..4 {
+            let v = cluster.outputs(p).iter().find_map(|o| match o {
+                Output::VcDecided { vector, .. } => Some(vector.clone()),
+                _ => None,
+            });
+            vectors.push(v.unwrap_or_else(|| panic!("seed {seed}: p{p} undecided")));
+            if cluster.stack_mut(p).vc_round(1).unwrap_or(0) > 0 {
+                saw_retry = true;
+            }
+        }
+        assert!(
+            vectors.iter().all(|v| *v == vectors[0]),
+            "seed {seed}: agreement violated"
+        );
+    }
+    assert!(
+        saw_retry,
+        "no schedule exercised the multi-round (bottom) path; widen the seed range"
+    );
+}
+
+#[test]
+fn ooc_messages_survive_late_joiner() {
+    // Process 3 proposes long after the others have finished their
+    // traffic; the stack's out-of-context table must hold everything.
+    let mut cluster = Cluster::new(4, 31);
+    for p in 0..3 {
+        let s = cluster
+            .stack_mut(p)
+            .mvc_propose(4, Bytes::from_static(b"early"))
+            .unwrap();
+        cluster.absorb(p, s);
+    }
+    cluster.run();
+    assert!(cluster.stack_mut(3).ooc_len() > 0);
+    let s = cluster
+        .stack_mut(3)
+        .mvc_propose(4, Bytes::from_static(b"late"))
+        .unwrap();
+    cluster.absorb(3, s);
+    cluster.run();
+    for p in 0..4 {
+        assert!(
+            cluster.outputs(p).iter().any(|o| matches!(
+                o,
+                Output::MvcDecided { decision: Some(v), .. } if v.as_ref() == b"early"
+            )),
+            "process {p}"
+        );
+    }
+}
