@@ -32,15 +32,19 @@ fn bench_ab_cluster(c: &mut Criterion) {
     let mut g = c.benchmark_group("atomic_broadcast_burst");
     g.sample_size(10);
     for burst in [1usize, 5, 25] {
-        g.bench_with_input(BenchmarkId::from_parameter(burst * 4), &burst, |b, &burst| {
-            let mut seed = 0;
-            b.iter(|| {
-                seed += 1;
-                let delivered = run_ab_burst_cluster(4, burst, seed);
-                assert_eq!(delivered, burst * 4);
-                black_box(delivered)
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(burst * 4),
+            &burst,
+            |b, &burst| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    let delivered = run_ab_burst_cluster(4, burst, seed);
+                    assert_eq!(delivered, burst * 4);
+                    black_box(delivered)
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -30,8 +30,10 @@ fn bench_hub(c: &mut Criterion) {
         let table = KeyTable::dealer(2, 1);
         let mut hub = Hub::new(2);
         let mut eps = hub.take_endpoints().into_iter();
-        let a = AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 0));
-        let b = AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 1));
+        let a =
+            AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 0));
+        let b =
+            AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 1));
         g.bench_with_input(BenchmarkId::new("ah_sealed", size), &payload, |bch, p| {
             bch.iter(|| roundtrip(&a, &b, p))
         });
@@ -55,8 +57,10 @@ fn bench_tcp(c: &mut Criterion) {
         let mut eps = TcpEndpoint::ephemeral_mesh(2, Duration::from_secs(10))
             .unwrap()
             .into_iter();
-        let a = AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 0));
-        let b = AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 1));
+        let a =
+            AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 0));
+        let b =
+            AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 1));
         g.bench_with_input(BenchmarkId::new("ah_sealed", size), &payload, |bch, p| {
             bch.iter(|| roundtrip(&a, &b, p))
         });

@@ -17,13 +17,14 @@
 
 use ritas::bc::StepTransport;
 use ritas::mvc::MvcConfig;
-use ritas_bench::parse_figure_args;
+use ritas_bench::{parse_figure_args, MetricsDump};
 use ritas_sim::harness::stack_latency::{measure_with_config, ProtocolUnderTest};
 use ritas_sim::stats::mean;
 use ritas_sim::SimConfig;
 
 fn main() {
     let args = parse_figure_args();
+    let dump = MetricsDump::from_arg(args.metrics_json.clone());
     let samples = args.runs.max(5);
     println!(
         "{:>4} {:>24} {:>14} {:>10}",
@@ -34,11 +35,16 @@ fn main() {
         for transport in [StepTransport::ReliableBroadcast, StepTransport::PlainFanout] {
             let us: Vec<f64> = (0..samples)
                 .map(|i| {
-                    let seed = args.seed.wrapping_add(i as u64 * 7919).wrapping_add(n as u64);
-                    let config = SimConfig::paper_testbed(seed).with_n(n).with_mvc(MvcConfig {
-                        bc_transport: transport,
-                        ..MvcConfig::default()
-                    });
+                    let seed = args
+                        .seed
+                        .wrapping_add(i as u64 * 7919)
+                        .wrapping_add(n as u64);
+                    let config = SimConfig::paper_testbed(seed)
+                        .with_n(n)
+                        .with_mvc(MvcConfig {
+                            bc_transport: transport,
+                            ..MvcConfig::default()
+                        });
                     measure_with_config(ProtocolUnderTest::BinaryConsensus, config, seed) as f64
                         / 1000.0
                 })
@@ -60,4 +66,7 @@ fn main() {
     println!(
         "note: PlainFanout tolerates crash faults only; the library default is ReliableBroadcast"
     );
+    if let Some(dump) = dump {
+        dump.write();
+    }
 }

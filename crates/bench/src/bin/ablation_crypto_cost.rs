@@ -11,13 +11,14 @@
 //! Usage: `cargo run --release -p ritas-bench --bin ablation_crypto_cost
 //! [--runs N] [--seed S]`
 
-use ritas_bench::parse_figure_args;
+use ritas_bench::{parse_figure_args, MetricsDump};
 use ritas_sim::harness::stack_latency::{measure_with_config, ProtocolUnderTest};
 use ritas_sim::stats::mean;
 use ritas_sim::{Calibration, SimConfig};
 
 fn main() {
     let args = parse_figure_args();
+    let dump = MetricsDump::from_arg(args.metrics_json.clone());
     let samples = args.runs.max(3);
     println!(
         "{:<24} {:>16} {:>18} {:>10}",
@@ -50,4 +51,7 @@ fn main() {
     }
     println!();
     println!("paper §5: SINTRA (public-key, Java) ~1.45 atomic msgs/s vs RITAS ~721 msgs/s");
+    if let Some(dump) = dump {
+        dump.write();
+    }
 }

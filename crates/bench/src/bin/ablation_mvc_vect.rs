@@ -10,13 +10,14 @@
 //! [--runs N] [--seed S]`
 
 use ritas::mvc::{MvcConfig, VectTransport};
-use ritas_bench::parse_figure_args;
+use ritas_bench::{parse_figure_args, MetricsDump};
 use ritas_sim::harness::stack_latency::{measure_with_config, ProtocolUnderTest};
 use ritas_sim::stats::mean;
 use ritas_sim::SimConfig;
 
 fn main() {
     let args = parse_figure_args();
+    let dump = MetricsDump::from_arg(args.metrics_json.clone());
     let samples = args.runs.max(5);
     println!(
         "{:>4} {:>18} {:>14} {:>12}",
@@ -27,11 +28,16 @@ fn main() {
         for transport in [VectTransport::Reliable, VectTransport::Echo] {
             let us: Vec<f64> = (0..samples)
                 .map(|i| {
-                    let seed = args.seed.wrapping_add(i as u64 * 104729).wrapping_add(n as u64);
-                    let config = SimConfig::paper_testbed(seed).with_n(n).with_mvc(MvcConfig {
-                        vect_transport: transport,
-                        ..MvcConfig::default()
-                    });
+                    let seed = args
+                        .seed
+                        .wrapping_add(i as u64 * 104729)
+                        .wrapping_add(n as u64);
+                    let config = SimConfig::paper_testbed(seed)
+                        .with_n(n)
+                        .with_mvc(MvcConfig {
+                            vect_transport: transport,
+                            ..MvcConfig::default()
+                        });
                     measure_with_config(ProtocolUnderTest::MultiValuedConsensus, config, seed)
                         as f64
                         / 1000.0
@@ -52,4 +58,7 @@ fn main() {
     }
     println!();
     println!("paper's claim: echo broadcast is the cheaper transport for VECT");
+    if let Some(dump) = dump {
+        dump.write();
+    }
 }

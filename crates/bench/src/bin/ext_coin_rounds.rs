@@ -12,7 +12,7 @@
 //! [--runs N] [--seed S]`
 
 use ritas::stack::CoinPolicy;
-use ritas_bench::parse_figure_args;
+use ritas_bench::{parse_figure_args, MetricsDump};
 use ritas_sim::cluster::{Action, SimCluster, SimConfig};
 
 fn run_round(policy: CoinPolicy, seed: u64) -> u32 {
@@ -20,7 +20,14 @@ fn run_round(policy: CoinPolicy, seed: u64) -> u32 {
     let mut sim = SimCluster::new(config);
     for p in 0..4 {
         // Divergent proposals: 2 vs 2 — no initial majority.
-        sim.schedule(0, p, Action::BcPropose { tag: 1, value: p % 2 == 0 });
+        sim.schedule(
+            0,
+            p,
+            Action::BcPropose {
+                tag: 1,
+                value: p % 2 == 0,
+            },
+        );
     }
     sim.run();
     let observer = sim.observer();
@@ -31,6 +38,7 @@ fn run_round(policy: CoinPolicy, seed: u64) -> u32 {
 
 fn main() {
     let args = parse_figure_args();
+    let dump = MetricsDump::from_arg(args.metrics_json.clone());
     let runs = args.runs.max(100);
     println!("binary consensus decided-round distribution, {runs} runs, split 2-2 proposals\n");
     for (label, policy) in [
@@ -61,4 +69,7 @@ fn main() {
          symmetric delivery makes the step-1 majority common; the shared coin removes\n\
          the residual multi-round tail."
     );
+    if let Some(dump) = dump {
+        dump.write();
+    }
 }

@@ -13,57 +13,84 @@
 //!   finish — two rounds total in the failure-free unanimous case;
 //! * the composites stack these plus their own traffic.
 //!
-//! Usage: `cargo run --release -p ritas-bench --bin ext_msg_complexity`
+//! Usage: `cargo run --release -p ritas-bench --bin ext_msg_complexity
+//! [--metrics-json PATH]`
 
 use bytes::Bytes;
 use ritas::stack::Output;
 use ritas::testing::Cluster;
+use ritas_metrics::Metrics;
 
-fn frames_for(run: impl FnOnce(&mut Cluster)) -> u64 {
+fn frames_for(metrics: &Metrics, run: impl FnOnce(&mut Cluster)) -> u64 {
     let mut cluster = Cluster::new(4, 1);
+    for p in 0..4 {
+        cluster.stack_mut(p).set_metrics(metrics.clone());
+    }
     run(&mut cluster);
     cluster.run();
     cluster.delivered_frames()
 }
 
 fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let metrics_json = argv
+        .iter()
+        .position(|a| a == "--metrics-json")
+        .map(|i| argv[i + 1].clone());
+    // One registry shared by all processes of all runs below.
+    let metrics = Metrics::new();
     let n = 4u64;
     let rb_theory = n + 2 * n * n;
     let eb_theory = 3 * n;
     let bc_theory = 3 * n * rb_theory;
 
-    let rb = frames_for(|c| {
-        let (_, s) = c.stack_mut(0).rb_broadcast(Bytes::from_static(b"0123456789"));
+    let rb = frames_for(&metrics, |c| {
+        let (_, s) = c
+            .stack_mut(0)
+            .rb_broadcast(Bytes::from_static(b"0123456789"));
         c.absorb(0, s);
     });
-    let eb = frames_for(|c| {
-        let (_, s) = c.stack_mut(0).eb_broadcast(Bytes::from_static(b"0123456789"));
+    let eb = frames_for(&metrics, |c| {
+        let (_, s) = c
+            .stack_mut(0)
+            .eb_broadcast(Bytes::from_static(b"0123456789"));
         c.absorb(0, s);
     });
-    let bc = frames_for(|c| {
+    let bc = frames_for(&metrics, |c| {
         for p in 0..4 {
             let s = c.stack_mut(p).bc_propose(1, true).unwrap();
             c.absorb(p, s);
         }
     });
-    let mvc = frames_for(|c| {
+    let mvc = frames_for(&metrics, |c| {
         for p in 0..4 {
-            let s = c.stack_mut(p).mvc_propose(1, Bytes::from_static(b"0123456789")).unwrap();
+            let s = c
+                .stack_mut(p)
+                .mvc_propose(1, Bytes::from_static(b"0123456789"))
+                .unwrap();
             c.absorb(p, s);
         }
     });
-    let vc = frames_for(|c| {
+    let vc = frames_for(&metrics, |c| {
         for p in 0..4 {
-            let s = c.stack_mut(p).vc_propose(1, Bytes::from_static(b"0123456789")).unwrap();
+            let s = c
+                .stack_mut(p)
+                .vc_propose(1, Bytes::from_static(b"0123456789"))
+                .unwrap();
             c.absorb(p, s);
         }
     });
-    let ab = frames_for(|c| {
-        let (_, s) = c.stack_mut(0).ab_broadcast(0, Bytes::from_static(b"0123456789"));
+    let ab = frames_for(&metrics, |c| {
+        let (_, s) = c
+            .stack_mut(0)
+            .ab_broadcast(0, Bytes::from_static(b"0123456789"));
         c.absorb(0, s);
         // Verify the instance completes.
         c.run();
-        assert!(c.outputs(0).iter().any(|o| matches!(o, Output::AbDelivered { .. })));
+        assert!(c
+            .outputs(0)
+            .iter()
+            .any(|o| matches!(o, Output::AbDelivered { .. })));
     });
 
     println!("message complexity per isolated instance, n = 4, failure-free\n");
@@ -72,7 +99,12 @@ fn main() {
     println!("{:<24} {:>10} {:>12}", "Reliable Broadcast", rb, rb_theory);
     // A decided instance participates for one extra round (so laggards
     // can finish), hence exactly twice the single-round closed form.
-    println!("{:<24} {:>10} {:>12}", "Binary Consensus", bc, 2 * bc_theory);
+    println!(
+        "{:<24} {:>10} {:>12}",
+        "Binary Consensus",
+        bc,
+        2 * bc_theory
+    );
     println!("{:<24} {:>10} {:>12}", "Multi-valued Consensus", mvc, "-");
     println!("{:<24} {:>10} {:>12}", "Vector Consensus", vc, "-");
     println!("{:<24} {:>10} {:>12}", "Atomic Broadcast", ab, "-");
@@ -86,4 +118,10 @@ fn main() {
     assert_eq!(rb, rb_theory, "reliable broadcast frame count drifted");
     assert_eq!(eb, eb_theory, "echo broadcast frame count drifted");
     assert_eq!(bc, 2 * bc_theory, "binary consensus frame count drifted");
+
+    if let Some(path) = metrics_json {
+        std::fs::write(&path, metrics.snapshot().to_json())
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("metrics snapshot written to {path}");
+    }
 }

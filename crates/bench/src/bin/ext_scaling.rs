@@ -10,7 +10,7 @@
 //! [--runs N] [--seed S]`
 
 use bytes::Bytes;
-use ritas_bench::parse_figure_args;
+use ritas_bench::{parse_figure_args, MetricsDump};
 use ritas_sim::cluster::{Action, SimCluster, SimConfig};
 use ritas_sim::harness::{measure_with_config, ProtocolUnderTest};
 use ritas_sim::stats::mean;
@@ -32,6 +32,7 @@ fn burst_throughput(n: usize, burst: usize, seed: u64) -> f64 {
 
 fn main() {
     let args = parse_figure_args();
+    let dump = MetricsDump::from_arg(args.metrics_json.clone());
     let samples = args.runs.max(5);
     println!(
         "{:>4} {:>3} {:>10} {:>10} {:>10} {:>14}",
@@ -68,4 +69,7 @@ fn main() {
          consensus ~O(n^2) (n broadcasts per step over n-sized RBCs), and burst\n\
          throughput falls accordingly — the cost of optimal resilience at scale."
     );
+    if let Some(dump) = dump {
+        dump.write();
+    }
 }

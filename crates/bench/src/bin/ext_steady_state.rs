@@ -10,11 +10,12 @@
 //! Usage: `cargo run --release -p ritas-bench --bin ext_steady_state
 //! [--seed S]`
 
-use ritas_bench::parse_figure_args;
+use ritas_bench::{parse_figure_args, MetricsDump};
 use ritas_sim::harness::run_steady_state;
 
 fn main() {
     let args = parse_figure_args();
+    let dump = MetricsDump::from_arg(args.metrics_json.clone());
     let window_ms = if args.quick { 80 } else { 200 };
     println!(
         "{:>14} {:>10} {:>12} {:>14} {:>14}",
@@ -32,4 +33,7 @@ fn main() {
         "latency stays near the isolated-instance floor below the Figure-4 plateau\n\
          (~1000 msg/s at this calibration) and grows without bound past it."
     );
+    if let Some(dump) = dump {
+        dump.write();
+    }
 }

@@ -14,7 +14,7 @@
 //! [--runs N] [--seed S]`
 
 use bytes::Bytes;
-use ritas_bench::parse_figure_args;
+use ritas_bench::{parse_figure_args, MetricsDump};
 use ritas_sim::cluster::{Action, SimCluster, SimConfig};
 
 struct Row {
@@ -24,12 +24,25 @@ struct Row {
 
 fn main() {
     let args = parse_figure_args();
+    let dump = MetricsDump::from_arg(args.metrics_json.clone());
     let runs = args.runs.max(10);
     let profiles = [
-        Row { label: "LAN (uniform 35us)", spread: None },
-        Row { label: "campus (0.1-1ms)", spread: Some((100_000, 1_000_000)) },
-        Row { label: "metro (1-10ms)", spread: Some((1_000_000, 10_000_000)) },
-        Row { label: "WAN (10-80ms)", spread: Some((10_000_000, 80_000_000)) },
+        Row {
+            label: "LAN (uniform 35us)",
+            spread: None,
+        },
+        Row {
+            label: "campus (0.1-1ms)",
+            spread: Some((100_000, 1_000_000)),
+        },
+        Row {
+            label: "metro (1-10ms)",
+            spread: Some((1_000_000, 10_000_000)),
+        },
+        Row {
+            label: "WAN (10-80ms)",
+            spread: Some((10_000_000, 80_000_000)),
+        },
     ];
 
     println!(
@@ -82,4 +95,7 @@ fn main() {
          Correctness never degrades: every run delivered all 20 messages in an\n\
          identical order."
     );
+    if let Some(dump) = dump {
+        dump.write();
+    }
 }

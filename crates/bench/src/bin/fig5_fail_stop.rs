@@ -6,7 +6,7 @@
 //! [--runs N] [--seed S] [--quick]`
 
 use ritas_bench::{
-    default_bursts, default_msg_sizes, parse_figure_args, render_burst_series,
+    default_bursts, default_msg_sizes, parse_figure_args, render_burst_series, MetricsDump,
     PAPER_FIG5_FAIL_STOP,
 };
 use ritas_sim::harness::run_ab_burst;
@@ -14,9 +14,21 @@ use ritas_sim::Faultload;
 
 fn main() {
     let args = parse_figure_args();
-    let bursts = if args.quick { vec![4, 16, 100] } else { default_bursts() };
-    let sizes = if args.quick { vec![10, 1000] } else { default_msg_sizes() };
-    eprintln!("Figure 5 (fail-stop): {} runs per point, seed {}", args.runs, args.seed);
+    let dump = MetricsDump::from_arg(args.metrics_json.clone());
+    let bursts = if args.quick {
+        vec![4, 16, 100]
+    } else {
+        default_bursts()
+    };
+    let sizes = if args.quick {
+        vec![10, 1000]
+    } else {
+        default_msg_sizes()
+    };
+    eprintln!(
+        "Figure 5 (fail-stop): {} runs per point, seed {}",
+        args.runs, args.seed
+    );
     let series = run_ab_burst(
         Faultload::FailStop { victim: 3 },
         &sizes,
@@ -25,4 +37,7 @@ fn main() {
         args.seed,
     );
     print!("{}", render_burst_series(&series, &PAPER_FIG5_FAIL_STOP));
+    if let Some(dump) = dump {
+        dump.write();
+    }
 }

@@ -11,7 +11,7 @@
 //! [--runs N] [--seed S] [--quick]`
 
 use ritas_bench::{
-    default_bursts, default_msg_sizes, parse_figure_args, render_burst_series,
+    default_bursts, default_msg_sizes, parse_figure_args, render_burst_series, MetricsDump,
     PAPER_FIG6_BYZANTINE,
 };
 use ritas_sim::harness::run_ab_burst;
@@ -19,9 +19,21 @@ use ritas_sim::Faultload;
 
 fn main() {
     let args = parse_figure_args();
-    let bursts = if args.quick { vec![4, 16, 100] } else { default_bursts() };
-    let sizes = if args.quick { vec![10, 1000] } else { default_msg_sizes() };
-    eprintln!("Figure 6 (Byzantine): {} runs per point, seed {}", args.runs, args.seed);
+    let dump = MetricsDump::from_arg(args.metrics_json.clone());
+    let bursts = if args.quick {
+        vec![4, 16, 100]
+    } else {
+        default_bursts()
+    };
+    let sizes = if args.quick {
+        vec![10, 1000]
+    } else {
+        default_msg_sizes()
+    };
+    eprintln!(
+        "Figure 6 (Byzantine): {} runs per point, seed {}",
+        args.runs, args.seed
+    );
     let series = run_ab_burst(
         Faultload::Byzantine { attacker: 3 },
         &sizes,
@@ -30,4 +42,7 @@ fn main() {
         args.seed,
     );
     print!("{}", render_burst_series(&series, &PAPER_FIG6_BYZANTINE));
+    if let Some(dump) = dump {
+        dump.write();
+    }
 }

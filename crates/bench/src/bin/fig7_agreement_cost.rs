@@ -10,11 +10,12 @@
 //! Usage: `cargo run --release -p ritas-bench --bin fig7_agreement_cost
 //! [--seed S] [--quick]`
 
-use ritas_bench::parse_figure_args;
+use ritas_bench::{parse_figure_args, MetricsDump};
 use ritas_sim::harness::run_agreement_cost;
 
 fn main() {
     let args = parse_figure_args();
+    let dump = MetricsDump::from_arg(args.metrics_json.clone());
     let bursts: Vec<usize> = if args.quick {
         vec![4, 40, 200]
     } else {
@@ -34,4 +35,7 @@ fn main() {
     }
     println!();
     println!("paper: ~92% at burst 4, dropping exponentially to 2.4% at burst 1000");
+    if let Some(dump) = dump {
+        dump.write();
+    }
 }

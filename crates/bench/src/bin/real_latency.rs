@@ -8,10 +8,13 @@
 //! to three orders of magnitude below the paper's hardware).
 //!
 //! Usage: `cargo run --release -p ritas-bench --bin real_latency
-//! [--runs N]`
+//! [--runs N] [--metrics-json PATH]` — the flag writes node 0's runtime
+//! metrics snapshot from the final measured run (real transport counters
+//! and a-deliver latency histogram included).
 
 use bytes::Bytes;
 use ritas::node::{Node, SessionConfig};
+use ritas_metrics::MetricsSnapshot;
 use ritas_sim::stats::mean;
 use std::time::{Duration, Instant};
 
@@ -26,7 +29,14 @@ enum Proto {
 }
 
 impl Proto {
-    const ALL: [Proto; 6] = [Proto::Eb, Proto::Rb, Proto::Bc, Proto::Mvc, Proto::Vc, Proto::Ab];
+    const ALL: [Proto; 6] = [
+        Proto::Eb,
+        Proto::Rb,
+        Proto::Bc,
+        Proto::Mvc,
+        Proto::Vc,
+        Proto::Ab,
+    ];
 
     fn label(self) -> &'static str {
         match self {
@@ -42,7 +52,7 @@ impl Proto {
 
 /// Runs one isolated instance across a fresh 4-node cluster; returns the
 /// wall-clock latency observed at node 0.
-fn measure(proto: Proto, nodes: Vec<Node>, tag: u64) -> Duration {
+fn measure(proto: Proto, nodes: Vec<Node>, tag: u64) -> (Duration, MetricsSnapshot) {
     let payload = Bytes::from_static(b"0123456789");
     let start = Instant::now();
     let handles: Vec<_> = nodes
@@ -81,19 +91,22 @@ fn measure(proto: Proto, nodes: Vec<Node>, tag: u64) -> Duration {
                     }
                 }
                 let elapsed = start.elapsed();
+                let snap = (me == 0).then(|| node.metrics_snapshot());
                 node.shutdown();
-                (me, elapsed)
+                (me, elapsed, snap)
             })
         })
         .collect();
     let mut at0 = Duration::ZERO;
+    let mut snap0 = None;
     for h in handles {
-        let (me, elapsed) = h.join().unwrap();
+        let (me, elapsed, snap) = h.join().unwrap();
         if me == 0 {
             at0 = elapsed;
+            snap0 = snap;
         }
     }
-    at0
+    (at0, snap0.expect("node 0 always participates"))
 }
 
 fn main() {
@@ -102,6 +115,11 @@ fn main() {
     if let Some(i) = argv.iter().position(|a| a == "--runs") {
         runs = argv[i + 1].parse().expect("numeric --runs");
     }
+    let metrics_json = argv
+        .iter()
+        .position(|a| a == "--metrics-json")
+        .map(|i| argv[i + 1].clone());
+    let mut last_snapshot: Option<MetricsSnapshot> = None;
 
     println!(
         "{:<24} {:>16} {:>16}   (paper testbed w/: µs)",
@@ -109,16 +127,20 @@ fn main() {
     );
     let paper = [1724.0, 2134.0, 8922.0, 16359.0, 20673.0, 23744.0];
     for (idx, proto) in Proto::ALL.into_iter().enumerate() {
-        let sample = |tcp: bool| -> f64 {
+        let mut sample = |tcp: bool| -> f64 {
             let us: Vec<f64> = (0..runs)
                 .map(|i| {
-                    let config = SessionConfig::new(4).unwrap().with_master_seed(100 + i as u64);
+                    let config = SessionConfig::new(4)
+                        .unwrap()
+                        .with_master_seed(100 + i as u64);
                     let nodes = if tcp {
                         Node::tcp_cluster(config, Duration::from_secs(10)).unwrap()
                     } else {
                         Node::cluster(config).unwrap()
                     };
-                    measure(proto, nodes, 1).as_secs_f64() * 1e6
+                    let (latency, snap) = measure(proto, nodes, 1);
+                    last_snapshot = Some(snap);
+                    latency.as_secs_f64() * 1e6
                 })
                 .collect();
             mean(&us)
@@ -139,4 +161,9 @@ fn main() {
          testbed even over real sockets and with thread-per-node scheduling overhead;\n\
          the pure protocol compute is far cheaper still (see `cargo bench`)."
     );
+    if let (Some(path), Some(snap)) = (metrics_json, last_snapshot) {
+        std::fs::write(&path, snap.to_json())
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("metrics snapshot written to {path}");
+    }
 }

@@ -2,14 +2,16 @@
 //! executions of each protocol, with and without the channel
 //! authentication ("IPSec") layer, plus the overhead column.
 //!
-//! Usage: `cargo run -p ritas-bench --bin table1 [--samples N] [--seed S]`
+//! Usage: `cargo run -p ritas-bench --bin table1 [--samples N] [--seed S]
+//! [--metrics-json PATH]`
 
-use ritas_bench::render_table1;
+use ritas_bench::{render_table1, MetricsDump};
 use ritas_sim::harness::run_stack_latency;
 
 fn main() {
     let mut samples = 20usize;
     let mut seed = 42u64;
+    let mut metrics_json = None;
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
@@ -22,9 +24,14 @@ fn main() {
                 seed = args[i + 1].parse().expect("numeric --seed");
                 i += 2;
             }
+            "--metrics-json" => {
+                metrics_json = Some(args[i + 1].clone());
+                i += 2;
+            }
             other => panic!("unknown argument {other}"),
         }
     }
+    let dump = MetricsDump::from_arg(metrics_json);
 
     eprintln!("Table 1: {samples} isolated executions per protocol per mode (seed {seed})");
     let rows = run_stack_latency(samples, seed);
@@ -37,4 +44,7 @@ fn main() {
         rows[4].with_ipsec_us / rows[3].with_ipsec_us,
         rows[5].with_ipsec_us / rows[3].with_ipsec_us,
     );
+    if let Some(dump) = dump {
+        dump.write();
+    }
 }

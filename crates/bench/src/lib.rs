@@ -63,7 +63,9 @@ pub fn render_table1(rows: &[StackLatencyRow]) -> String {
         let paper = PAPER_TABLE1
             .iter()
             .find(|(label, ..)| *label == r.protocol.label());
-        let (pw, pwo, po) = paper.map(|(_, a, b, c)| (*a, *b, *c)).unwrap_or((0.0, 0.0, 0.0));
+        let (pw, pwo, po) = paper
+            .map(|(_, a, b, c)| (*a, *b, *c))
+            .unwrap_or((0.0, 0.0, 0.0));
         out.push_str(&format!(
             "{:<24} | {:>10.0} {:>10.0} {:>5.0}% | {:>10.0} {:>10.0} {:>5.0}%\n",
             r.protocol.label(),
@@ -108,7 +110,7 @@ pub fn render_burst_series(series: &[BurstSeries], paper_1000: &[(usize, f64, f6
 }
 
 /// Common CLI arguments of the figure binaries.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct FigureArgs {
     /// Runs averaged per point (paper: 10).
     pub runs: usize,
@@ -116,9 +118,13 @@ pub struct FigureArgs {
     pub seed: u64,
     /// Reduced parameter grid for smoke runs.
     pub quick: bool,
+    /// Write an aggregated [`ritas_metrics::MetricsSnapshot`] JSON dump
+    /// of the whole run to this path.
+    pub metrics_json: Option<String>,
 }
 
-/// Parses `--runs N --seed S --quick` from `std::env::args`.
+/// Parses `--runs N --seed S --quick --metrics-json PATH` from
+/// `std::env::args`.
 ///
 /// # Panics
 ///
@@ -129,6 +135,7 @@ pub fn parse_figure_args() -> FigureArgs {
         runs: 3,
         seed: 42,
         quick: false,
+        metrics_json: None,
     };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -146,10 +153,50 @@ pub fn parse_figure_args() -> FigureArgs {
                 out.quick = true;
                 i += 1;
             }
+            "--metrics-json" => {
+                out.metrics_json = Some(args[i + 1].clone());
+                i += 2;
+            }
             other => panic!("unknown argument {other}"),
         }
     }
     out
+}
+
+/// Collects every simulated process's protocol metrics over the whole
+/// lifetime of a benchmark binary and writes one aggregated
+/// [`ritas_metrics::MetricsSnapshot`] JSON dump at the end.
+///
+/// Construct it (from the `--metrics-json` argument) **before** running
+/// any experiment: it installs the process-wide ambient registry that
+/// every subsequently created `SimCluster` records into.
+#[derive(Debug)]
+pub struct MetricsDump {
+    path: String,
+    metrics: ritas_metrics::Metrics,
+}
+
+impl MetricsDump {
+    /// Installs the ambient registry when `--metrics-json PATH` was
+    /// given; `None` (no-op) otherwise.
+    pub fn from_arg(path: Option<String>) -> Option<MetricsDump> {
+        let path = path?;
+        let metrics = ritas_metrics::Metrics::new();
+        ritas_sim::cluster::install_ambient_metrics(metrics.clone());
+        Some(MetricsDump { path, metrics })
+    }
+
+    /// Writes the aggregated snapshot as JSON.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the path is not writable (developer-facing binaries).
+    pub fn write(self) {
+        let json = self.metrics.snapshot().to_json();
+        std::fs::write(&self.path, json)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", self.path));
+        eprintln!("metrics snapshot written to {}", self.path);
+    }
 }
 
 /// The burst sizes used by the figure binaries (paper: up to 1000).

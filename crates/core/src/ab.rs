@@ -31,8 +31,9 @@ use crate::rb::{RbMessage, ReliableBroadcast};
 use crate::step::{FaultKind, Step};
 use crate::ProcessId;
 use bytes::Bytes;
-use ritas_crypto::{Coin, DeterministicCoin};
 use ritas_crypto::ProcessKeys;
+use ritas_crypto::{Coin, DeterministicCoin};
+use ritas_metrics::{Layer, Metrics};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Unique identifier of an atomically broadcast message: `(sender, rbid)`.
@@ -106,7 +107,11 @@ impl WireMessage for AbMessage {
                 id.encode(w);
                 inner.encode(w);
             }
-            AbMessage::Vect { origin, round, inner } => {
+            AbMessage::Vect {
+                origin,
+                round,
+                inner,
+            } => {
                 w.u8(TAG_VECT).u32(*origin as u32).u32(*round);
                 inner.encode(w);
             }
@@ -132,7 +137,10 @@ impl WireMessage for AbMessage {
                 round: r.u32("ab.round")?,
                 inner: MvcMessage::decode(r)?,
             }),
-            t => Err(WireError::InvalidTag { what: "ab.tag", tag: t }),
+            t => Err(WireError::InvalidTag {
+                what: "ab.tag",
+                tag: t,
+            }),
         }
     }
 }
@@ -153,7 +161,10 @@ fn decode_ids(bytes: &Bytes) -> Result<Vec<MsgId>, WireError> {
     let mut r = Reader::new(bytes);
     let len = r.u32("ab.ids.len")? as usize;
     if len > MAX_IDS {
-        return Err(WireError::FieldTooLong { what: "ab.ids", len });
+        return Err(WireError::FieldTooLong {
+            what: "ab.ids",
+            len,
+        });
     }
     let mut ids = Vec::with_capacity(len.min(4096));
     for _ in 0..len {
@@ -298,6 +309,7 @@ pub struct AtomicBroadcast {
     /// True while a `poll` call is in progress (deferred-round mode).
     polling: bool,
     stats: AbStats,
+    metrics: Metrics,
 }
 
 impl core::fmt::Debug for AtomicBroadcast {
@@ -357,7 +369,24 @@ impl AtomicBroadcast {
             awaiting_payloads: None,
             polling: false,
             stats: AbStats::default(),
+            metrics: Metrics::default(),
         }
+    }
+
+    /// Attaches the process-wide metric registry and propagates it to
+    /// every sub-protocol instance (message and vector broadcasts, and
+    /// per-round agreement consensus).
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        for rb in self.msg_rbc.values_mut() {
+            rb.set_metrics(metrics.clone());
+        }
+        for rb in self.vect_rbc.values_mut() {
+            rb.set_metrics(metrics.clone());
+        }
+        for mvc in self.agreements.values_mut() {
+            mvc.set_metrics(metrics.clone());
+        }
+        self.metrics = metrics;
     }
 
     /// Drives the agreement task in deferred-round mode (see
@@ -434,12 +463,21 @@ impl AtomicBroadcast {
         };
         self.next_rbid += 1;
         self.stats.broadcast += 1;
+        self.metrics.ab_broadcast.inc();
+        self.metrics.trace(
+            Layer::Ab,
+            "broadcast",
+            format!("ab:{}:{}", id.sender, id.rbid),
+            self.round,
+        );
         let group = self.group;
         let me = self.me;
-        let rbc = self
-            .msg_rbc
-            .entry(id)
-            .or_insert_with(|| ReliableBroadcast::new(group, me, me));
+        let metrics = self.metrics.clone();
+        let rbc = self.msg_rbc.entry(id).or_insert_with(|| {
+            let mut rb = ReliableBroadcast::new(group, me, me);
+            rb.set_metrics(metrics);
+            rb
+        });
         let sub = rbc
             .broadcast(payload)
             .expect("fresh rbid implies fresh instance");
@@ -455,7 +493,11 @@ impl AtomicBroadcast {
         }
         let mut out = match message {
             AbMessage::Msg { id, inner } => self.on_msg(from, id, inner),
-            AbMessage::Vect { origin, round, inner } => self.on_vect(from, origin, round, inner),
+            AbMessage::Vect {
+                origin,
+                round,
+                inner,
+            } => self.on_vect(from, origin, round, inner),
             AbMessage::Agree { round, inner } => self.on_agree(from, round, inner),
         };
         out.extend(self.settle());
@@ -473,10 +515,12 @@ impl AtomicBroadcast {
         }
         let group = self.group;
         let me = self.me;
-        let rbc = self
-            .msg_rbc
-            .entry(id)
-            .or_insert_with(|| ReliableBroadcast::new(group, me, id.sender));
+        let metrics = self.metrics.clone();
+        let rbc = self.msg_rbc.entry(id).or_insert_with(|| {
+            let mut rb = ReliableBroadcast::new(group, me, id.sender);
+            rb.set_metrics(metrics);
+            rb
+        });
         let sub = rbc.handle_message(from, inner);
         let delivered: Vec<Bytes> = sub.outputs.clone();
         let out = wrap_msg(id, sub);
@@ -486,7 +530,13 @@ impl AtomicBroadcast {
         out
     }
 
-    fn on_vect(&mut self, from: ProcessId, origin: ProcessId, round: u32, inner: RbMessage) -> AbStep {
+    fn on_vect(
+        &mut self,
+        from: ProcessId,
+        origin: ProcessId,
+        round: u32,
+        inner: RbMessage,
+    ) -> AbStep {
         if !self.group.contains(origin) {
             return Step::fault(from, FaultKind::NotEntitled);
         }
@@ -495,10 +545,12 @@ impl AtomicBroadcast {
         }
         let group = self.group;
         let me = self.me;
-        let rbc = self
-            .vect_rbc
-            .entry((round, origin))
-            .or_insert_with(|| ReliableBroadcast::new(group, me, origin));
+        let metrics = self.metrics.clone();
+        let rbc = self.vect_rbc.entry((round, origin)).or_insert_with(|| {
+            let mut rb = ReliableBroadcast::new(group, me, origin);
+            rb.set_metrics(metrics);
+            rb
+        });
         let sub = rbc.handle_message(from, inner);
         let delivered: Vec<Bytes> = sub.outputs.clone();
         let mut out = wrap_vect(origin, round, sub);
@@ -506,10 +558,7 @@ impl AtomicBroadcast {
             match decode_ids(&payload) {
                 Ok(ids) => {
                     let n = self.group.n();
-                    let slot = self
-                        .vects
-                        .entry(round)
-                        .or_insert_with(|| vec![None; n]);
+                    let slot = self.vects.entry(round).or_insert_with(|| vec![None; n]);
                     if slot[origin].is_none() {
                         slot[origin] = Some(ids);
                     }
@@ -535,14 +584,17 @@ impl AtomicBroadcast {
             .coin_seed
             .wrapping_mul(0x9E3779B97F4A7C15)
             .wrapping_add(round as u64);
+        let metrics = self.metrics.clone();
         self.agreements.entry(round).or_insert_with(|| {
-            MultiValuedConsensus::with_config(
+            let mut mvc = MultiValuedConsensus::with_config(
                 group,
                 me,
                 keys,
                 Box::new(DeterministicCoin::new(seed)) as Box<dyn Coin + Send>,
                 config,
-            )
+            );
+            mvc.set_metrics(metrics);
+            mvc
         })
     }
 
@@ -579,10 +631,12 @@ impl AtomicBroadcast {
         let round = self.round;
         let me = self.me;
         let group = self.group;
-        let rbc = self
-            .vect_rbc
-            .entry((round, me))
-            .or_insert_with(|| ReliableBroadcast::new(group, me, me));
+        let metrics = self.metrics.clone();
+        let rbc = self.vect_rbc.entry((round, me)).or_insert_with(|| {
+            let mut rb = ReliableBroadcast::new(group, me, me);
+            rb.set_metrics(metrics);
+            rb
+        });
         let sub = rbc.broadcast(payload).expect("one vect per round");
         out.extend(wrap_vect(me, round, sub));
         true
@@ -649,6 +703,9 @@ impl AtomicBroadcast {
         match decision {
             Some(Some(bytes)) => {
                 self.stats.agreements += 1;
+                self.metrics.ab_agreements.inc();
+                self.metrics
+                    .trace(Layer::Ab, "agree", format!("ab-round:{round}"), round);
                 match decode_ids(&bytes) {
                     Ok(ids) => {
                         let fresh: Vec<MsgId> = ids
@@ -669,6 +726,13 @@ impl AtomicBroadcast {
             Some(None) => {
                 self.stats.agreements += 1;
                 self.stats.bottom_agreements += 1;
+                self.metrics.ab_agreements.inc();
+                self.metrics.trace(
+                    Layer::Ab,
+                    "agree-bottom",
+                    format!("ab-round:{round}"),
+                    round,
+                );
                 self.next_round();
                 true
             }
@@ -694,6 +758,7 @@ impl AtomicBroadcast {
         // Deterministic total order within the batch.
         ids.sort();
         ids.dedup();
+        self.metrics.ab_batch.record(ids.len() as u64);
         for id in ids {
             let payload = self.received.remove(&id).expect("payload present");
             self.a_delivered.insert(id);
@@ -701,6 +766,13 @@ impl AtomicBroadcast {
             // the group for it has already been sent.
             self.msg_rbc.remove(&id);
             self.stats.delivered += 1;
+            self.metrics.ab_delivered.inc();
+            self.metrics.trace(
+                Layer::Ab,
+                "deliver",
+                format!("ab:{}:{}", id.sender, id.rbid),
+                self.round,
+            );
             out.push_output(AbDelivery { id, payload });
         }
         true
@@ -714,7 +786,11 @@ fn wrap_msg(id: MsgId, sub: Step<RbMessage, Bytes>) -> AbStep {
 
 fn wrap_vect(origin: ProcessId, round: u32, sub: Step<RbMessage, Bytes>) -> AbStep {
     sub.map_outputs(|_| None)
-        .map_messages(|inner| AbMessage::Vect { origin, round, inner })
+        .map_messages(|inner| AbMessage::Vect {
+            origin,
+            round,
+            inner,
+        })
 }
 
 fn wrap_agree(round: u32, sub: Step<MvcMessage, MvcValue>) -> AbStep {
@@ -831,14 +907,14 @@ mod tests {
 
     #[test]
     fn ids_codec_roundtrip() {
-        let ids: BTreeSet<MsgId> = [
-            MsgId { sender: 0, rbid: 1 },
-            MsgId { sender: 3, rbid: 0 },
-        ]
-        .into_iter()
-        .collect();
+        let ids: BTreeSet<MsgId> = [MsgId { sender: 0, rbid: 1 }, MsgId { sender: 3, rbid: 0 }]
+            .into_iter()
+            .collect();
         let enc = encode_ids(&ids);
-        assert_eq!(decode_ids(&enc).unwrap(), ids.into_iter().collect::<Vec<_>>());
+        assert_eq!(
+            decode_ids(&enc).unwrap(),
+            ids.into_iter().collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -894,7 +970,9 @@ mod tests {
         // general, but identifiers from one sender are ordered within a
         // batch; at minimum every message must appear exactly once.
         let mut net = Net::new(4, 33);
-        let ids: Vec<MsgId> = (0..5).map(|k| net.broadcast(2, format!("m{k}").as_bytes())).collect();
+        let ids: Vec<MsgId> = (0..5)
+            .map(|k| net.broadcast(2, format!("m{k}").as_bytes()))
+            .collect();
         net.run();
         for p in 0..4 {
             let got: BTreeSet<MsgId> = net.delivered[p].iter().map(|d| d.id).collect();

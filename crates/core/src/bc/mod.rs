@@ -42,6 +42,7 @@ use crate::step::{FaultKind, Step};
 use crate::ProcessId;
 use bytes::Bytes;
 use ritas_crypto::{Coin, LocalRoundCoin, RoundCoin};
+use ritas_metrics::{Layer, Metrics};
 use std::collections::BTreeMap;
 use validation::{majority, next_round_valid, step2_valid, step3_valid, strict_majority, Tally};
 
@@ -102,7 +103,10 @@ fn decode_val(b: u8) -> Result<Val, WireError> {
         0 => Ok(Some(false)),
         1 => Ok(Some(true)),
         2 => Ok(None),
-        t => Err(WireError::InvalidTag { what: "bc.value", tag: t }),
+        t => Err(WireError::InvalidTag {
+            what: "bc.value",
+            tag: t,
+        }),
     }
 }
 
@@ -130,9 +134,19 @@ impl WireMessage for BcMessage {
         let body = match r.u8("bc.body")? {
             BODY_RBC => BcBody::Rbc(RbMessage::decode(r)?),
             BODY_PLAIN => BcBody::Plain(decode_val(r.u8("bc.plain")?)?),
-            t => return Err(WireError::InvalidTag { what: "bc.body", tag: t }),
+            t => {
+                return Err(WireError::InvalidTag {
+                    what: "bc.body",
+                    tag: t,
+                })
+            }
         };
-        Ok(BcMessage { round, step, origin, body })
+        Ok(BcMessage {
+            round,
+            step,
+            origin,
+            body,
+        })
     }
 }
 
@@ -234,6 +248,7 @@ pub struct BinaryConsensus {
     rbc: BTreeMap<(u32, u8, ProcessId), ReliableBroadcast>,
     /// Rounds each process has completed (for statistics only).
     rounds_executed: u32,
+    metrics: Metrics,
 }
 
 impl core::fmt::Debug for BinaryConsensus {
@@ -303,7 +318,14 @@ impl BinaryConsensus {
             rounds: BTreeMap::new(),
             rbc: BTreeMap::new(),
             rounds_executed: 0,
+            metrics: Metrics::default(),
         }
+    }
+
+    /// Attaches the process-wide metric registry; per-step reliable
+    /// broadcast sub-instances created afterwards share it.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
     }
 
     /// The decision, once taken.
@@ -332,6 +354,9 @@ impl BinaryConsensus {
         }
         self.started = true;
         self.current = Some(value);
+        self.metrics.bc_started.inc();
+        self.metrics
+            .trace(Layer::Bc, "propose", format!("bc:{}", self.me), self.round);
         let mut out = Step::none();
         self.broadcast_current(&mut out);
         // Messages from peers may already be buffered and could even
@@ -343,13 +368,16 @@ impl BinaryConsensus {
     /// Handles a protocol message from `from`.
     pub fn handle_message(&mut self, from: ProcessId, message: BcMessage) -> BcStep {
         if !self.group.contains(from) || !self.group.contains(message.origin) {
+            self.metrics.bc_rejected.inc();
             return Step::fault(from, FaultKind::NotEntitled);
         }
         if message.round == 0 || !(1..=3).contains(&message.step) {
+            self.metrics.bc_rejected.inc();
             return Step::fault(from, FaultKind::Malformed);
         }
         if message.round > self.round.saturating_add(MAX_ROUND_AHEAD) {
             // Memory-bounding: refuse to buffer absurdly distant rounds.
+            self.metrics.bc_rejected.inc();
             return Step::fault(from, FaultKind::Unjustified);
         }
         let (round, step, origin) = (message.round, message.step, message.origin);
@@ -358,10 +386,12 @@ impl BinaryConsensus {
             (BcBody::Rbc(inner), StepTransport::ReliableBroadcast) => {
                 let group = self.group;
                 let me = self.me;
-                let rbc = self
-                    .rbc
-                    .entry((round, step, origin))
-                    .or_insert_with(|| ReliableBroadcast::new(group, me, origin));
+                let metrics = self.metrics.clone();
+                let rbc = self.rbc.entry((round, step, origin)).or_insert_with(|| {
+                    let mut rb = ReliableBroadcast::new(group, me, origin);
+                    rb.set_metrics(metrics);
+                    rb
+                });
                 let mut sub = rbc.handle_message(from, inner);
                 out.faults.append(&mut sub.faults);
                 for m in sub.messages {
@@ -375,21 +405,29 @@ impl BinaryConsensus {
                 for payload in sub.outputs {
                     match Self::decode_step_value(&payload, step) {
                         Ok(v) => self.record_pending(round, step, origin, v),
-                        Err(_) => out.push_fault(origin, FaultKind::Malformed),
+                        Err(_) => {
+                            self.metrics.bc_rejected.inc();
+                            out.push_fault(origin, FaultKind::Malformed);
+                        }
                     }
                 }
             }
             (BcBody::Plain(v), StepTransport::PlainFanout) => {
                 if from != origin {
+                    self.metrics.bc_rejected.inc();
                     return Step::fault(from, FaultKind::NotEntitled);
                 }
                 if (step == 1 || step == 2) && v.is_none() {
+                    self.metrics.bc_rejected.inc();
                     return Step::fault(from, FaultKind::Malformed);
                 }
                 self.record_pending(round, step, origin, v);
             }
             // Body does not match the configured transport.
-            _ => return Step::fault(from, FaultKind::Malformed),
+            _ => {
+                self.metrics.bc_rejected.inc();
+                return Step::fault(from, FaultKind::Malformed);
+            }
         }
         out.extend(self.settle());
         out
@@ -403,14 +441,19 @@ impl BinaryConsensus {
         }
         let v = decode_val(payload[0])?;
         if (step == 1 || step == 2) && v.is_none() {
-            return Err(WireError::InvalidTag { what: "bc.value", tag: 2 });
+            return Err(WireError::InvalidTag {
+                what: "bc.value",
+                tag: 2,
+            });
         }
         Ok(v)
     }
 
     fn round_mut(&mut self, round: u32) -> &mut RoundState {
         let n = self.group.n();
-        self.rounds.entry(round).or_insert_with(|| RoundState::new(n))
+        self.rounds
+            .entry(round)
+            .or_insert_with(|| RoundState::new(n))
     }
 
     fn record_pending(&mut self, round: u32, step: u8, origin: ProcessId, v: Val) {
@@ -459,7 +502,10 @@ impl BinaryConsensus {
                 let prev_tally: Option<Tally> = match (r, s) {
                     (1, 1) => None, // always valid
                     (r, 1) => self.rounds.get(&(r - 1)).map(|rs| rs.steps[2].tally()),
-                    (r, s) => self.rounds.get(&r).map(|rs| rs.steps[(s - 2) as usize].tally()),
+                    (r, s) => self
+                        .rounds
+                        .get(&r)
+                        .map(|rs| rs.steps[(s - 2) as usize].tally()),
                 };
                 for (origin, v) in candidates {
                     let valid = match (r, s) {
@@ -534,12 +580,23 @@ impl BinaryConsensus {
             if self.decided.is_none() {
                 self.decided = Some(lead);
                 self.decided_round = Some(self.round);
+                self.metrics.bc_decided.inc();
+                self.metrics.bc_rounds.record(u64::from(self.round));
+                self.metrics
+                    .trace(Layer::Bc, "decide", format!("bc:{}", self.me), self.round);
                 out.push_output(lead);
             }
             lead
         } else if lead_count >= threshold_adopt {
             lead
         } else {
+            self.metrics.bc_coin_flips.inc();
+            self.metrics.trace(
+                Layer::Bc,
+                "coin-flip",
+                format!("bc:{}", self.me),
+                self.round,
+            );
             self.coin.flip_round(self.round)
         };
 
@@ -566,10 +623,12 @@ impl BinaryConsensus {
                 let payload = Bytes::copy_from_slice(&[encode_val(self.current)]);
                 let group = self.group;
                 let me = self.me;
-                let rbc = self
-                    .rbc
-                    .entry((round, step, origin))
-                    .or_insert_with(|| ReliableBroadcast::new(group, me, origin));
+                let metrics = self.metrics.clone();
+                let rbc = self.rbc.entry((round, step, origin)).or_insert_with(|| {
+                    let mut rb = ReliableBroadcast::new(group, me, origin);
+                    rb.set_metrics(metrics);
+                    rb
+                });
                 let sub = rbc
                     .broadcast(payload)
                     .expect("own step broadcast is unique per (round, step)");
@@ -746,7 +805,11 @@ mod tests {
             net.run();
             let d0 = net.decisions[0].expect("p0 decided");
             for p in 1..4 {
-                assert_eq!(net.decisions[p], Some(d0), "agreement violated, seed {seed}");
+                assert_eq!(
+                    net.decisions[p],
+                    Some(d0),
+                    "agreement violated, seed {seed}"
+                );
             }
         }
     }
@@ -839,7 +902,11 @@ mod tests {
         let mut net = Net::new(4, StepTransport::ReliableBroadcast, 1);
         net.insts = (0..4)
             .map(|me| {
-                BinaryConsensus::new(g, me, Box::new(FixedCoin(me % 2 == 0)) as Box<dyn Coin + Send>)
+                BinaryConsensus::new(
+                    g,
+                    me,
+                    Box::new(FixedCoin(me % 2 == 0)) as Box<dyn Coin + Send>,
+                )
             })
             .collect();
         net.propose(0, true);
@@ -1004,8 +1071,7 @@ mod tests {
     #[test]
     fn plain_fanout_rejects_relayed_values() {
         let g = Group::new(4).unwrap();
-        let mut bc =
-            BinaryConsensus::with_transport(g, 0, coin(1), StepTransport::PlainFanout);
+        let mut bc = BinaryConsensus::with_transport(g, 0, coin(1), StepTransport::PlainFanout);
         let step = bc.handle_message(
             2,
             BcMessage {

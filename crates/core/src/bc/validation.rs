@@ -20,8 +20,11 @@
 //!   `q = n − f` subset of accepted step-1 values (ties broken to 0, the
 //!   same deterministic tie-break the state machine applies);
 //! * **step 2 → step 3**: a non-`⊥` step-3 value must hold a strict
-//!   majority (`> q/2`) in some `q`-subset; `⊥` requires a `q`-subset
-//!   where no value exceeds `q/2`;
+//!   majority (`> q/2`) in some `q`-subset; `⊥` requires a subset of at
+//!   least `q` values where neither bit holds a strict majority (the
+//!   producer may have accepted more than `q` values before its step
+//!   fired — delayed validation batches acceptances — so every feasible
+//!   set size is considered);
 //! * **step 3 → next round's step 1**: the value must be adoptable
 //!   (`≥ f+1` copies in some `q`-subset) or the coin branch must be
 //!   reachable (a `q`-subset where no non-`⊥` value reaches `f+1`), in
@@ -82,10 +85,13 @@ pub fn step3_valid(step2: &Tally, v: Option<bool>, q: usize) -> bool {
     match v {
         Some(b) => step2.count(b) > q / 2,
         None => {
-            // A subset where neither value exceeds half: take at most
-            // ⌊q/2⌋ of each.
-            let half = q / 2;
-            step2.zeros.min(half) + step2.ones.min(half) >= q
+            // ⊥ means the producer saw no strict majority. It fires its
+            // step with at least `q` accepted values, but delayed
+            // validation can batch acceptances, so the producing set may
+            // hold MORE than `q` values (e.g. all `n`, tied) — check every
+            // feasible set size: a size-`m` subset with no strict majority
+            // takes at most ⌊m/2⌋ of each bit.
+            (q..=usable).any(|m| step2.zeros.min(m / 2) + step2.ones.min(m / 2) >= m)
         }
     }
 }
@@ -132,7 +138,11 @@ mod tests {
     use super::*;
 
     fn t(zeros: usize, ones: usize, bottoms: usize) -> Tally {
-        Tally { zeros, ones, bottoms }
+        Tally {
+            zeros,
+            ones,
+            bottoms,
+        }
     }
 
     // n = 4, f = 1 → q = 3 (the paper's testbed).
@@ -179,11 +189,15 @@ mod tests {
     }
 
     #[test]
-    fn step3_bottom_impossible_for_odd_quorum() {
-        // q = 3: any 3 binary values have a strict majority, so a correct
-        // process can never have produced ⊥.
-        assert!(!step3_valid(&t(2, 2, 0), None, Q4));
-        assert!(!step3_valid(&t(3, 3, 0), None, Q4));
+    fn step3_bottom_needs_a_feasible_tie() {
+        // q = 3: any 3 binary values have a strict majority, but a
+        // producer that batched acceptances may have fired with MORE than
+        // q values — a 2-2 (or 3-3) tie justifies ⊥.
+        assert!(step3_valid(&t(2, 2, 0), None, Q4));
+        assert!(step3_valid(&t(3, 3, 0), None, Q4));
+        // With at most one 0 no tied set of ≥ 3 exists.
+        assert!(!step3_valid(&t(1, 2, 0), None, Q4));
+        assert!(!step3_valid(&t(1, 5, 0), None, Q4));
     }
 
     #[test]
@@ -265,15 +279,20 @@ mod tests {
                 }
             }
         }
-        // All step-2 snapshots.
-        for z in 0..=q {
-            let snapshot = t(z, q - z, 0);
-            let produced = strict_majority(&snapshot);
-            let tally = snapshot;
-            assert!(
-                step3_valid(&tally, produced, q),
-                "step3 soundness failed: snapshot {snapshot:?}"
-            );
+        // All step-2 snapshots of size q up to n = q + f: delayed
+        // validation can batch acceptances, so a correct process may fire
+        // its step with more than q values (this is how ⊥ arises for odd
+        // q — a 2-2 tie over all four values).
+        for total in q..=(q + F4) {
+            for z in 0..=total {
+                let snapshot = t(z, total - z, 0);
+                let produced = strict_majority(&snapshot);
+                let tally = snapshot;
+                assert!(
+                    step3_valid(&tally, produced, q),
+                    "step3 soundness failed: snapshot {snapshot:?}"
+                );
+            }
         }
         // All step-3 snapshots (z zeros, o ones, rest ⊥).
         for z in 0..=q {

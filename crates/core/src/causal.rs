@@ -98,7 +98,10 @@ impl CausalOrder {
         let mut r = Reader::new(payload);
         let len = r.u32("causal.clock.len")? as usize;
         if len != self.delivered.len() {
-            return Err(WireError::FieldTooLong { what: "causal.clock", len });
+            return Err(WireError::FieldTooLong {
+                what: "causal.clock",
+                len,
+            });
         }
         let mut clock = Vec::with_capacity(len);
         for _ in 0..len {
@@ -120,17 +123,17 @@ impl CausalOrder {
         match self.unwrap_clock(&delivery.payload) {
             Ok((clock, body)) => {
                 self.held.push((
-                    AbDelivery { id: delivery.id, payload: body },
+                    AbDelivery {
+                        id: delivery.id,
+                        payload: body,
+                    },
                     clock,
                 ));
             }
             Err(_) => return Vec::new(),
         }
         let mut out = Vec::new();
-        loop {
-            let Some(pos) = self.held.iter().position(|(_, c)| self.deliverable(c)) else {
-                break;
-            };
+        while let Some(pos) = self.held.iter().position(|(_, c)| self.deliverable(c)) {
             let (d, _) = self.held.remove(pos);
             self.delivered[d.id.sender] += 1;
             out.push((d.id, d.payload));
@@ -173,7 +176,10 @@ mod tests {
     use crate::ab::MsgId;
 
     fn delivery(sender: ProcessId, rbid: u64, payload: Bytes) -> AbDelivery {
-        AbDelivery { id: MsgId { sender, rbid }, payload }
+        AbDelivery {
+            id: MsgId { sender, rbid },
+            payload,
+        }
     }
 
     #[test]
@@ -234,7 +240,9 @@ mod tests {
     #[test]
     fn malformed_clock_dropped() {
         let mut co = CausalOrder::new(4, 0);
-        assert!(co.push(delivery(1, 0, Bytes::from_static(&[0xff, 0xff]))).is_empty());
+        assert!(co
+            .push(delivery(1, 0, Bytes::from_static(&[0xff, 0xff])))
+            .is_empty());
         assert_eq!(co.held(), 0);
     }
 

@@ -119,10 +119,16 @@ impl core::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             ConfigError::GroupTooSmall { n } => {
-                write!(f, "group of {n} processes cannot tolerate a Byzantine fault (need n >= 4)")
+                write!(
+                    f,
+                    "group of {n} processes cannot tolerate a Byzantine fault (need n >= 4)"
+                )
             }
             ConfigError::ResilienceViolated { n, f: t } => {
-                write!(f, "resilience bound violated: n = {n}, f = {t} (need n >= 3f+1, f >= 1)")
+                write!(
+                    f,
+                    "resilience bound violated: n = {n}, f = {t} (need n >= 3f+1, f >= 1)"
+                )
             }
         }
     }
@@ -209,6 +215,8 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(!ConfigError::GroupTooSmall { n: 2 }.to_string().is_empty());
-        assert!(!ConfigError::ResilienceViolated { n: 5, f: 2 }.to_string().is_empty());
+        assert!(!ConfigError::ResilienceViolated { n: 5, f: 2 }
+            .to_string()
+            .is_empty());
     }
 }

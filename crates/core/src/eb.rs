@@ -28,6 +28,7 @@ use crate::ProcessId;
 use bytes::Bytes;
 use ritas_crypto::mac::{self, MacTag, TAG_LEN};
 use ritas_crypto::{Digest, ProcessKeys, Sha256};
+use ritas_metrics::{Layer, Metrics};
 
 /// Upper bound on vector entries accepted by the decoder (defense against
 /// allocation attacks; far above any plausible group size).
@@ -59,7 +60,10 @@ fn encode_tag_vec(w: &mut Writer, v: &[MacTag]) {
 fn decode_tag_vec(r: &mut Reader<'_>) -> Result<Vec<MacTag>, WireError> {
     let len = r.u32("eb.vect.len")? as usize;
     if len > MAX_VECTOR_LEN {
-        return Err(WireError::FieldTooLong { what: "eb.vect", len });
+        return Err(WireError::FieldTooLong {
+            what: "eb.vect",
+            len,
+        });
     }
     (0..len)
         .map(|_| Ok(MacTag::from_bytes(r.array::<TAG_LEN>("eb.vect.tag")?)))
@@ -99,19 +103,30 @@ impl WireMessage for EbMessage {
             TAG_MAT => {
                 let len = r.u32("eb.mat.len")? as usize;
                 if len > MAX_VECTOR_LEN {
-                    return Err(WireError::FieldTooLong { what: "eb.mat", len });
+                    return Err(WireError::FieldTooLong {
+                        what: "eb.mat",
+                        len,
+                    });
                 }
                 let mut col = Vec::with_capacity(len);
                 for _ in 0..len {
                     col.push(match r.u8("eb.mat.present")? {
                         0 => None,
                         1 => Some(MacTag::from_bytes(r.array::<TAG_LEN>("eb.mat.tag")?)),
-                        t => return Err(WireError::InvalidTag { what: "eb.mat.present", tag: t }),
+                        t => {
+                            return Err(WireError::InvalidTag {
+                                what: "eb.mat.present",
+                                tag: t,
+                            })
+                        }
                     });
                 }
                 Ok(EbMessage::Mat(col))
             }
-            t => Err(WireError::InvalidTag { what: "eb.tag", tag: t }),
+            t => Err(WireError::InvalidTag {
+                what: "eb.tag",
+                tag: t,
+            }),
         }
     }
 }
@@ -143,6 +158,7 @@ pub struct EchoBroadcast {
     rows: Vec<Option<Vec<MacTag>>>,
     /// Receiver role: a column that arrived before `INIT` (buffered).
     pending_column: Option<Vec<Option<MacTag>>>,
+    metrics: Metrics,
 }
 
 impl EchoBroadcast {
@@ -172,7 +188,14 @@ impl EchoBroadcast {
             payload: None,
             rows: vec![None; group.n()],
             pending_column: None,
+            metrics: Metrics::default(),
         }
+    }
+
+    /// Attaches the process-wide metric registry (a free-standing
+    /// instance keeps its private default registry otherwise).
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
     }
 
     /// The designated sender of this instance.
@@ -211,9 +234,18 @@ impl EchoBroadcast {
             return Step::fault(from, FaultKind::NotEntitled);
         }
         match message {
-            EbMessage::Init(m) => self.on_init(from, m),
-            EbMessage::Vect(v) => self.on_vect(from, v),
-            EbMessage::Mat(col) => self.on_mat(from, col),
+            EbMessage::Init(m) => {
+                self.metrics.eb_init_recv.inc();
+                self.on_init(from, m)
+            }
+            EbMessage::Vect(v) => {
+                self.metrics.eb_vect_recv.inc();
+                self.on_vect(from, v)
+            }
+            EbMessage::Mat(col) => {
+                self.metrics.eb_mat_recv.inc();
+                self.on_mat(from, col)
+            }
         }
     }
 
@@ -298,8 +330,12 @@ impl EchoBroadcast {
         let valid = mac::count_valid_column_entries(&payload, &self.keys, col);
         if valid >= self.group.one_correct() {
             self.delivered = true;
+            self.metrics.eb_delivered.inc();
+            self.metrics
+                .trace(Layer::Eb, "deliver", format!("eb:{}", self.sender), 0);
             Step::output(payload)
         } else {
+            self.metrics.eb_mac_rejected.inc();
             Step::fault(self.sender, FaultKind::BadAuthenticator)
         }
     }
@@ -334,7 +370,10 @@ mod tests {
         let n = insts.len();
         let mut delivered = vec![None; n];
         let mut queue: Vec<(ProcessId, ProcessId, EbMessage)> = Vec::new();
-        let enqueue = |queue: &mut Vec<_>, from: ProcessId, step: EbStep, delivered: &mut Vec<Option<Bytes>>| {
+        let enqueue = |queue: &mut Vec<_>,
+                       from: ProcessId,
+                       step: EbStep,
+                       delivered: &mut Vec<Option<Bytes>>| {
             for out in step.messages {
                 match out.target {
                     Target::All => {
@@ -444,7 +483,12 @@ mod tests {
         let _ = rx.handle_message(0, EbMessage::Init(payload("m")));
         // Rows 0 and 2 computed honestly (tags H(m ‖ s_{i,1})), rest bad.
         let honest = |i: usize| mac::authenticate(b"m", &table.view_of(i).key_for(1));
-        let col = vec![Some(honest(0)), None, Some(honest(2)), Some(MacTag([0u8; TAG_LEN]))];
+        let col = vec![
+            Some(honest(0)),
+            None,
+            Some(honest(2)),
+            Some(MacTag([0u8; TAG_LEN])),
+        ];
         let step = rx.handle_message(0, EbMessage::Mat(col));
         assert_eq!(step.outputs, vec![payload("m")]);
     }
@@ -560,7 +604,10 @@ mod tests {
         // it pads with the m1 rows, which cannot verify against m2.
         let col_p3 = vec![Some(row0_m2[3]), Some(row1[3]), Some(row2[3]), None];
         let d3 = p3.handle_message(0, EbMessage::Mat(col_p3));
-        assert!(d3.outputs.is_empty(), "p3 must not deliver the equivocated m2");
+        assert!(
+            d3.outputs.is_empty(),
+            "p3 must not deliver the equivocated m2"
+        );
         assert_eq!(d3.faults[0].kind, FaultKind::BadAuthenticator);
         assert!(!p3.is_delivered());
     }

@@ -41,6 +41,7 @@ use crate::step::{FaultKind, Step};
 use crate::ProcessId;
 use bytes::Bytes;
 use ritas_crypto::{Coin, ProcessKeys};
+use ritas_metrics::{Layer, Metrics};
 
 /// Transport used for the `VECT` messages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -73,7 +74,10 @@ fn decode_value(r: &mut Reader<'_>) -> Result<MvcValue, WireError> {
     match r.u8("mvc.value.tag")? {
         0 => Ok(None),
         1 => Ok(Some(r.bytes("mvc.value")?)),
-        t => Err(WireError::InvalidTag { what: "mvc.value.tag", tag: t }),
+        t => Err(WireError::InvalidTag {
+            what: "mvc.value.tag",
+            tag: t,
+        }),
     }
 }
 
@@ -104,13 +108,19 @@ impl WireMessage for VectPayload {
         let value = decode_value(r)?;
         let len = r.u32("mvc.vect.len")? as usize;
         if len > MAX_JUSTIFICATION {
-            return Err(WireError::FieldTooLong { what: "mvc.vect", len });
+            return Err(WireError::FieldTooLong {
+                what: "mvc.vect",
+                len,
+            });
         }
         let mut justification = Vec::with_capacity(len);
         for _ in 0..len {
             justification.push(decode_value(r)?);
         }
-        Ok(VectPayload { value, justification })
+        Ok(VectPayload {
+            value,
+            justification,
+        })
     }
 }
 
@@ -188,7 +198,10 @@ impl WireMessage for MvcMessage {
                 inner: VectBody::Reliable(RbMessage::decode(r)?),
             }),
             TAG_BIN => Ok(MvcMessage::Bin(BcMessage::decode(r)?)),
-            t => Err(WireError::InvalidTag { what: "mvc.tag", tag: t }),
+            t => Err(WireError::InvalidTag {
+                what: "mvc.tag",
+                tag: t,
+            }),
         }
     }
 }
@@ -240,6 +253,7 @@ pub struct MultiValuedConsensus {
     bc_decision: Option<bool>,
     decided: bool,
     decision: Option<MvcValue>,
+    metrics: Metrics,
 }
 
 impl core::fmt::Debug for MultiValuedConsensus {
@@ -285,7 +299,9 @@ impl MultiValuedConsensus {
             config,
             started: false,
             byzantine_bottom: false,
-            init_rbc: (0..n).map(|o| ReliableBroadcast::new(group, me, o)).collect(),
+            init_rbc: (0..n)
+                .map(|o| ReliableBroadcast::new(group, me, o))
+                .collect(),
             init_values: vec![None; n],
             vect_inst: (0..n).map(|_| None).collect(),
             vect_pending: vec![None; n],
@@ -296,7 +312,25 @@ impl MultiValuedConsensus {
             bc_decision: None,
             decided: false,
             decision: None,
+            metrics: Metrics::default(),
         }
+    }
+
+    /// Attaches the process-wide metric registry and propagates it to
+    /// every sub-protocol instance (INIT broadcasts, VECT broadcasts and
+    /// the underlying binary consensus).
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        for rb in &mut self.init_rbc {
+            rb.set_metrics(metrics.clone());
+        }
+        for inst in self.vect_inst.iter_mut().flatten() {
+            match inst {
+                VectInstance::Echo(eb) => eb.set_metrics(metrics.clone()),
+                VectInstance::Reliable(rb) => rb.set_metrics(metrics.clone()),
+            }
+        }
+        self.bc.set_metrics(metrics.clone());
+        self.metrics = metrics;
     }
 
     /// The decision, once taken (`Some(None)` = decided ⊥).
@@ -345,6 +379,9 @@ impl MultiValuedConsensus {
             return Err(ProtocolError::AlreadyStarted);
         }
         self.started = true;
+        self.metrics.mvc_started.inc();
+        self.metrics
+            .trace(Layer::Mvc, "propose", format!("mvc:{}", self.me), 0);
         let me = self.me;
         let mut payload = Writer::new();
         encode_value(&mut payload, &value);
@@ -401,14 +438,15 @@ impl MultiValuedConsensus {
     fn vect_instance(&mut self, origin: ProcessId) -> &mut VectInstance {
         if self.vect_inst[origin].is_none() {
             let inst = match self.config.vect_transport {
-                VectTransport::Echo => VectInstance::Echo(EchoBroadcast::new(
-                    self.group,
-                    self.me,
-                    origin,
-                    self.keys.clone(),
-                )),
+                VectTransport::Echo => {
+                    let mut eb = EchoBroadcast::new(self.group, self.me, origin, self.keys.clone());
+                    eb.set_metrics(self.metrics.clone());
+                    VectInstance::Echo(eb)
+                }
                 VectTransport::Reliable => {
-                    VectInstance::Reliable(ReliableBroadcast::new(self.group, self.me, origin))
+                    let mut rb = ReliableBroadcast::new(self.group, self.me, origin);
+                    rb.set_metrics(self.metrics.clone());
+                    VectInstance::Reliable(rb)
                 }
             };
             self.vect_inst[origin] = Some(inst);
@@ -426,7 +464,9 @@ impl MultiValuedConsensus {
         match (body, expected_echo) {
             (VectBody::Echo(m), true) => {
                 let inst = self.vect_instance(origin);
-                let VectInstance::Echo(eb) = inst else { unreachable!() };
+                let VectInstance::Echo(eb) = inst else {
+                    unreachable!()
+                };
                 let mut sub = eb.handle_message(from, m);
                 out.faults.append(&mut sub.faults);
                 delivered.append(&mut sub.outputs);
@@ -439,7 +479,9 @@ impl MultiValuedConsensus {
             }
             (VectBody::Reliable(m), false) => {
                 let inst = self.vect_instance(origin);
-                let VectInstance::Reliable(rb) = inst else { unreachable!() };
+                let VectInstance::Reliable(rb) = inst else {
+                    unreachable!()
+                };
                 let mut sub = rb.handle_message(from, m);
                 out.faults.append(&mut sub.faults);
                 delivered.append(&mut sub.outputs);
@@ -552,7 +594,9 @@ impl MultiValuedConsensus {
         let value: MvcValue = if self.byzantine_bottom {
             None
         } else {
-            self.most_common_init().filter(|(_, c)| *c >= self.group.correct_in_quorum()).map(|(v, _)| v)
+            self.most_common_init()
+                .filter(|(_, c)| *c >= self.group.correct_in_quorum())
+                .map(|(v, _)| v)
         };
         let payload = VectPayload {
             justification: if value.is_some() {
@@ -566,12 +610,11 @@ impl MultiValuedConsensus {
             value,
         };
         let bytes = payload.to_bytes();
+        self.metrics.mvc_vect_bytes.record(bytes.len() as u64);
         let me = self.me;
         let sub = match self.vect_instance(me) {
             VectInstance::Echo(eb) => wrap_vect_echo(me, eb.broadcast(bytes).expect("one vect")),
-            VectInstance::Reliable(rb) => {
-                wrap_vect_rb(me, rb.broadcast(bytes).expect("one vect"))
-            }
+            VectInstance::Reliable(rb) => wrap_vect_rb(me, rb.broadcast(bytes).expect("one vect")),
         };
         Some(sub)
     }
@@ -611,18 +654,11 @@ impl MultiValuedConsensus {
         let proposal = if self.byzantine_bottom {
             false
         } else {
-            let values: Vec<&Bytes> = self
-                .vect_valid
-                .iter()
-                .flatten()
-                .flatten()
-                .collect();
-            let conflict = values
-                .iter()
-                .any(|a| values.iter().any(|b| a != b));
-            let supported = values
-                .iter()
-                .any(|v| values.iter().filter(|w| w == &v).count() >= self.group.correct_in_quorum());
+            let values: Vec<&Bytes> = self.vect_valid.iter().flatten().flatten().collect();
+            let conflict = values.iter().any(|a| values.iter().any(|b| a != b));
+            let supported = values.iter().any(|v| {
+                values.iter().filter(|w| w == &v).count() >= self.group.correct_in_quorum()
+            });
             !conflict && supported
         };
         let sub = self.bc.propose(proposal).expect("bc proposed once");
@@ -646,6 +682,9 @@ impl MultiValuedConsensus {
             Some(false) => {
                 self.decided = true;
                 self.decision = Some(None);
+                self.metrics.mvc_decided_bottom.inc();
+                self.metrics
+                    .trace(Layer::Mvc, "decide-bottom", format!("mvc:{}", self.me), 0);
                 out.push_output(None);
                 true
             }
@@ -670,6 +709,13 @@ impl MultiValuedConsensus {
                     if count >= threshold {
                         self.decided = true;
                         self.decision = Some(Some(v.clone()));
+                        self.metrics.mvc_decided_value.inc();
+                        self.metrics.trace(
+                            Layer::Mvc,
+                            "decide-value",
+                            format!("mvc:{}", self.me),
+                            0,
+                        );
                         out.push_output(Some(v));
                         return true;
                     }
@@ -819,10 +865,17 @@ mod tests {
     fn vect_payload_codec_roundtrip() {
         let p = VectPayload {
             value: Some(Bytes::from_static(b"v")),
-            justification: vec![Some(Bytes::from_static(b"v")), None, Some(Bytes::from_static(b"w"))],
+            justification: vec![
+                Some(Bytes::from_static(b"v")),
+                None,
+                Some(Bytes::from_static(b"w")),
+            ],
         };
         assert_eq!(VectPayload::from_bytes(&p.to_bytes()).unwrap(), p);
-        let bottom = VectPayload { value: None, justification: vec![] };
+        let bottom = VectPayload {
+            value: None,
+            justification: vec![],
+        };
         assert_eq!(VectPayload::from_bytes(&bottom.to_bytes()).unwrap(), bottom);
     }
 

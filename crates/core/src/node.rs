@@ -29,12 +29,13 @@ use crate::ProcessId;
 use bytes::Bytes;
 use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use ritas_crypto::KeyTable;
+use ritas_metrics::{Metrics, MetricsSnapshot};
 use ritas_transport::{AuthConfig, AuthenticatedTransport, Hub, Transport};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Errors surfaced by the blocking node API.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -140,6 +141,13 @@ enum Command {
     Shutdown,
 }
 
+/// Everything the stack thread reacts to, merged into one channel so the
+/// single protocol thread needs only a blocking `recv` (no `select`).
+enum Event {
+    Cmd(Command),
+    Net(ProcessId, Bytes),
+}
+
 enum PendingReply {
     Bc(Sender<Result<bool, ProtocolError>>),
     Mvc(Sender<Result<MvcValue, ProtocolError>>),
@@ -154,18 +162,21 @@ enum PendingReply {
 pub struct Node {
     id: ProcessId,
     group_size: usize,
-    cmd_tx: Sender<Command>,
+    cmd_tx: Sender<Event>,
     rb_rx: Receiver<(ProcessId, Bytes)>,
     eb_rx: Receiver<(ProcessId, Bytes)>,
     ab_rx: Receiver<AbDelivery>,
     fault_rx: Receiver<Fault>,
+    metrics: Metrics,
     stop: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
 }
 
 impl core::fmt::Debug for Node {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("Node").field("id", &self.id).finish_non_exhaustive()
+        f.debug_struct("Node")
+            .field("id", &self.id)
+            .finish_non_exhaustive()
     }
 }
 
@@ -198,8 +209,11 @@ impl Node {
                 config.stack,
             );
             let node = if config.authenticate {
+                let metrics = Metrics::new();
                 let auth = AuthConfig::from_key_table(&table, me);
-                Node::spawn(AuthenticatedTransport::new(ep, auth), stack)
+                let mut transport = AuthenticatedTransport::new(ep, auth);
+                transport.set_metrics(metrics.clone());
+                Node::spawn_with_metrics(transport, stack, metrics)
             } else {
                 Node::spawn(ep, stack)
             };
@@ -218,10 +232,7 @@ impl Node {
     ///
     /// Propagates mesh establishment failures as
     /// [`NodeError::Disconnected`].
-    pub fn tcp_cluster(
-        config: SessionConfig,
-        timeout: Duration,
-    ) -> Result<Vec<Node>, NodeError> {
+    pub fn tcp_cluster(config: SessionConfig, timeout: Duration) -> Result<Vec<Node>, NodeError> {
         let n = config.group.n();
         let table = KeyTable::dealer(n, config.master_seed);
         let endpoints = ritas_transport::TcpEndpoint::ephemeral_mesh(n, timeout)
@@ -239,8 +250,11 @@ impl Node {
                 config.stack,
             );
             let node = if config.authenticate {
+                let metrics = Metrics::new();
                 let auth = AuthConfig::from_key_table(&table, me);
-                Node::spawn(AuthenticatedTransport::new(ep, auth), stack)
+                let mut transport = AuthenticatedTransport::new(ep, auth);
+                transport.set_metrics(metrics.clone());
+                Node::spawn_with_metrics(transport, stack, metrics)
             } else {
                 Node::spawn(ep, stack)
             };
@@ -252,27 +266,44 @@ impl Node {
     /// Spawns the stack thread for `stack` over `transport` and returns
     /// the application handle.
     pub fn spawn<T: Transport + Sync + 'static>(transport: T, stack: Stack) -> Node {
+        Node::spawn_with_metrics(transport, stack, Metrics::new())
+    }
+
+    /// Like [`Node::spawn`], but shares a caller-provided metrics registry
+    /// (so e.g. an [`AuthenticatedTransport`] wrapping the transport can
+    /// count into the same snapshot).
+    pub fn spawn_with_metrics<T: Transport + Sync + 'static>(
+        transport: T,
+        mut stack: Stack,
+        metrics: Metrics,
+    ) -> Node {
         let id = stack.id();
         let group_size = stack.group().n();
+        stack.set_metrics(metrics.clone());
         let transport = Arc::new(transport);
         let stop = Arc::new(AtomicBool::new(false));
-        let (cmd_tx, cmd_rx) = unbounded::<Command>();
-        let (net_tx, net_rx) = unbounded::<(ProcessId, Bytes)>();
+        let (cmd_tx, cmd_rx) = unbounded::<Event>();
         let (rb_tx, rb_rx) = unbounded();
         let (eb_tx, eb_rx) = unbounded();
         let (ab_tx, ab_rx) = unbounded();
         let (fault_tx, fault_rx) = unbounded();
+        let epoch = Instant::now();
 
-        // Reader thread: pulls frames off the transport into a channel so
-        // the stack thread can select over commands and network input.
+        // Reader thread: pulls frames off the transport into the shared
+        // event channel so the stack thread sees commands and network
+        // input interleaved through a single blocking `recv`.
         let reader = {
             let transport = Arc::clone(&transport);
             let stop = Arc::clone(&stop);
+            let net_tx = cmd_tx.clone();
+            let metrics = metrics.clone();
             std::thread::spawn(move || {
                 while !stop.load(Ordering::Relaxed) {
                     match transport.recv_timeout(Duration::from_millis(50)) {
-                        Ok(msg) => {
-                            if net_tx.send(msg).is_err() {
+                        Ok((from, frame)) => {
+                            metrics.transport_frames_recv.inc();
+                            metrics.transport_bytes_recv.add(frame.len() as u64);
+                            if net_tx.send(Event::Net(from, frame)).is_err() {
                                 break;
                             }
                         }
@@ -287,26 +318,27 @@ impl Node {
         let worker = {
             let transport = Arc::clone(&transport);
             let stop = Arc::clone(&stop);
+            let metrics = metrics.clone();
             std::thread::spawn(move || {
                 let mut state = Worker {
                     stack,
                     transport,
                     replies: HashMap::new(),
+                    ab_sent: HashMap::new(),
+                    metrics: metrics.clone(),
                     rb_tx,
                     eb_tx,
                     ab_tx,
                     fault_tx,
                 };
                 loop {
-                    crossbeam_channel::select! {
-                        recv(cmd_rx) -> cmd => match cmd {
-                            Ok(Command::Shutdown) | Err(_) => break,
-                            Ok(cmd) => state.on_command(cmd),
-                        },
-                        recv(net_rx) -> msg => match msg {
-                            Ok((from, frame)) => state.on_frame(from, frame),
-                            Err(_) => break,
-                        },
+                    // Trace events are stamped with nanoseconds since the
+                    // node was spawned.
+                    metrics.set_time(epoch.elapsed().as_nanos() as u64);
+                    match cmd_rx.recv() {
+                        Ok(Event::Cmd(Command::Shutdown)) | Err(_) => break,
+                        Ok(Event::Cmd(cmd)) => state.on_command(cmd),
+                        Ok(Event::Net(from, frame)) => state.on_frame(from, frame),
                     }
                 }
                 stop.store(true, Ordering::Relaxed);
@@ -321,9 +353,22 @@ impl Node {
             eb_rx,
             ab_rx,
             fault_rx,
+            metrics,
             stop,
             threads: vec![reader, worker],
         }
+    }
+
+    /// The shared metrics registry this node's stack reports into. Live —
+    /// counters keep moving while the stack runs.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Freezes the current metrics into a [`MetricsSnapshot`] (the
+    /// observability dump: `snapshot.to_text()` / `snapshot.to_json()`).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
     }
 
     /// Number of processes in the group.
@@ -341,7 +386,7 @@ impl Node {
     pub fn ab_debug(&self) -> Result<Option<(crate::ab::AbStats, u32, usize)>, NodeError> {
         let (reply, rx) = bounded(1);
         self.cmd_tx
-            .send(Command::AbDebug { reply })
+            .send(Event::Cmd(Command::AbDebug { reply }))
             .map_err(|_| NodeError::Disconnected)?;
         rx.recv().map_err(|_| NodeError::Disconnected)
     }
@@ -354,7 +399,7 @@ impl Node {
     pub fn ab_debug_verbose(&self) -> Result<Option<String>, NodeError> {
         let (reply, rx) = bounded(1);
         self.cmd_tx
-            .send(Command::AbDebugVerbose { reply })
+            .send(Event::Cmd(Command::AbDebugVerbose { reply }))
             .map_err(|_| NodeError::Disconnected)?;
         rx.recv().map_err(|_| NodeError::Disconnected)
     }
@@ -380,7 +425,7 @@ impl Node {
     /// [`NodeError::Disconnected`] if the stack thread has stopped.
     pub fn reliable_broadcast(&self, payload: Bytes) -> Result<(), NodeError> {
         self.cmd_tx
-            .send(Command::RbBroadcast(payload))
+            .send(Event::Cmd(Command::RbBroadcast(payload)))
             .map_err(|_| NodeError::Disconnected)
     }
 
@@ -409,7 +454,7 @@ impl Node {
     /// [`NodeError::Disconnected`] if the stack thread has stopped.
     pub fn echo_broadcast(&self, payload: Bytes) -> Result<(), NodeError> {
         self.cmd_tx
-            .send(Command::EbBroadcast(payload))
+            .send(Event::Cmd(Command::EbBroadcast(payload)))
             .map_err(|_| NodeError::Disconnected)
     }
 
@@ -441,7 +486,7 @@ impl Node {
     pub fn atomic_broadcast(&self, payload: Bytes) -> Result<crate::ab::MsgId, NodeError> {
         let (reply, rx) = bounded(1);
         self.cmd_tx
-            .send(Command::AbBroadcast(payload, reply))
+            .send(Event::Cmd(Command::AbBroadcast(payload, reply)))
             .map_err(|_| NodeError::Disconnected)?;
         rx.recv().map_err(|_| NodeError::Disconnected)
     }
@@ -475,9 +520,11 @@ impl Node {
     pub fn binary_consensus(&self, tag: u64, value: bool) -> Result<bool, NodeError> {
         let (reply, rx) = bounded(1);
         self.cmd_tx
-            .send(Command::BcPropose { tag, value, reply })
+            .send(Event::Cmd(Command::BcPropose { tag, value, reply }))
             .map_err(|_| NodeError::Disconnected)?;
-        rx.recv().map_err(|_| NodeError::Disconnected)?.map_err(NodeError::Protocol)
+        rx.recv()
+            .map_err(|_| NodeError::Disconnected)?
+            .map_err(NodeError::Protocol)
     }
 
     /// Proposes a value on multi-valued consensus `tag`; blocks until the
@@ -489,9 +536,11 @@ impl Node {
     pub fn multi_valued_consensus(&self, tag: u64, value: Bytes) -> Result<MvcValue, NodeError> {
         let (reply, rx) = bounded(1);
         self.cmd_tx
-            .send(Command::MvcPropose { tag, value, reply })
+            .send(Event::Cmd(Command::MvcPropose { tag, value, reply }))
             .map_err(|_| NodeError::Disconnected)?;
-        rx.recv().map_err(|_| NodeError::Disconnected)?.map_err(NodeError::Protocol)
+        rx.recv()
+            .map_err(|_| NodeError::Disconnected)?
+            .map_err(NodeError::Protocol)
     }
 
     /// Proposes a value on vector consensus `tag`; blocks until the
@@ -503,14 +552,16 @@ impl Node {
     pub fn vector_consensus(&self, tag: u64, value: Bytes) -> Result<DecisionVector, NodeError> {
         let (reply, rx) = bounded(1);
         self.cmd_tx
-            .send(Command::VcPropose { tag, value, reply })
+            .send(Event::Cmd(Command::VcPropose { tag, value, reply }))
             .map_err(|_| NodeError::Disconnected)?;
-        rx.recv().map_err(|_| NodeError::Disconnected)?.map_err(NodeError::Protocol)
+        rx.recv()
+            .map_err(|_| NodeError::Disconnected)?
+            .map_err(NodeError::Protocol)
     }
 
     /// Stops the stack thread (`ritas_destroy`). Idempotent.
     pub fn shutdown(&self) {
-        let _ = self.cmd_tx.send(Command::Shutdown);
+        let _ = self.cmd_tx.send(Event::Cmd(Command::Shutdown));
         self.stop.store(true, Ordering::Relaxed);
     }
 }
@@ -536,6 +587,9 @@ struct Worker<T: Transport> {
     stack: Stack,
     transport: Arc<T>,
     replies: HashMap<InstanceKey, PendingReply>,
+    /// Local a-broadcast times, for the a-deliver latency histogram.
+    ab_sent: HashMap<crate::ab::MsgId, Instant>,
+    metrics: Metrics,
     rb_tx: Sender<(ProcessId, Bytes)>,
     eb_tx: Sender<(ProcessId, Bytes)>,
     ab_tx: Sender<AbDelivery>,
@@ -555,6 +609,7 @@ impl<T: Transport> Worker<T> {
             }
             Command::AbBroadcast(payload, reply) => {
                 let (id, step) = self.stack.ab_broadcast(0, payload);
+                self.ab_sent.insert(id, Instant::now());
                 let _ = reply.send(id);
                 self.dispatch(step);
             }
@@ -600,7 +655,7 @@ impl<T: Transport> Worker<T> {
             Command::AbDebugVerbose { reply } => {
                 let _ = reply.send(self.stack.ab_debug_verbose(0));
             }
-            Command::Shutdown => unreachable!("handled by the select loop"),
+            Command::Shutdown => unreachable!("handled by the event loop"),
         }
     }
 
@@ -615,8 +670,21 @@ impl<T: Transport> Worker<T> {
         }
         for out in step.messages {
             let result = match out.target {
-                Target::All => self.transport.send_all(out.message),
-                Target::One(to) => self.transport.send(to, out.message),
+                Target::All => {
+                    let n = self.transport.group_size() as u64;
+                    self.metrics.transport_frames_sent.add(n);
+                    self.metrics
+                        .transport_bytes_sent
+                        .add(n * out.message.len() as u64);
+                    self.transport.send_all(out.message)
+                }
+                Target::One(to) => {
+                    self.metrics.transport_frames_sent.inc();
+                    self.metrics
+                        .transport_bytes_sent
+                        .add(out.message.len() as u64);
+                    self.transport.send(to, out.message)
+                }
             };
             // A send failure means the transport is gone; the loop will
             // notice via the reader thread. Nothing sensible to do here.
@@ -624,13 +692,22 @@ impl<T: Transport> Worker<T> {
         }
         for output in step.outputs {
             match output {
-                Output::RbDelivered { sender, payload, .. } => {
+                Output::RbDelivered {
+                    sender, payload, ..
+                } => {
                     let _ = self.rb_tx.send((sender, payload));
                 }
-                Output::EbDelivered { sender, payload, .. } => {
+                Output::EbDelivered {
+                    sender, payload, ..
+                } => {
                     let _ = self.eb_tx.send((sender, payload));
                 }
                 Output::AbDelivered { delivery, .. } => {
+                    if let Some(sent) = self.ab_sent.remove(&delivery.id) {
+                        self.metrics
+                            .ab_latency_ns
+                            .record(sent.elapsed().as_nanos() as u64);
+                    }
                     let _ = self.ab_tx.send(delivery);
                 }
                 Output::BcDecided { key, decision } => {
@@ -657,10 +734,7 @@ impl<T: Transport> Worker<T> {
 mod tests {
     use super::*;
 
-    fn run_cluster(
-        config: SessionConfig,
-        body: impl Fn(Node) + Send + Sync + Clone + 'static,
-    ) {
+    fn run_cluster(config: SessionConfig, body: impl Fn(Node) + Send + Sync + Clone + 'static) {
         let nodes = Node::cluster(config).unwrap();
         let mut handles = Vec::new();
         for node in nodes {
@@ -789,7 +863,8 @@ mod tests {
         let stack = Stack::new(group, 0, table.view_of(0), 1);
         let node = Node::spawn(ep0, stack);
         // A peer sends garbage that cannot decode as any protocol frame.
-        ep1.send(0, Bytes::from_static(&[0xde, 0xad, 0xbe, 0xef])).unwrap();
+        ep1.send(0, Bytes::from_static(&[0xde, 0xad, 0xbe, 0xef]))
+            .unwrap();
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         let faults = loop {
             let f = node.take_faults();
@@ -807,7 +882,9 @@ mod tests {
     fn recv_timeout_expires() {
         let nodes = Node::cluster(SessionConfig::new(4).unwrap()).unwrap();
         assert_eq!(
-            nodes[0].rb_recv_timeout(Duration::from_millis(20)).unwrap_err(),
+            nodes[0]
+                .rb_recv_timeout(Duration::from_millis(20))
+                .unwrap_err(),
             NodeError::Timeout
         );
         for n in &nodes {

@@ -22,6 +22,7 @@ use crate::step::{FaultKind, Step};
 use crate::ProcessId;
 use bytes::Bytes;
 use ritas_crypto::{Digest, Sha256};
+use ritas_metrics::{Layer, Metrics};
 use std::collections::HashMap;
 
 /// Digest used to compare payload equality without storing duplicates.
@@ -67,7 +68,10 @@ impl WireMessage for RbMessage {
             TAG_INIT => Ok(RbMessage::Init(m)),
             TAG_ECHO => Ok(RbMessage::Echo(m)),
             TAG_READY => Ok(RbMessage::Ready(m)),
-            t => Err(WireError::InvalidTag { what: "rb.tag", tag: t }),
+            t => Err(WireError::InvalidTag {
+                what: "rb.tag",
+                tag: t,
+            }),
         }
     }
 }
@@ -126,6 +130,7 @@ pub struct ReliableBroadcast {
     /// Payload bytes per digest (kept so `READY`/delivery can be produced
     /// from whichever message first carried the winning payload).
     payloads: HashMap<PayloadDigest, Bytes>,
+    metrics: Metrics,
 }
 
 impl ReliableBroadcast {
@@ -149,7 +154,14 @@ impl ReliableBroadcast {
             readies: vec![None; group.n()],
             init_digest: None,
             payloads: HashMap::new(),
+            metrics: Metrics::default(),
         }
+    }
+
+    /// Attaches the process-wide metric registry (a free-standing
+    /// instance keeps its private default registry otherwise).
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
     }
 
     /// The designated sender of this instance.
@@ -205,9 +217,18 @@ impl ReliableBroadcast {
             return Step::fault(from, FaultKind::NotEntitled);
         }
         match message {
-            RbMessage::Init(m) => self.on_init(from, m),
-            RbMessage::Echo(m) => self.on_echo(from, m),
-            RbMessage::Ready(m) => self.on_ready(from, m),
+            RbMessage::Init(m) => {
+                self.metrics.rb_init_recv.inc();
+                self.on_init(from, m)
+            }
+            RbMessage::Echo(m) => {
+                self.metrics.rb_echo_recv.inc();
+                self.on_echo(from, m)
+            }
+            RbMessage::Ready(m) => {
+                self.metrics.rb_ready_recv.inc();
+                self.on_ready(from, m)
+            }
         }
     }
 
@@ -267,6 +288,9 @@ impl ReliableBroadcast {
         }
         if !self.delivered && count >= self.group.byzantine_majority() {
             self.delivered = true;
+            self.metrics.rb_delivered.inc();
+            self.metrics
+                .trace(Layer::Rb, "deliver", format!("rb:{}", self.sender), 0);
             step.push_output(m);
         }
         step
@@ -288,12 +312,18 @@ mod tests {
 
     /// Delivers every `Outgoing` of `step` from process `from` to all
     /// instances, returning delivered payloads per process.
-    fn run_to_quiescence(instances: &mut [ReliableBroadcast], initial: RbStep) -> Vec<Option<Bytes>> {
+    fn run_to_quiescence(
+        instances: &mut [ReliableBroadcast],
+        initial: RbStep,
+    ) -> Vec<Option<Bytes>> {
         let n = instances.len();
         let mut delivered: Vec<Option<Bytes>> = vec![None; n];
         // Queue of (from, to, message).
         let mut queue: Vec<(ProcessId, ProcessId, RbMessage)> = Vec::new();
-        let push = |queue: &mut Vec<_>, from: ProcessId, step: RbStep, delivered: &mut Vec<Option<Bytes>>| {
+        let push = |queue: &mut Vec<_>,
+                    from: ProcessId,
+                    step: RbStep,
+                    delivered: &mut Vec<Option<Bytes>>| {
             for out in step.messages {
                 match out.target {
                     Target::All => {
@@ -379,7 +409,10 @@ mod tests {
         let g = group4();
         let mut rb = ReliableBroadcast::new(g, 0, 0);
         let _ = rb.broadcast(payload("m")).unwrap();
-        assert_eq!(rb.broadcast(payload("m")).unwrap_err(), ProtocolError::AlreadyStarted);
+        assert_eq!(
+            rb.broadcast(payload("m")).unwrap_err(),
+            ProtocolError::AlreadyStarted
+        );
     }
 
     #[test]

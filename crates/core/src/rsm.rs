@@ -98,7 +98,9 @@ pub struct Replica<S: Send + 'static> {
 
 impl<S: Send + 'static> core::fmt::Debug for Replica<S> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("Replica").field("id", &self.node.id()).finish_non_exhaustive()
+        f.debug_struct("Replica")
+            .field("id", &self.node.id())
+            .finish_non_exhaustive()
     }
 }
 
@@ -130,7 +132,9 @@ impl<S: Send + 'static> Replica<S> {
                     let delivery = match node.atomic_recv() {
                         Ok(d) => d,
                         Err(_) => {
-                            shared.stopped.store(true, std::sync::atomic::Ordering::SeqCst);
+                            shared
+                                .stopped
+                                .store(true, std::sync::atomic::Ordering::SeqCst);
                             shared.applied_cv.notify_all();
                             return;
                         }
@@ -152,7 +156,11 @@ impl<S: Send + 'static> Replica<S> {
                 }
             })
         };
-        Replica { node, shared, applier: Some(applier) }
+        Replica {
+            node,
+            shared,
+            applier: Some(applier),
+        }
     }
 
     /// This replica's process id.
@@ -220,7 +228,11 @@ impl<S: Send + 'static> Replica<S> {
             // further deliveries will ever be applied. Never touch the
             // node's delivery queue from here — that would steal
             // deliveries from the applier thread.
-            if self.shared.stopped.load(std::sync::atomic::Ordering::SeqCst) {
+            if self
+                .shared
+                .stopped
+                .load(std::sync::atomic::Ordering::SeqCst)
+            {
                 return;
             }
             self.shared
@@ -256,12 +268,10 @@ mod tests {
         nodes
             .into_iter()
             .map(|node| {
-                Replica::new(node, 0i64, |state, _sender, cmd| {
-                    match cmd {
-                        b"incr" => *state += 1,
-                        b"decr" => *state -= 1,
-                        _ => {}
-                    }
+                Replica::new(node, 0i64, |state, _sender, cmd| match cmd {
+                    b"incr" => *state += 1,
+                    b"decr" => *state -= 1,
+                    _ => {}
                 })
             })
             .collect()

@@ -31,6 +31,7 @@ use crate::vc::{DecisionVector, VcMessage, VectorConsensus};
 use crate::ProcessId;
 use bytes::Bytes;
 use ritas_crypto::{Coin, DeterministicCoin, ProcessKeys};
+use ritas_metrics::Metrics;
 use std::collections::{HashMap, VecDeque};
 
 /// Bounds for the out-of-context table (§3.4): a Byzantine process must
@@ -123,11 +124,22 @@ impl WireMessage for InstanceKey {
                 sender: r.u32("key.sender")? as usize,
                 seq: r.u64("key.seq")?,
             }),
-            KEY_BC => Ok(InstanceKey::Bc { tag: r.u64("key.tag")? }),
-            KEY_MVC => Ok(InstanceKey::Mvc { tag: r.u64("key.tag")? }),
-            KEY_VC => Ok(InstanceKey::Vc { tag: r.u64("key.tag")? }),
-            KEY_AB => Ok(InstanceKey::Ab { session: r.u32("key.session")? }),
-            t => Err(WireError::InvalidTag { what: "key.kind", tag: t }),
+            KEY_BC => Ok(InstanceKey::Bc {
+                tag: r.u64("key.tag")?,
+            }),
+            KEY_MVC => Ok(InstanceKey::Mvc {
+                tag: r.u64("key.tag")?,
+            }),
+            KEY_VC => Ok(InstanceKey::Vc {
+                tag: r.u64("key.tag")?,
+            }),
+            KEY_AB => Ok(InstanceKey::Ab {
+                session: r.u32("key.session")?,
+            }),
+            t => Err(WireError::InvalidTag {
+                what: "key.kind",
+                tag: t,
+            }),
         }
     }
 }
@@ -279,6 +291,9 @@ pub struct Stack {
     next_eb_seq: u64,
     /// Total frames dropped because the OOC table was full.
     ooc_dropped: u64,
+    /// Messages currently parked across all OOC queues.
+    ooc_buffered: usize,
+    metrics: Metrics,
 }
 
 impl core::fmt::Debug for Stack {
@@ -326,7 +341,30 @@ impl Stack {
             next_rb_seq: 0,
             next_eb_seq: 0,
             ooc_dropped: 0,
+            ooc_buffered: 0,
+            metrics: Metrics::default(),
         }
+    }
+
+    /// Attaches the process-wide metric registry and propagates it to
+    /// every live protocol instance; instances created later inherit it.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        for inst in self.instances.values_mut() {
+            match inst {
+                Instance::Rb(rb) => rb.set_metrics(metrics.clone()),
+                Instance::Eb(eb) => eb.set_metrics(metrics.clone()),
+                Instance::Bc(bc) => bc.set_metrics(metrics.clone()),
+                Instance::Mvc(mvc) => mvc.set_metrics(metrics.clone()),
+                Instance::Vc(vc) => vc.set_metrics(metrics.clone()),
+                Instance::Ab(ab) => ab.set_metrics(metrics.clone()),
+            }
+        }
+        self.metrics = metrics;
+    }
+
+    /// The metric registry shared by every instance of this stack.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// This process's id.
@@ -387,8 +425,10 @@ impl Stack {
         };
         self.next_rb_seq += 1;
         let mut inst = ReliableBroadcast::new(self.group, self.me, self.me);
+        inst.set_metrics(self.metrics.clone());
         let sub = inst.broadcast(payload).expect("fresh instance");
         self.instances.insert(key, Instance::Rb(inst));
+        self.note_instances();
         let mut out = encode_rb_step(key, self.me, sub);
         out.extend(self.replay_ooc(key));
         (key, out)
@@ -402,8 +442,10 @@ impl Stack {
         };
         self.next_eb_seq += 1;
         let mut inst = EchoBroadcast::new(self.group, self.me, self.me, self.keys.clone());
+        inst.set_metrics(self.metrics.clone());
         let sub = inst.broadcast(payload).expect("fresh instance");
         self.instances.insert(key, Instance::Eb(inst));
+        self.note_instances();
         let mut out = encode_eb_step(key, self.me, sub);
         out.extend(self.replay_ooc(key));
         (key, out)
@@ -433,8 +475,10 @@ impl Stack {
                 self.config.consensus.bc_transport,
             ),
         };
+        inst.set_metrics(self.metrics.clone());
         let sub = inst.propose(value)?;
         self.instances.insert(key, Instance::Bc(inst));
+        self.note_instances();
         let mut out = encode_bc_step(key, sub);
         out.extend(self.replay_ooc(key));
         Ok(out)
@@ -457,8 +501,10 @@ impl Stack {
             self.coin_for(&key),
             self.config.consensus,
         );
+        inst.set_metrics(self.metrics.clone());
         let sub = inst.propose(value)?;
         self.instances.insert(key, Instance::Mvc(inst));
+        self.note_instances();
         let mut out = encode_mvc_step(key, sub);
         out.extend(self.replay_ooc(key));
         Ok(out)
@@ -483,8 +529,10 @@ impl Stack {
             self.coin_for(&key),
             self.config.consensus,
         );
+        inst.set_metrics(self.metrics.clone());
         let sub = inst.propose_byzantine_bottom()?;
         self.instances.insert(key, Instance::Mvc(inst));
+        self.note_instances();
         let mut out = encode_mvc_step(key, sub);
         out.extend(self.replay_ooc(key));
         Ok(out)
@@ -510,8 +558,10 @@ impl Stack {
         if !self.config.eager_vc_rounds {
             inst = inst.deferred_rounds();
         }
+        inst.set_metrics(self.metrics.clone());
         let sub = inst.propose(value)?;
         self.instances.insert(key, Instance::Vc(inst));
+        self.note_instances();
         let mut out = encode_vc_step(key, sub);
         out.extend(self.replay_ooc(key));
         Ok(out)
@@ -606,14 +656,16 @@ impl Stack {
 
     fn ensure_ab(&mut self, key: InstanceKey) {
         if !self.instances.contains_key(&key) {
-            let inst = AtomicBroadcast::with_config(
+            let mut inst = AtomicBroadcast::with_config(
                 self.group,
                 self.me,
                 self.keys.clone(),
                 self.sub_seed(&key),
                 self.config.ab,
             );
+            inst.set_metrics(self.metrics.clone());
             self.instances.insert(key, Instance::Ab(Box::new(inst)));
+            self.note_instances();
             // Replay is handled by the caller paths that create instances;
             // ensure_ab is also called from handle_frame where OOC cannot
             // exist (auto-created on first contact).
@@ -623,7 +675,19 @@ impl Stack {
     /// Destroys an instance, purging its out-of-context messages (§3.4).
     pub fn destroy(&mut self, key: InstanceKey) {
         self.instances.remove(&key);
-        self.ooc.remove(&key);
+        if let Some(q) = self.ooc.remove(&key) {
+            self.ooc_buffered -= q.len();
+            self.metrics
+                .stack_ooc_buffered
+                .set(self.ooc_buffered as u64);
+        }
+        self.note_instances();
+    }
+
+    fn note_instances(&self) {
+        self.metrics
+            .stack_instances
+            .set(self.instances.len() as u64);
     }
 
     // ----- inbound path -----
@@ -633,6 +697,15 @@ impl Stack {
     /// Malformed frames are reported as faults; messages for instances
     /// that cannot be auto-created are parked in the OOC table.
     pub fn handle_frame(&mut self, from: ProcessId, frame: Bytes) -> StackStep {
+        self.metrics.stack_frames_in.inc();
+        let step = self.handle_frame_inner(from, frame);
+        if !step.faults.is_empty() {
+            self.metrics.faults_detected.add(step.faults.len() as u64);
+        }
+        step
+    }
+
+    fn handle_frame_inner(&mut self, from: ProcessId, frame: Bytes) -> StackStep {
         if !self.group.contains(from) {
             return Step::fault(from, FaultKind::NotEntitled);
         }
@@ -650,21 +723,16 @@ impl Stack {
         if !self.instances.contains_key(&key) {
             match key {
                 InstanceKey::Rb { sender, .. } if self.group.contains(sender) => {
-                    self.instances.insert(
-                        key,
-                        Instance::Rb(ReliableBroadcast::new(self.group, self.me, sender)),
-                    );
+                    let mut rb = ReliableBroadcast::new(self.group, self.me, sender);
+                    rb.set_metrics(self.metrics.clone());
+                    self.instances.insert(key, Instance::Rb(rb));
+                    self.note_instances();
                 }
                 InstanceKey::Eb { sender, .. } if self.group.contains(sender) => {
-                    self.instances.insert(
-                        key,
-                        Instance::Eb(EchoBroadcast::new(
-                            self.group,
-                            self.me,
-                            sender,
-                            self.keys.clone(),
-                        )),
-                    );
+                    let mut eb = EchoBroadcast::new(self.group, self.me, sender, self.keys.clone());
+                    eb.set_metrics(self.metrics.clone());
+                    self.instances.insert(key, Instance::Eb(eb));
+                    self.note_instances();
                 }
                 InstanceKey::Ab { .. } => self.ensure_ab(key),
                 InstanceKey::Rb { .. } | InstanceKey::Eb { .. } => {
@@ -721,20 +789,34 @@ impl Stack {
     fn park_ooc(&mut self, key: InstanceKey, from: ProcessId, inner: Bytes) {
         if !self.ooc.contains_key(&key) && self.ooc.len() >= MAX_OOC_INSTANCES {
             self.ooc_dropped += 1;
+            self.metrics.stack_ooc_dropped.inc();
             return;
         }
         let q = self.ooc.entry(key).or_default();
         if q.len() >= MAX_OOC_PER_INSTANCE {
             self.ooc_dropped += 1;
+            self.metrics.stack_ooc_dropped.inc();
             return;
         }
         q.push_back((from, inner));
+        self.ooc_buffered += 1;
+        self.metrics.stack_ooc_parked.inc();
+        self.metrics
+            .stack_ooc_buffered
+            .set(self.ooc_buffered as u64);
+        self.metrics
+            .stack_ooc_high_water
+            .set_max(self.ooc_buffered as u64);
     }
 
     fn replay_ooc(&mut self, key: InstanceKey) -> StackStep {
         let Some(q) = self.ooc.remove(&key) else {
             return Step::none();
         };
+        self.ooc_buffered -= q.len();
+        self.metrics
+            .stack_ooc_buffered
+            .set(self.ooc_buffered as u64);
         let mut out = Step::none();
         for (from, inner) in q {
             out.extend(self.feed_instance(from, key, inner));
@@ -754,12 +836,24 @@ fn encode_frame<M: WireMessage>(key: InstanceKey, m: &M) -> Bytes {
 
 fn encode_rb_step(key: InstanceKey, sender: ProcessId, sub: Step<RbMessage, Bytes>) -> StackStep {
     sub.map_messages(|m| encode_frame(key, &m))
-        .map_outputs(|payload| Some(Output::RbDelivered { key, sender, payload }))
+        .map_outputs(|payload| {
+            Some(Output::RbDelivered {
+                key,
+                sender,
+                payload,
+            })
+        })
 }
 
 fn encode_eb_step(key: InstanceKey, sender: ProcessId, sub: Step<EbMessage, Bytes>) -> StackStep {
     sub.map_messages(|m| encode_frame(key, &m))
-        .map_outputs(|payload| Some(Output::EbDelivered { key, sender, payload }))
+        .map_outputs(|payload| {
+            Some(Output::EbDelivered {
+                key,
+                sender,
+                payload,
+            })
+        })
 }
 
 fn encode_bc_step(key: InstanceKey, sub: Step<BcMessage, bool>) -> StackStep {
@@ -812,11 +906,17 @@ mod tests {
                 .outputs(p)
                 .iter()
                 .filter_map(|o| match o {
-                    Output::RbDelivered { sender, payload, .. } => Some((*sender, payload.clone())),
+                    Output::RbDelivered {
+                        sender, payload, ..
+                    } => Some((*sender, payload.clone())),
                     _ => None,
                 })
                 .collect();
-            assert_eq!(delivered, vec![(0, Bytes::from_static(b"m"))], "process {p}");
+            assert_eq!(
+                delivered,
+                vec![(0, Bytes::from_static(b"m"))],
+                "process {p}"
+            );
         }
     }
 
@@ -853,10 +953,10 @@ mod tests {
         cluster.run();
         for p in 0..4 {
             assert!(
-                cluster.outputs(p).iter().any(|o| matches!(
-                    o,
-                    Output::BcDecided { decision: true, .. }
-                )),
+                cluster
+                    .outputs(p)
+                    .iter()
+                    .any(|o| matches!(o, Output::BcDecided { decision: true, .. })),
                 "process {p} missing decision"
             );
         }
@@ -903,9 +1003,13 @@ mod tests {
     #[test]
     fn ab_via_stack() {
         let mut cluster = Cluster::new(4, 16);
-        let (_, step) = cluster.stack_mut(1).ab_broadcast(0, Bytes::from_static(b"a1"));
+        let (_, step) = cluster
+            .stack_mut(1)
+            .ab_broadcast(0, Bytes::from_static(b"a1"));
         cluster.absorb(1, step);
-        let (_, step) = cluster.stack_mut(2).ab_broadcast(0, Bytes::from_static(b"a2"));
+        let (_, step) = cluster
+            .stack_mut(2)
+            .ab_broadcast(0, Bytes::from_static(b"a2"));
         cluster.absorb(2, step);
         cluster.run();
         let order0: Vec<MsgId> = cluster
@@ -1007,7 +1111,11 @@ mod tests {
             let _ = cluster.stack_mut(0).handle_frame(1, frame);
         }
         let stack = cluster.stack_mut(0);
-        assert!(stack.ooc_len() <= 4096, "ooc instances: {}", stack.ooc_len());
+        assert!(
+            stack.ooc_len() <= 4096,
+            "ooc instances: {}",
+            stack.ooc_len()
+        );
         if stack.ooc_dropped() > 0 {
             dropped_seen = true;
         }
@@ -1026,7 +1134,9 @@ mod tests {
     #[test]
     fn frame_from_stranger_rejected() {
         let mut cluster = Cluster::new(4, 20);
-        let step = cluster.stack_mut(0).handle_frame(9, Bytes::from_static(&[1]));
+        let step = cluster
+            .stack_mut(0)
+            .handle_frame(9, Bytes::from_static(&[1]));
         assert_eq!(step.faults[0].kind, FaultKind::NotEntitled);
     }
 }

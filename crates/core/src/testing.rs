@@ -131,8 +131,9 @@ impl Cluster {
     /// Stops withholding and re-queues everything buffered for `p`.
     pub fn release(&mut self, p: ProcessId) {
         self.held_inbound[p] = false;
-        let (for_p, rest): (Vec<_>, Vec<_>) =
-            std::mem::take(&mut self.stash).into_iter().partition(|(_, to, _)| *to == p);
+        let (for_p, rest): (Vec<_>, Vec<_>) = std::mem::take(&mut self.stash)
+            .into_iter()
+            .partition(|(_, to, _)| *to == p);
         self.stash = rest;
         self.queue.extend(for_p);
     }
@@ -179,6 +180,12 @@ impl Cluster {
     /// Access to a process's stack, e.g. to issue service requests.
     pub fn stack_mut(&mut self, p: ProcessId) -> &mut Stack {
         &mut self.stacks[p]
+    }
+
+    /// Process `p`'s observability registry (each stack in the cluster
+    /// owns a private one).
+    pub fn metrics(&self, p: ProcessId) -> &ritas_metrics::Metrics {
+        self.stacks[p].metrics()
     }
 
     /// The outputs process `p` has produced so far, in order.
@@ -321,7 +328,11 @@ mod tests {
                     })
                 })
                 .collect();
-            assert_eq!(decisions.len(), 3, "seed {seed}: a correct process missed a decision");
+            assert_eq!(
+                decisions.len(),
+                3,
+                "seed {seed}: a correct process missed a decision"
+            );
             assert!(
                 decisions.iter().all(|d| *d == decisions[0]),
                 "seed {seed}: agreement violated under wire-level corruption"

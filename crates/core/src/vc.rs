@@ -31,6 +31,7 @@ use crate::step::{FaultKind, Step};
 use crate::ProcessId;
 use bytes::Bytes;
 use ritas_crypto::{Coin, DeterministicCoin, ProcessKeys};
+use ritas_metrics::{Layer, Metrics};
 use std::collections::BTreeMap;
 
 /// The decided vector: entry `i` is `p_i`'s proposal or `None` (⊥).
@@ -82,7 +83,10 @@ impl WireMessage for VcMessage {
                 round: r.u32("vc.round")?,
                 inner: MvcMessage::decode(r)?,
             }),
-            t => Err(WireError::InvalidTag { what: "vc.tag", tag: t }),
+            t => Err(WireError::InvalidTag {
+                what: "vc.tag",
+                tag: t,
+            }),
         }
     }
 }
@@ -109,14 +113,22 @@ fn decode_vector(bytes: &Bytes, n: usize) -> Result<DecisionVector, WireError> {
     let mut r = Reader::new(bytes);
     let len = r.u32("vc.vector.len")? as usize;
     if len != n {
-        return Err(WireError::FieldTooLong { what: "vc.vector", len });
+        return Err(WireError::FieldTooLong {
+            what: "vc.vector",
+            len,
+        });
     }
     let mut out = Vec::with_capacity(len);
     for _ in 0..len {
         out.push(match r.u8("vc.vector.present")? {
             0 => None,
             1 => Some(r.bytes("vc.vector.entry")?),
-            t => return Err(WireError::InvalidTag { what: "vc.vector.present", tag: t }),
+            t => {
+                return Err(WireError::InvalidTag {
+                    what: "vc.vector.present",
+                    tag: t,
+                })
+            }
         });
     }
     r.finish()?;
@@ -156,6 +168,7 @@ pub struct VectorConsensus {
     /// MVC instances per round.
     rounds: BTreeMap<u32, MultiValuedConsensus>,
     decided: bool,
+    metrics: Metrics,
 }
 
 impl core::fmt::Debug for VectorConsensus {
@@ -204,7 +217,9 @@ impl VectorConsensus {
             mvc_config,
             coin_seed,
             started: false,
-            prop_rbc: (0..n).map(|o| ReliableBroadcast::new(group, me, o)).collect(),
+            prop_rbc: (0..n)
+                .map(|o| ReliableBroadcast::new(group, me, o))
+                .collect(),
             proposals: vec![None; n],
             round: 0,
             round_proposed: false,
@@ -212,7 +227,21 @@ impl VectorConsensus {
             polling: false,
             rounds: BTreeMap::new(),
             decided: false,
+            metrics: Metrics::default(),
         }
+    }
+
+    /// Attaches the process-wide metric registry and propagates it to
+    /// every sub-protocol instance (proposal broadcasts and per-round
+    /// multi-valued consensus).
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        for rb in &mut self.prop_rbc {
+            rb.set_metrics(metrics.clone());
+        }
+        for mvc in self.rounds.values_mut() {
+            mvc.set_metrics(metrics.clone());
+        }
+        self.metrics = metrics;
     }
 
     /// Switches to deferred rounds: a round's `W_i` snapshot is taken
@@ -251,6 +280,9 @@ impl VectorConsensus {
             return Err(ProtocolError::AlreadyStarted);
         }
         self.started = true;
+        self.metrics.vc_started.inc();
+        self.metrics
+            .trace(Layer::Vc, "propose", format!("vc:{}", self.me), self.round);
         let me = self.me;
         let sub = self.prop_rbc[me].broadcast(value)?;
         let mut out = wrap_prop(me, sub);
@@ -297,14 +329,17 @@ impl VectorConsensus {
             .coin_seed
             .wrapping_mul(0x9E3779B97F4A7C15)
             .wrapping_add(round as u64);
+        let metrics = self.metrics.clone();
         self.rounds.entry(round).or_insert_with(|| {
-            MultiValuedConsensus::with_config(
+            let mut mvc = MultiValuedConsensus::with_config(
                 group,
                 me,
                 keys,
                 Box::new(DeterministicCoin::new(seed)) as Box<dyn Coin + Send>,
                 config,
-            )
+            );
+            mvc.set_metrics(metrics);
+            mvc
         })
     }
 
@@ -345,6 +380,17 @@ impl VectorConsensus {
                     Some(Some(bytes)) => match decode_vector(&bytes, self.group.n()) {
                         Ok(v) => {
                             self.decided = true;
+                            self.metrics.vc_decided.inc();
+                            // Rounds are 0-based; record how many ran.
+                            self.metrics.vc_rounds.record(u64::from(round) + 1);
+                            let bottoms = v.iter().filter(|e| e.is_none()).count();
+                            self.metrics.vc_bottom_entries.add(bottoms as u64);
+                            self.metrics.trace(
+                                Layer::Vc,
+                                "decide",
+                                format!("vc:{}", self.me),
+                                round,
+                            );
                             out.push_output(v);
                             progressed = true;
                         }
@@ -503,7 +549,11 @@ mod tests {
             net.run();
             let d0 = net.decisions[0].clone().expect("p0 decided");
             for p in 1..4 {
-                assert_eq!(net.decisions[p].as_ref(), Some(&d0), "seed {seed} process {p}");
+                assert_eq!(
+                    net.decisions[p].as_ref(),
+                    Some(&d0),
+                    "seed {seed} process {p}"
+                );
             }
             // Vector validity: each entry is the real proposal or ⊥, and
             // at least f+1 = 2 entries are present.

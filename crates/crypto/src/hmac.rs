@@ -113,7 +113,10 @@ mod tests {
     #[test]
     fn rfc4231_long_key() {
         let key = [0xaa; 131];
-        let tag = Hmac::<Sha256>::mac(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        let tag = Hmac::<Sha256>::mac(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
         assert_eq!(
             hex(tag.as_ref()),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
@@ -125,14 +128,20 @@ mod tests {
     fn rfc2202_sha1_case1() {
         let key = [0x0b; 20];
         let tag = Hmac::<Sha1>::mac(&key, b"Hi There");
-        assert_eq!(hex(tag.as_ref()), "b617318655057264e28bc0b6fb378c8ef146be00");
+        assert_eq!(
+            hex(tag.as_ref()),
+            "b617318655057264e28bc0b6fb378c8ef146be00"
+        );
     }
 
     // RFC 2202 test case 2.
     #[test]
     fn rfc2202_sha1_case2() {
         let tag = Hmac::<Sha1>::mac(b"Jefe", b"what do ya want for nothing?");
-        assert_eq!(hex(tag.as_ref()), "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+        assert_eq!(
+            hex(tag.as_ref()),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+        );
     }
 
     #[test]

@@ -123,9 +123,7 @@ impl KeyTable {
         assert!(me < self.n, "process {me} out of range (n={})", self.n);
         ProcessKeys {
             me,
-            keys: (0..self.n)
-                .map(|j| self.matrix[me * self.n + j])
-                .collect(),
+            keys: (0..self.n).map(|j| self.matrix[me * self.n + j]).collect(),
         }
     }
 }

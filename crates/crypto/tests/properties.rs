@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 use ritas_crypto::digest::ct_eq;
-use ritas_crypto::{mac, Coin, Digest, DeterministicCoin, Hmac, KeyTable, Sha1, Sha256};
+use ritas_crypto::{mac, Coin, DeterministicCoin, Digest, Hmac, KeyTable, Sha1, Sha256};
 
 proptest! {
     /// Feeding data in arbitrary chunkings must produce the one-shot

@@ -1,0 +1,817 @@
+//! Protocol metrics and event tracing for the RITAS stack.
+//!
+//! The paper's whole evaluation (§4) is built on per-layer measurement —
+//! latency and throughput per protocol, rounds per consensus instance,
+//! messages per broadcast. This crate is the reproduction's counterpart:
+//! a zero-dependency, thread-safe registry of counters, gauges and
+//! fixed-bucket histograms, plus a bounded structured event-trace ring.
+//!
+//! Design rules:
+//!
+//! * **Cheap by default.** Counters and gauges are single relaxed
+//!   atomics; an unobserved `Metrics` handle costs one `Arc` clone per
+//!   protocol instance and a few atomic adds per message.
+//! * **Static registry.** Every metric is a named field, not a
+//!   string-keyed map — no hashing on the hot path, and the snapshot
+//!   schema is stable by construction.
+//! * **Driver-injected time.** Protocol state machines are sans-io and
+//!   have no clock; drivers (the threaded node, the discrete-event
+//!   simulator) stamp the registry clock via [`Metrics::set_time`], so
+//!   trace timestamps are wall nanoseconds in production and virtual
+//!   nanoseconds in simulation.
+//!
+//! A [`MetricsSnapshot`] freezes everything into plain data with stable
+//! text and JSON renderings, so tests and fault-injection harnesses can
+//! assert on protocol-level invariants (e.g. "the crashed victim added
+//! zero consensus rounds for the correct majority") instead of timings.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value instrument (queue depths, live instance counts).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the current value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if it is above the current one.
+    pub fn set_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: bucket `i` counts values whose
+/// power-of-two magnitude is `i` (bucket upper bound `2^i − 1`…), with
+/// the last bucket absorbing everything larger.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A fixed-bucket histogram with power-of-two bucket bounds.
+///
+/// Bucket `i` counts values `v` with `2^(i−1) ≤ v < 2^i` (bucket 0
+/// counts `v == 0`), which spans `[0, 2^39)` — enough for nanosecond
+/// latencies up to ~9 minutes and any size/count this stack produces.
+/// Recording is two relaxed atomic adds plus an atomic max.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Index of the bucket that counts `v`.
+    pub fn bucket_index(v: u64) -> usize {
+        ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Inclusive upper bound of bucket `i` (`None` for the overflow
+    /// bucket).
+    pub fn bucket_bound(i: usize) -> Option<u64> {
+        if i + 1 >= HISTOGRAM_BUCKETS {
+            None
+        } else {
+            Some((1u64 << i) - 1)
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Freezes the histogram into plain data.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max(),
+        }
+    }
+}
+
+/// Frozen histogram data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`Histogram::bucket_bound`]).
+    pub buckets: Vec<u64>,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Largest observation.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// The stack layer an event or metric belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Layer {
+    /// Reliable channels (§2.1): frames, bytes, MAC verdicts.
+    Transport,
+    /// Reliable broadcast (§2.3, Bracha).
+    Rb,
+    /// Echo broadcast (§2.3, Reiter / Toueg).
+    Eb,
+    /// Binary consensus (§2.4, Bracha).
+    Bc,
+    /// Multi-valued consensus (§2.5).
+    Mvc,
+    /// Vector consensus (§2.6).
+    Vc,
+    /// Atomic broadcast (§2.7).
+    Ab,
+    /// The stack frame router and out-of-context buffers (§3.4).
+    Stack,
+    /// The threaded node runtime (§3).
+    Node,
+}
+
+impl Layer {
+    /// Stable lowercase name used in dumps.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Layer::Transport => "transport",
+            Layer::Rb => "rb",
+            Layer::Eb => "eb",
+            Layer::Bc => "bc",
+            Layer::Mvc => "mvc",
+            Layer::Vc => "vc",
+            Layer::Ab => "ab",
+            Layer::Stack => "stack",
+            Layer::Node => "node",
+        }
+    }
+}
+
+/// One structured trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global sequence number (records causal order even when the
+    /// injected clock stands still).
+    pub seq: u64,
+    /// Driver-injected timestamp (wall ns for the node runtime, virtual
+    /// ns in simulation, 0 when no driver stamps the clock).
+    pub timestamp: u64,
+    /// Which protocol instance emitted the event (stable debug key).
+    pub instance_id: String,
+    /// The emitting layer.
+    pub layer: Layer,
+    /// Event kind, e.g. `"deliver"`, `"coin-flip"`, `"decide"`.
+    pub kind: &'static str,
+    /// Protocol round, when the layer has rounds (0 otherwise).
+    pub round: u32,
+}
+
+/// Default capacity of the trace ring.
+pub const TRACE_CAPACITY: usize = 1024;
+
+#[derive(Debug)]
+struct TraceRing {
+    events: Mutex<std::collections::VecDeque<TraceEvent>>,
+    capacity: usize,
+}
+
+impl TraceRing {
+    fn new(capacity: usize) -> Self {
+        TraceRing {
+            events: Mutex::new(std::collections::VecDeque::with_capacity(capacity.min(64))),
+            capacity,
+        }
+    }
+
+    fn push(&self, event: TraceEvent) {
+        let mut q = self.events.lock().unwrap_or_else(PoisonError::into_inner);
+        if q.len() == self.capacity {
+            q.pop_front();
+        }
+        q.push_back(event);
+    }
+
+    fn to_vec(&self) -> Vec<TraceEvent> {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+/// The metric registry: every instrument the stack exposes, as public
+/// named fields grouped by layer.
+#[derive(Debug)]
+pub struct MetricsInner {
+    // ---- transport (§2.1) ----
+    /// Frames handed to the network.
+    pub transport_frames_sent: Counter,
+    /// Frames received from the network (before authentication).
+    pub transport_frames_recv: Counter,
+    /// Payload bytes handed to the network.
+    pub transport_bytes_sent: Counter,
+    /// Payload bytes received from the network.
+    pub transport_bytes_recv: Counter,
+    /// Inbound frames dropped by MAC/ICV or anti-replay checks.
+    pub transport_mac_rejected: Counter,
+
+    // ---- reliable broadcast (§2.3) ----
+    /// INIT messages received.
+    pub rb_init_recv: Counter,
+    /// ECHO messages received.
+    pub rb_echo_recv: Counter,
+    /// READY messages received.
+    pub rb_ready_recv: Counter,
+    /// Payloads delivered by reliable broadcast instances.
+    pub rb_delivered: Counter,
+
+    // ---- echo broadcast (§2.3) ----
+    /// INITIAL messages received.
+    pub eb_init_recv: Counter,
+    /// Echo-vector messages received.
+    pub eb_vect_recv: Counter,
+    /// Echo-matrix messages received.
+    pub eb_mat_recv: Counter,
+    /// Payloads delivered by echo broadcast instances.
+    pub eb_delivered: Counter,
+    /// Vector/matrix MAC entries that failed verification.
+    pub eb_mac_rejected: Counter,
+
+    // ---- binary consensus (§2.4) ----
+    /// Instances that proposed.
+    pub bc_started: Counter,
+    /// Instances that decided.
+    pub bc_decided: Counter,
+    /// Local/shared coin flips performed.
+    pub bc_coin_flips: Counter,
+    /// Messages rejected by Bracha's validation rule.
+    pub bc_rejected: Counter,
+    /// Rounds needed per decided instance.
+    pub bc_rounds: Histogram,
+
+    // ---- multi-valued consensus (§2.5) ----
+    /// Instances that proposed.
+    pub mvc_started: Counter,
+    /// Instances that decided a proposed value.
+    pub mvc_decided_value: Counter,
+    /// Instances that decided ⊥.
+    pub mvc_decided_bottom: Counter,
+    /// Size in bytes of VECT payloads broadcast (value + justification).
+    pub mvc_vect_bytes: Histogram,
+
+    // ---- vector consensus (§2.6) ----
+    /// Instances that proposed.
+    pub vc_started: Counter,
+    /// Instances that decided.
+    pub vc_decided: Counter,
+    /// ⊥ entries across decided vectors.
+    pub vc_bottom_entries: Counter,
+    /// Agreement rounds needed per decided instance.
+    pub vc_rounds: Histogram,
+
+    // ---- atomic broadcast (§2.7) ----
+    /// Messages a-broadcast locally.
+    pub ab_broadcast: Counter,
+    /// Messages a-delivered locally.
+    pub ab_delivered: Counter,
+    /// Agreement instances run (MVC decisions consumed).
+    pub ab_agreements: Counter,
+    /// Messages ordered per non-⊥ agreement (the paper's batching lever).
+    pub ab_batch: Histogram,
+    /// a-broadcast → a-deliver latency in driver nanoseconds (own
+    /// messages only).
+    pub ab_latency_ns: Histogram,
+
+    // ---- stack / node (§3) ----
+    /// Frames dispatched through the stack router.
+    pub stack_frames_in: Counter,
+    /// Messages parked in the out-of-context buffer (§3.4).
+    pub stack_ooc_parked: Counter,
+    /// Out-of-context messages dropped by the buffer caps.
+    pub stack_ooc_dropped: Counter,
+    /// Faults attributed to peers (equivocation, bad MACs, garbage…).
+    pub faults_detected: Counter,
+    /// Live protocol instances in the stack.
+    pub stack_instances: Gauge,
+    /// Messages currently parked out-of-context.
+    pub stack_ooc_buffered: Gauge,
+    /// High-water mark of the out-of-context buffer.
+    pub stack_ooc_high_water: Gauge,
+
+    trace: TraceRing,
+    clock: AtomicU64,
+    seq: AtomicU64,
+}
+
+impl Default for MetricsInner {
+    fn default() -> Self {
+        MetricsInner {
+            transport_frames_sent: Counter::default(),
+            transport_frames_recv: Counter::default(),
+            transport_bytes_sent: Counter::default(),
+            transport_bytes_recv: Counter::default(),
+            transport_mac_rejected: Counter::default(),
+            rb_init_recv: Counter::default(),
+            rb_echo_recv: Counter::default(),
+            rb_ready_recv: Counter::default(),
+            rb_delivered: Counter::default(),
+            eb_init_recv: Counter::default(),
+            eb_vect_recv: Counter::default(),
+            eb_mat_recv: Counter::default(),
+            eb_delivered: Counter::default(),
+            eb_mac_rejected: Counter::default(),
+            bc_started: Counter::default(),
+            bc_decided: Counter::default(),
+            bc_coin_flips: Counter::default(),
+            bc_rejected: Counter::default(),
+            bc_rounds: Histogram::default(),
+            mvc_started: Counter::default(),
+            mvc_decided_value: Counter::default(),
+            mvc_decided_bottom: Counter::default(),
+            mvc_vect_bytes: Histogram::default(),
+            vc_started: Counter::default(),
+            vc_decided: Counter::default(),
+            vc_bottom_entries: Counter::default(),
+            vc_rounds: Histogram::default(),
+            ab_broadcast: Counter::default(),
+            ab_delivered: Counter::default(),
+            ab_agreements: Counter::default(),
+            ab_batch: Histogram::default(),
+            ab_latency_ns: Histogram::default(),
+            stack_frames_in: Counter::default(),
+            stack_ooc_parked: Counter::default(),
+            stack_ooc_dropped: Counter::default(),
+            faults_detected: Counter::default(),
+            stack_instances: Gauge::default(),
+            stack_ooc_buffered: Gauge::default(),
+            stack_ooc_high_water: Gauge::default(),
+            trace: TraceRing::new(TRACE_CAPACITY),
+            clock: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A cheaply cloneable handle to one process's metric registry.
+///
+/// Every protocol instance in a stack shares the stack's handle; a
+/// free-standing instance created without one gets its own private
+/// registry, so instrumentation code never needs a null check.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    inner: Arc<MetricsInner>,
+}
+
+impl Metrics {
+    /// Creates a fresh registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Injects the driver's current time (wall ns or virtual ns) used to
+    /// stamp subsequent trace events.
+    pub fn set_time(&self, now: u64) {
+        self.inner.clock.store(now, Ordering::Relaxed);
+    }
+
+    /// The last injected driver time.
+    pub fn time(&self) -> u64 {
+        self.inner.clock.load(Ordering::Relaxed)
+    }
+
+    /// Records a structured trace event.
+    pub fn trace(
+        &self,
+        layer: Layer,
+        kind: &'static str,
+        instance_id: impl Into<String>,
+        round: u32,
+    ) {
+        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        self.inner.trace.push(TraceEvent {
+            seq,
+            timestamp: self.time(),
+            instance_id: instance_id.into(),
+            layer,
+            kind,
+            round,
+        });
+    }
+
+    /// Freezes every instrument into a [`MetricsSnapshot`].
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let m = &*self.inner;
+        let mut counters = BTreeMap::new();
+        let mut histograms = BTreeMap::new();
+        macro_rules! counter {
+            ($($name:ident),* $(,)?) => {
+                $(counters.insert(stringify!($name), m.$name.get());)*
+            };
+        }
+        macro_rules! histogram {
+            ($($name:ident),* $(,)?) => {
+                $(histograms.insert(stringify!($name), m.$name.snapshot());)*
+            };
+        }
+        counter!(
+            transport_frames_sent,
+            transport_frames_recv,
+            transport_bytes_sent,
+            transport_bytes_recv,
+            transport_mac_rejected,
+            rb_init_recv,
+            rb_echo_recv,
+            rb_ready_recv,
+            rb_delivered,
+            eb_init_recv,
+            eb_vect_recv,
+            eb_mat_recv,
+            eb_delivered,
+            eb_mac_rejected,
+            bc_started,
+            bc_decided,
+            bc_coin_flips,
+            bc_rejected,
+            mvc_started,
+            mvc_decided_value,
+            mvc_decided_bottom,
+            vc_started,
+            vc_decided,
+            vc_bottom_entries,
+            ab_broadcast,
+            ab_delivered,
+            ab_agreements,
+            stack_frames_in,
+            stack_ooc_parked,
+            stack_ooc_dropped,
+            faults_detected,
+        );
+        // Gauges join the counter map (point-in-time values).
+        counters.insert("stack_instances", m.stack_instances.get());
+        counters.insert("stack_ooc_buffered", m.stack_ooc_buffered.get());
+        counters.insert("stack_ooc_high_water", m.stack_ooc_high_water.get());
+        histogram!(
+            bc_rounds,
+            mvc_vect_bytes,
+            vc_rounds,
+            ab_batch,
+            ab_latency_ns
+        );
+        MetricsSnapshot {
+            counters,
+            histograms,
+            trace: m.trace.to_vec(),
+        }
+    }
+
+    /// Direct access to the instruments (for instrumentation sites).
+    pub fn raw(&self) -> &MetricsInner {
+        &self.inner
+    }
+}
+
+impl std::ops::Deref for Metrics {
+    type Target = MetricsInner;
+
+    fn deref(&self) -> &MetricsInner {
+        &self.inner
+    }
+}
+
+/// A frozen, serializable view of one process's metrics.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// All counters and gauges by stable name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// All histograms by stable name.
+    pub histograms: BTreeMap<&'static str, HistogramSnapshot>,
+    /// The trace ring contents, oldest first.
+    pub trace: Vec<TraceEvent>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter/gauge, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A histogram by name, when present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Whether every layer of the stack reported at least one event —
+    /// the "the run actually exercised the whole stack" check used by
+    /// integration tests.
+    pub fn all_layers_active(&self) -> bool {
+        self.counter("transport_frames_recv") > 0
+            && self.counter("rb_echo_recv") + self.counter("rb_init_recv") > 0
+            && self.counter("eb_init_recv") + self.counter("eb_vect_recv") > 0
+            && self.counter("bc_decided") > 0
+            && self.counter("mvc_started") > 0
+            && self.counter("vc_started") + self.counter("ab_delivered") > 0
+            && self.counter("ab_delivered") > 0
+    }
+
+    /// Renders a stable `name value` text dump (one line per counter,
+    /// histograms as `name{count,sum,max,mean}`).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{name}{{count={} sum={} max={} mean={:.1}}}",
+                h.count,
+                h.sum,
+                h.max,
+                h.mean()
+            );
+        }
+        let _ = writeln!(out, "trace_events {}", self.trace.len());
+        out
+    }
+
+    /// Renders the snapshot as a stable JSON object:
+    /// `{"counters": {...}, "histograms": {...}, "trace": [...]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        let mut first = true;
+        for (name, value) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{name}\":{value}");
+        }
+        out.push_str("},\"histograms\":{");
+        first = true;
+        for (name, h) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\"{name}\":{{\"count\":{},\"sum\":{},\"max\":{},\"buckets\":[",
+                h.count, h.sum, h.max
+            );
+            // Sparse rendering: [index, count] pairs for nonzero buckets.
+            let mut first_bucket = true;
+            for (i, &c) in h.buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                if !first_bucket {
+                    out.push(',');
+                }
+                first_bucket = false;
+                let _ = write!(out, "[{i},{c}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("},\"trace\":[");
+        first = true;
+        for e in &self.trace {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"seq\":{},\"t\":{},\"instance\":\"{}\",\"layer\":\"{}\",\"kind\":\"{}\",\"round\":{}}}",
+                e.seq,
+                e.timestamp,
+                escape_json(&e.instance_id),
+                e.layer.as_str(),
+                escape_json(e.kind),
+                e.round
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let m = Metrics::new();
+        m.rb_echo_recv.inc();
+        m.rb_echo_recv.add(2);
+        assert_eq!(m.rb_echo_recv.get(), 3);
+        m.stack_instances.set(7);
+        m.stack_instances.set_max(3);
+        assert_eq!(m.stack_instances.get(), 7);
+        m.stack_instances.set_max(11);
+        assert_eq!(m.stack_instances.get(), 11);
+    }
+
+    #[test]
+    fn histogram_bucket_bounds_are_powers_of_two() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(Histogram::bucket_bound(0), Some(0));
+        assert_eq!(Histogram::bucket_bound(3), Some(7));
+        assert_eq!(Histogram::bucket_bound(HISTOGRAM_BUCKETS - 1), None);
+    }
+
+    #[test]
+    fn histogram_records_count_sum_max() {
+        let h = Histogram::default();
+        for v in [1u64, 2, 3, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 1006);
+        assert_eq!(s.max, 1000);
+        assert!((s.mean() - 251.5).abs() < 1e-9);
+        // Values 2 and 3 share the [2, 3] bucket.
+        assert_eq!(s.buckets[Histogram::bucket_index(2)], 2);
+    }
+
+    #[test]
+    fn concurrent_counter_updates_do_not_lose_increments() {
+        let m = Metrics::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let m = m.clone();
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        m.transport_frames_sent.inc();
+                        m.ab_latency_ns.record(42);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.transport_frames_sent.get(), 80_000);
+        assert_eq!(m.ab_latency_ns.count(), 80_000);
+        assert_eq!(m.ab_latency_ns.sum(), 80_000 * 42);
+    }
+
+    #[test]
+    fn clone_shares_the_registry() {
+        let a = Metrics::new();
+        let b = a.clone();
+        b.bc_coin_flips.inc();
+        assert_eq!(a.bc_coin_flips.get(), 1);
+    }
+
+    #[test]
+    fn trace_ring_keeps_newest_events() {
+        let m = Metrics::new();
+        m.set_time(99);
+        for i in 0..(TRACE_CAPACITY as u32 + 10) {
+            m.trace(Layer::Bc, "round", format!("bc:{i}"), i);
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.trace.len(), TRACE_CAPACITY);
+        let first = &snap.trace[0];
+        assert_eq!(first.round, 10); // 10 oldest evicted
+        assert_eq!(first.timestamp, 99);
+        let last = snap.trace.last().unwrap();
+        assert_eq!(last.kind, "round");
+        assert_eq!(last.layer, Layer::Bc);
+        assert!(last.seq > first.seq);
+    }
+
+    #[test]
+    fn snapshot_text_and_json_are_stable() {
+        let m = Metrics::new();
+        m.rb_delivered.add(4);
+        m.bc_rounds.record(1);
+        m.trace(Layer::Rb, "deliver", "rb:0:1", 0);
+        let snap = m.snapshot();
+        let text = snap.to_text();
+        assert!(text.contains("rb_delivered 4"));
+        assert!(text.contains("bc_rounds{count=1 sum=1 max=1 mean=1.0}"));
+        let json = snap.to_json();
+        assert!(json.starts_with("{\"counters\":{"));
+        assert!(json.contains("\"rb_delivered\":4"));
+        assert!(json.contains("\"bc_rounds\":{\"count\":1"));
+        assert!(json.contains("\"instance\":\"rb:0:1\""));
+        // Deterministic: same snapshot renders identically.
+        assert_eq!(json, snap.to_json());
+    }
+
+    #[test]
+    fn json_escapes_hostile_instance_ids() {
+        let m = Metrics::new();
+        m.trace(Layer::Stack, "park", "he said \"hi\"\\\n", 0);
+        let json = m.snapshot().to_json();
+        assert!(json.contains("he said \\\"hi\\\"\\\\\\u000a"));
+    }
+
+    #[test]
+    fn counter_lookup_defaults_to_zero() {
+        let snap = Metrics::new().snapshot();
+        assert_eq!(snap.counter("does_not_exist"), 0);
+        assert!(snap.histogram("nope").is_none());
+        assert!(!snap.all_layers_active());
+    }
+}

@@ -82,7 +82,11 @@ impl Calibration {
     pub fn wire_size(&self, payload: usize, authenticated: bool) -> usize {
         payload
             + self.wire_overhead_bytes
-            + if authenticated { self.ah_overhead_bytes } else { 0 }
+            + if authenticated {
+                self.ah_overhead_bytes
+            } else {
+                0
+            }
     }
 
     /// Transmission time of `bytes` on the wire, nanoseconds.

@@ -20,8 +20,25 @@ use ritas::stack::{Output, Stack, StackConfig, StackStep};
 use ritas::step::Target;
 use ritas::ProcessId;
 use ritas_crypto::KeyTable;
+use ritas_metrics::{Metrics, MetricsSnapshot};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::OnceLock;
+
+/// A process-wide registry shared by every process of every
+/// [`SimCluster`] created after installation (see
+/// [`install_ambient_metrics`]).
+static AMBIENT_METRICS: OnceLock<Metrics> = OnceLock::new();
+
+/// Installs a process-wide metrics registry: every process of every
+/// `SimCluster` created afterwards records into it, aggregating a whole
+/// multi-run experiment into one snapshot. The benchmark binaries use
+/// this for their `--metrics-json` dumps. Without it each process gets
+/// a private registry (the default the tests rely on). Returns `false`
+/// if a registry was already installed (first install wins).
+pub fn install_ambient_metrics(metrics: Metrics) -> bool {
+    AMBIENT_METRICS.set(metrics).is_ok()
+}
 
 /// Configuration of a simulated run.
 #[derive(Debug, Clone, Copy)]
@@ -164,9 +181,17 @@ fn wan_matrix(n: usize, lo: u64, hi: u64, seed: u64) -> Vec<Vec<Ns>> {
 #[derive(Debug)]
 enum EventKind {
     /// Frame reached the destination NIC; receive processing begins.
-    Arrive { from: ProcessId, to: ProcessId, frame: Bytes },
+    Arrive {
+        from: ProcessId,
+        to: ProcessId,
+        frame: Bytes,
+    },
     /// Frame handed to the destination protocol stack.
-    Deliver { from: ProcessId, to: ProcessId, frame: Bytes },
+    Deliver {
+        from: ProcessId,
+        to: ProcessId,
+        frame: Bytes,
+    },
     /// An application service request fires.
     Invoke { p: ProcessId, action: Action },
 }
@@ -228,6 +253,8 @@ pub struct SimCluster {
     pending_rx: Vec<usize>,
     outputs: Vec<Vec<(Ns, Output)>>,
     counters: NetCounters,
+    /// Per-process observability registries (shared with the stacks).
+    metrics: Vec<Metrics>,
     /// Process at which broadcast instances are counted (one INIT per
     /// instance arrives at each host; we observe host `observer`).
     observer: ProcessId,
@@ -242,6 +269,9 @@ impl SimCluster {
     pub fn new(config: SimConfig) -> Self {
         let group = Group::new(config.n).expect("n >= 4");
         let table = KeyTable::dealer(config.n, config.seed);
+        let metrics: Vec<Metrics> = (0..config.n)
+            .map(|_| AMBIENT_METRICS.get().cloned().unwrap_or_else(Metrics::new))
+            .collect();
         let stacks = (0..config.n)
             .map(|me| {
                 let stack_config = StackConfig {
@@ -254,13 +284,15 @@ impl SimCluster {
                     eager_vc_rounds: false,
                     coin: config.coin,
                 };
-                Stack::with_config(
+                let mut stack = Stack::with_config(
                     group,
                     me,
                     table.view_of(me),
                     config.seed.wrapping_mul(0xD6E8_FEB8_6659_FD93) ^ ((me as u64) << 24),
                     stack_config,
-                )
+                );
+                stack.set_metrics(metrics[me].clone());
+                stack
             })
             .collect();
         // The observer must be a live, correct process.
@@ -285,6 +317,7 @@ impl SimCluster {
             pending_rx: vec![0; config.n],
             outputs: vec![Vec::new(); config.n],
             counters: NetCounters::default(),
+            metrics,
             observer,
             config,
         }
@@ -313,6 +346,17 @@ impl SimCluster {
     /// Direct access to a stack (statistics inspection).
     pub fn stack(&self, p: ProcessId) -> &Stack {
         &self.stacks[p]
+    }
+
+    /// Process `p`'s observability registry. Trace events carry virtual-
+    /// time timestamps.
+    pub fn metrics(&self, p: ProcessId) -> &Metrics {
+        &self.metrics[p]
+    }
+
+    /// Freezes process `p`'s metrics into a [`MetricsSnapshot`].
+    pub fn metrics_snapshot(&self, p: ProcessId) -> MetricsSnapshot {
+        self.metrics[p].snapshot()
     }
 
     /// Schedules a service request at virtual time `t`.
@@ -365,6 +409,10 @@ impl SimCluster {
     fn send_frame(&mut self, mut now: Ns, from: ProcessId, to: ProcessId, frame: Bytes) {
         // A timing attacker (Faultload::Slow) holds its frames back.
         now += self.config.faultload.send_delay(from);
+        self.metrics[from].transport_frames_sent.inc();
+        self.metrics[from]
+            .transport_bytes_sent
+            .add(frame.len() as u64);
         if to == from {
             // Loopback: no NIC involvement (doesn't count as network
             // traffic, but broadcast instances are still classified so
@@ -416,6 +464,12 @@ impl SimCluster {
                         continue;
                     }
                     self.pending_rx[to] -= 1;
+                    // Trace events carry the virtual delivery time.
+                    self.metrics[to].set_time(ev.time);
+                    self.metrics[to].transport_frames_recv.inc();
+                    self.metrics[to]
+                        .transport_bytes_recv
+                        .add(frame.len() as u64);
                     let step = self.stacks[to].handle_frame(from, frame);
                     self.absorb(to, step);
                     // Single-threaded model: once the inbound queue is
@@ -427,6 +481,7 @@ impl SimCluster {
                     }
                 }
                 EventKind::Invoke { p, action } => {
+                    self.metrics[p].set_time(ev.time);
                     let step = self.invoke(p, action);
                     self.absorb(p, step);
                 }
@@ -466,7 +521,11 @@ impl SimCluster {
     }
 
     /// The first output of `p` matching `pred`, with its time.
-    pub fn first_output(&self, p: ProcessId, pred: impl Fn(&Output) -> bool) -> Option<(Ns, &Output)> {
+    pub fn first_output(
+        &self,
+        p: ProcessId,
+        pred: impl Fn(&Output) -> bool,
+    ) -> Option<(Ns, &Output)> {
         self.outputs[p]
             .iter()
             .find(|(_, o)| pred(o))
@@ -528,7 +587,14 @@ mod tests {
     fn bc_decides_in_simulation() {
         let mut sim = SimCluster::new(SimConfig::paper_testbed(7));
         for p in 0..4 {
-            sim.schedule(0, p, Action::BcPropose { tag: 1, value: true });
+            sim.schedule(
+                0,
+                p,
+                Action::BcPropose {
+                    tag: 1,
+                    value: true,
+                },
+            );
         }
         sim.run();
         for p in 0..4 {
@@ -605,7 +671,14 @@ mod tests {
             let config = SimConfig::paper_testbed(8).with_faultload(faultload);
             let mut sim = SimCluster::new(config);
             for p in 0..4 {
-                sim.schedule(0, p, Action::BcPropose { tag: 1, value: true });
+                sim.schedule(
+                    0,
+                    p,
+                    Action::BcPropose {
+                        tag: 1,
+                        value: true,
+                    },
+                );
             }
             sim.run();
             sim.first_output(0, |o| matches!(o, Output::BcDecided { .. }))
@@ -613,7 +686,10 @@ mod tests {
                 .0
         };
         let baseline = latency(Faultload::FailureFree);
-        let attacked = latency(Faultload::Slow { victim: 3, delay_ns: 50_000_000 });
+        let attacked = latency(Faultload::Slow {
+            victim: 3,
+            delay_ns: 50_000_000,
+        });
         assert!(
             (attacked as f64) < (baseline as f64) * 1.25,
             "slow process delayed the majority: {attacked} vs {baseline}"
@@ -646,7 +722,14 @@ mod tests {
             .with_coin(ritas::stack::CoinPolicy::Shared { dealer_seed: 3 });
         let mut sim = SimCluster::new(config);
         for p in 0..4 {
-            sim.schedule(0, p, Action::BcPropose { tag: 2, value: p < 2 });
+            sim.schedule(
+                0,
+                p,
+                Action::BcPropose {
+                    tag: 2,
+                    value: p < 2,
+                },
+            );
         }
         sim.run();
         let mut decisions = Vec::new();

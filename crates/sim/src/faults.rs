@@ -98,14 +98,21 @@ mod tests {
         assert_eq!(Faultload::FailStop { victim: 0 }.label(), "fail-stop");
         assert_eq!(Faultload::Byzantine { attacker: 0 }.label(), "byzantine");
         assert_eq!(
-            Faultload::Slow { victim: 0, delay_ns: 1 }.label(),
+            Faultload::Slow {
+                victim: 0,
+                delay_ns: 1
+            }
+            .label(),
             "slow-process"
         );
     }
 
     #[test]
     fn slow_delays_only_the_victim() {
-        let f = Faultload::Slow { victim: 2, delay_ns: 5_000 };
+        let f = Faultload::Slow {
+            victim: 2,
+            delay_ns: 5_000,
+        };
         assert_eq!(f.send_delay(2), 5_000);
         assert_eq!(f.send_delay(0), 0);
         assert!(f.participates(2));

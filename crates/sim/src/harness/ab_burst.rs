@@ -64,7 +64,11 @@ pub fn run_burst_once(
         times.len()
     );
     let latency = *times.last().expect("k >= 1");
-    let agreements = sim.stack(observer).ab_stats(0).map(|s| s.agreements).unwrap_or(0);
+    let agreements = sim
+        .stack(observer)
+        .ab_stats(0)
+        .map(|s| s.agreements)
+        .unwrap_or(0);
     (k_actual, latency, agreements)
 }
 
@@ -155,7 +159,10 @@ mod tests {
         let (_, ff, _) = run_burst_once(Faultload::FailureFree, 10, 40, 5);
         let (_, byz, _) = run_burst_once(Faultload::Byzantine { attacker: 3 }, 10, 40, 5);
         let ratio = byz as f64 / ff as f64;
-        assert!(ratio < 1.5, "byzantine {byz} vs failure-free {ff} (ratio {ratio:.2})");
+        assert!(
+            ratio < 1.5,
+            "byzantine {byz} vs failure-free {ff} (ratio {ratio:.2})"
+        );
     }
 
     #[test]

@@ -15,7 +15,9 @@ pub mod stack_latency;
 pub mod steady_state;
 
 pub use ab_burst::{run_ab_burst, run_burst_once, BurstPoint, BurstSeries};
-pub use agreement_cost::{run_agreement_cost, run_once as run_agreement_cost_once, AgreementCostPoint};
+pub use agreement_cost::{
+    run_agreement_cost, run_once as run_agreement_cost_once, AgreementCostPoint,
+};
 pub use stack_latency::{
     measure_once, measure_with_config, run_stack_latency, ProtocolUnderTest, StackLatencyRow,
 };

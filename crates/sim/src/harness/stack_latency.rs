@@ -110,7 +110,14 @@ pub fn measure_with_config(protocol: ProtocolUnderTest, config: SimConfig, seed:
         }
         ProtocolUnderTest::BinaryConsensus => {
             for p in 0..n {
-                sim.schedule(signal_skew(seed, p), p, Action::BcPropose { tag: 1, value: true });
+                sim.schedule(
+                    signal_skew(seed, p),
+                    p,
+                    Action::BcPropose {
+                        tag: 1,
+                        value: true,
+                    },
+                );
             }
         }
         ProtocolUnderTest::MultiValuedConsensus => {
@@ -118,7 +125,10 @@ pub fn measure_with_config(protocol: ProtocolUnderTest, config: SimConfig, seed:
                 sim.schedule(
                     signal_skew(seed, p),
                     p,
-                    Action::MvcPropose { tag: 1, value: payload.clone() },
+                    Action::MvcPropose {
+                        tag: 1,
+                        value: payload.clone(),
+                    },
                 );
             }
         }
@@ -127,7 +137,10 @@ pub fn measure_with_config(protocol: ProtocolUnderTest, config: SimConfig, seed:
                 sim.schedule(
                     signal_skew(seed, p),
                     p,
-                    Action::VcPropose { tag: 1, value: payload.clone() },
+                    Action::VcPropose {
+                        tag: 1,
+                        value: payload.clone(),
+                    },
                 );
             }
         }
@@ -160,8 +173,7 @@ pub fn run_stack_latency(samples: usize, base_seed: u64) -> Vec<StackLatencyRow>
             let collect = |auth: bool| {
                 let us: Vec<f64> = (0..samples)
                     .map(|i| {
-                        measure_once(protocol, auth, base_seed.wrapping_add(i as u64 * 7919))
-                            as f64
+                        measure_once(protocol, auth, base_seed.wrapping_add(i as u64 * 7919)) as f64
                             / 1000.0
                     })
                     .collect();
@@ -185,7 +197,10 @@ mod tests {
         for protocol in ProtocolUnderTest::ALL {
             let ns = measure_once(protocol, true, 42);
             assert!(ns > 0, "{protocol:?}");
-            assert!(ns < 200_000_000, "{protocol:?} took {ns} ns of virtual time");
+            assert!(
+                ns < 200_000_000,
+                "{protocol:?} took {ns} ns of virtual time"
+            );
         }
     }
 
@@ -193,9 +208,8 @@ mod tests {
     fn layer_ordering_matches_table_1() {
         // The paper's layering: EB < RB < BC < MVC < VC and MVC < AB.
         let rows = run_stack_latency(5, 1);
-        let get = |p: ProtocolUnderTest| {
-            rows.iter().find(|r| r.protocol == p).unwrap().with_ipsec_us
-        };
+        let get =
+            |p: ProtocolUnderTest| rows.iter().find(|r| r.protocol == p).unwrap().with_ipsec_us;
         let eb = get(ProtocolUnderTest::EchoBroadcast);
         let rb = get(ProtocolUnderTest::ReliableBroadcast);
         let bc = get(ProtocolUnderTest::BinaryConsensus);

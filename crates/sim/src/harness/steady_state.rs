@@ -42,7 +42,11 @@ pub fn run_steady_state(rate_msgs_per_sec: f64, window_ms: u64, seed: u64) -> St
     let mut t = 0u64;
     while t < window_ns {
         let sender = offered % n;
-        sim.schedule(t, sender, Action::AbBroadcast(Bytes::from_static(b"0123456789")));
+        sim.schedule(
+            t,
+            sender,
+            Action::AbBroadcast(Bytes::from_static(b"0123456789")),
+        );
         enqueue_times.push(t);
         offered += 1;
         t += interval_ns;
@@ -73,7 +77,9 @@ pub fn run_steady_state(rate_msgs_per_sec: f64, window_ms: u64, seed: u64) -> St
         latencies_ms.iter().sum::<f64>() / latencies_ms.len() as f64
     };
     let p99 = latencies_ms
-        .get(((latencies_ms.len() as f64 * 0.99) as usize).min(latencies_ms.len().saturating_sub(1)))
+        .get(
+            ((latencies_ms.len() as f64 * 0.99) as usize).min(latencies_ms.len().saturating_sub(1)),
+        )
         .copied()
         .unwrap_or(0.0);
     SteadyStatePoint {

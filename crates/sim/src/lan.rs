@@ -112,9 +112,8 @@ impl LanModel {
         if busy {
             fixed = (fixed as f64 * self.calibration.coalesce_factor) as u64;
         }
-        let cpu = self.jitter(
-            fixed + (payload_len as f64 * self.calibration.per_byte_cpu_ns) as u64,
-        );
+        let cpu =
+            self.jitter(fixed + (payload_len as f64 * self.calibration.per_byte_cpu_ns) as u64);
         let start = self.tx_free[from].max(now) + cpu;
         let tx_end = start + self.calibration.tx_time_ns(wire);
         self.tx_free[from] = tx_end;
@@ -137,9 +136,8 @@ impl LanModel {
         if busy {
             fixed = (fixed as f64 * self.calibration.coalesce_factor) as u64;
         }
-        let cpu = self.jitter(
-            fixed + (payload_len as f64 * self.calibration.per_byte_cpu_ns) as u64,
-        );
+        let cpu =
+            self.jitter(fixed + (payload_len as f64 * self.calibration.per_byte_cpu_ns) as u64);
         let done = self.rx_free[to].max(arrival) + cpu;
         self.rx_free[to] = done;
         done
@@ -157,7 +155,10 @@ mod tests {
 
     fn model() -> LanModel {
         // Deterministic (jitter-free) for assertions.
-        let c = Calibration { jitter_frac: 0.0, ..Calibration::default() };
+        let c = Calibration {
+            jitter_frac: 0.0,
+            ..Calibration::default()
+        };
         LanModel::new(2, c, false, 1)
     }
 
@@ -169,8 +170,7 @@ mod tests {
         assert!(b.arrival > a.arrival, "second frame must queue behind");
         // The second frame queues behind the first and pays at least the
         // coalesced fixed cost plus its wire time.
-        let min_gap = (m.calibration().send_cpu_ns as f64
-            * m.calibration().coalesce_factor) as u64;
+        let min_gap = (m.calibration().send_cpu_ns as f64 * m.calibration().coalesce_factor) as u64;
         assert!(b.arrival - a.arrival >= min_gap);
     }
 
@@ -192,7 +192,10 @@ mod tests {
 
     #[test]
     fn auth_adds_bytes_and_cpu() {
-        let c = Calibration { jitter_frac: 0.0, ..Calibration::default() };
+        let c = Calibration {
+            jitter_frac: 0.0,
+            ..Calibration::default()
+        };
         let mut plain = LanModel::new(2, c, false, 1);
         let mut auth = LanModel::new(2, c, true, 1);
         let p = plain.transmit(0, 0, 1, 10);

@@ -8,15 +8,15 @@
 //! envelope down to the innermost broadcast primitive and reports whether
 //! the frame is such an `INIT` and which side it serves.
 
+use bytes::Bytes;
 use ritas::ab::AbMessage;
 use ritas::bc::BcBody;
+use ritas::codec::Reader;
 use ritas::codec::WireMessage;
 use ritas::eb::EbMessage;
 use ritas::mvc::{MvcMessage, VectBody};
 use ritas::rb::RbMessage;
 use ritas::stack::InstanceKey;
-use ritas::codec::Reader;
-use bytes::Bytes;
 
 /// What a broadcast-instance `INIT` serves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,14 +61,23 @@ pub fn classify_broadcast_init(frame: &Bytes) -> Option<Purpose> {
             // Vector consensus wraps proposals (RBC) and per-round MVCs.
             use ritas::vc::VcMessage;
             match VcMessage::from_bytes(&body).ok()? {
-                VcMessage::Prop { inner: RbMessage::Init(_), .. } => Some(Purpose::Standalone),
+                VcMessage::Prop {
+                    inner: RbMessage::Init(_),
+                    ..
+                } => Some(Purpose::Standalone),
                 VcMessage::Round { inner, .. } if mvc_is_init(&inner) => Some(Purpose::Standalone),
                 _ => None,
             }
         }
         InstanceKey::Ab { .. } => match AbMessage::from_bytes(&body).ok()? {
-            AbMessage::Msg { inner: RbMessage::Init(_), .. } => Some(Purpose::Payload),
-            AbMessage::Vect { inner: RbMessage::Init(_), .. } => Some(Purpose::Agreement),
+            AbMessage::Msg {
+                inner: RbMessage::Init(_),
+                ..
+            } => Some(Purpose::Payload),
+            AbMessage::Vect {
+                inner: RbMessage::Init(_),
+                ..
+            } => Some(Purpose::Agreement),
             AbMessage::Agree { inner, .. } if mvc_is_init(&inner) => Some(Purpose::Agreement),
             _ => None,
         },
@@ -81,7 +90,10 @@ impl BcMessageInit {
     fn check_bc(body: &Bytes) -> bool {
         matches!(
             ritas::bc::BcMessage::from_bytes(body),
-            Ok(ritas::bc::BcMessage { body: BcBody::Rbc(RbMessage::Init(_)), .. })
+            Ok(ritas::bc::BcMessage {
+                body: BcBody::Rbc(RbMessage::Init(_)),
+                ..
+            })
         )
     }
 }
@@ -91,9 +103,18 @@ impl BcMessageInit {
 /// consensus step broadcast).
 fn mvc_is_init(m: &MvcMessage) -> bool {
     match m {
-        MvcMessage::Init { inner: RbMessage::Init(_), .. } => true,
-        MvcMessage::Vect { inner: VectBody::Echo(EbMessage::Init(_)), .. } => true,
-        MvcMessage::Vect { inner: VectBody::Reliable(RbMessage::Init(_)), .. } => true,
+        MvcMessage::Init {
+            inner: RbMessage::Init(_),
+            ..
+        } => true,
+        MvcMessage::Vect {
+            inner: VectBody::Echo(EbMessage::Init(_)),
+            ..
+        } => true,
+        MvcMessage::Vect {
+            inner: VectBody::Reliable(RbMessage::Init(_)),
+            ..
+        } => true,
         MvcMessage::Bin(bc) => matches!(&bc.body, BcBody::Rbc(RbMessage::Init(_))),
         _ => false,
     }
@@ -239,7 +260,10 @@ mod tests {
 
     #[test]
     fn garbage_classifies_as_none() {
-        assert_eq!(classify_broadcast_init(&Bytes::from_static(&[0xff, 1, 2])), None);
+        assert_eq!(
+            classify_broadcast_init(&Bytes::from_static(&[0xff, 1, 2])),
+            None
+        );
     }
 
     #[test]

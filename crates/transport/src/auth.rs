@@ -22,6 +22,7 @@ use crate::{ProcessId, Transport, TransportError};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use ritas_crypto::{Hmac, KeyTable, SecretKey, Sha1};
+use ritas_metrics::Metrics;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -131,6 +132,10 @@ pub struct AuthenticatedTransport<T: Transport> {
     rx_replay: Mutex<Vec<ReplayState>>,
     /// Count of inbound frames dropped by authentication.
     rejected: AtomicU64,
+    /// Observability registry (a private one until [`set_metrics`] is called).
+    ///
+    /// [`set_metrics`]: AuthenticatedTransport::set_metrics
+    metrics: Metrics,
 }
 
 impl<T: Transport> AuthenticatedTransport<T> {
@@ -152,7 +157,14 @@ impl<T: Transport> AuthenticatedTransport<T> {
             tx_seq: (0..n).map(|_| AtomicU64::new(0)).collect(),
             rx_replay: Mutex::new(vec![ReplayState::default(); n]),
             rejected: AtomicU64::new(0),
+            metrics: Metrics::default(),
         }
+    }
+
+    /// Attaches a shared metrics registry; MAC rejections are counted into
+    /// `transport_mac_rejected`.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
     }
 
     /// Number of inbound frames dropped for failing authentication.
@@ -253,6 +265,7 @@ impl<T: Transport> Transport for AuthenticatedTransport<T> {
                 Some(payload) => return Ok((from, payload)),
                 None => {
                     self.rejected.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.transport_mac_rejected.inc();
                 }
             }
         }
@@ -270,6 +283,7 @@ impl<T: Transport> Transport for AuthenticatedTransport<T> {
                 Some(payload) => return Ok((from, payload)),
                 None => {
                     self.rejected.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.transport_mac_rejected.inc();
                 }
             }
         }
@@ -281,7 +295,10 @@ mod tests {
     use super::*;
     use crate::hub::Hub;
 
-    fn pair() -> (AuthenticatedTransport<crate::MemoryEndpoint>, AuthenticatedTransport<crate::MemoryEndpoint>) {
+    fn pair() -> (
+        AuthenticatedTransport<crate::MemoryEndpoint>,
+        AuthenticatedTransport<crate::MemoryEndpoint>,
+    ) {
         let table = KeyTable::dealer(2, 99);
         let mut hub = Hub::new(2);
         let mut eps = hub.take_endpoints().into_iter();
@@ -305,7 +322,8 @@ mod tests {
         let mut hub = Hub::new(2);
         let mut eps = hub.take_endpoints().into_iter();
         let raw_receiver = eps.next().unwrap(); // endpoint 0, unwrapped
-        let a = AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 1));
+        let a =
+            AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 1));
         a.send(0, Bytes::from_static(b"ten bytes!")).unwrap();
         let (_, frame) = raw_receiver.recv().unwrap();
         assert_eq!(frame.len(), 10 + AH_OVERHEAD);
@@ -317,7 +335,8 @@ mod tests {
         let mut hub = Hub::new(2);
         let mut eps = hub.take_endpoints().into_iter();
         let ep0 = eps.next().unwrap();
-        let b = AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 1));
+        let b =
+            AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 1));
         // Process 0 (acting as a man-in-the-middle) forges a frame without
         // knowing the key.
         let mut forged = vec![0u8; AH_OVERHEAD];
@@ -337,7 +356,8 @@ mod tests {
         let mut hub = Hub::new(2);
         let mut eps = hub.take_endpoints().into_iter();
         let ep0 = eps.next().unwrap();
-        let b = AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 1));
+        let b =
+            AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 1));
         let a = AuthenticatedTransport::new(ep0, AuthConfig::from_key_table(&table, 0));
         // Seal a frame, flip one payload bit, re-inject through the inner
         // transport — the open() path must reject it.
@@ -356,7 +376,8 @@ mod tests {
         let mut hub = Hub::new(2);
         let mut eps = hub.take_endpoints().into_iter();
         let ep0 = eps.next().unwrap();
-        let b = AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 1));
+        let b =
+            AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 1));
         let a = AuthenticatedTransport::new(ep0, AuthConfig::from_key_table(&table, 0));
         let sealed = a.seal(1, b"once");
         a.inner.send(1, sealed.clone()).unwrap();
@@ -393,8 +414,10 @@ mod tests {
         let table = KeyTable::dealer(3, 6);
         let mut hub = Hub::new(3);
         let mut eps = hub.take_endpoints().into_iter();
-        let a = AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 0));
-        let b = AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 1));
+        let a =
+            AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 0));
+        let b =
+            AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 1));
         let ep2 = eps.next().unwrap();
         let sealed_by_0 = a.seal(1, b"stolen");
         ep2.send(1, sealed_by_0).unwrap(); // claims from=2, SPI says 0→1

@@ -83,7 +83,11 @@ impl Hub {
             })
             .collect();
 
-        Hub { n, state, endpoints }
+        Hub {
+            n,
+            state,
+            endpoints,
+        }
     }
 
     /// Number of processes.
@@ -240,7 +244,9 @@ mod tests {
         let mut hub = Hub::new(2);
         let eps = hub.take_endpoints();
         for i in 0..100u32 {
-            eps[0].send(1, Bytes::copy_from_slice(&i.to_be_bytes())).unwrap();
+            eps[0]
+                .send(1, Bytes::copy_from_slice(&i.to_be_bytes()))
+                .unwrap();
         }
         for i in 0..100u32 {
             let (_, p) = eps[1].recv().unwrap();
@@ -343,7 +349,8 @@ mod tests {
             .map(|ep| {
                 std::thread::spawn(move || {
                     for i in 0..50u32 {
-                        ep.send(3, Bytes::copy_from_slice(&i.to_be_bytes())).unwrap();
+                        ep.send(3, Bytes::copy_from_slice(&i.to_be_bytes()))
+                            .unwrap();
                     }
                 })
             })

@@ -88,17 +88,18 @@ impl TcpEndpoint {
         // Accept links from lower-id peers in a helper thread while we
         // dial higher-id peers; both sides handshake with their id.
         let accept_count = me; // peers 0..me dial us
-        let acceptor = std::thread::spawn(move || -> std::io::Result<Vec<(ProcessId, TcpStream)>> {
-            let mut got = Vec::with_capacity(accept_count);
-            while got.len() < accept_count {
-                let (mut stream, _) = listener.accept()?;
-                stream.set_nodelay(true)?;
-                let mut id = [0u8; 4];
-                stream.read_exact(&mut id)?;
-                got.push((u32::from_be_bytes(id) as usize, stream));
-            }
-            Ok(got)
-        });
+        let acceptor =
+            std::thread::spawn(move || -> std::io::Result<Vec<(ProcessId, TcpStream)>> {
+                let mut got = Vec::with_capacity(accept_count);
+                while got.len() < accept_count {
+                    let (mut stream, _) = listener.accept()?;
+                    stream.set_nodelay(true)?;
+                    let mut id = [0u8; 4];
+                    stream.read_exact(&mut id)?;
+                    got.push((u32::from_be_bytes(id) as usize, stream));
+                }
+                Ok(got)
+            });
 
         let mut streams: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
         for (peer, addr) in addrs.iter().enumerate().skip(me + 1) {
@@ -175,7 +176,10 @@ impl TcpEndpoint {
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().map_err(|_| std::io::Error::other("setup panicked"))?)
+            .map(|h| {
+                h.join()
+                    .map_err(|_| std::io::Error::other("setup panicked"))?
+            })
             .collect()
     }
 
@@ -260,7 +264,9 @@ impl Transport for TcpEndpoint {
         if self.closed.load(Ordering::SeqCst) {
             return Err(TransportError::Disconnected);
         }
-        self.inbound.recv().map_err(|_| TransportError::Disconnected)
+        self.inbound
+            .recv()
+            .map_err(|_| TransportError::Disconnected)
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Result<(ProcessId, Bytes), TransportError> {
@@ -295,7 +301,9 @@ mod tests {
     fn per_link_fifo() {
         let eps = mesh(2);
         for i in 0..200u32 {
-            eps[0].send(1, Bytes::copy_from_slice(&i.to_be_bytes())).unwrap();
+            eps[0]
+                .send(1, Bytes::copy_from_slice(&i.to_be_bytes()))
+                .unwrap();
         }
         for i in 0..200u32 {
             let (_, p) = eps[1].recv().unwrap();
@@ -363,10 +371,15 @@ mod tests {
         use ritas_crypto::KeyTable;
         let table = KeyTable::dealer(2, 8);
         let mut eps = mesh(2).into_iter();
-        let a = AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 0));
-        let b = AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 1));
+        let a =
+            AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 0));
+        let b =
+            AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 1));
         a.send(1, Bytes::from_static(b"sealed over tcp")).unwrap();
-        assert_eq!(b.recv().unwrap(), (0, Bytes::from_static(b"sealed over tcp")));
+        assert_eq!(
+            b.recv().unwrap(),
+            (0, Bytes::from_static(b"sealed over tcp"))
+        );
         assert_eq!(b.rejected_frames(), 0);
     }
 }

@@ -195,7 +195,8 @@ impl Writer {
     ///
     /// Panics if `v` exceeds `u32::MAX` bytes (unreachable for our frames).
     pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
-        self.buf.put_u32(u32::try_from(v.len()).expect("field length fits in u32"));
+        self.buf
+            .put_u32(u32::try_from(v.len()).expect("field length fits in u32"));
         self.buf.put_slice(v);
         self
     }
@@ -273,7 +274,10 @@ mod tests {
     #[test]
     fn truncated_scalar() {
         let mut r = Reader::new(&[0x01]);
-        assert_eq!(r.u32("field").unwrap_err(), WireError::Truncated { what: "field" });
+        assert_eq!(
+            r.u32("field").unwrap_err(),
+            WireError::Truncated { what: "field" }
+        );
     }
 
     #[test]
@@ -301,7 +305,10 @@ mod tests {
         let buf = w.freeze();
         let mut r = Reader::new(&buf);
         r.u8("a").unwrap();
-        assert_eq!(r.finish().unwrap_err(), WireError::TrailingBytes { remaining: 1 });
+        assert_eq!(
+            r.finish().unwrap_err(),
+            WireError::TrailingBytes { remaining: 1 }
+        );
     }
 
     #[test]

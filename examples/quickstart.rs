@@ -23,18 +23,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Each process broadcasts one message and collects the total order.
     let mut handles = Vec::new();
     for node in nodes {
-        handles.push(std::thread::spawn(move || -> Result<_, ritas::node::NodeError> {
-            let me = node.id();
-            node.atomic_broadcast(Bytes::from(format!("greetings from p{me}")))?;
+        handles.push(std::thread::spawn(
+            move || -> Result<_, ritas::node::NodeError> {
+                let me = node.id();
+                node.atomic_broadcast(Bytes::from(format!("greetings from p{me}")))?;
 
-            let mut order = Vec::new();
-            for _ in 0..4 {
-                let delivery = node.atomic_recv()?;
-                order.push((delivery.id, String::from_utf8_lossy(&delivery.payload).into_owned()));
-            }
-            node.shutdown();
-            Ok((me, order))
-        }));
+                let mut order = Vec::new();
+                for _ in 0..4 {
+                    let delivery = node.atomic_recv()?;
+                    order.push((
+                        delivery.id,
+                        String::from_utf8_lossy(&delivery.payload).into_owned(),
+                    ));
+                }
+                node.shutdown();
+                Ok((me, order))
+            },
+        ));
     }
 
     // 3. Verify every process delivered the same messages in the same

@@ -21,7 +21,9 @@ type Accounts = BTreeMap<String, i64>;
 /// source stays non-negative — deterministically, so every replica makes
 /// the same accept/reject decision.
 fn apply(state: &mut Accounts, _submitter: usize, cmd: &[u8]) {
-    let Ok(s) = std::str::from_utf8(cmd) else { return };
+    let Ok(s) = std::str::from_utf8(cmd) else {
+        return;
+    };
     let mut parts = s.split_whitespace();
     if parts.next() != Some("transfer") {
         return;
@@ -29,7 +31,9 @@ fn apply(state: &mut Accounts, _submitter: usize, cmd: &[u8]) {
     let (Some(from), Some(to), Some(amount)) = (parts.next(), parts.next(), parts.next()) else {
         return;
     };
-    let Ok(amount) = amount.parse::<i64>() else { return };
+    let Ok(amount) = amount.parse::<i64>() else {
+        return;
+    };
     if amount <= 0 {
         return;
     }
@@ -55,29 +59,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the agreed order admits can succeed — money is never created.
     let mut handles = Vec::new();
     for replica in replicas {
-        handles.push(std::thread::spawn(move || -> Result<_, ritas::node::NodeError> {
-            let me = replica.id();
-            for k in 0..4 {
-                replica.submit(Bytes::from(format!("transfer alice p{me} {}", 20 + k)))?;
-            }
-            // Read-your-writes, then wait until all 16 racing transfers
-            // are ordered (everyone's last command applied implies ours;
-            // we poll the conserved total for the others).
-            replica.submit_sync(Bytes::from(format!("transfer bob p{me} 10")))?;
-            replica.barrier()?;
-            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
-            let accounts = loop {
-                let snapshot = replica.read(|s| s.clone());
-                let alice = snapshot.get("alice").copied().unwrap_or(0);
-                let settled = alice < 20; // can't afford any pending transfer
-                if settled || std::time::Instant::now() > deadline {
-                    break snapshot;
+        handles.push(std::thread::spawn(
+            move || -> Result<_, ritas::node::NodeError> {
+                let me = replica.id();
+                for k in 0..4 {
+                    replica.submit(Bytes::from(format!("transfer alice p{me} {}", 20 + k)))?;
                 }
-                std::thread::sleep(std::time::Duration::from_millis(5));
-            };
-            replica.shutdown();
-            Ok((me, accounts))
-        }));
+                // Read-your-writes, then wait until all 16 racing transfers
+                // are ordered (everyone's last command applied implies ours;
+                // we poll the conserved total for the others).
+                replica.submit_sync(Bytes::from(format!("transfer bob p{me} 10")))?;
+                replica.barrier()?;
+                let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+                let accounts = loop {
+                    let snapshot = replica.read(|s| s.clone());
+                    let alice = snapshot.get("alice").copied().unwrap_or(0);
+                    let settled = alice < 20; // can't afford any pending transfer
+                    if settled || std::time::Instant::now() > deadline {
+                        break snapshot;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                };
+                replica.shutdown();
+                Ok((me, accounts))
+            },
+        ));
     }
 
     let mut results: Vec<_> = handles

@@ -35,8 +35,15 @@ impl Command {
         let s = std::str::from_utf8(raw).ok()?;
         if let Some(rest) = s.strip_prefix("SET ") {
             let (key, value) = rest.split_once('=')?;
-            Some(Command::Set { key: key.to_owned(), value: value.to_owned() })
-        } else { s.strip_prefix("DEL ").map(|key| Command::Del { key: key.to_owned() }) }
+            Some(Command::Set {
+                key: key.to_owned(),
+                value: value.to_owned(),
+            })
+        } else {
+            s.strip_prefix("DEL ").map(|key| Command::Del {
+                key: key.to_owned(),
+            })
+        }
     }
 }
 
@@ -67,14 +74,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // whether "tmp" survives.
     let workloads: [Vec<Command>; 4] = [
         vec![
-            Command::Set { key: "leader".into(), value: "p0".into() },
-            Command::Set { key: "tmp".into(), value: "scratch".into() },
+            Command::Set {
+                key: "leader".into(),
+                value: "p0".into(),
+            },
+            Command::Set {
+                key: "tmp".into(),
+                value: "scratch".into(),
+            },
         ],
-        vec![Command::Set { key: "leader".into(), value: "p1".into() }],
+        vec![Command::Set {
+            key: "leader".into(),
+            value: "p1".into(),
+        }],
         vec![Command::Del { key: "tmp".into() }],
         vec![
-            Command::Set { key: "leader".into(), value: "p3".into() },
-            Command::Set { key: "epoch".into(), value: "7".into() },
+            Command::Set {
+                key: "leader".into(),
+                value: "p3".into(),
+            },
+            Command::Set {
+                key: "epoch".into(),
+                value: "7".into(),
+            },
         ],
     ];
     let total: usize = workloads.iter().map(Vec::len).sum();
@@ -82,22 +104,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut handles = Vec::new();
     for node in nodes {
         let my_cmds = workloads[node.id()].clone();
-        handles.push(std::thread::spawn(move || -> Result<_, Box<ritas::node::NodeError>> {
-            for cmd in &my_cmds {
-                node.atomic_broadcast(cmd.encode())?;
-            }
-            let mut store = Store::default();
-            let mut log = Vec::new();
-            for _ in 0..total {
-                let delivery = node.atomic_recv()?;
-                if let Some(cmd) = Command::decode(&delivery.payload) {
-                    store.apply(&cmd);
-                    log.push(format!("{cmd:?}"));
+        handles.push(std::thread::spawn(
+            move || -> Result<_, Box<ritas::node::NodeError>> {
+                for cmd in &my_cmds {
+                    node.atomic_broadcast(cmd.encode())?;
                 }
-            }
-            node.shutdown();
-            Ok((node.id(), store, log))
-        }));
+                let mut store = Store::default();
+                let mut log = Vec::new();
+                for _ in 0..total {
+                    let delivery = node.atomic_recv()?;
+                    if let Some(cmd) = Command::decode(&delivery.payload) {
+                        store.apply(&cmd);
+                        log.push(format!("{cmd:?}"));
+                    }
+                }
+                node.shutdown();
+                Ok((node.id(), store, log))
+            },
+        ));
     }
 
     let mut results: Vec<_> = handles

@@ -23,12 +23,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut handles = Vec::new();
     for node in nodes {
         let my_reading = readings[node.id()];
-        handles.push(std::thread::spawn(move || -> Result<_, ritas::node::NodeError> {
-            let proposal = Bytes::from(my_reading.to_be_bytes().to_vec());
-            let vector = node.vector_consensus(1, proposal)?;
-            node.shutdown();
-            Ok((node.id(), vector))
-        }));
+        handles.push(std::thread::spawn(
+            move || -> Result<_, ritas::node::NodeError> {
+                let proposal = Bytes::from(my_reading.to_be_bytes().to_vec());
+                let vector = node.vector_consensus(1, proposal)?;
+                node.shutdown();
+                Ok((node.id(), vector))
+            },
+        ));
     }
 
     let mut results: Vec<_> = handles
@@ -68,7 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     values.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let median = values[values.len() / 2];
     println!("\nFused (median) temperature: {median:.1} °C");
-    assert!(values.len() >= 2, "vector consensus guarantees >= f+1 entries");
+    assert!(
+        values.len() >= 2,
+        "vector consensus guarantees >= f+1 entries"
+    );
     assert!((20.0..25.0).contains(&median), "outlier skewed the median!");
     println!("The compromised station could not skew the fused reading. ✔");
     Ok(())

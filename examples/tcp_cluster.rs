@@ -18,24 +18,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Establishing a 4-process TCP mesh on localhost…");
     let started = Instant::now();
     let nodes = Node::tcp_cluster(SessionConfig::new(4)?, Duration::from_secs(10))?;
-    println!("  mesh up in {:?} (6 connections, all frames HMAC-sealed)", started.elapsed());
+    println!(
+        "  mesh up in {:?} (6 connections, all frames HMAC-sealed)",
+        started.elapsed()
+    );
 
     let mut handles = Vec::new();
     for node in nodes {
-        handles.push(std::thread::spawn(move || -> Result<_, ritas::node::NodeError> {
-            let me = node.id();
-            // One consensus and a few atomic broadcasts per process.
-            let elected = node.binary_consensus(1, me % 2 == 0)?;
-            for k in 0..3 {
-                node.atomic_broadcast(Bytes::from(format!("p{me}-msg{k}")))?;
-            }
-            let mut order = Vec::new();
-            for _ in 0..12 {
-                order.push(node.atomic_recv()?.id);
-            }
-            node.shutdown();
-            Ok((me, elected, order))
-        }));
+        handles.push(std::thread::spawn(
+            move || -> Result<_, ritas::node::NodeError> {
+                let me = node.id();
+                // One consensus and a few atomic broadcasts per process.
+                let elected = node.binary_consensus(1, me % 2 == 0)?;
+                for k in 0..3 {
+                    node.atomic_broadcast(Bytes::from(format!("p{me}-msg{k}")))?;
+                }
+                let mut order = Vec::new();
+                for _ in 0..12 {
+                    order.push(node.atomic_recv()?.id);
+                }
+                node.shutdown();
+                Ok((me, elected, order))
+            },
+        ));
     }
 
     let mut results: Vec<_> = handles
@@ -51,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nConsensus decision (same at all 4 processes): {elected0}");
-    println!("Total order over TCP ({} messages): identical everywhere. ✔", order0.len());
+    println!(
+        "Total order over TCP ({} messages): identical everywhere. ✔",
+        order0.len()
+    );
     println!("Elapsed: {:?}", started.elapsed());
     Ok(())
 }

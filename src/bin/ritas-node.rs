@@ -70,12 +70,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--seed" => seed = next(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--no-auth" => auth = false,
-            "--burst" => {
-                burst = Some(next(&mut i)?.parse().map_err(|e| format!("--burst: {e}"))?)
-            }
+            "--burst" => burst = Some(next(&mut i)?.parse().map_err(|e| format!("--burst: {e}"))?),
             "--connect-timeout-secs" => {
                 connect_timeout = Duration::from_secs(
-                    next(&mut i)?.parse().map_err(|e| format!("--connect-timeout-secs: {e}"))?,
+                    next(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--connect-timeout-secs: {e}"))?,
                 )
             }
             other => return Err(format!("unknown flag {other}")),
@@ -88,7 +88,14 @@ fn parse_args() -> Result<Args, String> {
     if me >= peers.len() {
         return Err("--me out of range of --peers".into());
     }
-    Ok(Args { me, peers, seed, auth, burst, connect_timeout })
+    Ok(Args {
+        me,
+        peers,
+        seed,
+        auth,
+        burst,
+        connect_timeout,
+    })
 }
 
 fn main() {

@@ -32,18 +32,25 @@ fn crash_after_own_delivery_liveness() {
         cluster.run();
         let mut marker_ids = Vec::new();
         for p in 0..4 {
-            let (id, s) = cluster.stack_mut(p).ab_broadcast(0, Bytes::from(format!("m{p}")));
+            let (id, s) = cluster
+                .stack_mut(p)
+                .ab_broadcast(0, Bytes::from(format!("m{p}")));
             marker_ids.push(id);
             cluster.absorb(p, s);
         }
         let own = marker_ids[1];
         loop {
-            let done = cluster.outputs(1).iter().any(|o| matches!(
-                o, Output::AbDelivered { delivery, .. } if delivery.id == own));
+            let done = cluster.outputs(1).iter().any(|o| {
+                matches!(
+                o, Output::AbDelivered { delivery, .. } if delivery.id == own)
+            });
             if done {
                 break;
             }
-            assert!(cluster.step(), "seed {seed}: quiesced before p1 got its marker");
+            assert!(
+                cluster.step(),
+                "seed {seed}: quiesced before p1 got its marker"
+            );
         }
         cluster.crash(1);
         cluster.run();
@@ -60,7 +67,9 @@ fn mid_stream_crash_liveness_sweep() {
         for crash_at in [0usize, 50, 150, 300, 600, 1200, 2500] {
             let mut cluster = Cluster::new(4, seed);
             for p in 0..4 {
-                let (_, s) = cluster.stack_mut(p).ab_broadcast(0, Bytes::from(format!("a{p}")));
+                let (_, s) = cluster
+                    .stack_mut(p)
+                    .ab_broadcast(0, Bytes::from(format!("a{p}")));
                 cluster.absorb(p, s);
             }
             for _ in 0..crash_at {
@@ -70,7 +79,9 @@ fn mid_stream_crash_liveness_sweep() {
             }
             cluster.crash(2);
             for p in [0usize, 1, 3] {
-                let (_, s) = cluster.stack_mut(p).ab_broadcast(0, Bytes::from(format!("b{p}")));
+                let (_, s) = cluster
+                    .stack_mut(p)
+                    .ab_broadcast(0, Bytes::from(format!("b{p}")));
                 cluster.absorb(p, s);
             }
             cluster.run();

@@ -38,7 +38,13 @@ fn cluster(fault: Fault, seed: u64) -> Cluster {
                 },
                 ..Default::default()
             };
-            Stack::with_config(group, me, table.view_of(me), seed ^ ((me as u64) << 16), config)
+            Stack::with_config(
+                group,
+                me,
+                table.view_of(me),
+                seed ^ ((me as u64) << 16),
+                config,
+            )
         })
         .collect();
     let mut c = Cluster::with_stacks(stacks, seed);
@@ -107,7 +113,9 @@ fn multi_valued_consensus_fault_matrix() {
                 let s = if fault == Fault::Strategy && p == FAULTY {
                     c.stack_mut(p).mvc_propose_bottom(1).unwrap()
                 } else {
-                    c.stack_mut(p).mvc_propose(1, Bytes::from_static(b"V")).unwrap()
+                    c.stack_mut(p)
+                        .mvc_propose(1, Bytes::from_static(b"V"))
+                        .unwrap()
                 };
                 c.absorb(p, s);
             }
@@ -164,7 +172,10 @@ fn vector_consensus_fault_matrix() {
             let v = &vectors[0];
             // Vector validity: correct entries match real proposals and
             // at least f+1 entries are present.
-            assert!(v.iter().flatten().count() >= 2, "{fault:?}/{seed}: too sparse");
+            assert!(
+                v.iter().flatten().count() >= 2,
+                "{fault:?}/{seed}: too sparse"
+            );
             for p in correct() {
                 if let Some(entry) = &v[p] {
                     assert_eq!(entry.as_ref(), format!("p{p}").as_bytes());

@@ -19,7 +19,10 @@ fn with_cluster<T: Send + 'static>(
             std::thread::spawn(move || body(node))
         })
         .collect();
-    handles.into_iter().map(|h| h.join().expect("join")).collect()
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("join"))
+        .collect()
 }
 
 #[test]
@@ -56,7 +59,8 @@ fn mixed_protocol_session() {
         // A consensus, a broadcast and an atomic broadcast in the same
         // session, like an application would.
         let bit = node.binary_consensus(10, node.id() != 3).unwrap();
-        node.atomic_broadcast(Bytes::from(format!("from-{}", node.id()))).unwrap();
+        node.atomic_broadcast(Bytes::from(format!("from-{}", node.id())))
+            .unwrap();
         if node.id() == 0 {
             node.echo_broadcast(Bytes::from_static(b"echo!")).unwrap();
         }
@@ -174,7 +178,8 @@ fn full_stack_over_real_tcp_with_real_hmacs() {
             std::thread::spawn(move || {
                 let d = node.binary_consensus(1, true).unwrap();
                 assert!(d);
-                node.atomic_broadcast(Bytes::from(format!("tcp-{}", node.id()))).unwrap();
+                node.atomic_broadcast(Bytes::from(format!("tcp-{}", node.id())))
+                    .unwrap();
                 let mut order = Vec::new();
                 for _ in 0..4 {
                     order.push(node.atomic_recv().unwrap().id);
@@ -202,7 +207,8 @@ fn survivors_progress_after_a_node_departs() {
         .into_iter()
         .map(|node| {
             std::thread::spawn(move || {
-                node.atomic_broadcast(Bytes::from(format!("w1-{}", node.id()))).unwrap();
+                node.atomic_broadcast(Bytes::from(format!("w1-{}", node.id())))
+                    .unwrap();
                 for _ in 0..4 {
                     node.atomic_recv().unwrap();
                 }
@@ -223,7 +229,8 @@ fn survivors_progress_after_a_node_departs() {
         .into_iter()
         .map(|node| {
             std::thread::spawn(move || {
-                node.atomic_broadcast(Bytes::from(format!("w2-{}", node.id()))).unwrap();
+                node.atomic_broadcast(Bytes::from(format!("w2-{}", node.id())))
+                    .unwrap();
                 let mut ids = Vec::new();
                 for _ in 0..3 {
                     let d = node

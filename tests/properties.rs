@@ -12,7 +12,9 @@
 use bytes::Bytes;
 use proptest::prelude::*;
 use ritas::ab::MsgId;
-use ritas::bc::validation::{majority, next_round_valid, step2_valid, step3_valid, strict_majority, Tally};
+use ritas::bc::validation::{
+    majority, next_round_valid, step2_valid, step3_valid, strict_majority, Tally,
+};
 use ritas::codec::WireMessage;
 use ritas::rb::RbMessage;
 use ritas::stack::{InstanceKey, Output};

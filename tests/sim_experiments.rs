@@ -71,7 +71,10 @@ fn fig4_latency_linear_and_throughput_plateaus() {
     let t10 = tput(10);
     let t1k = tput(1000);
     let t10k = tput(10_000);
-    assert!(t10 > t1k && t1k > t10k, "plateaus: {t10:.0} > {t1k:.0} > {t10k:.0}");
+    assert!(
+        t10 > t1k && t1k > t10k,
+        "plateaus: {t10:.0} > {t1k:.0} > {t10k:.0}"
+    );
     // Rough magnitude check against the paper's Tmax values (721 / 465 /
     // 81 msgs/s): within a factor of 2.5.
     assert!((300.0..1800.0).contains(&t10), "t10 = {t10:.0}");
@@ -115,7 +118,11 @@ fn fig6_byzantine_immunity() {
 #[test]
 fn fig7_agreement_cost_declines_exponentially() {
     let points = run_agreement_cost(&[4, 40, 400], 7);
-    assert!(points[0].agreement_pct > 80.0, "burst 4: {:.1}%", points[0].agreement_pct);
+    assert!(
+        points[0].agreement_pct > 80.0,
+        "burst 4: {:.1}%",
+        points[0].agreement_pct
+    );
     assert!(
         points[1].agreement_pct < points[0].agreement_pct / 1.3,
         "no decline at 40"

@@ -40,18 +40,35 @@ fn full_stack_smoke_all_protocols_n4() {
             .vc_propose(1, Bytes::from(format!("vc{p}")))
             .unwrap();
         cluster.absorb(p, s);
-        let (_, s) = cluster.stack_mut(p).ab_broadcast(0, Bytes::from(format!("ab{p}")));
+        let (_, s) = cluster
+            .stack_mut(p)
+            .ab_broadcast(0, Bytes::from(format!("ab{p}")));
         cluster.absorb(p, s);
     }
     cluster.run();
 
     for p in 0..4 {
         let outs = cluster.outputs(p);
-        assert!(outs.iter().any(|o| matches!(o, Output::RbDelivered { .. })), "rb at {p}");
-        assert!(outs.iter().any(|o| matches!(o, Output::EbDelivered { .. })), "eb at {p}");
-        assert!(outs.iter().any(|o| matches!(o, Output::BcDecided { .. })), "bc at {p}");
-        assert!(outs.iter().any(|o| matches!(o, Output::MvcDecided { .. })), "mvc at {p}");
-        assert!(outs.iter().any(|o| matches!(o, Output::VcDecided { .. })), "vc at {p}");
+        assert!(
+            outs.iter().any(|o| matches!(o, Output::RbDelivered { .. })),
+            "rb at {p}"
+        );
+        assert!(
+            outs.iter().any(|o| matches!(o, Output::EbDelivered { .. })),
+            "eb at {p}"
+        );
+        assert!(
+            outs.iter().any(|o| matches!(o, Output::BcDecided { .. })),
+            "bc at {p}"
+        );
+        assert!(
+            outs.iter().any(|o| matches!(o, Output::MvcDecided { .. })),
+            "mvc at {p}"
+        );
+        assert!(
+            outs.iter().any(|o| matches!(o, Output::VcDecided { .. })),
+            "vc at {p}"
+        );
         assert_eq!(ab_order(&cluster, p).len(), 4, "ab at {p}");
     }
     // Agreement across processes for each consensus.
@@ -99,7 +116,9 @@ fn seven_processes_two_crashes() {
 fn ten_processes_atomic_broadcast_total_order() {
     let mut cluster = Cluster::new(10, 7);
     for p in 0..10 {
-        let (_, s) = cluster.stack_mut(p).ab_broadcast(0, Bytes::from(format!("n10-{p}")));
+        let (_, s) = cluster
+            .stack_mut(p)
+            .ab_broadcast(0, Bytes::from(format!("n10-{p}")));
         cluster.absorb(p, s);
     }
     cluster.run();
@@ -153,19 +172,31 @@ fn byzantine_stack_cannot_break_atomic_broadcast() {
                 },
                 ..Default::default()
             };
-            Stack::with_config(group, me, table.view_of(me), seed ^ (me as u64) << 8, config)
+            Stack::with_config(
+                group,
+                me,
+                table.view_of(me),
+                seed ^ (me as u64) << 8,
+                config,
+            )
         })
         .collect();
     let mut cluster = Cluster::with_stacks(stacks, seed);
     for p in 0..4 {
-        let (_, s) = cluster.stack_mut(p).ab_broadcast(0, Bytes::from(format!("byz{p}")));
+        let (_, s) = cluster
+            .stack_mut(p)
+            .ab_broadcast(0, Bytes::from(format!("byz{p}")));
         cluster.absorb(p, s);
     }
     cluster.run();
     let order0 = ab_order(&cluster, 0);
     assert_eq!(order0.len(), 4, "attack blocked deliveries");
     for p in 1..3 {
-        assert_eq!(ab_order(&cluster, p), order0, "order diverged at correct {p}");
+        assert_eq!(
+            ab_order(&cluster, p),
+            order0,
+            "order diverged at correct {p}"
+        );
     }
 }
 
@@ -227,7 +258,11 @@ fn extreme_delay_is_harmless() {
         // Release the backlog: p3 catches up and agrees.
         cluster.release(3);
         cluster.run();
-        assert_eq!(decided(&cluster, 3), Some(d0), "seed {seed}: p3 never caught up");
+        assert_eq!(
+            decided(&cluster, 3),
+            Some(d0),
+            "seed {seed}: p3 never caught up"
+        );
     }
 }
 
