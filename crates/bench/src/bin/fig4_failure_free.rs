@@ -14,6 +14,9 @@ use ritas_sim::Faultload;
 
 fn main() {
     let args = parse_figure_args();
+    if let Some(path) = &args.span_json {
+        ritas_bench::write_span_dump(path, args.seed);
+    }
     let dump = MetricsDump::from_arg(args.metrics_json.clone());
     let bursts = if args.quick {
         vec![4, 16, 100]

@@ -8,9 +8,11 @@
 //! to three orders of magnitude below the paper's hardware).
 //!
 //! Usage: `cargo run --release -p ritas-bench --bin real_latency
-//! [--runs N] [--metrics-json PATH]` — the flag writes node 0's runtime
-//! metrics snapshot from the final measured run (real transport counters
-//! and a-deliver latency histogram included).
+//! [--runs N] [--metrics-json PATH] [--span-json PATH]` — the first flag
+//! writes node 0's runtime metrics snapshot from the final measured run
+//! (real transport counters and a-deliver latency histogram included);
+//! the second writes node 0's span dump (JSONL, one span per line) for
+//! the `ritas-trace` viewer.
 
 use bytes::Bytes;
 use ritas::node::{Node, SessionConfig};
@@ -119,6 +121,10 @@ fn main() {
         .iter()
         .position(|a| a == "--metrics-json")
         .map(|i| argv[i + 1].clone());
+    let span_json = argv
+        .iter()
+        .position(|a| a == "--span-json")
+        .map(|i| argv[i + 1].clone());
     let mut last_snapshot: Option<MetricsSnapshot> = None;
 
     println!(
@@ -156,14 +162,33 @@ fn main() {
         );
     }
     println!();
+    if let Some(h) = last_snapshot
+        .as_ref()
+        .and_then(|s| s.histogram("ab_latency_ns"))
+        .filter(|h| h.count > 0)
+    {
+        println!(
+            "a-deliver latency (node 0, final tcp run): p50 {:.0} µs, p99 {:.0} µs over {} sample(s)",
+            h.percentile(50.0) as f64 / 1e3,
+            h.percentile(99.0) as f64 / 1e3,
+            h.count
+        );
+    }
     println!(
         "same layer ordering as Table 1, roughly 3x faster than the paper's 500 MHz\n\
          testbed even over real sockets and with thread-per-node scheduling overhead;\n\
          the pure protocol compute is far cheaper still (see `cargo bench`)."
     );
-    if let (Some(path), Some(snap)) = (metrics_json, last_snapshot) {
+    if let (Some(path), Some(snap)) = (metrics_json, last_snapshot.as_ref()) {
         std::fs::write(&path, snap.to_json())
             .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         eprintln!("metrics snapshot written to {path}");
+    }
+    // The last measured run is Atomic Broadcast over real TCP, so node
+    // 0's spans carry wall-clock times from a live deployment transport.
+    if let (Some(path), Some(snap)) = (span_json, last_snapshot.as_ref()) {
+        std::fs::write(&path, ritas_metrics::spans_to_jsonl(&snap.spans))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("span dump written to {path} ({} spans)", snap.spans.len());
     }
 }

@@ -1,0 +1,196 @@
+//! Span-trace viewer: renders per-instance waterfalls and critical-path
+//! summaries from a span dump (JSONL, one span per line) written by the
+//! figure binaries' or `real_latency`'s `--span-json PATH` flag.
+//!
+//! Usage: `ritas-trace <span.jsonl> [--max-instances N]`
+//!
+//! Exit codes: `0` trace rendered, `1` empty or inconsistent trace,
+//! `2` unreadable or malformed input.
+
+use ritas_metrics::{critical_paths, spans_from_jsonl, SpanRecord};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Waterfall bar width, characters.
+const BAR_WIDTH: usize = 40;
+
+fn fmt_ns(ns: u64) -> String {
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// One `[  ███  ]` bar positioning the span inside its root's lifetime.
+fn bar(span: &SpanRecord, t0: u64, range: u64) -> String {
+    let scale = |t: u64| -> usize {
+        (((t.saturating_sub(t0)) as u128 * BAR_WIDTH as u128) / range.max(1) as u128) as usize
+    };
+    let start = scale(span.open).min(BAR_WIDTH);
+    let end = match span.close {
+        Some(c) => scale(c).clamp(start, BAR_WIDTH),
+        None => BAR_WIDTH,
+    };
+    let mut out = String::with_capacity(BAR_WIDTH + 2);
+    out.push('[');
+    for i in 0..BAR_WIDTH {
+        if i >= start && (i < end || i == start) {
+            out.push('#');
+        } else {
+            out.push(' ');
+        }
+    }
+    out.push(if span.close.is_some() { ']' } else { '>' });
+    out
+}
+
+fn render_waterfall(roots: &BTreeMap<&str, Vec<&SpanRecord>>, max_instances: usize) {
+    for (shown, (root, spans)) in roots.iter().enumerate() {
+        if shown >= max_instances {
+            println!(
+                "... {} more instance tree(s) (raise --max-instances to see them)",
+                roots.len() - max_instances
+            );
+            break;
+        }
+        let t0 = spans.iter().map(|s| s.open).min().unwrap_or(0);
+        let t1 = spans
+            .iter()
+            .map(|s| s.close.unwrap_or(s.open))
+            .max()
+            .unwrap_or(t0);
+        let range = t1.saturating_sub(t0);
+        println!("{root}  (window {})", fmt_ns(range));
+        for span in spans {
+            let indent = "  ".repeat(span.depth() - 1);
+            let duration = match span.duration() {
+                Some(d) => fmt_ns(d),
+                None => "open".to_string(),
+            };
+            let notes: String = span
+                .annotations
+                .iter()
+                .map(|n| format!(" @{}={}", n.kind.as_str(), n.value))
+                .collect();
+            println!(
+                "  {} {:<28} {:>12} {}{}",
+                bar(span, t0, range),
+                format!("{indent}{}", span.leaf()),
+                duration,
+                span.layer.as_str(),
+                notes
+            );
+        }
+        println!();
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut input = None;
+    let mut max_instances = 8usize;
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--max-instances" => {
+                max_instances = argv[i + 1].parse().expect("numeric --max-instances");
+                i += 2;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown argument {flag}");
+                return ExitCode::from(2);
+            }
+            path => {
+                input = Some(path.to_string());
+                i += 1;
+            }
+        }
+    }
+    let Some(input) = input else {
+        eprintln!("usage: ritas-trace <span.jsonl> [--max-instances N]");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {input}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let spans = match spans_from_jsonl(&text) {
+        Ok(s) => s,
+        Err((line, e)) => {
+            eprintln!("{input}:{line}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if spans.is_empty() {
+        eprintln!("{input}: no spans (empty trace)");
+        return ExitCode::from(1);
+    }
+
+    // Group by root instance, children sorted under their parents.
+    let mut roots: BTreeMap<&str, Vec<&SpanRecord>> = BTreeMap::new();
+    for span in &spans {
+        let root = span.path.split('/').next().unwrap_or(&span.path);
+        roots.entry(root).or_default().push(span);
+    }
+    for spans in roots.values_mut() {
+        spans.sort_by(|a, b| a.path.cmp(&b.path).then(a.open.cmp(&b.open)));
+    }
+
+    let closed = spans.iter().filter(|s| s.close.is_some()).count();
+    println!(
+        "{} spans ({} closed, {} open) across {} instance trees\n",
+        spans.len(),
+        closed,
+        spans.len() - closed,
+        roots.len()
+    );
+    render_waterfall(&roots, max_instances);
+
+    let paths = critical_paths(&spans);
+    if paths.is_empty() {
+        println!("no completed a-broadcast messages: no critical paths to attribute");
+        return ExitCode::SUCCESS;
+    }
+    println!("critical paths ({} a-delivered messages):", paths.len());
+    let mut consistent = true;
+    for cp in &paths {
+        let (dominant, _) = cp.dominant();
+        println!(
+            "  {}  total {}  dominant: {} ({:.0}%)",
+            cp.path,
+            fmt_ns(cp.total_ns),
+            dominant,
+            cp.share(dominant)
+        );
+        for (label, ns) in &cp.segments {
+            if *ns == 0 {
+                continue;
+            }
+            let pct = *ns as f64 * 100.0 / cp.total_ns.max(1) as f64;
+            println!("    {label:<12} {:>12}  {pct:>5.1}%", fmt_ns(*ns));
+        }
+        let sum: u64 = cp.segments.iter().map(|(_, ns)| ns).sum();
+        if sum != cp.total_ns {
+            println!(
+                "    !! segments sum to {} but the span recorded {}",
+                fmt_ns(sum),
+                fmt_ns(cp.total_ns)
+            );
+            consistent = false;
+        }
+    }
+    if !consistent {
+        eprintln!("critical-path segments do not sum to their span durations");
+        return ExitCode::from(1);
+    }
+    println!("\nall critical-path breakdowns sum exactly to their a-deliver latency");
+    ExitCode::SUCCESS
+}

@@ -121,10 +121,13 @@ pub struct FigureArgs {
     /// Write an aggregated [`ritas_metrics::MetricsSnapshot`] JSON dump
     /// of the whole run to this path.
     pub metrics_json: Option<String>,
+    /// Write a per-instance span dump (JSONL, one span per line; see
+    /// [`write_span_dump`]) to this path.
+    pub span_json: Option<String>,
 }
 
-/// Parses `--runs N --seed S --quick --metrics-json PATH` from
-/// `std::env::args`.
+/// Parses `--runs N --seed S --quick --metrics-json PATH --span-json
+/// PATH` from `std::env::args`.
 ///
 /// # Panics
 ///
@@ -136,6 +139,7 @@ pub fn parse_figure_args() -> FigureArgs {
         seed: 42,
         quick: false,
         metrics_json: None,
+        span_json: None,
     };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -157,10 +161,61 @@ pub fn parse_figure_args() -> FigureArgs {
                 out.metrics_json = Some(args[i + 1].clone());
                 i += 2;
             }
+            "--span-json" => {
+                out.span_json = Some(args[i + 1].clone());
+                i += 2;
+            }
             other => panic!("unknown argument {other}"),
         }
     }
     out
+}
+
+/// Runs one dedicated failure-free simulated burst and writes the
+/// observer's span tree (virtual-time open/close per protocol instance)
+/// as JSONL to `path`, readable by the `ritas-trace` binary.
+///
+/// This is a *separate* traced run, not a dump of the figure runs: span
+/// paths are per-process, so the trace needs each simulated process to
+/// own a private registry. Call this **before** [`MetricsDump::from_arg`]
+/// — once the ambient registry is installed all processes share it and
+/// their same-named spans would collide.
+///
+/// # Panics
+///
+/// Panics when the path is not writable or the traced run fails to
+/// deliver (developer-facing binaries).
+pub fn write_span_dump(path: &str, seed: u64) {
+    use ritas_sim::cluster::{Action, SimCluster, SimConfig};
+
+    let config = SimConfig::paper_testbed(seed);
+    let n = config.n;
+    let mut sim = SimCluster::new(config);
+    let payload = bytes::Bytes::from(vec![0x5a; 100]);
+    for p in 0..n {
+        for _ in 0..4 {
+            sim.schedule(0, p, Action::AbBroadcast(payload.clone()));
+        }
+    }
+    sim.run();
+    let observer = sim.observer();
+    let snap = sim.metrics_snapshot(observer);
+    let delivered = sim
+        .stack(observer)
+        .ab_stats(0)
+        .map(|s| s.delivered)
+        .unwrap_or(0);
+    assert_eq!(
+        delivered,
+        4 * n as u64,
+        "traced run did not deliver the full burst"
+    );
+    std::fs::write(path, ritas_metrics::spans_to_jsonl(&snap.spans))
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!(
+        "span dump written to {path} ({} spans from traced observer {observer})",
+        snap.spans.len()
+    );
 }
 
 /// Collects every simulated process's protocol metrics over the whole
@@ -192,8 +247,16 @@ impl MetricsDump {
     ///
     /// Panics when the path is not writable (developer-facing binaries).
     pub fn write(self) {
-        let json = self.metrics.snapshot().to_json();
-        std::fs::write(&self.path, json)
+        let snap = self.metrics.snapshot();
+        if let Some(h) = snap.histogram("ab_latency_ns").filter(|h| h.count > 0) {
+            eprintln!(
+                "a-deliver latency across all runs: p50 {:.2} ms, p99 {:.2} ms over {} sample(s)",
+                h.percentile(50.0) as f64 / 1e6,
+                h.percentile(99.0) as f64 / 1e6,
+                h.count
+            );
+        }
+        std::fs::write(&self.path, snap.to_json())
             .unwrap_or_else(|e| panic!("cannot write {}: {e}", self.path));
         eprintln!("metrics snapshot written to {}", self.path);
     }

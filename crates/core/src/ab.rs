@@ -310,6 +310,10 @@ pub struct AtomicBroadcast {
     polling: bool,
     stats: AbStats,
     metrics: Metrics,
+    /// Span path of this session; set by the owner at creation. Message
+    /// spans get `{path}/m:{sender}:{rbid}` (with an `/rb` child), round
+    /// spans `{path}/r:{n}` (with `/vect:{origin}` and `/mvc` children).
+    span_path: Option<String>,
 }
 
 impl core::fmt::Debug for AtomicBroadcast {
@@ -370,7 +374,30 @@ impl AtomicBroadcast {
             polling: false,
             stats: AbStats::default(),
             metrics: Metrics::default(),
+            span_path: None,
         }
+    }
+
+    /// Assigns this session's span path and opens its (session-long)
+    /// span. All sub-instances are created lazily, so the path only needs
+    /// to be set once, right after [`AtomicBroadcast::set_metrics`] and
+    /// before any traffic: message spans, per-round spans and their
+    /// children inherit it at creation.
+    pub fn set_span_path(&mut self, path: String) {
+        self.metrics.span_open(path.clone(), Layer::Ab);
+        self.span_path = Some(path);
+    }
+
+    fn msg_span_path(&self, id: MsgId) -> Option<String> {
+        self.span_path
+            .as_ref()
+            .map(|base| format!("{base}/m:{}:{}", id.sender, id.rbid))
+    }
+
+    fn round_span_path(&self, round: u32) -> Option<String> {
+        self.span_path
+            .as_ref()
+            .map(|base| format!("{base}/r:{round}"))
     }
 
     /// Attaches the process-wide metric registry and propagates it to
@@ -473,9 +500,16 @@ impl AtomicBroadcast {
         let group = self.group;
         let me = self.me;
         let metrics = self.metrics.clone();
+        let span = self.msg_span_path(id);
+        if let Some(path) = &span {
+            self.metrics.span_open(path.clone(), Layer::Ab);
+        }
         let rbc = self.msg_rbc.entry(id).or_insert_with(|| {
             let mut rb = ReliableBroadcast::new(group, me, me);
             rb.set_metrics(metrics);
+            if let Some(path) = span {
+                rb.set_span_path(format!("{path}/rb"));
+            }
             rb
         });
         let sub = rbc
@@ -516,15 +550,31 @@ impl AtomicBroadcast {
         let group = self.group;
         let me = self.me;
         let metrics = self.metrics.clone();
+        let span = self.msg_span_path(id);
+        if !self.msg_rbc.contains_key(&id) {
+            if let Some(path) = &span {
+                self.metrics.span_open(path.clone(), Layer::Ab);
+            }
+        }
         let rbc = self.msg_rbc.entry(id).or_insert_with(|| {
             let mut rb = ReliableBroadcast::new(group, me, id.sender);
             rb.set_metrics(metrics);
+            if let Some(path) = &span {
+                rb.set_span_path(format!("{path}/rb"));
+            }
             rb
         });
         let sub = rbc.handle_message(from, inner);
         let delivered: Vec<Bytes> = sub.outputs.clone();
         let out = wrap_msg(id, sub);
         for payload in delivered {
+            if let Some(path) = &span {
+                self.metrics.span_annotate(
+                    path,
+                    ritas_metrics::SpanAnnotation::Phase,
+                    payload.len() as u64,
+                );
+            }
             self.received.entry(id).or_insert(payload);
         }
         out
@@ -546,9 +596,15 @@ impl AtomicBroadcast {
         let group = self.group;
         let me = self.me;
         let metrics = self.metrics.clone();
+        let span = self
+            .round_span_path(round)
+            .map(|p| format!("{p}/vect:{origin}"));
         let rbc = self.vect_rbc.entry((round, origin)).or_insert_with(|| {
             let mut rb = ReliableBroadcast::new(group, me, origin);
             rb.set_metrics(metrics);
+            if let Some(path) = span {
+                rb.set_span_path(path);
+            }
             rb
         });
         let sub = rbc.handle_message(from, inner);
@@ -585,6 +641,7 @@ impl AtomicBroadcast {
             .wrapping_mul(0x9E3779B97F4A7C15)
             .wrapping_add(round as u64);
         let metrics = self.metrics.clone();
+        let mvc_path = self.round_span_path(round).map(|p| format!("{p}/mvc"));
         self.agreements.entry(round).or_insert_with(|| {
             let mut mvc = MultiValuedConsensus::with_config(
                 group,
@@ -594,6 +651,9 @@ impl AtomicBroadcast {
                 config,
             );
             mvc.set_metrics(metrics);
+            if let Some(p) = mvc_path {
+                mvc.set_span_path(p);
+            }
             mvc
         })
     }
@@ -632,9 +692,17 @@ impl AtomicBroadcast {
         let me = self.me;
         let group = self.group;
         let metrics = self.metrics.clone();
+        let round_span = self.round_span_path(round);
+        if let Some(path) = &round_span {
+            self.metrics.span_open(path.clone(), Layer::Ab);
+        }
+        let span = round_span.map(|p| format!("{p}/vect:{me}"));
         let rbc = self.vect_rbc.entry((round, me)).or_insert_with(|| {
             let mut rb = ReliableBroadcast::new(group, me, me);
             rb.set_metrics(metrics);
+            if let Some(path) = span {
+                rb.set_span_path(path);
+            }
             rb
         });
         let sub = rbc.broadcast(payload).expect("one vect per round");
@@ -655,6 +723,13 @@ impl AtomicBroadcast {
             return false;
         }
         self.proposed = true;
+        if let Some(path) = self.round_span_path(self.round) {
+            self.metrics.span_annotate(
+                &path,
+                ritas_metrics::SpanAnnotation::VectCollected,
+                count as u64,
+            );
+        }
 
         // W_i: identifiers supported by >= f+1 vectors.
         let mut support: BTreeMap<MsgId, usize> = BTreeMap::new();
@@ -741,6 +816,9 @@ impl AtomicBroadcast {
     }
 
     fn next_round(&mut self) {
+        if let Some(path) = self.round_span_path(self.round) {
+            self.metrics.span_close(&path);
+        }
         self.round += 1;
         self.vect_sent = false;
         self.proposed = false;
@@ -765,6 +843,9 @@ impl AtomicBroadcast {
             // The completed RBC instance is pruned: every message we owed
             // the group for it has already been sent.
             self.msg_rbc.remove(&id);
+            if let Some(path) = self.msg_span_path(id) {
+                self.metrics.span_close(&path);
+            }
             self.stats.delivered += 1;
             self.metrics.ab_delivered.inc();
             self.metrics.trace(

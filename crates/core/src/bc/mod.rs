@@ -249,6 +249,8 @@ pub struct BinaryConsensus {
     /// Rounds each process has completed (for statistics only).
     rounds_executed: u32,
     metrics: Metrics,
+    /// Span path of this instance; set by the owner at creation.
+    span_path: Option<String>,
 }
 
 impl core::fmt::Debug for BinaryConsensus {
@@ -319,6 +321,7 @@ impl BinaryConsensus {
             rbc: BTreeMap::new(),
             rounds_executed: 0,
             metrics: Metrics::default(),
+            span_path: None,
         }
     }
 
@@ -326,6 +329,19 @@ impl BinaryConsensus {
     /// broadcast sub-instances created afterwards share it.
     pub fn set_metrics(&mut self, metrics: Metrics) {
         self.metrics = metrics;
+    }
+
+    /// Assigns this instance's span path and opens its span. Call after
+    /// [`BinaryConsensus::set_metrics`], at instance-creation time.
+    pub fn set_span_path(&mut self, path: String) {
+        self.metrics.span_open(path.clone(), Layer::Bc);
+        self.span_path = Some(path);
+    }
+
+    fn span_annotate(&self, kind: ritas_metrics::SpanAnnotation, value: u64) {
+        if let Some(path) = &self.span_path {
+            self.metrics.span_annotate(path, kind, value);
+        }
     }
 
     /// The decision, once taken.
@@ -357,6 +373,10 @@ impl BinaryConsensus {
         self.metrics.bc_started.inc();
         self.metrics
             .trace(Layer::Bc, "propose", format!("bc:{}", self.me), self.round);
+        self.span_annotate(
+            ritas_metrics::SpanAnnotation::RoundEntered,
+            u64::from(self.round),
+        );
         let mut out = Step::none();
         self.broadcast_current(&mut out);
         // Messages from peers may already be buffered and could even
@@ -584,6 +604,9 @@ impl BinaryConsensus {
                 self.metrics.bc_rounds.record(u64::from(self.round));
                 self.metrics
                     .trace(Layer::Bc, "decide", format!("bc:{}", self.me), self.round);
+                if let Some(path) = &self.span_path {
+                    self.metrics.span_close(path);
+                }
                 out.push_output(lead);
             }
             lead
@@ -597,7 +620,9 @@ impl BinaryConsensus {
                 format!("bc:{}", self.me),
                 self.round,
             );
-            self.coin.flip_round(self.round)
+            let bit = self.coin.flip_round(self.round);
+            self.span_annotate(ritas_metrics::SpanAnnotation::CoinFlipped, u64::from(bit));
+            bit
         };
 
         // A decided process participates for exactly one more round so
@@ -612,6 +637,10 @@ impl BinaryConsensus {
         self.current = Some(next_value);
         self.round += 1;
         self.step = 1;
+        self.span_annotate(
+            ritas_metrics::SpanAnnotation::RoundEntered,
+            u64::from(self.round),
+        );
         self.broadcast_current(out);
     }
 

@@ -159,6 +159,8 @@ pub struct EchoBroadcast {
     /// Receiver role: a column that arrived before `INIT` (buffered).
     pending_column: Option<Vec<Option<MacTag>>>,
     metrics: Metrics,
+    /// Span path of this instance; set by the owner at creation.
+    span_path: Option<String>,
 }
 
 impl EchoBroadcast {
@@ -189,6 +191,7 @@ impl EchoBroadcast {
             rows: vec![None; group.n()],
             pending_column: None,
             metrics: Metrics::default(),
+            span_path: None,
         }
     }
 
@@ -196,6 +199,13 @@ impl EchoBroadcast {
     /// instance keeps its private default registry otherwise).
     pub fn set_metrics(&mut self, metrics: Metrics) {
         self.metrics = metrics;
+    }
+
+    /// Assigns this instance's span path and opens its span. Call after
+    /// [`EchoBroadcast::set_metrics`], at instance-creation time.
+    pub fn set_span_path(&mut self, path: String) {
+        self.metrics.span_open(path.clone(), Layer::Eb);
+        self.span_path = Some(path);
     }
 
     /// The designated sender of this instance.
@@ -333,6 +343,9 @@ impl EchoBroadcast {
             self.metrics.eb_delivered.inc();
             self.metrics
                 .trace(Layer::Eb, "deliver", format!("eb:{}", self.sender), 0);
+            if let Some(path) = &self.span_path {
+                self.metrics.span_close(path);
+            }
             Step::output(payload)
         } else {
             self.metrics.eb_mac_rejected.inc();

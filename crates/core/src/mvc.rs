@@ -254,6 +254,10 @@ pub struct MultiValuedConsensus {
     decided: bool,
     decision: Option<MvcValue>,
     metrics: Metrics,
+    /// Span path of this instance; set by the owner at creation. Child
+    /// instances get `{path}/init:{p}`, `{path}/vect:{p}` and
+    /// `{path}/bc`.
+    span_path: Option<String>,
 }
 
 impl core::fmt::Debug for MultiValuedConsensus {
@@ -313,7 +317,21 @@ impl MultiValuedConsensus {
             decided: false,
             decision: None,
             metrics: Metrics::default(),
+            span_path: None,
         }
+    }
+
+    /// Assigns this instance's span path, opens its span and cascades
+    /// child paths down the control-block chain (INIT broadcasts, the
+    /// binary consensus, and VECT instances as they are created). Call
+    /// after [`MultiValuedConsensus::set_metrics`].
+    pub fn set_span_path(&mut self, path: String) {
+        self.metrics.span_open(path.clone(), Layer::Mvc);
+        for (o, rb) in self.init_rbc.iter_mut().enumerate() {
+            rb.set_span_path(format!("{path}/init:{o}"));
+        }
+        self.bc.set_span_path(format!("{path}/bc"));
+        self.span_path = Some(path);
     }
 
     /// Attaches the process-wide metric registry and propagates it to
@@ -437,15 +455,25 @@ impl MultiValuedConsensus {
 
     fn vect_instance(&mut self, origin: ProcessId) -> &mut VectInstance {
         if self.vect_inst[origin].is_none() {
+            let vect_path = self
+                .span_path
+                .as_ref()
+                .map(|base| format!("{base}/vect:{origin}"));
             let inst = match self.config.vect_transport {
                 VectTransport::Echo => {
                     let mut eb = EchoBroadcast::new(self.group, self.me, origin, self.keys.clone());
                     eb.set_metrics(self.metrics.clone());
+                    if let Some(p) = vect_path {
+                        eb.set_span_path(p);
+                    }
                     VectInstance::Echo(eb)
                 }
                 VectTransport::Reliable => {
                     let mut rb = ReliableBroadcast::new(self.group, self.me, origin);
                     rb.set_metrics(self.metrics.clone());
+                    if let Some(p) = vect_path {
+                        rb.set_span_path(p);
+                    }
                     VectInstance::Reliable(rb)
                 }
             };
@@ -650,6 +678,13 @@ impl MultiValuedConsensus {
             return None;
         }
         self.bc_proposed = true;
+        if let Some(path) = &self.span_path {
+            self.metrics.span_annotate(
+                path,
+                ritas_metrics::SpanAnnotation::VectCollected,
+                valid_count as u64,
+            );
+        }
 
         let proposal = if self.byzantine_bottom {
             false
@@ -685,6 +720,9 @@ impl MultiValuedConsensus {
                 self.metrics.mvc_decided_bottom.inc();
                 self.metrics
                     .trace(Layer::Mvc, "decide-bottom", format!("mvc:{}", self.me), 0);
+                if let Some(path) = &self.span_path {
+                    self.metrics.span_close(path);
+                }
                 out.push_output(None);
                 true
             }
@@ -716,6 +754,9 @@ impl MultiValuedConsensus {
                             format!("mvc:{}", self.me),
                             0,
                         );
+                        if let Some(path) = &self.span_path {
+                            self.metrics.span_close(path);
+                        }
                         out.push_output(Some(v));
                         return true;
                     }

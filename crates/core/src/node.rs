@@ -31,7 +31,9 @@ use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use ritas_crypto::KeyTable;
 use ritas_metrics::{Metrics, MetricsSnapshot};
 use ritas_transport::{AuthConfig, AuthenticatedTransport, Hub, Transport};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::io::{Read, Write};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -75,6 +77,9 @@ pub struct SessionConfig {
     /// Wrap the transport in the AH-style authentication layer (the
     /// paper's "with IPSec" configuration).
     pub authenticate: bool,
+    /// Serve a Prometheus text-format `/metrics` endpoint per node (each
+    /// binds an ephemeral localhost port; see [`Node::metrics_addr`]).
+    pub metrics_endpoint: bool,
     /// Stack configuration.
     pub stack: StackConfig,
 }
@@ -90,8 +95,17 @@ impl SessionConfig {
             group: Group::new(n)?,
             master_seed: 0x5249_5441_5321, // "RITAS!"
             authenticate: true,
+            metrics_endpoint: false,
             stack: StackConfig::default(),
         })
+    }
+
+    /// Enables the live Prometheus `/metrics` endpoint on every node of
+    /// the session (ephemeral localhost ports; query each node's bound
+    /// address via [`Node::metrics_addr`]).
+    pub fn with_metrics_endpoint(mut self) -> Self {
+        self.metrics_endpoint = true;
+        self
     }
 
     /// Disables the channel authentication layer (the paper's "without
@@ -170,6 +184,7 @@ pub struct Node {
     metrics: Metrics,
     stop: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
+    metrics_addr: Option<SocketAddr>,
 }
 
 impl core::fmt::Debug for Node {
@@ -208,7 +223,7 @@ impl Node {
                     .wrapping_add(me as u64),
                 config.stack,
             );
-            let node = if config.authenticate {
+            let mut node = if config.authenticate {
                 let metrics = Metrics::new();
                 let auth = AuthConfig::from_key_table(&table, me);
                 let mut transport = AuthenticatedTransport::new(ep, auth);
@@ -217,6 +232,9 @@ impl Node {
             } else {
                 Node::spawn(ep, stack)
             };
+            if config.metrics_endpoint {
+                node.serve_metrics().map_err(|_| NodeError::Disconnected)?;
+            }
             nodes.push(node);
         }
         Ok(nodes)
@@ -249,7 +267,7 @@ impl Node {
                     .wrapping_add(me as u64),
                 config.stack,
             );
-            let node = if config.authenticate {
+            let mut node = if config.authenticate {
                 let metrics = Metrics::new();
                 let auth = AuthConfig::from_key_table(&table, me);
                 let mut transport = AuthenticatedTransport::new(ep, auth);
@@ -258,6 +276,9 @@ impl Node {
             } else {
                 Node::spawn(ep, stack)
             };
+            if config.metrics_endpoint {
+                node.serve_metrics().map_err(|_| NodeError::Disconnected)?;
+            }
             nodes.push(node);
         }
         Ok(nodes)
@@ -324,7 +345,7 @@ impl Node {
                     stack,
                     transport,
                     replies: HashMap::new(),
-                    ab_sent: HashMap::new(),
+                    ab_sent: BTreeMap::new(),
                     metrics: metrics.clone(),
                     rb_tx,
                     eb_tx,
@@ -356,7 +377,48 @@ impl Node {
             metrics,
             stop,
             threads: vec![reader, worker],
+            metrics_addr: None,
         }
+    }
+
+    /// Starts serving this node's metrics in Prometheus text exposition
+    /// format over HTTP on an ephemeral localhost port. Returns the bound
+    /// address (`curl http://{addr}/metrics`). Idempotent: a second call
+    /// returns the existing address. The server stops with the node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn serve_metrics(&mut self) -> std::io::Result<SocketAddr> {
+        if let Some(addr) = self.metrics_addr {
+            return Ok(addr);
+        }
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let metrics = self.metrics.clone();
+        let stop = Arc::clone(&self.stop);
+        self.threads.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((conn, _)) => {
+                        let _ = serve_metrics_request(conn, &metrics);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(_) => break,
+                }
+            }
+        }));
+        self.metrics_addr = Some(addr);
+        Ok(addr)
+    }
+
+    /// The address of the live `/metrics` endpoint, if one is being
+    /// served (see [`Node::serve_metrics`]).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// The shared metrics registry this node's stack reports into. Live —
@@ -575,6 +637,44 @@ impl Drop for Node {
     }
 }
 
+/// Answers one scrape: reads the request until the header terminator
+/// (the path is not inspected — every route serves the metrics page) and
+/// writes a Prometheus text-format response.
+fn serve_metrics_request(mut conn: std::net::TcpStream, metrics: &Metrics) -> std::io::Result<()> {
+    conn.set_nonblocking(false)?;
+    conn.set_read_timeout(Some(Duration::from_millis(500)))?;
+    conn.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut req = Vec::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        match conn.read(&mut buf) {
+            Ok(0) => break,
+            Ok(k) => {
+                req.extend_from_slice(&buf[..k]);
+                if req.windows(4).any(|w| w == b"\r\n\r\n") || req.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let body = metrics.snapshot().to_prometheus();
+    let resp = format!(
+        "HTTP/1.1 200 OK\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    conn.write_all(resp.as_bytes())
+}
+
+/// Bound on locally tracked a-broadcast send times ([`Worker::ab_sent`]):
+/// entries are normally removed at a-delivery, but a stuck or partitioned
+/// session must not grow the map without limit, so the oldest entry is
+/// evicted (losing one latency sample) when a new send would exceed this.
+const AB_SENT_CAPACITY: usize = 4096;
+
 fn map_timeout<T>(r: Result<T, RecvTimeoutError>) -> Result<T, NodeError> {
     r.map_err(|e| match e {
         RecvTimeoutError::Timeout => NodeError::Timeout,
@@ -588,7 +688,9 @@ struct Worker<T: Transport> {
     transport: Arc<T>,
     replies: HashMap<InstanceKey, PendingReply>,
     /// Local a-broadcast times, for the a-deliver latency histogram.
-    ab_sent: HashMap<crate::ab::MsgId, Instant>,
+    /// Bounded by [`AB_SENT_CAPACITY`]; ordered by id, so the first entry
+    /// is the oldest local send (rbids are sequential).
+    ab_sent: BTreeMap<crate::ab::MsgId, Instant>,
     metrics: Metrics,
     rb_tx: Sender<(ProcessId, Bytes)>,
     eb_tx: Sender<(ProcessId, Bytes)>,
@@ -609,7 +711,11 @@ impl<T: Transport> Worker<T> {
             }
             Command::AbBroadcast(payload, reply) => {
                 let (id, step) = self.stack.ab_broadcast(0, payload);
+                if self.ab_sent.len() >= AB_SENT_CAPACITY {
+                    self.ab_sent.pop_first();
+                }
                 self.ab_sent.insert(id, Instant::now());
+                self.metrics.ab_sent_pending.set(self.ab_sent.len() as u64);
                 let _ = reply.send(id);
                 self.dispatch(step);
             }
@@ -707,6 +813,7 @@ impl<T: Transport> Worker<T> {
                         self.metrics
                             .ab_latency_ns
                             .record(sent.elapsed().as_nanos() as u64);
+                        self.metrics.ab_sent_pending.set(self.ab_sent.len() as u64);
                     }
                     let _ = self.ab_tx.send(delivery);
                 }

@@ -131,6 +131,10 @@ pub struct ReliableBroadcast {
     /// from whichever message first carried the winning payload).
     payloads: HashMap<PayloadDigest, Bytes>,
     metrics: Metrics,
+    /// Span path of this instance along the control-block chain; set by
+    /// the owner (stack or parent protocol), `None` on free-standing
+    /// instances.
+    span_path: Option<String>,
 }
 
 impl ReliableBroadcast {
@@ -155,6 +159,7 @@ impl ReliableBroadcast {
             init_digest: None,
             payloads: HashMap::new(),
             metrics: Metrics::default(),
+            span_path: None,
         }
     }
 
@@ -162,6 +167,13 @@ impl ReliableBroadcast {
     /// instance keeps its private default registry otherwise).
     pub fn set_metrics(&mut self, metrics: Metrics) {
         self.metrics = metrics;
+    }
+
+    /// Assigns this instance's span path and opens its span. Call after
+    /// [`ReliableBroadcast::set_metrics`], at instance-creation time.
+    pub fn set_span_path(&mut self, path: String) {
+        self.metrics.span_open(path.clone(), Layer::Rb);
+        self.span_path = Some(path);
     }
 
     /// The designated sender of this instance.
@@ -291,6 +303,9 @@ impl ReliableBroadcast {
             self.metrics.rb_delivered.inc();
             self.metrics
                 .trace(Layer::Rb, "deliver", format!("rb:{}", self.sender), 0);
+            if let Some(path) = &self.span_path {
+                self.metrics.span_close(path);
+            }
             step.push_output(m);
         }
         step

@@ -83,6 +83,19 @@ pub enum InstanceKey {
     },
 }
 
+/// Root span path of an instance (children extend it with `/`-separated
+/// segments; see `ritas_metrics::SpanRegistry`).
+fn span_path_for(key: &InstanceKey) -> String {
+    match key {
+        InstanceKey::Rb { sender, seq } => format!("rb:{sender}:{seq}"),
+        InstanceKey::Eb { sender, seq } => format!("eb:{sender}:{seq}"),
+        InstanceKey::Bc { tag } => format!("bc:{tag}"),
+        InstanceKey::Mvc { tag } => format!("mvc:{tag}"),
+        InstanceKey::Vc { tag } => format!("vc:{tag}"),
+        InstanceKey::Ab { session } => format!("ab:{session}"),
+    }
+}
+
 const KEY_RB: u8 = 1;
 const KEY_EB: u8 = 2;
 const KEY_BC: u8 = 3;
@@ -426,6 +439,7 @@ impl Stack {
         self.next_rb_seq += 1;
         let mut inst = ReliableBroadcast::new(self.group, self.me, self.me);
         inst.set_metrics(self.metrics.clone());
+        inst.set_span_path(span_path_for(&key));
         let sub = inst.broadcast(payload).expect("fresh instance");
         self.instances.insert(key, Instance::Rb(inst));
         self.note_instances();
@@ -443,6 +457,7 @@ impl Stack {
         self.next_eb_seq += 1;
         let mut inst = EchoBroadcast::new(self.group, self.me, self.me, self.keys.clone());
         inst.set_metrics(self.metrics.clone());
+        inst.set_span_path(span_path_for(&key));
         let sub = inst.broadcast(payload).expect("fresh instance");
         self.instances.insert(key, Instance::Eb(inst));
         self.note_instances();
@@ -476,6 +491,7 @@ impl Stack {
             ),
         };
         inst.set_metrics(self.metrics.clone());
+        inst.set_span_path(span_path_for(&key));
         let sub = inst.propose(value)?;
         self.instances.insert(key, Instance::Bc(inst));
         self.note_instances();
@@ -502,6 +518,7 @@ impl Stack {
             self.config.consensus,
         );
         inst.set_metrics(self.metrics.clone());
+        inst.set_span_path(span_path_for(&key));
         let sub = inst.propose(value)?;
         self.instances.insert(key, Instance::Mvc(inst));
         self.note_instances();
@@ -530,6 +547,7 @@ impl Stack {
             self.config.consensus,
         );
         inst.set_metrics(self.metrics.clone());
+        inst.set_span_path(span_path_for(&key));
         let sub = inst.propose_byzantine_bottom()?;
         self.instances.insert(key, Instance::Mvc(inst));
         self.note_instances();
@@ -559,6 +577,7 @@ impl Stack {
             inst = inst.deferred_rounds();
         }
         inst.set_metrics(self.metrics.clone());
+        inst.set_span_path(span_path_for(&key));
         let sub = inst.propose(value)?;
         self.instances.insert(key, Instance::Vc(inst));
         self.note_instances();
@@ -664,6 +683,7 @@ impl Stack {
                 self.config.ab,
             );
             inst.set_metrics(self.metrics.clone());
+            inst.set_span_path(span_path_for(&key));
             self.instances.insert(key, Instance::Ab(Box::new(inst)));
             self.note_instances();
             // Replay is handled by the caller paths that create instances;
@@ -725,12 +745,14 @@ impl Stack {
                 InstanceKey::Rb { sender, .. } if self.group.contains(sender) => {
                     let mut rb = ReliableBroadcast::new(self.group, self.me, sender);
                     rb.set_metrics(self.metrics.clone());
+                    rb.set_span_path(span_path_for(&key));
                     self.instances.insert(key, Instance::Rb(rb));
                     self.note_instances();
                 }
                 InstanceKey::Eb { sender, .. } if self.group.contains(sender) => {
                     let mut eb = EchoBroadcast::new(self.group, self.me, sender, self.keys.clone());
                     eb.set_metrics(self.metrics.clone());
+                    eb.set_span_path(span_path_for(&key));
                     self.instances.insert(key, Instance::Eb(eb));
                     self.note_instances();
                 }

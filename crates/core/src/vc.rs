@@ -169,6 +169,9 @@ pub struct VectorConsensus {
     rounds: BTreeMap<u32, MultiValuedConsensus>,
     decided: bool,
     metrics: Metrics,
+    /// Span path of this instance; set by the owner at creation. Child
+    /// instances get `{path}/prop:{p}` and `{path}/mvc:{r}`.
+    span_path: Option<String>,
 }
 
 impl core::fmt::Debug for VectorConsensus {
@@ -228,7 +231,23 @@ impl VectorConsensus {
             rounds: BTreeMap::new(),
             decided: false,
             metrics: Metrics::default(),
+            span_path: None,
         }
+    }
+
+    /// Assigns this instance's span path, opens its span and cascades
+    /// child paths down the control-block chain (proposal broadcasts now,
+    /// per-round multi-valued consensus instances as they are created).
+    /// Call after [`VectorConsensus::set_metrics`].
+    pub fn set_span_path(&mut self, path: String) {
+        self.metrics.span_open(path.clone(), Layer::Vc);
+        for (o, rb) in self.prop_rbc.iter_mut().enumerate() {
+            rb.set_span_path(format!("{path}/prop:{o}"));
+        }
+        for (r, mvc) in self.rounds.iter_mut() {
+            mvc.set_span_path(format!("{path}/mvc:{r}"));
+        }
+        self.span_path = Some(path);
     }
 
     /// Attaches the process-wide metric registry and propagates it to
@@ -330,6 +349,10 @@ impl VectorConsensus {
             .wrapping_mul(0x9E3779B97F4A7C15)
             .wrapping_add(round as u64);
         let metrics = self.metrics.clone();
+        let mvc_path = self
+            .span_path
+            .as_ref()
+            .map(|base| format!("{base}/mvc:{round}"));
         self.rounds.entry(round).or_insert_with(|| {
             let mut mvc = MultiValuedConsensus::with_config(
                 group,
@@ -339,6 +362,9 @@ impl VectorConsensus {
                 config,
             );
             mvc.set_metrics(metrics);
+            if let Some(p) = mvc_path {
+                mvc.set_span_path(p);
+            }
             mvc
         })
     }
@@ -364,8 +390,15 @@ impl VectorConsensus {
                 && self.delivered_count() >= self.threshold(self.round)
             {
                 self.round_proposed = true;
-                let w = encode_vector(&self.proposals);
                 let round = self.round;
+                if let Some(path) = &self.span_path {
+                    self.metrics.span_annotate(
+                        path,
+                        ritas_metrics::SpanAnnotation::RoundEntered,
+                        u64::from(round),
+                    );
+                }
+                let w = encode_vector(&self.proposals);
                 let mvc = self.round_instance(round);
                 let sub = mvc.propose(w).expect("round proposed once");
                 out.extend(wrap_round(round, sub));
@@ -391,6 +424,9 @@ impl VectorConsensus {
                                 format!("vc:{}", self.me),
                                 round,
                             );
+                            if let Some(path) = &self.span_path {
+                                self.metrics.span_close(path);
+                            }
                             out.push_output(v);
                             progressed = true;
                         }

@@ -181,6 +181,28 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// The `p`-th percentile (`0.0 < p <= 100.0`) as the inclusive upper
+    /// bound of the bucket containing that rank — the resolution is one
+    /// power-of-two bucket, which is what the fixed-bucket design can
+    /// honestly report. Returns `max` for ranks landing in the overflow
+    /// bucket, 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Never report a bucket bound above the recorded max.
+                return Histogram::bucket_bound(i).unwrap_or(self.max).min(self.max);
+            }
+        }
+        self.max
+    }
 }
 
 /// The stack layer an event or metric belongs to.
@@ -220,6 +242,22 @@ impl Layer {
             Layer::Stack => "stack",
             Layer::Node => "node",
         }
+    }
+
+    /// Inverse of [`Layer::as_str`] (span-dump parsing).
+    pub fn parse(s: &str) -> Option<Layer> {
+        Some(match s {
+            "transport" => Layer::Transport,
+            "rb" => Layer::Rb,
+            "eb" => Layer::Eb,
+            "bc" => Layer::Bc,
+            "mvc" => Layer::Mvc,
+            "vc" => Layer::Vc,
+            "ab" => Layer::Ab,
+            "stack" => Layer::Stack,
+            "node" => Layer::Node,
+            _ => return None,
+        })
     }
 }
 
@@ -275,6 +313,570 @@ impl TraceRing {
             .cloned()
             .collect()
     }
+}
+
+// ---------------------------------------------------------------------------
+// Spans: per-instance open/close intervals along the control-block chain
+// ---------------------------------------------------------------------------
+
+/// Maximum number of spans the registry retains (closed spans are evicted
+/// oldest-first past this bound; opens past it are dropped and counted).
+pub const SPAN_CAPACITY: usize = 4096;
+
+/// Maximum depth of a span path (`/`-separated segments); deeper opens
+/// are dropped and counted.
+pub const SPAN_MAX_DEPTH: usize = 8;
+
+/// Maximum annotations retained per span (excess is dropped silently —
+/// a runaway BC already shows up in `bc_rounds`).
+pub const SPAN_MAX_ANNOTATIONS: usize = 64;
+
+/// A typed span annotation: a protocol-phase event inside an instance's
+/// lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanAnnotation {
+    /// A binary consensus instance entered round `value`.
+    RoundEntered,
+    /// A coin was flipped; `value` is the coin's bit.
+    CoinFlipped,
+    /// A consensus VECT quorum was collected; `value` counts entries.
+    VectCollected,
+    /// A generic phase transition; `value` is a layer-specific code.
+    Phase,
+}
+
+impl SpanAnnotation {
+    /// Stable kebab-case name used in dumps.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanAnnotation::RoundEntered => "round-entered",
+            SpanAnnotation::CoinFlipped => "coin-flipped",
+            SpanAnnotation::VectCollected => "vect-collected",
+            SpanAnnotation::Phase => "phase",
+        }
+    }
+
+    /// Inverse of [`SpanAnnotation::as_str`].
+    pub fn parse(s: &str) -> Option<SpanAnnotation> {
+        Some(match s {
+            "round-entered" => SpanAnnotation::RoundEntered,
+            "coin-flipped" => SpanAnnotation::CoinFlipped,
+            "vect-collected" => SpanAnnotation::VectCollected,
+            "phase" => SpanAnnotation::Phase,
+            _ => return None,
+        })
+    }
+}
+
+/// One timestamped annotation on a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanNote {
+    /// Driver timestamp (clamped to ≥ the span's open time).
+    pub t: u64,
+    /// What happened.
+    pub kind: SpanAnnotation,
+    /// Annotation-specific value (round number, coin bit, count…).
+    pub value: u64,
+}
+
+/// One protocol-instance span. Parent linkage is implicit in the path:
+/// `ab:0/r:3/mvc/bc` is a child of `ab:0/r:3/mvc`, mirroring the §3
+/// control-block chain (AB → MVC → BC → RB/EB).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// `/`-separated instance path, e.g. `ab:0/m:1:0/rb`.
+    pub path: String,
+    /// The layer that owns the instance.
+    pub layer: Layer,
+    /// Driver time at open (wall ns on the node runtime, virtual ns in
+    /// the simulator).
+    pub open: u64,
+    /// Driver time at close; `None` while the instance is still live.
+    /// Clamped to ≥ `open`, so durations are never negative even when
+    /// the injected clock misbehaves.
+    pub close: Option<u64>,
+    /// Phase annotations, in arrival order.
+    pub annotations: Vec<SpanNote>,
+}
+
+impl SpanRecord {
+    /// The parent path, `None` for roots.
+    pub fn parent(&self) -> Option<&str> {
+        self.path.rsplit_once('/').map(|(p, _)| p)
+    }
+
+    /// The final path segment (the instance's local name).
+    pub fn leaf(&self) -> &str {
+        self.path.rsplit('/').next().unwrap_or(&self.path)
+    }
+
+    /// Path depth in segments.
+    pub fn depth(&self) -> usize {
+        self.path.split('/').count()
+    }
+
+    /// Close − open, `None` while open.
+    pub fn duration(&self) -> Option<u64> {
+        self.close.map(|c| c - self.open)
+    }
+
+    /// Renders the span as one JSON object (one JSONL line, no trailing
+    /// newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.path.len());
+        let _ = write!(
+            out,
+            "{{\"path\":\"{}\",\"layer\":\"{}\",\"open\":{},\"close\":",
+            escape_json(&self.path),
+            self.layer.as_str(),
+            self.open
+        );
+        match self.close {
+            Some(c) => {
+                let _ = write!(out, "{c}");
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"notes\":[");
+        for (i, n) in self.annotations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{},\"{}\",{}]", n.t, n.kind.as_str(), n.value);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses one JSONL line produced by [`SpanRecord::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed JSON or on a
+    /// well-formed object that is not a span.
+    pub fn from_json(line: &str) -> Result<SpanRecord, String> {
+        let v = json::parse(line)?;
+        let obj = v.as_obj().ok_or("span line is not a JSON object")?;
+        let field = |name: &str| -> Result<&json::Value, String> {
+            obj.iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field {name:?}"))
+        };
+        let path = field("path")?
+            .as_str()
+            .ok_or("path is not a string")?
+            .to_string();
+        let layer = field("layer")?.as_str().ok_or("layer is not a string")?;
+        let layer = Layer::parse(layer).ok_or_else(|| format!("unknown layer {layer:?}"))?;
+        let open = field("open")?.as_u64().ok_or("open is not a number")?;
+        let close = match field("close")? {
+            json::Value::Null => None,
+            v => Some(v.as_u64().ok_or("close is not a number")?),
+        };
+        let mut annotations = Vec::new();
+        for note in field("notes")?.as_arr().ok_or("notes is not an array")? {
+            let triple = note.as_arr().ok_or("note is not an array")?;
+            if triple.len() != 3 {
+                return Err("note is not a [t, kind, value] triple".into());
+            }
+            let kind = triple[1].as_str().ok_or("note kind is not a string")?;
+            annotations.push(SpanNote {
+                t: triple[0].as_u64().ok_or("note time is not a number")?,
+                kind: SpanAnnotation::parse(kind)
+                    .ok_or_else(|| format!("unknown annotation {kind:?}"))?,
+                value: triple[2].as_u64().ok_or("note value is not a number")?,
+            });
+        }
+        Ok(SpanRecord {
+            path,
+            layer,
+            open,
+            close,
+            annotations,
+        })
+    }
+}
+
+/// Renders spans as JSONL (one span object per line).
+pub fn spans_to_jsonl(spans: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for s in spans {
+        out.push_str(&s.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSONL span dump; blank lines are skipped.
+///
+/// # Errors
+///
+/// Returns `(line number, message)` for the first malformed line.
+pub fn spans_from_jsonl(text: &str) -> Result<Vec<SpanRecord>, (usize, String)> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(SpanRecord::from_json(line).map_err(|e| (i + 1, e))?);
+    }
+    Ok(out)
+}
+
+/// A minimal JSON reader for the span-dump format — the crate is
+/// zero-dependency, so the trace tooling parses its own dumps with this
+/// instead of serde.
+mod json {
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Num(u64),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(o) => Some(o),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn parse(s: &str) -> Result<Value, String> {
+        let b = s.as_bytes();
+        let mut pos = 0;
+        let v = value(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        if pos != b.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("expected {lit:?} at byte {}", *pos))
+        }
+    }
+
+    fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            None => Err("unexpected end of input".into()),
+            Some(b'n') => expect(b, pos, "null").map(|()| Value::Null),
+            Some(b't') => expect(b, pos, "true").map(|()| Value::Bool(true)),
+            Some(b'f') => expect(b, pos, "false").map(|()| Value::Bool(false)),
+            Some(b'"') => string(b, pos).map(Value::Str),
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(value(b, pos)?);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                    }
+                }
+            }
+            Some(b'{') => {
+                *pos += 1;
+                let mut fields = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                loop {
+                    skip_ws(b, pos);
+                    let key = string(b, pos)?;
+                    skip_ws(b, pos);
+                    expect(b, pos, ":")?;
+                    fields.push((key, value(b, pos)?));
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Obj(fields));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                    }
+                }
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let start = *pos;
+                while *pos < b.len() && b[*pos].is_ascii_digit() {
+                    *pos += 1;
+                }
+                std::str::from_utf8(&b[start..*pos])
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .map(Value::Num)
+                    .ok_or_else(|| format!("bad number at byte {start}"))
+            }
+            Some(c) => Err(format!("unexpected byte {c:#04x} at {}", *pos)),
+        }
+    }
+
+    fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string at byte {}", *pos));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        loop {
+            match b.get(*pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = b
+                                .get(*pos + 1..*pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad \\u escape")?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            *pos += 4;
+                        }
+                        _ => return Err("bad escape".into()),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar (input is a &str, so this is
+                    // always at a char boundary).
+                    let s = std::str::from_utf8(&b[*pos..]).map_err(|_| "invalid utf-8")?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct SpanRegistryInner {
+    /// Live spans by path.
+    open: BTreeMap<String, SpanRecord>,
+    /// Finished spans, oldest first, bounded by [`SPAN_CAPACITY`].
+    closed: std::collections::VecDeque<SpanRecord>,
+}
+
+/// Bounded per-instance span storage. One mutex guards both maps — span
+/// transitions are rare (per protocol instance, not per message), so
+/// contention is negligible next to the trace ring's.
+#[derive(Debug)]
+struct SpanRegistry {
+    inner: Mutex<SpanRegistryInner>,
+    capacity: usize,
+}
+
+impl SpanRegistry {
+    fn new(capacity: usize) -> Self {
+        SpanRegistry {
+            inner: Mutex::new(SpanRegistryInner::default()),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SpanRegistryInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Critical-path roll-up
+// ---------------------------------------------------------------------------
+
+/// The per-layer latency breakdown of one a-delivered message. Segments
+/// are clamped onto the monotone milestone chain, so they always sum to
+/// exactly `total_ns`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// The message span path (`ab:{session}/m:{sender}:{rbid}`).
+    pub path: String,
+    /// a-broadcast → a-deliver, driver nanoseconds.
+    pub total_ns: u64,
+    /// `(segment label, duration ns)`, in chain order.
+    pub segments: Vec<(&'static str, u64)>,
+}
+
+impl CriticalPath {
+    /// The dominant segment (largest share of the total).
+    pub fn dominant(&self) -> (&'static str, u64) {
+        self.segments
+            .iter()
+            .copied()
+            .max_by_key(|(_, ns)| *ns)
+            .unwrap_or(("total", self.total_ns))
+    }
+
+    /// A segment's share of the total in percent (0.0 when total is 0).
+    pub fn share(&self, label: &str) -> f64 {
+        if self.total_ns == 0 {
+            return 0.0;
+        }
+        self.segments
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map_or(0.0, |(_, ns)| 100.0 * *ns as f64 / self.total_ns as f64)
+    }
+}
+
+/// Segment labels of the a-deliver critical path, in chain order:
+/// payload dissemination (`rb`), waiting for the deciding agreement round
+/// to open (`wait`), VECT collection (`vect`), MVC proposal gathering
+/// (`mvc`), binary consensus (`bc`), MVC decision propagation
+/// (`mvc-decide`), round conclusion (`conclude`) and final ordering
+/// (`deliver`).
+pub const CRITICAL_PATH_SEGMENTS: [&str; 8] = [
+    "rb",
+    "wait",
+    "vect",
+    "mvc",
+    "bc",
+    "mvc-decide",
+    "conclude",
+    "deliver",
+];
+
+/// Attributes every closed AB message span in `spans` to its per-layer
+/// critical path, using the child spans along its control-block chain.
+/// The milestone chain is clamped monotone, so each breakdown sums to
+/// exactly the message's a-deliver latency.
+pub fn critical_paths(spans: &[SpanRecord]) -> Vec<CriticalPath> {
+    use std::collections::HashMap;
+    let by_path: HashMap<&str, &SpanRecord> = spans.iter().map(|s| (s.path.as_str(), s)).collect();
+    let closed = |path: &str| -> Option<(u64, u64)> {
+        by_path.get(path).and_then(|s| s.close.map(|c| (s.open, c)))
+    };
+    let mut out = Vec::new();
+    for s in spans {
+        let Some(t_deliver) = s.close else { continue };
+        let Some((root, leaf)) = s.path.rsplit_once('/') else {
+            continue;
+        };
+        if !leaf.starts_with("m:") || root.contains('/') {
+            continue;
+        }
+        let t0 = s.open;
+        // Milestone 1: the payload RB child delivered.
+        let rb_done = closed(&format!("{}/rb", s.path)).map(|(_, c)| c);
+        // The deciding round: the round span (`{root}/r:{n}`) whose close
+        // is the latest not after the delivery; deliveries happen in the
+        // same driver step as the round's conclusion.
+        let round = spans
+            .iter()
+            .filter(|r| {
+                r.parent() == Some(root)
+                    && r.leaf().starts_with("r:")
+                    && r.close.is_some_and(|c| c <= t_deliver)
+            })
+            .max_by_key(|r| (r.close, r.open));
+        let mut milestones: Vec<u64> = Vec::with_capacity(9);
+        milestones.push(t0);
+        milestones.push(rb_done.unwrap_or(t0));
+        match round {
+            Some(r) => {
+                let (r0, r1) = (r.open, r.close.unwrap_or(r.open));
+                let mvc = closed(&format!("{}/mvc", r.path));
+                let bc = closed(&format!("{}/mvc/bc", r.path));
+                milestones.push(r0);
+                milestones.push(mvc.map_or(r0, |(o, _)| o));
+                milestones.push(bc.map_or(r0, |(o, _)| o));
+                milestones.push(bc.map_or(r1, |(_, c)| c));
+                milestones.push(mvc.map_or(r1, |(_, c)| c));
+                milestones.push(r1);
+            }
+            None => {
+                // Round spans evicted or absent: charge everything after
+                // the RB to the agreement machinery wholesale.
+                let after_rb = rb_done.unwrap_or(t0);
+                milestones.extend([
+                    after_rb, after_rb, after_rb, t_deliver, t_deliver, t_deliver,
+                ]);
+            }
+        }
+        milestones.push(t_deliver);
+        // Clamp onto a monotone chain inside [t0, t_deliver]: segments
+        // then sum to exactly t_deliver − t0.
+        let mut floor = t0;
+        for m in &mut milestones {
+            *m = (*m).clamp(floor, t_deliver);
+            floor = *m;
+        }
+        let segments = CRITICAL_PATH_SEGMENTS
+            .iter()
+            .enumerate()
+            .map(|(i, label)| (*label, milestones[i + 1] - milestones[i]))
+            .collect();
+        out.push(CriticalPath {
+            path: s.path.clone(),
+            total_ns: t_deliver - t0,
+            segments,
+        });
+    }
+    out.sort_by(|a, b| a.path.cmp(&b.path));
+    out
 }
 
 /// The metric registry: every instrument the stack exposes, as public
@@ -360,7 +962,22 @@ pub struct MetricsInner {
     /// messages only).
     pub ab_latency_ns: Histogram,
 
+    // ---- spans ----
+    /// Spans opened.
+    pub span_opened: Counter,
+    /// Spans closed.
+    pub span_closed: Counter,
+    /// Span opens dropped by the capacity or depth caps.
+    pub span_dropped: Counter,
+    /// Closes with no matching open span (counted, then ignored).
+    pub span_orphan_closed: Counter,
+    /// Currently live (open) spans.
+    pub span_open_live: Gauge,
+
     // ---- stack / node (§3) ----
+    /// Local a-broadcasts still awaiting their a-deliver (the node
+    /// runtime's latency-correlation map; bounded).
+    pub ab_sent_pending: Gauge,
     /// Frames dispatched through the stack router.
     pub stack_frames_in: Counter,
     /// Messages parked in the out-of-context buffer (§3.4).
@@ -376,6 +993,7 @@ pub struct MetricsInner {
     /// High-water mark of the out-of-context buffer.
     pub stack_ooc_high_water: Gauge,
 
+    spans: SpanRegistry,
     trace: TraceRing,
     clock: AtomicU64,
     seq: AtomicU64,
@@ -416,6 +1034,12 @@ impl Default for MetricsInner {
             ab_agreements: Counter::default(),
             ab_batch: Histogram::default(),
             ab_latency_ns: Histogram::default(),
+            span_opened: Counter::default(),
+            span_closed: Counter::default(),
+            span_dropped: Counter::default(),
+            span_orphan_closed: Counter::default(),
+            span_open_live: Gauge::default(),
+            ab_sent_pending: Gauge::default(),
             stack_frames_in: Counter::default(),
             stack_ooc_parked: Counter::default(),
             stack_ooc_dropped: Counter::default(),
@@ -423,6 +1047,7 @@ impl Default for MetricsInner {
             stack_instances: Gauge::default(),
             stack_ooc_buffered: Gauge::default(),
             stack_ooc_high_water: Gauge::default(),
+            spans: SpanRegistry::new(SPAN_CAPACITY),
             trace: TraceRing::new(TRACE_CAPACITY),
             clock: AtomicU64::new(0),
             seq: AtomicU64::new(0),
@@ -476,6 +1101,83 @@ impl Metrics {
         });
     }
 
+    /// Opens the span at `path`, stamped with the current driver time.
+    /// Idempotent: re-opening a live span keeps the original open time.
+    /// Opens past [`SPAN_CAPACITY`] live spans or [`SPAN_MAX_DEPTH`]
+    /// path segments are dropped (and counted in `span_dropped`).
+    pub fn span_open(&self, path: impl Into<String>, layer: Layer) {
+        let path = path.into();
+        if path.split('/').count() > SPAN_MAX_DEPTH {
+            self.inner.span_dropped.inc();
+            return;
+        }
+        let now = self.time();
+        let mut g = self.inner.spans.lock();
+        if g.open.contains_key(&path) {
+            return;
+        }
+        if g.open.len() >= self.inner.spans.capacity {
+            self.inner.span_dropped.inc();
+            return;
+        }
+        g.open.insert(
+            path.clone(),
+            SpanRecord {
+                path,
+                layer,
+                open: now,
+                close: None,
+                annotations: Vec::new(),
+            },
+        );
+        self.inner.span_opened.inc();
+        self.inner.span_open_live.set(g.open.len() as u64);
+    }
+
+    /// Attaches a typed annotation to the live span at `path`; ignored
+    /// (not an error) when the span is not open.
+    pub fn span_annotate(&self, path: &str, kind: SpanAnnotation, value: u64) {
+        let now = self.time();
+        let mut g = self.inner.spans.lock();
+        if let Some(s) = g.open.get_mut(path) {
+            if s.annotations.len() < SPAN_MAX_ANNOTATIONS {
+                let t = now.max(s.open);
+                s.annotations.push(SpanNote { t, kind, value });
+            }
+        }
+    }
+
+    /// Closes the span at `path` at the current driver time (clamped to
+    /// ≥ its open time, keeping virtual-time durations monotone). An
+    /// orphan close — no matching open — is counted and ignored.
+    pub fn span_close(&self, path: &str) {
+        let now = self.time();
+        let mut g = self.inner.spans.lock();
+        match g.open.remove(path) {
+            Some(mut s) => {
+                s.close = Some(now.max(s.open));
+                if g.closed.len() >= self.inner.spans.capacity {
+                    g.closed.pop_front();
+                }
+                g.closed.push_back(s);
+                self.inner.span_closed.inc();
+                self.inner.span_open_live.set(g.open.len() as u64);
+            }
+            None => self.inner.span_orphan_closed.inc(),
+        }
+    }
+
+    /// All retained spans: closed spans oldest-first, then the still-open
+    /// ones (with `close == None`) in path order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        let g = self.inner.spans.lock();
+        g.closed
+            .iter()
+            .cloned()
+            .chain(g.open.values().cloned())
+            .collect()
+    }
+
     /// Freezes every instrument into a [`MetricsSnapshot`].
     pub fn snapshot(&self) -> MetricsSnapshot {
         let m = &*self.inner;
@@ -519,6 +1221,10 @@ impl Metrics {
             ab_broadcast,
             ab_delivered,
             ab_agreements,
+            span_opened,
+            span_closed,
+            span_dropped,
+            span_orphan_closed,
             stack_frames_in,
             stack_ooc_parked,
             stack_ooc_dropped,
@@ -528,6 +1234,8 @@ impl Metrics {
         counters.insert("stack_instances", m.stack_instances.get());
         counters.insert("stack_ooc_buffered", m.stack_ooc_buffered.get());
         counters.insert("stack_ooc_high_water", m.stack_ooc_high_water.get());
+        counters.insert("span_open_live", m.span_open_live.get());
+        counters.insert("ab_sent_pending", m.ab_sent_pending.get());
         histogram!(
             bc_rounds,
             mvc_vect_bytes,
@@ -539,6 +1247,7 @@ impl Metrics {
             counters,
             histograms,
             trace: m.trace.to_vec(),
+            spans: self.spans(),
         }
     }
 
@@ -565,6 +1274,8 @@ pub struct MetricsSnapshot {
     pub histograms: BTreeMap<&'static str, HistogramSnapshot>,
     /// The trace ring contents, oldest first.
     pub trace: Vec<TraceEvent>,
+    /// Retained instance spans: closed oldest-first, then open ones.
+    pub spans: Vec<SpanRecord>,
 }
 
 impl MetricsSnapshot {
@@ -591,8 +1302,15 @@ impl MetricsSnapshot {
             && self.counter("ab_delivered") > 0
     }
 
+    /// The per-message critical-path breakdowns derivable from the
+    /// retained spans (see [`critical_paths`]).
+    pub fn critical_paths(&self) -> Vec<CriticalPath> {
+        critical_paths(&self.spans)
+    }
+
     /// Renders a stable `name value` text dump (one line per counter,
-    /// histograms as `name{count,sum,max,mean}`).
+    /// histograms as `name{count,sum,max,mean,p50,p99}`, then span
+    /// totals and up to 20 per-message critical-path breakdowns).
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         for (name, value) in &self.counters {
@@ -601,19 +1319,73 @@ impl MetricsSnapshot {
         for (name, h) in &self.histograms {
             let _ = writeln!(
                 out,
-                "{name}{{count={} sum={} max={} mean={:.1}}}",
+                "{name}{{count={} sum={} max={} mean={:.1} p50={} p99={}}}",
                 h.count,
                 h.sum,
                 h.max,
-                h.mean()
+                h.mean(),
+                h.percentile(50.0),
+                h.percentile(99.0)
             );
         }
         let _ = writeln!(out, "trace_events {}", self.trace.len());
+        let _ = writeln!(out, "spans {}", self.spans.len());
+        let paths = self.critical_paths();
+        let _ = writeln!(out, "critical_paths {}", paths.len());
+        for cp in paths.iter().take(20) {
+            let _ = write!(out, "critical_path{{path={} total={}", cp.path, cp.total_ns);
+            for (label, ns) in &cp.segments {
+                let _ = write!(out, " {label}={ns}");
+            }
+            let _ = writeln!(out, "}}");
+        }
         out
     }
 
-    /// Renders the snapshot as a stable JSON object:
-    /// `{"counters": {...}, "histograms": {...}, "trace": [...]}`.
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (metric prefix `ritas_`, histograms with cumulative `le` buckets).
+    pub fn to_prometheus(&self) -> String {
+        // Point-in-time instruments that live in the counter map.
+        const GAUGES: [&str; 5] = [
+            "stack_instances",
+            "stack_ooc_buffered",
+            "stack_ooc_high_water",
+            "span_open_live",
+            "ab_sent_pending",
+        ];
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let kind = if GAUGES.contains(name) {
+                "gauge"
+            } else {
+                "counter"
+            };
+            let _ = writeln!(out, "# TYPE ritas_{name} {kind}");
+            let _ = writeln!(out, "ritas_{name} {value}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "# TYPE ritas_{name} histogram");
+            let mut cumulative = 0u64;
+            for (i, &c) in h.buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                cumulative += c;
+                // The overflow bucket is folded into +Inf below.
+                if let Some(bound) = Histogram::bucket_bound(i) {
+                    let _ = writeln!(out, "ritas_{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+                }
+            }
+            let _ = writeln!(out, "ritas_{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "ritas_{name}_sum {}", h.sum);
+            let _ = writeln!(out, "ritas_{name}_count {}", h.count);
+        }
+        out
+    }
+
+    /// Renders the snapshot as a stable JSON object: `{"counters": {...},
+    /// "histograms": {...}, "trace": [...], "spans": [...],
+    /// "critical_paths": [...]}`.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
         let mut first = true;
@@ -667,6 +1439,38 @@ impl MetricsSnapshot {
                 escape_json(e.kind),
                 e.round
             );
+        }
+        out.push_str("],\"spans\":[");
+        first = true;
+        for s in &self.spans {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&s.to_json());
+        }
+        out.push_str("],\"critical_paths\":[");
+        first = true;
+        for cp in self.critical_paths() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"path\":\"{}\",\"total_ns\":{},\"segments\":{{",
+                escape_json(&cp.path),
+                cp.total_ns
+            );
+            let mut first_seg = true;
+            for (label, ns) in &cp.segments {
+                if !first_seg {
+                    out.push(',');
+                }
+                first_seg = false;
+                let _ = write!(out, "\"{label}\":{ns}");
+            }
+            out.push_str("}}");
         }
         out.push_str("]}");
         out
@@ -789,12 +1593,14 @@ mod tests {
         let snap = m.snapshot();
         let text = snap.to_text();
         assert!(text.contains("rb_delivered 4"));
-        assert!(text.contains("bc_rounds{count=1 sum=1 max=1 mean=1.0}"));
+        assert!(text.contains("bc_rounds{count=1 sum=1 max=1 mean=1.0 p50=1 p99=1}"));
         let json = snap.to_json();
         assert!(json.starts_with("{\"counters\":{"));
         assert!(json.contains("\"rb_delivered\":4"));
         assert!(json.contains("\"bc_rounds\":{\"count\":1"));
         assert!(json.contains("\"instance\":\"rb:0:1\""));
+        assert!(json.contains("\"spans\":["));
+        assert!(json.contains("\"critical_paths\":["));
         // Deterministic: same snapshot renders identically.
         assert_eq!(json, snap.to_json());
     }
@@ -813,5 +1619,292 @@ mod tests {
         assert_eq!(snap.counter("does_not_exist"), 0);
         assert!(snap.histogram("nope").is_none());
         assert!(!snap.all_layers_active());
+    }
+
+    #[test]
+    fn percentiles_walk_the_cumulative_buckets() {
+        let h = Histogram::default();
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // 100 observations over [0, 99]; p50 lands in the [32, 63]
+        // bucket, p99 and p100 in the [64, 127] bucket (clamped to max).
+        assert_eq!(s.percentile(50.0), 63);
+        assert_eq!(s.percentile(99.0), 99);
+        assert_eq!(s.percentile(100.0), 99);
+        // p ≈ 0 clamps to the first occupied bucket.
+        assert_eq!(s.percentile(0.1), 0);
+        assert_eq!(Histogram::default().snapshot().percentile(50.0), 0);
+    }
+
+    #[test]
+    fn span_open_close_roundtrip_with_annotations() {
+        let m = Metrics::new();
+        m.set_time(100);
+        m.span_open("ab:0/m:1:0", Layer::Ab);
+        m.set_time(150);
+        m.span_annotate("ab:0/m:1:0", SpanAnnotation::RoundEntered, 2);
+        m.set_time(300);
+        m.span_close("ab:0/m:1:0");
+        let spans = m.spans();
+        assert_eq!(spans.len(), 1);
+        let s = &spans[0];
+        assert_eq!(s.path, "ab:0/m:1:0");
+        assert_eq!((s.open, s.close), (100, Some(300)));
+        assert_eq!(s.parent(), Some("ab:0"));
+        assert_eq!(s.leaf(), "m:1:0");
+        assert_eq!(s.duration(), Some(200));
+        assert_eq!(
+            s.annotations,
+            vec![SpanNote {
+                t: 150,
+                kind: SpanAnnotation::RoundEntered,
+                value: 2
+            }]
+        );
+        assert_eq!(m.span_opened.get(), 1);
+        assert_eq!(m.span_closed.get(), 1);
+        assert_eq!(m.span_open_live.get(), 0);
+    }
+
+    #[test]
+    fn span_open_is_idempotent_and_orphan_close_is_counted() {
+        let m = Metrics::new();
+        m.set_time(10);
+        m.span_open("rb:0:1", Layer::Rb);
+        m.set_time(50);
+        m.span_open("rb:0:1", Layer::Rb); // keeps the original open time
+        m.span_close("never-opened");
+        assert_eq!(m.span_orphan_closed.get(), 1);
+        m.span_close("rb:0:1");
+        let spans = m.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].open, 10);
+        // Closing twice: the second is an orphan.
+        m.span_close("rb:0:1");
+        assert_eq!(m.span_orphan_closed.get(), 2);
+    }
+
+    #[test]
+    fn span_depth_cap_drops_and_counts() {
+        let m = Metrics::new();
+        let deep = (0..=SPAN_MAX_DEPTH)
+            .map(|i| format!("s{i}"))
+            .collect::<Vec<_>>()
+            .join("/");
+        m.span_open(deep.clone(), Layer::Stack);
+        assert_eq!(m.span_dropped.get(), 1);
+        m.span_close(&deep);
+        assert_eq!(m.span_orphan_closed.get(), 1);
+        assert!(m.spans().is_empty());
+    }
+
+    #[test]
+    fn span_close_clamps_backwards_time() {
+        // Virtual-time monotonicity: a close stamped before the open
+        // (misbehaving driver clock) clamps to a zero-length span.
+        let m = Metrics::new();
+        m.set_time(500);
+        m.span_open("bc:7", Layer::Bc);
+        m.set_time(200);
+        m.span_annotate("bc:7", SpanAnnotation::CoinFlipped, 1);
+        m.span_close("bc:7");
+        let s = &m.spans()[0];
+        assert_eq!(s.close, Some(500));
+        assert_eq!(s.duration(), Some(0));
+        assert_eq!(s.annotations[0].t, 500);
+    }
+
+    #[test]
+    fn span_registry_stays_bounded() {
+        let m = Metrics::new();
+        for i in 0..(SPAN_CAPACITY + 50) {
+            let path = format!("rb:0:{i}");
+            m.span_open(path.clone(), Layer::Rb);
+            m.span_close(&path);
+        }
+        let spans = m.spans();
+        assert_eq!(spans.len(), SPAN_CAPACITY);
+        // Oldest-first eviction: the first retained span is number 50.
+        assert_eq!(spans[0].path, "rb:0:50");
+        // The open side is bounded too: excess opens are dropped.
+        for i in 0..(SPAN_CAPACITY + 10) {
+            m.span_open(format!("eb:0:{i}"), Layer::Eb);
+        }
+        assert!(m.span_open_live.get() <= SPAN_CAPACITY as u64);
+        assert!(m.span_dropped.get() >= 10);
+    }
+
+    #[test]
+    fn span_jsonl_roundtrip() {
+        let m = Metrics::new();
+        m.set_time(5);
+        m.span_open("ab:0/m:0:0", Layer::Ab);
+        m.span_open("ab:0/m:0:0/rb", Layer::Rb);
+        m.set_time(9);
+        m.span_annotate("ab:0/m:0:0", SpanAnnotation::VectCollected, 3);
+        m.span_close("ab:0/m:0:0/rb");
+        let spans = m.spans();
+        let jsonl = spans_to_jsonl(&spans);
+        let parsed = spans_from_jsonl(&jsonl).expect("roundtrip parse");
+        assert_eq!(parsed, spans);
+        // Open spans survive the roundtrip with close = null.
+        assert!(parsed.iter().any(|s| s.close.is_none()));
+        assert!(jsonl.contains("\"close\":null"));
+    }
+
+    #[test]
+    fn span_jsonl_rejects_garbage() {
+        assert!(spans_from_jsonl("not json\n").is_err());
+        assert!(spans_from_jsonl("{\"path\":\"x\"}\n").is_err());
+        assert!(spans_from_jsonl(
+            "{\"path\":\"x\",\"layer\":\"nope\",\"open\":1,\"close\":null,\"notes\":[]}"
+        )
+        .is_err());
+        let (line, _) = spans_from_jsonl(
+            "{\"path\":\"x\",\"layer\":\"rb\",\"open\":1,\"close\":2,\"notes\":[]}\nbroken",
+        )
+        .unwrap_err();
+        assert_eq!(line, 2);
+    }
+
+    /// Builds the span tree of one delivered AB message with known
+    /// milestone times.
+    fn message_tree(m: &Metrics) {
+        m.set_time(0);
+        m.span_open("ab:0/m:0:0", Layer::Ab);
+        m.span_open("ab:0/m:0:0/rb", Layer::Rb);
+        m.set_time(100);
+        m.span_close("ab:0/m:0:0/rb");
+        m.set_time(120);
+        m.span_open("ab:0/r:1", Layer::Ab);
+        m.set_time(200);
+        m.span_open("ab:0/r:1/mvc", Layer::Mvc);
+        m.set_time(260);
+        m.span_open("ab:0/r:1/mvc/bc", Layer::Bc);
+        m.set_time(700);
+        m.span_close("ab:0/r:1/mvc/bc");
+        m.set_time(780);
+        m.span_close("ab:0/r:1/mvc");
+        m.set_time(800);
+        m.span_close("ab:0/r:1");
+        m.span_close("ab:0/m:0:0");
+    }
+
+    #[test]
+    fn critical_path_components_sum_to_the_total() {
+        let m = Metrics::new();
+        message_tree(&m);
+        let paths = critical_paths(&m.spans());
+        assert_eq!(paths.len(), 1);
+        let cp = &paths[0];
+        assert_eq!(cp.path, "ab:0/m:0:0");
+        assert_eq!(cp.total_ns, 800);
+        let sum: u64 = cp.segments.iter().map(|(_, ns)| ns).sum();
+        assert_eq!(sum, cp.total_ns, "segments must sum exactly");
+        let seg = |l: &str| cp.segments.iter().find(|(s, _)| *s == l).unwrap().1;
+        assert_eq!(seg("rb"), 100);
+        assert_eq!(seg("wait"), 20);
+        assert_eq!(seg("vect"), 80);
+        assert_eq!(seg("mvc"), 60);
+        assert_eq!(seg("bc"), 440);
+        assert_eq!(seg("mvc-decide"), 80);
+        assert_eq!(seg("conclude"), 20);
+        assert_eq!(seg("deliver"), 0);
+        assert_eq!(cp.dominant().0, "bc");
+        assert!((cp.share("bc") - 55.0).abs() < 0.1);
+        // The snapshot renders it in both formats.
+        let snap = m.snapshot();
+        assert!(snap
+            .to_text()
+            .contains("critical_path{path=ab:0/m:0:0 total=800"));
+        assert!(snap
+            .to_json()
+            .contains("\"critical_paths\":[{\"path\":\"ab:0/m:0:0\""));
+    }
+
+    #[test]
+    fn critical_path_without_round_spans_still_sums() {
+        let m = Metrics::new();
+        m.set_time(0);
+        m.span_open("ab:0/m:2:5", Layer::Ab);
+        m.span_open("ab:0/m:2:5/rb", Layer::Rb);
+        m.set_time(40);
+        m.span_close("ab:0/m:2:5/rb");
+        m.set_time(90);
+        m.span_close("ab:0/m:2:5");
+        let paths = critical_paths(&m.spans());
+        assert_eq!(paths.len(), 1);
+        let sum: u64 = paths[0].segments.iter().map(|(_, ns)| ns).sum();
+        assert_eq!(sum, 90);
+    }
+
+    #[test]
+    fn prometheus_exposition_has_cumulative_buckets() {
+        let m = Metrics::new();
+        m.rb_delivered.add(3);
+        m.stack_instances.set(2);
+        m.ab_latency_ns.record(5);
+        m.ab_latency_ns.record(1000);
+        let text = m.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE ritas_rb_delivered counter\nritas_rb_delivered 3"));
+        assert!(text.contains("# TYPE ritas_stack_instances gauge"));
+        assert!(text.contains("# TYPE ritas_ab_latency_ns histogram"));
+        assert!(text.contains("ritas_ab_latency_ns_bucket{le=\"7\"} 1"));
+        assert!(text.contains("ritas_ab_latency_ns_bucket{le=\"1023\"} 2"));
+        assert!(text.contains("ritas_ab_latency_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("ritas_ab_latency_ns_sum 1005"));
+        assert!(text.contains("ritas_ab_latency_ns_count 2"));
+    }
+
+    #[test]
+    fn trace_ring_stays_bounded_under_concurrent_snapshots() {
+        // Satellite regression test: 8 writer threads flood the trace
+        // ring and span registry while 4 reader threads snapshot; the
+        // ring must never exceed its capacity and every snapshot must be
+        // internally consistent (monotone seq, bounded collections).
+        let m = Metrics::new();
+        std::thread::scope(|scope| {
+            for w in 0..8 {
+                let m = m.clone();
+                scope.spawn(move || {
+                    for i in 0..2_000u32 {
+                        m.trace(Layer::Ab, "stress", format!("w{w}:{i}"), i);
+                        let path = format!("rb:{w}:{i}");
+                        m.span_open(path.clone(), Layer::Rb);
+                        m.span_close(&path);
+                    }
+                });
+            }
+            for _ in 0..4 {
+                let m = m.clone();
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        let snap = m.snapshot();
+                        assert!(snap.trace.len() <= TRACE_CAPACITY);
+                        assert!(snap.spans.len() <= 2 * SPAN_CAPACITY);
+                        // Sequence numbers are allocated before the ring
+                        // push, so cross-thread order can interleave —
+                        // but every event is distinct and the ring is
+                        // nearly sorted (races span adjacent events).
+                        let mut seqs: Vec<u64> = snap.trace.iter().map(|e| e.seq).collect();
+                        seqs.dedup();
+                        let n = seqs.len();
+                        seqs.sort_unstable();
+                        seqs.dedup();
+                        assert_eq!(seqs.len(), n, "duplicate trace events");
+                        // Renderings never panic mid-flight.
+                        let _ = snap.to_text();
+                        let _ = snap.to_prometheus();
+                    }
+                });
+            }
+        });
+        let snap = m.snapshot();
+        assert_eq!(snap.trace.len(), TRACE_CAPACITY);
+        assert_eq!(snap.spans.len(), SPAN_CAPACITY);
+        assert_eq!(m.span_opened.get(), 8 * 2_000);
+        assert_eq!(m.span_closed.get(), 8 * 2_000);
     }
 }

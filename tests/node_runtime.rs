@@ -196,6 +196,71 @@ fn full_stack_over_real_tcp_with_real_hmacs() {
 }
 
 #[test]
+fn metrics_endpoint_serves_prometheus_text_during_tcp_run() {
+    use std::io::{Read, Write};
+
+    // The deployed configuration: real TCP transport with the opt-in
+    // observability endpoint enabled on every node.
+    let config = SessionConfig::new(4).unwrap().with_metrics_endpoint();
+    let nodes = Node::tcp_cluster(config, Duration::from_secs(10)).expect("tcp mesh");
+    let addr = nodes[0]
+        .metrics_addr()
+        .expect("endpoint enabled via config");
+
+    // Drive a round of atomic broadcasts so the scrape sees live data.
+    let handles: Vec<_> = nodes
+        .into_iter()
+        .map(|node| {
+            std::thread::spawn(move || {
+                node.atomic_broadcast(Bytes::from(format!("scrape-{}", node.id())))
+                    .unwrap();
+                for _ in 0..4 {
+                    node.atomic_recv().unwrap();
+                }
+                node
+            })
+        })
+        .collect();
+    let nodes: Vec<Node> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    // Scrape while the session is still live, like Prometheus would.
+    let mut conn = std::net::TcpStream::connect(addr).expect("connect to /metrics");
+    conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: ritas\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    conn.read_to_string(&mut response).unwrap();
+
+    assert!(
+        response.starts_with("HTTP/1.1 200 OK"),
+        "unexpected status line: {}",
+        response.lines().next().unwrap_or("")
+    );
+    assert!(response.contains("Content-Type: text/plain; version=0.0.4"));
+    let body = response
+        .split_once("\r\n\r\n")
+        .expect("header/body separator")
+        .1;
+    // Valid text exposition: every ritas_-prefixed sample has a TYPE line,
+    // counters from the run are nonzero, and the per-layer latency
+    // histogram exports cumulative buckets.
+    assert!(body.contains("# TYPE ritas_ab_delivered counter"));
+    assert!(body.contains("# TYPE ritas_ab_sent_pending gauge"));
+    assert!(body.contains("# TYPE ritas_ab_latency_ns histogram"));
+    assert!(body.contains("ritas_ab_latency_ns_bucket{le=\"+Inf\"}"));
+    assert!(body.contains("ritas_ab_latency_ns_count"));
+    let delivered = body
+        .lines()
+        .find_map(|l| l.strip_prefix("ritas_ab_delivered "))
+        .and_then(|v| v.parse::<u64>().ok())
+        .expect("ritas_ab_delivered sample");
+    assert!(delivered >= 4, "scrape saw {delivered} deliveries");
+
+    for node in nodes {
+        node.shutdown();
+    }
+}
+
+#[test]
 fn survivors_progress_after_a_node_departs() {
     // Regression test: `send_all` used to abort on the first per-link
     // error, so once one node shut down (its endpoint dropped), every

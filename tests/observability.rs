@@ -171,6 +171,68 @@ fn forced_divergence_flips_at_least_one_coin() {
 }
 
 #[test]
+fn full_stack_run_yields_complete_span_trees() {
+    use ritas_metrics::{critical_paths, spans_from_jsonl, spans_to_jsonl, Layer};
+
+    let sim = full_stack_sim(33);
+    for p in 0..N {
+        let snap = sim.metrics_snapshot(p);
+        assert!(!snap.spans.is_empty(), "no spans recorded at process {p}");
+
+        // Every layer of the stack opened at least one span, and the
+        // workload's roots are present with children chained beneath them.
+        for layer in [
+            Layer::Rb,
+            Layer::Eb,
+            Layer::Bc,
+            Layer::Mvc,
+            Layer::Vc,
+            Layer::Ab,
+        ] {
+            assert!(
+                snap.spans.iter().any(|s| s.layer == layer),
+                "no {} span at process {p}",
+                layer.as_str()
+            );
+        }
+        assert!(snap.spans.iter().any(|s| s.path == "ab:0"));
+        assert!(snap.spans.iter().any(|s| s.path == "vc:9"));
+        assert!(snap.spans.iter().any(|s| s.path.starts_with("ab:0/m:")));
+        assert!(snap.spans.iter().any(|s| s.path.starts_with("ab:0/r:")));
+        assert!(snap.spans.iter().any(|s| s.parent() == Some("vc:9")));
+
+        // Virtual-time stamps: closes never precede opens, and every
+        // a-broadcast message span closed when it was a-delivered.
+        for s in &snap.spans {
+            if let Some(close) = s.close {
+                assert!(close >= s.open, "span {} closed before it opened", s.path);
+            }
+        }
+        let msg_spans: Vec<_> = snap
+            .spans
+            .iter()
+            .filter(|s| s.path.starts_with("ab:0/m:") && s.depth() == 2)
+            .collect();
+        assert_eq!(msg_spans.len(), N, "one message span per a-broadcast");
+        assert!(msg_spans.iter().all(|s| s.close.is_some()));
+
+        // Critical-path roll-up: one attribution per delivered message,
+        // segments summing exactly to the recorded a-deliver latency.
+        let paths = critical_paths(&snap.spans);
+        assert_eq!(paths.len(), N, "one critical path per delivery at {p}");
+        for cp in &paths {
+            let sum: u64 = cp.segments.iter().map(|(_, ns)| ns).sum();
+            assert_eq!(sum, cp.total_ns, "segments of {} do not sum", cp.path);
+        }
+
+        // The JSONL dump round-trips losslessly.
+        let dump = spans_to_jsonl(&snap.spans);
+        let back = spans_from_jsonl(&dump).expect("round-trip parse");
+        assert_eq!(back, snap.spans);
+    }
+}
+
+#[test]
 fn node_runtime_snapshot_covers_transport_and_latency() {
     use ritas::node::{Node, SessionConfig};
 
