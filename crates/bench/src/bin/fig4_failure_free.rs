@@ -3,7 +3,10 @@
 //! size (10 B, 100 B, 1 KB, 10 KB).
 //!
 //! Usage: `cargo run --release -p ritas-bench --bin fig4_failure_free
-//! [--runs N] [--seed S] [--quick]`
+//! [--runs N] [--seed S] [--quick] [--faultload SPEC]` — `--faultload`
+//! (e.g. `link-flap:0-1:4000000:1000000`) overrides the default
+//! failure-free load, making simulated link-chaos runs comparable with
+//! the real TCP mesh's (experiment X7).
 
 use ritas_bench::{
     default_bursts, default_msg_sizes, parse_figure_args, render_burst_series, MetricsDump,
@@ -14,8 +17,9 @@ use ritas_sim::Faultload;
 
 fn main() {
     let args = parse_figure_args();
+    let faultload = args.faultload.unwrap_or(Faultload::FailureFree);
     if let Some(path) = &args.span_json {
-        ritas_bench::write_span_dump(path, args.seed);
+        ritas_bench::write_span_dump(path, args.seed, faultload);
     }
     let dump = MetricsDump::from_arg(args.metrics_json.clone());
     let bursts = if args.quick {
@@ -32,13 +36,7 @@ fn main() {
         "Figure 4 (failure-free): {} runs per point, seed {}",
         args.runs, args.seed
     );
-    let series = run_ab_burst(
-        Faultload::FailureFree,
-        &sizes,
-        &bursts,
-        args.runs,
-        args.seed,
-    );
+    let series = run_ab_burst(faultload, &sizes, &bursts, args.runs, args.seed);
     print!("{}", render_burst_series(&series, &PAPER_FIG4_FAILURE_FREE));
     if let Some(dump) = dump {
         dump.write();

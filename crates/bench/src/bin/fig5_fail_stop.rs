@@ -3,7 +3,7 @@
 //! the measurements; each correct process sends `k/(n-1)` messages).
 //!
 //! Usage: `cargo run --release -p ritas-bench --bin fig5_fail_stop
-//! [--runs N] [--seed S] [--quick]`
+//! [--runs N] [--seed S] [--quick] [--faultload SPEC]`
 
 use ritas_bench::{
     default_bursts, default_msg_sizes, parse_figure_args, render_burst_series, MetricsDump,
@@ -14,8 +14,9 @@ use ritas_sim::Faultload;
 
 fn main() {
     let args = parse_figure_args();
+    let faultload = args.faultload.unwrap_or(Faultload::FailStop { victim: 3 });
     if let Some(path) = &args.span_json {
-        ritas_bench::write_span_dump(path, args.seed);
+        ritas_bench::write_span_dump(path, args.seed, faultload);
     }
     let dump = MetricsDump::from_arg(args.metrics_json.clone());
     let bursts = if args.quick {
@@ -32,13 +33,7 @@ fn main() {
         "Figure 5 (fail-stop): {} runs per point, seed {}",
         args.runs, args.seed
     );
-    let series = run_ab_burst(
-        Faultload::FailStop { victim: 3 },
-        &sizes,
-        &bursts,
-        args.runs,
-        args.seed,
-    );
+    let series = run_ab_burst(faultload, &sizes, &bursts, args.runs, args.seed);
     print!("{}", render_burst_series(&series, &PAPER_FIG5_FAIL_STOP));
     if let Some(dump) = dump {
         dump.write();

@@ -8,7 +8,7 @@
 //! still decides in one round.
 //!
 //! Usage: `cargo run --release -p ritas-bench --bin fig6_byzantine
-//! [--runs N] [--seed S] [--quick]`
+//! [--runs N] [--seed S] [--quick] [--faultload SPEC]`
 
 use ritas_bench::{
     default_bursts, default_msg_sizes, parse_figure_args, render_burst_series, MetricsDump,
@@ -19,8 +19,11 @@ use ritas_sim::Faultload;
 
 fn main() {
     let args = parse_figure_args();
+    let faultload = args
+        .faultload
+        .unwrap_or(Faultload::Byzantine { attacker: 3 });
     if let Some(path) = &args.span_json {
-        ritas_bench::write_span_dump(path, args.seed);
+        ritas_bench::write_span_dump(path, args.seed, faultload);
     }
     let dump = MetricsDump::from_arg(args.metrics_json.clone());
     let bursts = if args.quick {
@@ -37,13 +40,7 @@ fn main() {
         "Figure 6 (Byzantine): {} runs per point, seed {}",
         args.runs, args.seed
     );
-    let series = run_ab_burst(
-        Faultload::Byzantine { attacker: 3 },
-        &sizes,
-        &bursts,
-        args.runs,
-        args.seed,
-    );
+    let series = run_ab_burst(faultload, &sizes, &bursts, args.runs, args.seed);
     print!("{}", render_burst_series(&series, &PAPER_FIG6_BYZANTINE));
     if let Some(dump) = dump {
         dump.write();

@@ -16,7 +16,8 @@ use ritas_sim::harness::run_agreement_cost;
 fn main() {
     let args = parse_figure_args();
     if let Some(path) = &args.span_json {
-        ritas_bench::write_span_dump(path, args.seed);
+        let faultload = args.faultload.unwrap_or_default();
+        ritas_bench::write_span_dump(path, args.seed, faultload);
     }
     let dump = MetricsDump::from_arg(args.metrics_json.clone());
     let bursts: Vec<usize> = if args.quick {

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 use ritas_sim::harness::{BurstSeries, StackLatencyRow};
+use ritas_sim::Faultload;
 
 /// The paper's Table 1 values: (label, with-IPSec µs, without-IPSec µs,
 /// overhead %).
@@ -124,10 +125,14 @@ pub struct FigureArgs {
     /// Write a per-instance span dump (JSONL, one span per line; see
     /// [`write_span_dump`]) to this path.
     pub span_json: Option<String>,
+    /// Override the binary's default faultload (spec syntax of
+    /// [`Faultload::from_str`], e.g. `link-flap:0-1:4000000:1000000`),
+    /// so simulated chaos runs are comparable with the real TCP mesh's.
+    pub faultload: Option<Faultload>,
 }
 
 /// Parses `--runs N --seed S --quick --metrics-json PATH --span-json
-/// PATH` from `std::env::args`.
+/// PATH --faultload SPEC` from `std::env::args`.
 ///
 /// # Panics
 ///
@@ -140,6 +145,7 @@ pub fn parse_figure_args() -> FigureArgs {
         quick: false,
         metrics_json: None,
         span_json: None,
+        faultload: None,
     };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -165,13 +171,17 @@ pub fn parse_figure_args() -> FigureArgs {
                 out.span_json = Some(args[i + 1].clone());
                 i += 2;
             }
+            "--faultload" => {
+                out.faultload = Some(args[i + 1].parse().unwrap_or_else(|e| panic!("{e}")));
+                i += 2;
+            }
             other => panic!("unknown argument {other}"),
         }
     }
     out
 }
 
-/// Runs one dedicated failure-free simulated burst and writes the
+/// Runs one dedicated simulated burst under `faultload` and writes the
 /// observer's span tree (virtual-time open/close per protocol instance)
 /// as JSONL to `path`, readable by the `ritas-trace` binary.
 ///
@@ -185,14 +195,15 @@ pub fn parse_figure_args() -> FigureArgs {
 ///
 /// Panics when the path is not writable or the traced run fails to
 /// deliver (developer-facing binaries).
-pub fn write_span_dump(path: &str, seed: u64) {
+pub fn write_span_dump(path: &str, seed: u64, faultload: Faultload) {
     use ritas_sim::cluster::{Action, SimCluster, SimConfig};
 
-    let config = SimConfig::paper_testbed(seed);
+    let config = SimConfig::paper_testbed(seed).with_faultload(faultload);
     let n = config.n;
     let mut sim = SimCluster::new(config);
     let payload = bytes::Bytes::from(vec![0x5a; 100]);
-    for p in 0..n {
+    let senders = faultload.senders(n);
+    for &p in &senders {
         for _ in 0..4 {
             sim.schedule(0, p, Action::AbBroadcast(payload.clone()));
         }
@@ -207,7 +218,7 @@ pub fn write_span_dump(path: &str, seed: u64) {
         .unwrap_or(0);
     assert_eq!(
         delivered,
-        4 * n as u64,
+        4 * senders.len() as u64,
         "traced run did not deliver the full burst"
     );
     std::fs::write(path, ritas_metrics::spans_to_jsonl(&snap.spans))

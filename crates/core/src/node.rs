@@ -30,7 +30,10 @@ use bytes::Bytes;
 use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use ritas_crypto::KeyTable;
 use ritas_metrics::{Metrics, MetricsSnapshot};
-use ritas_transport::{AuthConfig, AuthenticatedTransport, Hub, Transport};
+use ritas_transport::{
+    AuthConfig, AuthenticatedTransport, Hub, LinkEvent, LinkState, TcpChaosHandle, TcpConfig,
+    TcpEndpoint, Transport,
+};
 use std::collections::{BTreeMap, HashMap};
 use std::io::{Read, Write};
 use std::net::SocketAddr;
@@ -181,6 +184,8 @@ pub struct Node {
     eb_rx: Receiver<(ProcessId, Bytes)>,
     ab_rx: Receiver<AbDelivery>,
     fault_rx: Receiver<Fault>,
+    link_rx: Receiver<LinkEvent>,
+    link_state_fn: Arc<dyn Fn(ProcessId) -> LinkState + Send + Sync>,
     metrics: Metrics,
     stop: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
@@ -251,11 +256,38 @@ impl Node {
     /// Propagates mesh establishment failures as
     /// [`NodeError::Disconnected`].
     pub fn tcp_cluster(config: SessionConfig, timeout: Duration) -> Result<Vec<Node>, NodeError> {
+        Node::tcp_cluster_with_chaos(config, timeout).map(|(nodes, _)| nodes)
+    }
+
+    /// Like [`Node::tcp_cluster`], but also returns one
+    /// [`TcpChaosHandle`] per node for link fault injection: killing live
+    /// sockets mid-run and watching the session layer reconnect,
+    /// retransmit and keep the cluster a-delivering.
+    ///
+    /// # Errors
+    ///
+    /// As [`Node::tcp_cluster`].
+    pub fn tcp_cluster_with_chaos(
+        config: SessionConfig,
+        timeout: Duration,
+    ) -> Result<(Vec<Node>, Vec<TcpChaosHandle>), NodeError> {
         let n = config.group.n();
         let table = KeyTable::dealer(n, config.master_seed);
-        let endpoints = ritas_transport::TcpEndpoint::ephemeral_mesh(n, timeout)
-            .map_err(|_| NodeError::Disconnected)?;
+        // The session-resume handshake reuses the pairwise dealt keys, so
+        // reconnects are MAC-authenticated and replay-protected even in
+        // the `without_authentication` (no AH layer) configuration.
+        let session_table = table.clone();
+        let endpoints = TcpEndpoint::ephemeral_mesh_with(n, timeout, move |me| TcpConfig {
+            keys: Some(
+                (0..n)
+                    .map(|j| session_table.view_of(me).key_for(j))
+                    .collect(),
+            ),
+            ..TcpConfig::default()
+        })
+        .map_err(|_| NodeError::Disconnected)?;
         let mut nodes = Vec::with_capacity(n);
+        let mut chaos = Vec::with_capacity(n);
         for (me, ep) in endpoints.into_iter().enumerate() {
             let stack = Stack::with_config(
                 config.group,
@@ -267,21 +299,23 @@ impl Node {
                     .wrapping_add(me as u64),
                 config.stack,
             );
+            let metrics = Metrics::new();
+            ep.set_metrics(metrics.clone());
+            chaos.push(ep.chaos_handle());
             let mut node = if config.authenticate {
-                let metrics = Metrics::new();
                 let auth = AuthConfig::from_key_table(&table, me);
                 let mut transport = AuthenticatedTransport::new(ep, auth);
                 transport.set_metrics(metrics.clone());
                 Node::spawn_with_metrics(transport, stack, metrics)
             } else {
-                Node::spawn(ep, stack)
+                Node::spawn_with_metrics(ep, stack, metrics)
             };
             if config.metrics_endpoint {
                 node.serve_metrics().map_err(|_| NodeError::Disconnected)?;
             }
             nodes.push(node);
         }
-        Ok(nodes)
+        Ok((nodes, chaos))
     }
 
     /// Spawns the stack thread for `stack` over `transport` and returns
@@ -313,6 +347,7 @@ impl Node {
         // Reader thread: pulls frames off the transport into the shared
         // event channel so the stack thread sees commands and network
         // input interleaved through a single blocking `recv`.
+        let (link_tx, link_rx) = unbounded::<LinkEvent>();
         let reader = {
             let transport = Arc::clone(&transport);
             let stop = Arc::clone(&stop);
@@ -320,6 +355,12 @@ impl Node {
             let metrics = metrics.clone();
             std::thread::spawn(move || {
                 while !stop.load(Ordering::Relaxed) {
+                    // Surface link transitions (a self-healing transport
+                    // reports outages and resumes here) instead of
+                    // silently absorbing them into the poll loop.
+                    while let Some(ev) = transport.poll_link_event() {
+                        let _ = link_tx.send(ev);
+                    }
                     match transport.recv_timeout(Duration::from_millis(50)) {
                         Ok((from, frame)) => {
                             metrics.transport_frames_recv.inc();
@@ -329,7 +370,11 @@ impl Node {
                             }
                         }
                         Err(ritas_transport::TransportError::Timeout) => continue,
-                        Err(_) => break,
+                        Err(ritas_transport::TransportError::Disconnected) => break,
+                        // Per-link failures (LinkDown, auth rejects…) must
+                        // not stop the runtime: the other links keep
+                        // delivering while the session layer reconnects.
+                        Err(_) => continue,
                     }
                 }
             })
@@ -366,6 +411,10 @@ impl Node {
             })
         };
 
+        let link_state_fn: Arc<dyn Fn(ProcessId) -> LinkState + Send + Sync> = {
+            let transport = Arc::clone(&transport);
+            Arc::new(move |peer| transport.link_state(peer))
+        };
         Node {
             id,
             group_size,
@@ -374,11 +423,26 @@ impl Node {
             eb_rx,
             ab_rx,
             fault_rx,
+            link_rx,
+            link_state_fn,
             metrics,
             stop,
             threads: vec![reader, worker],
             metrics_addr: None,
         }
+    }
+
+    /// Drains the link-state transitions observed since the last call
+    /// (outages, reconnects, terminal downs). Empty for transports whose
+    /// links cannot fail.
+    pub fn take_link_events(&self) -> Vec<LinkEvent> {
+        self.link_rx.try_iter().collect()
+    }
+
+    /// The current state of this node's link to `peer` (always
+    /// [`LinkState::Up`] for failure-free transports).
+    pub fn link_state(&self, peer: ProcessId) -> LinkState {
+        (self.link_state_fn)(peer)
     }
 
     /// Starts serving this node's metrics in Prometheus text exposition

@@ -343,6 +343,10 @@ pub enum SpanAnnotation {
     VectCollected,
     /// A generic phase transition; `value` is a layer-specific code.
     Phase,
+    /// A point-to-point link lost its connection; `value` is the link's
+    /// session epoch at the time of the outage. The owning span closes
+    /// when the session-resume handshake completes.
+    LinkOutage,
 }
 
 impl SpanAnnotation {
@@ -353,6 +357,7 @@ impl SpanAnnotation {
             SpanAnnotation::CoinFlipped => "coin-flipped",
             SpanAnnotation::VectCollected => "vect-collected",
             SpanAnnotation::Phase => "phase",
+            SpanAnnotation::LinkOutage => "link-outage",
         }
     }
 
@@ -363,6 +368,7 @@ impl SpanAnnotation {
             "coin-flipped" => SpanAnnotation::CoinFlipped,
             "vect-collected" => SpanAnnotation::VectCollected,
             "phase" => SpanAnnotation::Phase,
+            "link-outage" => SpanAnnotation::LinkOutage,
             _ => return None,
         })
     }
@@ -894,6 +900,21 @@ pub struct MetricsInner {
     pub transport_bytes_recv: Counter,
     /// Inbound frames dropped by MAC/ICV or anti-replay checks.
     pub transport_mac_rejected: Counter,
+    /// Session-resume handshakes completed after a link outage (epoch
+    /// advances past the initial establishment).
+    pub transport_reconnects_total: Counter,
+    /// Unacked frames retransmitted after a session resume.
+    pub transport_retransmits_total: Counter,
+    /// Inbound frames discarded by receive-side dedup (sequence already
+    /// delivered — the retransmission overlap after a resume).
+    pub transport_dup_dropped_total: Counter,
+    /// Link transitions from `Up` into `Reconnecting`/`Down`.
+    pub transport_link_down_total: Counter,
+    /// Sends that hit the bounded retransmission buffer and gave up with
+    /// `LinkDown` after the bounded wait (backpressure surfaced).
+    pub transport_send_backpressure_total: Counter,
+    /// Point-to-point links currently in the `Up` state.
+    pub transport_links_up: Gauge,
 
     // ---- reliable broadcast (§2.3) ----
     /// INIT messages received.
@@ -1007,6 +1028,12 @@ impl Default for MetricsInner {
             transport_bytes_sent: Counter::default(),
             transport_bytes_recv: Counter::default(),
             transport_mac_rejected: Counter::default(),
+            transport_reconnects_total: Counter::default(),
+            transport_retransmits_total: Counter::default(),
+            transport_dup_dropped_total: Counter::default(),
+            transport_link_down_total: Counter::default(),
+            transport_send_backpressure_total: Counter::default(),
+            transport_links_up: Gauge::default(),
             rb_init_recv: Counter::default(),
             rb_echo_recv: Counter::default(),
             rb_ready_recv: Counter::default(),
@@ -1199,6 +1226,11 @@ impl Metrics {
             transport_bytes_sent,
             transport_bytes_recv,
             transport_mac_rejected,
+            transport_reconnects_total,
+            transport_retransmits_total,
+            transport_dup_dropped_total,
+            transport_link_down_total,
+            transport_send_backpressure_total,
             rb_init_recv,
             rb_echo_recv,
             rb_ready_recv,
@@ -1236,6 +1268,7 @@ impl Metrics {
         counters.insert("stack_ooc_high_water", m.stack_ooc_high_water.get());
         counters.insert("span_open_live", m.span_open_live.get());
         counters.insert("ab_sent_pending", m.ab_sent_pending.get());
+        counters.insert("transport_links_up", m.transport_links_up.get());
         histogram!(
             bc_rounds,
             mvc_vect_bytes,
@@ -1346,12 +1379,13 @@ impl MetricsSnapshot {
     /// (metric prefix `ritas_`, histograms with cumulative `le` buckets).
     pub fn to_prometheus(&self) -> String {
         // Point-in-time instruments that live in the counter map.
-        const GAUGES: [&str; 5] = [
+        const GAUGES: [&str; 6] = [
             "stack_instances",
             "stack_ooc_buffered",
             "stack_ooc_high_water",
             "span_open_live",
             "ab_sent_pending",
+            "transport_links_up",
         ];
         let mut out = String::new();
         for (name, value) in &self.counters {

@@ -258,6 +258,11 @@ pub struct SimCluster {
     /// Process at which broadcast instances are counted (one INIT per
     /// instance arrives at each host; we observe host `observer`).
     observer: ProcessId,
+    /// Last arrival time per directed link, used to keep a flapping link
+    /// FIFO: a frame held by an outage must not be overtaken by a frame
+    /// sent just after the window (the real session layer retransmits in
+    /// order). Only populated under [`Faultload::LinkFlap`].
+    flap_fifo: std::collections::HashMap<(ProcessId, ProcessId), Ns>,
 }
 
 impl SimCluster {
@@ -319,6 +324,7 @@ impl SimCluster {
             counters: NetCounters::default(),
             metrics,
             observer,
+            flap_fifo: std::collections::HashMap::new(),
             config,
         }
     }
@@ -426,7 +432,18 @@ impl SimCluster {
             return;
         }
         let tx = self.lan.transmit(now, from, to, frame.len());
-        self.push(tx.arrival, EventKind::Arrive { from, to, frame });
+        // A flapping link (Faultload::LinkFlap) holds frames that land in
+        // an outage window until the link resumes — delay, not loss,
+        // mirroring the real mesh's self-healing session layer. Arrivals
+        // are clamped monotone per link so the held frames keep FIFO
+        // order, exactly as in-order retransmission would deliver them.
+        let mut arrival = self.config.faultload.flap_arrival(from, to, tx.arrival);
+        if matches!(self.config.faultload, Faultload::LinkFlap { .. }) {
+            let last = self.flap_fifo.entry((from, to)).or_insert(0);
+            arrival = arrival.max(*last);
+            *last = arrival;
+        }
+        self.push(arrival, EventKind::Arrive { from, to, frame });
     }
 
     /// Runs until the event queue is empty.

@@ -31,6 +31,20 @@ pub enum Faultload {
         /// Added delay per sent frame, nanoseconds.
         delay_ns: u64,
     },
+    /// One point-to-point link flaps: every `period_ns` it goes dark for
+    /// `outage_ns`, in both directions. The simulator models the *healed*
+    /// channel the real mesh's session layer provides (reconnect +
+    /// retransmit): frames hitting an outage window are **delayed until
+    /// the link is restored**, never lost — the discrete-event twin of
+    /// extension experiment X7 (link chaos).
+    LinkFlap {
+        /// The flapping link, as an unordered process pair.
+        victim_link: (ProcessId, ProcessId),
+        /// Flap cycle length, nanoseconds (outages start each period).
+        period_ns: u64,
+        /// Outage length per cycle, nanoseconds (must be `< period_ns`).
+        outage_ns: u64,
+    },
 }
 
 impl Faultload {
@@ -67,7 +81,102 @@ impl Faultload {
             Faultload::FailStop { .. } => "fail-stop",
             Faultload::Byzantine { .. } => "byzantine",
             Faultload::Slow { .. } => "slow-process",
+            Faultload::LinkFlap { .. } => "link-flap",
         }
+    }
+
+    /// Arrival-time adjustment for a frame from `from` to `to` that the
+    /// network would deliver at `arrival` (nanoseconds): if the frame
+    /// lands inside one of the flapping link's outage windows it is held
+    /// until the window ends (plus a small resync cost, standing in for
+    /// the real mesh's reconnect handshake + retransmission); otherwise
+    /// it is unchanged. Delay-not-loss mirrors the self-healing TCP
+    /// session layer, whose retransmit buffer turns outages into latency.
+    pub fn flap_arrival(&self, from: ProcessId, to: ProcessId, arrival: u64) -> u64 {
+        /// Session-resume cost appended to every outage window.
+        const RESYNC_NS: u64 = 50_000;
+        let Faultload::LinkFlap {
+            victim_link: (a, b),
+            period_ns,
+            outage_ns,
+        } = self
+        else {
+            return arrival;
+        };
+        let hit = (from == *a && to == *b) || (from == *b && to == *a);
+        if !hit || *period_ns == 0 {
+            return arrival;
+        }
+        let phase = arrival % *period_ns;
+        if phase < *outage_ns {
+            // Held by the outage: delivered when the link resumes.
+            arrival - phase + *outage_ns + RESYNC_NS
+        } else {
+            arrival
+        }
+    }
+}
+
+/// Error produced when parsing a faultload specification string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultloadParseError(String);
+
+impl core::fmt::Display for FaultloadParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "invalid faultload {:?} (expected failure-free | fail-stop:V | byzantine:A | \
+             slow:V:DELAY_NS | link-flap:A-B:PERIOD_NS:OUTAGE_NS)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for FaultloadParseError {}
+
+impl std::str::FromStr for Faultload {
+    type Err = FaultloadParseError;
+
+    /// Parses the CLI faultload syntax used by the bench binaries:
+    /// `failure-free`, `fail-stop:V`, `byzantine:A`, `slow:V:DELAY_NS`
+    /// or `link-flap:A-B:PERIOD_NS:OUTAGE_NS`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || FaultloadParseError(s.to_string());
+        let mut parts = s.split(':');
+        let kind = parts.next().ok_or_else(err)?;
+        let mut arg = || parts.next().ok_or_else(err);
+        let load = match kind {
+            "failure-free" => Faultload::FailureFree,
+            "fail-stop" => Faultload::FailStop {
+                victim: arg()?.parse().map_err(|_| err())?,
+            },
+            "byzantine" => Faultload::Byzantine {
+                attacker: arg()?.parse().map_err(|_| err())?,
+            },
+            "slow" => Faultload::Slow {
+                victim: arg()?.parse().map_err(|_| err())?,
+                delay_ns: arg()?.parse().map_err(|_| err())?,
+            },
+            "link-flap" => {
+                let link = arg()?;
+                let (a, b) = link.split_once('-').ok_or_else(err)?;
+                let period_ns: u64 = arg()?.parse().map_err(|_| err())?;
+                let outage_ns: u64 = arg()?.parse().map_err(|_| err())?;
+                if period_ns == 0 || outage_ns == 0 || outage_ns >= period_ns {
+                    return Err(err());
+                }
+                Faultload::LinkFlap {
+                    victim_link: (a.parse().map_err(|_| err())?, b.parse().map_err(|_| err())?),
+                    period_ns,
+                    outage_ns,
+                }
+            }
+            _ => return Err(err()),
+        };
+        if parts.next().is_some() {
+            return Err(err());
+        }
+        Ok(load)
     }
 }
 
@@ -105,6 +214,76 @@ mod tests {
             .label(),
             "slow-process"
         );
+    }
+
+    #[test]
+    fn link_flap_delays_only_outage_window_hits() {
+        let f = Faultload::LinkFlap {
+            victim_link: (0, 1),
+            period_ns: 1_000_000,
+            outage_ns: 200_000,
+        };
+        // Everyone participates; nothing is Byzantine.
+        assert_eq!(f.senders(4).len(), 4);
+        assert!(!f.is_byzantine(0));
+        assert_eq!(f.send_delay(0), 0);
+        // A frame inside the second outage window is held to its end
+        // (plus the resync cost), in both directions.
+        let held = f.flap_arrival(0, 1, 1_050_000);
+        assert_eq!(held, 1_200_000 + 50_000);
+        assert_eq!(f.flap_arrival(1, 0, 1_050_000), held);
+        // Outside the window, and on other links, arrivals are untouched.
+        assert_eq!(f.flap_arrival(0, 1, 1_500_000), 1_500_000);
+        assert_eq!(f.flap_arrival(0, 2, 1_050_000), 1_050_000);
+        assert_eq!(f.flap_arrival(2, 3, 1_050_000), 1_050_000);
+        // Other faultloads never touch arrivals.
+        assert_eq!(Faultload::FailureFree.flap_arrival(0, 1, 7), 7);
+    }
+
+    #[test]
+    fn faultload_parses_from_cli_spec() {
+        assert_eq!(
+            "failure-free".parse::<Faultload>().unwrap(),
+            Faultload::FailureFree
+        );
+        assert_eq!(
+            "fail-stop:3".parse::<Faultload>().unwrap(),
+            Faultload::FailStop { victim: 3 }
+        );
+        assert_eq!(
+            "byzantine:2".parse::<Faultload>().unwrap(),
+            Faultload::Byzantine { attacker: 2 }
+        );
+        assert_eq!(
+            "slow:1:500000".parse::<Faultload>().unwrap(),
+            Faultload::Slow {
+                victim: 1,
+                delay_ns: 500_000
+            }
+        );
+        assert_eq!(
+            "link-flap:0-1:4000000:1000000"
+                .parse::<Faultload>()
+                .unwrap(),
+            Faultload::LinkFlap {
+                victim_link: (0, 1),
+                period_ns: 4_000_000,
+                outage_ns: 1_000_000
+            }
+        );
+        for bad in [
+            "",
+            "nope",
+            "fail-stop",
+            "fail-stop:x",
+            "slow:1",
+            "link-flap:0:1:2",
+            "link-flap:0-1:0:0",
+            "link-flap:0-1:100:100",
+            "failure-free:extra",
+        ] {
+            assert!(bad.parse::<Faultload>().is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]

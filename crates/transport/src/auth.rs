@@ -288,6 +288,14 @@ impl<T: Transport> Transport for AuthenticatedTransport<T> {
             }
         }
     }
+
+    fn link_state(&self, peer: ProcessId) -> crate::LinkState {
+        self.inner.link_state(peer)
+    }
+
+    fn poll_link_event(&self) -> Option<crate::LinkEvent> {
+        self.inner.poll_link_event()
+    }
 }
 
 #[cfg(test)]

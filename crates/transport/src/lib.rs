@@ -29,6 +29,7 @@
 
 pub mod auth;
 pub mod hub;
+pub mod session;
 pub mod tcp;
 pub mod wire;
 
@@ -52,6 +53,14 @@ pub enum TransportError {
         /// Claimed origin of the rejected frame.
         from: ProcessId,
     },
+    /// The link to one peer is down (or its bounded outbound queue is
+    /// full) and the message could not be accepted for delivery. Other
+    /// links are unaffected; the session layer keeps trying to heal the
+    /// link in the background.
+    LinkDown {
+        /// The unreachable peer.
+        peer: ProcessId,
+    },
 }
 
 impl core::fmt::Display for TransportError {
@@ -63,11 +72,49 @@ impl core::fmt::Display for TransportError {
             TransportError::AuthFailure { from } => {
                 write!(f, "authentication failure on frame claiming origin {from}")
             }
+            TransportError::LinkDown { peer } => {
+                write!(f, "link to peer {peer} is down")
+            }
         }
     }
 }
 
 impl std::error::Error for TransportError {}
+
+/// Why a link is terminally down (no further reconnection attempts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkDownReason {
+    /// The local endpoint was closed.
+    Closed,
+    /// The peer's session state is gone (e.g. it restarted and presented
+    /// a sequence gap): retransmission can no longer guarantee the
+    /// reliable-channel contract, so the link is not resumed.
+    PeerStateLost,
+}
+
+/// The state of one point-to-point link, as seen by the session layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkState {
+    /// The link has a live connection; frames flow immediately.
+    Up,
+    /// The connection was lost; outbound frames are buffered and the
+    /// session layer is re-establishing the link in the background.
+    Reconnecting,
+    /// The link is terminally down for the given reason.
+    Down(LinkDownReason),
+}
+
+/// A link-state transition, observable via [`Transport::poll_link_event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkEvent {
+    /// The peer on the other end of the link.
+    pub peer: ProcessId,
+    /// The state the link transitioned into.
+    pub state: LinkState,
+    /// The session epoch at the time of the transition (increments on
+    /// every successful resume handshake).
+    pub epoch: u64,
+}
 
 /// A point-to-point reliable-channel endpoint for one process.
 ///
@@ -133,8 +180,28 @@ pub trait Transport: Send {
             None => Ok(()),
         }
     }
+
+    /// The current state of the link to `peer`.
+    ///
+    /// Transports without a failure-prone connection underneath (the
+    /// in-memory hub, the simulator) are always [`LinkState::Up`], which
+    /// is the default.
+    fn link_state(&self, peer: ProcessId) -> LinkState {
+        let _ = peer;
+        LinkState::Up
+    }
+
+    /// Drains the next pending link-state transition, if any.
+    ///
+    /// Transports whose links cannot fail never produce events (the
+    /// default). Self-healing transports report `Up` / `Reconnecting` /
+    /// `Down` transitions here so the runtime can surface outages to the
+    /// application instead of eating them.
+    fn poll_link_event(&self) -> Option<LinkEvent> {
+        None
+    }
 }
 
 pub use auth::{AuthConfig, AuthenticatedTransport, AH_OVERHEAD};
 pub use hub::{Hub, MemoryEndpoint};
-pub use tcp::TcpEndpoint;
+pub use tcp::{TcpChaosHandle, TcpConfig, TcpEndpoint};

@@ -12,6 +12,17 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 /// input from Byzantine peers.
 pub const MAX_FIELD_LEN: usize = 16 * 1024 * 1024;
 
+/// Headroom a transport frame may add on top of the largest field: layer
+/// headers, authentication headers, session seq/ack words and smaller
+/// sibling fields all fit comfortably within it.
+pub const FRAME_HEADROOM: usize = 1024 * 1024;
+
+/// Maximum accepted transport frame length, **derived** from the codec's
+/// field cap so the two can never drift apart: any frame a correct peer
+/// can produce decodes into fields of at most [`MAX_FIELD_LEN`] plus
+/// bounded header overhead.
+pub const MAX_FRAME: usize = MAX_FIELD_LEN + FRAME_HEADROOM;
+
 /// Errors produced while decoding wire data.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {

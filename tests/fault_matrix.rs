@@ -7,7 +7,12 @@
 //!   proposal strategy through the real code paths;
 //! * **wire** — one process whose frames are randomly dropped,
 //!   duplicated, bit-flipped or replaced with garbage (an arbitrary-bytes
-//!   adversary at the transport boundary).
+//!   adversary at the transport boundary);
+//! * **flap** — no process is faulty, but point-to-point links keep
+//!   going dark mid-protocol and healing with their traffic intact (the
+//!   harness twin of TCP socket kills absorbed by the session layer's
+//!   reconnect + retransmit, experiment X7). All four processes must
+//!   uphold the protocol properties.
 
 use bytes::Bytes;
 use ritas::ab::MsgId;
@@ -21,6 +26,7 @@ enum Fault {
     Crash,
     Strategy,
     Wire,
+    Flap,
 }
 
 const FAULTY: usize = 3;
@@ -51,17 +57,50 @@ fn cluster(fault: Fault, seed: u64) -> Cluster {
     match fault {
         Fault::Crash => c.crash(FAULTY),
         Fault::Wire => c.corrupt(FAULTY),
-        Fault::Strategy => {}
+        Fault::Strategy | Fault::Flap => {}
     }
     c
 }
 
-fn correct() -> impl Iterator<Item = usize> {
-    (0..4).filter(|p| *p != FAULTY)
+/// The processes whose properties the matrix asserts: everyone but the
+/// faulty process — and under `Flap` there is no faulty process, so all
+/// four must behave.
+fn correct(fault: Fault) -> impl Iterator<Item = usize> {
+    (0..4).filter(move |p| fault == Fault::Flap || *p != FAULTY)
 }
 
-fn faults() -> [Fault; 3] {
-    [Fault::Crash, Fault::Strategy, Fault::Wire]
+fn faults() -> [Fault; 4] {
+    [Fault::Crash, Fault::Strategy, Fault::Wire, Fault::Flap]
+}
+
+/// Drains the cluster. Under `Flap`, execution is interleaved with
+/// sever/heal cycles walking all six links twice: each round blacks out
+/// one link for up to 60 deliveries, heals it (re-queuing the buffered
+/// frames), runs another 60, then moves to the next link. Every link is
+/// healed before the final drain, matching the model's eventual-delivery
+/// guarantee.
+fn run_with_fault(c: &mut Cluster, fault: Fault) {
+    if fault != Fault::Flap {
+        c.run();
+        return;
+    }
+    const PAIRS: [(usize, usize); 6] = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+    for round in 0..12 {
+        let (a, b) = PAIRS[round % PAIRS.len()];
+        c.sever_link(a, b);
+        for _ in 0..60 {
+            if !c.step() {
+                break;
+            }
+        }
+        c.heal_link(a, b);
+        for _ in 0..60 {
+            if !c.step() {
+                break;
+            }
+        }
+    }
+    c.run();
 }
 
 #[test]
@@ -78,9 +117,9 @@ fn binary_consensus_fault_matrix() {
                 let s = c.stack_mut(p).bc_propose(1, value).unwrap();
                 c.absorb(p, s);
             }
-            c.run();
+            run_with_fault(&mut c, fault);
             let mut decisions = Vec::new();
-            for p in correct() {
+            for p in correct(fault) {
                 let d = c.outputs(p).iter().find_map(|o| match o {
                     Output::BcDecided { decision, .. } => Some(*decision),
                     _ => None,
@@ -119,9 +158,9 @@ fn multi_valued_consensus_fault_matrix() {
                 };
                 c.absorb(p, s);
             }
-            c.run();
+            run_with_fault(&mut c, fault);
             let mut decisions = Vec::new();
-            for p in correct() {
+            for p in correct(fault) {
                 let d = c.outputs(p).iter().find_map(|o| match o {
                     Output::MvcDecided { decision, .. } => Some(decision.clone()),
                     _ => None,
@@ -156,9 +195,9 @@ fn vector_consensus_fault_matrix() {
                     .unwrap();
                 c.absorb(p, s);
             }
-            c.run();
+            run_with_fault(&mut c, fault);
             let mut vectors = Vec::new();
-            for p in correct() {
+            for p in correct(fault) {
                 let v = c.outputs(p).iter().find_map(|o| match o {
                     Output::VcDecided { vector, .. } => Some(vector.clone()),
                     _ => None,
@@ -176,7 +215,7 @@ fn vector_consensus_fault_matrix() {
                 v.iter().flatten().count() >= 2,
                 "{fault:?}/{seed}: too sparse"
             );
-            for p in correct() {
+            for p in correct(fault) {
                 if let Some(entry) = &v[p] {
                     assert_eq!(entry.as_ref(), format!("p{p}").as_bytes());
                 }
@@ -204,7 +243,7 @@ fn atomic_broadcast_fault_matrix() {
                 c.absorb(p, s);
                 expected += 1;
             }
-            c.run();
+            run_with_fault(&mut c, fault);
             let order = |p: usize| -> Vec<MsgId> {
                 c.outputs(p)
                     .iter()
@@ -214,7 +253,7 @@ fn atomic_broadcast_fault_matrix() {
                     })
                     .collect()
             };
-            let correct_ids: Vec<usize> = correct().collect();
+            let correct_ids: Vec<usize> = correct(fault).collect();
             let o0 = order(correct_ids[0]);
             assert!(
                 o0.len() >= expected,

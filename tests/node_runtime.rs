@@ -261,6 +261,71 @@ fn metrics_endpoint_serves_prometheus_text_during_tcp_run() {
 }
 
 #[test]
+fn tcp_delivery_resumes_after_link_sever_mid_run() {
+    // Kill a live TCP socket mid-session: the session layer must
+    // reconnect and retransmit, so a second wave of atomic broadcasts
+    // still fully delivers and the runtime surfaces the outage as link
+    // events rather than wedging.
+    let (nodes, chaos) =
+        Node::tcp_cluster_with_chaos(SessionConfig::new(4).unwrap(), Duration::from_secs(10))
+            .expect("tcp mesh");
+
+    // Wave 1: traffic flows on the healthy mesh.
+    let handles: Vec<_> = nodes
+        .into_iter()
+        .map(|node| {
+            std::thread::spawn(move || {
+                node.atomic_broadcast(Bytes::from(format!("pre-{}", node.id())))
+                    .unwrap();
+                for _ in 0..4 {
+                    node.atomic_recv_timeout(Duration::from_secs(30)).unwrap();
+                }
+                node
+            })
+        })
+        .collect();
+    let nodes: Vec<Node> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    // Sever the 0-1 link (forcibly, at the socket).
+    chaos[0].kill_link(1);
+
+    // Wave 2: deliveries must resume through the self-healed link, in
+    // the same total order everywhere.
+    let handles: Vec<_> = nodes
+        .into_iter()
+        .map(|node| {
+            std::thread::spawn(move || {
+                node.atomic_broadcast(Bytes::from(format!("post-{}", node.id())))
+                    .unwrap();
+                let mut ids = Vec::new();
+                for _ in 0..4 {
+                    let d = node
+                        .atomic_recv_timeout(Duration::from_secs(30))
+                        .expect("delivery stalled after link sever");
+                    ids.push(d.id);
+                }
+                (node, ids)
+            })
+        })
+        .collect();
+    let (nodes, orders): (Vec<Node>, Vec<Vec<_>>) =
+        handles.into_iter().map(|h| h.join().unwrap()).unzip();
+    for o in &orders {
+        assert_eq!(o, &orders[0], "total order diverged across the sever");
+    }
+
+    // The runtime observed the outage on the severed link.
+    let events = nodes[0].take_link_events();
+    assert!(
+        events.iter().any(|e| e.peer == 1),
+        "node 0 saw no link event for peer 1: {events:?}"
+    );
+    for node in nodes {
+        node.shutdown();
+    }
+}
+
+#[test]
 fn survivors_progress_after_a_node_departs() {
     // Regression test: `send_all` used to abort on the first per-link
     // error, so once one node shut down (its endpoint dropped), every
