@@ -1,0 +1,456 @@
+//! Protocol-aware Byzantine adversary framework.
+//!
+//! The paper's central claim is safety under *any* behaviour from up to
+//! `f = ⌊(n−1)/3⌋` corrupt processes. The wire-level garbage injector in
+//! [`crate::testing::Cluster::corrupt`] only exercises frames that honest
+//! validation trivially rejects; the strategies here attack *inside* the
+//! protocol encodings — equivocation, selective silence, biased coin
+//! voting, conflicting `VECT` vectors, stale-instance replay — i.e. the
+//! attacks the paper's validation rules (§2.4–§2.6) are designed to
+//! neutralize.
+//!
+//! A [`Strategy`] intercepts every outbound frame of a corrupt process at
+//! the [`crate::stack::Stack`] boundary, once per destination (so a single
+//! broadcast can say different things to different peers — the essence of
+//! equivocation). Frames are presented *decoded*, as a typed
+//! [`ProtocolMsg`] mirroring the control-block chain, so strategies can
+//! lie at exactly the layer they target and re-encode structurally valid
+//! messages that only semantic validation can reject.
+//!
+//! The [`explorer`] module sweeps strategies across schedules and seeds,
+//! checking the paper's safety predicates ([`crate::invariants`]) after
+//! every delivery, and renders deterministic replay commands for any
+//! violation it finds.
+
+pub mod explorer;
+mod strategies;
+
+pub use strategies::{
+    BiasedCoin, ConflictingVectors, Equivocate, RandomMutation, SelectiveSilence, StaleReplay,
+};
+
+use crate::ab::AbMessage;
+use crate::bc::{BcBody, BcMessage};
+use crate::codec::{Reader, WireMessage, Writer};
+use crate::eb::EbMessage;
+use crate::mvc::{MvcMessage, VectBody};
+use crate::rb::RbMessage;
+use crate::stack::InstanceKey;
+use crate::vc::VcMessage;
+use crate::ProcessId;
+use bytes::Bytes;
+
+/// A decoded protocol message, typed by the instance it belongs to — the
+/// adversary's view of one outbound frame along the control-block chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolMsg {
+    /// Reliable broadcast traffic.
+    Rb(RbMessage),
+    /// Echo broadcast traffic.
+    Eb(EbMessage),
+    /// Binary consensus traffic.
+    Bc(BcMessage),
+    /// Multi-valued consensus traffic.
+    Mvc(MvcMessage),
+    /// Vector consensus traffic.
+    Vc(VcMessage),
+    /// Atomic broadcast traffic.
+    Ab(AbMessage),
+}
+
+impl ProtocolMsg {
+    fn encode_inner(&self, w: &mut Writer) {
+        match self {
+            ProtocolMsg::Rb(m) => m.encode(w),
+            ProtocolMsg::Eb(m) => m.encode(w),
+            ProtocolMsg::Bc(m) => m.encode(w),
+            ProtocolMsg::Mvc(m) => m.encode(w),
+            ProtocolMsg::Vc(m) => m.encode(w),
+            ProtocolMsg::Ab(m) => m.encode(w),
+        }
+    }
+
+    /// Re-encodes this message into a full wire frame for `key`.
+    pub fn frame(&self, key: InstanceKey) -> Bytes {
+        let mut w = Writer::new();
+        key.encode(&mut w);
+        self.encode_inner(&mut w);
+        w.freeze()
+    }
+}
+
+/// Decodes a stack wire frame into its instance key and typed message.
+/// Returns `None` on any malformed input (an honest stack never produces
+/// one; adversarial re-injections may).
+pub fn decode_frame(frame: &[u8]) -> Option<(InstanceKey, ProtocolMsg)> {
+    let mut r = Reader::new(frame);
+    let key = InstanceKey::decode(&mut r).ok()?;
+    let inner = r.raw(r.remaining(), "frame.body").ok()?;
+    let msg = match key {
+        InstanceKey::Rb { .. } => ProtocolMsg::Rb(RbMessage::from_bytes(inner).ok()?),
+        InstanceKey::Eb { .. } => ProtocolMsg::Eb(EbMessage::from_bytes(inner).ok()?),
+        InstanceKey::Bc { .. } => ProtocolMsg::Bc(BcMessage::from_bytes(inner).ok()?),
+        InstanceKey::Mvc { .. } => ProtocolMsg::Mvc(MvcMessage::from_bytes(inner).ok()?),
+        InstanceKey::Vc { .. } => ProtocolMsg::Vc(VcMessage::from_bytes(inner).ok()?),
+        InstanceKey::Ab { .. } => ProtocolMsg::Ab(AbMessage::from_bytes(inner).ok()?),
+    };
+    Some((key, msg))
+}
+
+/// What the innermost reliable/echo-broadcast payload of a message
+/// *means* — so strategies can mutate it while keeping the encoding
+/// structurally valid (semantic lies, not garbage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PayloadKind {
+    /// Opaque application bytes (RB/EB payloads, VC proposals, AB
+    /// message payloads).
+    Raw,
+    /// An encoded [`crate::mvc::MvcValue`] (MVC `INIT` payloads).
+    MvcValue,
+    /// An encoded [`crate::mvc::VectPayload`] (MVC `VECT` payloads).
+    VectPayload,
+    /// A one-byte encoded binary consensus step value.
+    BcVal,
+    /// An internal encoding this framework does not re-interpret (AB
+    /// agreement vectors).
+    Opaque,
+}
+
+/// Which reliable-broadcast stage a message ultimately carries, wherever
+/// it sits in the chain. `None` for messages with no RB component (EB
+/// `VECT`/`MAT` legs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RbStage {
+    /// An `INIT` transmission.
+    Init,
+    /// An `ECHO`.
+    Echo,
+    /// A `READY` (the delivery-driving stage — prime silence target).
+    Ready,
+}
+
+fn rb_stage_of(m: &RbMessage) -> RbStage {
+    match m {
+        RbMessage::Init(_) => RbStage::Init,
+        RbMessage::Echo(_) => RbStage::Echo,
+        RbMessage::Ready(_) => RbStage::Ready,
+    }
+}
+
+/// The innermost RB stage of `msg`, chasing the control-block chain.
+pub fn innermost_rb_stage(msg: &ProtocolMsg) -> Option<RbStage> {
+    fn of_bc(m: &BcMessage) -> Option<RbStage> {
+        match &m.body {
+            BcBody::Rbc(rb) => Some(rb_stage_of(rb)),
+            BcBody::Plain(_) => None,
+        }
+    }
+    fn of_mvc(m: &MvcMessage) -> Option<RbStage> {
+        match m {
+            MvcMessage::Init { inner, .. } => Some(rb_stage_of(inner)),
+            MvcMessage::Vect { inner, .. } => match inner {
+                VectBody::Echo(_) => None,
+                VectBody::Reliable(rb) => Some(rb_stage_of(rb)),
+            },
+            MvcMessage::Bin(bc) => of_bc(bc),
+        }
+    }
+    match msg {
+        ProtocolMsg::Rb(m) => Some(rb_stage_of(m)),
+        ProtocolMsg::Eb(_) => None,
+        ProtocolMsg::Bc(m) => of_bc(m),
+        ProtocolMsg::Mvc(m) => of_mvc(m),
+        ProtocolMsg::Vc(m) => match m {
+            VcMessage::Prop { inner, .. } => Some(rb_stage_of(inner)),
+            VcMessage::Round { inner, .. } => of_mvc(inner),
+        },
+        ProtocolMsg::Ab(m) => match m {
+            AbMessage::Msg { inner, .. } | AbMessage::Vect { inner, .. } => {
+                Some(rb_stage_of(inner))
+            }
+            AbMessage::Agree { inner, .. } => of_mvc(inner),
+        },
+    }
+}
+
+/// Whether `msg` is (or carries) an echo-broadcast `MAT` column — the EB
+/// delivery-driving leg, the silence strategy's other target.
+pub fn is_eb_mat(msg: &ProtocolMsg) -> bool {
+    fn of_mvc(m: &MvcMessage) -> bool {
+        matches!(
+            m,
+            MvcMessage::Vect {
+                inner: VectBody::Echo(EbMessage::Mat(_)),
+                ..
+            }
+        )
+    }
+    match msg {
+        ProtocolMsg::Eb(EbMessage::Mat(_)) => true,
+        ProtocolMsg::Mvc(m) => of_mvc(m),
+        ProtocolMsg::Vc(VcMessage::Round { inner, .. }) => of_mvc(inner),
+        ProtocolMsg::Ab(AbMessage::Agree { inner, .. }) => of_mvc(inner),
+        _ => false,
+    }
+}
+
+/// Grants a mutator access to the innermost broadcast payload of `msg`,
+/// with its [`PayloadKind`]. Returns `false` when the message has no
+/// mutable payload (EB `VECT`/`MAT`, plain-fanout BC values).
+pub fn with_innermost_payload(
+    msg: &mut ProtocolMsg,
+    f: &mut dyn FnMut(PayloadKind, &mut Bytes),
+) -> bool {
+    fn of_rb(m: &mut RbMessage, kind: PayloadKind, f: &mut dyn FnMut(PayloadKind, &mut Bytes)) {
+        match m {
+            RbMessage::Init(p) | RbMessage::Echo(p) | RbMessage::Ready(p) => f(kind, p),
+        }
+    }
+    fn of_bc(m: &mut BcMessage, f: &mut dyn FnMut(PayloadKind, &mut Bytes)) -> bool {
+        match &mut m.body {
+            BcBody::Rbc(rb) => {
+                of_rb(rb, PayloadKind::BcVal, f);
+                true
+            }
+            BcBody::Plain(_) => false,
+        }
+    }
+    fn of_mvc(m: &mut MvcMessage, f: &mut dyn FnMut(PayloadKind, &mut Bytes)) -> bool {
+        match m {
+            MvcMessage::Init { inner, .. } => {
+                of_rb(inner, PayloadKind::MvcValue, f);
+                true
+            }
+            MvcMessage::Vect { inner, .. } => match inner {
+                VectBody::Echo(EbMessage::Init(p)) => {
+                    f(PayloadKind::VectPayload, p);
+                    true
+                }
+                VectBody::Echo(_) => false,
+                VectBody::Reliable(rb) => {
+                    of_rb(rb, PayloadKind::VectPayload, f);
+                    true
+                }
+            },
+            MvcMessage::Bin(bc) => of_bc(bc, f),
+        }
+    }
+    match msg {
+        ProtocolMsg::Rb(m) => {
+            of_rb(m, PayloadKind::Raw, f);
+            true
+        }
+        ProtocolMsg::Eb(EbMessage::Init(p)) => {
+            f(PayloadKind::Raw, p);
+            true
+        }
+        ProtocolMsg::Eb(_) => false,
+        ProtocolMsg::Bc(m) => of_bc(m, f),
+        ProtocolMsg::Mvc(m) => of_mvc(m, f),
+        ProtocolMsg::Vc(m) => match m {
+            VcMessage::Prop { inner, .. } => {
+                of_rb(inner, PayloadKind::Raw, f);
+                true
+            }
+            VcMessage::Round { inner, .. } => of_mvc(inner, f),
+        },
+        ProtocolMsg::Ab(m) => match m {
+            AbMessage::Msg { inner, .. } => {
+                of_rb(inner, PayloadKind::Raw, f);
+                true
+            }
+            AbMessage::Vect { inner, .. } => {
+                of_rb(inner, PayloadKind::Opaque, f);
+                true
+            }
+            AbMessage::Agree { inner, .. } => of_mvc(inner, f),
+        },
+    }
+}
+
+/// Context handed to a strategy for one (message, destination) pair.
+#[derive(Debug, Clone, Copy)]
+pub struct SendCtx {
+    /// The corrupt process the strategy speaks for.
+    pub me: ProcessId,
+    /// The peer this copy of the message is headed to.
+    pub to: ProcessId,
+    /// Group size.
+    pub n: usize,
+}
+
+/// A Byzantine strategy: rewrites each outbound protocol message of a
+/// corrupt process, per destination.
+///
+/// The framework calls [`Strategy::rewrite`] once for every (message,
+/// destination) pair the honest stack wanted to send — a broadcast to `n`
+/// peers yields `n` calls with the same `msg` — and transmits exactly the
+/// frames returned: an empty vector withholds the message, multiple
+/// entries inject extras. Strategies must be deterministic functions of
+/// their construction seed and call sequence (the conformance harness
+/// replays runs bit-for-bit).
+pub trait Strategy: std::fmt::Debug + Send {
+    /// Stable strategy name (used in replay commands).
+    fn name(&self) -> &'static str;
+
+    /// Rewrites one outbound message for one destination; returns the
+    /// wire frames that actually travel.
+    fn rewrite(&mut self, ctx: &SendCtx, key: InstanceKey, msg: ProtocolMsg) -> Vec<Bytes>;
+}
+
+/// The built-in strategy library, as a parseable identifier — the
+/// `strategy` axis of the conformance matrix and of replay commands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StrategyKind {
+    /// Different payloads to different halves of the group.
+    Equivocate,
+    /// Withhold `READY`/`MAT` (delivery-driving) legs from chosen peers.
+    Silence,
+    /// Force every binary consensus step value to 0.
+    BiasedCoin,
+    /// Per-peer conflicting MVC `VECT` values with fabricated
+    /// justification vectors.
+    ConflictingVectors,
+    /// Replay frames from stale instances and finished rounds.
+    StaleReplay,
+    /// Seeded random frame mutation (drop/duplicate/bit-flip/garbage).
+    RandomMutation,
+}
+
+impl StrategyKind {
+    /// Every built-in strategy, in matrix order.
+    pub const ALL: [StrategyKind; 6] = [
+        StrategyKind::Equivocate,
+        StrategyKind::Silence,
+        StrategyKind::BiasedCoin,
+        StrategyKind::ConflictingVectors,
+        StrategyKind::StaleReplay,
+        StrategyKind::RandomMutation,
+    ];
+
+    /// Builds the strategy, seeded for deterministic replay.
+    pub fn build(self, seed: u64) -> Box<dyn Strategy> {
+        match self {
+            StrategyKind::Equivocate => Box::new(Equivocate::new()),
+            StrategyKind::Silence => Box::new(SelectiveSilence::new(seed)),
+            StrategyKind::BiasedCoin => Box::new(BiasedCoin::new()),
+            StrategyKind::ConflictingVectors => Box::new(ConflictingVectors::new()),
+            StrategyKind::StaleReplay => Box::new(StaleReplay::new(seed)),
+            StrategyKind::RandomMutation => Box::new(RandomMutation::new(seed)),
+        }
+    }
+}
+
+impl core::fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            StrategyKind::Equivocate => "equivocate",
+            StrategyKind::Silence => "silence",
+            StrategyKind::BiasedCoin => "biased-coin",
+            StrategyKind::ConflictingVectors => "conflicting-vectors",
+            StrategyKind::StaleReplay => "stale-replay",
+            StrategyKind::RandomMutation => "random-mutation",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::str::FromStr for StrategyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "equivocate" => Ok(StrategyKind::Equivocate),
+            "silence" => Ok(StrategyKind::Silence),
+            "biased-coin" => Ok(StrategyKind::BiasedCoin),
+            "conflicting-vectors" => Ok(StrategyKind::ConflictingVectors),
+            "stale-replay" => Ok(StrategyKind::StaleReplay),
+            "random-mutation" => Ok(StrategyKind::RandomMutation),
+            other => Err(format!(
+                "unknown strategy {other:?} (expected one of: equivocate, silence, biased-coin, \
+                 conflicting-vectors, stale-replay, random-mutation)"
+            )),
+        }
+    }
+}
+
+/// Small seeded xorshift used by strategies (same generator family as the
+/// test cluster's scheduler; strategies must be replayable).
+#[derive(Debug, Clone)]
+pub(crate) struct StrategyRng(u64);
+
+impl StrategyRng {
+    pub(crate) fn new(seed: u64) -> Self {
+        StrategyRng(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1)
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrips_through_decode() {
+        let key = InstanceKey::Rb { sender: 2, seq: 7 };
+        let msg = ProtocolMsg::Rb(RbMessage::Echo(Bytes::from_static(b"x")));
+        let frame = msg.frame(key);
+        let (k2, m2) = decode_frame(&frame).expect("decodes");
+        assert_eq!(k2, key);
+        assert_eq!(m2, msg);
+    }
+
+    #[test]
+    fn decode_frame_rejects_garbage() {
+        assert!(decode_frame(&[0xff, 0x01, 0x02]).is_none());
+        assert!(decode_frame(&[]).is_none());
+    }
+
+    #[test]
+    fn strategy_kind_parses_all_names() {
+        for kind in StrategyKind::ALL {
+            assert_eq!(kind.to_string().parse::<StrategyKind>().unwrap(), kind);
+        }
+        assert!("no-such-strategy".parse::<StrategyKind>().is_err());
+    }
+
+    #[test]
+    fn innermost_stage_chases_the_chain() {
+        let msg = ProtocolMsg::Ab(AbMessage::Msg {
+            id: crate::ab::MsgId { sender: 0, rbid: 0 },
+            inner: RbMessage::Ready(Bytes::from_static(b"p")),
+        });
+        assert_eq!(innermost_rb_stage(&msg), Some(RbStage::Ready));
+        let eb = ProtocolMsg::Eb(EbMessage::Mat(vec![None]));
+        assert_eq!(innermost_rb_stage(&eb), None);
+        assert!(is_eb_mat(&eb));
+    }
+
+    #[test]
+    fn payload_access_reaches_nested_layers() {
+        let mut msg = ProtocolMsg::Vc(VcMessage::Prop {
+            origin: 1,
+            inner: RbMessage::Init(Bytes::from_static(b"v")),
+        });
+        let mut seen = None;
+        assert!(with_innermost_payload(&mut msg, &mut |kind, bytes| {
+            seen = Some((kind, bytes.clone()));
+            *bytes = Bytes::from_static(b"w");
+        }));
+        assert_eq!(seen, Some((PayloadKind::Raw, Bytes::from_static(b"v"))));
+        match msg {
+            ProtocolMsg::Vc(VcMessage::Prop { inner, .. }) => {
+                assert_eq!(inner.payload().as_ref(), b"w");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

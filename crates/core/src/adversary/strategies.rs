@@ -1,0 +1,483 @@
+//! The built-in Byzantine strategy library.
+//!
+//! Each strategy targets a specific validation rule of the paper (see
+//! DESIGN.md for the full mapping). All are deterministic functions of
+//! their construction seed and the sequence of `rewrite` calls, so any
+//! run is replayable bit-for-bit from `(strategy, schedule, seed)`.
+
+use super::{
+    innermost_rb_stage, is_eb_mat, with_innermost_payload, PayloadKind, ProtocolMsg, RbStage,
+    SendCtx, Strategy, StrategyRng,
+};
+use crate::bc::{decode_val, encode_val};
+use crate::codec::WireMessage;
+use crate::mvc::{MvcValue, VectPayload};
+use crate::stack::InstanceKey;
+use bytes::Bytes;
+
+/// Rewrites `bytes` into a *different but structurally valid* payload of
+/// the same kind, salted by `salt` (so distinct salts yield distinct
+/// lies). This is the semantic mutation primitive under equivocation:
+/// receivers can only reject the result through the paper's validation
+/// rules, never through decode errors.
+fn mutate_payload(kind: PayloadKind, bytes: &mut Bytes, salt: u8) {
+    match kind {
+        PayloadKind::Raw | PayloadKind::Opaque => {
+            let mut v: Vec<u8> = bytes.to_vec();
+            if v.is_empty() {
+                v.push(salt);
+            } else {
+                for b in &mut v {
+                    *b ^= salt | 1;
+                }
+            }
+            *bytes = Bytes::from(v);
+        }
+        PayloadKind::BcVal => {
+            // One-byte encoded step value: flip 0 ↔ 1 and turn ⊥ into 0,
+            // keeping the byte in the decoder's accepted range.
+            let flipped = match bytes.first().map(|b| decode_val(*b)) {
+                Some(Ok(Some(v))) => encode_val(Some(!v)),
+                _ => encode_val(Some(false)),
+            };
+            *bytes = Bytes::from(vec![flipped]);
+        }
+        PayloadKind::MvcValue => {
+            let mut w = crate::codec::Writer::new();
+            crate::mvc::encode_value(&mut w, &Some(Bytes::from(vec![0xE0, salt])));
+            *bytes = w.freeze();
+        }
+        PayloadKind::VectPayload => {
+            // Keep the justification shape but lie about the value; if the
+            // original does not decode, fabricate one from scratch.
+            let mut p = VectPayload::from_bytes(bytes).unwrap_or_else(|_| VectPayload {
+                value: None,
+                justification: Vec::new(),
+            });
+            let lie: MvcValue = Some(Bytes::from(vec![0xE1, salt]));
+            for j in &mut p.justification {
+                *j = lie.clone();
+            }
+            p.value = lie;
+            *bytes = p.to_bytes();
+        }
+    }
+}
+
+/// Equivocation (targets: RB one-value-per-sender, EB vector agreement,
+/// BC step tallies, MVC `VECT` validation): the original payload goes to
+/// the low half of the group and a mutated-but-well-formed variant to the
+/// high half, for *every* broadcast payload along the chain.
+#[derive(Debug)]
+pub struct Equivocate {
+    _private: (),
+}
+
+impl Equivocate {
+    /// Creates the strategy (stateless; equivocation is positional).
+    pub fn new() -> Self {
+        Equivocate { _private: () }
+    }
+}
+
+impl Default for Equivocate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Strategy for Equivocate {
+    fn name(&self) -> &'static str {
+        "equivocate"
+    }
+
+    fn rewrite(&mut self, ctx: &SendCtx, key: InstanceKey, mut msg: ProtocolMsg) -> Vec<Bytes> {
+        if ctx.to >= ctx.n / 2 {
+            // Salt by destination so the high half does not even agree
+            // among itself — the strongest split.
+            let salt = 0x10 | (ctx.to as u8 & 0x0F);
+            with_innermost_payload(&mut msg, &mut |kind, bytes| {
+                mutate_payload(kind, bytes, salt);
+            });
+        }
+        vec![msg.frame(key)]
+    }
+}
+
+/// Selective silence (targets: RB/EB liveness margins and the BC step-3
+/// threshold): withholds the delivery-driving legs — RB `READY`, EB
+/// `MAT`, and all of binary consensus step 3 — from a seeded subset of
+/// peers, starving chosen quorums without ever sending an invalid byte.
+#[derive(Debug)]
+pub struct SelectiveSilence {
+    muted_mask: u64,
+}
+
+impl SelectiveSilence {
+    /// Creates the strategy; `seed` picks which peers are starved.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = StrategyRng::new(seed ^ 0x51EC);
+        // Mute roughly half the group, but never everyone (an entirely
+        // mute process is just a crash, which the fault matrix covers).
+        let mut muted_mask = rng.next();
+        if muted_mask.count_ones() > 32 {
+            muted_mask = !muted_mask;
+        }
+        SelectiveSilence { muted_mask }
+    }
+
+    fn muted(&self, to: crate::ProcessId) -> bool {
+        self.muted_mask >> (to % 64) & 1 == 1
+    }
+}
+
+impl Strategy for SelectiveSilence {
+    fn name(&self) -> &'static str {
+        "silence"
+    }
+
+    fn rewrite(&mut self, ctx: &SendCtx, key: InstanceKey, msg: ProtocolMsg) -> Vec<Bytes> {
+        let is_step3 = matches!(
+            &msg,
+            ProtocolMsg::Bc(m) if m.step == 3
+        ) || matches!(
+            &msg,
+            ProtocolMsg::Mvc(crate::mvc::MvcMessage::Bin(m)) if m.step == 3
+        );
+        let delivery_leg =
+            innermost_rb_stage(&msg) == Some(RbStage::Ready) || is_eb_mat(&msg) || is_step3;
+        if delivery_leg && self.muted(ctx.to) {
+            return Vec::new();
+        }
+        vec![msg.frame(key)]
+    }
+}
+
+/// Biased coin voting (targets: the BC validation rules `step2_valid` /
+/// `step3_valid` / `next_round_valid` and coin unpredictability, §4.2):
+/// every binary consensus step value the process transmits — its own and
+/// the echoes/readies it relays for others — is forced to 0, the paper's
+/// "always propose 0" attacker made protocol-aware.
+#[derive(Debug)]
+pub struct BiasedCoin {
+    _private: (),
+}
+
+impl BiasedCoin {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        BiasedCoin { _private: () }
+    }
+}
+
+impl Default for BiasedCoin {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Strategy for BiasedCoin {
+    fn name(&self) -> &'static str {
+        "biased-coin"
+    }
+
+    fn rewrite(&mut self, _ctx: &SendCtx, key: InstanceKey, mut msg: ProtocolMsg) -> Vec<Bytes> {
+        use crate::bc::BcBody;
+        // Plain-fanout step values carry the Val directly.
+        let force_plain = |body: &mut BcBody| {
+            if let BcBody::Plain(v) = body {
+                *v = Some(false);
+            }
+        };
+        match &mut msg {
+            ProtocolMsg::Bc(m) => force_plain(&mut m.body),
+            ProtocolMsg::Mvc(crate::mvc::MvcMessage::Bin(m)) => force_plain(&mut m.body),
+            _ => {}
+        }
+        with_innermost_payload(&mut msg, &mut |kind, bytes| {
+            if kind == PayloadKind::BcVal {
+                *bytes = Bytes::from(vec![encode_val(Some(false))]);
+            }
+        });
+        vec![msg.frame(key)]
+    }
+}
+
+/// Conflicting MVC vectors (targets: the `VECT` justification check —
+/// a value is only acceptable if the claimed `INIT` vector both matches
+/// the receiver's own deliveries in `n−2f` places and actually justifies
+/// the value): sends each peer a *different* fabricated value backed by a
+/// fully populated, internally consistent justification vector.
+#[derive(Debug)]
+pub struct ConflictingVectors {
+    _private: (),
+}
+
+impl ConflictingVectors {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        ConflictingVectors { _private: () }
+    }
+}
+
+impl Default for ConflictingVectors {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Strategy for ConflictingVectors {
+    fn name(&self) -> &'static str {
+        "conflicting-vectors"
+    }
+
+    fn rewrite(&mut self, ctx: &SendCtx, key: InstanceKey, mut msg: ProtocolMsg) -> Vec<Bytes> {
+        let fake: MvcValue = Some(Bytes::from(vec![0xCF, ctx.to as u8]));
+        with_innermost_payload(&mut msg, &mut |kind, bytes| {
+            if kind == PayloadKind::VectPayload {
+                let lie = VectPayload {
+                    value: fake.clone(),
+                    justification: vec![fake.clone(); ctx.n],
+                };
+                *bytes = lie.to_bytes();
+            }
+        });
+        vec![msg.frame(key)]
+    }
+}
+
+/// Stale-instance replay (targets: per-instance routing, RB/EB duplicate
+/// suppression, and the BC round-window check `MAX_ROUND_AHEAD`): records
+/// every frame it sends and periodically re-injects an old one alongside
+/// the current message, resurrecting finished instances and past rounds.
+#[derive(Debug)]
+pub struct StaleReplay {
+    rng: StrategyRng,
+    history: Vec<Bytes>,
+    calls: u64,
+}
+
+/// Replay buffer depth; old enough to reach back across instances.
+const REPLAY_HISTORY: usize = 256;
+
+impl StaleReplay {
+    /// Creates the strategy; `seed` drives which stale frame returns.
+    pub fn new(seed: u64) -> Self {
+        StaleReplay {
+            rng: StrategyRng::new(seed ^ 0x57A1E),
+            history: Vec::new(),
+            calls: 0,
+        }
+    }
+}
+
+impl Strategy for StaleReplay {
+    fn name(&self) -> &'static str {
+        "stale-replay"
+    }
+
+    fn rewrite(&mut self, _ctx: &SendCtx, key: InstanceKey, msg: ProtocolMsg) -> Vec<Bytes> {
+        let frame = msg.frame(key);
+        self.calls += 1;
+        let mut out = vec![frame.clone()];
+        // Every fourth send, resurrect a seeded pick from the history.
+        if self.calls.is_multiple_of(4) && !self.history.is_empty() {
+            let idx = (self.rng.next() as usize) % self.history.len();
+            out.push(self.history[idx].clone());
+        }
+        if self.history.len() == REPLAY_HISTORY {
+            let evict = (self.rng.next() as usize) % REPLAY_HISTORY;
+            self.history[evict] = frame;
+        } else {
+            self.history.push(frame);
+        }
+        out
+    }
+}
+
+/// Seeded random mutation (targets: decoder hardening end-to-end): the
+/// protocol-level twin of the cluster's wire-level `corrupt()` — drops,
+/// duplicates, bit-flips, truncates or replaces frames at random, but
+/// *after* per-destination expansion, so even `Target::All` sends differ
+/// per peer.
+#[derive(Debug)]
+pub struct RandomMutation {
+    rng: StrategyRng,
+}
+
+impl RandomMutation {
+    /// Creates the strategy with its mutation seed.
+    pub fn new(seed: u64) -> Self {
+        RandomMutation {
+            rng: StrategyRng::new(seed ^ 0xF1E1D),
+        }
+    }
+}
+
+impl Strategy for RandomMutation {
+    fn name(&self) -> &'static str {
+        "random-mutation"
+    }
+
+    fn rewrite(&mut self, _ctx: &SendCtx, key: InstanceKey, msg: ProtocolMsg) -> Vec<Bytes> {
+        let frame = msg.frame(key);
+        match self.rng.next() % 6 {
+            0 => Vec::new(),                 // drop
+            1 => vec![frame.clone(), frame], // duplicate
+            2 => {
+                // Bit-flip at a seeded position.
+                let mut v = frame.to_vec();
+                if !v.is_empty() {
+                    let pos = (self.rng.next() as usize) % v.len();
+                    let bit = (self.rng.next() % 8) as u8;
+                    v[pos] ^= 1 << bit;
+                }
+                vec![Bytes::from(v)]
+            }
+            3 => {
+                // Truncate.
+                let len = (self.rng.next() as usize) % (frame.len() + 1);
+                vec![frame.slice(0..len)]
+            }
+            4 => {
+                // Replace with seeded garbage.
+                let len = 1 + (self.rng.next() as usize) % 24;
+                let mut v = Vec::with_capacity(len);
+                for _ in 0..len {
+                    v.push(self.rng.next() as u8);
+                }
+                vec![Bytes::from(v)]
+            }
+            _ => vec![frame], // pass through
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::decode_frame;
+    use crate::rb::RbMessage;
+
+    fn ctx(to: crate::ProcessId) -> SendCtx {
+        SendCtx { me: 3, to, n: 4 }
+    }
+
+    fn rb_frame(stage: RbStage, payload: &'static [u8]) -> (InstanceKey, ProtocolMsg) {
+        let key = InstanceKey::Rb { sender: 3, seq: 1 };
+        let m = match stage {
+            RbStage::Init => RbMessage::Init(Bytes::from_static(payload)),
+            RbStage::Echo => RbMessage::Echo(Bytes::from_static(payload)),
+            RbStage::Ready => RbMessage::Ready(Bytes::from_static(payload)),
+        };
+        (key, ProtocolMsg::Rb(m))
+    }
+
+    #[test]
+    fn equivocate_splits_the_group() {
+        let mut s = Equivocate::new();
+        let (key, msg) = rb_frame(RbStage::Init, b"truth");
+        let low = s.rewrite(&ctx(0), key, msg.clone());
+        let high = s.rewrite(&ctx(3), key, msg.clone());
+        assert_eq!(low, vec![msg.frame(key)], "low half sees the truth");
+        assert_ne!(high[0], low[0], "high half sees a lie");
+        // The lie still decodes: semantic, not structural, corruption.
+        assert!(decode_frame(&high[0]).is_some());
+    }
+
+    #[test]
+    fn silence_withholds_ready_only_from_muted_peers() {
+        let mut s = SelectiveSilence::new(7);
+        let muted: Vec<bool> = (0..4).map(|p| s.muted(p)).collect();
+        assert!(muted.iter().any(|m| *m), "seed 7 mutes someone");
+        let (key, ready) = rb_frame(RbStage::Ready, b"p");
+        let (_, init) = rb_frame(RbStage::Init, b"p");
+        for to in 0..4 {
+            let out = s.rewrite(&ctx(to), key, ready.clone());
+            assert_eq!(out.is_empty(), muted[to], "peer {to}");
+            // Non-delivery legs always pass.
+            assert_eq!(s.rewrite(&ctx(to), key, init.clone()).len(), 1);
+        }
+    }
+
+    #[test]
+    fn biased_coin_forces_step_values_to_zero() {
+        use crate::bc::{BcBody, BcMessage};
+        let mut s = BiasedCoin::new();
+        let key = InstanceKey::Bc { tag: 9 };
+        let msg = ProtocolMsg::Bc(BcMessage {
+            round: 0,
+            step: 1,
+            origin: 3,
+            body: BcBody::Rbc(RbMessage::Init(Bytes::from(vec![encode_val(Some(true))]))),
+        });
+        let out = s.rewrite(&ctx(1), key, msg);
+        let (_, rewritten) = decode_frame(&out[0]).unwrap();
+        match rewritten {
+            ProtocolMsg::Bc(m) => match m.body {
+                BcBody::Rbc(rb) => {
+                    assert_eq!(rb.payload().as_ref(), &[encode_val(Some(false))]);
+                }
+                other => panic!("unexpected body {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conflicting_vectors_forges_per_peer_justifications() {
+        use crate::mvc::{MvcMessage, VectBody};
+        let honest = VectPayload {
+            value: Some(Bytes::from_static(b"v")),
+            justification: vec![Some(Bytes::from_static(b"v")); 4],
+        };
+        let key = InstanceKey::Mvc { tag: 2 };
+        let msg = ProtocolMsg::Mvc(MvcMessage::Vect {
+            origin: 3,
+            inner: VectBody::Reliable(RbMessage::Init(honest.to_bytes())),
+        });
+        let mut s = ConflictingVectors::new();
+        let a = s.rewrite(&ctx(0), key, msg.clone());
+        let b = s.rewrite(&ctx(1), key, msg);
+        assert_ne!(a[0], b[0], "each peer hears a different vector");
+        for out in [a, b] {
+            let (_, m) = decode_frame(&out[0]).unwrap();
+            match m {
+                ProtocolMsg::Mvc(MvcMessage::Vect {
+                    inner: VectBody::Reliable(rb),
+                    ..
+                }) => {
+                    let p = VectPayload::from_bytes(rb.payload()).unwrap();
+                    assert_eq!(p.justification.len(), 4);
+                    assert!(p.value.is_some());
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn stale_replay_reinjects_history() {
+        let mut s = StaleReplay::new(11);
+        let (key, msg) = rb_frame(RbStage::Init, b"old");
+        let mut injected = 0;
+        for _ in 0..16 {
+            let out = s.rewrite(&ctx(0), key, msg.clone());
+            injected += out.len().saturating_sub(1);
+        }
+        assert!(injected > 0, "replays old frames");
+    }
+
+    #[test]
+    fn random_mutation_is_deterministic_per_seed() {
+        let (key, msg) = rb_frame(RbStage::Echo, b"payload");
+        let run = |seed| {
+            let mut s = RandomMutation::new(seed);
+            (0..32)
+                .flat_map(|_| s.rewrite(&ctx(1), key, msg.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42), "same seed, same frames");
+        assert_ne!(run(42), run(43), "different seed, different frames");
+    }
+}

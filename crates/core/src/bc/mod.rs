@@ -90,7 +90,7 @@ pub struct BcMessage {
     pub body: BcBody,
 }
 
-fn encode_val(v: Val) -> u8 {
+pub(crate) fn encode_val(v: Val) -> u8 {
     match v {
         Some(false) => 0,
         Some(true) => 1,
@@ -98,7 +98,7 @@ fn encode_val(v: Val) -> u8 {
     }
 }
 
-fn decode_val(b: u8) -> Result<Val, WireError> {
+pub(crate) fn decode_val(b: u8) -> Result<Val, WireError> {
     match b {
         0 => Ok(Some(false)),
         1 => Ok(Some(true)),

@@ -81,8 +81,10 @@ impl Group {
     }
 
     /// `⌊(n+f)/2⌋ + 1`: the `ECHO` threshold of Bracha's reliable
+    /// broadcast and the `MAT` acceptance quorum of the matrix echo
     /// broadcast — any two sets of this size intersect in a correct
-    /// process, preventing two different `READY` values.
+    /// process, preventing two different `READY` values (RB) and two
+    /// different delivered messages (EB).
     pub fn echo_threshold(&self) -> usize {
         (self.n + self.f) / 2 + 1
     }

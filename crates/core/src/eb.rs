@@ -14,11 +14,25 @@
 //! 3. the sender collects `n - f` vectors into a matrix `M` (row `j` is
 //!    `V_j`) and unicasts to each `p_j` the column `j` of `M` as
 //!    `(MAT, V'_j)`; `p_j` verifies the hashes it can check (entry `i`
-//!    with `s_ij`) and delivers `m` if at least `f + 1` are correct.
+//!    with `s_ij`) and delivers `m` if at least `⌊(n+f)/2⌋ + 1` are
+//!    correct.
 //!
-//! The `f + 1` threshold means at least one *correct* process computed its
-//! row over the same `m`, pinning corrupt senders to a single message
-//! among delivering processes.
+//! The echo-quorum threshold `⌊(n+f)/2⌋ + 1` makes any two supporter sets
+//! intersect in more than `f` processes, hence in a correct one — and a
+//! correct process hashes only the single `m` it received in `INIT`. That
+//! pins a corrupt sender to one message among delivering processes.
+//!
+//! A mere `f + 1` valid entries would NOT suffice: the receiver's *own*
+//! row counts toward the threshold (it verifies trivially, since the
+//! receiver hashed whatever `INIT` it was given), so a corrupt sender
+//! could serve each equivocation victim a column containing its own
+//! forged row plus the victim's honest row — `f + 1` supporters for two
+//! different messages, splitting the correct deliverers. The adversarial
+//! conformance suite (`tests/properties.rs`,
+//! `eb_hash_vector_equivocation_cannot_split`) constructs exactly that
+//! attack. Liveness is unharmed: with a correct sender all `n - f`
+//! collected rows verify, and `n - f ≥ ⌊(n+f)/2⌋ + 1` whenever
+//! `n > 3f`.
 
 use crate::codec::{Reader, WireError, WireMessage, Writer};
 use crate::config::Group;
@@ -148,7 +162,6 @@ pub struct EchoBroadcast {
     keys: ProcessKeys,
     sent_init: bool,
     sent_vect: bool,
-    sent_mat: bool,
     delivered: bool,
     /// Digest of the `INIT` payload seen so far (equivocation detection).
     init_digest: Option<[u8; 32]>,
@@ -184,7 +197,6 @@ impl EchoBroadcast {
             keys,
             sent_init: false,
             sent_vect: false,
-            sent_mat: false,
             delivered: false,
             init_digest: None,
             payload: None,
@@ -235,6 +247,10 @@ impl EchoBroadcast {
             return Err(ProtocolError::AlreadyStarted);
         }
         self.sent_init = true;
+        // The sender knows the payload immediately; recording it here
+        // (rather than waiting for the looped-back INIT) lets `on_vect`
+        // screen incoming rows before they enter the matrix.
+        self.payload = Some(payload.clone());
         Ok(Step::broadcast(EbMessage::Init(payload)))
     }
 
@@ -294,16 +310,31 @@ impl EchoBroadcast {
         if self.rows[from].is_some() {
             return Step::none(); // duplicate row
         }
-        self.rows[from] = Some(v);
-        if self.sent_mat {
-            return Step::none();
+        // Screen the row before it enters the matrix: the sender can
+        // verify the one entry computed with a key it holds (its own
+        // index). A row that fails here is provably not `H(m ‖ ·)` over
+        // the broadcast payload and would only poison columns. A VECT
+        // arriving before `broadcast()` can only come from a corrupt peer
+        // (correct processes echo an INIT that does not exist yet).
+        let Some(payload) = self.payload.as_ref() else {
+            return Step::fault(from, FaultKind::NotEntitled);
+        };
+        if !mac::verify(payload, &self.keys.key_for(from), &v[self.me]) {
+            return Step::fault(from, FaultKind::BadAuthenticator);
         }
+        self.rows[from] = Some(v);
         let collected = self.rows.iter().filter(|r| r.is_some()).count();
         if collected < self.group.quorum() {
             return Step::none();
         }
-        // Enough rows: emit column j to every process j.
-        self.sent_mat = true;
+        // Enough rows: emit column j to every process j. Rows that pass
+        // the screen above can still carry invalid entries for OTHER
+        // receivers (only corrupt processes can produce such rows), so a
+        // first matrix built from the fastest `n - f` rows may fall short
+        // of the echo quorum at some receiver. Each straggler row
+        // therefore re-emits updated columns — at most `f` extra rounds —
+        // until every correct row is in, at which point every column
+        // carries at least `n - f ≥ ⌊(n+f)/2⌋ + 1` valid entries.
         let mut step = Step::none();
         for j in self.group.processes() {
             let column: Vec<Option<MacTag>> = self
@@ -338,7 +369,7 @@ impl EchoBroadcast {
     fn try_deliver(&mut self, col: &[Option<MacTag>]) -> EbStep {
         let payload = self.payload.as_ref().expect("payload known").clone();
         let valid = mac::count_valid_column_entries(&payload, &self.keys, col);
-        if valid >= self.group.one_correct() {
+        if valid >= self.group.echo_threshold() {
             self.delivered = true;
             self.metrics.eb_delivered.inc();
             self.metrics
@@ -480,7 +511,7 @@ mod tests {
         let table = KeyTable::dealer(4, 1);
         let mut rx = EchoBroadcast::new(g, 1, 0, table.view_of(1));
         let _ = rx.handle_message(0, EbMessage::Init(payload("m")));
-        // A column of garbage tags: 0 valid < f+1 = 2.
+        // A column of garbage tags: 0 valid < ⌊(n+f)/2⌋+1 = 3.
         let col = vec![Some(MacTag([9u8; TAG_LEN])); 4];
         let step = rx.handle_message(0, EbMessage::Mat(col));
         assert!(step.outputs.is_empty());
@@ -489,21 +520,42 @@ mod tests {
     }
 
     #[test]
-    fn column_with_exactly_f_plus_1_valid_hashes_delivers() {
+    fn column_at_exactly_echo_threshold_delivers() {
         let g = Group::new(4).unwrap();
         let table = KeyTable::dealer(4, 1);
         let mut rx = EchoBroadcast::new(g, 1, 0, table.view_of(1));
         let _ = rx.handle_message(0, EbMessage::Init(payload("m")));
-        // Rows 0 and 2 computed honestly (tags H(m ‖ s_{i,1})), rest bad.
+        // Rows 0, 2, 3 computed honestly (tags H(m ‖ s_{i,1})): exactly
+        // ⌊(n+f)/2⌋+1 = 3 valid entries, the delivery threshold.
         let honest = |i: usize| mac::authenticate(b"m", &table.view_of(i).key_for(1));
+        let col = vec![Some(honest(0)), None, Some(honest(2)), Some(honest(3))];
+        let step = rx.handle_message(0, EbMessage::Mat(col));
+        assert_eq!(step.outputs, vec![payload("m")]);
+    }
+
+    #[test]
+    fn column_below_echo_threshold_is_rejected() {
+        // f+1 = 2 valid entries used to deliver; that let an equivocating
+        // sender split correct deliverers by counting the receiver's own
+        // row (see the module docs). One short of the echo quorum must be
+        // rejected.
+        let g = Group::new(4).unwrap();
+        let table = KeyTable::dealer(4, 1);
+        let mut rx = EchoBroadcast::new(g, 1, 0, table.view_of(1));
+        let _ = rx.handle_message(0, EbMessage::Init(payload("m")));
+        let honest = |i: usize| mac::authenticate(b"m", &table.view_of(i).key_for(1));
+        // Sender's row plus the receiver's own row: the classic split
+        // column. 2 valid < 3.
         let col = vec![
             Some(honest(0)),
+            Some(honest(1)),
             None,
-            Some(honest(2)),
             Some(MacTag([0u8; TAG_LEN])),
         ];
         let step = rx.handle_message(0, EbMessage::Mat(col));
-        assert_eq!(step.outputs, vec![payload("m")]);
+        assert!(step.outputs.is_empty());
+        assert_eq!(step.faults[0].kind, FaultKind::BadAuthenticator);
+        assert!(!rx.is_delivered());
     }
 
     #[test]
@@ -554,16 +606,85 @@ mod tests {
         let table = KeyTable::dealer(4, 1);
         let mut sender = EchoBroadcast::new(g, 0, 0, table.view_of(0));
         let _ = sender.broadcast(payload("m")).unwrap();
-        let v = vec![MacTag([1; TAG_LEN]); 4];
-        let s1 = sender.handle_message(1, EbMessage::Vect(v.clone()));
+        let row = |i: usize| mac::hash_vector(b"m", &table.view_of(i));
+        let s1 = sender.handle_message(1, EbMessage::Vect(row(1)));
         assert!(s1.is_empty());
-        let s2 = sender.handle_message(1, EbMessage::Vect(v.clone()));
+        let s2 = sender.handle_message(1, EbMessage::Vect(row(1)));
         assert!(s2.is_empty());
         // Still needs a third distinct row before emitting the matrix.
-        let s3 = sender.handle_message(2, EbMessage::Vect(v.clone()));
+        let s3 = sender.handle_message(2, EbMessage::Vect(row(2)));
         assert!(s3.is_empty());
-        let s4 = sender.handle_message(3, EbMessage::Vect(v));
+        let s4 = sender.handle_message(3, EbMessage::Vect(row(3)));
         assert_eq!(s4.messages.len(), 4); // one column per process
+    }
+
+    #[test]
+    fn sender_screens_rows_it_can_disprove() {
+        // The sender holds the key for its own entry of every row; a row
+        // whose sender-entry does not verify is provably bogus and must
+        // not enter the matrix (it would only poison columns).
+        let g = Group::new(4).unwrap();
+        let table = KeyTable::dealer(4, 1);
+        let mut sender = EchoBroadcast::new(g, 0, 0, table.view_of(0));
+        let _ = sender.broadcast(payload("m")).unwrap();
+        let step = sender.handle_message(1, EbMessage::Vect(vec![MacTag([1; TAG_LEN]); 4]));
+        assert_eq!(step.faults[0].kind, FaultKind::BadAuthenticator);
+        // The slot stays free: an honest retransmission is still accepted.
+        let honest = mac::hash_vector(b"m", &table.view_of(1));
+        let s2 = sender.handle_message(1, EbMessage::Vect(honest));
+        assert!(s2.faults.is_empty());
+    }
+
+    #[test]
+    fn straggler_row_reemits_columns_until_quorum_everywhere() {
+        // A corrupt row can pass the sender's screen (valid entry for the
+        // sender's index) while carrying garbage for everyone else. The
+        // first matrix then leaves honest receivers below the echo
+        // quorum; the straggler's honest row must trigger a fresh, fuller
+        // matrix so they still deliver.
+        let g = Group::new(4).unwrap();
+        let table = KeyTable::dealer(4, 1);
+        let mut sender = EchoBroadcast::new(g, 0, 0, table.view_of(0));
+        let mut rx = EchoBroadcast::new(g, 1, 0, table.view_of(1));
+        let _ = sender.broadcast(payload("m")).unwrap();
+        let _ = rx.handle_message(0, EbMessage::Init(payload("m")));
+        // Sender's own row 0 (normally looped back via its own INIT).
+        let _ = sender.handle_message(
+            0,
+            EbMessage::Vect(mac::hash_vector(b"m", &table.view_of(0))),
+        );
+        // Corrupt process 2: entry for the sender is honest, the rest is
+        // garbage.
+        let mut poisoned = vec![MacTag([9; TAG_LEN]); 4];
+        poisoned[0] = mac::authenticate(b"m", &table.view_of(2).key_for(0));
+        let _ = sender.handle_message(2, EbMessage::Vect(poisoned));
+        // Row 1 (honest) completes the n-f quorum: first matrix goes out,
+        // but receiver 1's column holds only two valid entries (rows 0
+        // and 1) — below the echo quorum of 3.
+        let first = sender.handle_message(
+            1,
+            EbMessage::Vect(mac::hash_vector(b"m", &table.view_of(1))),
+        );
+        assert_eq!(first.messages.len(), 4);
+        let col_of = |step: &EbStep| match &step.messages[1].message {
+            EbMessage::Mat(col) => col.clone(),
+            other => panic!("expected MAT, got {other:?}"),
+        };
+        let d1 = rx.handle_message(0, EbMessage::Mat(col_of(&first)));
+        assert!(
+            d1.outputs.is_empty(),
+            "below-quorum column must not deliver"
+        );
+        assert!(!rx.is_delivered());
+        // Straggler row 3 arrives: the sender re-emits; the new column
+        // has three valid entries and receiver 1 delivers.
+        let second = sender.handle_message(
+            3,
+            EbMessage::Vect(mac::hash_vector(b"m", &table.view_of(3))),
+        );
+        assert_eq!(second.messages.len(), 4, "straggler must re-emit columns");
+        let d2 = rx.handle_message(0, EbMessage::Mat(col_of(&second)));
+        assert_eq!(d2.outputs, vec![payload("m")]);
     }
 
     #[test]
@@ -579,10 +700,12 @@ mod tests {
     fn equivocating_sender_cannot_split_deliveries() {
         // A corrupt sender (process 0) sends INIT "m1" to p1 and p2 but
         // INIT "m2" to p3, then builds the best matrices it can for each
-        // side. p1/p2 can deliver m1 (two correct rows hashed m1), but p3
-        // can never collect f+1 = 2 valid hashes over m2: only the
-        // sender's own row can vouch for it. The echo broadcast property
-        // — correct deliverers deliver the same message — holds.
+        // side. p1/p2 can deliver m1 (three rows over m1: the sender's
+        // plus two correct receivers'), but p3 can never collect
+        // ⌊(n+f)/2⌋+1 = 3 valid hashes over m2: only the sender's forged
+        // row and p3's OWN honest row vouch for it — 2 < 3. The echo
+        // broadcast property — correct deliverers deliver the same
+        // message — holds.
         let g = Group::new(4).unwrap();
         let table = KeyTable::dealer(4, 13);
         let rx = |me: usize| EchoBroadcast::new(g, me, 0, table.view_of(me));
@@ -595,7 +718,7 @@ mod tests {
         // Equivocating INITs.
         let s1 = p1.handle_message(0, EbMessage::Init(m1.clone()));
         let s2 = p2.handle_message(0, EbMessage::Init(m1.clone()));
-        let _s3 = p3.handle_message(0, EbMessage::Init(m2.clone()));
+        let s3 = p3.handle_message(0, EbMessage::Init(m2.clone()));
         // Extract the honest VECT rows p1/p2 produced over m1 (sent to
         // the sender, i.e. the adversary).
         let row = |s: &EbStep| match &s.messages[0].message {
@@ -604,7 +727,8 @@ mod tests {
         };
         let row1 = row(&s1);
         let row2 = row(&s2);
-        // The adversary's own rows for both messages.
+        let row3 = row(&s3); // p3's honest row — over m2!
+                             // The adversary's own rows for both messages.
         let row0_m1 = mac::hash_vector(&m1, &table.view_of(0));
         let row0_m2 = mac::hash_vector(&m2, &table.view_of(0));
 
@@ -613,9 +737,13 @@ mod tests {
         let d1 = p1.handle_message(0, EbMessage::Mat(col_p1));
         assert_eq!(d1.outputs, vec![m1.clone()]);
 
-        // Best column it can offer p3 for m2: only its own row is valid;
-        // it pads with the m1 rows, which cannot verify against m2.
-        let col_p3 = vec![Some(row0_m2[3]), Some(row1[3]), Some(row2[3]), None];
+        // Best column it can offer p3 for m2: its own forged row plus
+        // p3's OWN honest row (p3 hashed m2, so that entry verifies). It
+        // pads with p1's m1 row, which cannot verify against m2. Under an
+        // f+1 threshold this column DID deliver, splitting the correct
+        // deliverers; the echo quorum demands a third supporter that does
+        // not exist.
+        let col_p3 = vec![Some(row0_m2[3]), Some(row1[3]), None, Some(row3[3])];
         let d3 = p3.handle_message(0, EbMessage::Mat(col_p3));
         assert!(
             d3.outputs.is_empty(),

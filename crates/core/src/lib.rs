@@ -61,6 +61,7 @@
 #![warn(missing_docs)]
 
 pub mod ab;
+pub mod adversary;
 pub mod bc;
 pub mod causal;
 pub mod codec;
@@ -68,6 +69,7 @@ pub mod config;
 pub mod eb;
 pub mod error;
 pub mod fifo;
+pub mod invariants;
 pub mod mvc;
 pub mod node;
 pub mod rb;

@@ -59,7 +59,7 @@ pub enum VectTransport {
 /// real values).
 pub type MvcValue = Option<Bytes>;
 
-fn encode_value(w: &mut Writer, v: &MvcValue) {
+pub(crate) fn encode_value(w: &mut Writer, v: &MvcValue) {
     match v {
         Some(b) => {
             w.u8(1).bytes(b);
@@ -70,7 +70,7 @@ fn encode_value(w: &mut Writer, v: &MvcValue) {
     }
 }
 
-fn decode_value(r: &mut Reader<'_>) -> Result<MvcValue, WireError> {
+pub(crate) fn decode_value(r: &mut Reader<'_>) -> Result<MvcValue, WireError> {
     match r.u8("mvc.value.tag")? {
         0 => Ok(None),
         1 => Ok(Some(r.bytes("mvc.value")?)),

@@ -29,6 +29,37 @@ pub enum Schedule {
     Lifo,
 }
 
+impl Schedule {
+    /// Every schedule, in matrix order (the `schedule` axis of the
+    /// adversarial conformance matrix).
+    pub const ALL: [Schedule; 3] = [Schedule::Random, Schedule::Fifo, Schedule::Lifo];
+}
+
+impl core::fmt::Display for Schedule {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Schedule::Random => "random",
+            Schedule::Fifo => "fifo",
+            Schedule::Lifo => "lifo",
+        })
+    }
+}
+
+impl std::str::FromStr for Schedule {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "random" => Ok(Schedule::Random),
+            "fifo" => Ok(Schedule::Fifo),
+            "lifo" => Ok(Schedule::Lifo),
+            other => Err(format!(
+                "unknown schedule {other:?} (expected random, fifo or lifo)"
+            )),
+        }
+    }
+}
+
 /// A deterministic cluster of `n` stacks connected by reliable links.
 ///
 /// # Example
@@ -59,6 +90,10 @@ pub struct Cluster {
     /// duplicated, bit-flipped or replaced with garbage) — a wire-level
     /// Byzantine adversary.
     corrupted: Vec<bool>,
+    /// Protocol-aware Byzantine strategies (see [`crate::adversary`]):
+    /// when set for a process, every outbound frame is decoded and run
+    /// through the strategy once per destination before it travels.
+    strategies: Vec<Option<Box<dyn crate::adversary::Strategy>>>,
     /// Processes whose inbound frames are currently withheld (extreme
     /// asynchrony: the frames are buffered, not lost, and re-enter the
     /// queue on release — delay, never loss, per the reliable-channel
@@ -110,6 +145,7 @@ impl Cluster {
             rng_state: seed.wrapping_mul(0x9E3779B97F4A7C15) | 1,
             crashed: vec![false; n],
             corrupted: vec![false; n],
+            strategies: (0..n).map(|_| None).collect(),
             held_inbound: vec![false; n],
             stash: Vec::new(),
             severed: std::collections::HashSet::new(),
@@ -180,6 +216,21 @@ impl Cluster {
         self.corrupted[p] = true;
     }
 
+    /// Installs a protocol-aware Byzantine [`crate::adversary::Strategy`]
+    /// for process `p`: every frame its stack emits is decoded, handed to
+    /// the strategy once per destination (broadcasts included — the basis
+    /// of equivocation), and replaced by whatever frames the strategy
+    /// returns. Takes precedence over [`Cluster::corrupt`]'s wire-level
+    /// mutation for the same process.
+    pub fn set_strategy(&mut self, p: ProcessId, strategy: Box<dyn crate::adversary::Strategy>) {
+        self.strategies[p] = Some(strategy);
+    }
+
+    /// Group size.
+    pub fn n(&self) -> usize {
+        self.stacks.len()
+    }
+
     /// Applies the wire-level mutation to a frame from a corrupted
     /// process; returns the (0, 1 or 2) frames that actually travel.
     fn mutate(&mut self, frame: Bytes) -> Vec<Bytes> {
@@ -238,6 +289,31 @@ impl Cluster {
         }
         let n = self.stacks.len();
         for out in step.messages {
+            if self.strategies[p].is_some() {
+                let dests: Vec<ProcessId> = match out.target {
+                    Target::All => (0..n).collect(),
+                    Target::One(to) => vec![to],
+                };
+                match crate::adversary::decode_frame(&out.message) {
+                    Some((key, msg)) => {
+                        let strategy = self.strategies[p].as_mut().expect("checked above");
+                        for to in dests {
+                            let ctx = crate::adversary::SendCtx { me: p, to, n };
+                            for frame in strategy.rewrite(&ctx, key, msg.clone()) {
+                                self.queue.push((p, to, frame));
+                            }
+                        }
+                    }
+                    // An honest stack never emits an undecodable frame;
+                    // if one appears (strategy-injected), pass it through.
+                    None => {
+                        for to in dests {
+                            self.queue.push((p, to, out.message.clone()));
+                        }
+                    }
+                }
+                continue;
+            }
             let frames = if self.corrupted[p] {
                 self.mutate(out.message)
             } else {

@@ -74,6 +74,24 @@ impl Faultload {
         }
     }
 
+    /// The canonical CLI specification string of this faultload — the
+    /// exact inverse of [`FromStr`](std::str::FromStr): every faultload
+    /// satisfies `f.spec().parse() == Ok(f)`. Used to echo a run's
+    /// configuration into reports in replayable form.
+    pub fn spec(&self) -> String {
+        match self {
+            Faultload::FailureFree => "failure-free".to_string(),
+            Faultload::FailStop { victim } => format!("fail-stop:{victim}"),
+            Faultload::Byzantine { attacker } => format!("byzantine:{attacker}"),
+            Faultload::Slow { victim, delay_ns } => format!("slow:{victim}:{delay_ns}"),
+            Faultload::LinkFlap {
+                victim_link: (a, b),
+                period_ns,
+                outage_ns,
+            } => format!("link-flap:{a}-{b}:{period_ns}:{outage_ns}"),
+        }
+    }
+
     /// Short label for reports.
     pub fn label(&self) -> &'static str {
         match self {
@@ -281,6 +299,91 @@ mod tests {
             "link-flap:0-1:0:0",
             "link-flap:0-1:100:100",
             "failure-free:extra",
+        ] {
+            assert!(bad.parse::<Faultload>().is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_every_variant() {
+        let loads = [
+            Faultload::FailureFree,
+            Faultload::FailStop { victim: 0 },
+            Faultload::FailStop { victim: 3 },
+            Faultload::Byzantine { attacker: 2 },
+            Faultload::Slow {
+                victim: 1,
+                delay_ns: 500_000,
+            },
+            Faultload::Slow {
+                victim: 0,
+                delay_ns: 0,
+            },
+            Faultload::LinkFlap {
+                victim_link: (0, 1),
+                period_ns: 4_000_000,
+                outage_ns: 1_000_000,
+            },
+            Faultload::LinkFlap {
+                victim_link: (2, 3),
+                period_ns: 2,
+                outage_ns: 1,
+            },
+        ];
+        for f in loads {
+            let spec = f.spec();
+            assert_eq!(
+                spec.parse::<Faultload>(),
+                Ok(f),
+                "spec {spec:?} did not round-trip"
+            );
+            // The spec is canonical: re-rendering the parse reproduces it.
+            assert_eq!(spec.parse::<Faultload>().unwrap().spec(), spec);
+        }
+    }
+
+    #[test]
+    fn malformed_specs_name_the_offending_input() {
+        // The error message embeds the rejected string verbatim so CLI
+        // users can see what was actually received (quoting matters for
+        // whitespace or empty input).
+        let err = "slow:1:not-a-number".parse::<Faultload>().unwrap_err();
+        assert!(err.to_string().contains("\"slow:1:not-a-number\""));
+        let err = "".parse::<Faultload>().unwrap_err();
+        assert!(err.to_string().contains("\"\""));
+    }
+
+    #[test]
+    fn rejects_malformed_args_and_trailing_tokens() {
+        for bad in [
+            // Missing or non-numeric arguments, per variant.
+            "byzantine",
+            "byzantine:",
+            "byzantine:one",
+            "fail-stop:-1",
+            "slow",
+            "slow:1:",
+            "slow:a:5",
+            "slow:1:5.0",
+            "link-flap",
+            "link-flap:0-1",
+            "link-flap:0-1:100",
+            "link-flap:0-1:100:",
+            "link-flap:a-b:100:10",
+            "link-flap:0-:100:10",
+            "link-flap:-1:100:10",
+            // Outage must be strictly inside the period.
+            "link-flap:0-1:100:200",
+            // Trailing tokens after a complete, valid spec.
+            "fail-stop:3:9",
+            "byzantine:2:0",
+            "slow:1:500000:7",
+            "link-flap:0-1:4000000:1000000:0",
+            "failure-free:",
+            // Case and whitespace are not normalized.
+            "Failure-Free",
+            " failure-free",
+            "fail-stop: 3",
         ] {
             assert!(bad.parse::<Faultload>().is_err(), "accepted {bad:?}");
         }

@@ -5,17 +5,24 @@
 //! * binary consensus satisfies agreement + validity under arbitrary
 //!   schedules, proposal mixes and coin seeds;
 //! * atomic broadcast keeps its total order under random bursts;
-//! * Bracha's validation rule never rejects a correct process's value.
+//! * Bracha's validation rule never rejects a correct process's value;
+//! * structurally valid but semantically conflicting (equivocated) BC
+//!   tallies and EB hash-vectors are rejected without panics.
+//!
+//! Protocol-level properties are checked through the same
+//! [`ritas::invariants::InvariantChecker`] the adversarial conformance
+//! harness uses (see `tests/adversary_matrix.rs`), so the predicates
+//! stay in one place.
 
 #![allow(clippy::needless_range_loop)] // indexing by process id is idiomatic here
 
 use bytes::Bytes;
 use proptest::prelude::*;
-use ritas::ab::MsgId;
 use ritas::bc::validation::{
     majority, next_round_valid, step2_valid, step3_valid, strict_majority, Tally,
 };
 use ritas::codec::WireMessage;
+use ritas::invariants::InvariantChecker;
 use ritas::rb::RbMessage;
 use ritas::stack::{InstanceKey, Output};
 use ritas::testing::Cluster;
@@ -183,7 +190,9 @@ proptest! {
         }
     }
 
-    /// Atomic broadcast total order under random bursts and schedules.
+    /// Atomic broadcast total order under random bursts and schedules,
+    /// checked through the shared invariants module (prefix-compatible
+    /// orders, no duplicates, payload agreement + integrity).
     #[test]
     fn ab_total_order(
         counts in proptest::collection::vec(0usize..4, 4),
@@ -192,70 +201,197 @@ proptest! {
         let total: usize = counts.iter().sum();
         prop_assume!(total > 0);
         let mut cluster = Cluster::new(4, seed);
+        let mut checker = InvariantChecker::new(4);
         for p in 0..4 {
             for k in 0..counts[p] {
-                let (_, s) = cluster
-                    .stack_mut(p)
-                    .ab_broadcast(0, Bytes::from(format!("{p}:{k}")));
+                let payload = Bytes::from(format!("{p}:{k}"));
+                let (id, s) = cluster.stack_mut(p).ab_broadcast(0, payload.clone());
+                checker.expect_ab(id, payload);
                 cluster.absorb(p, s);
             }
         }
         cluster.run();
-        let order = |p: usize| -> Vec<MsgId> {
-            cluster
+        if let Err(v) = checker.check_cluster(&cluster) {
+            prop_assert!(false, "safety violation: {}", v);
+        }
+        // Termination: every process a-delivered the whole burst (the
+        // checker constrains safety only).
+        for p in 0..4 {
+            let delivered = cluster
                 .outputs(p)
                 .iter()
-                .filter_map(|o| match o {
-                    Output::AbDelivered { delivery, .. } => Some(delivery.id),
-                    _ => None,
-                })
-                .collect()
-        };
-        let o0 = order(0);
-        prop_assert_eq!(o0.len(), total, "missing deliveries");
-        for p in 1..4 {
-            prop_assert_eq!(order(p), o0.clone(), "order diverged at {}", p);
+                .filter(|o| matches!(o, Output::AbDelivered { .. }))
+                .count();
+            prop_assert_eq!(delivered, total, "missing deliveries at {}", p);
         }
-        // No duplicates.
-        let mut dedup = o0.clone();
-        dedup.sort();
-        dedup.dedup();
-        prop_assert_eq!(dedup.len(), o0.len());
     }
 
     /// Multi-valued consensus decides a proposed value or ⊥ — never an
-    /// invented value (validity).
+    /// invented value (validity) — with agreement and validity enforced
+    /// by the shared invariants module.
     #[test]
     fn mvc_decides_proposed_or_bottom(
         values in proptest::collection::vec(0u8..4, 4),
         seed in any::<u64>(),
     ) {
         let mut cluster = Cluster::new(4, seed);
+        let mut checker = InvariantChecker::new(4);
         for p in 0..4 {
+            let value = Bytes::from(vec![values[p]]);
             let s = cluster
                 .stack_mut(p)
-                .mvc_propose(1, Bytes::from(vec![values[p]]))
+                .mvc_propose(1, value.clone())
                 .unwrap();
+            checker.expect_mvc(1, p, Some(value));
             cluster.absorb(p, s);
         }
         cluster.run();
-        let mut decisions = Vec::new();
+        if let Err(v) = checker.check_cluster(&cluster) {
+            prop_assert!(false, "safety violation: {}", v);
+        }
         for p in 0..4 {
-            let d = cluster.outputs(p).iter().find_map(|o| match o {
-                Output::MvcDecided { decision, .. } => Some(decision.clone()),
-                _ => None,
-            });
-            let d = d.expect("every process decides");
-            if let Some(v) = &d {
+            let decided = cluster
+                .outputs(p)
+                .iter()
+                .any(|o| matches!(o, Output::MvcDecided { .. }));
+            prop_assert!(decided, "process {} never decided", p);
+        }
+    }
+}
+
+// ---------- semantic equivocation (structurally valid conflicts) ----------
+
+proptest! {
+    /// An equivocated binary consensus value echoed by at most `f`
+    /// processes — structurally a perfectly well-formed step value — must
+    /// never pass the step-2/step-3 validation rules, whatever else the
+    /// tally holds. (`q = 2f + 1` for the paper's `n = 3f + 1` groups, so
+    /// any justifying subset needs more than `f` supporters.)
+    #[test]
+    fn minority_equivocated_value_never_validates(
+        f in 1usize..4,
+        support in 0usize..4,
+        honest_extra in 0usize..12,
+        bottoms in 0usize..4,
+    ) {
+        let q = 2 * f + 1;
+        let support = support.min(f); // the lie's backers: at most f
+        // Everyone else holds the honest value 1 (so the lie is 0): with
+        // at most f < ⌈q/2⌉ backers, no q-subset makes the lie a
+        // (strict) majority.
+        let tally0 = Tally { zeros: support, ones: q + honest_extra, bottoms: 0 };
+        prop_assert!(!step2_valid(&tally0, false, q));
+        prop_assert!(!step3_valid(&tally0, Some(false), q));
+        // Symmetrically with the lie being 1.
+        let tally1 = Tally { zeros: q + honest_extra, ones: support, bottoms: 0 };
+        prop_assert!(!step2_valid(&tally1, true, q));
+        prop_assert!(!step3_valid(&tally1, Some(true), q));
+        // With zero supporters and no ⊥ in sight, the lie cannot enter
+        // the next round either (no adopt branch, no coin subset).
+        if support == 0 && bottoms == 0 {
+            let tally = Tally { zeros: q + honest_extra, ones: 0, bottoms: 0 };
+            prop_assert!(!next_round_valid(&tally, true, q, f));
+        }
+    }
+
+    /// Validation rules are total functions: arbitrary — including
+    /// absurdly inflated, attacker-claimed — tallies never panic, for any
+    /// plausible quorum size.
+    #[test]
+    fn validation_never_panics_on_conflicting_tallies(
+        zeros in 0usize..1000,
+        ones in 0usize..1000,
+        bottoms in 0usize..1000,
+        f in 1usize..8,
+    ) {
+        let q = 2 * f + 1;
+        let t = Tally { zeros, ones, bottoms };
+        for v in [false, true] {
+            let _ = step2_valid(&t, v, q);
+            let _ = step3_valid(&t, Some(v), q);
+            let _ = next_round_valid(&t, v, q, f);
+        }
+        let _ = step3_valid(&t, None, q);
+        let _ = majority(&t);
+        let _ = strict_majority(&t);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Echo broadcast under hash-vector equivocation: the sender INITs
+    /// `m1` to two correct receivers and `m2` to a third, then offers
+    /// each side the best matrix column it can forge — its own (valid)
+    /// row for the equivocated message padded with the honest rows,
+    /// which only authenticate `m1`. The `f + 1` valid-MAC acceptance
+    /// rule must confine delivery to `m1`: columns are structurally
+    /// valid, the conflict is purely semantic, and rejection must be
+    /// fault-flagged, never a panic.
+    #[test]
+    fn eb_hash_vector_equivocation_cannot_split(
+        m1 in arb_bytes(64),
+        m2 in arb_bytes(64),
+        key_seed in any::<u64>(),
+        odd_one_out in 1usize..4,
+    ) {
+        use ritas::eb::{EbMessage, EchoBroadcast};
+        use ritas_crypto::{mac, KeyTable};
+
+        prop_assume!(m1 != m2);
+        let g = ritas::Group::new(4).unwrap();
+        let table = KeyTable::dealer(4, key_seed);
+        let mut receivers: Vec<EchoBroadcast> = (1..4)
+            .map(|me| EchoBroadcast::new(g, me, 0, table.view_of(me)))
+            .collect();
+
+        // Equivocating INITs: `odd_one_out` hears m2, the others m1.
+        let mut honest_rows: Vec<Option<Vec<_>>> = vec![None; 4];
+        for me in 1..4 {
+            let m = if me == odd_one_out { &m2 } else { &m1 };
+            let step = receivers[me - 1].handle_message(0, EbMessage::Init(m.clone()));
+            // The receiver answers with its VECT row over what it heard.
+            if let Some(out) = step.messages.first() {
+                if let EbMessage::Vect(row) = &out.message {
+                    honest_rows[me] = Some(row.clone());
+                }
+            }
+        }
+        let row0_m1 = mac::hash_vector(&m1, &table.view_of(0));
+        let row0_m2 = mac::hash_vector(&m2, &table.view_of(0));
+
+        for me in 1..4 {
+            let (own_row, m) = if me == odd_one_out {
+                (&row0_m2, &m2)
+            } else {
+                (&row0_m1, &m1)
+            };
+            // Column for `me`: sender's own row over what it told `me`,
+            // plus every honest row (which authenticates only m1).
+            let column: Vec<Option<mac::MacTag>> = (0..4)
+                .map(|i| {
+                    if i == 0 {
+                        Some(own_row[me])
+                    } else {
+                        honest_rows[i].as_ref().map(|row| row[me])
+                    }
+                })
+                .collect();
+            let step = receivers[me - 1].handle_message(0, EbMessage::Mat(column));
+            if me == odd_one_out {
+                // Only the sender's row vouches for m2: below f+1 = 2.
                 prop_assert!(
-                    values.contains(&v[0]),
-                    "decided a value nobody proposed"
+                    step.outputs.is_empty(),
+                    "equivocated {:?} delivered at {}", m, me
+                );
+                prop_assert!(!receivers[me - 1].is_delivered());
+            } else {
+                prop_assert_eq!(
+                    step.outputs.clone(),
+                    vec![m1.clone()],
+                    "honest side failed to deliver at {}", me
                 );
             }
-            decisions.push(d);
-        }
-        for d in &decisions {
-            prop_assert_eq!(d, &decisions[0], "agreement violated");
         }
     }
 }
