@@ -1,0 +1,325 @@
+//! **ritas-loadgen** — the service-tier load generator that seeds the
+//! bench trajectory for the client front-end.
+//!
+//! Spins up a full `n = 4, f = 1` replica group with a TCP service
+//! front-end per replica, drives it with concurrent intrusion-tolerant
+//! clients (`2f+1` fan-out, `f+1`-vote reply masking), and reports
+//! throughput plus end-to-end client latency percentiles.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p ritas-bench --bin ritas-loadgen -- \
+//!     [--clients N] [--requests M] [--rate R] [--value-size B]
+//!     [--tcp] [--chaos] [--seed S] [--json]
+//! ```
+//!
+//! * `--clients` — concurrent closed-loop clients (default 4);
+//! * `--requests` — requests per client (default 50);
+//! * `--rate` — total open-loop request rate in req/s (0 = closed loop);
+//! * `--value-size` — request payload bytes (default 64);
+//! * `--tcp` — replica mesh over real TCP sessions (default: in-memory
+//!   hub mesh with TCP only at the client edge);
+//! * `--chaos` — implies `--tcp`; kills one replica↔replica socket
+//!   mid-run and lets the session layer resume it (the CI smoke's
+//!   fault);
+//! * `--json` — emit a JSON report on stdout (the `BENCH_service.json`
+//!   artifact).
+//!
+//! The replicated state counts applies per `(client, seq)`, so the
+//! report's `duplicate_applies` field is a *measured* exactly-once
+//! check, not an assumption — it must be 0 under retries, failover and
+//! chaos alike.
+
+use bytes::Bytes;
+use ritas::node::{Node, SessionConfig};
+use ritas::service::{ServiceConfig, ServiceReplica};
+use ritas_crypto::ClientKeyDealer;
+use ritas_metrics::Metrics;
+use ritas_service::client::{ClientConfig, ServiceClient};
+use ritas_service::server::{ServerConfig, ServiceServer};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Replicated loadgen state: the running counter clients read back, plus
+/// the per-`(client, seq)` apply tally behind the exactly-once check.
+#[derive(Default)]
+struct LoadState {
+    total: u64,
+    applied: HashMap<(u64, u64), u64>,
+}
+
+struct Args {
+    clients: usize,
+    requests: usize,
+    rate: f64,
+    value_size: usize,
+    tcp: bool,
+    chaos: bool,
+    seed: u64,
+    json: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        clients: 4,
+        requests: 50,
+        rate: 0.0,
+        value_size: 64,
+        tcp: false,
+        chaos: false,
+        seed: 7,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |what: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {what}"))
+        };
+        match flag.as_str() {
+            "--clients" => args.clients = val("--clients").parse().expect("--clients"),
+            "--requests" => args.requests = val("--requests").parse().expect("--requests"),
+            "--rate" => args.rate = val("--rate").parse().expect("--rate"),
+            "--value-size" => args.value_size = val("--value-size").parse().expect("--value-size"),
+            "--seed" => args.seed = val("--seed").parse().expect("--seed"),
+            "--tcp" => args.tcp = true,
+            "--chaos" => {
+                args.tcp = true;
+                args.chaos = true;
+            }
+            "--json" => args.json = true,
+            other => panic!("unknown flag {other} (see the module docs for usage)"),
+        }
+    }
+    args
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args = parse_args();
+    let n = 4;
+
+    let session = SessionConfig::new(n)
+        .expect("n=4 is a valid group")
+        .with_master_seed(args.seed);
+    let key_seed = session.client_key_seed();
+    let dealer = ClientKeyDealer::new(key_seed);
+
+    let (nodes, chaos) = if args.tcp {
+        let (nodes, handles) =
+            Node::tcp_cluster_with_chaos(session, Duration::from_secs(10)).expect("tcp mesh");
+        (nodes, Some(handles))
+    } else {
+        (Node::cluster(session).expect("hub mesh"), None)
+    };
+
+    let servers: Vec<ServiceServer<LoadState>> = nodes
+        .into_iter()
+        .map(|node| {
+            let replica = Arc::new(ServiceReplica::new(
+                node,
+                LoadState::default(),
+                ServiceConfig::default(),
+                |state: &mut LoadState, client, cmd: &[u8]| {
+                    // Payload layout: 8-byte seq, then filler value bytes.
+                    let mut seq_bytes = [0u8; 8];
+                    seq_bytes.copy_from_slice(&cmd[..8]);
+                    let seq = u64::from_be_bytes(seq_bytes);
+                    *state.applied.entry((client, seq)).or_insert(0) += 1;
+                    state.total += 1;
+                    Bytes::from(state.total.to_be_bytes().to_vec())
+                },
+                |state: &LoadState, _q: &[u8]| Bytes::from(state.total.to_be_bytes().to_vec()),
+            ));
+            ServiceServer::spawn(replica, dealer, ServerConfig::default()).expect("front-end")
+        })
+        .collect();
+    let addrs: Vec<std::net::SocketAddr> = servers.iter().map(|s| s.addr()).collect();
+
+    // One shared client-side metrics registry, so retries/vote-failures
+    // aggregate across all clients.
+    let client_metrics = Metrics::new();
+
+    // Link chaos: kill one replica↔replica socket a moment into the run;
+    // the session layer must resume it without the clients noticing more
+    // than latency.
+    if args.chaos {
+        let handles = chaos.expect("chaos implies tcp");
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(400));
+            let killed = handles[0].kill_link(1);
+            eprintln!("chaos: killed link 0->1 = {killed}");
+        });
+    }
+
+    let started = Instant::now();
+    let per_client_rate = if args.rate > 0.0 {
+        args.rate / args.clients as f64
+    } else {
+        0.0
+    };
+    let workers: Vec<_> = (0..args.clients)
+        .map(|c| {
+            let addrs = addrs.clone();
+            let metrics = client_metrics.clone();
+            let requests = args.requests;
+            let value_size = args.value_size;
+            std::thread::spawn(move || {
+                let mut client = ServiceClient::new(
+                    1000 + c as u64,
+                    addrs,
+                    ClientConfig {
+                        key_seed,
+                        metrics,
+                        ..ClientConfig::default()
+                    },
+                );
+                let mut latencies = Vec::with_capacity(requests);
+                let mut ok = 0usize;
+                let pace = if per_client_rate > 0.0 {
+                    Some(Duration::from_secs_f64(1.0 / per_client_rate))
+                } else {
+                    None
+                };
+                for i in 0..requests {
+                    // seq occupies the first 8 payload bytes; the client
+                    // library allocates the session seq itself, so mirror
+                    // it: our per-client request index is unique too.
+                    let mut payload = vec![0u8; 8 + value_size];
+                    payload[..8].copy_from_slice(&(i as u64 + 1).to_be_bytes());
+                    let t0 = Instant::now();
+                    if client.invoke(Bytes::from(payload)).is_ok() {
+                        ok += 1;
+                        latencies.push(t0.elapsed().as_nanos() as u64);
+                    }
+                    if let Some(gap) = pace {
+                        let next = t0 + gap;
+                        if let Some(sleep) = next.checked_duration_since(Instant::now()) {
+                            std::thread::sleep(sleep);
+                        }
+                    }
+                }
+                client.shutdown();
+                (ok, latencies)
+            })
+        })
+        .collect();
+
+    let mut ok_total = 0usize;
+    let mut latencies: Vec<u64> = Vec::new();
+    for w in workers {
+        let (ok, mut lat) = w.join().expect("client worker");
+        ok_total += ok;
+        latencies.append(&mut lat);
+    }
+    let wall = started.elapsed();
+
+    // Settle the tail, then audit the replicated exactly-once tally on
+    // every replica.
+    let mut duplicate_applies = 0u64;
+    let mut applied_distinct = 0u64;
+    for s in &servers {
+        let _ = s.replica().barrier();
+    }
+    for (i, s) in servers.iter().enumerate() {
+        let (dups, distinct) = s.replica().read_state(|st| {
+            (
+                st.applied.values().map(|c| c - 1).sum::<u64>(),
+                st.applied.len() as u64,
+            )
+        });
+        if i == 0 {
+            applied_distinct = distinct;
+        }
+        duplicate_applies += dups;
+    }
+
+    latencies.sort_unstable();
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+    let throughput = ok_total as f64 / wall.as_secs_f64();
+    let snap = client_metrics.snapshot();
+    let retries = snap
+        .counters
+        .get("service_client_retries")
+        .copied()
+        .unwrap_or(0);
+    let vote_failures = snap
+        .counters
+        .get("service_client_vote_failures")
+        .copied()
+        .unwrap_or(0);
+    let dedup_hits: u64 = servers
+        .iter()
+        .map(|s| s.replica().metrics().service_dedup_hits.get())
+        .sum();
+
+    if args.json {
+        println!(
+            "{{\"bench\":\"service_loadgen\",\"n\":{n},\"f\":1,\"clients\":{},\"requests_per_client\":{},\
+             \"rate_rps\":{},\"value_size\":{},\"tcp\":{},\"chaos\":{},\"seed\":{},\
+             \"requests_ok\":{ok_total},\"wall_ms\":{},\"throughput_rps\":{:.1},\
+             \"latency_p50_ns\":{p50},\"latency_p99_ns\":{p99},\
+             \"client_retries\":{retries},\"vote_failures\":{vote_failures},\
+             \"dedup_hits\":{dedup_hits},\"applied_distinct\":{applied_distinct},\
+             \"duplicate_applies\":{duplicate_applies}}}",
+            args.clients,
+            args.requests,
+            args.rate,
+            args.value_size,
+            args.tcp,
+            args.chaos,
+            args.seed,
+            wall.as_millis(),
+            throughput,
+        );
+    } else {
+        println!(
+            "ritas-loadgen: n={n} f=1, {} clients x {} requests",
+            args.clients, args.requests
+        );
+        println!(
+            "  mesh:               {}",
+            if args.tcp { "tcp" } else { "in-memory hub" }
+        );
+        println!(
+            "  ok/total:           {ok_total}/{}",
+            args.clients * args.requests
+        );
+        println!("  wall:               {:.2} s", wall.as_secs_f64());
+        println!("  throughput:         {throughput:.1} req/s");
+        println!("  e2e p50:            {:.2} ms", p50 as f64 / 1e6);
+        println!("  e2e p99:            {:.2} ms", p99 as f64 / 1e6);
+        println!("  client retries:     {retries}");
+        println!("  vote failures:      {vote_failures}");
+        println!("  server dedup hits:  {dedup_hits}");
+        println!("  duplicate applies:  {duplicate_applies} (exactly-once check)");
+    }
+
+    let mut failures = Vec::new();
+    if duplicate_applies != 0 {
+        failures.push(format!(
+            "{duplicate_applies} duplicate applies (exactly-once violated)"
+        ));
+    }
+    if ok_total == 0 {
+        failures.push("no request succeeded".to_string());
+    }
+    for mut s in servers {
+        s.replica().shutdown();
+        s.shutdown();
+    }
+    if !failures.is_empty() {
+        eprintln!("FAIL: {}", failures.join("; "));
+        std::process::exit(1);
+    }
+}

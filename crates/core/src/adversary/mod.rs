@@ -374,6 +374,68 @@ impl std::str::FromStr for StrategyKind {
     }
 }
 
+/// A seeded byte-level frame corrupter, usable on *any* framed byte
+/// string — protocol frames here, and the service tier's client replies
+/// in the conformance tests. The arms mirror the cluster's wire-level
+/// `corrupt()`: drop, duplicate, bit-flip, truncate, or replace with
+/// garbage, all replayable from the seed.
+///
+/// [`RandomMutation`] is this mutator applied to protocol frames; the
+/// service tests apply it to REPLY frames to model a replica that lies to
+/// its clients rather than to its peers.
+#[derive(Debug, Clone)]
+pub struct FrameMutator {
+    rng: StrategyRng,
+}
+
+impl FrameMutator {
+    /// Creates a mutator with its seed.
+    pub fn new(seed: u64) -> Self {
+        FrameMutator {
+            rng: StrategyRng::new(seed ^ 0xF1E1D),
+        }
+    }
+
+    /// Rewrites one frame into zero, one or two frames at random.
+    pub fn mutate(&mut self, frame: Bytes) -> Vec<Bytes> {
+        match self.rng.next() % 6 {
+            0 => Vec::new(),                 // drop
+            1 => vec![frame.clone(), frame], // duplicate
+            2 => vec![self.flip_bit(frame)],
+            3 => {
+                // Truncate.
+                let len = (self.rng.next() as usize) % (frame.len() + 1);
+                vec![frame.slice(0..len)]
+            }
+            4 => vec![self.garbage()],
+            _ => vec![frame], // pass through
+        }
+    }
+
+    /// Flips one seeded bit of `frame` — corruption that always keeps a
+    /// same-length, decodable-looking frame (the hardest lie to filter
+    /// structurally; only MACs or votes can reject it).
+    pub fn flip_bit(&mut self, frame: Bytes) -> Bytes {
+        let mut v = frame.to_vec();
+        if !v.is_empty() {
+            let pos = (self.rng.next() as usize) % v.len();
+            let bit = (self.rng.next() % 8) as u8;
+            v[pos] ^= 1 << bit;
+        }
+        Bytes::from(v)
+    }
+
+    /// A short frame of seeded garbage.
+    pub fn garbage(&mut self) -> Bytes {
+        let len = 1 + (self.rng.next() as usize) % 24;
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            v.push(self.rng.next() as u8);
+        }
+        Bytes::from(v)
+    }
+}
+
 /// Small seeded xorshift used by strategies (same generator family as the
 /// test cluster's scheduler; strategies must be replayable).
 #[derive(Debug, Clone)]

@@ -6,8 +6,8 @@
 //! run is replayable bit-for-bit from `(strategy, schedule, seed)`.
 
 use super::{
-    innermost_rb_stage, is_eb_mat, with_innermost_payload, PayloadKind, ProtocolMsg, RbStage,
-    SendCtx, Strategy, StrategyRng,
+    innermost_rb_stage, is_eb_mat, with_innermost_payload, FrameMutator, PayloadKind, ProtocolMsg,
+    RbStage, SendCtx, Strategy, StrategyRng,
 };
 use crate::bc::{decode_val, encode_val};
 use crate::codec::WireMessage;
@@ -302,14 +302,14 @@ impl Strategy for StaleReplay {
 /// per peer.
 #[derive(Debug)]
 pub struct RandomMutation {
-    rng: StrategyRng,
+    mutator: FrameMutator,
 }
 
 impl RandomMutation {
     /// Creates the strategy with its mutation seed.
     pub fn new(seed: u64) -> Self {
         RandomMutation {
-            rng: StrategyRng::new(seed ^ 0xF1E1D),
+            mutator: FrameMutator::new(seed),
         }
     }
 }
@@ -320,36 +320,7 @@ impl Strategy for RandomMutation {
     }
 
     fn rewrite(&mut self, _ctx: &SendCtx, key: InstanceKey, msg: ProtocolMsg) -> Vec<Bytes> {
-        let frame = msg.frame(key);
-        match self.rng.next() % 6 {
-            0 => Vec::new(),                 // drop
-            1 => vec![frame.clone(), frame], // duplicate
-            2 => {
-                // Bit-flip at a seeded position.
-                let mut v = frame.to_vec();
-                if !v.is_empty() {
-                    let pos = (self.rng.next() as usize) % v.len();
-                    let bit = (self.rng.next() % 8) as u8;
-                    v[pos] ^= 1 << bit;
-                }
-                vec![Bytes::from(v)]
-            }
-            3 => {
-                // Truncate.
-                let len = (self.rng.next() as usize) % (frame.len() + 1);
-                vec![frame.slice(0..len)]
-            }
-            4 => {
-                // Replace with seeded garbage.
-                let len = 1 + (self.rng.next() as usize) % 24;
-                let mut v = Vec::with_capacity(len);
-                for _ in 0..len {
-                    v.push(self.rng.next() as u8);
-                }
-                vec![Bytes::from(v)]
-            }
-            _ => vec![frame], // pass through
-        }
+        self.mutator.mutate(msg.frame(key))
     }
 }
 
@@ -392,9 +363,9 @@ mod tests {
         assert!(muted.iter().any(|m| *m), "seed 7 mutes someone");
         let (key, ready) = rb_frame(RbStage::Ready, b"p");
         let (_, init) = rb_frame(RbStage::Init, b"p");
-        for to in 0..4 {
+        for (to, muted) in muted.iter().enumerate() {
             let out = s.rewrite(&ctx(to), key, ready.clone());
-            assert_eq!(out.is_empty(), muted[to], "peer {to}");
+            assert_eq!(out.is_empty(), *muted, "peer {to}");
             // Non-delivery legs always pass.
             assert_eq!(s.rewrite(&ctx(to), key, init.clone()).len(), 1);
         }

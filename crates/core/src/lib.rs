@@ -74,6 +74,7 @@ pub mod mvc;
 pub mod node;
 pub mod rb;
 pub mod rsm;
+pub mod service;
 pub mod stack;
 pub mod step;
 pub mod testing;

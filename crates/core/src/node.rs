@@ -124,6 +124,16 @@ impl SessionConfig {
         self
     }
 
+    /// The seed the service tier's per-client key dealer derives from —
+    /// the client-facing sibling of the pairwise replica key table. Every
+    /// replica of a session (and every client dealt keys out-of-band)
+    /// derives the same per-client keys from this value.
+    pub fn client_key_seed(&self) -> u64 {
+        // Domain-separated from the replica master seed so client keys
+        // and pairwise replica keys never share a derivation root.
+        self.master_seed ^ 0xC11E_17DE_A1E5_EED5
+    }
+
     /// The group this session runs with.
     pub fn group(&self) -> Group {
         self.group

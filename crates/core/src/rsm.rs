@@ -148,10 +148,16 @@ impl<S: Send + 'static> Replica<S> {
                             apply(&mut state, d.id.sender, frame);
                         }
                         // Both user commands and markers count as applied.
+                        // Hold the applied lock across the notify so a
+                        // waiter can never check-then-sleep between our
+                        // insert and the wakeup, and notify on *every*
+                        // apply — sync-submit latency must come from the
+                        // protocol, not from a poll interval.
+                        let mut applied = shared.applied.lock();
                         if d.id.sender == me {
-                            shared.applied.lock().insert(d.id.rbid);
-                            shared.applied_cv.notify_all();
+                            applied.insert(d.id.rbid);
                         }
+                        shared.applied_cv.notify_all();
                     }
                 }
             })
@@ -166,6 +172,11 @@ impl<S: Send + 'static> Replica<S> {
     /// This replica's process id.
     pub fn id(&self) -> ProcessId {
         self.node.id()
+    }
+
+    /// The underlying node (metrics, link state, debug introspection).
+    pub fn node(&self) -> &Node {
+        &self.node
     }
 
     /// Submits a command without waiting for it to apply.
@@ -185,7 +196,7 @@ impl<S: Send + 'static> Replica<S> {
     /// [`NodeError::Disconnected`] if the node has shut down.
     pub fn submit_sync(&self, command: Bytes) -> Result<MsgId, NodeError> {
         let id = self.submit(command)?;
-        self.wait_applied(id.rbid);
+        self.wait_applied(id.rbid)?;
         Ok(id)
     }
 
@@ -197,8 +208,7 @@ impl<S: Send + 'static> Replica<S> {
     /// [`NodeError::Disconnected`] if the node has shut down.
     pub fn barrier(&self) -> Result<(), NodeError> {
         let id = self.node.atomic_broadcast(frame(TAG_MARKER, &[]))?;
-        self.wait_applied(id.rbid);
-        Ok(())
+        self.wait_applied(id.rbid)
     }
 
     /// Reads the current state under the replica lock.
@@ -221,24 +231,28 @@ impl<S: Send + 'static> Replica<S> {
         self.shared.applied_cv.notify_all();
     }
 
-    fn wait_applied(&self, rbid: u64) {
+    fn wait_applied(&self, rbid: u64) -> Result<(), NodeError> {
         let mut applied = self.shared.applied.lock();
         while !applied.contains(rbid) {
             // Bail out once the applier has exited (node shut down): no
-            // further deliveries will ever be applied. Never touch the
-            // node's delivery queue from here — that would steal
-            // deliveries from the applier thread.
+            // further deliveries will ever be applied, so the command can
+            // never be observed as applied — that is a failure, not a
+            // silent success. Never touch the node's delivery queue from
+            // here — that would steal deliveries from the applier thread.
             if self
                 .shared
                 .stopped
                 .load(std::sync::atomic::Ordering::SeqCst)
             {
-                return;
+                return Err(NodeError::Disconnected);
             }
+            // The applier notifies on every apply; the timeout only
+            // covers shutdown racing the stopped-flag store.
             self.shared
                 .applied_cv
                 .wait_for(&mut applied, std::time::Duration::from_millis(100));
         }
+        Ok(())
     }
 }
 
@@ -332,6 +346,30 @@ mod tests {
             // At least our own increment must be visible.
             assert!(h.join().unwrap() >= 1);
         }
+    }
+
+    #[test]
+    fn submit_sync_surfaces_shutdown_instead_of_silent_success() {
+        use crate::node::{Node, NodeError};
+        let mut nodes = Node::cluster(SessionConfig::new(4).unwrap()).unwrap();
+        // Keep only replica 0 alive: with 3 of 4 processes gone, atomic
+        // broadcast can never gather a quorum, so the command never
+        // applies and the waiter blocks until shutdown.
+        let node0 = nodes.remove(0);
+        drop(nodes);
+        let r = std::sync::Arc::new(Replica::new(node0, 0i64, |s: &mut i64, _, _| *s += 1));
+        let waiter = {
+            let r = std::sync::Arc::clone(&r);
+            std::thread::spawn(move || r.submit_sync(Bytes::from_static(b"incr")))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        r.shutdown();
+        let got = waiter.join().unwrap();
+        assert_eq!(
+            got.unwrap_err(),
+            NodeError::Disconnected,
+            "an unapplied command must fail, not silently succeed"
+        );
     }
 
     #[test]

@@ -1,0 +1,825 @@
+//! The **service wiring layer**: everything needed to expose a
+//! [`Replica`](crate::rsm::Replica) as an intrusion-tolerant *service*
+//! that external clients can call — the paper's title promise ("…
+//! Asynchronous **Services**") beyond the in-process protocol stack.
+//!
+//! The pieces, bottom-up:
+//!
+//! * [`ServiceCommand`] — the replicated command envelope `(client, seq,
+//!   kind, payload)` that travels through atomic broadcast. Carrying the
+//!   client identity and sequence number *inside* the ordered command is
+//!   what makes retry deduplication deterministic: every correct replica
+//!   sees the same duplicates at the same positions and skips them
+//!   identically.
+//! * [`SessionTable`] — a bounded per-client table `(client, seq) →
+//!   cached reply` with LRU eviction that never evicts a session holding
+//!   a live in-flight request. One *replicated* instance (inside the
+//!   state machine) discharges exactly-once applies; one *serving*
+//!   instance per front-end answers retries from cache without
+//!   re-ordering.
+//! * [`ServiceReplica`] — wraps a [`Node`] into a replica whose apply
+//!   function returns a **reply** per command, maintains both tables,
+//!   wakes request waiters after local apply, and offers the optimistic
+//!   local read the client library's `f+1`-vote read path consumes.
+//!
+//! The network face of this module (framed, HMAC-authenticated client
+//! connections, reply voting, retries) lives in the `ritas-service`
+//! crate; this module is transport-free so the same wiring also serves
+//! in-process tests and the simulator.
+
+use crate::codec::{Reader, WireError, WireMessage, Writer};
+use crate::node::{Node, NodeError};
+use crate::rsm::Replica;
+use bytes::Bytes;
+use crossbeam_channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use ritas_metrics::{Layer, Metrics};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Identifier of an external service client (disjoint from replica
+/// [`ProcessId`](crate::ProcessId)s — clients are *not* group members).
+pub type ClientId = u64;
+
+/// Default bound on tracked client sessions per table.
+pub const SESSION_TABLE_CAPACITY: usize = 4096;
+
+/// What a client asks the service to do with a payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandKind {
+    /// Apply the payload to the replicated state (the write path).
+    Apply,
+    /// Evaluate the read-only query at the command's position in the
+    /// total order (the linearizable read fallback).
+    OrderedRead,
+}
+
+/// The envelope ordered through atomic broadcast for every client
+/// request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceCommand {
+    /// The requesting client.
+    pub client: ClientId,
+    /// The client's session sequence number (starts at 1, gap-free).
+    pub seq: u64,
+    /// Write or ordered read.
+    pub kind: CommandKind,
+    /// Opaque application payload.
+    pub payload: Bytes,
+}
+
+impl WireMessage for ServiceCommand {
+    fn encode(&self, w: &mut Writer) {
+        w.u8(match self.kind {
+            CommandKind::Apply => 1,
+            CommandKind::OrderedRead => 2,
+        })
+        .u64(self.client)
+        .u64(self.seq)
+        .bytes(&self.payload);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let kind = match r.u8("svc.kind")? {
+            1 => CommandKind::Apply,
+            2 => CommandKind::OrderedRead,
+            tag => {
+                return Err(WireError::InvalidTag {
+                    what: "svc.kind",
+                    tag,
+                })
+            }
+        };
+        Ok(ServiceCommand {
+            kind,
+            client: r.u64("svc.client")?,
+            seq: r.u64("svc.seq")?,
+            payload: r.bytes("svc.payload")?,
+        })
+    }
+}
+
+/// Outcome of a [`SessionTable`] lookup for an incoming request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionCheck {
+    /// Never seen: submit it.
+    New,
+    /// The same request is already submitted and awaiting apply: wait,
+    /// do not submit again.
+    InFlight,
+    /// Already applied; here is the cached reply.
+    Cached(Bytes),
+    /// `seq` is older than the session's last applied request and its
+    /// reply is gone — the client has already moved past it.
+    Stale,
+}
+
+#[derive(Debug)]
+struct Session {
+    /// Highest applied sequence number (0 = none yet).
+    last_seq: u64,
+    /// Reply of the last applied request.
+    last_reply: Option<Bytes>,
+    /// Sequence numbers submitted but not yet applied.
+    in_flight: BTreeSet<u64>,
+    /// LRU stamp (monotone per table).
+    stamp: u64,
+}
+
+/// A bounded table of client sessions: per client, the last applied
+/// `(seq, reply)` pair plus the set of in-flight sequence numbers.
+///
+/// Eviction policy: when inserting a *new* client past the capacity, the
+/// least-recently-used session **with no in-flight request** is evicted.
+/// A live in-flight request pins its session — evicting it would either
+/// lose the reply a waiting connection needs or, in the replicated
+/// instance, forget dedup state while the command is still in the
+/// ordering pipeline. If every session is pinned, the insert is refused
+/// ([`SessionTable::begin`] returns `false`): admission control instead
+/// of silent unboundedness.
+#[derive(Debug)]
+pub struct SessionTable {
+    cap: usize,
+    clients: HashMap<ClientId, Session>,
+    clock: u64,
+}
+
+impl SessionTable {
+    /// Creates a table bounded to `cap` client sessions (`cap >= 1`).
+    pub fn new(cap: usize) -> Self {
+        SessionTable {
+            cap: cap.max(1),
+            clients: HashMap::new(),
+            clock: 0,
+        }
+    }
+
+    /// Number of tracked client sessions.
+    pub fn len(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Whether no session is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.clients.is_empty()
+    }
+
+    /// Total in-flight requests across all sessions.
+    pub fn in_flight(&self) -> usize {
+        self.clients.values().map(|s| s.in_flight.len()).sum()
+    }
+
+    fn touch(&mut self, client: ClientId) {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(s) = self.clients.get_mut(&client) {
+            s.stamp = clock;
+        }
+    }
+
+    /// Classifies request `(client, seq)` against the table.
+    pub fn check(&self, client: ClientId, seq: u64) -> SessionCheck {
+        match self.clients.get(&client) {
+            None => SessionCheck::New,
+            Some(s) if s.in_flight.contains(&seq) => SessionCheck::InFlight,
+            Some(s) if seq == s.last_seq => match &s.last_reply {
+                Some(r) => SessionCheck::Cached(r.clone()),
+                None => SessionCheck::Stale,
+            },
+            Some(s) if seq < s.last_seq => SessionCheck::Stale,
+            Some(_) => SessionCheck::New,
+        }
+    }
+
+    /// Whether `(client, seq)` has already been applied (the replicated
+    /// dedup predicate: every correct replica answers identically).
+    pub fn is_applied(&self, client: ClientId, seq: u64) -> bool {
+        self.clients.get(&client).is_some_and(|s| seq <= s.last_seq)
+    }
+
+    /// Cached reply for `(client, seq)`, when the table still holds it.
+    pub fn cached(&self, client: ClientId, seq: u64) -> Option<Bytes> {
+        self.clients
+            .get(&client)
+            .filter(|s| s.last_seq == seq)
+            .and_then(|s| s.last_reply.clone())
+    }
+
+    /// Marks `(client, seq)` in flight, creating (and if necessary
+    /// evicting for) the session. Returns `false` when the table is at
+    /// capacity and every session is pinned by a live in-flight request —
+    /// the caller should refuse the request (busy) rather than grow.
+    pub fn begin(&mut self, client: ClientId, seq: u64) -> bool {
+        if !self.clients.contains_key(&client) && !self.make_room() {
+            return false;
+        }
+        self.clients
+            .entry(client)
+            .or_insert_with(|| Session {
+                last_seq: 0,
+                last_reply: None,
+                in_flight: BTreeSet::new(),
+                stamp: 0,
+            })
+            .in_flight
+            .insert(seq);
+        self.touch(client);
+        true
+    }
+
+    /// Records the applied reply for `(client, seq)`, clearing its
+    /// in-flight mark. Creates the session if needed (apply-driven
+    /// instances never call [`SessionTable::begin`]); returns `false`
+    /// when the table refused the insert (full of pinned sessions).
+    pub fn complete(&mut self, client: ClientId, seq: u64, reply: Bytes) -> bool {
+        if !self.clients.contains_key(&client) && !self.make_room() {
+            return false;
+        }
+        let s = self.clients.entry(client).or_insert_with(|| Session {
+            last_seq: 0,
+            last_reply: None,
+            in_flight: BTreeSet::new(),
+            stamp: 0,
+        });
+        s.in_flight.remove(&seq);
+        if seq >= s.last_seq {
+            s.last_seq = seq;
+            s.last_reply = Some(reply);
+        }
+        self.touch(client);
+        true
+    }
+
+    /// Ensures room for one more session. Never evicts a session with a
+    /// live in-flight request.
+    fn make_room(&mut self) -> bool {
+        if self.clients.len() < self.cap {
+            return true;
+        }
+        let victim = self
+            .clients
+            .iter()
+            .filter(|(_, s)| s.in_flight.is_empty())
+            .min_by_key(|(_, s)| s.stamp)
+            .map(|(c, _)| *c);
+        match victim {
+            Some(c) => {
+                self.clients.remove(&c);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Errors surfaced by the service wiring layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The underlying node failed (shut down, protocol error).
+    Node(NodeError),
+    /// The request did not apply within the deadline (it may still apply
+    /// later — retry against this or another replica; dedup makes the
+    /// retry safe).
+    Timeout,
+    /// The session table is full of live in-flight sessions (admission
+    /// control) — back off and retry.
+    Busy,
+    /// `seq` is older than the client's last applied request and its
+    /// cached reply is gone.
+    Stale,
+}
+
+impl core::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ServiceError::Node(e) => write!(f, "node error: {e}"),
+            ServiceError::Timeout => write!(f, "request did not apply in time"),
+            ServiceError::Busy => write!(f, "session table full (busy)"),
+            ServiceError::Stale => write!(f, "stale sequence number"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<NodeError> for ServiceError {
+    fn from(e: NodeError) -> Self {
+        ServiceError::Node(e)
+    }
+}
+
+/// The replicated state wrapper: the application state plus the
+/// *replicated* session table (dedup state is part of the state machine,
+/// so every correct replica skips the same duplicates).
+struct ServiceState<S> {
+    app: S,
+    sessions: SessionTable,
+}
+
+type Waiters = Mutex<HashMap<(ClientId, u64), Vec<Sender<Bytes>>>>;
+
+/// A replica of a deterministic request/reply service.
+///
+/// `apply` runs once per ordered client command at every replica and
+/// returns the reply; `query` evaluates read-only requests (locally for
+/// the optimistic path, at the ordered position for the fallback). Both
+/// must be **deterministic** — replies are vote-compared byte-for-byte
+/// across replicas by the client library, so any divergence (clocks,
+/// randomness, map iteration order) reads as a Byzantine replica.
+///
+/// # Example
+///
+/// ```
+/// use ritas::node::{Node, SessionConfig};
+/// use ritas::service::{CommandKind, ServiceConfig, ServiceReplica};
+/// use bytes::Bytes;
+/// use std::time::Duration;
+///
+/// let nodes = Node::cluster(SessionConfig::new(4)?)?;
+/// let replicas: Vec<_> = nodes
+///     .into_iter()
+///     .map(|n| ServiceReplica::new(
+///         n,
+///         0u64,
+///         ServiceConfig::default(),
+///         |count, _client, cmd| {
+///             if cmd == b"incr" { *count += 1; }
+///             Bytes::from(count.to_be_bytes().to_vec())
+///         },
+///         |count, _q| Bytes::from(count.to_be_bytes().to_vec()),
+///     ))
+///     .collect();
+/// // A client request (client 9, seq 1) submitted at replica 2 applies
+/// // everywhere; the reply is the post-apply counter value.
+/// let reply = replicas[2]
+///     .submit(9, 1, CommandKind::Apply, Bytes::from_static(b"incr"), Duration::from_secs(10))?;
+/// assert_eq!(reply.as_ref(), 1u64.to_be_bytes());
+/// // A retry of the same (client, seq) is served from the session
+/// // table without a second apply.
+/// let again = replicas[2]
+///     .submit(9, 1, CommandKind::Apply, Bytes::from_static(b"incr"), Duration::from_secs(10))?;
+/// assert_eq!(again, reply);
+/// # for r in &replicas { r.shutdown(); }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct ServiceReplica<S: Send + 'static> {
+    replica: Replica<ServiceState<S>>,
+    /// Serving-side session table (cache + in-flight pinning). Distinct
+    /// from the replicated instance inside the state: this one may be
+    /// consulted and updated without holding the state lock, and its
+    /// in-flight pins are local knowledge that must never influence the
+    /// replicated dedup decision.
+    table: Arc<Mutex<SessionTable>>,
+    waiters: Arc<Waiters>,
+    query: Arc<QueryFn<S>>,
+    metrics: Metrics,
+}
+
+/// Shared read-only query closure of a [`ServiceReplica`].
+type QueryFn<S> = dyn Fn(&S, &[u8]) -> Bytes + Send + Sync;
+
+/// Tuning for a [`ServiceReplica`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bound on client sessions tracked by each table.
+    pub session_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            session_capacity: SESSION_TABLE_CAPACITY,
+        }
+    }
+}
+
+impl<S: Send + 'static> ServiceReplica<S> {
+    /// Wraps `node` into a service replica over `initial` state.
+    pub fn new(
+        node: Node,
+        initial: S,
+        config: ServiceConfig,
+        mut apply: impl FnMut(&mut S, ClientId, &[u8]) -> Bytes + Send + 'static,
+        query: impl Fn(&S, &[u8]) -> Bytes + Send + Sync + 'static,
+    ) -> Self {
+        let metrics = node.metrics().clone();
+        let table = Arc::new(Mutex::new(SessionTable::new(config.session_capacity)));
+        let waiters: Arc<Waiters> = Arc::new(Mutex::new(HashMap::new()));
+        let query: Arc<QueryFn<S>> = Arc::new(query);
+
+        let state = ServiceState {
+            app: initial,
+            sessions: SessionTable::new(config.session_capacity),
+        };
+        let m = metrics.clone();
+        let t = Arc::clone(&table);
+        let w = Arc::clone(&waiters);
+        let q = Arc::clone(&query);
+        let replica = Replica::new(node, state, move |state, _submitter, cmd| {
+            let Ok(c) = ServiceCommand::from_bytes(cmd) else {
+                // A correct front-end only ever submits well-formed
+                // commands; garbage here means a Byzantine replica
+                // injected into the ordered stream. Skipping it uniformly
+                // keeps all correct replicas in the same state.
+                return;
+            };
+            let reply = if state.sessions.is_applied(c.client, c.seq) {
+                // Ordered duplicate: a retry submitted at another replica
+                // was ordered after the original. Apply exactly once.
+                m.service_dup_apply_skipped.inc();
+                state.sessions.cached(c.client, c.seq)
+            } else {
+                let span = format!("svc:{}:{}/apply", c.client, c.seq);
+                m.span_open(span.clone(), Layer::Service);
+                let reply = match c.kind {
+                    CommandKind::Apply => (apply)(&mut state.app, c.client, &c.payload),
+                    CommandKind::OrderedRead => {
+                        m.service_reads_ordered.inc();
+                        (q)(&state.app, &c.payload)
+                    }
+                };
+                m.span_close(&span);
+                m.service_commands_applied.inc();
+                state.sessions.complete(c.client, c.seq, reply.clone());
+                Some(reply)
+            };
+            // Mirror into the serving table and wake local waiters.
+            if let Some(reply) = reply {
+                {
+                    let mut t = t.lock();
+                    t.complete(c.client, c.seq, reply.clone());
+                    m.service_sessions_live.set(t.len() as u64);
+                    m.service_inflight.set(t.in_flight() as u64);
+                }
+                if let Some(txs) = w.lock().remove(&(c.client, c.seq)) {
+                    for tx in txs {
+                        let _ = tx.send(reply.clone());
+                    }
+                }
+            }
+        });
+        ServiceReplica {
+            replica,
+            table,
+            waiters,
+            query,
+            metrics,
+        }
+    }
+
+    /// This replica's process id.
+    pub fn id(&self) -> crate::ProcessId {
+        self.replica.id()
+    }
+
+    /// Group size of the underlying session.
+    pub fn group_size(&self) -> usize {
+        self.replica.node().group_size()
+    }
+
+    /// The metrics registry shared with the underlying node.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Handles one client request end-to-end: dedup against the session
+    /// table, submit through atomic broadcast when new, block until the
+    /// command applies locally, return the reply.
+    ///
+    /// Safe to call concurrently from many connection threads; retries of
+    /// an in-flight `(client, seq)` merge onto the same waiter set
+    /// instead of re-submitting.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Timeout`] when the command did not apply within
+    /// `timeout` (it may still apply later — retrying is safe),
+    /// [`ServiceError::Busy`] under session-table admission control,
+    /// [`ServiceError::Stale`] for sequence numbers older than the
+    /// session's last reply, [`ServiceError::Node`] when the node is
+    /// gone.
+    pub fn submit(
+        &self,
+        client: ClientId,
+        seq: u64,
+        kind: CommandKind,
+        payload: Bytes,
+        timeout: Duration,
+    ) -> Result<Bytes, ServiceError> {
+        self.metrics.service_requests_total.inc();
+        let span = format!("svc:{client}:{seq}");
+        let (needs_submit, rx) = {
+            let mut table = self.table.lock();
+            match table.check(client, seq) {
+                SessionCheck::Cached(reply) => {
+                    self.metrics.service_dedup_hits.inc();
+                    return Ok(reply);
+                }
+                SessionCheck::Stale => return Err(ServiceError::Stale),
+                SessionCheck::InFlight => {
+                    self.metrics.service_dedup_hits.inc();
+                    (false, self.register_waiter(client, seq))
+                }
+                SessionCheck::New => {
+                    if !table.begin(client, seq) {
+                        self.metrics.service_busy_rejected.inc();
+                        return Err(ServiceError::Busy);
+                    }
+                    self.metrics.service_sessions_live.set(table.len() as u64);
+                    self.metrics.service_inflight.set(table.in_flight() as u64);
+                    (true, self.register_waiter(client, seq))
+                }
+            }
+        };
+        if needs_submit {
+            self.metrics.span_open(span.clone(), Layer::Service);
+            self.metrics.span_open(format!("{span}/ab"), Layer::Service);
+            let cmd = ServiceCommand {
+                client,
+                seq,
+                kind,
+                payload,
+            };
+            if let Err(e) = self.replica.submit(cmd.to_bytes()) {
+                self.waiters.lock().remove(&(client, seq));
+                return Err(ServiceError::Node(e));
+            }
+        }
+        match rx.recv_timeout(timeout) {
+            Ok(reply) => {
+                self.metrics.span_close(&format!("{span}/ab"));
+                self.metrics.span_close(&span);
+                self.metrics.service_replies_total.inc();
+                Ok(reply)
+            }
+            Err(_) => Err(ServiceError::Timeout),
+        }
+    }
+
+    /// Waits for `(client, seq)` to apply locally **without submitting
+    /// it** — the *observer* leg of the client's fan-out: the client
+    /// submits at `f+1` replicas (at least one correct, so ordering is
+    /// guaranteed) and merely observes at the rest, which answer from
+    /// their own apply of the same ordered command without injecting
+    /// duplicates into the ordered stream.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Timeout`] when nothing applied in time (the
+    /// command may not have been submitted anywhere yet),
+    /// [`ServiceError::Stale`] for a sequence number already surpassed.
+    pub fn await_reply(
+        &self,
+        client: ClientId,
+        seq: u64,
+        timeout: Duration,
+    ) -> Result<Bytes, ServiceError> {
+        self.metrics.service_requests_total.inc();
+        let rx = {
+            let table = self.table.lock();
+            match table.check(client, seq) {
+                SessionCheck::Cached(reply) => {
+                    self.metrics.service_dedup_hits.inc();
+                    return Ok(reply);
+                }
+                SessionCheck::Stale => return Err(ServiceError::Stale),
+                SessionCheck::InFlight | SessionCheck::New => self.register_waiter(client, seq),
+            }
+        };
+        match rx.recv_timeout(timeout) {
+            Ok(reply) => {
+                self.metrics.service_replies_total.inc();
+                Ok(reply)
+            }
+            Err(_) => Err(ServiceError::Timeout),
+        }
+    }
+
+    fn register_waiter(&self, client: ClientId, seq: u64) -> Receiver<Bytes> {
+        let (tx, rx) = bounded(1);
+        self.waiters
+            .lock()
+            .entry((client, seq))
+            .or_default()
+            .push(tx);
+        rx
+    }
+
+    /// Evaluates `query` against the current local state **without
+    /// ordering** — the optimistic read the client library accepts once
+    /// `f+1` replicas answer byte-identically. Sequentially consistent
+    /// (a prefix of the agreed history), not linearizable on its own.
+    pub fn optimistic_read(&self, q: &[u8]) -> Bytes {
+        self.metrics.service_reads_optimistic.inc();
+        self.replica.read(|s| (self.query)(&s.app, q))
+    }
+
+    /// Reads the application state under the replica lock (local tests
+    /// and loadgen verification).
+    pub fn read_state<R>(&self, f: impl FnOnce(&S) -> R) -> R {
+        self.replica.read(|s| f(&s.app))
+    }
+
+    /// A linearization barrier on the underlying replica.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Disconnected`] if the node has shut down.
+    pub fn barrier(&self) -> Result<(), NodeError> {
+        self.replica.barrier()
+    }
+
+    /// Shuts the underlying node down.
+    pub fn shutdown(&self) {
+        self.replica.shutdown();
+    }
+}
+
+impl<S: Send + 'static> core::fmt::Debug for ServiceReplica<S> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ServiceReplica")
+            .field("id", &self.replica.id())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::SessionConfig;
+
+    fn counters(n: usize) -> Vec<Arc<ServiceReplica<u64>>> {
+        let nodes = Node::cluster(SessionConfig::new(n).unwrap()).unwrap();
+        nodes
+            .into_iter()
+            .map(|node| {
+                Arc::new(ServiceReplica::new(
+                    node,
+                    0u64,
+                    ServiceConfig::default(),
+                    |count, _client, cmd| {
+                        if cmd == b"incr" {
+                            *count += 1;
+                        }
+                        Bytes::from(count.to_be_bytes().to_vec())
+                    },
+                    |count, _q| Bytes::from(count.to_be_bytes().to_vec()),
+                ))
+            })
+            .collect()
+    }
+
+    const T: Duration = Duration::from_secs(20);
+
+    #[test]
+    fn command_codec_roundtrip() {
+        for kind in [CommandKind::Apply, CommandKind::OrderedRead] {
+            let c = ServiceCommand {
+                client: 77,
+                seq: 3,
+                kind,
+                payload: Bytes::from_static(b"body"),
+            };
+            assert_eq!(ServiceCommand::from_bytes(&c.to_bytes()).unwrap(), c);
+        }
+        assert!(ServiceCommand::from_bytes(&[9, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn submit_applies_and_retry_hits_cache() {
+        let replicas = counters(4);
+        let r0 = Arc::clone(&replicas[0]);
+        let reply = r0
+            .submit(5, 1, CommandKind::Apply, Bytes::from_static(b"incr"), T)
+            .unwrap();
+        assert_eq!(reply.as_ref(), 1u64.to_be_bytes());
+        // Retry of the same (client, seq): served from the session table,
+        // no second apply.
+        let again = r0
+            .submit(5, 1, CommandKind::Apply, Bytes::from_static(b"incr"), T)
+            .unwrap();
+        assert_eq!(again, reply);
+        assert_eq!(r0.metrics().service_dedup_hits.get(), 1);
+        assert_eq!(r0.read_state(|c| *c), 1);
+        // A second sequence number applies normally.
+        let next = r0
+            .submit(5, 2, CommandKind::Apply, Bytes::from_static(b"incr"), T)
+            .unwrap();
+        assert_eq!(next.as_ref(), 2u64.to_be_bytes());
+        for r in &replicas {
+            r.shutdown();
+        }
+    }
+
+    #[test]
+    fn duplicate_submission_across_replicas_applies_once() {
+        let replicas = counters(4);
+        // The same (client, seq) lands at two different replicas — the
+        // retry-after-failover pattern. Both order it; exactly one apply.
+        let h0 = {
+            let r = Arc::clone(&replicas[0]);
+            std::thread::spawn(move || {
+                r.submit(9, 1, CommandKind::Apply, Bytes::from_static(b"incr"), T)
+            })
+        };
+        let h1 = {
+            let r = Arc::clone(&replicas[1]);
+            std::thread::spawn(move || {
+                r.submit(9, 1, CommandKind::Apply, Bytes::from_static(b"incr"), T)
+            })
+        };
+        let a = h0.join().unwrap().unwrap();
+        let b = h1.join().unwrap().unwrap();
+        assert_eq!(a.as_ref(), 1u64.to_be_bytes());
+        assert_eq!(a, b, "both submitters must observe the same reply");
+        for r in &replicas {
+            r.barrier().unwrap();
+            assert_eq!(r.read_state(|c| *c), 1, "applied exactly once");
+        }
+        let skipped: u64 = replicas
+            .iter()
+            .map(|r| r.metrics().service_dup_apply_skipped.get())
+            .sum();
+        assert!(skipped > 0, "the ordered duplicate must be counted");
+        for r in &replicas {
+            r.shutdown();
+        }
+    }
+
+    #[test]
+    fn ordered_read_sees_prior_writes() {
+        let replicas = counters(4);
+        replicas[2]
+            .submit(3, 1, CommandKind::Apply, Bytes::from_static(b"incr"), T)
+            .unwrap();
+        let read = replicas[2]
+            .submit(3, 2, CommandKind::OrderedRead, Bytes::new(), T)
+            .unwrap();
+        assert_eq!(read.as_ref(), 1u64.to_be_bytes());
+        assert!(replicas[2].metrics().service_reads_ordered.get() >= 1);
+        for r in &replicas {
+            r.shutdown();
+        }
+    }
+
+    #[test]
+    fn session_table_check_transitions() {
+        let mut t = SessionTable::new(8);
+        assert_eq!(t.check(1, 1), SessionCheck::New);
+        assert!(t.begin(1, 1));
+        assert_eq!(t.check(1, 1), SessionCheck::InFlight);
+        assert!(t.complete(1, 1, Bytes::from_static(b"r1")));
+        assert_eq!(
+            t.check(1, 1),
+            SessionCheck::Cached(Bytes::from_static(b"r1"))
+        );
+        assert!(t.is_applied(1, 1));
+        assert_eq!(t.cached(1, 1), Some(Bytes::from_static(b"r1")));
+        assert!(t.complete(1, 2, Bytes::from_static(b"r2")));
+        assert_eq!(t.check(1, 1), SessionCheck::Stale);
+        assert_eq!(t.check(1, 3), SessionCheck::New);
+        assert_eq!(t.in_flight(), 0);
+    }
+
+    #[test]
+    fn session_table_eviction_never_evicts_in_flight() {
+        let mut t = SessionTable::new(2);
+        assert!(t.begin(1, 1)); // pinned by a live in-flight request
+        assert!(t.complete(2, 1, Bytes::from_static(b"a")));
+        // Table is at capacity {1 (pinned), 2}; a third client must evict
+        // client 2, never the pinned client 1.
+        assert!(t.complete(3, 1, Bytes::from_static(b"b")));
+        assert_eq!(t.len(), 2);
+        assert_eq!(
+            t.check(1, 1),
+            SessionCheck::InFlight,
+            "pinned session evicted"
+        );
+        assert_eq!(
+            t.check(2, 1),
+            SessionCheck::New,
+            "LRU unpinned session kept"
+        );
+        // Pin the remaining sessions too: the table must now refuse new
+        // clients instead of evicting a live one.
+        assert!(t.begin(3, 2));
+        assert!(!t.begin(4, 1), "full of pinned sessions must refuse");
+        // Completing the in-flight request unpins and readmits.
+        assert!(t.complete(1, 1, Bytes::from_static(b"c")));
+        assert!(t.begin(4, 1));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn session_table_lru_prefers_oldest() {
+        let mut t = SessionTable::new(2);
+        t.complete(1, 1, Bytes::from_static(b"a"));
+        t.complete(2, 1, Bytes::from_static(b"b"));
+        // Touch client 1 so client 2 is the LRU.
+        t.complete(1, 2, Bytes::from_static(b"c"));
+        t.complete(3, 1, Bytes::from_static(b"d"));
+        assert!(t.is_applied(1, 2), "recently used session survived");
+        assert!(!t.is_applied(2, 1), "LRU session evicted");
+    }
+}

@@ -128,6 +128,68 @@ impl KeyTable {
     }
 }
 
+/// Dealer for the keys shared between the replica group and external
+/// service *clients* — the client-facing sibling of the pairwise replica
+/// [`KeyTable`].
+///
+/// The paper's model only deals keys among the `n` replicas; an
+/// intrusion-tolerant *service* additionally needs every client `c` to
+/// share a secret `k_c` with the group, so that client requests and
+/// replica replies can be MAC-authenticated end to end. Derivation is
+/// deterministic from the same kind of master seed
+/// (`SHA-256("ritas-client-key" ‖ seed ‖ c)`), so every replica — and the
+/// client itself — derives the same key out-of-band, exactly like the
+/// replica table.
+///
+/// # Example
+///
+/// ```
+/// use ritas_crypto::ClientKeyDealer;
+///
+/// let d = ClientKeyDealer::new(42);
+/// assert_eq!(d.key_of(7), ClientKeyDealer::new(42).key_of(7));
+/// assert_ne!(d.key_of(7), d.key_of(8));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ClientKeyDealer {
+    master_seed: u64,
+}
+
+impl ClientKeyDealer {
+    /// Creates a dealer for `master_seed`.
+    pub fn new(master_seed: u64) -> Self {
+        ClientKeyDealer { master_seed }
+    }
+
+    /// The key shared between client `client` and every replica.
+    pub fn key_of(&self, client: u64) -> SecretKey {
+        let digest = Sha256::digest_concat(&[
+            b"ritas-client-key",
+            &self.master_seed.to_be_bytes(),
+            &client.to_be_bytes(),
+        ]);
+        SecretKey(digest)
+    }
+
+    /// The *pairwise* key between client `client` and replica `replica`.
+    ///
+    /// Service replies are MACed with this key rather than the shared
+    /// [`ClientKeyDealer::key_of`]: with one symmetric key for the whole
+    /// group, a Byzantine replica could forge replies in its peers'
+    /// names and single-handedly fabricate an `f+1` reply quorum.
+    /// Pairwise keys restore the paper's point-to-point authentication
+    /// model at the client edge.
+    pub fn link_key(&self, client: u64, replica: u64) -> SecretKey {
+        let digest = Sha256::digest_concat(&[
+            b"ritas-client-link",
+            &self.master_seed.to_be_bytes(),
+            &client.to_be_bytes(),
+            &replica.to_be_bytes(),
+        ]);
+        SecretKey(digest)
+    }
+}
+
 /// The row of the key matrix belonging to a single process: its shared key
 /// with every peer.
 #[derive(Clone, Debug)]
@@ -238,6 +300,33 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn view_of_out_of_range_panics() {
         KeyTable::dealer(3, 0).view_of(3);
+    }
+
+    #[test]
+    fn client_keys_deterministic_distinct_and_separate_from_replica_keys() {
+        let d = ClientKeyDealer::new(11);
+        assert_eq!(d.key_of(3), ClientKeyDealer::new(11).key_of(3));
+        assert_ne!(d.key_of(3), d.key_of(4));
+        assert_ne!(d.key_of(3), ClientKeyDealer::new(12).key_of(3));
+        // Domain separation: a client key never collides with a replica
+        // pairwise key dealt from the same seed.
+        let t = KeyTable::dealer(4, 11);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_ne!(Some(d.key_of(i as u64)), t.shared_key(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn link_keys_pairwise_distinct() {
+        let d = ClientKeyDealer::new(5);
+        assert_eq!(d.link_key(1, 2), ClientKeyDealer::new(5).link_key(1, 2));
+        assert_ne!(d.link_key(1, 2), d.link_key(1, 3));
+        assert_ne!(d.link_key(1, 2), d.link_key(2, 2));
+        // Never equal to the client's group key (distinct derivation
+        // label), so compromising one never reveals the other.
+        assert_ne!(d.link_key(1, 2), d.key_of(1));
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub use coin::{
 };
 pub use digest::Digest;
 pub use hmac::Hmac;
-pub use keys::{KeyTable, ProcessKeys, SecretKey};
+pub use keys::{ClientKeyDealer, KeyTable, ProcessKeys, SecretKey};
 pub use mac::MacTag;
 pub use sha1::Sha1;
 pub use sha256::Sha256;

@@ -226,6 +226,8 @@ pub enum Layer {
     Stack,
     /// The threaded node runtime (§3).
     Node,
+    /// The client-facing service tier (session front-end, reply voting).
+    Service,
 }
 
 impl Layer {
@@ -241,6 +243,7 @@ impl Layer {
             Layer::Ab => "ab",
             Layer::Stack => "stack",
             Layer::Node => "node",
+            Layer::Service => "service",
         }
     }
 
@@ -256,6 +259,7 @@ impl Layer {
             "ab" => Layer::Ab,
             "stack" => Layer::Stack,
             "node" => Layer::Node,
+            "service" => Layer::Service,
             _ => return None,
         })
     }
@@ -983,6 +987,48 @@ pub struct MetricsInner {
     /// messages only).
     pub ab_latency_ns: Histogram,
 
+    // ---- service tier (client front-end) ----
+    /// Client requests accepted by the server front-end (post-auth).
+    pub service_requests_total: Counter,
+    /// Replies sent back to clients.
+    pub service_replies_total: Counter,
+    /// Requests answered from the session table or an in-flight merge
+    /// without a fresh a-broadcast (retry dedup at the serving replica).
+    pub service_dedup_hits: Counter,
+    /// Ordered duplicates skipped at apply time (another replica already
+    /// got the same `(client, seq)` command ordered first).
+    pub service_dup_apply_skipped: Counter,
+    /// Client commands actually applied to the replicated state.
+    pub service_commands_applied: Counter,
+    /// Optimistic (unordered, locally served) reads.
+    pub service_reads_optimistic: Counter,
+    /// Reads that went through the ordered (atomic-broadcast) path.
+    pub service_reads_ordered: Counter,
+    /// Inbound client frames dropped for failing MAC authentication.
+    pub service_auth_rejected: Counter,
+    /// Requests refused because the session table was full of live
+    /// in-flight sessions (admission control).
+    pub service_busy_rejected: Counter,
+    /// Client sessions currently tracked by the session table.
+    pub service_sessions_live: Gauge,
+    /// Client requests currently in flight (submitted, not yet applied).
+    pub service_inflight: Gauge,
+    /// Client-side: requests issued.
+    pub service_client_requests: Counter,
+    /// Client-side: retransmissions after timeout/failover.
+    pub service_client_retries: Counter,
+    /// Client-side: reply sets that never reached `f+1` matching votes
+    /// within a round (Byzantine or divergent replies observed).
+    pub service_client_vote_failures: Counter,
+    /// Client-side: individual replies discarded by the vote rule
+    /// (mismatching the winning value, bad MAC, or wrong status).
+    pub service_client_replies_rejected: Counter,
+    /// Client-side: optimistic reads that fell back to the ordered path.
+    pub service_client_read_fallbacks: Counter,
+    /// Client-side: end-to-end request latency in nanoseconds (send of
+    /// first copy → `f+1`-th matching reply).
+    pub service_e2e_latency_ns: Histogram,
+
     // ---- spans ----
     /// Spans opened.
     pub span_opened: Counter,
@@ -1061,6 +1107,23 @@ impl Default for MetricsInner {
             ab_agreements: Counter::default(),
             ab_batch: Histogram::default(),
             ab_latency_ns: Histogram::default(),
+            service_requests_total: Counter::default(),
+            service_replies_total: Counter::default(),
+            service_dedup_hits: Counter::default(),
+            service_dup_apply_skipped: Counter::default(),
+            service_commands_applied: Counter::default(),
+            service_reads_optimistic: Counter::default(),
+            service_reads_ordered: Counter::default(),
+            service_auth_rejected: Counter::default(),
+            service_busy_rejected: Counter::default(),
+            service_sessions_live: Gauge::default(),
+            service_inflight: Gauge::default(),
+            service_client_requests: Counter::default(),
+            service_client_retries: Counter::default(),
+            service_client_vote_failures: Counter::default(),
+            service_client_replies_rejected: Counter::default(),
+            service_client_read_fallbacks: Counter::default(),
+            service_e2e_latency_ns: Histogram::default(),
             span_opened: Counter::default(),
             span_closed: Counter::default(),
             span_dropped: Counter::default(),
@@ -1253,6 +1316,20 @@ impl Metrics {
             ab_broadcast,
             ab_delivered,
             ab_agreements,
+            service_requests_total,
+            service_replies_total,
+            service_dedup_hits,
+            service_dup_apply_skipped,
+            service_commands_applied,
+            service_reads_optimistic,
+            service_reads_ordered,
+            service_auth_rejected,
+            service_busy_rejected,
+            service_client_requests,
+            service_client_retries,
+            service_client_vote_failures,
+            service_client_replies_rejected,
+            service_client_read_fallbacks,
             span_opened,
             span_closed,
             span_dropped,
@@ -1269,12 +1346,15 @@ impl Metrics {
         counters.insert("span_open_live", m.span_open_live.get());
         counters.insert("ab_sent_pending", m.ab_sent_pending.get());
         counters.insert("transport_links_up", m.transport_links_up.get());
+        counters.insert("service_sessions_live", m.service_sessions_live.get());
+        counters.insert("service_inflight", m.service_inflight.get());
         histogram!(
             bc_rounds,
             mvc_vect_bytes,
             vc_rounds,
             ab_batch,
-            ab_latency_ns
+            ab_latency_ns,
+            service_e2e_latency_ns
         );
         MetricsSnapshot {
             counters,
@@ -1379,13 +1459,15 @@ impl MetricsSnapshot {
     /// (metric prefix `ritas_`, histograms with cumulative `le` buckets).
     pub fn to_prometheus(&self) -> String {
         // Point-in-time instruments that live in the counter map.
-        const GAUGES: [&str; 6] = [
+        const GAUGES: [&str; 8] = [
             "stack_instances",
             "stack_ooc_buffered",
             "stack_ooc_high_water",
             "span_open_live",
             "ab_sent_pending",
             "transport_links_up",
+            "service_sessions_live",
+            "service_inflight",
         ];
         let mut out = String::new();
         for (name, value) in &self.counters {

@@ -1,0 +1,477 @@
+//! The intrusion-tolerant client library: fan-out, `f+1`-vote reply
+//! masking, exactly-once retries, and the optimistic/ordered read pair.
+//!
+//! A [`ServiceClient`] holds one authenticated connection per replica.
+//! Each request is fanned to `2f+1` replicas — `f+1` in *submit* mode
+//! (at least one correct replica orders the command) and the rest in
+//! *observe* mode (they answer once the command applies, without
+//! flooding the ordered stream with duplicates). The result is accepted
+//! only when `f+1` replicas answer **byte-identically**: since atomic
+//! broadcast puts every correct replica in the same state, correct
+//! replicas return identical replies, and `f` liars can never assemble
+//! an `f+1` quorum for a wrong answer.
+//!
+//! Retries reuse the same session sequence number, so a request that was
+//! already ordered is answered from the replicated session table instead
+//! of applying twice (exactly-once semantics end-to-end). Reads go
+//! optimistic first — answered from local state, accepted on `f+1`
+//! agreement — and fall back to an ordered read when replicas diverge.
+
+use crate::wire::{
+    read_frame, read_frame_polling, write_frame, Hello, HelloAck, Reply, Request, RequestKind,
+    RequestMode, Status,
+};
+use bytes::Bytes;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use ritas_crypto::ClientKeyDealer;
+use ritas_metrics::Metrics;
+use std::collections::{HashMap, HashSet};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning for a [`ServiceClient`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Seed of the client key dealer (must match the replicas' —
+    /// [`ritas::node::SessionConfig::client_key_seed`]).
+    pub key_seed: u64,
+    /// Deadline for one vote round before escalating to a retry.
+    pub request_timeout: Duration,
+    /// Rounds before giving up (first attempt plus retries).
+    pub max_attempts: u32,
+    /// Backoff between rounds (doubled each retry).
+    pub backoff: Duration,
+    /// Deadline for the optimistic read round before the ordered
+    /// fallback.
+    pub optimistic_timeout: Duration,
+    /// Connect timeout per replica.
+    pub connect_timeout: Duration,
+    /// Metrics registry the client reports into (client-side counters
+    /// and the end-to-end latency histogram). Share one across clients
+    /// to aggregate, e.g. in the load generator.
+    pub metrics: Metrics,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            key_seed: 0,
+            request_timeout: Duration::from_secs(10),
+            max_attempts: 4,
+            backoff: Duration::from_millis(50),
+            optimistic_timeout: Duration::from_secs(2),
+            connect_timeout: Duration::from_secs(2),
+            metrics: Metrics::new(),
+        }
+    }
+}
+
+/// Errors surfaced to the application by the client library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// No `f+1` byte-identical replies within all retry rounds.
+    NoQuorum,
+    /// `f+1` replicas agree the sequence number is stale (the session
+    /// advanced past it and evicted the reply).
+    Stale,
+    /// Fewer than `2f+1` replicas are reachable.
+    Unavailable,
+}
+
+impl core::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ClientError::NoQuorum => write!(f, "no f+1 matching replies within retry budget"),
+            ClientError::Stale => write!(f, "sequence number stale at a reply quorum"),
+            ClientError::Unavailable => write!(f, "fewer than 2f+1 replicas reachable"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// One replica connection: the write half plus its reader thread.
+struct Conn {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    reader: Option<JoinHandle<()>>,
+}
+
+/// An intrusion-tolerant client of a replicated RITAS service.
+pub struct ServiceClient {
+    id: u64,
+    dealer: ClientKeyDealer,
+    config: ClientConfig,
+    conns: Vec<Conn>,
+    tx: Sender<Reply>,
+    rx: Receiver<Reply>,
+    next_seq: u64,
+    stop: Arc<AtomicBool>,
+}
+
+/// Process-wide salt so two clients created in the same nanosecond still
+/// get distinct HELLO nonces.
+static NONCE_SALT: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_nonce() -> u64 {
+    let t = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    t ^ NONCE_SALT
+        .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+        .rotate_left(17)
+}
+
+impl ServiceClient {
+    /// Creates a client of id `id` for the replica group at `addrs`
+    /// (index in `addrs` = replica id). Connections are established
+    /// lazily; the constructor itself cannot fail.
+    pub fn new(id: u64, addrs: Vec<SocketAddr>, config: ClientConfig) -> Self {
+        let (tx, rx) = unbounded();
+        let conns = addrs
+            .into_iter()
+            .map(|addr| Conn {
+                addr,
+                stream: None,
+                reader: None,
+            })
+            .collect();
+        ServiceClient {
+            id,
+            dealer: ClientKeyDealer::new(config.key_seed),
+            config,
+            conns,
+            tx,
+            rx,
+            next_seq: 0,
+            stop: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The metrics registry the client reports into.
+    pub fn metrics(&self) -> &Metrics {
+        &self.config.metrics
+    }
+
+    /// Group resilience `f = ⌊(n−1)/3⌋`.
+    fn resilience(&self) -> usize {
+        (self.conns.len() - 1) / 3
+    }
+
+    /// Submits `command` for ordered execution and returns the
+    /// `f+1`-voted reply. Exactly-once: retries (ours or a competing
+    /// fan-out leg's) of the same sequence number are answered from the
+    /// replicated session table, never applied again.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::NoQuorum`] when the retry budget runs out without
+    /// `f+1` byte-identical replies, [`ClientError::Stale`] when the
+    /// session advanced past this request.
+    pub fn invoke(&mut self, command: Bytes) -> Result<Bytes, ClientError> {
+        self.next_seq += 1;
+        let seq = self.next_seq;
+        self.vote_rounds(seq, RequestKind::Apply, command)
+    }
+
+    /// Reads via the optimistic path — local answers accepted at `f+1`
+    /// byte-identical — falling back to an ordered read when replicas
+    /// diverge or time out.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServiceClient::invoke`] (via the ordered fallback).
+    pub fn read(&mut self, query: Bytes) -> Result<Bytes, ClientError> {
+        self.next_seq += 1;
+        let seq = self.next_seq;
+        let m = self.config.metrics.clone();
+        m.service_client_requests.inc();
+        let start = Instant::now();
+        let targets: Vec<usize> = self.round_targets(seq, false);
+        let sent = self.fan_out(
+            &targets,
+            &[],
+            seq,
+            RequestKind::OptimisticRead,
+            query.clone(),
+        );
+        let f = self.resilience();
+        if sent > f {
+            if let Some((Status::Ok, payload)) =
+                self.collect_votes(seq, f + 1, self.config.optimistic_timeout)
+            {
+                m.service_e2e_latency_ns
+                    .record(start.elapsed().as_nanos() as u64);
+                return Ok(payload);
+            }
+        }
+        // Divergence or timeout: pay for ordering.
+        m.service_client_read_fallbacks.inc();
+        self.next_seq += 1;
+        let seq = self.next_seq;
+        self.vote_rounds(seq, RequestKind::OrderedRead, query)
+    }
+
+    /// The fan-out / vote / retry loop shared by writes and ordered
+    /// reads.
+    fn vote_rounds(
+        &mut self,
+        seq: u64,
+        kind: RequestKind,
+        payload: Bytes,
+    ) -> Result<Bytes, ClientError> {
+        let m = self.config.metrics.clone();
+        m.service_client_requests.inc();
+        let start = Instant::now();
+        let f = self.resilience();
+        let mut backoff = self.config.backoff;
+        for attempt in 0..self.config.max_attempts.max(1) {
+            let escalate = attempt > 0;
+            if escalate {
+                m.service_client_retries.inc();
+                std::thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2);
+            }
+            let submitters = self.round_targets(seq, true);
+            let observers: Vec<usize> = if escalate {
+                Vec::new() // retries submit everywhere reachable
+            } else {
+                self.round_targets(seq, false)
+                    .into_iter()
+                    .filter(|i| !submitters.contains(i))
+                    .collect()
+            };
+            let sent = self.fan_out(&submitters, &observers, seq, kind, payload.clone());
+            if sent <= f {
+                // Not even f+1 replicas reachable: no quorum can form.
+                continue;
+            }
+            match self.collect_votes(seq, f + 1, self.config.request_timeout) {
+                Some((Status::Ok, reply)) => {
+                    m.service_e2e_latency_ns
+                        .record(start.elapsed().as_nanos() as u64);
+                    return Ok(reply);
+                }
+                Some((Status::Stale, _)) => return Err(ClientError::Stale),
+                Some((Status::Busy, _)) | Some((Status::Error, _)) | None => {
+                    // Back off and escalate to an all-submit round.
+                }
+            }
+        }
+        Err(ClientError::NoQuorum)
+    }
+
+    /// The replicas targeted this round: `f+1` submitters (rotated by
+    /// `seq` for load spreading) or the full `2f+1` read set.
+    fn round_targets(&self, seq: u64, submitters_only: bool) -> Vec<usize> {
+        let n = self.conns.len();
+        let f = self.resilience();
+        let count = if submitters_only { f + 1 } else { 2 * f + 1 };
+        let first = ((self.id.wrapping_add(seq)) % n as u64) as usize;
+        (0..count.min(n)).map(|k| (first + k) % n).collect()
+    }
+
+    /// Sends the request to each target, reconnecting dead links on the
+    /// way. Returns how many copies went out.
+    fn fan_out(
+        &mut self,
+        submitters: &[usize],
+        observers: &[usize],
+        seq: u64,
+        kind: RequestKind,
+        payload: Bytes,
+    ) -> usize {
+        let mut sent = 0;
+        let legs = submitters
+            .iter()
+            .map(|&i| (i, RequestMode::Submit))
+            .chain(observers.iter().map(|&i| (i, RequestMode::Observe)));
+        for (i, mode) in legs {
+            let request = Request {
+                client: self.id,
+                seq,
+                kind,
+                mode,
+                payload: payload.clone(),
+            };
+            if self.send_to(i, &request) {
+                sent += 1;
+            }
+        }
+        sent
+    }
+
+    /// Sends one sealed request to replica `i`, dialing (or redialing)
+    /// its connection if needed.
+    fn send_to(&mut self, i: usize, request: &Request) -> bool {
+        let key = self.dealer.link_key(self.id, i as u64);
+        let frame = request.seal(&key);
+        // One reconnect attempt per send: a dead stream is dropped and
+        // redialed, then the send is tried once more.
+        for _ in 0..2 {
+            if self.conns[i].stream.is_none() && !self.connect(i) {
+                return false;
+            }
+            let stream = self.conns[i].stream.as_mut().expect("connected above");
+            match write_frame(stream, &frame) {
+                Ok(()) => return true,
+                Err(_) => {
+                    self.conns[i].stream = None;
+                }
+            }
+        }
+        false
+    }
+
+    /// Dials replica `i`, runs the HELLO handshake, and spawns its
+    /// reader thread.
+    fn connect(&mut self, i: usize) -> bool {
+        let addr = self.conns[i].addr;
+        let key = self.dealer.link_key(self.id, i as u64);
+        let Ok(mut stream) = TcpStream::connect_timeout(&addr, self.config.connect_timeout) else {
+            return false;
+        };
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(self.config.connect_timeout));
+        let nonce = fresh_nonce();
+        let hello = Hello {
+            client: self.id,
+            nonce,
+        };
+        if write_frame(&mut stream, &hello.seal(&key)).is_err() {
+            return false;
+        }
+        let Ok(ack_frame) = read_frame(&mut stream) else {
+            return false;
+        };
+        let Ok(ack) = HelloAck::open(&ack_frame, &key) else {
+            self.config.metrics.service_client_replies_rejected.inc();
+            return false;
+        };
+        if ack.nonce != nonce || ack.replica as usize != i {
+            self.config.metrics.service_client_replies_rejected.inc();
+            return false;
+        }
+        // Steady-state read timeout: short, so the reader notices
+        // shutdown promptly.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+        let Ok(read_half) = stream.try_clone() else {
+            return false;
+        };
+        if let Some(old) = self.conns[i].reader.take() {
+            let _ = old.join();
+        }
+        self.conns[i].reader = Some(spawn_reader(
+            read_half,
+            i as u16,
+            key,
+            self.tx.clone(),
+            Arc::clone(&self.stop),
+            self.config.metrics.clone(),
+        ));
+        self.conns[i].stream = Some(stream);
+        true
+    }
+
+    /// Drains the reply channel until `quorum` replicas agree
+    /// byte-for-byte on `(status, payload)` for `seq`, or the deadline
+    /// passes. Counts a vote failure when replies arrived but never
+    /// agreed.
+    fn collect_votes(&self, seq: u64, quorum: usize, timeout: Duration) -> Option<(Status, Bytes)> {
+        let deadline = Instant::now() + timeout;
+        let mut votes: HashMap<(Status, Bytes), HashSet<u16>> = HashMap::new();
+        let mut any = false;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                if any {
+                    self.config.metrics.service_client_vote_failures.inc();
+                }
+                return None;
+            }
+            let Ok(reply) = self.rx.recv_timeout(remaining) else {
+                if any {
+                    self.config.metrics.service_client_vote_failures.inc();
+                }
+                return None;
+            };
+            if reply.client != self.id || reply.seq != seq {
+                continue; // stale round
+            }
+            any = true;
+            let voters = votes
+                .entry((reply.status, reply.payload.clone()))
+                .or_default();
+            voters.insert(reply.replica);
+            if voters.len() >= quorum {
+                return Some((reply.status, reply.payload));
+            }
+        }
+    }
+
+    /// Closes every connection and joins the reader threads.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for conn in &mut self.conns {
+            if let Some(s) = conn.stream.take() {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            if let Some(r) = conn.reader.take() {
+                let _ = r.join();
+            }
+        }
+    }
+}
+
+impl Drop for ServiceClient {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl core::fmt::Debug for ServiceClient {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ServiceClient")
+            .field("id", &self.id)
+            .field("replicas", &self.conns.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Spawns the per-connection reader: authenticates every inbound frame
+/// under the connection's link key, enforces that the reply names the
+/// replica this connection was dialed to (a replica cannot stuff votes
+/// in its peers' names), and forwards accepted replies to the shared
+/// vote channel.
+fn spawn_reader(
+    mut stream: TcpStream,
+    replica: u16,
+    key: ritas_crypto::SecretKey,
+    tx: Sender<Reply>,
+    stop: Arc<AtomicBool>,
+    metrics: Metrics,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        while let Some(frame) = read_frame_polling(&mut stream, &stop) {
+            match Reply::open(&frame, &key) {
+                Ok(reply) if reply.replica == replica => {
+                    if tx.send(reply).is_err() {
+                        return;
+                    }
+                }
+                Ok(_) | Err(_) => {
+                    metrics.service_client_replies_rejected.inc();
+                }
+            }
+        }
+    })
+}

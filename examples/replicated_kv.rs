@@ -1,148 +1,153 @@
-//! A Byzantine-fault-tolerant replicated key-value store built on atomic
-//! broadcast — the state machine replication pattern the paper's
+//! A Byzantine-fault-tolerant replicated key-value store, served to real
+//! clients over TCP — the state machine replication pattern the paper's
 //! introduction motivates (consensus ⇔ atomic broadcast ⇔ replicated
-//! state machines).
+//! state machines), completed by the service tier: clients fan each
+//! request to `2f+1` replicas and accept a result only at `f+1`
+//! byte-identical replies, so no single replica is ever trusted.
 //!
 //! Run with: `cargo run --example replicated_kv`
 //!
-//! Every replica submits `SET`/`DEL` commands through atomic broadcast
-//! and applies them in delivery order. Because delivery order is
+//! Every command is ordered through atomic broadcast and applied in
+//! delivery order at all four replicas; because delivery order is
 //! identical everywhere, all replicas end in the same state — without
-//! any leader, lock service or timing assumption, and tolerating one
-//! arbitrary (Byzantine) replica out of four.
+//! any leader, lock service or timing assumption, tolerating one
+//! arbitrary (Byzantine) replica out of four. The clients talk the
+//! HMAC-authenticated service protocol: `SET`/`DEL` go through the
+//! ordered write path, `GET` through the optimistic `f+1`-matching read.
 
 use bytes::Bytes;
 use ritas::node::{Node, SessionConfig};
+use ritas::service::{ServiceConfig, ServiceReplica};
+use ritas_crypto::ClientKeyDealer;
+use ritas_service::client::{ClientConfig, ServiceClient};
+use ritas_service::server::{ServerConfig, ServiceServer};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-/// Commands understood by the replicated store.
-#[derive(Debug, Clone)]
-enum Command {
-    Set { key: String, value: String },
-    Del { key: String },
-}
+/// The replicated state: an ordered map, applied deterministically.
+type Store = BTreeMap<String, String>;
 
-impl Command {
-    fn encode(&self) -> Bytes {
-        let s = match self {
-            Command::Set { key, value } => format!("SET {key}={value}"),
-            Command::Del { key } => format!("DEL {key}"),
-        };
-        Bytes::from(s)
-    }
-
-    fn decode(raw: &[u8]) -> Option<Command> {
-        let s = std::str::from_utf8(raw).ok()?;
-        if let Some(rest) = s.strip_prefix("SET ") {
-            let (key, value) = rest.split_once('=')?;
-            Some(Command::Set {
-                key: key.to_owned(),
-                value: value.to_owned(),
-            })
-        } else {
-            s.strip_prefix("DEL ").map(|key| Command::Del {
-                key: key.to_owned(),
-            })
+/// Applies one text command (`SET k=v` / `DEL k`), returning the reply
+/// the client will vote on. Determinism is what makes the vote work:
+/// every correct replica produces byte-identical replies.
+fn apply(store: &mut Store, _client: u64, cmd: &[u8]) -> Bytes {
+    let Ok(s) = std::str::from_utf8(cmd) else {
+        return Bytes::from_static(b"ERR utf8");
+    };
+    if let Some(rest) = s.strip_prefix("SET ") {
+        if let Some((key, value)) = rest.split_once('=') {
+            store.insert(key.to_owned(), value.to_owned());
+            return Bytes::from_static(b"OK");
         }
+    } else if let Some(key) = s.strip_prefix("DEL ") {
+        store.remove(key);
+        return Bytes::from_static(b"OK");
     }
+    Bytes::from_static(b"ERR parse")
 }
 
-/// A deterministic state machine: applies commands in delivery order.
-#[derive(Debug, Default, PartialEq, Eq)]
-struct Store {
-    map: BTreeMap<String, String>,
-}
-
-impl Store {
-    fn apply(&mut self, cmd: &Command) {
-        match cmd {
-            Command::Set { key, value } => {
-                self.map.insert(key.clone(), value.clone());
-            }
-            Command::Del { key } => {
-                self.map.remove(key);
-            }
-        }
+/// Answers a `GET k` query from the current state (optimistic read path;
+/// the client falls back to an ordered read when replicas diverge).
+fn query(store: &Store, q: &[u8]) -> Bytes {
+    let Ok(s) = std::str::from_utf8(q) else {
+        return Bytes::from_static(b"ERR utf8");
+    };
+    match s.strip_prefix("GET ").and_then(|k| store.get(k)) {
+        Some(v) => Bytes::from(v.clone()),
+        None => Bytes::new(),
     }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let nodes = Node::cluster(SessionConfig::new(4)?)?;
-
-    // Conflicting writes from different replicas: without total order,
-    // replicas could disagree on the final value of "leader" and on
-    // whether "tmp" survives.
-    let workloads: [Vec<Command>; 4] = [
-        vec![
-            Command::Set {
-                key: "leader".into(),
-                value: "p0".into(),
-            },
-            Command::Set {
-                key: "tmp".into(),
-                value: "scratch".into(),
-            },
-        ],
-        vec![Command::Set {
-            key: "leader".into(),
-            value: "p1".into(),
-        }],
-        vec![Command::Del { key: "tmp".into() }],
-        vec![
-            Command::Set {
-                key: "leader".into(),
-                value: "p3".into(),
-            },
-            Command::Set {
-                key: "epoch".into(),
-                value: "7".into(),
-            },
-        ],
-    ];
-    let total: usize = workloads.iter().map(Vec::len).sum();
-
-    let mut handles = Vec::new();
-    for node in nodes {
-        let my_cmds = workloads[node.id()].clone();
-        handles.push(std::thread::spawn(
-            move || -> Result<_, Box<ritas::node::NodeError>> {
-                for cmd in &my_cmds {
-                    node.atomic_broadcast(cmd.encode())?;
-                }
-                let mut store = Store::default();
-                let mut log = Vec::new();
-                for _ in 0..total {
-                    let delivery = node.atomic_recv()?;
-                    if let Some(cmd) = Command::decode(&delivery.payload) {
-                        store.apply(&cmd);
-                        log.push(format!("{cmd:?}"));
-                    }
-                }
-                node.shutdown();
-                Ok((node.id(), store, log))
-            },
-        ));
-    }
-
-    let mut results: Vec<_> = handles
+    // Four replicas (f = 1) on an in-memory mesh, each with a TCP
+    // service front-end clients connect to.
+    let session = SessionConfig::new(4)?;
+    let key_seed = session.client_key_seed();
+    let dealer = ClientKeyDealer::new(key_seed);
+    let mut servers: Vec<ServiceServer<Store>> = Node::cluster(session)?
         .into_iter()
-        .map(|h| h.join().expect("thread panicked"))
-        .collect::<Result<_, _>>()?;
-    results.sort_by_key(|(me, ..)| *me);
+        .map(|node| {
+            let replica = Arc::new(ServiceReplica::new(
+                node,
+                Store::new(),
+                ServiceConfig::default(),
+                apply,
+                query,
+            ));
+            ServiceServer::spawn(replica, dealer, ServerConfig::default()).expect("front-end")
+        })
+        .collect();
+    let addrs: Vec<_> = servers.iter().map(|s| s.addr()).collect();
 
-    println!("Applied command log (identical on every replica):");
-    for line in &results[0].2 {
-        println!("  {line}");
+    // Two independent clients race conflicting writes. The total order
+    // decides who wins "leader"; both clients then observe the same
+    // winner.
+    let mut workers = Vec::new();
+    for (client_id, cmds) in [
+        (
+            1u64,
+            vec!["SET leader=alpha", "SET tmp=scratch", "SET epoch=7"],
+        ),
+        (2u64, vec!["SET leader=beta", "DEL tmp"]),
+    ] {
+        let addrs = addrs.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut client = ServiceClient::new(
+                client_id,
+                addrs,
+                ClientConfig {
+                    key_seed,
+                    ..ClientConfig::default()
+                },
+            );
+            for cmd in cmds {
+                let reply = client.invoke(Bytes::from_static(cmd.as_bytes())).unwrap();
+                println!("client {client_id}: {cmd:<18} -> {:?}", reply.as_ref());
+            }
+            // Read back through the f+1-vote read path.
+            let leader = client.read(Bytes::from_static(b"GET leader")).unwrap();
+            let tmp = client.read(Bytes::from_static(b"GET tmp")).unwrap();
+            client.shutdown();
+            (
+                String::from_utf8_lossy(&leader).into_owned(),
+                String::from_utf8_lossy(&tmp).into_owned(),
+            )
+        }));
     }
-    println!("\nFinal replicated state:");
-    for (k, v) in &results[0].1.map {
+    let views: Vec<_> = workers
+        .into_iter()
+        .map(|w| w.join().expect("client thread"))
+        .collect();
+
+    println!("\nClient views after settling:");
+    for (i, (leader, tmp)) in views.iter().enumerate() {
+        println!("  client {}: leader={leader:?} tmp={tmp:?}", i + 1);
+    }
+
+    // Both clients read the same agreed leader; whoever it is, it is one
+    // of the two candidates, and every replica agrees.
+    assert_eq!(views[0].0, views[1].0, "clients saw different leaders");
+    assert!(["alpha", "beta"].contains(&views[0].0.as_str()));
+
+    for s in &mut servers {
+        s.replica().barrier().ok();
+    }
+    let reference = servers[0].replica().read_state(|s| s.clone());
+    for (i, s) in servers.iter().enumerate() {
+        assert_eq!(
+            s.replica().read_state(|st| st.clone()),
+            reference,
+            "replica p{i} diverged!"
+        );
+    }
+    println!("\nFinal replicated state (identical at every replica):");
+    for (k, v) in &reference {
         println!("  {k} = {v}");
     }
-
-    let reference = &results[0].1;
-    for (me, store, _) in &results {
-        assert_eq!(store, reference, "replica p{me} diverged!");
+    for s in &mut servers {
+        s.replica().shutdown();
+        s.shutdown();
     }
-    println!("\nAll 4 replicas converged to the same state. ✔");
+    println!("\nAll 4 replicas converged; clients agreed through f+1 votes. ✔");
     Ok(())
 }
