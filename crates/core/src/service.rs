@@ -251,6 +251,18 @@ impl SessionTable {
         true
     }
 
+    /// Clears the in-flight mark of `(client, seq)` without recording a
+    /// reply — the submit path failed before the command entered the
+    /// ordered stream. The session becomes eviction-eligible again and
+    /// `seq` reverts to [`SessionCheck::New`], so a later retry
+    /// resubmits instead of waiting forever on an apply that will never
+    /// come.
+    pub fn abort(&mut self, client: ClientId, seq: u64) {
+        if let Some(s) = self.clients.get_mut(&client) {
+            s.in_flight.remove(&seq);
+        }
+    }
+
     /// Ensures room for one more session. Never evicts a session with a
     /// live in-flight request.
     fn make_room(&mut self) -> bool {
@@ -543,6 +555,18 @@ impl<S: Send + 'static> ServiceReplica<S> {
             };
             if let Err(e) = self.replica.submit(cmd.to_bytes()) {
                 self.waiters.lock().remove(&(client, seq));
+                // Unwind the in-flight pin set by `begin` above: the
+                // command never entered the ordered stream, so nothing
+                // will ever complete it. Leaving it would make the
+                // session permanently unevictable and every retry of
+                // this (client, seq) hang on a waiter that never fires.
+                {
+                    let mut table = self.table.lock();
+                    table.abort(client, seq);
+                    self.metrics.service_inflight.set(table.in_flight() as u64);
+                }
+                self.metrics.span_close(&format!("{span}/ab"));
+                self.metrics.span_close(&span);
                 return Err(ServiceError::Node(e));
             }
         }
@@ -809,6 +833,41 @@ mod tests {
         assert!(t.complete(1, 1, Bytes::from_static(b"c")));
         assert!(t.begin(4, 1));
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn session_table_abort_unpins() {
+        let mut t = SessionTable::new(1);
+        assert!(t.begin(1, 1));
+        assert_eq!(t.check(1, 1), SessionCheck::InFlight);
+        t.abort(1, 1);
+        assert_eq!(t.check(1, 1), SessionCheck::New, "abort restores New");
+        assert_eq!(t.in_flight(), 0);
+        // The session is eviction-eligible again: a new client gets in.
+        assert!(t.begin(2, 1));
+    }
+
+    #[test]
+    fn failed_submit_clears_in_flight_pin() {
+        let replicas = counters(4);
+        for r in &replicas {
+            r.shutdown();
+        }
+        let short = Duration::from_millis(300);
+        let e = replicas[0]
+            .submit(5, 1, CommandKind::Apply, Bytes::from_static(b"incr"), short)
+            .unwrap_err();
+        assert!(matches!(e, ServiceError::Node(_)));
+        // The failed submit must not leave (5, 1) pinned: a retry takes
+        // the submit path again (Node error), not an InFlight wait that
+        // times out against an apply that will never come.
+        let e = replicas[0]
+            .submit(5, 1, CommandKind::Apply, Bytes::from_static(b"incr"), short)
+            .unwrap_err();
+        assert!(
+            matches!(e, ServiceError::Node(_)),
+            "retry saw a stale in-flight pin: {e:?}"
+        );
     }
 
     #[test]

@@ -18,16 +18,16 @@
 //! agreement — and fall back to an ordered read when replicas diverge.
 
 use crate::wire::{
-    read_frame, read_frame_polling, write_frame, Hello, HelloAck, Reply, Request, RequestKind,
-    RequestMode, Status,
+    connection_key, fresh_nonce, read_frame, read_frame_polling, write_frame, Hello, HelloAck,
+    Reply, Request, RequestKind, RequestMode, Status,
 };
 use bytes::Bytes;
 use crossbeam_channel::{unbounded, Receiver, Sender};
-use ritas_crypto::ClientKeyDealer;
+use ritas_crypto::{ClientKeyDealer, SecretKey};
 use ritas_metrics::Metrics;
 use std::collections::{HashMap, HashSet};
-use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -93,10 +93,12 @@ impl core::fmt::Display for ClientError {
 
 impl std::error::Error for ClientError {}
 
-/// One replica connection: the write half plus its reader thread.
+/// One replica connection: the write half, the per-connection frame key
+/// (derived from both handshake nonces), and the reader thread.
 struct Conn {
     addr: SocketAddr,
     stream: Option<TcpStream>,
+    key: Option<SecretKey>,
     reader: Option<JoinHandle<()>>,
 }
 
@@ -112,20 +114,6 @@ pub struct ServiceClient {
     stop: Arc<AtomicBool>,
 }
 
-/// Process-wide salt so two clients created in the same nanosecond still
-/// get distinct HELLO nonces.
-static NONCE_SALT: AtomicU64 = AtomicU64::new(0);
-
-fn fresh_nonce() -> u64 {
-    let t = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_nanos() as u64)
-        .unwrap_or(0);
-    t ^ NONCE_SALT
-        .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
-        .rotate_left(17)
-}
-
 impl ServiceClient {
     /// Creates a client of id `id` for the replica group at `addrs`
     /// (index in `addrs` = replica id). Connections are established
@@ -137,6 +125,7 @@ impl ServiceClient {
             .map(|addr| Conn {
                 addr,
                 stream: None,
+                key: None,
                 reader: None,
             })
             .collect();
@@ -241,14 +230,22 @@ impl ServiceClient {
                 std::thread::sleep(backoff);
                 backoff = backoff.saturating_mul(2);
             }
-            let submitters = self.round_targets(seq, true);
-            let observers: Vec<usize> = if escalate {
-                Vec::new() // retries submit everywhere reachable
+            // First round: f+1 submitters (at least one correct orders
+            // the command), the rest observe. Escalated rounds submit at
+            // the full 2f+1 set — the pinned f+1 set may be exactly the
+            // crashed/Byzantine replicas that made round one miss quorum,
+            // and dedup in the replicated session table absorbs the extra
+            // submissions.
+            let (submitters, observers) = if escalate {
+                (self.round_targets(seq, false), Vec::new())
             } else {
-                self.round_targets(seq, false)
+                let submitters = self.round_targets(seq, true);
+                let observers = self
+                    .round_targets(seq, false)
                     .into_iter()
                     .filter(|i| !submitters.contains(i))
-                    .collect()
+                    .collect();
+                (submitters, observers)
             };
             let sent = self.fan_out(&submitters, &observers, seq, kind, payload.clone());
             if sent <= f {
@@ -313,19 +310,28 @@ impl ServiceClient {
     /// Sends one sealed request to replica `i`, dialing (or redialing)
     /// its connection if needed.
     fn send_to(&mut self, i: usize, request: &Request) -> bool {
-        let key = self.dealer.link_key(self.id, i as u64);
-        let frame = request.seal(&key);
-        // One reconnect attempt per send: a dead stream is dropped and
-        // redialed, then the send is tried once more.
+        // One reconnect attempt per send: a dead stream is torn down and
+        // redialed, then the send is tried once more. The frame is sealed
+        // per attempt because each connection has its own nonce-derived
+        // key.
         for _ in 0..2 {
             if self.conns[i].stream.is_none() && !self.connect(i) {
                 return false;
             }
+            let key = self.conns[i].key.expect("connected above");
+            let frame = request.seal(&key);
             let stream = self.conns[i].stream.as_mut().expect("connected above");
             match write_frame(stream, &frame) {
                 Ok(()) => return true,
                 Err(_) => {
-                    self.conns[i].stream = None;
+                    // Shut the socket down instead of just dropping the
+                    // write half: the reader holds a cloned fd, and on a
+                    // half-open connection (writes fail, reads only time
+                    // out) it would otherwise run until its next redial
+                    // joins it — blocking the whole client.
+                    if let Some(s) = self.conns[i].stream.take() {
+                        let _ = s.shutdown(Shutdown::Both);
+                    }
                 }
             }
         }
@@ -361,6 +367,10 @@ impl ServiceClient {
             self.config.metrics.service_client_replies_rejected.inc();
             return false;
         }
+        // Request/Reply frames ride the connection key derived from both
+        // handshake nonces, binding them to this live connection (see
+        // `wire::connection_key`).
+        let conn_key = connection_key(&key, nonce, ack.server_nonce);
         // Steady-state read timeout: short, so the reader notices
         // shutdown promptly.
         let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
@@ -373,12 +383,13 @@ impl ServiceClient {
         self.conns[i].reader = Some(spawn_reader(
             read_half,
             i as u16,
-            key,
+            conn_key,
             self.tx.clone(),
             Arc::clone(&self.stop),
             self.config.metrics.clone(),
         ));
         self.conns[i].stream = Some(stream);
+        self.conns[i].key = Some(conn_key);
         true
     }
 

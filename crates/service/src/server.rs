@@ -10,8 +10,8 @@
 //! absorbs.
 
 use crate::wire::{
-    read_frame_polling, write_frame, FrameError, Hello, HelloAck, Reply, Request, RequestKind,
-    RequestMode, Status,
+    connection_key, fresh_nonce, read_frame_polling, write_frame, FrameError, Hello, HelloAck,
+    Reply, Request, RequestKind, RequestMode, Status,
 };
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -190,15 +190,23 @@ fn serve_connection<S: Send + 'static>(
         }
     };
     let n = replica.group_size();
+    // Challenge the client back with a fresh nonce: request frames are
+    // MAC'd under the connection key derived from both nonces, so a
+    // recorded HELLO + request transcript replayed by a network
+    // adversary dies at the first request (it cannot re-seal under the
+    // new key without the link key).
+    let server_nonce = fresh_nonce();
     let ack = HelloAck {
         replica: me,
         n: n as u16,
         f: ((n - 1) / 3) as u16,
         nonce: hello.nonce,
+        server_nonce,
     };
     if write_frame(&mut stream, &ack.seal(&key)).is_err() {
         return;
     }
+    let conn_key = connection_key(&key, hello.nonce, server_nonce);
 
     // ---- request loop ----
     loop {
@@ -206,7 +214,7 @@ fn serve_connection<S: Send + 'static>(
             Some(f) => f,
             None => return,
         };
-        let request = match Request::open(&frame, &key) {
+        let request = match Request::open(&frame, &conn_key) {
             Ok(r) if r.client == hello.client => r,
             Ok(_) | Err(FrameError::BadMac) => {
                 // Wrong MAC, or a (validly MACed) request for a different
@@ -233,7 +241,7 @@ fn serve_connection<S: Send + 'static>(
             status,
             payload,
         };
-        let ok = write_frame(&mut stream, &reply.seal(&key)).is_ok();
+        let ok = write_frame(&mut stream, &reply.seal(&conn_key)).is_ok();
         metrics.span_close(&span);
         if !ok {
             return;

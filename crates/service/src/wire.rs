@@ -4,26 +4,33 @@
 //! Every frame is a `u32` big-endian length prefix followed by the frame
 //! body; every body ends in a 12-byte HMAC-SHA-1-96 over the preceding
 //! bytes — the same construction (and truncation) as the replica mesh's
-//! AH layer, keyed by the pairwise *client link key*
+//! AH layer. The handshake frames ([`Hello`], [`HelloAck`]) are keyed by
+//! the pairwise *client link key*
 //! ([`ritas_crypto::ClientKeyDealer::link_key`]) of the `(client,
-//! replica)` edge the frame travels on. Pairwise keys matter: with one
-//! key per client shared by the whole group, a single Byzantine replica
-//! could sign replies in its peers' names and fabricate an `f+1` quorum
-//! by itself.
+//! replica)` edge the frame travels on; all subsequent [`Request`] and
+//! [`Reply`] frames are keyed by the per-connection key
+//! ([`connection_key`]) derived from that link key **and both handshake
+//! nonces**. Pairwise keys matter: with one key per client shared by the
+//! whole group, a single Byzantine replica could sign replies in its
+//! peers' names and fabricate an `f+1` quorum by itself. The nonce-bound
+//! connection key matters too: a network adversary replaying a recorded
+//! HELLO plus its sealed requests on a fresh connection is stopped at the
+//! first request frame, because the replica's fresh nonce changed the key.
 //!
 //! Frames, by tag:
 //!
-//! | tag | frame | direction |
-//! |---|---|---|
-//! | 1 | [`Hello`] — session registration with a fresh nonce | client → replica |
-//! | 2 | [`HelloAck`] — group parameters, nonce echoed under MAC | replica → client |
-//! | 3 | [`Request`] — `(client, seq, kind, mode, payload)` | client → replica |
-//! | 4 | [`Reply`] — `(replica, client, seq, status, payload)` | replica → client |
+//! | tag | frame | direction | key |
+//! |---|---|---|---|
+//! | 1 | [`Hello`] — session registration with a fresh client nonce | client → replica | link key |
+//! | 2 | [`HelloAck`] — group parameters, client nonce echoed, fresh server nonce | replica → client | link key |
+//! | 3 | [`Request`] — `(client, seq, kind, mode, payload)` | client → replica | connection key |
+//! | 4 | [`Reply`] — `(replica, client, seq, status, payload)` | replica → client | connection key |
 
 use bytes::Bytes;
 use ritas::codec::{Reader, WireError, Writer};
-use ritas_crypto::{digest::ct_eq, Hmac, SecretKey, Sha1};
+use ritas_crypto::{digest::ct_eq, Digest, Hmac, SecretKey, Sha1, Sha256};
 use std::io::{Read as IoRead, Write as IoWrite};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Length of the truncated HMAC-SHA-1-96 tag on every frame.
 pub const MAC_LEN: usize = 12;
@@ -139,6 +146,42 @@ impl Status {
     }
 }
 
+/// Process-wide salt so two nonces drawn in the same nanosecond are
+/// still distinct.
+static NONCE_SALT: AtomicU64 = AtomicU64::new(0);
+
+/// Draws a fresh handshake nonce (wall clock ⊕ a process-wide counter).
+pub fn fresh_nonce() -> u64 {
+    let t = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    t ^ NONCE_SALT
+        .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+        .rotate_left(17)
+}
+
+/// Derives the per-connection frame key from the pairwise link key and
+/// both handshake nonces (`SHA-256("ritas-conn-key" ‖ link ‖ client
+/// nonce ‖ server nonce)`).
+///
+/// [`Request`] and [`Reply`] frames are sealed under this key rather
+/// than the long-lived link key, which binds them to the live
+/// connection in *both* directions: the client's nonce stops HELLO_ACK
+/// replay, and the server's nonce stops a recorded HELLO + request
+/// transcript from being replayed verbatim on a fresh connection —
+/// without the link key, the adversary cannot re-seal the requests
+/// under the new connection key.
+pub fn connection_key(link: &SecretKey, client_nonce: u64, server_nonce: u64) -> SecretKey {
+    let digest = Sha256::digest_concat(&[
+        b"ritas-conn-key",
+        link.as_ref(),
+        &client_nonce.to_be_bytes(),
+        &server_nonce.to_be_bytes(),
+    ]);
+    SecretKey::from_bytes(digest)
+}
+
 const TAG_HELLO: u8 = 1;
 const TAG_HELLO_ACK: u8 = 2;
 const TAG_REQUEST: u8 = 3;
@@ -155,7 +198,10 @@ pub struct Hello {
     pub nonce: u64,
 }
 
-/// Replica's authenticated answer to a [`Hello`].
+/// Replica's authenticated answer to a [`Hello`]: group parameters, the
+/// client's nonce echoed (the ack cannot be a replay), and the replica's
+/// own fresh nonce (request frames cannot be replays either — both
+/// nonces feed [`connection_key`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HelloAck {
     /// The answering replica.
@@ -166,6 +212,9 @@ pub struct HelloAck {
     pub f: u16,
     /// The client's nonce, echoed.
     pub nonce: u64,
+    /// The replica's fresh per-connection nonce, challenging the client
+    /// in turn.
+    pub server_nonce: u64,
 }
 
 /// One client request.
@@ -279,7 +328,8 @@ impl HelloAck {
             .u16(self.replica)
             .u16(self.n)
             .u16(self.f)
-            .u64(self.nonce);
+            .u64(self.nonce)
+            .u64(self.server_nonce);
         seal(w, key)
     }
 
@@ -305,6 +355,7 @@ impl HelloAck {
             n: r.u16("ack.n")?,
             f: r.u16("ack.f")?,
             nonce: r.u64("ack.nonce")?,
+            server_nonce: r.u64("ack.server_nonce")?,
         };
         r.finish()?;
         Ok(v)
@@ -497,6 +548,48 @@ mod tests {
         let frame = h.seal(&key());
         assert_eq!(Hello::peek_client(&frame).unwrap(), 3);
         assert_eq!(Hello::open(&frame, &key()).unwrap(), h);
+    }
+
+    #[test]
+    fn hello_ack_roundtrip() {
+        let a = HelloAck {
+            replica: 1,
+            n: 4,
+            f: 1,
+            nonce: 0xBEEF,
+            server_nonce: 0xCAFE,
+        };
+        assert_eq!(HelloAck::open(&a.seal(&key()), &key()).unwrap(), a);
+    }
+
+    #[test]
+    fn connection_key_binds_both_nonces() {
+        let k = connection_key(&key(), 1, 2);
+        assert_eq!(k, connection_key(&key(), 1, 2));
+        // Either side refreshing its nonce yields a different key, so a
+        // frame recorded on one connection never verifies on another.
+        assert_ne!(k, connection_key(&key(), 1, 3));
+        assert_ne!(k, connection_key(&key(), 3, 2));
+        assert_ne!(k, key());
+        let rq = Request {
+            client: 3,
+            seq: 1,
+            kind: RequestKind::Apply,
+            mode: RequestMode::Submit,
+            payload: Bytes::from_static(b"cmd"),
+        };
+        // A request sealed for one connection is a replay on the next.
+        assert_eq!(
+            Request::open(&rq.seal(&k), &connection_key(&key(), 1, 3)).unwrap_err(),
+            FrameError::BadMac
+        );
+    }
+
+    #[test]
+    fn fresh_nonces_distinct() {
+        let a = fresh_nonce();
+        let b = fresh_nonce();
+        assert_ne!(a, b);
     }
 
     #[test]
