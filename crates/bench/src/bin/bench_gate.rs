@@ -1,0 +1,276 @@
+//! **bench_gate** — the CI perf-regression comparator for
+//! `BENCH_service.json`.
+//!
+//! Compares a freshly measured loadgen report against the committed
+//! baseline (`results/BENCH_service.baseline.json`) and exits non-zero
+//! when steady-state throughput regressed or tail latency inflated
+//! beyond tolerance:
+//!
+//! ```text
+//! bench_gate <baseline.json> <current.json> \
+//!     [--max-ops-drop 0.20] [--max-p99-rise 0.30]
+//! ```
+//!
+//! * ops/s may drop at most `max-ops-drop` (fraction) below baseline;
+//! * p99 latency may rise at most `max-p99-rise` (fraction) above
+//!   baseline;
+//! * `duplicate_applies` must be 0 in the current report — a perf gate
+//!   must never wave through a correctness regression.
+//!
+//! The parser is a deliberately tiny field extractor over the flat JSON
+//! object loadgen emits (no nested objects, no arrays, no string
+//! escapes), so the gate has zero dependencies and its logic is unit
+//! tested offline.
+
+use std::process::ExitCode;
+
+/// Extracts the numeric value of `"key":<number>` from a flat JSON
+/// object. Returns `None` when the key is absent or its value is not a
+/// bare JSON number.
+fn field(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = json.find(&needle)? + needle.len();
+    let rest = &json[start..];
+    let end = rest
+        .find(|c: char| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))
+        .unwrap_or(rest.len());
+    if end == 0 {
+        return None;
+    }
+    rest[..end].parse().ok()
+}
+
+/// One parsed loadgen report: just the fields the gate judges.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Report {
+    throughput_rps: f64,
+    latency_p99_ns: f64,
+    duplicate_applies: f64,
+}
+
+#[derive(Debug, PartialEq)]
+enum ParseError {
+    Missing(&'static str),
+}
+
+impl core::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ParseError::Missing(k) => write!(f, "missing or non-numeric field {k:?}"),
+        }
+    }
+}
+
+fn parse_report(json: &str) -> Result<Report, ParseError> {
+    Ok(Report {
+        throughput_rps: field(json, "throughput_rps")
+            .ok_or(ParseError::Missing("throughput_rps"))?,
+        latency_p99_ns: field(json, "latency_p99_ns")
+            .ok_or(ParseError::Missing("latency_p99_ns"))?,
+        duplicate_applies: field(json, "duplicate_applies")
+            .ok_or(ParseError::Missing("duplicate_applies"))?,
+    })
+}
+
+/// The gate verdict: every violated constraint, human-readable. Empty
+/// means pass.
+fn judge(baseline: &Report, current: &Report, max_ops_drop: f64, max_p99_rise: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    let ops_floor = baseline.throughput_rps * (1.0 - max_ops_drop);
+    if current.throughput_rps < ops_floor {
+        violations.push(format!(
+            "throughput regressed: {:.1} ops/s < floor {:.1} ops/s \
+             (baseline {:.1}, tolerance -{:.0}%)",
+            current.throughput_rps,
+            ops_floor,
+            baseline.throughput_rps,
+            max_ops_drop * 100.0
+        ));
+    }
+    let p99_ceiling = baseline.latency_p99_ns * (1.0 + max_p99_rise);
+    if current.latency_p99_ns > p99_ceiling {
+        violations.push(format!(
+            "p99 latency inflated: {:.2} ms > ceiling {:.2} ms \
+             (baseline {:.2} ms, tolerance +{:.0}%)",
+            current.latency_p99_ns / 1e6,
+            p99_ceiling / 1e6,
+            baseline.latency_p99_ns / 1e6,
+            max_p99_rise * 100.0
+        ));
+    }
+    if current.duplicate_applies != 0.0 {
+        violations.push(format!(
+            "exactly-once violated: duplicate_applies = {}",
+            current.duplicate_applies
+        ));
+    }
+    violations
+}
+
+fn main() -> ExitCode {
+    let mut paths = Vec::new();
+    let mut max_ops_drop = 0.20;
+    let mut max_p99_rise = 0.30;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut val = |what: &str| -> f64 {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {what}"))
+                .parse()
+                .unwrap_or_else(|_| panic!("non-numeric value for {what}"))
+        };
+        match arg.as_str() {
+            "--max-ops-drop" => max_ops_drop = val("--max-ops-drop"),
+            "--max-p99-rise" => max_p99_rise = val("--max-p99-rise"),
+            other => paths.push(other.to_string()),
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        eprintln!(
+            "usage: bench_gate <baseline.json> <current.json> \
+             [--max-ops-drop F] [--max-p99-rise F]"
+        );
+        return ExitCode::from(2);
+    };
+    let read = |path: &str| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+    };
+    let baseline = match parse_report(&read(baseline_path)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_gate: baseline {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let current = match parse_report(&read(current_path)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_gate: current {current_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "bench_gate: baseline {:.1} ops/s p99 {:.2} ms | current {:.1} ops/s p99 {:.2} ms",
+        baseline.throughput_rps,
+        baseline.latency_p99_ns / 1e6,
+        current.throughput_rps,
+        current.latency_p99_ns / 1e6,
+    );
+    let violations = judge(&baseline, &current, max_ops_drop, max_p99_rise);
+    if violations.is_empty() {
+        println!("bench_gate: PASS");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("bench_gate: FAIL: {v}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(ops: f64, p99: f64, dups: f64) -> Report {
+        Report {
+            throughput_rps: ops,
+            latency_p99_ns: p99,
+            duplicate_applies: dups,
+        }
+    }
+
+    #[test]
+    fn field_extraction() {
+        let json = r#"{"bench":"service_loadgen","throughput_rps":2816.4,
+                       "latency_p99_ns":47700000,"duplicate_applies":0}"#;
+        assert_eq!(field(json, "throughput_rps"), Some(2816.4));
+        assert_eq!(field(json, "latency_p99_ns"), Some(47_700_000.0));
+        assert_eq!(field(json, "duplicate_applies"), Some(0.0));
+        assert_eq!(field(json, "absent"), None);
+        // A non-numeric value must not parse as a number.
+        assert_eq!(field(json, "bench"), None);
+    }
+
+    #[test]
+    fn field_handles_scientific_and_negative() {
+        assert_eq!(field(r#"{"x":1.5e3}"#, "x"), Some(1500.0));
+        assert_eq!(field(r#"{"x":-2}"#, "x"), Some(-2.0));
+    }
+
+    #[test]
+    fn parse_report_requires_all_fields() {
+        let ok = r#"{"throughput_rps":100.0,"latency_p99_ns":5,"duplicate_applies":0}"#;
+        assert!(parse_report(ok).is_ok());
+        let missing = r#"{"throughput_rps":100.0,"duplicate_applies":0}"#;
+        assert_eq!(
+            parse_report(missing),
+            Err(ParseError::Missing("latency_p99_ns"))
+        );
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance() {
+        let base = report(1000.0, 100e6, 0.0);
+        // 15% ops drop and 25% p99 rise: inside the default tolerances.
+        let cur = report(850.0, 125e6, 0.0);
+        assert!(judge(&base, &cur, 0.20, 0.30).is_empty());
+    }
+
+    #[test]
+    fn gate_fails_on_ops_drop() {
+        let base = report(1000.0, 100e6, 0.0);
+        let cur = report(799.0, 100e6, 0.0);
+        let v = judge(&base, &cur, 0.20, 0.30);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("throughput regressed"), "{v:?}");
+    }
+
+    #[test]
+    fn gate_fails_on_p99_rise() {
+        let base = report(1000.0, 100e6, 0.0);
+        let cur = report(1000.0, 131e6, 0.0);
+        let v = judge(&base, &cur, 0.20, 0.30);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("p99 latency inflated"), "{v:?}");
+    }
+
+    #[test]
+    fn gate_fails_on_duplicate_applies() {
+        let base = report(1000.0, 100e6, 0.0);
+        let cur = report(5000.0, 10e6, 1.0);
+        let v = judge(&base, &cur, 0.20, 0.30);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("exactly-once violated"), "{v:?}");
+    }
+
+    #[test]
+    fn gate_improvements_always_pass() {
+        let base = report(1000.0, 100e6, 0.0);
+        let cur = report(10_000.0, 10e6, 0.0);
+        assert!(judge(&base, &cur, 0.20, 0.30).is_empty());
+    }
+
+    #[test]
+    fn gate_reports_every_violation() {
+        let base = report(1000.0, 100e6, 0.0);
+        let cur = report(1.0, 500e6, 2.0);
+        assert_eq!(judge(&base, &cur, 0.20, 0.30).len(), 3);
+    }
+
+    #[test]
+    fn loadgen_shaped_report_roundtrips() {
+        // The exact shape loadgen emits (single line, many fields).
+        let json = "{\"bench\":\"service_loadgen\",\"n\":4,\"f\":1,\"clients\":32,\
+                    \"requests_per_client\":50,\"warmup_per_client\":5,\"rate_rps\":0,\
+                    \"value_size\":64,\"tcp\":false,\"chaos\":false,\"seed\":7,\
+                    \"requests_ok\":1600,\"wall_ms\":500,\"throughput_rps\":3200.0,\
+                    \"latency_p50_ns\":9000000,\"latency_p99_ns\":21000000,\
+                    \"client_retries\":0,\"vote_failures\":0,\"dedup_hits\":12,\
+                    \"applied_distinct\":1760,\"duplicate_applies\":0}";
+        let r = parse_report(json).unwrap();
+        assert_eq!(r.throughput_rps, 3200.0);
+        assert_eq!(r.latency_p99_ns, 21_000_000.0);
+        assert_eq!(r.duplicate_applies, 0.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Protocol-side ordering throughput probe: closed-loop
+//! `ServiceReplica::submit` against a 4-replica in-process cluster,
+//! without the service front-end (no sockets, no reply voting, one
+//! submit leg per request instead of the client's f+1 fan-out).
+//!
+//! This isolates the cost of the replication pipeline itself — queue →
+//! batch dissemination → agreement → apply — so batching changes can be
+//! measured without the client edge in the numerator. Usage:
+//!
+//! ```text
+//! probe_rsm [clients] [requests-per-client]
+//! ```
+//!
+//! Prints ops/s plus the broadcast-queue flush counters and the lead
+//! replica's AB debug stats (batches, agreements, round).
+use bytes::Bytes;
+use ritas::node::{Node, SessionConfig};
+use ritas::service::{CommandKind, ServiceConfig, ServiceReplica};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let clients: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32);
+    let reqs: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50);
+    let nodes = Node::cluster(SessionConfig::new(4).unwrap()).unwrap();
+    let replicas: Vec<_> = nodes
+        .into_iter()
+        .map(|n| {
+            let r = Arc::new(ServiceReplica::new(
+                n,
+                0u64,
+                ServiceConfig::default(),
+                |c, _cl, _cmd| {
+                    *c += 1;
+                    Bytes::from(c.to_be_bytes().to_vec())
+                },
+                |c, _q| Bytes::from(c.to_be_bytes().to_vec()),
+            ));
+            // Throughput probe: keep counters, skip span/trace recording.
+            r.metrics().set_tracing(false);
+            r
+        })
+        .collect();
+    let t0 = Instant::now();
+    let hs: Vec<_> = (0..clients)
+        .map(|c| {
+            let r = Arc::clone(&replicas[c % 4]);
+            std::thread::spawn(move || {
+                for i in 0..reqs {
+                    r.submit(
+                        c as u64,
+                        i as u64 + 1,
+                        CommandKind::Apply,
+                        Bytes::from_static(b"x"),
+                        Duration::from_secs(30),
+                    )
+                    .unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in hs {
+        h.join().unwrap();
+    }
+    let wall = t0.elapsed();
+    println!(
+        "{} reqs in {:?} = {:.0} ops/s",
+        clients * reqs,
+        wall,
+        (clients * reqs) as f64 / wall.as_secs_f64()
+    );
+    let snap = replicas[0].metrics().snapshot();
+    for k in [
+        "ab_batches",
+        "ab_delivered",
+        "ab_flush_size",
+        "ab_flush_age",
+        "ab_flush_idle",
+    ] {
+        if let Some(v) = snap.counters.get(k) {
+            println!("{k}: {v}");
+        }
+    }
+    if let Ok(Some((stats, round, pending))) = replicas[0].ab_debug() {
+        println!("stats: {stats:?} round={round} pending={pending}");
+    }
+    for r in &replicas {
+        r.shutdown();
+    }
+}

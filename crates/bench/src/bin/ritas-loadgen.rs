@@ -10,12 +10,17 @@
 //!
 //! ```text
 //! cargo run --release -p ritas-bench --bin ritas-loadgen -- \
-//!     [--clients N] [--requests M] [--rate R] [--value-size B]
-//!     [--tcp] [--chaos] [--seed S] [--json]
+//!     [--clients N] [--requests M] [--warmup W] [--rate R]
+//!     [--value-size B] [--tcp] [--chaos] [--seed S] [--json]
 //! ```
 //!
 //! * `--clients` — concurrent closed-loop clients (default 4);
-//! * `--requests` — requests per client (default 50);
+//! * `--requests` — steady-state requests per client (default 50);
+//! * `--warmup` — warm-up requests per client excluded from every
+//!   aggregate (default 5): connection setup, session establishment and
+//!   first-ever AB instances are not steady state. All clients finish
+//!   their warm-up and rendezvous on a barrier before the measured
+//!   window opens;
 //! * `--rate` — total open-loop request rate in req/s (0 = closed loop);
 //! * `--value-size` — request payload bytes (default 64);
 //! * `--tcp` — replica mesh over real TCP sessions (default: in-memory
@@ -53,6 +58,7 @@ struct LoadState {
 struct Args {
     clients: usize,
     requests: usize,
+    warmup: usize,
     rate: f64,
     value_size: usize,
     tcp: bool,
@@ -65,6 +71,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         clients: 4,
         requests: 50,
+        warmup: 5,
         rate: 0.0,
         value_size: 64,
         tcp: false,
@@ -81,6 +88,7 @@ fn parse_args() -> Args {
         match flag.as_str() {
             "--clients" => args.clients = val("--clients").parse().expect("--clients"),
             "--requests" => args.requests = val("--requests").parse().expect("--requests"),
+            "--warmup" => args.warmup = val("--warmup").parse().expect("--warmup"),
             "--rate" => args.rate = val("--rate").parse().expect("--rate"),
             "--value-size" => args.value_size = val("--value-size").parse().expect("--value-size"),
             "--seed" => args.seed = val("--seed").parse().expect("--seed"),
@@ -140,6 +148,11 @@ fn main() {
                 },
                 |state: &LoadState, _q: &[u8]| Bytes::from(state.total.to_be_bytes().to_vec()),
             ));
+            // This is a throughput benchmark: spans and trace events are
+            // allocation-heavy observability, and on a saturated machine
+            // recording them costs ~30% of the measured capacity. All
+            // counters (including the exactly-once audit) stay live.
+            replica.metrics().set_tracing(false);
             ServiceServer::spawn(replica, dealer, ServerConfig::default()).expect("front-end")
         })
         .collect();
@@ -148,6 +161,7 @@ fn main() {
     // One shared client-side metrics registry, so retries/vote-failures
     // aggregate across all clients.
     let client_metrics = Metrics::new();
+    client_metrics.set_tracing(false);
 
     // Link chaos: kill one replica↔replica socket a moment into the run;
     // the session layer must resume it without the clients noticing more
@@ -161,18 +175,24 @@ fn main() {
         });
     }
 
-    let started = Instant::now();
     let per_client_rate = if args.rate > 0.0 {
         args.rate / args.clients as f64
     } else {
         0.0
     };
+    // All clients finish warm-up, then rendezvous here with the main
+    // thread so the steady-state clock starts exactly when every client
+    // enters its measured window — warm-up requests (connection setup,
+    // session establishment, first AB instances) never count.
+    let steady = Arc::new(std::sync::Barrier::new(args.clients + 1));
     let workers: Vec<_> = (0..args.clients)
         .map(|c| {
             let addrs = addrs.clone();
             let metrics = client_metrics.clone();
             let requests = args.requests;
+            let warmup = args.warmup;
             let value_size = args.value_size;
+            let steady = Arc::clone(&steady);
             std::thread::spawn(move || {
                 let mut client = ServiceClient::new(
                     1000 + c as u64,
@@ -190,12 +210,20 @@ fn main() {
                 } else {
                     None
                 };
+                for i in 0..warmup {
+                    // Warm-up leg: same request shape, aggregates ignored.
+                    let mut payload = vec![0u8; 8 + value_size];
+                    payload[..8].copy_from_slice(&(i as u64 + 1).to_be_bytes());
+                    let _ = client.invoke(Bytes::from(payload));
+                }
+                steady.wait();
                 for i in 0..requests {
                     // seq occupies the first 8 payload bytes; the client
                     // library allocates the session seq itself, so mirror
-                    // it: our per-client request index is unique too.
+                    // it: our per-client request index is unique too
+                    // (continuing past the warm-up leg).
                     let mut payload = vec![0u8; 8 + value_size];
-                    payload[..8].copy_from_slice(&(i as u64 + 1).to_be_bytes());
+                    payload[..8].copy_from_slice(&((warmup + i) as u64 + 1).to_be_bytes());
                     let t0 = Instant::now();
                     if client.invoke(Bytes::from(payload)).is_ok() {
                         ok += 1;
@@ -214,6 +242,9 @@ fn main() {
         })
         .collect();
 
+    steady.wait();
+    let started = Instant::now();
+
     let mut ok_total = 0usize;
     let mut latencies: Vec<u64> = Vec::new();
     for w in workers {
@@ -224,7 +255,9 @@ fn main() {
     let wall = started.elapsed();
 
     // Settle the tail, then audit the replicated exactly-once tally on
-    // every replica.
+    // every replica. The tally covers warm-up requests too: exactly-once
+    // is a correctness property of the whole run, not just the measured
+    // window.
     let mut duplicate_applies = 0u64;
     let mut applied_distinct = 0u64;
     for s in &servers {
@@ -266,6 +299,7 @@ fn main() {
     if args.json {
         println!(
             "{{\"bench\":\"service_loadgen\",\"n\":{n},\"f\":1,\"clients\":{},\"requests_per_client\":{},\
+             \"warmup_per_client\":{},\
              \"rate_rps\":{},\"value_size\":{},\"tcp\":{},\"chaos\":{},\"seed\":{},\
              \"requests_ok\":{ok_total},\"wall_ms\":{},\"throughput_rps\":{:.1},\
              \"latency_p50_ns\":{p50},\"latency_p99_ns\":{p99},\
@@ -274,6 +308,7 @@ fn main() {
              \"duplicate_applies\":{duplicate_applies}}}",
             args.clients,
             args.requests,
+            args.warmup,
             args.rate,
             args.value_size,
             args.tcp,
@@ -284,8 +319,8 @@ fn main() {
         );
     } else {
         println!(
-            "ritas-loadgen: n={n} f=1, {} clients x {} requests",
-            args.clients, args.requests
+            "ritas-loadgen: n={n} f=1, {} clients x {} requests (+{} warm-up)",
+            args.clients, args.requests, args.warmup
         );
         println!(
             "  mesh:               {}",

@@ -116,14 +116,22 @@ fn seed_workload(cluster: &mut Cluster, checker: &mut InvariantChecker, attacker
         cluster.absorb(p, step);
     }
 
-    // Atomic broadcast: two correct senders and the attacker.
+    // Atomic broadcast: two correct senders and the attacker, three
+    // commands each. The first command per sender flushes immediately
+    // (idle trigger); the rest queue behind the in-flight window and
+    // travel as a multi-command batch, so every strategy here attacks
+    // the *batched* dissemination path and the total-order invariant is
+    // checked over batch contents (per-command deliveries), not just
+    // batch ids.
     for p in [0, n - 2, attacker] {
-        let payload = Bytes::from(format!("ab-msg-{p}"));
-        let (id, step) = cluster.stack_mut(p).ab_broadcast(0, payload.clone());
-        if p != attacker {
-            checker.expect_ab(id, payload);
+        for i in 0..3 {
+            let payload = Bytes::from(format!("ab-msg-{p}-{i}"));
+            let (id, step) = cluster.stack_mut(p).ab_broadcast(0, payload.clone());
+            if p != attacker {
+                checker.expect_ab(id, payload);
+            }
+            cluster.absorb(p, step);
         }
-        cluster.absorb(p, step);
     }
 }
 

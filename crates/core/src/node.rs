@@ -94,12 +94,21 @@ impl SessionConfig {
     ///
     /// Returns [`ConfigError`] if `n < 4`.
     pub fn new(n: usize) -> Result<Self, ConfigError> {
+        // The node's worker thread drains its inbound queue and then
+        // polls the stack (the paper's one-protocol-thread driver), so
+        // agreement rounds run in deferred mode: a round starts only
+        // once pending input is exhausted and orders every batch that
+        // arrived in the meantime, instead of racing one round per
+        // batch. Sans-io harnesses that never poll keep the eager
+        // default via `StackConfig::default()`.
+        let mut stack = StackConfig::default();
+        stack.ab.eager_rounds = false;
         Ok(SessionConfig {
             group: Group::new(n)?,
             master_seed: 0x5249_5441_5321, // "RITAS!"
             authenticate: true,
             metrics_endpoint: false,
-            stack: StackConfig::default(),
+            stack,
         })
     }
 
@@ -407,15 +416,61 @@ impl Node {
                     ab_tx,
                     fault_tx,
                 };
-                loop {
+                'worker: loop {
                     // Trace events are stamped with nanoseconds since the
-                    // node was spawned.
-                    metrics.set_time(epoch.elapsed().as_nanos() as u64);
-                    match cmd_rx.recv() {
-                        Ok(Event::Cmd(Command::Shutdown)) | Err(_) => break,
-                        Ok(Event::Cmd(cmd)) => state.on_command(cmd),
-                        Ok(Event::Net(from, frame)) => state.on_frame(from, frame),
+                    // node was spawned; the same clock drives the AB layer's
+                    // age-based batch flush.
+                    let now = epoch.elapsed().as_nanos() as u64;
+                    metrics.set_time(now);
+                    state.stack.set_now(now);
+                    // Queued commands must flush by their age deadline even
+                    // when no traffic arrives, so the blocking recv turns
+                    // into a timed wait whenever a batch is pending. A
+                    // timeout is not an error: it falls through to the
+                    // tick/poll below with no event handled.
+                    let event = match state.stack.ab_next_deadline() {
+                        Some(deadline) => {
+                            let wait = deadline.saturating_sub(now);
+                            match cmd_rx.recv_timeout(Duration::from_nanos(wait)) {
+                                Ok(event) => Some(event),
+                                Err(RecvTimeoutError::Timeout) => None,
+                                Err(RecvTimeoutError::Disconnected) => break,
+                            }
+                        }
+                        None => match cmd_rx.recv() {
+                            Ok(event) => Some(event),
+                            Err(_) => break,
+                        },
+                    };
+                    if let Some(event) = event {
+                        match event {
+                            Event::Cmd(Command::Shutdown) => break,
+                            Event::Cmd(cmd) => state.on_command(cmd),
+                            Event::Net(from, frame) => state.on_frame(from, frame),
+                        }
                     }
+                    // Exhaust everything already queued before advancing
+                    // the agreement task: rounds run in deferred mode (see
+                    // SessionConfig::new), so one round orders every batch
+                    // that arrived while the queue drained.
+                    loop {
+                        match cmd_rx.try_recv() {
+                            Ok(Event::Cmd(Command::Shutdown)) => break 'worker,
+                            Ok(Event::Cmd(cmd)) => state.on_command(cmd),
+                            Ok(Event::Net(from, frame)) => state.on_frame(from, frame),
+                            Err(_) => break,
+                        }
+                    }
+                    // Input exhausted: flush any batch past its age
+                    // deadline, then start the next agreement round over
+                    // the accumulated pending batches.
+                    let later = epoch.elapsed().as_nanos() as u64;
+                    metrics.set_time(later);
+                    state.stack.set_now(later);
+                    let step = state.stack.tick();
+                    state.dispatch(step);
+                    let step = state.stack.poll_all();
+                    state.dispatch(step);
                 }
                 stop.store(true, Ordering::Relaxed);
             })
@@ -643,6 +698,21 @@ impl Node {
     /// [`NodeError::Timeout`] when nothing arrived in time.
     pub fn atomic_recv_timeout(&self, t: Duration) -> Result<AbDelivery, NodeError> {
         map_timeout(self.ab_rx.recv_timeout(t))
+    }
+
+    /// Like [`Node::atomic_recv`] but never blocks: `Ok(None)` when no
+    /// delivery is ready right now. Lets appliers drain a whole batch of
+    /// ready deliveries in one pass.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Disconnected`] if the stack thread has stopped.
+    pub fn atomic_try_recv(&self) -> Result<Option<AbDelivery>, NodeError> {
+        match self.ab_rx.try_recv() {
+            Ok(d) => Ok(Some(d)),
+            Err(crossbeam_channel::TryRecvError::Empty) => Ok(None),
+            Err(crossbeam_channel::TryRecvError::Disconnected) => Err(NodeError::Disconnected),
+        }
     }
 
     /// Proposes a bit on binary consensus instance `tag` and blocks until

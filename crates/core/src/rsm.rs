@@ -139,26 +139,41 @@ impl<S: Send + 'static> Replica<S> {
                             return;
                         }
                     };
-                    for d in fifo.push(delivery) {
-                        let mut frame = d.payload.as_ref();
-                        let tag = frame.first().copied().unwrap_or(0);
-                        frame = frame.get(1..).unwrap_or(&[]);
-                        if tag == TAG_USER {
-                            let mut state = shared.state.lock();
-                            apply(&mut state, d.id.sender, frame);
+                    // The AB layer delivers whole batches at once; drain
+                    // everything that is already ready so the batch applies
+                    // under a single state-lock acquisition instead of one
+                    // lock round-trip per command.
+                    let mut ready: Vec<_> = fifo.push(delivery);
+                    while let Ok(Some(d)) = node.atomic_try_recv() {
+                        ready.extend(fifo.push(d));
+                    }
+                    if ready.is_empty() {
+                        continue;
+                    }
+                    {
+                        let mut state = shared.state.lock();
+                        for d in &ready {
+                            let mut frame = d.payload.as_ref();
+                            let tag = frame.first().copied().unwrap_or(0);
+                            frame = frame.get(1..).unwrap_or(&[]);
+                            if tag == TAG_USER {
+                                apply(&mut state, d.id.sender, frame);
+                            }
                         }
-                        // Both user commands and markers count as applied.
-                        // Hold the applied lock across the notify so a
-                        // waiter can never check-then-sleep between our
-                        // insert and the wakeup, and notify on *every*
-                        // apply — sync-submit latency must come from the
-                        // protocol, not from a poll interval.
-                        let mut applied = shared.applied.lock();
+                    }
+                    // Both user commands and markers count as applied.
+                    // Hold the applied lock across the notify so a waiter
+                    // can never check-then-sleep between our insert and the
+                    // wakeup, and notify per drained batch — sync-submit
+                    // latency must come from the protocol, not from a poll
+                    // interval.
+                    let mut applied = shared.applied.lock();
+                    for d in &ready {
                         if d.id.sender == me {
                             applied.insert(d.id.rbid);
                         }
-                        shared.applied_cv.notify_all();
                     }
+                    shared.applied_cv.notify_all();
                 }
             })
         };
@@ -293,10 +308,11 @@ mod tests {
 
     #[test]
     fn replicas_converge() {
-        let replicas = counters(4);
+        let replicas: Vec<_> = counters(4).into_iter().map(std::sync::Arc::new).collect();
         let handles: Vec<_> = replicas
-            .into_iter()
+            .iter()
             .map(|r| {
+                let r = std::sync::Arc::clone(r);
                 std::thread::spawn(move || {
                     for _ in 0..3 {
                         r.submit(Bytes::from_static(b"incr")).unwrap();
@@ -304,47 +320,63 @@ mod tests {
                     if r.id() == 0 {
                         r.submit(Bytes::from_static(b"decr")).unwrap();
                     }
-                    // Sync on our last command, then a barrier, then read.
+                    // Sync on our last command, then a barrier.
                     r.submit_sync(Bytes::from_static(b"incr")).unwrap();
                     r.barrier().unwrap();
-                    // The barrier guarantees our own prefix; other
-                    // replicas' later commands may still be in flight, so
-                    // wait until the expected total is visible.
-                    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
-                    loop {
-                        let v = r.read(|s| *s);
-                        if v == 15 || std::time::Instant::now() > deadline {
-                            r.shutdown();
-                            return v;
-                        }
-                        std::thread::sleep(std::time::Duration::from_millis(5));
-                    }
                 })
             })
             .collect();
+        // Every submitter must finish before any replica shuts down:
+        // liveness only tolerates f crashes, so a replica that stops as
+        // soon as *it* sees the final value can strand a straggler whose
+        // last batch has not been ordered yet.
         for h in handles {
-            // 4 replicas × 4 incr − 1 decr = 15.
-            assert_eq!(h.join().unwrap(), 15);
+            h.join().unwrap();
+        }
+        // All barriers passed, so every command is ordered somewhere;
+        // with the whole group alive each replica must apply the full
+        // prefix. 4 replicas × 4 incr − 1 decr = 15.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        for r in &replicas {
+            loop {
+                let v = r.read(|s| *s);
+                if v == 15 {
+                    break;
+                }
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "replica {} stuck at {v}, want 15",
+                    r.id()
+                );
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        }
+        for r in &replicas {
+            r.shutdown();
         }
     }
 
     #[test]
     fn submit_sync_observes_own_command() {
-        let replicas = counters(4);
+        let replicas: Vec<_> = counters(4).into_iter().map(std::sync::Arc::new).collect();
         let handles: Vec<_> = replicas
-            .into_iter()
+            .iter()
             .map(|r| {
+                let r = std::sync::Arc::clone(r);
                 std::thread::spawn(move || {
                     r.submit_sync(Bytes::from_static(b"incr")).unwrap();
-                    let v = r.read(|s| *s);
-                    r.shutdown();
-                    v
+                    r.read(|s| *s)
                 })
             })
             .collect();
-        for h in handles {
+        // Join before any shutdown — see replicas_converge.
+        let values: Vec<i64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for v in values {
             // At least our own increment must be visible.
-            assert!(h.join().unwrap() >= 1);
+            assert!(v >= 1);
+        }
+        for r in &replicas {
+            r.shutdown();
         }
     }
 

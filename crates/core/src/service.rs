@@ -10,7 +10,10 @@
 //!   client identity and sequence number *inside* the ordered command is
 //!   what makes retry deduplication deterministic: every correct replica
 //!   sees the same duplicates at the same positions and skips them
-//!   identically.
+//!   identically. The AB layer batches commands for throughput, but the
+//!   total order it delivers is still *per command*, so this property is
+//!   unchanged — including when the two copies of a retried command land
+//!   in different batches.
 //! * [`SessionTable`] — a bounded per-client table `(client, seq) →
 //!   cached reply` with LRU eviction that never evicts a session holding
 //!   a live in-flight request. One *replicated* instance (inside the
@@ -652,6 +655,18 @@ impl<S: Send + 'static> ServiceReplica<S> {
     /// [`NodeError::Disconnected`] if the node has shut down.
     pub fn barrier(&self) -> Result<(), NodeError> {
         self.replica.barrier()
+    }
+
+    /// Atomic-broadcast introspection of the underlying node: protocol
+    /// stats (delivered commands, flushed batches), agreement round, and
+    /// pending count. Lets service-level tests and the loadgen audit the
+    /// batched ordering path without reaching around the service layer.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Disconnected`] if the node has shut down.
+    pub fn ab_debug(&self) -> Result<Option<(crate::ab::AbStats, u32, usize)>, NodeError> {
+        self.replica.ab_debug()
     }
 
     /// Shuts the underlying node down.

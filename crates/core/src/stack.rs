@@ -629,6 +629,50 @@ impl Stack {
         out
     }
 
+    /// Injects the driver clock into every atomic broadcast session (the
+    /// age-based batch-flush trigger reads it; see
+    /// [`crate::ab::BatchPolicy`]).
+    pub fn set_now(&mut self, now_ns: u64) {
+        for inst in self.instances.values_mut() {
+            if let Instance::Ab(ab) = inst {
+                ab.set_now(now_ns);
+            }
+        }
+    }
+
+    /// The earliest driver-clock instant at which some atomic broadcast
+    /// session needs a [`Stack::tick`] to flush an aged batch, or `None`
+    /// when no timer is armed.
+    pub fn ab_next_deadline(&self) -> Option<u64> {
+        self.instances
+            .values()
+            .filter_map(|inst| match inst {
+                Instance::Ab(ab) => ab.next_flush_deadline(),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Runs deferred batch flushes on every atomic broadcast session
+    /// after [`Stack::set_now`] advanced the clock past
+    /// [`Stack::ab_next_deadline`]. Does not touch the deferred-round
+    /// polling machinery.
+    pub fn tick(&mut self) -> StackStep {
+        let keys: Vec<InstanceKey> = self
+            .instances
+            .iter()
+            .filter(|(k, _)| matches!(k, InstanceKey::Ab { .. }))
+            .map(|(k, _)| *k)
+            .collect();
+        let mut out = Step::none();
+        for key in keys {
+            if let Some(Instance::Ab(ab)) = self.instances.get_mut(&key) {
+                out.extend(encode_ab_step(key, ab.tick()));
+            }
+        }
+        out
+    }
+
     /// The round in which binary consensus instance `tag` decided
     /// (1-based), if it exists and has decided. Statistics for the
     /// randomization experiments.

@@ -30,7 +30,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
 /// A monotonically increasing event counter.
@@ -793,12 +793,13 @@ impl CriticalPath {
 }
 
 /// Segment labels of the a-deliver critical path, in chain order:
-/// payload dissemination (`rb`), waiting for the deciding agreement round
-/// to open (`wait`), VECT collection (`vect`), MVC proposal gathering
-/// (`mvc`), binary consensus (`bc`), MVC decision propagation
-/// (`mvc-decide`), round conclusion (`conclude`) and final ordering
-/// (`deliver`).
-pub const CRITICAL_PATH_SEGMENTS: [&str; 8] = [
+/// broadcast-side batch queueing (`queue`), payload dissemination
+/// (`rb`), waiting for the deciding agreement round to open (`wait`),
+/// VECT collection (`vect`), MVC proposal gathering (`mvc`), binary
+/// consensus (`bc`), MVC decision propagation (`mvc-decide`), round
+/// conclusion (`conclude`) and final ordering (`deliver`).
+pub const CRITICAL_PATH_SEGMENTS: [&str; 9] = [
+    "queue",
     "rb",
     "wait",
     "vect",
@@ -829,7 +830,11 @@ pub fn critical_paths(spans: &[SpanRecord]) -> Vec<CriticalPath> {
             continue;
         }
         let t0 = s.open;
-        // Milestone 1: the payload RB child delivered.
+        // Milestone 1: the command left the broadcast-side batch queue
+        // (absent for remote messages and unbatched configurations —
+        // the segment then collapses to zero).
+        let queue_done = closed(&format!("{}/queue", s.path)).map(|(_, c)| c);
+        // Milestone 2: the payload RB child delivered.
         let rb_done = closed(&format!("{}/rb", s.path)).map(|(_, c)| c);
         // The deciding round: the round span (`{root}/r:{n}`) whose close
         // is the latest not after the delivery; deliveries happen in the
@@ -842,8 +847,9 @@ pub fn critical_paths(spans: &[SpanRecord]) -> Vec<CriticalPath> {
                     && r.close.is_some_and(|c| c <= t_deliver)
             })
             .max_by_key(|r| (r.close, r.open));
-        let mut milestones: Vec<u64> = Vec::with_capacity(9);
+        let mut milestones: Vec<u64> = Vec::with_capacity(10);
         milestones.push(t0);
+        milestones.push(queue_done.unwrap_or(t0));
         milestones.push(rb_done.unwrap_or(t0));
         match round {
             Some(r) => {
@@ -983,6 +989,16 @@ pub struct MetricsInner {
     pub ab_agreements: Counter,
     /// Messages ordered per non-⊥ agreement (the paper's batching lever).
     pub ab_batch: Histogram,
+    /// Commands packed per flushed dissemination batch.
+    pub ab_batch_commands: Histogram,
+    /// Commands waiting in the broadcast-side batch queue.
+    pub ab_queue_depth: Gauge,
+    /// Batches flushed because the queue reached the size bound.
+    pub ab_flush_size: Counter,
+    /// Batches flushed because the oldest queued command aged out.
+    pub ab_flush_age: Counter,
+    /// Batches flushed immediately because no own batch was in flight.
+    pub ab_flush_idle: Counter,
     /// a-broadcast → a-deliver latency in driver nanoseconds (own
     /// messages only).
     pub ab_latency_ns: Histogram,
@@ -1064,6 +1080,7 @@ pub struct MetricsInner {
     trace: TraceRing,
     clock: AtomicU64,
     seq: AtomicU64,
+    tracing_enabled: AtomicBool,
 }
 
 impl Default for MetricsInner {
@@ -1106,6 +1123,11 @@ impl Default for MetricsInner {
             ab_delivered: Counter::default(),
             ab_agreements: Counter::default(),
             ab_batch: Histogram::default(),
+            ab_batch_commands: Histogram::default(),
+            ab_queue_depth: Gauge::default(),
+            ab_flush_size: Counter::default(),
+            ab_flush_age: Counter::default(),
+            ab_flush_idle: Counter::default(),
             ab_latency_ns: Histogram::default(),
             service_requests_total: Counter::default(),
             service_replies_total: Counter::default(),
@@ -1141,6 +1163,7 @@ impl Default for MetricsInner {
             trace: TraceRing::new(TRACE_CAPACITY),
             clock: AtomicU64::new(0),
             seq: AtomicU64::new(0),
+            tracing_enabled: AtomicBool::new(true),
         }
     }
 }
@@ -1159,6 +1182,23 @@ impl Metrics {
     /// Creates a fresh registry.
     pub fn new() -> Self {
         Metrics::default()
+    }
+
+    /// Enables or disables span/trace recording on this registry.
+    ///
+    /// Counters, gauges and histograms are always live — only the
+    /// allocating observability paths (`span_open`, `span_close`,
+    /// `span_annotate`, `trace`) become no-ops when disabled. Throughput
+    /// benchmarks turn tracing off so the measurement isn't dominated by
+    /// its own instrumentation (~30% CPU on a saturated single core);
+    /// everything else keeps the default (enabled).
+    pub fn set_tracing(&self, enabled: bool) {
+        self.inner.tracing_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether span/trace recording is currently enabled.
+    pub fn tracing_enabled(&self) -> bool {
+        self.inner.tracing_enabled.load(Ordering::Relaxed)
     }
 
     /// Injects the driver's current time (wall ns or virtual ns) used to
@@ -1180,6 +1220,9 @@ impl Metrics {
         instance_id: impl Into<String>,
         round: u32,
     ) {
+        if !self.tracing_enabled() {
+            return;
+        }
         let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
         self.inner.trace.push(TraceEvent {
             seq,
@@ -1196,6 +1239,9 @@ impl Metrics {
     /// Opens past [`SPAN_CAPACITY`] live spans or [`SPAN_MAX_DEPTH`]
     /// path segments are dropped (and counted in `span_dropped`).
     pub fn span_open(&self, path: impl Into<String>, layer: Layer) {
+        if !self.tracing_enabled() {
+            return;
+        }
         let path = path.into();
         if path.split('/').count() > SPAN_MAX_DEPTH {
             self.inner.span_dropped.inc();
@@ -1227,6 +1273,9 @@ impl Metrics {
     /// Attaches a typed annotation to the live span at `path`; ignored
     /// (not an error) when the span is not open.
     pub fn span_annotate(&self, path: &str, kind: SpanAnnotation, value: u64) {
+        if !self.tracing_enabled() {
+            return;
+        }
         let now = self.time();
         let mut g = self.inner.spans.lock();
         if let Some(s) = g.open.get_mut(path) {
@@ -1241,6 +1290,9 @@ impl Metrics {
     /// ≥ its open time, keeping virtual-time durations monotone). An
     /// orphan close — no matching open — is counted and ignored.
     pub fn span_close(&self, path: &str) {
+        if !self.tracing_enabled() {
+            return;
+        }
         let now = self.time();
         let mut g = self.inner.spans.lock();
         match g.open.remove(path) {
@@ -1316,6 +1368,9 @@ impl Metrics {
             ab_broadcast,
             ab_delivered,
             ab_agreements,
+            ab_flush_size,
+            ab_flush_age,
+            ab_flush_idle,
             service_requests_total,
             service_replies_total,
             service_dedup_hits,
@@ -1345,6 +1400,7 @@ impl Metrics {
         counters.insert("stack_ooc_high_water", m.stack_ooc_high_water.get());
         counters.insert("span_open_live", m.span_open_live.get());
         counters.insert("ab_sent_pending", m.ab_sent_pending.get());
+        counters.insert("ab_queue_depth", m.ab_queue_depth.get());
         counters.insert("transport_links_up", m.transport_links_up.get());
         counters.insert("service_sessions_live", m.service_sessions_live.get());
         counters.insert("service_inflight", m.service_inflight.get());
@@ -1353,6 +1409,7 @@ impl Metrics {
             mvc_vect_bytes,
             vc_rounds,
             ab_batch,
+            ab_batch_commands,
             ab_latency_ns,
             service_e2e_latency_ns
         );
@@ -1459,12 +1516,13 @@ impl MetricsSnapshot {
     /// (metric prefix `ritas_`, histograms with cumulative `le` buckets).
     pub fn to_prometheus(&self) -> String {
         // Point-in-time instruments that live in the counter map.
-        const GAUGES: [&str; 8] = [
+        const GAUGES: [&str; 9] = [
             "stack_instances",
             "stack_ooc_buffered",
             "stack_ooc_high_water",
             "span_open_live",
             "ab_sent_pending",
+            "ab_queue_depth",
             "transport_links_up",
             "service_sessions_live",
             "service_inflight",
@@ -1890,6 +1948,9 @@ mod tests {
     fn message_tree(m: &Metrics) {
         m.set_time(0);
         m.span_open("ab:0/m:0:0", Layer::Ab);
+        m.span_open("ab:0/m:0:0/queue", Layer::Ab);
+        m.set_time(20);
+        m.span_close("ab:0/m:0:0/queue");
         m.span_open("ab:0/m:0:0/rb", Layer::Rb);
         m.set_time(100);
         m.span_close("ab:0/m:0:0/rb");
@@ -1920,7 +1981,8 @@ mod tests {
         let sum: u64 = cp.segments.iter().map(|(_, ns)| ns).sum();
         assert_eq!(sum, cp.total_ns, "segments must sum exactly");
         let seg = |l: &str| cp.segments.iter().find(|(s, _)| *s == l).unwrap().1;
-        assert_eq!(seg("rb"), 100);
+        assert_eq!(seg("queue"), 20);
+        assert_eq!(seg("rb"), 80);
         assert_eq!(seg("wait"), 20);
         assert_eq!(seg("vect"), 80);
         assert_eq!(seg("mvc"), 60);
@@ -1972,6 +2034,31 @@ mod tests {
         assert!(text.contains("ritas_ab_latency_ns_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("ritas_ab_latency_ns_sum 1005"));
         assert!(text.contains("ritas_ab_latency_ns_count 2"));
+    }
+
+    #[test]
+    fn set_tracing_false_gates_spans_and_trace_but_not_counters() {
+        let m = Metrics::new();
+        m.set_tracing(false);
+        assert!(!m.tracing_enabled());
+        m.trace(Layer::Ab, "gated", "x", 0);
+        m.span_open("rb:0:gated", Layer::Rb);
+        m.span_close("rb:0:gated");
+        m.ab_delivered.inc();
+        let snap = m.snapshot();
+        assert!(snap.trace.is_empty(), "trace recorded while disabled");
+        assert!(snap.spans.is_empty(), "span recorded while disabled");
+        assert_eq!(snap.counters["ab_delivered"], 1, "counters must stay live");
+        // Orphan-close bookkeeping is also suppressed while disabled.
+        assert_eq!(snap.counters["span_orphan_closed"], 0);
+        // Re-enabling restores the full pipeline.
+        m.set_tracing(true);
+        m.span_open("rb:0:live", Layer::Rb);
+        m.span_close("rb:0:live");
+        m.trace(Layer::Ab, "live", "y", 1);
+        let snap = m.snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.trace.len(), 1);
     }
 
     #[test]

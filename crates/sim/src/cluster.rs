@@ -284,6 +284,10 @@ impl SimCluster {
                         mvc: config.mvc,
                         byzantine_bottom: config.faultload.is_byzantine(me),
                         eager_rounds: false,
+                        // Paper-faithful per-message dissemination: the
+                        // simulator reproduces Figures 4–7
+                        // instance-for-instance, so batching stays off.
+                        batch: ritas::ab::BatchPolicy::immediate(),
                     },
                     consensus: config.mvc,
                     eager_vc_rounds: false,

@@ -223,6 +223,97 @@ fn byzantine_replica_replies_are_outvoted() {
     shutdown(servers);
 }
 
+/// Exactly-once **across a batch boundary**: the same `(client, seq)`
+/// is submitted concurrently at two *different* replicas. The AB layer
+/// only ever packs one sender's queue into a batch, so the two copies
+/// travel in two distinct batches by construction — the ordered stream
+/// contains the duplicate at two positions, in different batches, and
+/// the replicated session table must skip the second one at every
+/// replica. Concurrent filler traffic at both submitters makes the
+/// batches non-trivial, so the duplicate crosses a real batch boundary
+/// rather than riding in two singleton batches.
+#[test]
+fn retry_across_batch_boundary_applies_once() {
+    let (servers, _key_seed) = cluster(ServiceConfig::default(), Duration::ZERO);
+    let t = Duration::from_secs(20);
+    let start = Arc::new(std::sync::Barrier::new(10));
+
+    // Filler: 4 unique clients per submitter replica, racing the
+    // duplicate pair into the same batching window.
+    let mut workers: Vec<_> = (0..8u64)
+        .map(|i| {
+            let r = Arc::clone(servers[(i % 2) as usize].replica());
+            let start = Arc::clone(&start);
+            std::thread::spawn(move || {
+                start.wait();
+                r.submit(
+                    200 + i,
+                    1,
+                    ritas::service::CommandKind::Apply,
+                    payload(1),
+                    t,
+                )
+                .map(|_| ())
+            })
+        })
+        .collect();
+    // The duplicate pair: same (client, seq) at replicas 0 and 1. Each
+    // replica's serving table has no in-flight pin for it, so both
+    // submit into the ordered stream.
+    let dup: Vec<_> = [0usize, 1]
+        .into_iter()
+        .map(|replica| {
+            let r = Arc::clone(servers[replica].replica());
+            let start = Arc::clone(&start);
+            std::thread::spawn(move || {
+                start.wait();
+                r.submit(99, 1, ritas::service::CommandKind::Apply, payload(1), t)
+            })
+        })
+        .collect();
+    let mut replies = Vec::new();
+    for h in dup {
+        replies.push(h.join().expect("dup submitter").expect("dup reply"));
+    }
+    assert_eq!(
+        replies[0], replies[1],
+        "both copies of (99, 1) must observe the same reply"
+    );
+    for w in workers.drain(..) {
+        w.join().expect("filler").expect("filler reply");
+    }
+
+    // Both copies entered the ordered stream (in two different batches —
+    // they have different senders) and exactly one applied.
+    let skipped: u64 = servers
+        .iter()
+        .map(|s| s.replica().metrics().service_dup_apply_skipped.get())
+        .sum();
+    assert!(
+        skipped >= 1,
+        "the ordered duplicate must be skipped, not silently absent"
+    );
+    assert_eq!(duplicate_applies(&servers), 0, "cross-batch dedup failed");
+
+    // Per-key audit: (99, 1) applied exactly once at every replica.
+    for s in &servers {
+        let count = s
+            .replica()
+            .read_state(|st| st.applied.get(&(99, 1)).copied().unwrap_or(0));
+        assert_eq!(count, 1, "replica applied (99, 1) {count} times");
+    }
+
+    // The batched path was actually exercised: batches were formed and
+    // every replica agrees on the batch count it delivered locally.
+    let (stats, _, _) = servers[0]
+        .replica()
+        .ab_debug()
+        .expect("node alive")
+        .expect("ab session exists");
+    assert!(stats.batches >= 1, "no batch was ever flushed");
+    shutdown(servers);
+}
+
 /// With a session table far smaller than the client population, eviction
 /// pressure is constant — but live in-flight requests are pinned and the
 /// front-end sheds the overflow with `Busy` instead of evicting them.

@@ -283,10 +283,21 @@ impl<T> Drop for Receiver<T> {
         let mut st = self.chan.lock();
         st.receivers -= 1;
         let last = st.receivers == 0;
+        // Upstream crossbeam discards queued messages once every receiver
+        // is gone. Matching that matters beyond memory: a queued message
+        // may own a reply `Sender`, and a caller blocked on the paired
+        // `recv()` only wakes when that sender drops. Destructors run
+        // outside the lock — a payload's drop may touch another channel.
+        let orphaned = if last {
+            std::mem::take(&mut st.queue)
+        } else {
+            VecDeque::new()
+        };
         drop(st);
         if last {
             self.chan.not_full.notify_all();
         }
+        drop(orphaned);
     }
 }
 
@@ -362,6 +373,22 @@ mod tests {
         let (tx, rx) = unbounded::<u8>();
         drop(rx);
         assert_eq!(tx.send(1).unwrap_err(), SendError(1));
+    }
+
+    #[test]
+    fn receiver_drop_discards_queued_messages() {
+        // A queued message owning a reply sender must be destroyed when
+        // the last receiver goes away, even while a sender handle keeps
+        // the channel alive — otherwise the reply's receiver blocks
+        // forever (the node runtime relies on this during shutdown).
+        let (cmd_tx, cmd_rx) = unbounded::<Sender<u8>>();
+        let (reply_tx, reply_rx) = bounded::<u8>(1);
+        cmd_tx.send(reply_tx).unwrap();
+        drop(cmd_rx);
+        assert_eq!(reply_rx.recv().unwrap_err(), RecvError);
+        // And the sender now sees the disconnect on its next send.
+        let (other_tx, _other_rx) = bounded::<u8>(1);
+        assert!(cmd_tx.send(other_tx).is_err());
     }
 
     #[test]
