@@ -21,6 +21,9 @@ fn main() {
     if let Some(path) = &args.span_json {
         ritas_bench::write_span_dump(path, args.seed, faultload);
     }
+    if let Some(prefix) = &args.cluster_span_json {
+        ritas_bench::write_cluster_span_dumps(prefix, args.seed, faultload);
+    }
     let dump = MetricsDump::from_arg(args.metrics_json.clone());
     let bursts = if args.quick {
         vec![4, 16, 100]

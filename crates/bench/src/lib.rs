@@ -125,6 +125,10 @@ pub struct FigureArgs {
     /// Write a per-instance span dump (JSONL, one span per line; see
     /// [`write_span_dump`]) to this path.
     pub span_json: Option<String>,
+    /// Write per-replica span dumps (`{prefix}-{p}.jsonl`, one file per
+    /// simulated process; see [`write_cluster_span_dumps`]) for
+    /// `ritas-trace --cluster`.
+    pub cluster_span_json: Option<String>,
     /// Override the binary's default faultload (spec syntax of
     /// [`Faultload::from_str`], e.g. `link-flap:0-1:4000000:1000000`),
     /// so simulated chaos runs are comparable with the real TCP mesh's.
@@ -132,7 +136,8 @@ pub struct FigureArgs {
 }
 
 /// Parses `--runs N --seed S --quick --metrics-json PATH --span-json
-/// PATH --faultload SPEC` from `std::env::args`.
+/// PATH --cluster-span-json PREFIX --faultload SPEC` from
+/// `std::env::args`.
 ///
 /// # Panics
 ///
@@ -145,6 +150,7 @@ pub fn parse_figure_args() -> FigureArgs {
         quick: false,
         metrics_json: None,
         span_json: None,
+        cluster_span_json: None,
         faultload: None,
     };
     let args: Vec<String> = std::env::args().collect();
@@ -169,6 +175,10 @@ pub fn parse_figure_args() -> FigureArgs {
             }
             "--span-json" => {
                 out.span_json = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--cluster-span-json" => {
+                out.cluster_span_json = Some(args[i + 1].clone());
                 i += 2;
             }
             "--faultload" => {
@@ -226,6 +236,53 @@ pub fn write_span_dump(path: &str, seed: u64, faultload: Faultload) {
     eprintln!(
         "span dump written to {path} ({} spans from traced observer {observer})",
         snap.spans.len()
+    );
+}
+
+/// Runs one dedicated simulated burst under `faultload` and writes
+/// **every** process's span tree as `{prefix}-{p}.jsonl` — the n-file
+/// input of `ritas-trace --cluster`, whose cross-replica correlation
+/// needs each replica's private view of the same instances. Same
+/// ambient-registry caveat as [`write_span_dump`].
+///
+/// # Panics
+///
+/// Panics when a path is not writable or the traced run fails to
+/// deliver (developer-facing binaries).
+pub fn write_cluster_span_dumps(prefix: &str, seed: u64, faultload: Faultload) {
+    use ritas_sim::cluster::{Action, SimCluster, SimConfig};
+
+    let config = SimConfig::paper_testbed(seed).with_faultload(faultload);
+    let n = config.n;
+    let mut sim = SimCluster::new(config);
+    let payload = bytes::Bytes::from(vec![0x5a; 100]);
+    let senders = faultload.senders(n);
+    for &p in &senders {
+        for _ in 0..4 {
+            sim.schedule(0, p, Action::AbBroadcast(payload.clone()));
+        }
+    }
+    sim.run();
+    let observer = sim.observer();
+    let delivered = sim
+        .stack(observer)
+        .ab_stats(0)
+        .map(|s| s.delivered)
+        .unwrap_or(0);
+    assert_eq!(
+        delivered,
+        4 * senders.len() as u64,
+        "traced cluster run did not deliver the full burst"
+    );
+    for p in 0..n {
+        let path = format!("{prefix}-{p}.jsonl");
+        let spans = sim.metrics_snapshot(p).spans;
+        std::fs::write(&path, ritas_metrics::spans_to_jsonl(&spans))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    }
+    eprintln!(
+        "cluster span dumps written to {prefix}-{{0..{}}}.jsonl",
+        n - 1
     );
 }
 

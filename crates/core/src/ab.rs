@@ -964,6 +964,12 @@ impl AtomicBroadcast {
         }
         self.metrics.ab_batch_commands.record(take as u64);
         self.metrics.ab_queue_depth.set(self.queue.len() as u64);
+        self.metrics.flight_record(
+            ritas_metrics::FlightKind::Flush,
+            self.me as u32,
+            take as u64,
+            reason as u64,
+        );
         self.metrics.trace(
             Layer::Ab,
             "flush",

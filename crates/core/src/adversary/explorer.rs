@@ -135,6 +135,44 @@ fn seed_workload(cluster: &mut Cluster, checker: &mut InvariantChecker, attacker
     }
 }
 
+/// Re-runs `spec` deterministically (no invariant checking — the
+/// violation is already known) and writes per-process post-mortem
+/// artifacts to `dir`: span dumps (`spans-{p}.jsonl`, readable by
+/// `ritas-trace --cluster`) and flight-recorder rings
+/// (`flight-{p}.bin`). Returns the paths written.
+///
+/// # Errors
+///
+/// Propagates filesystem errors creating `dir` or writing artifacts.
+pub fn write_forensics(
+    spec: &RunSpec,
+    dir: &std::path::Path,
+) -> std::io::Result<Vec<std::path::PathBuf>> {
+    let attacker = spec.n - 1;
+    let mut cluster = Cluster::new(spec.n, spec.seed);
+    cluster.set_schedule(spec.schedule);
+    cluster.set_strategy(attacker, spec.strategy.build(spec.seed ^ 0xAD5E_CA11));
+    let mut checker = InvariantChecker::new(spec.n);
+    checker.mark_corrupt(attacker);
+    seed_workload(&mut cluster, &mut checker, attacker);
+    let mut steps = 0u64;
+    while steps < spec.max_steps && cluster.step() {
+        steps += 1;
+    }
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    for p in 0..spec.n {
+        let m = cluster.metrics(p);
+        let span_path = dir.join(format!("spans-{p}.jsonl"));
+        std::fs::write(&span_path, ritas_metrics::spans_to_jsonl(&m.spans()))?;
+        written.push(span_path);
+        let flight_path = dir.join(format!("flight-{p}.bin"));
+        std::fs::write(&flight_path, m.flight().encode())?;
+        written.push(flight_path);
+    }
+    Ok(written)
+}
+
 /// Executes one run: builds the cluster, installs the strategy on
 /// process `n − 1`, seeds the workload, then steps the scheduler under
 /// the budget, checking every safety predicate after each step.
@@ -322,5 +360,74 @@ mod tests {
             out.steps
         );
         assert!(out.steps < 200_000, "drained before the budget");
+    }
+
+    /// Runs the standard workload (attacker slot = 3, optionally with a
+    /// strategy installed there) and returns per-peer suspicion totals
+    /// summed over the three correct processes.
+    fn suspicion_totals(strategy: Option<StrategyKind>, seed: u64) -> [u64; 4] {
+        let attacker = 3;
+        let mut cluster = Cluster::new(4, seed);
+        cluster.set_schedule(Schedule::Random);
+        if let Some(s) = strategy {
+            cluster.set_strategy(attacker, s.build(seed ^ 0xAD5E_CA11));
+        }
+        let mut checker = InvariantChecker::new(4);
+        checker.mark_corrupt(attacker);
+        seed_workload(&mut cluster, &mut checker, attacker);
+        let mut steps = 0u64;
+        while steps < 200_000 && cluster.step() {
+            steps += 1;
+        }
+        let mut totals = [0u64; 4];
+        for p in 0..4 {
+            if p == attacker {
+                continue;
+            }
+            for s in cluster.metrics(p).suspicions() {
+                totals[s.peer as usize] += s.total();
+            }
+        }
+        totals
+    }
+
+    #[test]
+    fn failure_free_runs_report_zero_suspicions() {
+        // The conformance counters must be silent when nobody misbehaves
+        // — an honest-but-empty attacker slot produces no evidence.
+        assert_eq!(suspicion_totals(None, 11), [0; 4]);
+    }
+
+    #[test]
+    fn corrupt_strategies_make_the_attacker_the_top_suspect() {
+        // Split attribution is evidence, not proof: an equivocating
+        // sender or a lying relay drags honest conflict endpoints into
+        // the suspect set. The guarantee is therefore ranked, not exact —
+        // the corrupt peer accumulates strictly more suspicions across
+        // the correct processes than any honest peer.
+        //
+        // Silence is exempt: a silent process sends nothing invalid, so
+        // there is no conformance evidence to count. Its signature is
+        // absence — stalled instances — which the health watchdog and
+        // cluster trace correlation surface instead.
+        for strategy in [
+            StrategyKind::Equivocate,
+            StrategyKind::BiasedCoin,
+            StrategyKind::ConflictingVectors,
+            StrategyKind::StaleReplay,
+            StrategyKind::RandomMutation,
+        ] {
+            let totals = suspicion_totals(Some(strategy), 5);
+            assert!(
+                totals[3] > 0,
+                "{strategy:?}: attacker never suspected: {totals:?}"
+            );
+            for peer in 0..3 {
+                assert!(
+                    totals[3] > totals[peer],
+                    "{strategy:?}: attacker not the top suspect: {totals:?}"
+                );
+            }
+        }
     }
 }

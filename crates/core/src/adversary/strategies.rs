@@ -207,7 +207,10 @@ impl Strategy for BiasedCoin {
 /// a value is only acceptable if the claimed `INIT` vector both matches
 /// the receiver's own deliveries in `n−2f` places and actually justifies
 /// the value): sends each peer a *different* fabricated value backed by a
-/// fully populated, internally consistent justification vector.
+/// fully populated, internally consistent justification vector, and
+/// splits its `INIT` the same way so every layer of the conflicting-views
+/// attack is exercised (the `INIT` leg rides reliable broadcast, where
+/// the echo exchange exposes the split to every correct process).
 #[derive(Debug)]
 pub struct ConflictingVectors {
     _private: (),
@@ -233,14 +236,20 @@ impl Strategy for ConflictingVectors {
 
     fn rewrite(&mut self, ctx: &SendCtx, key: InstanceKey, mut msg: ProtocolMsg) -> Vec<Bytes> {
         let fake: MvcValue = Some(Bytes::from(vec![0xCF, ctx.to as u8]));
-        with_innermost_payload(&mut msg, &mut |kind, bytes| {
-            if kind == PayloadKind::VectPayload {
+        with_innermost_payload(&mut msg, &mut |kind, bytes| match kind {
+            PayloadKind::VectPayload => {
                 let lie = VectPayload {
                     value: fake.clone(),
                     justification: vec![fake.clone(); ctx.n],
                 };
                 *bytes = lie.to_bytes();
             }
+            PayloadKind::MvcValue => {
+                let mut w = crate::codec::Writer::new();
+                crate::mvc::encode_value(&mut w, &fake);
+                *bytes = w.freeze();
+            }
+            _ => {}
         });
         vec![msg.frame(key)]
     }

@@ -163,6 +163,8 @@ struct StepState {
     pending: Vec<Option<Val>>,
     /// Whether this step's `n − f` threshold has been acted upon.
     fired: bool,
+    /// Process whose accepted value first brought this step to quorum.
+    quorum_closer: Option<ProcessId>,
 }
 
 impl StepState {
@@ -171,6 +173,7 @@ impl StepState {
             accepted: vec![None; n],
             pending: vec![None; n],
             fired: false,
+            quorum_closer: None,
         }
     }
 
@@ -543,6 +546,11 @@ impl BinaryConsensus {
                         let st = &mut self.rounds.get_mut(&r).unwrap().steps[(s - 1) as usize];
                         st.pending[origin] = None;
                         st.accepted[origin] = Some(v);
+                        // Batched acceptances may overshoot the quorum; the
+                        // first origin to reach it is the one that closed it.
+                        if st.quorum_closer.is_none() && st.accepted_count() >= q {
+                            st.quorum_closer = Some(origin);
+                        }
                         moved = true;
                     }
                 }
@@ -565,6 +573,9 @@ impl BinaryConsensus {
         }
         st.fired = true;
         let tally = st.tally();
+        // Own values are accepted inline (no revalidate pass), so a step
+        // completed by our own broadcast has no recorded closer: use `me`.
+        let closer = st.quorum_closer.unwrap_or(self.me);
         match s {
             1 => {
                 self.current = Some(majority(&tally));
@@ -577,6 +588,10 @@ impl BinaryConsensus {
                 self.broadcast_current(out);
             }
             3 => {
+                self.span_annotate(
+                    ritas_metrics::SpanAnnotation::RoundQuorum,
+                    ritas_metrics::pack_round_quorum(r, closer as u32),
+                );
                 self.finish_round(&tally, out);
             }
             _ => unreachable!(),

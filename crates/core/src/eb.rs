@@ -42,7 +42,7 @@ use crate::ProcessId;
 use bytes::Bytes;
 use ritas_crypto::mac::{self, MacTag, TAG_LEN};
 use ritas_crypto::{Digest, ProcessKeys, Sha256};
-use ritas_metrics::{Layer, Metrics};
+use ritas_metrics::{Layer, Metrics, SpanAnnotation};
 
 /// Upper bound on vector entries accepted by the decoder (defense against
 /// allocation attacks; far above any plausible group size).
@@ -326,6 +326,14 @@ impl EchoBroadcast {
         let collected = self.rows.iter().filter(|r| r.is_some()).count();
         if collected < self.group.quorum() {
             return Step::none();
+        }
+        if collected == self.group.quorum() {
+            // `from`'s row closed the n−f row quorum that releases the
+            // matrix columns — the last arrival on this echo step.
+            if let Some(path) = &self.span_path {
+                self.metrics
+                    .span_annotate(path, SpanAnnotation::QuorumMet, from as u64);
+            }
         }
         // Enough rows: emit column j to every process j. Rows that pass
         // the screen above can still carry invalid entries for OTHER

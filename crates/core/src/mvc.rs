@@ -246,6 +246,9 @@ pub struct MultiValuedConsensus {
     vect_pending: Vec<Option<VectPayload>>,
     /// Validated VECT values per origin.
     vect_valid: Vec<Option<MvcValue>>,
+    /// Origins already reported for a justification that contradicts a
+    /// reliably-broadcast `INIT` (one report per origin).
+    vect_suspected: Vec<bool>,
     sent_vect: bool,
     /// Snapshot flag: the BC proposal has been computed and submitted.
     bc_proposed: bool,
@@ -310,6 +313,7 @@ impl MultiValuedConsensus {
             vect_inst: (0..n).map(|_| None).collect(),
             vect_pending: vec![None; n],
             vect_valid: vec![None; n],
+            vect_suspected: vec![false; n],
             sent_vect: false,
             bc_proposed: false,
             bc: BinaryConsensus::with_transport(group, me, coin, config.bc_transport),
@@ -558,7 +562,7 @@ impl MultiValuedConsensus {
         let mut out = Step::none();
         loop {
             let mut progressed = false;
-            progressed |= self.validate_vects();
+            progressed |= self.validate_vects(&mut out);
             if let Some(step) = self.maybe_send_vect() {
                 out.extend(step);
                 progressed = true;
@@ -578,12 +582,34 @@ impl MultiValuedConsensus {
     }
 
     /// Moves justifiable pending `VECT`s to the validated set.
-    fn validate_vects(&mut self) -> bool {
+    ///
+    /// Also cross-checks each pending justification against the `INIT`s
+    /// we delivered directly: `INIT`s travel by reliable broadcast, so
+    /// any two correct processes deliver the same value per origin — a
+    /// justification entry that *contradicts* ours (both non-⊥, different
+    /// bytes) can only come from a lying `VECT` origin. That lie is what
+    /// makes per-receiver conflicting vectors otherwise undetectable:
+    /// the vector never validates and would just sit pending forever.
+    /// Claiming ⊥ where we saw a value (or vice versa) is legitimate
+    /// asynchrony and is not flagged.
+    fn validate_vects(&mut self, out: &mut MvcStep) -> bool {
         let mut moved = false;
         for origin in 0..self.group.n() {
             let Some(p) = self.vect_pending[origin].as_ref() else {
                 continue;
             };
+            if !self.vect_suspected[origin] {
+                let lied = (0..self.group.n()).any(|k| {
+                    matches!(
+                        (self.init_values.get(k), p.justification.get(k)),
+                        (Some(Some(Some(mine))), Some(Some(theirs))) if mine != theirs
+                    )
+                });
+                if lied {
+                    self.vect_suspected[origin] = true;
+                    out.push_fault(origin, FaultKind::Unjustified);
+                }
+            }
             let valid = match &p.value {
                 None => true, // ⊥ needs no justification
                 Some(v) => {

@@ -37,10 +37,13 @@ use ritas_transport::{
 use std::collections::{BTreeMap, HashMap};
 use std::io::{Read, Write};
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// How often the worker refreshes the `/state` introspection snapshot.
+const STATE_REFRESH_NS: u64 = 200_000_000;
 
 /// Errors surfaced by the blocking node API.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,6 +86,11 @@ pub struct SessionConfig {
     /// Serve a Prometheus text-format `/metrics` endpoint per node (each
     /// binds an ephemeral localhost port; see [`Node::metrics_addr`]).
     pub metrics_endpoint: bool,
+    /// No-progress budget for the stall watchdog: when set, each node
+    /// flags itself stalled (in `/health`, the `node_stalls_total`
+    /// counter, a `stall` trace event and the flight recorder) whenever
+    /// work is outstanding but nothing a-delivers within the budget.
+    pub stall_budget: Option<Duration>,
     /// Stack configuration.
     pub stack: StackConfig,
 }
@@ -108,8 +116,16 @@ impl SessionConfig {
             master_seed: 0x5249_5441_5321, // "RITAS!"
             authenticate: true,
             metrics_endpoint: false,
+            stall_budget: None,
             stack,
         })
+    }
+
+    /// Arms the per-node stall watchdog with the given no-progress
+    /// budget (see [`SessionConfig::stall_budget`]).
+    pub fn with_stall_budget(mut self, budget: Duration) -> Self {
+        self.stall_budget = Some(budget);
+        self
     }
 
     /// Enables the live Prometheus `/metrics` endpoint on every node of
@@ -190,6 +206,39 @@ enum PendingReply {
     Vc(Sender<Result<DecisionVector, ProtocolError>>),
 }
 
+/// Liveness state shared between the worker loop, the stall watchdog and
+/// the `/health` + `/state` endpoints. Everything is lock-free except the
+/// worker-refreshed `/state` JSON, so the endpoints never block on (or
+/// wait for) a wedged protocol thread — that is exactly the situation
+/// they exist to diagnose.
+struct HealthShared {
+    /// Last worker-loop iteration, in epoch nanoseconds.
+    heartbeat_ns: AtomicU64,
+    /// Last a-delivery observed by the worker, in epoch nanoseconds.
+    progress_ns: AtomicU64,
+    /// When outstanding work was first observed (0 = queue idle).
+    pending_since_ns: AtomicU64,
+    /// Whether the watchdog currently considers the node stalled.
+    stalled: AtomicBool,
+    /// Watchdog no-progress budget in nanoseconds (0 = disarmed).
+    budget_ns: AtomicU64,
+    /// Worker-refreshed `/state` introspection JSON.
+    state_json: parking_lot::Mutex<String>,
+}
+
+impl HealthShared {
+    fn new() -> Self {
+        HealthShared {
+            heartbeat_ns: AtomicU64::new(0),
+            progress_ns: AtomicU64::new(0),
+            pending_since_ns: AtomicU64::new(0),
+            stalled: AtomicBool::new(false),
+            budget_ns: AtomicU64::new(0),
+            state_json: parking_lot::Mutex::new(String::from("null")),
+        }
+    }
+}
+
 /// A handle to one process of a running session.
 ///
 /// All methods are thread-safe to call from the owning application
@@ -206,9 +255,12 @@ pub struct Node {
     link_rx: Receiver<LinkEvent>,
     link_state_fn: Arc<dyn Fn(ProcessId) -> LinkState + Send + Sync>,
     metrics: Metrics,
+    health: Arc<HealthShared>,
+    epoch: Instant,
     stop: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
     metrics_addr: Option<SocketAddr>,
+    watchdog_running: bool,
 }
 
 impl core::fmt::Debug for Node {
@@ -258,6 +310,9 @@ impl Node {
             };
             if config.metrics_endpoint {
                 node.serve_metrics().map_err(|_| NodeError::Disconnected)?;
+            }
+            if let Some(budget) = config.stall_budget {
+                node.start_watchdog(budget);
             }
             nodes.push(node);
         }
@@ -332,6 +387,9 @@ impl Node {
             if config.metrics_endpoint {
                 node.serve_metrics().map_err(|_| NodeError::Disconnected)?;
             }
+            if let Some(budget) = config.stall_budget {
+                node.start_watchdog(budget);
+            }
             nodes.push(node);
         }
         Ok((nodes, chaos))
@@ -362,6 +420,7 @@ impl Node {
         let (ab_tx, ab_rx) = unbounded();
         let (fault_tx, fault_rx) = unbounded();
         let epoch = Instant::now();
+        let health = Arc::new(HealthShared::new());
 
         // Reader thread: pulls frames off the transport into the shared
         // event channel so the stack thread sees commands and network
@@ -378,12 +437,23 @@ impl Node {
                     // reports outages and resumes here) instead of
                     // silently absorbing them into the poll loop.
                     while let Some(ev) = transport.poll_link_event() {
+                        let kind = match ev.state {
+                            LinkState::Up => ritas_metrics::FlightKind::LinkUp,
+                            _ => ritas_metrics::FlightKind::LinkDown,
+                        };
+                        metrics.flight_record(kind, ev.peer as u32, ev.epoch, 0);
                         let _ = link_tx.send(ev);
                     }
                     match transport.recv_timeout(Duration::from_millis(50)) {
                         Ok((from, frame)) => {
                             metrics.transport_frames_recv.inc();
                             metrics.transport_bytes_recv.add(frame.len() as u64);
+                            metrics.flight_record(
+                                ritas_metrics::FlightKind::FrameIn,
+                                from as u32,
+                                ritas_metrics::flight::digest(&frame),
+                                frame.len() as u64,
+                            );
                             if net_tx.send(Event::Net(from, frame)).is_err() {
                                 break;
                             }
@@ -404,6 +474,7 @@ impl Node {
             let transport = Arc::clone(&transport);
             let stop = Arc::clone(&stop);
             let metrics = metrics.clone();
+            let health = Arc::clone(&health);
             std::thread::spawn(move || {
                 let mut state = Worker {
                     stack,
@@ -411,11 +482,13 @@ impl Node {
                     replies: HashMap::new(),
                     ab_sent: BTreeMap::new(),
                     metrics: metrics.clone(),
+                    health: Arc::clone(&health),
                     rb_tx,
                     eb_tx,
                     ab_tx,
                     fault_tx,
                 };
+                let mut last_state_refresh: u64 = 0;
                 'worker: loop {
                     // Trace events are stamped with nanoseconds since the
                     // node was spawned; the same clock drives the AB layer's
@@ -471,6 +544,28 @@ impl Node {
                     state.dispatch(step);
                     let step = state.stack.poll_all();
                     state.dispatch(step);
+                    // Liveness bookkeeping for `/health` and the stall
+                    // watchdog: the heartbeat proves this loop is turning;
+                    // `pending_since` marks how long work has been
+                    // outstanding with nothing a-delivering.
+                    health.heartbeat_ns.store(later.max(1), Ordering::Relaxed);
+                    let pending =
+                        !state.ab_sent.is_empty() || state.metrics.ab_queue_depth.get() > 0;
+                    if pending {
+                        let _ = health.pending_since_ns.compare_exchange(
+                            0,
+                            later.max(1),
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        );
+                    } else {
+                        health.pending_since_ns.store(0, Ordering::Relaxed);
+                        health.stalled.store(false, Ordering::Relaxed);
+                    }
+                    if later.saturating_sub(last_state_refresh) >= STATE_REFRESH_NS {
+                        last_state_refresh = later;
+                        *health.state_json.lock() = state.state_json(later);
+                    }
                 }
                 stop.store(true, Ordering::Relaxed);
             })
@@ -491,9 +586,12 @@ impl Node {
             link_rx,
             link_state_fn,
             metrics,
+            health,
+            epoch,
             stop,
             threads: vec![reader, worker],
             metrics_addr: None,
+            watchdog_running: false,
         }
     }
 
@@ -510,10 +608,14 @@ impl Node {
         (self.link_state_fn)(peer)
     }
 
-    /// Starts serving this node's metrics in Prometheus text exposition
-    /// format over HTTP on an ephemeral localhost port. Returns the bound
-    /// address (`curl http://{addr}/metrics`). Idempotent: a second call
-    /// returns the existing address. The server stops with the node.
+    /// Starts serving this node's observability endpoints over HTTP on an
+    /// ephemeral localhost port: `/metrics` (Prometheus text format, also
+    /// the fallback for unknown paths), `/health` (lock-free liveness
+    /// summary — safe to scrape even when the protocol thread is wedged)
+    /// and `/state` (worker-refreshed protocol introspection). Returns
+    /// the bound address (`curl http://{addr}/metrics`). Idempotent: a
+    /// second call returns the existing address. The server stops with
+    /// the node.
     ///
     /// # Errors
     ///
@@ -525,13 +627,18 @@ impl Node {
         let listener = std::net::TcpListener::bind(("127.0.0.1", 0))?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let metrics = self.metrics.clone();
+        let ctx = ServeCtx {
+            metrics: self.metrics.clone(),
+            health: Arc::clone(&self.health),
+            epoch: self.epoch,
+            id: self.id,
+        };
         let stop = Arc::clone(&self.stop);
         self.threads.push(std::thread::spawn(move || {
             while !stop.load(Ordering::Relaxed) {
                 match listener.accept() {
                     Ok((conn, _)) => {
-                        let _ = serve_metrics_request(conn, &metrics);
+                        let _ = serve_metrics_request(conn, &ctx);
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(20));
@@ -542,6 +649,76 @@ impl Node {
         }));
         self.metrics_addr = Some(addr);
         Ok(addr)
+    }
+
+    /// Arms the stall watchdog: when work is outstanding (own broadcasts
+    /// in flight or commands queued) and nothing a-delivers within
+    /// `budget`, the node marks itself stalled — `/health` reports it,
+    /// `node_stalls_total` increments, a `stall` trace event is recorded
+    /// and a [`ritas_metrics::FlightKind::Stall`] event enters the flight
+    /// recorder. The flag clears as soon as progress resumes. Calling
+    /// again re-tunes the budget.
+    pub fn start_watchdog(&mut self, budget: Duration) {
+        self.health
+            .budget_ns
+            .store(budget.as_nanos() as u64, Ordering::Relaxed);
+        if self.watchdog_running {
+            return;
+        }
+        self.watchdog_running = true;
+        let health = Arc::clone(&self.health);
+        let metrics = self.metrics.clone();
+        let stop = Arc::clone(&self.stop);
+        let epoch = self.epoch;
+        let id = self.id;
+        self.threads.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let budget = health.budget_ns.load(Ordering::Relaxed);
+                let poll = (budget / 4).clamp(5_000_000, 50_000_000);
+                std::thread::sleep(Duration::from_nanos(poll));
+                if budget == 0 {
+                    continue;
+                }
+                let since = health.pending_since_ns.load(Ordering::Relaxed);
+                if since == 0 {
+                    continue;
+                }
+                let now = epoch.elapsed().as_nanos() as u64;
+                // Progress restarts the clock: a slow-but-moving queue is
+                // not a stall.
+                let anchor = since.max(health.progress_ns.load(Ordering::Relaxed));
+                let stalled = now.saturating_sub(anchor) > budget;
+                if stalled {
+                    if !health.stalled.swap(true, Ordering::Relaxed) {
+                        metrics.node_stalls_total.inc();
+                        metrics.trace(ritas_metrics::Layer::Node, "stall", format!("node:{id}"), 0);
+                        metrics.flight_record(
+                            ritas_metrics::FlightKind::Stall,
+                            id as u32,
+                            now.saturating_sub(anchor),
+                            budget,
+                        );
+                    }
+                } else {
+                    health.stalled.store(false, Ordering::Relaxed);
+                }
+            }
+        }));
+    }
+
+    /// Whether the stall watchdog currently flags this node as making no
+    /// progress (always `false` while the watchdog is disarmed).
+    pub fn is_stalled(&self) -> bool {
+        self.health.stalled.load(Ordering::Relaxed)
+    }
+
+    /// Registers this node's flight recorder for a crash dump: on panic
+    /// (any thread) or an explicit [`ritas_metrics::flight::dump_registered`]
+    /// call, the bounded event ring is written to
+    /// `{dir}/flight-{tag}.bin` (parse with
+    /// [`ritas_metrics::flight::parse`]).
+    pub fn enable_flight_dump(&self, dir: impl Into<std::path::PathBuf>, tag: impl Into<String>) {
+        ritas_metrics::flight::register_dump(dir, tag, self.metrics.clone());
     }
 
     /// The address of the live `/metrics` endpoint, if one is being
@@ -781,10 +958,20 @@ impl Drop for Node {
     }
 }
 
-/// Answers one scrape: reads the request until the header terminator
-/// (the path is not inspected — every route serves the metrics page) and
-/// writes a Prometheus text-format response.
-fn serve_metrics_request(mut conn: std::net::TcpStream, metrics: &Metrics) -> std::io::Result<()> {
+/// Everything the observability endpoint thread needs to answer a scrape
+/// without touching the protocol thread.
+struct ServeCtx {
+    metrics: Metrics,
+    health: Arc<HealthShared>,
+    epoch: Instant,
+    id: ProcessId,
+}
+
+/// Answers one scrape: reads the request until the header terminator,
+/// routes on the path — `/health` (liveness JSON), `/state` (worker
+/// introspection JSON) — and serves the Prometheus metrics page for
+/// every other path (existing scrapers keep working unchanged).
+fn serve_metrics_request(mut conn: std::net::TcpStream, ctx: &ServeCtx) -> std::io::Result<()> {
     conn.set_nonblocking(false)?;
     conn.set_read_timeout(Some(Duration::from_millis(500)))?;
     conn.set_write_timeout(Some(Duration::from_secs(2)))?;
@@ -802,15 +989,97 @@ fn serve_metrics_request(mut conn: std::net::TcpStream, metrics: &Metrics) -> st
             Err(_) => break,
         }
     }
-    let body = metrics.snapshot().to_prometheus();
+    let path = request_path(&req);
+    let (body, content_type) = match path.as_deref() {
+        Some("/health") => (health_json(ctx), "application/json"),
+        Some("/state") => (state_json_response(ctx), "application/json"),
+        _ => (
+            ctx.metrics.snapshot().to_prometheus(),
+            "text/plain; version=0.0.4; charset=utf-8",
+        ),
+    };
     let resp = format!(
         "HTTP/1.1 200 OK\r\n\
-         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Type: {content_type}\r\n\
          Content-Length: {}\r\n\
          Connection: close\r\n\r\n{body}",
         body.len()
     );
     conn.write_all(resp.as_bytes())
+}
+
+/// The path component of the request line (`GET /health HTTP/1.1`).
+fn request_path(req: &[u8]) -> Option<String> {
+    let line = req.split(|&b| b == b'\r' || b == b'\n').next()?;
+    let line = core::str::from_utf8(line).ok()?;
+    let mut parts = line.split_whitespace();
+    let _method = parts.next()?;
+    let target = parts.next()?;
+    // Ignore any query string.
+    Some(target.split('?').next().unwrap_or(target).to_string())
+}
+
+/// The `/health` document: built exclusively from atomics and live
+/// gauges, so it stays accurate (and responsive) while the protocol
+/// thread is stuck — the heartbeat age going flat is itself the signal.
+fn health_json(ctx: &ServeCtx) -> String {
+    let now = ctx.epoch.elapsed().as_nanos() as u64;
+    let h = &ctx.health;
+    let heartbeat = h.heartbeat_ns.load(Ordering::Relaxed);
+    let since = h.pending_since_ns.load(Ordering::Relaxed);
+    let progress = h.progress_ns.load(Ordering::Relaxed);
+    let m = &ctx.metrics;
+    let mut suspicions = String::from("[");
+    for (i, s) in m.suspicions().iter().enumerate() {
+        if i > 0 {
+            suspicions.push(',');
+        }
+        suspicions.push_str(&format!("{{\"peer\":{},\"total\":{}}}", s.peer, s.total()));
+    }
+    suspicions.push(']');
+    format!(
+        "{{\"id\":{},\"stalled\":{},\"budget_ns\":{},\
+         \"heartbeat_age_ns\":{},\"pending\":{},\"pending_age_ns\":{},\
+         \"progress_age_ns\":{},\"ab_queue_depth\":{},\"ab_in_flight\":{},\
+         \"rsm_applied_watermark\":{},\"sessions_live\":{},\
+         \"stalls_total\":{},\
+         \"suspicions_total\":{},\"suspicions\":{}}}",
+        ctx.id,
+        h.stalled.load(Ordering::Relaxed),
+        h.budget_ns.load(Ordering::Relaxed),
+        now.saturating_sub(heartbeat),
+        since != 0,
+        if since == 0 {
+            0
+        } else {
+            now.saturating_sub(since)
+        },
+        if progress == 0 {
+            now
+        } else {
+            now.saturating_sub(progress)
+        },
+        m.ab_queue_depth.get(),
+        m.ab_sent_pending.get(),
+        m.rsm_applied_watermark.get(),
+        m.service_sessions_live.get(),
+        m.node_stalls_total.get(),
+        m.suspicions_total.get(),
+        suspicions,
+    )
+}
+
+/// The `/state` document: the worker's last introspection snapshot plus
+/// how stale it is.
+fn state_json_response(ctx: &ServeCtx) -> String {
+    let now = ctx.epoch.elapsed().as_nanos() as u64;
+    let heartbeat = ctx.health.heartbeat_ns.load(Ordering::Relaxed);
+    let worker = ctx.health.state_json.lock().clone();
+    format!(
+        "{{\"id\":{},\"heartbeat_age_ns\":{},\"worker\":{worker}}}",
+        ctx.id,
+        now.saturating_sub(heartbeat)
+    )
 }
 
 /// Bound on locally tracked a-broadcast send times ([`Worker::ab_sent`]):
@@ -836,6 +1105,7 @@ struct Worker<T: Transport> {
     /// is the oldest local send (rbids are sequential).
     ab_sent: BTreeMap<crate::ab::MsgId, Instant>,
     metrics: Metrics,
+    health: Arc<HealthShared>,
     rb_tx: Sender<(ProcessId, Bytes)>,
     eb_tx: Sender<(ProcessId, Bytes)>,
     ab_tx: Sender<AbDelivery>,
@@ -914,6 +1184,53 @@ impl<T: Transport> Worker<T> {
         self.dispatch(step);
     }
 
+    /// Builds the `/state` introspection document. Runs on the protocol
+    /// thread (throttled), so it may touch the stack freely; the endpoint
+    /// thread only ever reads the cached result.
+    fn state_json(&self, now_ns: u64) -> String {
+        let m = &self.metrics;
+        let mut links = String::from("[");
+        for p in 0..self.transport.group_size() {
+            if p > 0 {
+                links.push(',');
+            }
+            let s = match self.transport.link_state(p) {
+                LinkState::Up => "up",
+                LinkState::Reconnecting => "reconnecting",
+                LinkState::Down(_) => "down",
+            };
+            links.push_str(&format!("{{\"peer\":{p},\"state\":\"{s}\"}}"));
+        }
+        links.push(']');
+        let ab = match self.stack.ab_debug(0) {
+            Some((stats, round, pending)) => format!(
+                "{{\"round\":{round},\"pending_msgs\":{pending},\
+                 \"broadcast\":{},\"delivered\":{},\"agreements\":{},\
+                 \"bottom_agreements\":{},\"batches\":{},\"bc_rounds_max\":{},\
+                 \"queue_depth\":{},\"in_flight\":{},\"window_in_flight\":{}}}",
+                stats.broadcast,
+                stats.delivered,
+                stats.agreements,
+                stats.bottom_agreements,
+                stats.batches,
+                stats.bc_rounds_max,
+                m.ab_queue_depth.get(),
+                self.ab_sent.len(),
+                m.ab_sent_pending.get(),
+            ),
+            None => String::from("null"),
+        };
+        format!(
+            "{{\"time_ns\":{now_ns},\"ab\":{ab},\"instances\":{},\
+             \"ooc_buffered\":{},\"rsm_applied_watermark\":{},\
+             \"faults_detected\":{},\"links\":{links}}}",
+            m.stack_instances.get(),
+            m.stack_ooc_buffered.get(),
+            m.rsm_applied_watermark.get(),
+            m.faults_detected.get(),
+        )
+    }
+
     fn dispatch(&mut self, step: StackStep) {
         for fault in step.faults {
             let _ = self.fault_tx.send(fault);
@@ -926,6 +1243,12 @@ impl<T: Transport> Worker<T> {
                     self.metrics
                         .transport_bytes_sent
                         .add(n * out.message.len() as u64);
+                    self.metrics.flight_record(
+                        ritas_metrics::FlightKind::FrameOut,
+                        u32::MAX, // broadcast
+                        ritas_metrics::flight::digest(&out.message),
+                        out.message.len() as u64,
+                    );
                     self.transport.send_all(out.message)
                 }
                 Target::One(to) => {
@@ -933,6 +1256,12 @@ impl<T: Transport> Worker<T> {
                     self.metrics
                         .transport_bytes_sent
                         .add(out.message.len() as u64);
+                    self.metrics.flight_record(
+                        ritas_metrics::FlightKind::FrameOut,
+                        to as u32,
+                        ritas_metrics::flight::digest(&out.message),
+                        out.message.len() as u64,
+                    );
                     self.transport.send(to, out.message)
                 }
             };
@@ -959,6 +1288,17 @@ impl<T: Transport> Worker<T> {
                             .record(sent.elapsed().as_nanos() as u64);
                         self.metrics.ab_sent_pending.set(self.ab_sent.len() as u64);
                     }
+                    self.metrics.flight_record(
+                        ritas_metrics::FlightKind::Deliver,
+                        delivery.id.sender as u32,
+                        delivery.id.rbid,
+                        0,
+                    );
+                    // Any a-delivery is progress from the watchdog's view:
+                    // the total order advanced.
+                    self.health
+                        .progress_ns
+                        .store(self.metrics.time().max(1), Ordering::Relaxed);
                     let _ = self.ab_tx.send(delivery);
                 }
                 Output::BcDecided { key, decision } => {
@@ -1138,6 +1478,170 @@ mod tests {
                 .unwrap_err(),
             NodeError::Timeout
         );
+        for n in &nodes {
+            n.shutdown();
+        }
+    }
+
+    fn http_get(addr: SocketAddr, path: &str) -> String {
+        let mut conn = std::net::TcpStream::connect(addr).unwrap();
+        conn.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut resp = String::new();
+        conn.read_to_string(&mut resp).unwrap();
+        resp
+    }
+
+    #[test]
+    fn observability_endpoints_serve_health_state_and_metrics() {
+        let nodes = Node::cluster(SessionConfig::new(4).unwrap().with_metrics_endpoint()).unwrap();
+        nodes[0]
+            .atomic_broadcast(Bytes::from_static(b"probe"))
+            .unwrap();
+        for n in &nodes {
+            n.atomic_recv_timeout(Duration::from_secs(10)).unwrap();
+        }
+        // The worker refreshes /state at most every 200ms and only while
+        // its loop turns: wait out the throttle, then turn the loop again.
+        std::thread::sleep(Duration::from_millis(300));
+        nodes[0]
+            .atomic_broadcast(Bytes::from_static(b"probe2"))
+            .unwrap();
+        for n in &nodes {
+            n.atomic_recv_timeout(Duration::from_secs(10)).unwrap();
+        }
+        let addr = nodes[1].metrics_addr().unwrap();
+        let health = http_get(addr, "/health");
+        assert!(health.contains("application/json"), "{health}");
+        assert!(health.contains("\"id\":1"), "{health}");
+        assert!(health.contains("\"stalled\":false"), "{health}");
+        assert!(health.contains("\"suspicions\":[]"), "{health}");
+        let state = http_get(addr, "/state");
+        assert!(
+            state.contains("\"worker\":{"),
+            "worker snapshot missing: {state}"
+        );
+        assert!(state.contains("\"ab\":{"), "{state}");
+        assert!(state.contains("\"links\":["), "{state}");
+        // Unknown paths (and /metrics) still serve the Prometheus page.
+        let prom = http_get(addr, "/metrics");
+        assert!(prom.contains("# TYPE ritas_transport_frames_sent counter"));
+        let fallback = http_get(addr, "/");
+        assert!(fallback.contains("# TYPE"));
+        for n in &nodes {
+            n.shutdown();
+        }
+    }
+
+    #[test]
+    fn watchdog_flags_stalled_replica() {
+        let config = SessionConfig::new(4)
+            .unwrap()
+            .with_metrics_endpoint()
+            .with_stall_budget(Duration::from_millis(200));
+        let mut nodes = Node::cluster(config).unwrap();
+        // Fail two replicas: with n = 4 (f = 1) the survivors are below
+        // every quorum, so the broadcast below can never a-deliver.
+        drop(nodes.pop());
+        drop(nodes.pop());
+        let survivor = &nodes[0];
+        survivor
+            .atomic_broadcast(Bytes::from_static(b"stuck"))
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !survivor.is_stalled() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(survivor.is_stalled(), "watchdog never tripped");
+        assert!(survivor.metrics().node_stalls_total.get() >= 1);
+        let health = http_get(survivor.metrics_addr().unwrap(), "/health");
+        assert!(health.contains("\"stalled\":true"), "{health}");
+        assert!(health.contains("\"pending\":true"), "{health}");
+        let snap = survivor.metrics_snapshot();
+        assert!(
+            snap.trace.iter().any(|e| e.kind == "stall"),
+            "no stall trace event"
+        );
+        assert!(
+            survivor
+                .metrics()
+                .flight()
+                .events()
+                .iter()
+                .any(|e| e.kind == ritas_metrics::FlightKind::Stall),
+            "no stall flight event"
+        );
+        for n in &nodes {
+            n.shutdown();
+        }
+    }
+
+    #[test]
+    fn flight_dump_is_parseable() {
+        let dir = std::env::temp_dir().join(format!(
+            "ritas-flight-test-{}-{}",
+            std::process::id(),
+            std::thread::current().name().unwrap_or("t").len()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let nodes = Node::cluster(SessionConfig::new(4).unwrap()).unwrap();
+        nodes[2].enable_flight_dump(&dir, "node2");
+        nodes[0]
+            .atomic_broadcast(Bytes::from_static(b"record me"))
+            .unwrap();
+        for n in &nodes {
+            n.atomic_recv_timeout(Duration::from_secs(10)).unwrap();
+        }
+        let written = ritas_metrics::flight::dump_registered();
+        let path = dir.join("flight-node2.bin");
+        assert!(written.contains(&path), "{written:?}");
+        let events = ritas_metrics::flight::parse(&std::fs::read(&path).unwrap()).unwrap();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.kind == ritas_metrics::FlightKind::FrameIn),
+            "no inbound frames recorded"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| e.kind == ritas_metrics::FlightKind::Deliver),
+            "no delivery recorded"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        for n in &nodes {
+            n.shutdown();
+        }
+    }
+
+    #[test]
+    fn cluster_span_dumps_correlate_quorum_arrivals() {
+        use ritas_metrics::cluster::{estimate_skews, laggard_counts, quorum_rows, ReplicaTrace};
+        let nodes = Node::cluster(SessionConfig::new(4).unwrap()).unwrap();
+        for n in &nodes {
+            n.atomic_broadcast(Bytes::copy_from_slice(format!("c{}", n.id()).as_bytes()))
+                .unwrap();
+        }
+        for n in &nodes {
+            for _ in 0..4 {
+                n.atomic_recv_timeout(Duration::from_secs(10)).unwrap();
+            }
+        }
+        let traces: Vec<ReplicaTrace> = nodes
+            .iter()
+            .map(|n| ReplicaTrace {
+                replica: n.id() as u32,
+                spans: n.metrics().spans(),
+            })
+            .collect();
+        let skews = estimate_skews(&traces);
+        assert_eq!(skews.len(), 4);
+        let rows = quorum_rows(&traces, &skews);
+        assert!(!rows.is_empty(), "no quorum arrivals attributed");
+        // Every attributed closer must be a real group member.
+        assert!(rows.iter().all(|r| r.completed_by < 4), "{rows:?}");
+        let laggards = laggard_counts(&rows);
+        assert!(laggards.values().sum::<u64>() as usize == rows.len());
         for n in &nodes {
             n.shutdown();
         }

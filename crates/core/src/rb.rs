@@ -22,7 +22,7 @@ use crate::step::{FaultKind, Step};
 use crate::ProcessId;
 use bytes::Bytes;
 use ritas_crypto::{Digest, Sha256};
-use ritas_metrics::{Layer, Metrics};
+use ritas_metrics::{Layer, Metrics, SpanAnnotation};
 use std::collections::HashMap;
 
 /// Digest used to compare payload equality without storing duplicates.
@@ -127,6 +127,12 @@ pub struct ReliableBroadcast {
     readies: Vec<Option<PayloadDigest>>,
     /// Digest of the sender's `INIT`, to flag equivocation.
     init_digest: Option<PayloadDigest>,
+    /// Whether a value split (two distinct digests among the INIT and
+    /// the echoes) was already reported for this instance.
+    split_reported: bool,
+    /// First process whose accepted INIT/ECHO established each digest —
+    /// the endpoints named when a split is reported.
+    first_holder: HashMap<PayloadDigest, ProcessId>,
     /// Payload bytes per digest (kept so `READY`/delivery can be produced
     /// from whichever message first carried the winning payload).
     payloads: HashMap<PayloadDigest, Bytes>,
@@ -157,6 +163,8 @@ impl ReliableBroadcast {
             echoes: vec![None; group.n()],
             readies: vec![None; group.n()],
             init_digest: None,
+            split_reported: false,
+            first_holder: HashMap::new(),
             payloads: HashMap::new(),
             metrics: Metrics::default(),
             span_path: None,
@@ -220,6 +228,46 @@ impl ReliableBroadcast {
         slots.iter().filter(|s| s.as_ref() == Some(d)).count()
     }
 
+    /// Reports a value split — two distinct digests among the `INIT` and
+    /// the accepted echoes — once per instance. A correct sender induces
+    /// a single digest at every correct process, so a split is hard
+    /// evidence of misbehaviour even when every individual message is
+    /// well-formed (the per-slot checks only catch a process
+    /// contradicting *itself*). A receiver cannot tell a two-faced sender
+    /// from a lying relay, so the fault names the smallest set certain to
+    /// contain the culprit: the sender plus the first holder of each
+    /// conflicting digest. Attribution is evidence of conflict, not proof
+    /// of guilt — but in failure-free runs no split ever occurs.
+    fn report_split(&mut self, step: &mut RbStep) {
+        if self.split_reported {
+            return;
+        }
+        let mut seen: Vec<PayloadDigest> = Vec::new();
+        for d in self.init_digest.iter().chain(self.echoes.iter().flatten()) {
+            if !seen.contains(d) {
+                seen.push(*d);
+            }
+            if seen.len() == 2 {
+                break;
+            }
+        }
+        let &[a, b] = seen.as_slice() else {
+            return;
+        };
+        self.split_reported = true;
+        let mut suspects = vec![self.sender];
+        for d in [a, b] {
+            if let Some(&h) = self.first_holder.get(&d) {
+                if !suspects.contains(&h) {
+                    suspects.push(h);
+                }
+            }
+        }
+        for s in suspects {
+            step.push_fault(s, FaultKind::Equivocation);
+        }
+    }
+
     /// Handles a protocol message from `from`.
     ///
     /// Messages from corrupt processes (duplicate, equivocating,
@@ -254,14 +302,17 @@ impl ReliableBroadcast {
             Some(_) => return Step::none(), // duplicate
             None => {
                 self.init_digest = Some(d);
+                self.first_holder.entry(d).or_insert(from);
                 self.remember(&m);
             }
         }
-        if self.sent_echo {
-            return Step::none();
+        let mut step = Step::none();
+        self.report_split(&mut step);
+        if !self.sent_echo {
+            self.sent_echo = true;
+            step.push_broadcast(RbMessage::Echo(m));
         }
-        self.sent_echo = true;
-        Step::broadcast(RbMessage::Echo(m))
+        step
     }
 
     fn on_echo(&mut self, from: ProcessId, m: Bytes) -> RbStep {
@@ -271,12 +322,20 @@ impl ReliableBroadcast {
             Some(_) => return Step::none(),
             None => {
                 self.echoes[from] = Some(d);
+                self.first_holder.entry(d).or_insert(from);
                 self.remember(&m);
             }
         }
         let mut step = Step::none();
+        self.report_split(&mut step);
         if !self.sent_ready && Self::count(&self.echoes, &d) >= self.group.echo_threshold() {
             self.sent_ready = true;
+            // `from` closed the echo quorum — the last-arriving process
+            // on this step of the critical path (cluster forensics).
+            if let Some(path) = &self.span_path {
+                self.metrics
+                    .span_annotate(path, SpanAnnotation::QuorumMet, from as u64);
+            }
             step.push_broadcast(RbMessage::Ready(m));
         }
         step
@@ -304,6 +363,9 @@ impl ReliableBroadcast {
             self.metrics
                 .trace(Layer::Rb, "deliver", format!("rb:{}", self.sender), 0);
             if let Some(path) = &self.span_path {
+                // `from` closed the 2f+1 READY quorum that gates delivery.
+                self.metrics
+                    .span_annotate(path, SpanAnnotation::QuorumMet, from as u64);
                 self.metrics.span_close(path);
             }
             step.push_output(m);
@@ -479,6 +541,44 @@ mod tests {
         let _ = rb.handle_message(2, RbMessage::Echo(payload("a")));
         let step = rb.handle_message(2, RbMessage::Echo(payload("b")));
         assert_eq!(step.faults[0].kind, FaultKind::Equivocation);
+    }
+
+    #[test]
+    fn value_split_names_sender_and_conflict_endpoints_once() {
+        // A sender that INITs "a" to some processes and "b" to others is
+        // invisible to per-slot checks (each echoer is self-consistent),
+        // but the conflicting echoes expose the split. The fault names
+        // the sender plus the first holder of each conflicting digest,
+        // exactly once per instance.
+        let g = group4();
+        let mut rb = ReliableBroadcast::new(g, 1, 0);
+        let s0 = rb.handle_message(2, RbMessage::Echo(payload("a")));
+        assert!(s0.faults.is_empty());
+        let s1 = rb.handle_message(3, RbMessage::Echo(payload("b")));
+        let suspects: Vec<ProcessId> = s1.faults.iter().map(|f| f.from).collect();
+        assert_eq!(suspects, vec![0, 2, 3]);
+        assert!(s1.faults.iter().all(|f| f.kind == FaultKind::Equivocation));
+        // Further conflicting evidence does not re-report.
+        let s2 = rb.handle_message(0, RbMessage::Echo(payload("c")));
+        assert!(s2.faults.is_empty());
+    }
+
+    #[test]
+    fn init_conflicting_with_echo_is_a_split() {
+        let g = group4();
+        let mut rb = ReliableBroadcast::new(g, 1, 0);
+        let _ = rb.handle_message(2, RbMessage::Echo(payload("a")));
+        let step = rb.handle_message(0, RbMessage::Init(payload("b")));
+        // Suspects: sender 0 (holds "b" via its INIT) and echoer 2
+        // (first holder of "a").
+        let suspects: Vec<ProcessId> = step.faults.iter().map(|f| f.from).collect();
+        assert_eq!(suspects, vec![0, 2]);
+        assert!(step
+            .faults
+            .iter()
+            .all(|f| f.kind == FaultKind::Equivocation));
+        // The INIT still triggers our own echo despite the report.
+        assert!(matches!(step.messages[0].message, RbMessage::Echo(_)));
     }
 
     #[test]

@@ -167,12 +167,14 @@ impl<S: Send + 'static> Replica<S> {
                     // wakeup, and notify per drained batch — sync-submit
                     // latency must come from the protocol, not from a poll
                     // interval.
+                    node.metrics().rsm_applied_total.add(ready.len() as u64);
                     let mut applied = shared.applied.lock();
                     for d in &ready {
                         if d.id.sender == me {
                             applied.insert(d.id.rbid);
                         }
                     }
+                    node.metrics().rsm_applied_watermark.set(applied.watermark);
                     shared.applied_cv.notify_all();
                 }
             })

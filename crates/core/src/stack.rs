@@ -96,6 +96,17 @@ fn span_path_for(key: &InstanceKey) -> String {
     }
 }
 
+/// Maps a protocol fault to the suspicion counter it increments.
+fn suspicion_kind(kind: FaultKind) -> ritas_metrics::SuspicionKind {
+    match kind {
+        FaultKind::Malformed => ritas_metrics::SuspicionKind::Malformed,
+        FaultKind::Equivocation => ritas_metrics::SuspicionKind::Equivocation,
+        FaultKind::NotEntitled => ritas_metrics::SuspicionKind::NotEntitled,
+        FaultKind::BadAuthenticator => ritas_metrics::SuspicionKind::BadAuthenticator,
+        FaultKind::Unjustified => ritas_metrics::SuspicionKind::Unjustified,
+    }
+}
+
 const KEY_RB: u8 = 1;
 const KEY_EB: u8 = 2;
 const KEY_BC: u8 = 3;
@@ -765,6 +776,10 @@ impl Stack {
         let step = self.handle_frame_inner(from, frame);
         if !step.faults.is_empty() {
             self.metrics.faults_detected.add(step.faults.len() as u64);
+            for fault in &step.faults {
+                self.metrics
+                    .suspect(fault.from as u32, suspicion_kind(fault.kind));
+            }
         }
         step
     }

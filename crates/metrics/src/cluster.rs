@@ -1,0 +1,469 @@
+//! Cross-replica trace correlation.
+//!
+//! Span paths mirror the deterministic control-block chain, so the same
+//! protocol instance has the *same* path on every replica — `ab:0/m:1:3`
+//! is message 3 of sender 1 everywhere. That makes n per-replica span
+//! dumps joinable by path alone:
+//!
+//! * **Clock skew.** A span whose instance originates at replica `s`
+//!   (an `m:{s}:{rbid}` message span, or an `rb:{s}:{k}`/`eb:{s}:{k}`
+//!   broadcast) opens on `s` at send time and on every other replica at
+//!   first-frame arrival. For replicas `a` → `b` the minimum observed
+//!   `open_b − open_a` over `a`-origin instances is `skew(b−a) +
+//!   min-delay ≥ skew(b−a)`; combining both directions bounds the skew
+//!   in an interval whose midpoint is the estimate (the classic
+//!   NTP-style symmetric-delay assumption). In the discrete-event
+//!   simulator all replicas share one virtual clock, so estimates
+//!   collapse to ≈ half the one-way delay asymmetry — a useful
+//!   self-check.
+//! * **Quorum arrivals.** Protocol layers annotate their spans with
+//!   [`SpanAnnotation::QuorumMet`]/[`SpanAnnotation::RoundQuorum`]
+//!   naming the peer whose message *closed* each quorum — the last
+//!   arrival, i.e. the replica that delayed that step. Merging those
+//!   rows across replicas answers "who is slowing the cluster down".
+//! * **Coin rounds.** BC spans carry `round-entered`/`coin-flipped`
+//!   annotations; their distribution across the cluster is the key
+//!   diagnostic for the randomized-agreement layer.
+
+use crate::{unpack_round_quorum, Layer, SpanAnnotation, SpanNote, SpanRecord};
+use std::collections::{BTreeMap, HashMap};
+
+/// One replica's span dump, tagged with its process id.
+#[derive(Debug, Clone)]
+pub struct ReplicaTrace {
+    /// The replica (process id / dump index).
+    pub replica: u32,
+    /// Its retained spans.
+    pub spans: Vec<SpanRecord>,
+}
+
+/// The replica a span path's instance originates at, when the path
+/// encodes one: `…/m:{sender}:{rbid}` message spans and standalone
+/// `rb:{sender}:{k}` / `eb:{sender}:{k}` broadcast instances.
+pub fn span_origin(path: &str) -> Option<u32> {
+    let leaf_origin = |seg: &str| -> Option<u32> {
+        let rest = seg
+            .strip_prefix("m:")
+            .or_else(|| seg.strip_prefix("rb:"))
+            .or_else(|| seg.strip_prefix("eb:"))?;
+        rest.split(':').next()?.parse().ok()
+    };
+    path.split('/').find_map(leaf_origin)
+}
+
+/// One replica's estimated clock offset relative to replica 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkewEstimate {
+    /// The replica.
+    pub replica: u32,
+    /// Estimated `clock(replica) − clock(reference)` in ns (midpoint of
+    /// `[lo, hi]`). 0 when no matched spans bound it.
+    pub offset_ns: i64,
+    /// Lower bound of the skew interval.
+    pub lo: i64,
+    /// Upper bound of the skew interval.
+    pub hi: i64,
+    /// Matched span pairs backing the estimate (both directions).
+    pub samples: u64,
+}
+
+/// Per-replica open times of origin-attributable spans:
+/// `path → open` for spans originated at `origin`.
+fn origin_opens(trace: &ReplicaTrace, origin: u32) -> HashMap<&str, u64> {
+    trace
+        .spans
+        .iter()
+        .filter(|s| span_origin(&s.path) == Some(origin))
+        .map(|s| (s.path.as_str(), s.open))
+        .collect()
+}
+
+/// Estimates each replica's clock offset relative to `traces[0]` from
+/// matched send/receive span opens. Replicas with no matched spans get
+/// a zero estimate with `samples == 0`.
+pub fn estimate_skews(traces: &[ReplicaTrace]) -> Vec<SkewEstimate> {
+    let Some(reference) = traces.first() else {
+        return Vec::new();
+    };
+    let mut out = vec![SkewEstimate {
+        replica: reference.replica,
+        offset_ns: 0,
+        lo: 0,
+        hi: 0,
+        samples: 0,
+    }];
+    for t in &traces[1..] {
+        // Direction ref→t: spans originated at the reference, observed
+        // on t. min(open_t − open_ref) = skew(t) + min delay ≥ skew(t),
+        // so it upper-bounds nothing and lower… — it bounds skew(t)
+        // from above only via the reverse direction; delays are ≥ 0, so
+        //   skew(t) ≤ min over ref-origin spans  (hi)
+        //   skew(t) ≥ −min over t-origin spans   (lo)
+        let mut hi: Option<i64> = None;
+        let mut lo: Option<i64> = None;
+        let mut samples = 0u64;
+        let ref_origin = origin_opens(reference, reference.replica);
+        let t_view_of_ref = origin_opens(t, reference.replica);
+        for (path, &open_ref) in &ref_origin {
+            if let Some(&open_t) = t_view_of_ref.get(path) {
+                let d = open_t as i64 - open_ref as i64;
+                hi = Some(hi.map_or(d, |h: i64| h.min(d)));
+                samples += 1;
+            }
+        }
+        let t_origin = origin_opens(t, t.replica);
+        let ref_view_of_t = origin_opens(reference, t.replica);
+        for (path, &open_t) in &t_origin {
+            if let Some(&open_ref) = ref_view_of_t.get(path) {
+                let d = open_ref as i64 - open_t as i64;
+                lo = Some(lo.map_or(-d, |l: i64| l.max(-d)));
+                samples += 1;
+            }
+        }
+        let (lo, hi) = match (lo, hi) {
+            (Some(lo), Some(hi)) => (lo.min(hi), hi.max(lo)),
+            (Some(lo), None) => (lo, lo),
+            (None, Some(hi)) => (hi, hi),
+            (None, None) => (0, 0),
+        };
+        out.push(SkewEstimate {
+            replica: t.replica,
+            offset_ns: lo + (hi - lo) / 2,
+            lo,
+            hi,
+            samples,
+        });
+    }
+    out
+}
+
+/// One quorum completion observed on one replica, skew-corrected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuorumRow {
+    /// The instance's span path.
+    pub path: String,
+    /// The replica that observed the quorum complete.
+    pub observer: u32,
+    /// The BC round the quorum concluded, `None` for broadcast quorums.
+    pub round: Option<u32>,
+    /// The peer whose message closed the quorum (the last arrival).
+    pub completed_by: u32,
+    /// Skew-corrected observation time (reference-replica ns).
+    pub t: i64,
+}
+
+/// Extracts every quorum-arrival annotation across the cluster,
+/// skew-corrected onto the reference clock and sorted by time.
+pub fn quorum_rows(traces: &[ReplicaTrace], skews: &[SkewEstimate]) -> Vec<QuorumRow> {
+    let offset: HashMap<u32, i64> = skews.iter().map(|s| (s.replica, s.offset_ns)).collect();
+    let mut out = Vec::new();
+    for t in traces {
+        let off = offset.get(&t.replica).copied().unwrap_or(0);
+        for s in &t.spans {
+            for n in &s.annotations {
+                let (round, completed_by) = match n.kind {
+                    SpanAnnotation::QuorumMet => (None, n.value as u32),
+                    SpanAnnotation::RoundQuorum => {
+                        let (round, origin) = unpack_round_quorum(n.value);
+                        (Some(round), origin)
+                    }
+                    _ => continue,
+                };
+                out.push(QuorumRow {
+                    path: s.path.clone(),
+                    observer: t.replica,
+                    round,
+                    completed_by,
+                    t: n.t as i64 - off,
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| a.t.cmp(&b.t).then_with(|| a.path.cmp(&b.path)));
+    out
+}
+
+/// How often each peer was the quorum-closing (= last-arriving) process
+/// — the cluster's laggard ranking.
+pub fn laggard_counts(rows: &[QuorumRow]) -> BTreeMap<u32, u64> {
+    let mut out = BTreeMap::new();
+    for r in rows {
+        *out.entry(r.completed_by).or_insert(0) += 1;
+    }
+    out
+}
+
+/// Cluster-wide randomized-agreement diagnostics from BC spans.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoinReport {
+    /// Decided BC instances by rounds needed (`rounds → instances`).
+    pub rounds_histogram: BTreeMap<u32, u64>,
+    /// Total coin flips observed.
+    pub coin_flips: u64,
+    /// Coin flips that came up 1.
+    pub coin_ones: u64,
+}
+
+/// Aggregates the coin-round distribution over every closed BC span in
+/// the cluster (each replica's observation of an instance counts once —
+/// correct replicas agree on the round count, so divergence here is
+/// itself a finding).
+pub fn coin_distribution(traces: &[ReplicaTrace]) -> CoinReport {
+    let mut report = CoinReport::default();
+    for t in traces {
+        for s in &t.spans {
+            if s.layer != Layer::Bc || s.close.is_none() {
+                continue;
+            }
+            let mut max_round = None;
+            for n in &s.annotations {
+                match n.kind {
+                    SpanAnnotation::RoundEntered => {
+                        let r = n.value as u32;
+                        max_round = Some(max_round.map_or(r, |m: u32| m.max(r)));
+                    }
+                    SpanAnnotation::CoinFlipped => {
+                        report.coin_flips += 1;
+                        report.coin_ones += n.value & 1;
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(r) = max_round {
+                *report.rounds_histogram.entry(r + 1).or_insert(0) += 1;
+            }
+        }
+    }
+    report
+}
+
+/// One event of the merged cluster timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineEvent {
+    /// Skew-corrected time (reference-replica ns).
+    pub t: i64,
+    /// The observing replica.
+    pub replica: u32,
+    /// The span path.
+    pub path: String,
+    /// The owning layer.
+    pub layer: Layer,
+    /// What happened at `t`.
+    pub what: TimelineWhat,
+}
+
+/// The event kinds of a [`TimelineEvent`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimelineWhat {
+    /// The span opened (instance created / message sent or first seen).
+    Open,
+    /// The span closed (delivered / decided).
+    Close,
+    /// An annotation fired.
+    Note(SpanNote),
+}
+
+/// Merges every replica's span events into one causal timeline on the
+/// reference clock: opens, closes and annotations, sorted by corrected
+/// time (ties: replica, then path).
+pub fn merge_timeline(traces: &[ReplicaTrace], skews: &[SkewEstimate]) -> Vec<TimelineEvent> {
+    let offset: HashMap<u32, i64> = skews.iter().map(|s| (s.replica, s.offset_ns)).collect();
+    let mut out = Vec::new();
+    for t in traces {
+        let off = offset.get(&t.replica).copied().unwrap_or(0);
+        for s in &t.spans {
+            out.push(TimelineEvent {
+                t: s.open as i64 - off,
+                replica: t.replica,
+                path: s.path.clone(),
+                layer: s.layer,
+                what: TimelineWhat::Open,
+            });
+            for n in &s.annotations {
+                out.push(TimelineEvent {
+                    t: n.t as i64 - off,
+                    replica: t.replica,
+                    path: s.path.clone(),
+                    layer: s.layer,
+                    what: TimelineWhat::Note(*n),
+                });
+            }
+            if let Some(close) = s.close {
+                out.push(TimelineEvent {
+                    t: close as i64 - off,
+                    replica: t.replica,
+                    path: s.path.clone(),
+                    layer: s.layer,
+                    what: TimelineWhat::Close,
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        a.t.cmp(&b.t)
+            .then_with(|| a.replica.cmp(&b.replica))
+            .then_with(|| a.path.cmp(&b.path))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack_round_quorum;
+
+    fn span(path: &str, layer: Layer, open: u64, close: Option<u64>) -> SpanRecord {
+        SpanRecord {
+            path: path.into(),
+            layer,
+            open,
+            close,
+            annotations: Vec::new(),
+        }
+    }
+
+    fn note(s: &mut SpanRecord, t: u64, kind: SpanAnnotation, value: u64) {
+        s.annotations.push(SpanNote { t, kind, value });
+    }
+
+    #[test]
+    fn span_origin_parses_message_and_broadcast_paths() {
+        assert_eq!(span_origin("ab:0/m:1:3"), Some(1));
+        assert_eq!(span_origin("ab:0/m:2:7/rb"), Some(2));
+        assert_eq!(span_origin("rb:3:0"), Some(3));
+        assert_eq!(span_origin("eb:0:5"), Some(0));
+        assert_eq!(span_origin("ab:0/r:4"), None);
+        assert_eq!(span_origin("bc:9"), None);
+        assert_eq!(span_origin("svc:12:1"), None);
+    }
+
+    #[test]
+    fn skew_recovered_from_symmetric_delays() {
+        // Replica 1's clock runs 1000 ns ahead; one-way delay 50 ns in
+        // both directions. The midpoint estimator recovers the skew
+        // exactly.
+        let r0 = ReplicaTrace {
+            replica: 0,
+            spans: vec![
+                span("ab:0/m:0:0", Layer::Ab, 100, Some(400)), // own send at 100
+                span("ab:0/m:1:0", Layer::Ab, 1200 - 1000 + 50, Some(900)), // peer's send seen delay 50 later (their clock 1000 ahead): their t=1200 → our 250
+            ],
+        };
+        let r1 = ReplicaTrace {
+            replica: 1,
+            spans: vec![
+                span("ab:0/m:0:0", Layer::Ab, 100 + 1000 + 50, Some(1400)), // ref's send arrives
+                span("ab:0/m:1:0", Layer::Ab, 1200, Some(1900)), // own send at their 1200
+            ],
+        };
+        let skews = estimate_skews(&[r0, r1]);
+        assert_eq!(skews[0].offset_ns, 0);
+        assert_eq!(skews[1].replica, 1);
+        assert_eq!(skews[1].offset_ns, 1000);
+        assert_eq!(skews[1].samples, 2);
+        assert!(skews[1].lo <= 1000 && 1000 <= skews[1].hi);
+    }
+
+    #[test]
+    fn skew_defaults_to_zero_without_matches() {
+        let r0 = ReplicaTrace {
+            replica: 0,
+            spans: vec![span("ab:0/m:0:0", Layer::Ab, 10, None)],
+        };
+        let r1 = ReplicaTrace {
+            replica: 1,
+            spans: vec![span("bc:1", Layer::Bc, 20, None)],
+        };
+        let skews = estimate_skews(&[r0, r1]);
+        assert_eq!(skews[1].offset_ns, 0);
+        assert_eq!(skews[1].samples, 0);
+    }
+
+    #[test]
+    fn quorum_rows_extract_and_correct_for_skew() {
+        let mut s0 = span("ab:0/m:0:0/rb", Layer::Rb, 100, Some(300));
+        note(&mut s0, 200, SpanAnnotation::QuorumMet, 2);
+        let mut s1 = span("ab:0/r:0/mvc/bc", Layer::Bc, 1100, Some(1400));
+        note(
+            &mut s1,
+            1300,
+            SpanAnnotation::RoundQuorum,
+            pack_round_quorum(0, 3),
+        );
+        let traces = [
+            ReplicaTrace {
+                replica: 0,
+                spans: vec![s0],
+            },
+            ReplicaTrace {
+                replica: 1,
+                spans: vec![s1],
+            },
+        ];
+        let skews = vec![
+            SkewEstimate {
+                replica: 0,
+                offset_ns: 0,
+                lo: 0,
+                hi: 0,
+                samples: 1,
+            },
+            SkewEstimate {
+                replica: 1,
+                offset_ns: 1000,
+                lo: 1000,
+                hi: 1000,
+                samples: 1,
+            },
+        ];
+        let rows = quorum_rows(&traces, &skews);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].completed_by, 2);
+        assert_eq!(rows[0].round, None);
+        assert_eq!(rows[0].t, 200);
+        assert_eq!(rows[1].completed_by, 3);
+        assert_eq!(rows[1].round, Some(0));
+        assert_eq!(rows[1].t, 300); // 1300 − 1000 skew
+        let laggards = laggard_counts(&rows);
+        assert_eq!(laggards.get(&2), Some(&1));
+        assert_eq!(laggards.get(&3), Some(&1));
+    }
+
+    #[test]
+    fn coin_distribution_counts_rounds_and_flips() {
+        let mut bc = span("ab:0/r:0/mvc/bc", Layer::Bc, 0, Some(100));
+        note(&mut bc, 10, SpanAnnotation::RoundEntered, 0);
+        note(&mut bc, 40, SpanAnnotation::CoinFlipped, 1);
+        note(&mut bc, 50, SpanAnnotation::RoundEntered, 1);
+        note(&mut bc, 90, SpanAnnotation::CoinFlipped, 0);
+        let open_bc = span("bc:7", Layer::Bc, 0, None); // open: excluded
+        let traces = [ReplicaTrace {
+            replica: 0,
+            spans: vec![bc, open_bc],
+        }];
+        let report = coin_distribution(&traces);
+        assert_eq!(report.rounds_histogram.get(&2), Some(&1));
+        assert_eq!(report.coin_flips, 2);
+        assert_eq!(report.coin_ones, 1);
+    }
+
+    #[test]
+    fn timeline_is_sorted_on_the_corrected_clock() {
+        let traces = [
+            ReplicaTrace {
+                replica: 0,
+                spans: vec![span("ab:0/m:0:0", Layer::Ab, 500, Some(900))],
+            },
+            ReplicaTrace {
+                replica: 1,
+                spans: vec![span("ab:0/m:0:0", Layer::Ab, 1600, Some(1800))],
+            },
+        ];
+        let skews = estimate_skews(&traces); // r1 sees r0's span 1100 later → hi=lo=1100
+        let tl = merge_timeline(&traces, &skews);
+        assert_eq!(tl.len(), 4);
+        assert!(tl.windows(2).all(|w| w[0].t <= w[1].t));
+        assert_eq!(tl[0].what, TimelineWhat::Open);
+        assert_eq!(tl[0].replica, 0);
+    }
+}

@@ -33,6 +33,11 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
+pub mod cluster;
+pub mod flight;
+
+pub use flight::{FlightEvent, FlightKind, FlightRecorder};
+
 /// A monotonically increasing event counter.
 #[derive(Debug, Default)]
 pub struct Counter(AtomicU64);
@@ -351,6 +356,25 @@ pub enum SpanAnnotation {
     /// session epoch at the time of the outage. The owning span closes
     /// when the session-resume handshake completes.
     LinkOutage,
+    /// A broadcast quorum completed; `value` is the peer whose message
+    /// closed the quorum — the last arrival, i.e. the process that
+    /// delayed this step of the critical path.
+    QuorumMet,
+    /// A binary consensus round's concluding quorum completed; `value`
+    /// packs `(round << 8) | origin`, where `origin` is the peer whose
+    /// message closed the round (see [`pack_round_quorum`]).
+    RoundQuorum,
+}
+
+/// Packs a BC round number and the quorum-closing origin into one
+/// [`SpanAnnotation::RoundQuorum`] value.
+pub fn pack_round_quorum(round: u32, origin: u32) -> u64 {
+    (u64::from(round) << 8) | u64::from(origin & 0xFF)
+}
+
+/// Inverse of [`pack_round_quorum`]: `(round, origin)`.
+pub fn unpack_round_quorum(value: u64) -> (u32, u32) {
+    ((value >> 8) as u32, (value & 0xFF) as u32)
 }
 
 impl SpanAnnotation {
@@ -362,6 +386,8 @@ impl SpanAnnotation {
             SpanAnnotation::VectCollected => "vect-collected",
             SpanAnnotation::Phase => "phase",
             SpanAnnotation::LinkOutage => "link-outage",
+            SpanAnnotation::QuorumMet => "quorum-met",
+            SpanAnnotation::RoundQuorum => "round-quorum",
         }
     }
 
@@ -373,6 +399,8 @@ impl SpanAnnotation {
             "vect-collected" => SpanAnnotation::VectCollected,
             "phase" => SpanAnnotation::Phase,
             "link-outage" => SpanAnnotation::LinkOutage,
+            "quorum-met" => SpanAnnotation::QuorumMet,
+            "round-quorum" => SpanAnnotation::RoundQuorum,
             _ => return None,
         })
     }
@@ -895,6 +923,94 @@ pub fn critical_paths(spans: &[SpanRecord]) -> Vec<CriticalPath> {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Byzantine suspicion telemetry: per-peer conformance counters
+// ---------------------------------------------------------------------------
+
+/// What a peer was caught doing. Mirrors the protocol fault taxonomy
+/// (`FaultKind` in the core crate) plus the transport's MAC/anti-replay
+/// rejections — every evidence path that attributes misbehavior to a
+/// specific peer feeds one of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuspicionKind {
+    /// A transport frame from the peer failed MAC verification or the
+    /// anti-replay window (forged or replayed traffic).
+    BadMac,
+    /// A syntactically malformed protocol message.
+    Malformed,
+    /// Two conflicting messages where the protocol allows one
+    /// (equivocation evidence).
+    Equivocation,
+    /// A message the peer was not entitled to send in that role.
+    NotEntitled,
+    /// A vector/matrix authenticator (per-entry MAC) that failed
+    /// verification (EB row screening and friends).
+    BadAuthenticator,
+    /// A value that fails the protocol's justification rule (Bracha
+    /// validation, biased coins, unjustified proposals).
+    Unjustified,
+}
+
+/// Number of [`SuspicionKind`] variants (the per-peer counter row width).
+pub const SUSPICION_KINDS: usize = 6;
+
+impl SuspicionKind {
+    /// All kinds, in counter-row order.
+    pub const ALL: [SuspicionKind; SUSPICION_KINDS] = [
+        SuspicionKind::BadMac,
+        SuspicionKind::Malformed,
+        SuspicionKind::Equivocation,
+        SuspicionKind::NotEntitled,
+        SuspicionKind::BadAuthenticator,
+        SuspicionKind::Unjustified,
+    ];
+
+    /// This kind's slot in a per-peer counter row.
+    pub fn index(self) -> usize {
+        match self {
+            SuspicionKind::BadMac => 0,
+            SuspicionKind::Malformed => 1,
+            SuspicionKind::Equivocation => 2,
+            SuspicionKind::NotEntitled => 3,
+            SuspicionKind::BadAuthenticator => 4,
+            SuspicionKind::Unjustified => 5,
+        }
+    }
+
+    /// Stable kebab-case name used in dumps and Prometheus labels.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SuspicionKind::BadMac => "bad-mac",
+            SuspicionKind::Malformed => "malformed",
+            SuspicionKind::Equivocation => "equivocation",
+            SuspicionKind::NotEntitled => "not-entitled",
+            SuspicionKind::BadAuthenticator => "bad-authenticator",
+            SuspicionKind::Unjustified => "unjustified",
+        }
+    }
+}
+
+/// One peer's frozen suspicion-counter row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuspicionSnapshot {
+    /// The suspected peer.
+    pub peer: u32,
+    /// Evidence counts, indexed by [`SuspicionKind::index`].
+    pub counts: [u64; SUSPICION_KINDS],
+}
+
+impl SuspicionSnapshot {
+    /// Evidence count for one kind.
+    pub fn count(&self, kind: SuspicionKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// Total evidence against this peer across all kinds.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
 /// The metric registry: every instrument the stack exposes, as public
 /// named fields grouped by layer.
 #[derive(Debug)]
@@ -1076,6 +1192,21 @@ pub struct MetricsInner {
     /// High-water mark of the out-of-context buffer.
     pub stack_ooc_high_water: Gauge,
 
+    // ---- health / forensics ----
+    /// Watchdog stall detections: outstanding work made no protocol
+    /// progress within the configured budget.
+    pub node_stalls_total: Counter,
+    /// Deliveries applied by the replicated state machine (all senders,
+    /// markers included).
+    pub rsm_applied_total: Counter,
+    /// RSM apply watermark: own sequential rbids applied contiguously.
+    pub rsm_applied_watermark: Gauge,
+    /// Byzantine-suspicion events across all peers (the per-peer,
+    /// per-kind breakdown is [`Metrics::suspicions`]).
+    pub suspicions_total: Counter,
+
+    suspicions: Mutex<BTreeMap<u32, [u64; SUSPICION_KINDS]>>,
+    flight: flight::FlightRecorder,
     spans: SpanRegistry,
     trace: TraceRing,
     clock: AtomicU64,
@@ -1159,6 +1290,12 @@ impl Default for MetricsInner {
             stack_instances: Gauge::default(),
             stack_ooc_buffered: Gauge::default(),
             stack_ooc_high_water: Gauge::default(),
+            node_stalls_total: Counter::default(),
+            rsm_applied_total: Counter::default(),
+            rsm_applied_watermark: Gauge::default(),
+            suspicions_total: Counter::default(),
+            suspicions: Mutex::new(BTreeMap::new()),
+            flight: flight::FlightRecorder::new(flight::FLIGHT_CAPACITY),
             spans: SpanRegistry::new(SPAN_CAPACITY),
             trace: TraceRing::new(TRACE_CAPACITY),
             clock: AtomicU64::new(0),
@@ -1309,6 +1446,53 @@ impl Metrics {
         }
     }
 
+    /// Records evidence of misbehavior attributed to `peer`. Feeds the
+    /// per-peer suspicion table, the aggregate `suspicions_total`
+    /// counter, and the flight recorder. Unlike spans, suspicion
+    /// accounting is never gated by [`Metrics::set_tracing`] — it is
+    /// intrusion *detection* state, not tracing.
+    pub fn suspect(&self, peer: u32, kind: SuspicionKind) {
+        self.inner.suspicions_total.inc();
+        {
+            let mut g = self
+                .inner
+                .suspicions
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            g.entry(peer).or_insert([0; SUSPICION_KINDS])[kind.index()] += 1;
+        }
+        self.flight_record(FlightKind::Suspicion, peer, kind.index() as u64, 0);
+    }
+
+    /// The per-peer suspicion table, peers in ascending order. Empty in
+    /// failure-free runs — every row is evidence.
+    pub fn suspicions(&self) -> Vec<SuspicionSnapshot> {
+        self.inner
+            .suspicions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(&peer, &counts)| SuspicionSnapshot { peer, counts })
+            .collect()
+    }
+
+    /// Records one flight-recorder event stamped with the driver clock.
+    pub fn flight_record(&self, kind: FlightKind, peer: u32, a: u64, b: u64) {
+        self.inner.flight.record(FlightEvent {
+            t: self.time(),
+            kind,
+            peer,
+            a,
+            b,
+        });
+    }
+
+    /// The bounded flight recorder (protocol-event ring for post-mortem
+    /// dumps).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.inner.flight
+    }
+
     /// All retained spans: closed spans oldest-first, then the still-open
     /// ones (with `close == None`) in path order.
     pub fn spans(&self) -> Vec<SpanRecord> {
@@ -1393,6 +1577,9 @@ impl Metrics {
             stack_ooc_parked,
             stack_ooc_dropped,
             faults_detected,
+            node_stalls_total,
+            rsm_applied_total,
+            suspicions_total,
         );
         // Gauges join the counter map (point-in-time values).
         counters.insert("stack_instances", m.stack_instances.get());
@@ -1404,6 +1591,7 @@ impl Metrics {
         counters.insert("transport_links_up", m.transport_links_up.get());
         counters.insert("service_sessions_live", m.service_sessions_live.get());
         counters.insert("service_inflight", m.service_inflight.get());
+        counters.insert("rsm_applied_watermark", m.rsm_applied_watermark.get());
         histogram!(
             bc_rounds,
             mvc_vect_bytes,
@@ -1418,6 +1606,7 @@ impl Metrics {
             histograms,
             trace: m.trace.to_vec(),
             spans: self.spans(),
+            suspicions: self.suspicions(),
         }
     }
 
@@ -1446,6 +1635,9 @@ pub struct MetricsSnapshot {
     pub trace: Vec<TraceEvent>,
     /// Retained instance spans: closed oldest-first, then open ones.
     pub spans: Vec<SpanRecord>,
+    /// Per-peer Byzantine suspicion rows, peers ascending (empty in
+    /// failure-free runs).
+    pub suspicions: Vec<SuspicionSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -1498,6 +1690,13 @@ impl MetricsSnapshot {
                 h.percentile(99.0)
             );
         }
+        for s in &self.suspicions {
+            let _ = write!(out, "suspicion{{peer={}", s.peer);
+            for kind in SuspicionKind::ALL {
+                let _ = write!(out, " {}={}", kind.as_str(), s.count(kind));
+            }
+            let _ = writeln!(out, "}}");
+        }
         let _ = writeln!(out, "trace_events {}", self.trace.len());
         let _ = writeln!(out, "spans {}", self.spans.len());
         let paths = self.critical_paths();
@@ -1516,7 +1715,7 @@ impl MetricsSnapshot {
     /// (metric prefix `ritas_`, histograms with cumulative `le` buckets).
     pub fn to_prometheus(&self) -> String {
         // Point-in-time instruments that live in the counter map.
-        const GAUGES: [&str; 9] = [
+        const GAUGES: [&str; 10] = [
             "stack_instances",
             "stack_ooc_buffered",
             "stack_ooc_high_water",
@@ -1526,6 +1725,7 @@ impl MetricsSnapshot {
             "transport_links_up",
             "service_sessions_live",
             "service_inflight",
+            "rsm_applied_watermark",
         ];
         let mut out = String::new();
         for (name, value) in &self.counters {
@@ -1553,6 +1753,20 @@ impl MetricsSnapshot {
             let _ = writeln!(out, "ritas_{name}_bucket{{le=\"+Inf\"}} {}", h.count);
             let _ = writeln!(out, "ritas_{name}_sum {}", h.sum);
             let _ = writeln!(out, "ritas_{name}_count {}", h.count);
+        }
+        if !self.suspicions.is_empty() {
+            let _ = writeln!(out, "# TYPE ritas_suspicions counter");
+            for s in &self.suspicions {
+                for kind in SuspicionKind::ALL {
+                    let _ = writeln!(
+                        out,
+                        "ritas_suspicions{{peer=\"{}\",kind=\"{}\"}} {}",
+                        s.peer,
+                        kind.as_str(),
+                        s.count(kind)
+                    );
+                }
+            }
         }
         out
     }
@@ -1596,7 +1810,20 @@ impl MetricsSnapshot {
             }
             out.push_str("]}");
         }
-        out.push_str("},\"trace\":[");
+        out.push_str("},\"suspicions\":[");
+        first = true;
+        for s in &self.suspicions {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "{{\"peer\":{}", s.peer);
+            for kind in SuspicionKind::ALL {
+                let _ = write!(out, ",\"{}\":{}", kind.as_str(), s.count(kind));
+            }
+            out.push('}');
+        }
+        out.push_str("],\"trace\":[");
         first = true;
         for e in &self.trace {
             if !first {
@@ -2109,5 +2336,144 @@ mod tests {
         assert_eq!(snap.spans.len(), SPAN_CAPACITY);
         assert_eq!(m.span_opened.get(), 8 * 2_000);
         assert_eq!(m.span_closed.get(), 8 * 2_000);
+    }
+
+    #[test]
+    fn prometheus_exports_every_batching_metric() {
+        // Scrape-presence audit for the PR-6 batching instruments: all
+        // five must appear in the exposition even before any traffic
+        // (gauges and counters render at 0; histograms always emit
+        // their _sum/_count series).
+        let m = Metrics::new();
+        let text = m.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE ritas_ab_queue_depth gauge\nritas_ab_queue_depth 0"));
+        assert!(text.contains("# TYPE ritas_ab_flush_size counter\nritas_ab_flush_size 0"));
+        assert!(text.contains("# TYPE ritas_ab_flush_age counter\nritas_ab_flush_age 0"));
+        assert!(text.contains("# TYPE ritas_ab_flush_idle counter\nritas_ab_flush_idle 0"));
+        assert!(text.contains("# TYPE ritas_ab_batch_commands histogram"));
+        assert!(text.contains("ritas_ab_batch_commands_count 0"));
+        // And the values flow through once the instruments move.
+        m.ab_queue_depth.set(3);
+        m.ab_flush_size.inc();
+        m.ab_batch_commands.record(8);
+        let text = m.snapshot().to_prometheus();
+        assert!(text.contains("ritas_ab_queue_depth 3"));
+        assert!(text.contains("ritas_ab_flush_size 1"));
+        assert!(text.contains("ritas_ab_batch_commands_count 1"));
+        // New health instruments ride the same audit.
+        assert!(text.contains("# TYPE ritas_node_stalls_total counter"));
+        assert!(text.contains("# TYPE ritas_rsm_applied_watermark gauge"));
+    }
+
+    #[test]
+    fn set_tracing_toggled_mid_run_keeps_critical_paths_exact() {
+        let m = Metrics::new();
+        // Tree 1 records normally.
+        message_tree(&m);
+        m.ab_delivered.inc();
+        let before = critical_paths(&m.spans()).len();
+        assert_eq!(before, 1);
+        // Tracing off mid-run: a whole message tree goes unrecorded,
+        // counters keep incrementing.
+        m.set_tracing(false);
+        m.set_time(1_000);
+        m.span_open("ab:0/m:1:0", Layer::Ab);
+        m.span_open("ab:0/m:1:0/rb", Layer::Rb);
+        m.set_time(1_100);
+        m.span_close("ab:0/m:1:0/rb");
+        m.span_close("ab:0/m:1:0");
+        m.ab_delivered.inc();
+        assert_eq!(critical_paths(&m.spans()).len(), 1, "no span while off");
+        assert_eq!(m.ab_delivered.get(), 2, "counters live while off");
+        // Resume: a post-toggle tree records cleanly and its critical
+        // path still sums exactly to the a-deliver latency.
+        m.set_tracing(true);
+        m.set_time(2_000);
+        m.span_open("ab:0/m:2:5", Layer::Ab);
+        m.span_open("ab:0/m:2:5/rb", Layer::Rb);
+        m.set_time(2_040);
+        m.span_close("ab:0/m:2:5/rb");
+        m.set_time(2_090);
+        m.span_close("ab:0/m:2:5");
+        m.ab_delivered.inc();
+        let paths = critical_paths(&m.spans());
+        assert_eq!(paths.len(), 2);
+        for cp in &paths {
+            let sum: u64 = cp.segments.iter().map(|(_, ns)| ns).sum();
+            assert_eq!(sum, cp.total_ns, "post-toggle segments must sum exactly");
+        }
+        assert_eq!(m.ab_delivered.get(), 3);
+        // No half-open leftovers from the disabled window.
+        assert_eq!(m.span_open_live.get(), 0);
+    }
+
+    #[test]
+    fn suspicions_accumulate_per_peer_and_render_everywhere() {
+        let m = Metrics::new();
+        assert!(m.suspicions().is_empty(), "no false accusations by default");
+        m.suspect(2, SuspicionKind::Equivocation);
+        m.suspect(2, SuspicionKind::Equivocation);
+        m.suspect(2, SuspicionKind::BadMac);
+        m.suspect(5, SuspicionKind::Malformed);
+        let rows = m.suspicions();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].peer, 2);
+        assert_eq!(rows[0].count(SuspicionKind::Equivocation), 2);
+        assert_eq!(rows[0].count(SuspicionKind::BadMac), 1);
+        assert_eq!(rows[0].total(), 3);
+        assert_eq!(rows[1].peer, 5);
+        assert_eq!(rows[1].count(SuspicionKind::Malformed), 1);
+        assert_eq!(m.suspicions_total.get(), 4);
+        let snap = m.snapshot();
+        assert!(snap.to_text().contains("suspicion{peer=2"));
+        assert!(snap
+            .to_prometheus()
+            .contains("ritas_suspicions{peer=\"2\",kind=\"equivocation\"} 2"));
+        assert!(snap
+            .to_json()
+            .contains("\"suspicions\":[{\"peer\":2,\"bad-mac\":1"));
+        // Suspicion accounting ignores the tracing gate — it is
+        // detection state, not a span.
+        m.set_tracing(false);
+        m.suspect(2, SuspicionKind::Unjustified);
+        assert_eq!(m.suspicions()[0].count(SuspicionKind::Unjustified), 1);
+        // Every suspect() call also lands in the flight recorder.
+        let flights = m.flight().events();
+        assert_eq!(
+            flights
+                .iter()
+                .filter(|e| e.kind == FlightKind::Suspicion)
+                .count(),
+            5
+        );
+    }
+
+    #[test]
+    fn quorum_annotations_roundtrip_through_jsonl() {
+        let m = Metrics::new();
+        m.set_time(10);
+        m.span_open("ab:0/m:0:0/rb", Layer::Rb);
+        m.set_time(25);
+        m.span_annotate("ab:0/m:0:0/rb", SpanAnnotation::QuorumMet, 3);
+        m.span_open("ab:0/r:0/mvc/bc", Layer::Bc);
+        m.set_time(40);
+        m.span_annotate(
+            "ab:0/r:0/mvc/bc",
+            SpanAnnotation::RoundQuorum,
+            pack_round_quorum(2, 1),
+        );
+        m.span_close("ab:0/r:0/mvc/bc");
+        m.span_close("ab:0/m:0:0/rb");
+        let dump = spans_to_jsonl(&m.spans());
+        assert!(dump.contains("quorum-met"));
+        assert!(dump.contains("round-quorum"));
+        let parsed = spans_from_jsonl(&dump).unwrap();
+        assert_eq!(parsed, m.spans());
+        let note = parsed
+            .iter()
+            .find(|s| s.path == "ab:0/r:0/mvc/bc")
+            .unwrap()
+            .annotations[0];
+        assert_eq!(unpack_round_quorum(note.value), (2, 1));
     }
 }

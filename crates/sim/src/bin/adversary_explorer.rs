@@ -8,15 +8,18 @@
 //!                    [--schedules all|random,fifo,lifo]
 //!                    [--seed-base B] [--seeds K] [--max-steps S]
 //!                    [--no-shrink] [--trace-out FILE]
+//!                    [--forensics-dir DIR]
 //! ```
 //!
 //! Runs the cross-product of the requested strategies, schedules and the
 //! seeds `B..B+K`, checking every safety predicate of the paper after
 //! every scheduler step. Exits 0 when all runs are clean; on violation it
 //! prints one replay command per failing run, writes the full trace to
-//! `--trace-out` (if given) and exits 1. Usage errors exit 2.
+//! `--trace-out` (if given), re-runs each violating spec to write
+//! per-process span dumps and flight-recorder rings under
+//! `--forensics-dir` (if given), and exits 1. Usage errors exit 2.
 
-use ritas::adversary::explorer::{sweep, SweepConfig};
+use ritas::adversary::explorer::{sweep, write_forensics, SweepConfig};
 use ritas::adversary::StrategyKind;
 use ritas::testing::Schedule;
 use std::io::Write;
@@ -24,13 +27,15 @@ use std::io::Write;
 struct Options {
     cfg: SweepConfig,
     trace_out: Option<String>,
+    forensics_dir: Option<String>,
 }
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
         "usage: adversary_explorer [--n N] [--strategies all|LIST] [--schedules all|LIST] \
-         [--seed-base B] [--seeds K] [--max-steps S] [--no-shrink] [--trace-out FILE]"
+         [--seed-base B] [--seeds K] [--max-steps S] [--no-shrink] [--trace-out FILE] \
+         [--forensics-dir DIR]"
     );
     std::process::exit(2);
 }
@@ -44,6 +49,7 @@ fn parse_args() -> Options {
     let mut max_steps = 200_000u64;
     let mut shrink = true;
     let mut trace_out = None;
+    let mut forensics_dir = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -96,6 +102,7 @@ fn parse_args() -> Options {
             }
             "--no-shrink" => shrink = false,
             "--trace-out" => trace_out = Some(value("--trace-out")),
+            "--forensics-dir" => forensics_dir = Some(value("--forensics-dir")),
             other => usage(&format!("unknown flag {other:?}")),
         }
     }
@@ -109,6 +116,7 @@ fn parse_args() -> Options {
             shrink,
         },
         trace_out,
+        forensics_dir,
     }
 }
 
@@ -155,6 +163,25 @@ fn main() {
         match std::fs::File::create(path).and_then(|mut f| f.write_all(trace.as_bytes())) {
             Ok(()) => eprintln!("trace written to {path}"),
             Err(e) => eprintln!("failed to write trace to {path}: {e}"),
+        }
+    }
+    if let Some(dir) = &opts.forensics_dir {
+        // Re-run each violating spec deterministically and leave a
+        // per-process post-mortem: span dumps joinable by
+        // `ritas-trace --cluster` plus the flight-recorder rings.
+        for v in &report.violations {
+            let sub = std::path::Path::new(dir).join(format!(
+                "{}-{}-seed{}",
+                v.spec.strategy, v.spec.schedule, v.spec.seed
+            ));
+            match write_forensics(&v.spec, &sub) {
+                Ok(paths) => eprintln!(
+                    "forensics: {} artifact(s) in {}",
+                    paths.len(),
+                    sub.display()
+                ),
+                Err(e) => eprintln!("forensics: failed for {}: {e}", sub.display()),
+            }
         }
     }
     std::process::exit(1);

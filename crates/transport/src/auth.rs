@@ -266,6 +266,8 @@ impl<T: Transport> Transport for AuthenticatedTransport<T> {
                 None => {
                     self.rejected.fetch_add(1, Ordering::Relaxed);
                     self.metrics.transport_mac_rejected.inc();
+                    self.metrics
+                        .suspect(from as u32, ritas_metrics::SuspicionKind::BadMac);
                 }
             }
         }
@@ -284,6 +286,8 @@ impl<T: Transport> Transport for AuthenticatedTransport<T> {
                 None => {
                     self.rejected.fetch_add(1, Ordering::Relaxed);
                     self.metrics.transport_mac_rejected.inc();
+                    self.metrics
+                        .suspect(from as u32, ritas_metrics::SuspicionKind::BadMac);
                 }
             }
         }
