@@ -28,6 +28,12 @@
 //! * `--chaos` — implies `--tcp`; kills one replica↔replica socket
 //!   mid-run and lets the session layer resume it (the CI smoke's
 //!   fault);
+//! * `--kill-replica N@T` — hub mesh only: `T` milliseconds into the
+//!   measured window, fail-stop **and wipe** replica `N` (its state and
+//!   front-end are destroyed), then rejoin it through snapshot transfer +
+//!   Merkle anti-entropy while the load keeps running. The JSON report
+//!   gains `time_to_live_ms` — wall time from the rejoin call to the
+//!   replica reaching the `Live` recovery phase;
 //! * `--json` — emit a JSON report on stdout (the `BENCH_service.json`
 //!   artifact).
 //!
@@ -37,7 +43,9 @@
 //! chaos alike.
 
 use bytes::Bytes;
+use ritas::codec::{Reader, WireError, Writer};
 use ritas::node::{Node, SessionConfig};
+use ritas::recovery::{RecoveryConfig, SnapshotState};
 use ritas::service::{ServiceConfig, ServiceReplica};
 use ritas_crypto::ClientKeyDealer;
 use ritas_metrics::Metrics;
@@ -55,6 +63,58 @@ struct LoadState {
     applied: HashMap<(u64, u64), u64>,
 }
 
+fn load_apply(state: &mut LoadState, client: u64, cmd: &[u8]) -> Bytes {
+    // Payload layout: 8-byte seq, then filler value bytes.
+    let mut seq_bytes = [0u8; 8];
+    seq_bytes.copy_from_slice(&cmd[..8]);
+    let seq = u64::from_be_bytes(seq_bytes);
+    *state.applied.entry((client, seq)).or_insert(0) += 1;
+    state.total += 1;
+    Bytes::from(state.total.to_be_bytes().to_vec())
+}
+
+fn load_query(state: &LoadState, _q: &[u8]) -> Bytes {
+    Bytes::from(state.total.to_be_bytes().to_vec())
+}
+
+impl SnapshotState for LoadState {
+    fn encode_snapshot(&self, w: &mut Writer) {
+        w.u64(self.total);
+        w.u64(self.applied.len() as u64);
+        // HashMap iteration order is not canonical: sort for a
+        // deterministic digest.
+        let mut entries: Vec<_> = self.applied.iter().map(|(&k, &v)| (k, v)).collect();
+        entries.sort_unstable();
+        for ((client, seq), n) in entries {
+            w.u64(client).u64(seq).u64(n);
+        }
+    }
+
+    fn decode_snapshot(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let total = r.u64("load.total")?;
+        let count = r.u64("load.count")?;
+        let mut applied = HashMap::new();
+        for _ in 0..count {
+            let client = r.u64("load.client")?;
+            let seq = r.u64("load.seq")?;
+            let n = r.u64("load.n")?;
+            applied.insert((client, seq), n);
+        }
+        Ok(LoadState { total, applied })
+    }
+}
+
+/// Snapshot cadence for `--kill-replica` runs: frequent enough that a
+/// short run has a snapshot to transfer, big enough chunks to keep the
+/// Merkle tree shallow.
+fn recovery_cfg() -> RecoveryConfig {
+    RecoveryConfig {
+        snapshot_every: 64,
+        chunk_size: 1024,
+        fill_batch: 256,
+    }
+}
+
 struct Args {
     clients: usize,
     requests: usize,
@@ -63,6 +123,7 @@ struct Args {
     value_size: usize,
     tcp: bool,
     chaos: bool,
+    kill_replica: Option<(usize, u64)>,
     seed: u64,
     json: bool,
 }
@@ -76,6 +137,7 @@ fn parse_args() -> Args {
         value_size: 64,
         tcp: false,
         chaos: false,
+        kill_replica: None,
         seed: 7,
         json: false,
     };
@@ -96,6 +158,16 @@ fn parse_args() -> Args {
             "--chaos" => {
                 args.tcp = true;
                 args.chaos = true;
+            }
+            "--kill-replica" => {
+                let spec = val("--kill-replica");
+                let (n, t) = spec
+                    .split_once('@')
+                    .unwrap_or_else(|| panic!("--kill-replica expects N@T_MS, got {spec:?}"));
+                args.kill_replica = Some((
+                    n.parse().expect("--kill-replica replica id"),
+                    t.parse().expect("--kill-replica kill time (ms)"),
+                ));
             }
             "--json" => args.json = true,
             other => panic!("unknown flag {other} (see the module docs for usage)"),
@@ -122,32 +194,53 @@ fn main() {
     let key_seed = session.client_key_seed();
     let dealer = ClientKeyDealer::new(key_seed);
 
-    let (nodes, chaos) = if args.tcp {
+    if let Some((victim, _)) = args.kill_replica {
+        assert!(
+            !args.tcp,
+            "--kill-replica needs the in-memory hub mesh (rejoin is not wired \
+             into the TCP mesh); drop --tcp/--chaos"
+        );
+        assert!(victim < n, "--kill-replica id out of range (n = {n})");
+    }
+    let (nodes, chaos, hub) = if args.tcp {
         let (nodes, handles) =
-            Node::tcp_cluster_with_chaos(session, Duration::from_secs(10)).expect("tcp mesh");
-        (nodes, Some(handles))
+            Node::tcp_cluster_with_chaos(session.clone(), Duration::from_secs(10))
+                .expect("tcp mesh");
+        (nodes, Some(handles), None)
+    } else if args.kill_replica.is_some() {
+        let (nodes, hub) = Node::cluster_with_hub(&session).expect("hub mesh");
+        (nodes, None, Some(hub))
     } else {
-        (Node::cluster(session).expect("hub mesh"), None)
+        (
+            Node::cluster(session.clone()).expect("hub mesh"),
+            None,
+            None,
+        )
     };
 
-    let servers: Vec<ServiceServer<LoadState>> = nodes
+    let mut servers: Vec<ServiceServer<LoadState>> = nodes
         .into_iter()
         .map(|node| {
-            let replica = Arc::new(ServiceReplica::new(
-                node,
-                LoadState::default(),
-                ServiceConfig::default(),
-                |state: &mut LoadState, client, cmd: &[u8]| {
-                    // Payload layout: 8-byte seq, then filler value bytes.
-                    let mut seq_bytes = [0u8; 8];
-                    seq_bytes.copy_from_slice(&cmd[..8]);
-                    let seq = u64::from_be_bytes(seq_bytes);
-                    *state.applied.entry((client, seq)).or_insert(0) += 1;
-                    state.total += 1;
-                    Bytes::from(state.total.to_be_bytes().to_vec())
-                },
-                |state: &LoadState, _q: &[u8]| Bytes::from(state.total.to_be_bytes().to_vec()),
-            ));
+            // A --kill-replica run needs the recovery pipeline on every
+            // replica: survivors snapshot and serve state transfer.
+            let replica = Arc::new(if args.kill_replica.is_some() {
+                ServiceReplica::with_recovery(
+                    node,
+                    LoadState::default(),
+                    ServiceConfig::default(),
+                    recovery_cfg(),
+                    load_apply,
+                    load_query,
+                )
+            } else {
+                ServiceReplica::new(
+                    node,
+                    LoadState::default(),
+                    ServiceConfig::default(),
+                    load_apply,
+                    load_query,
+                )
+            });
             // This is a throughput benchmark: spans and trace events are
             // allocation-heavy observability, and on a saturated machine
             // recording them costs ~30% of the measured capacity. All
@@ -245,6 +338,48 @@ fn main() {
     steady.wait();
     let started = Instant::now();
 
+    // The recovery episode: fail-stop + wipe the victim T ms into the
+    // measured window, then rejoin it via state transfer while the
+    // clients keep hammering the survivors. A watcher thread stamps the
+    // moment the rejoiner reaches Live so worker joins don't skew the
+    // time-to-Live measurement.
+    let mut rejoined: Option<Arc<ServiceReplica<LoadState>>> = None;
+    let mut live_watcher = None;
+    if let Some((victim, at_ms)) = args.kill_replica {
+        let hub = hub.as_ref().expect("kill-replica runs on the hub mesh");
+        std::thread::sleep(Duration::from_millis(at_ms));
+        eprintln!("kill-replica: crashing and wiping replica {victim}");
+        hub.crash(victim);
+        let mut s = servers.remove(victim);
+        s.replica().shutdown();
+        s.shutdown();
+        drop(s);
+        let rejoin_started = Instant::now();
+        let node = Node::rejoin(&session, hub, victim).expect("rejoin node");
+        let m = node.metrics().clone();
+        m.set_tracing(false);
+        let replica = Arc::new(ServiceReplica::rejoin(
+            node,
+            LoadState::default(),
+            ServiceConfig::default(),
+            recovery_cfg(),
+            None,
+            load_apply,
+            load_query,
+        ));
+        live_watcher = Some(std::thread::spawn(move || {
+            let deadline = Instant::now() + Duration::from_secs(120);
+            while m.recovery_completed_total.get() != 1 {
+                if Instant::now() > deadline {
+                    return None;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Some(rejoin_started.elapsed())
+        }));
+        rejoined = Some(replica);
+    }
+
     let mut ok_total = 0usize;
     let mut latencies: Vec<u64> = Vec::new();
     for w in workers {
@@ -258,13 +393,19 @@ fn main() {
     // every replica. The tally covers warm-up requests too: exactly-once
     // is a correctness property of the whole run, not just the measured
     // window.
+    let time_to_live = live_watcher.map(|w| w.join().expect("live watcher"));
     let mut duplicate_applies = 0u64;
     let mut applied_distinct = 0u64;
-    for s in &servers {
-        let _ = s.replica().barrier();
+    let replicas: Vec<Arc<ServiceReplica<LoadState>>> = servers
+        .iter()
+        .map(|s| Arc::clone(s.replica()))
+        .chain(rejoined.iter().cloned())
+        .collect();
+    for r in &replicas {
+        let _ = r.barrier();
     }
-    for (i, s) in servers.iter().enumerate() {
-        let (dups, distinct) = s.replica().read_state(|st| {
+    for (i, r) in replicas.iter().enumerate() {
+        let (dups, distinct) = r.read_state(|st| {
             (
                 st.applied.values().map(|c| c - 1).sum::<u64>(),
                 st.applied.len() as u64,
@@ -291,9 +432,9 @@ fn main() {
         .get("service_client_vote_failures")
         .copied()
         .unwrap_or(0);
-    let dedup_hits: u64 = servers
+    let dedup_hits: u64 = replicas
         .iter()
-        .map(|s| s.replica().metrics().service_dedup_hits.get())
+        .map(|r| r.metrics().service_dedup_hits.get())
         .sum();
 
     if args.json {
@@ -305,7 +446,8 @@ fn main() {
              \"latency_p50_ns\":{p50},\"latency_p99_ns\":{p99},\
              \"client_retries\":{retries},\"vote_failures\":{vote_failures},\
              \"dedup_hits\":{dedup_hits},\"applied_distinct\":{applied_distinct},\
-             \"duplicate_applies\":{duplicate_applies}}}",
+             \"duplicate_applies\":{duplicate_applies},\
+             \"kill_replica\":{},\"time_to_live_ms\":{}}}",
             args.clients,
             args.requests,
             args.warmup,
@@ -316,6 +458,15 @@ fn main() {
             args.seed,
             wall.as_millis(),
             throughput,
+            match args.kill_replica {
+                Some((v, t)) => format!("\"{v}@{t}\""),
+                None => "null".to_string(),
+            },
+            match time_to_live {
+                Some(Some(d)) => d.as_millis().to_string(),
+                Some(None) => "-1".to_string(), // never reached Live
+                None => "null".to_string(),
+            },
         );
     } else {
         println!(
@@ -338,6 +489,15 @@ fn main() {
         println!("  vote failures:      {vote_failures}");
         println!("  server dedup hits:  {dedup_hits}");
         println!("  duplicate applies:  {duplicate_applies} (exactly-once check)");
+        if let Some((v, t)) = args.kill_replica {
+            match time_to_live {
+                Some(Some(d)) => println!(
+                    "  time to Live:       {:.2} s (replica {v} wiped at +{t} ms)",
+                    d.as_secs_f64()
+                ),
+                _ => println!("  time to Live:       NEVER (replica {v} wiped at +{t} ms)"),
+            }
+        }
     }
 
     let mut failures = Vec::new();
@@ -348,6 +508,13 @@ fn main() {
     }
     if ok_total == 0 {
         failures.push("no request succeeded".to_string());
+    }
+    if matches!(time_to_live, Some(None)) {
+        failures.push("wiped replica never reached Live".to_string());
+    }
+    drop(replicas);
+    if let Some(r) = &rejoined {
+        r.shutdown();
     }
     for mut s in servers {
         s.replica().shutdown();

@@ -211,6 +211,11 @@ struct BatchPayload {
     start_rbid: u64,
     /// The command payloads, in rbid order.
     payloads: Vec<Bytes>,
+    /// The encoded batch as RBC-delivered — kept so recently ordered
+    /// batches can be re-served to a rejoining replica whose own RBC
+    /// instance can no longer complete (see
+    /// [`AtomicBroadcast::retained_batch`]).
+    raw: Bytes,
 }
 
 fn encode_batch(start_rbid: u64, payloads: &[Bytes]) -> Bytes {
@@ -246,6 +251,7 @@ fn decode_batch(bytes: &Bytes) -> Result<BatchPayload, WireError> {
     Ok(BatchPayload {
         start_rbid,
         payloads,
+        raw: bytes.clone(),
     })
 }
 
@@ -314,6 +320,31 @@ struct QueuedCmd {
 /// in their total order.
 pub type AbStep = Step<AbMessage, AbDelivery>;
 
+/// Where a rejoining replica resumes its atomic-broadcast session
+/// (built by [`crate::recovery::select_cursor`] from `2f+1` peer hints).
+///
+/// The cursor is deliberately allowed to be *approximate*: a stale
+/// `a_delivered`/`cmd_delivered` makes the session re-deliver messages
+/// the group already ordered (dropped as duplicates by the RSM's FIFO
+/// holdback), and an over-eager one makes it skip messages (recovered
+/// through the post-snapshot log fill). Only `next_rbid`/`next_batch`
+/// must never undershoot — reusing an own identifier would fork the
+/// sender's id space — which is why cursor selection takes the maximum
+/// observed value plus [`crate::recovery::RESUME_ID_SLACK`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbCursor {
+    /// Agreement round to resume at.
+    pub round: u32,
+    /// Per-origin a-delivered *batch* watermark.
+    pub a_delivered: Vec<u64>,
+    /// Per-origin a-delivered *command* watermark.
+    pub cmd_delivered: Vec<u64>,
+    /// First own command rbid to assign after resuming.
+    pub next_rbid: u64,
+    /// First own batch seq to assign after resuming.
+    pub next_batch: u64,
+}
+
 /// The set of a-delivered identifiers, compacted per origin.
 ///
 /// Correct senders assign sequential `rbid`s, so the common-case
@@ -336,6 +367,31 @@ impl DeliveredSet {
             watermark: vec![0; n],
             sparse: vec![BTreeSet::new(); n],
         }
+    }
+
+    /// Rebuilds the set from a per-origin watermark vector (missing or
+    /// extra origins are clamped to the group size) — the rejoin path.
+    fn from_watermarks(n: usize, w: &[u64]) -> Self {
+        DeliveredSet {
+            watermark: (0..n).map(|o| w.get(o).copied().unwrap_or(0)).collect(),
+            sparse: vec![BTreeSet::new(); n],
+        }
+    }
+
+    /// The contiguous delivered watermark of `origin`.
+    fn watermark_of(&self, origin: ProcessId) -> u64 {
+        self.watermark[origin]
+    }
+
+    /// Exclusive upper bound of everything ever seen from `origin`
+    /// (watermark or one past the highest sparse entry).
+    fn max_seen(&self, origin: ProcessId) -> u64 {
+        let sparse_end = self.sparse[origin]
+            .iter()
+            .next_back()
+            .map(|r| r + 1)
+            .unwrap_or(0);
+        self.watermark[origin].max(sparse_end)
     }
 
     fn contains(&self, id: &MsgId) -> bool {
@@ -363,6 +419,11 @@ impl DeliveredSet {
 
 /// How far ahead of the current agreement round messages are accepted.
 const MAX_ROUND_AHEAD: u32 = 64;
+
+/// How many recently a-delivered batches keep their encoded payload
+/// around for re-serving to rejoiners (bounded memory; a rejoiner that
+/// needs older payloads falls back to the snapshot + log fill instead).
+const RETAIN_BATCHES: usize = 4096;
 
 /// Configuration for an [`AtomicBroadcast`] instance.
 #[derive(Debug, Clone, Copy)]
@@ -462,6 +523,18 @@ pub struct AtomicBroadcast {
     agreements: BTreeMap<u32, MultiValuedConsensus>,
     /// A decided W' whose payloads have not all arrived yet.
     awaiting_payloads: Option<Vec<MsgId>>,
+    /// True between [`AtomicBroadcast::resume`] and the first normally
+    /// concluded round: enables the evidence-based round fast-forward
+    /// (a resumed round estimate can lag the group).
+    recovering: bool,
+    /// Recently a-delivered batches (id → encoded batch payload),
+    /// retained so a rejoining replica whose RBC instances missed the
+    /// dissemination can still obtain ordered payloads (served through
+    /// the state-transfer channel, accepted at `f+1` identical copies).
+    retained: BTreeMap<BatchId, Bytes>,
+    /// FIFO eviction order of `retained` (bounded by
+    /// [`RETAIN_BATCHES`]).
+    retained_order: VecDeque<BatchId>,
     /// True while a `poll` call is in progress (deferred-round mode).
     polling: bool,
     stats: AbStats,
@@ -534,6 +607,9 @@ impl AtomicBroadcast {
             vects: BTreeMap::new(),
             agreements: BTreeMap::new(),
             awaiting_payloads: None,
+            recovering: false,
+            retained: BTreeMap::new(),
+            retained_order: VecDeque::new(),
             polling: false,
             stats: AbStats::default(),
             metrics: Metrics::default(),
@@ -695,6 +771,110 @@ impl AtomicBroadcast {
         )
     }
 
+    /// Rewinds/forwards a **fresh** session to a rejoin cursor: the
+    /// delivered sets become pure watermarks, own identifier counters
+    /// jump past everything peers have seen, and the session enters
+    /// recovering mode (round fast-forward armed) until the first
+    /// normally concluded round. Must be called before any traffic is
+    /// fed to the instance.
+    pub fn resume(&mut self, cursor: &AbCursor) {
+        let n = self.group.n();
+        self.round = cursor.round;
+        self.a_delivered = DeliveredSet::from_watermarks(n, &cursor.a_delivered);
+        self.cmd_delivered = DeliveredSet::from_watermarks(n, &cursor.cmd_delivered);
+        self.next_rbid = cursor.next_rbid;
+        self.next_batch = cursor.next_batch;
+        self.vect_sent = false;
+        self.proposed = false;
+        self.awaiting_payloads = None;
+        self.recovering = true;
+        self.metrics.trace(
+            Layer::Ab,
+            "resume",
+            format!("ab-round:{}", cursor.round),
+            cursor.round,
+        );
+    }
+
+    /// True between [`AtomicBroadcast::resume`] and the first normally
+    /// concluded round.
+    pub fn recovering(&self) -> bool {
+        self.recovering
+    }
+
+    /// This session's position in the stream, as advertised to a
+    /// rejoining replica: current round, per-origin delivered batch
+    /// watermarks, and exclusive upper bounds of every batch seq and
+    /// command rbid ever seen (delivered, pending, or in dissemination).
+    pub fn hints(&self) -> crate::recovery::PeerHints {
+        let n = self.group.n();
+        let mut max_batch: Vec<u64> = (0..n).map(|o| self.a_delivered.max_seen(o)).collect();
+        let mut max_rbid: Vec<u64> = (0..n).map(|o| self.cmd_delivered.max_seen(o)).collect();
+        for (id, batch) in &self.received {
+            max_batch[id.sender] = max_batch[id.sender].max(id.rbid + 1);
+            max_rbid[id.sender] =
+                max_rbid[id.sender].max(batch.start_rbid + batch.payloads.len() as u64);
+        }
+        for id in self.msg_rbc.keys() {
+            max_batch[id.sender] = max_batch[id.sender].max(id.rbid + 1);
+        }
+        crate::recovery::PeerHints {
+            round: self.round,
+            batch_w: (0..n).map(|o| self.a_delivered.watermark_of(o)).collect(),
+            max_batch,
+            max_rbid,
+        }
+    }
+
+    /// Batch ids a concluded round decided to order whose payloads have
+    /// not arrived — empty in normal operation; after a rejoin the RBC
+    /// instances that disseminated them may have completed before the
+    /// wipe, in which case the payloads must be fetched out of band
+    /// ([`AtomicBroadcast::retained_batch`] on peers) and fed back via
+    /// [`AtomicBroadcast::inject_batch`].
+    pub fn missing_payloads(&self) -> Vec<BatchId> {
+        self.awaiting_payloads
+            .as_ref()
+            .map(|ids| {
+                ids.iter()
+                    .filter(|id| !self.received.contains_key(id))
+                    .copied()
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The encoded payload of a recently a-delivered batch, if still
+    /// retained — what this process serves to a rejoiner stuck on
+    /// [`AtomicBroadcast::missing_payloads`].
+    pub fn retained_batch(&self, id: &BatchId) -> Option<Bytes> {
+        self.retained.get(id).cloned()
+    }
+
+    /// Injects an out-of-band batch payload (obtained from `f+1` peers
+    /// serving identical bytes — the caller is responsible for that
+    /// quorum check; RBC totality guarantees correct peers retain
+    /// identical encodings). A no-op for batches already delivered,
+    /// already received, or not currently awaited.
+    pub fn inject_batch(&mut self, id: BatchId, raw: Bytes) -> AbStep {
+        if self.a_delivered.contains(&id) || self.received.contains_key(&id) {
+            return Step::none();
+        }
+        match decode_batch(&raw) {
+            Ok(batch) => {
+                self.metrics.trace(
+                    Layer::Ab,
+                    "inject",
+                    format!("ab-batch:{}:{}", id.sender, id.rbid),
+                    self.round,
+                );
+                self.received.insert(id, batch);
+                self.settle()
+            }
+            Err(_) => Step::none(),
+        }
+    }
+
     /// A-broadcasts `payload`: assigns the command its identifier,
     /// enqueues it in the broadcast-side batch queue, and lets the flush
     /// policy decide whether dissemination starts in this step or a later
@@ -788,6 +968,7 @@ impl AtomicBroadcast {
                     BatchPayload {
                         start_rbid: 0,
                         payloads: Vec::new(),
+                        raw: payload.clone(),
                     }
                 }
             };
@@ -904,6 +1085,7 @@ impl AtomicBroadcast {
             progressed |= self.maybe_flush(&mut out);
             progressed |= self.maybe_deliver(&mut out);
             if self.awaiting_payloads.is_none() {
+                progressed |= self.maybe_fast_forward();
                 progressed |= self.maybe_send_vect(&mut out);
                 progressed |= self.maybe_propose(&mut out);
                 progressed |= self.maybe_conclude_round(&mut out);
@@ -1152,6 +1334,44 @@ impl AtomicBroadcast {
         }
     }
 
+    /// While recovering, jumps to the highest round with RB-delivered
+    /// `AB_VECT`s from at least `f+1` distinct origins — proof that a
+    /// correct process reached that round, so the resumed round estimate
+    /// was stale and waiting for its `n − f` vectors would stall forever
+    /// (peers never re-send vectors for rounds they have passed). The
+    /// `f+1` distinct-origin bar means `f` Byzantine processes alone can
+    /// never drag the rejoiner ahead of every correct round.
+    fn maybe_fast_forward(&mut self) -> bool {
+        if !self.recovering {
+            return false;
+        }
+        let one_correct = self.group.one_correct();
+        let target = self
+            .vects
+            .range(self.round + 1..)
+            .filter(|(_, slot)| slot.iter().filter(|v| v.is_some()).count() >= one_correct)
+            .map(|(r, _)| *r)
+            .next_back();
+        let Some(round) = target else {
+            return false;
+        };
+        self.metrics.trace(
+            Layer::Ab,
+            "fast-forward",
+            format!("ab-round:{round}"),
+            round,
+        );
+        if self.vect_sent {
+            if let Some(path) = self.round_span_path(self.round) {
+                self.metrics.span_close(&path);
+            }
+        }
+        self.round = round;
+        self.vect_sent = false;
+        self.proposed = false;
+        true
+    }
+
     fn next_round(&mut self) {
         if let Some(path) = self.round_span_path(self.round) {
             self.metrics.span_close(&path);
@@ -1159,6 +1379,9 @@ impl AtomicBroadcast {
         self.round += 1;
         self.vect_sent = false;
         self.proposed = false;
+        // A normally concluded round means the session is aligned with
+        // the group again: disarm the rejoin fast-forward.
+        self.recovering = false;
     }
 
     /// Delivers a decided set of batches once all their payloads have
@@ -1178,6 +1401,15 @@ impl AtomicBroadcast {
         for id in ids {
             let batch = self.received.remove(&id).expect("payload present");
             self.a_delivered.insert(id);
+            // Retain the encoded payload for rejoiners (bounded FIFO).
+            if self.retained.insert(id, batch.raw.clone()).is_none() {
+                self.retained_order.push_back(id);
+                if self.retained_order.len() > RETAIN_BATCHES {
+                    if let Some(old) = self.retained_order.pop_front() {
+                        self.retained.remove(&old);
+                    }
+                }
+            }
             // The completed RBC instance is pruned: every message we owed
             // the group for it has already been sent.
             self.msg_rbc.remove(&id);

@@ -93,6 +93,10 @@ pub fn decode_frame(frame: &[u8]) -> Option<(InstanceKey, ProtocolMsg)> {
         InstanceKey::Mvc { .. } => ProtocolMsg::Mvc(MvcMessage::from_bytes(inner).ok()?),
         InstanceKey::Vc { .. } => ProtocolMsg::Vc(VcMessage::from_bytes(inner).ok()?),
         InstanceKey::Ab { .. } => ProtocolMsg::Ab(AbMessage::from_bytes(inner).ok()?),
+        // State-transfer frames are point-to-point and carry their own
+        // integrity (Merkle proofs + f+1 cross-checks); the adversary
+        // framework does not reinterpret them.
+        InstanceKey::Xfer => return None,
     };
     Some((key, msg))
 }

@@ -60,6 +60,41 @@ impl FifoOrder {
         }
     }
 
+    /// Creates the adapter with per-sender watermarks already advanced —
+    /// the rejoin path: a replica restored from a snapshot expects
+    /// `watermarks[s]` as sender `s`'s next rbid, and everything below it
+    /// is a duplicate of state the snapshot already covers. Missing
+    /// entries default to 0.
+    pub fn from_watermarks(n: usize, watermarks: &[u64]) -> Self {
+        FifoOrder {
+            next: (0..n)
+                .map(|s| watermarks.get(s).copied().unwrap_or(0))
+                .collect(),
+            held: vec![BTreeMap::new(); n],
+        }
+    }
+
+    /// The per-sender release watermarks (`next[s]` = rbid the next
+    /// released delivery of sender `s` will carry) — what a snapshot
+    /// records so [`FifoOrder::from_watermarks`] can restore the stream
+    /// position.
+    pub fn watermarks(&self) -> &[u64] {
+        &self.next
+    }
+
+    /// Forces `sender`'s stream position to `rbid`, dropping anything
+    /// held below it. Used when a rejoined replica's own marker command
+    /// comes back with a post-resume rbid: everything it broadcast
+    /// before the wipe is either already covered by the snapshot/fill or
+    /// permanently lost, so the stream resumes at the marker.
+    pub fn reset_sender(&mut self, sender: ProcessId, rbid: u64) {
+        let Some(held) = self.held.get_mut(sender) else {
+            return;
+        };
+        held.retain(|&r, _| r >= rbid);
+        self.next[sender] = self.next[sender].max(rbid);
+    }
+
     /// Feeds one a-delivery (in total order); returns the deliveries that
     /// become releasable, in FIFO order. Duplicates and out-of-range
     /// senders are dropped.
@@ -164,6 +199,39 @@ mod tests {
         assert_eq!(dropped.len(), 2);
         // The sender resumes after the evicted range.
         assert_eq!(rbids(&f.push(d(0, 7))), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn watermark_restore_resumes_mid_stream() {
+        let mut f = FifoOrder::from_watermarks(3, &[2, 0, 5]);
+        assert_eq!(f.watermarks(), &[2, 0, 5]);
+        // Pre-watermark rbids are snapshot-covered duplicates.
+        assert!(f.push(d(0, 1)).is_empty());
+        assert!(f.push(d(2, 4)).is_empty());
+        // The stream continues exactly at the watermark.
+        assert_eq!(rbids(&f.push(d(0, 2))), vec![(0, 2)]);
+        assert_eq!(rbids(&f.push(d(2, 5))), vec![(2, 5)]);
+        // Short vectors default to 0.
+        let mut f = FifoOrder::from_watermarks(3, &[1]);
+        assert_eq!(f.watermarks(), &[1, 0, 0]);
+        assert_eq!(rbids(&f.push(d(1, 0))), vec![(1, 0)]);
+    }
+
+    #[test]
+    fn reset_sender_skips_to_marker() {
+        let mut f = FifoOrder::new(2);
+        // Pre-wipe stragglers held below the marker rbid…
+        assert!(f.push(d(0, 3)).is_empty());
+        assert!(f.push(d(0, 7)).is_empty());
+        f.reset_sender(0, 7);
+        // …are dropped, while the marker itself (and later) release.
+        assert_eq!(f.held(0), 1);
+        assert_eq!(rbids(&f.push(d(0, 8))), vec![(0, 7), (0, 8)]);
+        // Resetting backwards never rewinds the stream.
+        f.reset_sender(0, 2);
+        assert!(f.push(d(0, 2)).is_empty());
+        // Out-of-range sender is a no-op.
+        f.reset_sender(9, 1);
     }
 
     #[test]

@@ -73,6 +73,7 @@ pub mod invariants;
 pub mod mvc;
 pub mod node;
 pub mod rb;
+pub mod recovery;
 pub mod rsm;
 pub mod service;
 pub mod stack;

@@ -18,10 +18,11 @@
 //! | `ritas_vc` | [`Node::vector_consensus`] |
 //! | `ritas_destroy` | [`Node::shutdown`] |
 
-use crate::ab::AbDelivery;
+use crate::ab::{AbCursor, AbDelivery, MsgId};
 use crate::config::{ConfigError, Group};
 use crate::error::ProtocolError;
 use crate::mvc::MvcValue;
+use crate::recovery::PeerHints;
 use crate::stack::{InstanceKey, Output, Stack, StackConfig, StackStep};
 use crate::step::{Fault, Target};
 use crate::vc::DecisionVector;
@@ -190,6 +191,16 @@ enum Command {
     AbDebugVerbose {
         reply: Sender<Option<String>>,
     },
+    /// Point-to-point state-transfer frame to one peer (no agreement
+    /// instance involved).
+    SendXfer(ProcessId, Bytes),
+    /// Create/seed the AB session at a recovery cursor and replay held
+    /// frames; acks when the stack has switched over.
+    AbResume(Box<AbCursor>, Sender<()>),
+    AbHints(Sender<PeerHints>),
+    AbMissing(Sender<Vec<MsgId>>),
+    AbRetained(MsgId, Sender<Option<Bytes>>),
+    AbInject(MsgId, Bytes),
     Shutdown,
 }
 
@@ -251,6 +262,7 @@ pub struct Node {
     rb_rx: Receiver<(ProcessId, Bytes)>,
     eb_rx: Receiver<(ProcessId, Bytes)>,
     ab_rx: Receiver<AbDelivery>,
+    xfer_rx: Receiver<(ProcessId, Bytes)>,
     fault_rx: Receiver<Fault>,
     link_rx: Receiver<LinkEvent>,
     link_state_fn: Arc<dyn Fn(ProcessId) -> LinkState + Send + Sync>,
@@ -281,42 +293,102 @@ impl Node {
     ///
     /// Propagates transport construction failures (none today; reserved).
     pub fn cluster(config: SessionConfig) -> Result<Vec<Node>, NodeError> {
-        let n = config.group.n();
-        let table = KeyTable::dealer(n, config.master_seed);
-        let mut hub = Hub::new(n);
-        let endpoints = hub.take_endpoints();
         // The hub handle is dropped here: links stay up for the lifetime
         // of the endpoints.
+        Node::cluster_with_hub(&config).map(|(nodes, _)| nodes)
+    }
+
+    /// Like [`Node::cluster`], but also returns the [`Hub`] handle, which
+    /// keeps fault-injection powers over the running session:
+    /// [`Hub::crash`] fail-stops a process and [`Hub::reattach`] (via
+    /// [`Node::rejoin`]) re-admits a wiped one with a fresh inbound queue.
+    ///
+    /// # Errors
+    ///
+    /// As [`Node::cluster`].
+    pub fn cluster_with_hub(config: &SessionConfig) -> Result<(Vec<Node>, Hub), NodeError> {
+        let n = config.group.n();
+        let mut hub = Hub::new(n);
+        let endpoints = hub.take_endpoints();
         let mut nodes = Vec::with_capacity(n);
         for (me, ep) in endpoints.into_iter().enumerate() {
-            let stack = Stack::with_config(
-                config.group,
-                me,
-                table.view_of(me),
-                config
-                    .master_seed
-                    .wrapping_mul(0xA076_1D64_78BD_642F)
-                    .wrapping_add(me as u64),
-                config.stack,
-            );
-            let mut node = if config.authenticate {
-                let metrics = Metrics::new();
-                let auth = AuthConfig::from_key_table(&table, me);
-                let mut transport = AuthenticatedTransport::new(ep, auth);
-                transport.set_metrics(metrics.clone());
-                Node::spawn_with_metrics(transport, stack, metrics)
-            } else {
-                Node::spawn(ep, stack)
-            };
-            if config.metrics_endpoint {
-                node.serve_metrics().map_err(|_| NodeError::Disconnected)?;
-            }
-            if let Some(budget) = config.stall_budget {
-                node.start_watchdog(budget);
-            }
-            nodes.push(node);
+            nodes.push(Node::over_memory_endpoint(config, me, ep, false)?);
         }
-        Ok(nodes)
+        Ok((nodes, hub))
+    }
+
+    /// Rebuilds process `me` from **nothing but the session config** — the
+    /// wipe-and-rejoin entry point. The replica's keys are re-derived from
+    /// the dealt master seed, the hub re-admits it with a fresh inbound
+    /// queue, and the stack comes up with its AB session *held*: inbound
+    /// AB frames park in the out-of-context buffer until a recovery driver
+    /// installs a snapshot and calls [`Node::ab_resume`] with the cursor
+    /// it agreed on. Only state-transfer frames flow before that.
+    ///
+    /// # Errors
+    ///
+    /// As [`Node::cluster`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is out of range for the hub.
+    pub fn rejoin(config: &SessionConfig, hub: &Hub, me: ProcessId) -> Result<Node, NodeError> {
+        let ep = hub.reattach(me);
+        Node::over_memory_endpoint(config, me, ep, true)
+    }
+
+    /// Shared construction path for memory-hub sessions: builds the stack
+    /// (optionally with the AB session held for rejoin), wraps the
+    /// endpoint in the auth layer when configured, and arms the optional
+    /// endpoints/watchdog.
+    fn over_memory_endpoint(
+        config: &SessionConfig,
+        me: ProcessId,
+        ep: ritas_transport::MemoryEndpoint,
+        hold_ab: bool,
+    ) -> Result<Node, NodeError> {
+        let n = config.group.n();
+        let table = KeyTable::dealer(n, config.master_seed);
+        let mut stack = Stack::with_config(
+            config.group,
+            me,
+            table.view_of(me),
+            config
+                .master_seed
+                .wrapping_mul(0xA076_1D64_78BD_642F)
+                .wrapping_add(me as u64),
+            config.stack,
+        );
+        if hold_ab {
+            stack.set_ab_hold(true);
+        }
+        let mut node = if config.authenticate {
+            let metrics = Metrics::new();
+            let mut auth = AuthConfig::from_key_table(&table, me);
+            if hold_ab {
+                // A rejoiner lost its AH sequence counters but the peers'
+                // replay windows did not: resume above anything the old
+                // incarnation can have used (new-SA semantics). Wall-clock
+                // seconds dominate any plausible frame count.
+                let now = std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_secs())
+                    .unwrap_or(u32::MAX as u64);
+                auth = auth.with_initial_seq(now);
+            }
+            let mut transport = AuthenticatedTransport::new(ep, auth);
+            transport.set_metrics(metrics.clone());
+            Node::spawn_with_metrics(transport, stack, metrics)
+        } else {
+            Node::spawn(ep, stack)
+        };
+        if config.metrics_endpoint {
+            node.serve_metrics().map_err(|_| NodeError::Disconnected)?;
+        }
+        if let Some(budget) = config.stall_budget {
+            node.start_watchdog(budget);
+        }
+        Ok(node)
     }
 
     /// Builds a cluster over a real localhost **TCP** mesh — the paper's
@@ -418,6 +490,7 @@ impl Node {
         let (rb_tx, rb_rx) = unbounded();
         let (eb_tx, eb_rx) = unbounded();
         let (ab_tx, ab_rx) = unbounded();
+        let (xfer_tx, xfer_rx) = unbounded();
         let (fault_tx, fault_rx) = unbounded();
         let epoch = Instant::now();
         let health = Arc::new(HealthShared::new());
@@ -486,6 +559,7 @@ impl Node {
                     rb_tx,
                     eb_tx,
                     ab_tx,
+                    xfer_tx,
                     fault_tx,
                 };
                 let mut last_state_refresh: u64 = 0;
@@ -582,6 +656,7 @@ impl Node {
             rb_rx,
             eb_rx,
             ab_rx,
+            xfer_rx,
             fault_rx,
             link_rx,
             link_state_fn,
@@ -892,6 +967,103 @@ impl Node {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Recovery / state transfer
+    // ------------------------------------------------------------------
+
+    /// Sends a point-to-point state-transfer payload to `to` (encoded
+    /// [`crate::recovery::XferMessage`] bytes). Transfer traffic bypasses
+    /// the agreement protocols entirely; integrity comes from Merkle
+    /// proofs and f+1 cross-checks at the recovery layer.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Disconnected`] if the stack thread has stopped.
+    pub fn send_xfer(&self, to: ProcessId, payload: Bytes) -> Result<(), NodeError> {
+        self.cmd_tx
+            .send(Event::Cmd(Command::SendXfer(to, payload)))
+            .map_err(|_| NodeError::Disconnected)
+    }
+
+    /// Blocks until an inbound state-transfer payload arrives, up to `t`.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Timeout`] when nothing arrived in time.
+    pub fn xfer_recv_timeout(&self, t: Duration) -> Result<(ProcessId, Bytes), NodeError> {
+        map_timeout(self.xfer_rx.recv_timeout(t))
+    }
+
+    /// Resumes the (held) AB session at `cursor` and replays every parked
+    /// frame; returns once the stack has switched over. Only meaningful on
+    /// a node built by [`Node::rejoin`].
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Disconnected`] if the stack thread has stopped.
+    pub fn ab_resume(&self, cursor: AbCursor) -> Result<(), NodeError> {
+        let (reply, rx) = bounded(1);
+        self.cmd_tx
+            .send(Event::Cmd(Command::AbResume(Box::new(cursor), reply)))
+            .map_err(|_| NodeError::Disconnected)?;
+        rx.recv().map_err(|_| NodeError::Disconnected)
+    }
+
+    /// This node's AB recovery hints (cursor-selection inputs served to
+    /// rejoining peers alongside the snapshot manifest).
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Disconnected`] if the stack thread has stopped.
+    pub fn ab_hints(&self) -> Result<PeerHints, NodeError> {
+        let (reply, rx) = bounded(1);
+        self.cmd_tx
+            .send(Event::Cmd(Command::AbHints(reply)))
+            .map_err(|_| NodeError::Disconnected)?;
+        rx.recv().map_err(|_| NodeError::Disconnected)
+    }
+
+    /// Batch ids the AB session has ordered but holds no payload for —
+    /// after a rejoin these can only be satisfied out-of-band (see
+    /// [`Node::ab_inject_batch`]).
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Disconnected`] if the stack thread has stopped.
+    pub fn ab_missing_payloads(&self) -> Result<Vec<MsgId>, NodeError> {
+        let (reply, rx) = bounded(1);
+        self.cmd_tx
+            .send(Event::Cmd(Command::AbMissing(reply)))
+            .map_err(|_| NodeError::Disconnected)?;
+        rx.recv().map_err(|_| NodeError::Disconnected)
+    }
+
+    /// The retained raw payload of a recently delivered batch, if still
+    /// cached (served to rejoining peers).
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Disconnected`] if the stack thread has stopped.
+    pub fn ab_retained_batch(&self, id: MsgId) -> Result<Option<Bytes>, NodeError> {
+        let (reply, rx) = bounded(1);
+        self.cmd_tx
+            .send(Event::Cmd(Command::AbRetained(id, reply)))
+            .map_err(|_| NodeError::Disconnected)?;
+        rx.recv().map_err(|_| NodeError::Disconnected)
+    }
+
+    /// Feeds an out-of-band-fetched batch payload into the AB session
+    /// (the caller must have verified it against f+1 identical copies).
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Disconnected`] if the stack thread has stopped.
+    pub fn ab_inject_batch(&self, id: MsgId, raw: Bytes) -> Result<(), NodeError> {
+        self.cmd_tx
+            .send(Event::Cmd(Command::AbInject(id, raw)))
+            .map_err(|_| NodeError::Disconnected)
+    }
+
     /// Proposes a bit on binary consensus instance `tag` and blocks until
     /// the decision (`ritas_bc`). All processes must use the same `tag`
     /// for the same logical instance.
@@ -1042,6 +1214,7 @@ fn health_json(ctx: &ServeCtx) -> String {
          \"heartbeat_age_ns\":{},\"pending\":{},\"pending_age_ns\":{},\
          \"progress_age_ns\":{},\"ab_queue_depth\":{},\"ab_in_flight\":{},\
          \"rsm_applied_watermark\":{},\"sessions_live\":{},\
+         \"recovery_phase\":{},\
          \"stalls_total\":{},\
          \"suspicions_total\":{},\"suspicions\":{}}}",
         ctx.id,
@@ -1063,6 +1236,7 @@ fn health_json(ctx: &ServeCtx) -> String {
         m.ab_sent_pending.get(),
         m.rsm_applied_watermark.get(),
         m.service_sessions_live.get(),
+        m.recovery_phase.get(),
         m.node_stalls_total.get(),
         m.suspicions_total.get(),
         suspicions,
@@ -1109,6 +1283,7 @@ struct Worker<T: Transport> {
     rb_tx: Sender<(ProcessId, Bytes)>,
     eb_tx: Sender<(ProcessId, Bytes)>,
     ab_tx: Sender<AbDelivery>,
+    xfer_tx: Sender<(ProcessId, Bytes)>,
     fault_tx: Sender<Fault>,
 }
 
@@ -1174,6 +1349,30 @@ impl<T: Transport> Worker<T> {
             }
             Command::AbDebugVerbose { reply } => {
                 let _ = reply.send(self.stack.ab_debug_verbose(0));
+            }
+            Command::SendXfer(to, payload) => {
+                let frame = crate::stack::encode_xfer(&payload);
+                self.metrics.transport_frames_sent.inc();
+                self.metrics.transport_bytes_sent.add(frame.len() as u64);
+                let _ = self.transport.send(to, frame);
+            }
+            Command::AbResume(cursor, reply) => {
+                let step = self.stack.ab_resume(0, &cursor);
+                self.dispatch(step);
+                let _ = reply.send(());
+            }
+            Command::AbHints(reply) => {
+                let _ = reply.send(self.stack.ab_hints(0));
+            }
+            Command::AbMissing(reply) => {
+                let _ = reply.send(self.stack.ab_missing_payloads(0));
+            }
+            Command::AbRetained(id, reply) => {
+                let _ = reply.send(self.stack.ab_retained_batch(0, &id));
+            }
+            Command::AbInject(id, raw) => {
+                let step = self.stack.ab_inject_batch(0, id, raw);
+                self.dispatch(step);
             }
             Command::Shutdown => unreachable!("handled by the event loop"),
         }
@@ -1315,6 +1514,9 @@ impl<T: Transport> Worker<T> {
                     if let Some(PendingReply::Vc(tx)) = self.replies.remove(&key) {
                         let _ = tx.send(Ok(vector));
                     }
+                }
+                Output::Xfer { from, payload } => {
+                    let _ = self.xfer_tx.send((from, payload));
                 }
             }
         }

@@ -18,24 +18,46 @@
 //!   and blocks until it is applied, after which a [`Replica::read`]
 //!   reflects everything ordered before the barrier.
 
-use crate::ab::MsgId;
+use crate::ab::{AbDelivery, MsgId};
+use crate::codec::{Reader, WireMessage, Writer};
+use crate::fifo::FifoOrder;
 use crate::node::{Node, NodeError};
+use crate::recovery::{
+    accept_manifest, milestones, plan_fetch, select_cursor, AntiEntropyError, FillEntry, Hash,
+    Manifest, MerkleTree, PeerHints, RecoveryConfig, Snapshot, SnapshotBundle, SnapshotState,
+    XferMessage,
+};
 use crate::ProcessId;
 use bytes::{BufMut, Bytes, BytesMut};
 use parking_lot::{Condvar, Mutex};
-use std::collections::BTreeSet;
+use ritas_metrics::{FlightKind, Layer, SuspicionKind};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Internal command framing: user commands vs barrier markers.
 const TAG_USER: u8 = 1;
 const TAG_MARKER: u8 = 2;
+/// The first frame a rejoined replica broadcasts after resuming its
+/// atomic-broadcast cursor. Every replica's FIFO upgrade restarts the
+/// sender's expected rbid at this frame's own id before pushing it —
+/// the rejoiner's post-resume counter starts above a slack gap that
+/// must not read as a FIFO hole. A Byzantine sender abusing the tag can
+/// only skip *its own* pending commands, which is indistinguishable
+/// from never having sent them.
+const TAG_REJOIN: u8 = 3;
 
 /// Tracks which of our own commands have been applied, compactly
 /// (watermark + sparse set over our sequential rbids).
 #[derive(Debug, Default)]
 struct OwnApplied {
     watermark: u64,
+    /// Everything below `base` predates this incarnation (it was covered
+    /// by the snapshot the replica rejoined from, or abandoned with the
+    /// wiped process): there is no local apply event to wait for.
+    base: u64,
     sparse: BTreeSet<u64>,
 }
 
@@ -53,6 +75,34 @@ impl OwnApplied {
     fn contains(&self, rbid: u64) -> bool {
         rbid < self.watermark || self.sparse.contains(&rbid)
     }
+
+    /// Jumps the watermark over a rejoin gap: rbids below `rbid` belong
+    /// to the pre-wipe incarnation and will never be applied *by us* —
+    /// they are either in the snapshot we restored or lost with the old
+    /// process, and a waiter must not hang on them.
+    fn fast_forward(&mut self, rbid: u64) {
+        if rbid > self.watermark {
+            self.watermark = rbid;
+        }
+        if rbid > self.base {
+            self.base = rbid;
+        }
+        self.sparse.retain(|&r| r >= rbid);
+    }
+}
+
+/// How [`Replica::wait_applied_covered`] observed a command's fate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Applied {
+    /// The command was applied live on this replica.
+    Fresh,
+    /// The rbid predates this incarnation's snapshot watermark: it was
+    /// resolved — applied through the restored snapshot, or lost with
+    /// the wiped process — before this replica rejoined, so its effect
+    /// (if any) is already in the state and there is nothing to wait
+    /// for. Clients should re-read or re-submit idempotently instead of
+    /// treating the gap as an error.
+    CoveredBySnapshot,
 }
 
 struct Shared<S> {
@@ -94,6 +144,13 @@ pub struct Replica<S: Send + 'static> {
     node: Arc<Node>,
     shared: Arc<Shared<S>>,
     applier: Option<JoinHandle<()>>,
+    /// Snapshot/log bookkeeping — `Some` only for replicas built with
+    /// [`Replica::with_recovery`] / [`Replica::rejoin`].
+    recovery: Option<Arc<RecoveryCore>>,
+    /// The state-transfer server thread. Behind a shared slot because a
+    /// rejoining replica only starts serving once it reaches `Live`
+    /// (from the applier thread), while `Drop` must still join it.
+    server: Arc<Mutex<Option<JoinHandle<()>>>>,
 }
 
 impl<S: Send + 'static> core::fmt::Debug for Replica<S> {
@@ -143,9 +200,9 @@ impl<S: Send + 'static> Replica<S> {
                     // everything that is already ready so the batch applies
                     // under a single state-lock acquisition instead of one
                     // lock round-trip per command.
-                    let mut ready: Vec<_> = fifo.push(delivery);
+                    let mut ready: Vec<_> = push_with_reset(&mut fifo, delivery);
                     while let Ok(Some(d)) = node.atomic_try_recv() {
-                        ready.extend(fifo.push(d));
+                        ready.extend(push_with_reset(&mut fifo, d));
                     }
                     if ready.is_empty() {
                         continue;
@@ -183,6 +240,8 @@ impl<S: Send + 'static> Replica<S> {
             node,
             shared,
             applier: Some(applier),
+            recovery: None,
+            server: Arc::new(Mutex::new(None)),
         }
     }
 
@@ -248,6 +307,28 @@ impl<S: Send + 'static> Replica<S> {
         self.shared.applied_cv.notify_all();
     }
 
+    /// Watermark-aware [`wait_applied`](Replica::submit_sync) variant
+    /// for clients of a rejoined replica: an rbid below the snapshot
+    /// watermark the replica restored from returns
+    /// [`Applied::CoveredBySnapshot`] immediately instead of blocking
+    /// forever (the pre-wipe incarnation's commands have no local apply
+    /// event), while live rbids wait exactly like `submit_sync`.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeError::Disconnected`] if the node has shut down before the
+    /// command applied.
+    pub fn wait_applied_covered(&self, rbid: u64) -> Result<Applied, NodeError> {
+        {
+            let applied = self.shared.applied.lock();
+            if rbid < applied.base {
+                return Ok(Applied::CoveredBySnapshot);
+            }
+        }
+        self.wait_applied(rbid)?;
+        Ok(Applied::Fresh)
+    }
+
     fn wait_applied(&self, rbid: u64) -> Result<(), NodeError> {
         let mut applied = self.shared.applied.lock();
         while !applied.contains(rbid) {
@@ -276,8 +357,930 @@ impl<S: Send + 'static> Replica<S> {
 impl<S: Send + 'static> Drop for Replica<S> {
     fn drop(&mut self) {
         self.shutdown();
+        // Join the applier first: a rejoining applier is the only writer
+        // of the server slot, so after it exits the slot is final.
         if let Some(h) = self.applier.take() {
             let _ = h.join();
+        }
+        if let Some(h) = self.server.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery: snapshotting, state transfer, rejoin
+// ---------------------------------------------------------------------------
+
+/// Snapshot bundles a serving replica retains. Two, so a rejoiner that
+/// accepted the previous boundary's manifest can still fetch it while
+/// peers cross the next boundary.
+const RETAINED_SNAPSHOTS: usize = 2;
+
+/// Poll granularity on the transfer channel.
+const XFER_POLL: Duration = Duration::from_millis(25);
+/// How long one manifest-collection round waits for peer responses.
+const MANIFEST_ROUND: Duration = Duration::from_millis(300);
+/// Per-server timeout for one anti-entropy node/chunk fetch.
+const FETCH_TIMEOUT: Duration = Duration::from_millis(500);
+/// How long one fill round waits for peer responses.
+const FILL_ROUND: Duration = Duration::from_millis(150);
+/// After this many fill rounds with no progress, broadcast a marker to
+/// force the stream forward so a bridgeable delivery appears.
+const IDLE_PROBE_ROUNDS: u32 = 8;
+
+struct LogEntry {
+    sender: ProcessId,
+    rbid: u64,
+    payload: Bytes,
+}
+
+struct CoreInner {
+    /// Global applied sequence number (markers included).
+    applied_seq: u64,
+    /// Per-sender rbid the next applied delivery must carry — the
+    /// watermark frozen into snapshots.
+    applied_next: Vec<u64>,
+    /// Applied deliveries above the oldest retained snapshot, by global
+    /// sequence — the fill log served to catching-up peers.
+    log: BTreeMap<u64, LogEntry>,
+    /// Retained snapshot bundles, oldest first.
+    snaps: Vec<SnapshotBundle>,
+}
+
+/// Shared snapshot/log bookkeeping between the applier thread (writer),
+/// the transfer server thread (reader) and digest accessors.
+struct RecoveryCore {
+    cfg: RecoveryConfig,
+    /// Fault-injection hook: serve bit-flipped chunk bytes (a Byzantine
+    /// snapshot server). Rejoiners must reject them by Merkle proof.
+    tamper: AtomicBool,
+    inner: Mutex<CoreInner>,
+}
+
+impl RecoveryCore {
+    fn new(cfg: RecoveryConfig, n: usize) -> Arc<Self> {
+        Arc::new(RecoveryCore {
+            cfg,
+            tamper: AtomicBool::new(false),
+            inner: Mutex::new(CoreInner {
+                applied_seq: 0,
+                applied_next: vec![0; n],
+                log: BTreeMap::new(),
+                snaps: Vec::new(),
+            }),
+        })
+    }
+}
+
+/// Feeds one delivery through the FIFO upgrade, honoring rejoin markers
+/// (see [`TAG_REJOIN`]).
+fn push_with_reset(fifo: &mut FifoOrder, d: AbDelivery) -> Vec<AbDelivery> {
+    if d.payload.first() == Some(&TAG_REJOIN) {
+        fifo.reset_sender(d.id.sender, d.id.rbid);
+    }
+    fifo.push(d)
+}
+
+fn mark_stopped<S>(shared: &Shared<S>) {
+    shared
+        .stopped
+        .store(true, std::sync::atomic::Ordering::SeqCst);
+    shared.applied_cv.notify_all();
+}
+
+/// Applies a batch of FIFO-released deliveries and advances the recovery
+/// bookkeeping: log append, watermark update, and — at every
+/// `snapshot_every` stream boundary — a deterministic snapshot of the
+/// state, taken under the same state-lock acquisition so no delivery can
+/// interleave between the boundary apply and its digest.
+fn apply_ready<S, F>(
+    node: &Node,
+    shared: &Shared<S>,
+    core: &RecoveryCore,
+    me: ProcessId,
+    apply: &mut F,
+    ready: &[AbDelivery],
+) where
+    S: SnapshotState + Send + 'static,
+    F: FnMut(&mut S, ProcessId, &[u8]),
+{
+    if ready.is_empty() {
+        return;
+    }
+    {
+        let mut state = shared.state.lock();
+        let mut c = core.inner.lock();
+        for d in ready {
+            let body = d.payload.as_ref();
+            let tag = body.first().copied().unwrap_or(0);
+            if tag == TAG_USER {
+                apply(&mut state, d.id.sender, body.get(1..).unwrap_or(&[]));
+            }
+            c.applied_seq += 1;
+            let seq = c.applied_seq;
+            if let Some(next) = c.applied_next.get_mut(d.id.sender) {
+                *next = d.id.rbid + 1;
+            }
+            c.log.insert(
+                seq,
+                LogEntry {
+                    sender: d.id.sender,
+                    rbid: d.id.rbid,
+                    payload: d.payload.clone(),
+                },
+            );
+            if seq.is_multiple_of(core.cfg.snapshot_every) {
+                let mut w = Writer::new();
+                state.encode_snapshot(&mut w);
+                let snap = Snapshot {
+                    seq,
+                    next: c.applied_next.clone(),
+                    state: w.freeze(),
+                };
+                let bundle = SnapshotBundle::build(&snap, core.cfg.chunk_size);
+                let m = node.metrics();
+                m.recovery_snapshots_total.inc();
+                m.recovery_snapshot_bytes.set(bundle.bytes.len() as u64);
+                m.flight_record(FlightKind::Recovery, me as u32, milestones::SNAPSHOT, seq);
+                c.snaps.push(bundle);
+                if c.snaps.len() > RETAINED_SNAPSHOTS {
+                    c.snaps.remove(0);
+                }
+                // Truncate the fill log below the oldest snapshot still
+                // served: a rejoiner always restores at least that
+                // boundary, so earlier entries can never be requested.
+                let floor = c.snaps[0].manifest.seq;
+                c.log = c.log.split_off(&(floor + 1));
+            }
+        }
+    }
+    node.metrics().rsm_applied_total.add(ready.len() as u64);
+    let mut applied = shared.applied.lock();
+    for d in ready {
+        if d.id.sender == me {
+            applied.insert(d.id.rbid);
+        }
+    }
+    node.metrics().rsm_applied_watermark.set(applied.watermark);
+    shared.applied_cv.notify_all();
+}
+
+/// The live applier loop for recovery-enabled replicas.
+fn run_live<S, F>(
+    node: &Node,
+    shared: &Shared<S>,
+    core: &RecoveryCore,
+    me: ProcessId,
+    apply: &mut F,
+    mut fifo: FifoOrder,
+) where
+    S: SnapshotState + Send + 'static,
+    F: FnMut(&mut S, ProcessId, &[u8]),
+{
+    loop {
+        let delivery = match node.atomic_recv() {
+            Ok(d) => d,
+            Err(_) => {
+                mark_stopped(shared);
+                return;
+            }
+        };
+        let mut ready = push_with_reset(&mut fifo, delivery);
+        while let Ok(Some(d)) = node.atomic_try_recv() {
+            ready.extend(push_with_reset(&mut fifo, d));
+        }
+        apply_ready(node, shared, core, me, apply, &ready);
+    }
+}
+
+/// The state-transfer server: answers manifest, Merkle-node, chunk, fill
+/// and batch requests from rejoining peers until the node shuts down.
+fn spawn_xfer_server(node: Arc<Node>, core: Arc<RecoveryCore>) -> JoinHandle<()> {
+    std::thread::spawn(move || loop {
+        let (from, payload) = match node.xfer_recv_timeout(XFER_POLL * 4) {
+            Ok(x) => x,
+            Err(NodeError::Timeout) => continue,
+            Err(_) => return,
+        };
+        let Ok(msg) = XferMessage::from_bytes(&payload) else {
+            // Garbage from a Byzantine peer: drop, don't serve.
+            continue;
+        };
+        if let Some(resp) = serve_xfer(&node, &core, msg) {
+            if node.send_xfer(from, resp.to_bytes()).is_err() {
+                return;
+            }
+        }
+    })
+}
+
+fn serve_xfer(node: &Node, core: &RecoveryCore, msg: XferMessage) -> Option<XferMessage> {
+    match msg {
+        XferMessage::ManifestReq => {
+            // Hints come from the protocol thread; fetched before taking
+            // the core lock (no lock is held across the round-trip).
+            let hints = node.ab_hints().ok()?;
+            let manifest = core.inner.lock().snaps.last().map(|b| b.manifest);
+            Some(XferMessage::ManifestResp { manifest, hints })
+        }
+        XferMessage::NodesReq {
+            seq,
+            level,
+            indices,
+        } => {
+            let inner = core.inner.lock();
+            let hashes = inner
+                .snaps
+                .iter()
+                .find(|b| b.manifest.seq == seq)
+                .map(|b| indices.iter().map(|&i| b.tree.node(level, i)).collect())
+                .unwrap_or_default();
+            drop(inner);
+            Some(XferMessage::NodesResp {
+                seq,
+                level,
+                indices,
+                hashes,
+            })
+        }
+        XferMessage::ChunkReq { seq, idx } => {
+            let inner = core.inner.lock();
+            let (mut data, proof) = match inner.snaps.iter().find(|b| b.manifest.seq == seq) {
+                Some(b) => (
+                    Bytes::copy_from_slice(b.chunk(idx, core.cfg.chunk_size)),
+                    b.tree.proof(idx),
+                ),
+                None => (Bytes::new(), Vec::new()),
+            };
+            drop(inner);
+            if core.tamper.load(Ordering::SeqCst) && !data.is_empty() {
+                let mut v = data.to_vec();
+                v[0] ^= 0xff;
+                data = v.into();
+            }
+            node.metrics().recovery_chunks_served.inc();
+            Some(XferMessage::ChunkResp {
+                seq,
+                idx,
+                data,
+                proof,
+            })
+        }
+        XferMessage::FillReq { from_seq, max } => {
+            let inner = core.inner.lock();
+            let budget = (max as usize).min(core.cfg.fill_batch as usize);
+            let mut entries = Vec::new();
+            let mut want = from_seq;
+            // Strictly contiguous from `from_seq`: a gap (below our log
+            // floor, or beyond our applied tip) ends the response.
+            while entries.len() < budget {
+                match inner.log.get(&want) {
+                    Some(e) => {
+                        entries.push(FillEntry {
+                            seq: want,
+                            sender: e.sender as u32,
+                            rbid: e.rbid,
+                            payload: e.payload.clone(),
+                        });
+                        want += 1;
+                    }
+                    None => break,
+                }
+            }
+            drop(inner);
+            Some(XferMessage::FillResp { entries })
+        }
+        XferMessage::BatchReq { ids } => {
+            let mut batches = Vec::new();
+            for (sender, seq) in ids {
+                let id = MsgId {
+                    sender: sender as ProcessId,
+                    rbid: seq,
+                };
+                if let Ok(Some(raw)) = node.ab_retained_batch(id) {
+                    batches.push((sender, seq, raw));
+                }
+            }
+            Some(XferMessage::BatchResp { batches })
+        }
+        // Responses only mean something to a rejoin driver; a server
+        // receiving one (stray or malicious) ignores it.
+        _ => None,
+    }
+}
+
+/// Marks the rejoin as aborted (node shut down mid-transfer): closes the
+/// recovery spans, records the `ABORTED` milestone and releases every
+/// waiter. The applier thread returns right after this.
+fn abort_rejoin<S>(node: &Node, shared: &Shared<S>) {
+    let m = node.metrics();
+    m.span_close("recover:sync");
+    m.span_close("recover:catchup");
+    m.flight_record(
+        FlightKind::Recovery,
+        node.id() as u32,
+        milestones::ABORTED,
+        0,
+    );
+    m.recovery_phase.set(0);
+    mark_stopped(shared);
+}
+
+fn collect_hints(responses: &HashMap<ProcessId, (Option<Manifest>, PeerHints)>) -> Vec<PeerHints> {
+    responses.values().map(|(_, h)| h.clone()).collect()
+}
+
+/// The rejoin driver: Syncing → CatchingUp → Live.
+///
+/// Returns the FIFO state to continue as the live applier, or `None`
+/// when the node shut down mid-transfer (the abort path has already
+/// stopped the replica).
+#[allow(clippy::too_many_lines)]
+fn run_rejoin<S, F>(
+    node: &Node,
+    shared: &Shared<S>,
+    core: &RecoveryCore,
+    me: ProcessId,
+    stale: Option<Bytes>,
+    apply: &mut F,
+) -> Option<FifoOrder>
+where
+    S: SnapshotState + Send + 'static,
+    F: FnMut(&mut S, ProcessId, &[u8]),
+{
+    let n = node.group_size();
+    let f = (n - 1) / 3;
+    let m = node.metrics();
+    m.recovery_phase.set(1);
+    m.flight_record(FlightKind::Recovery, me as u32, milestones::SYNCING, 0);
+    m.span_open("recover:sync", Layer::Node);
+    let peers: Vec<ProcessId> = (0..n).filter(|&p| p != me).collect();
+
+    // --- Syncing: collect manifests + stream hints from 2f+1 peers ---
+    let mut responses: HashMap<ProcessId, (Option<Manifest>, PeerHints)> = HashMap::new();
+    let (accepted, hints) = loop {
+        for &p in &peers {
+            if node
+                .send_xfer(p, XferMessage::ManifestReq.to_bytes())
+                .is_err()
+            {
+                abort_rejoin(node, shared);
+                return None;
+            }
+        }
+        let deadline = Instant::now() + MANIFEST_ROUND;
+        while Instant::now() < deadline {
+            match node.xfer_recv_timeout(XFER_POLL) {
+                Ok((from, payload)) => {
+                    if let Ok(XferMessage::ManifestResp { manifest, hints }) =
+                        XferMessage::from_bytes(&payload)
+                    {
+                        responses.insert(from, (manifest, hints));
+                    }
+                }
+                Err(NodeError::Timeout) => {
+                    if responses.len() == peers.len() {
+                        break;
+                    }
+                }
+                Err(_) => {
+                    abort_rejoin(node, shared);
+                    return None;
+                }
+            }
+        }
+        if responses.len() < 2 * f + 1 {
+            continue;
+        }
+        let with_manifest: Vec<(ProcessId, Manifest)> = responses
+            .iter()
+            .filter_map(|(&p, (om, _))| om.map(|man| (p, man)))
+            .collect();
+        if let Some(a) = accept_manifest(&with_manifest, f + 1) {
+            break (Some(a), collect_hints(&responses));
+        }
+        // No f+1-matching manifest. If f+1 peers (≥ one correct) have no
+        // snapshot yet the cluster is young: rejoin from genesis and let
+        // the fill protocol replay the whole log. Otherwise peers are
+        // mid-boundary — re-poll until they converge.
+        if responses.values().filter(|(om, _)| om.is_none()).count() > f {
+            break (None, collect_hints(&responses));
+        }
+    };
+
+    // --- Fetch the snapshot via Merkle anti-entropy ---
+    let snap_next: Vec<u64>;
+    let fifo;
+    if let Some((manifest, servers)) = accepted {
+        let stale_tree = stale
+            .as_ref()
+            .map(|b| MerkleTree::build(b, core.cfg.chunk_size));
+        // Resolve the fetch plan against one server per attempt: the
+        // hash chain from the f+1-agreed root exposes a lying server
+        // (BadNodes), after which we rotate to the next holder.
+        let dead = std::cell::Cell::new(false);
+        let mut attempt = 0usize;
+        let plan = loop {
+            let srv = servers[attempt % servers.len()];
+            attempt += 1;
+            let fetch = |level: u8, indices: &[u32]| -> Result<Vec<Hash>, AntiEntropyError> {
+                let req = XferMessage::NodesReq {
+                    seq: manifest.seq,
+                    level,
+                    indices: indices.to_vec(),
+                };
+                if node.send_xfer(srv, req.to_bytes()).is_err() {
+                    dead.set(true);
+                    return Err(AntiEntropyError::FetchFailed);
+                }
+                let deadline = Instant::now() + FETCH_TIMEOUT;
+                while Instant::now() < deadline {
+                    match node.xfer_recv_timeout(XFER_POLL) {
+                        Ok((_, payload)) => {
+                            if let Ok(XferMessage::NodesResp {
+                                seq,
+                                level: l,
+                                indices: idx,
+                                hashes,
+                            }) = XferMessage::from_bytes(&payload)
+                            {
+                                if seq == manifest.seq
+                                    && l == level
+                                    && idx == indices
+                                    && hashes.len() == indices.len()
+                                {
+                                    return Ok(hashes);
+                                }
+                            }
+                        }
+                        Err(NodeError::Timeout) => {}
+                        Err(_) => {
+                            dead.set(true);
+                            return Err(AntiEntropyError::FetchFailed);
+                        }
+                    }
+                }
+                Err(AntiEntropyError::FetchFailed)
+            };
+            match plan_fetch(&manifest, stale_tree.as_ref(), fetch) {
+                Ok(p) => break p,
+                Err(e) => {
+                    if dead.get() {
+                        abort_rejoin(node, shared);
+                        return None;
+                    }
+                    if e == AntiEntropyError::BadNodes {
+                        m.suspect(srv as u32, SuspicionKind::BadChunk);
+                        m.recovery_chunk_proof_rejected.inc();
+                    }
+                }
+            }
+        };
+        m.recovery_chunks_reused.add(plan.reuse.len() as u64);
+        let total = manifest.len as usize;
+        let mut buf = vec![0u8; total];
+        let chunk_span = move |idx: u32| {
+            let start = (idx as usize).saturating_mul(core.cfg.chunk_size.max(1));
+            let end = (start + core.cfg.chunk_size.max(1)).min(total);
+            (start, end)
+        };
+        for &idx in &plan.reuse {
+            let (start, end) = chunk_span(idx);
+            if let Some(src) = stale.as_ref().and_then(|b| b.get(start..end)) {
+                buf[start..end].copy_from_slice(src);
+            }
+        }
+        for &idx in &plan.need {
+            let mut fetched = false;
+            // Rotate the starting server by chunk index so one corrupt
+            // holder cannot serialize the whole download behind retries.
+            'servers: for k in 0..servers.len() * 2 {
+                let srv = servers[(idx as usize + k) % servers.len()];
+                let req = XferMessage::ChunkReq {
+                    seq: manifest.seq,
+                    idx,
+                };
+                if node.send_xfer(srv, req.to_bytes()).is_err() {
+                    abort_rejoin(node, shared);
+                    return None;
+                }
+                let deadline = Instant::now() + FETCH_TIMEOUT;
+                while Instant::now() < deadline {
+                    match node.xfer_recv_timeout(XFER_POLL) {
+                        Ok((from, payload)) => {
+                            if let Ok(XferMessage::ChunkResp {
+                                seq,
+                                idx: i,
+                                data,
+                                proof,
+                            }) = XferMessage::from_bytes(&payload)
+                            {
+                                if seq != manifest.seq || i != idx {
+                                    continue;
+                                }
+                                if MerkleTree::verify_chunk(&manifest.root, idx, &data, &proof) {
+                                    let (start, end) = chunk_span(idx);
+                                    if data.len() == end - start {
+                                        buf[start..end].copy_from_slice(&data);
+                                        m.recovery_chunks_fetched.inc();
+                                        fetched = true;
+                                        continue 'servers;
+                                    }
+                                }
+                                // A chunk that fails its Merkle proof is
+                                // hard evidence against the server.
+                                m.suspect(from as u32, SuspicionKind::BadChunk);
+                                m.recovery_chunk_proof_rejected.inc();
+                                continue 'servers;
+                            }
+                        }
+                        Err(NodeError::Timeout) => {}
+                        Err(_) => {
+                            abort_rejoin(node, shared);
+                            return None;
+                        }
+                    }
+                }
+                if fetched {
+                    break;
+                }
+            }
+            if !fetched {
+                // Every holder failed (all Byzantine would contradict
+                // the f+1 manifest quorum): abort rather than install a
+                // torn snapshot.
+                abort_rejoin(node, shared);
+                return None;
+            }
+        }
+        // f+1 byte-identical manifests include one from a correct
+        // replica, and every chunk verified against that root, so the
+        // assembled bytes are a correct replica's snapshot encoding.
+        let Ok(snap) = Snapshot::from_bytes(&buf) else {
+            abort_rejoin(node, shared);
+            return None;
+        };
+        let Ok(decoded) = S::decode_snapshot(&mut Reader::new(&snap.state)) else {
+            abort_rejoin(node, shared);
+            return None;
+        };
+        *shared.state.lock() = decoded;
+        let mut next = snap.next.clone();
+        next.resize(n, 0);
+        {
+            let mut c = core.inner.lock();
+            c.applied_seq = snap.seq;
+            c.applied_next = next.clone();
+            c.log.clear();
+            c.snaps = vec![SnapshotBundle::build(&snap, core.cfg.chunk_size)];
+        }
+        m.recovery_snapshot_bytes.set(manifest.len);
+        fifo = FifoOrder::from_watermarks(n, &next);
+        snap_next = next;
+    } else {
+        // Genesis rejoin: no peer has snapshotted yet.
+        snap_next = vec![0; n];
+        fifo = FifoOrder::new(n);
+    }
+
+    // --- Resume the atomic-broadcast cursor and catch up ---
+    let cursor = select_cursor(me, n, f, &hints, &snap_next);
+    {
+        let mut applied = shared.applied.lock();
+        applied.fast_forward(cursor.next_rbid);
+        m.rsm_applied_watermark.set(applied.watermark);
+        shared.applied_cv.notify_all();
+    }
+    if node.ab_resume(cursor).is_err() {
+        abort_rejoin(node, shared);
+        return None;
+    }
+    let resumed_seq = core.inner.lock().applied_seq;
+    m.span_close("recover:sync");
+    m.recovery_phase.set(2);
+    m.flight_record(
+        FlightKind::Recovery,
+        me as u32,
+        milestones::CATCHING_UP,
+        resumed_seq,
+    );
+    m.span_open("recover:catchup", Layer::Node);
+    // Announce the resume: every replica's FIFO restarts our rbid
+    // sequence at this marker, and — once it lands in a peer's fill log
+    // while also sitting in our live buffer — it gives the catch-up loop
+    // a guaranteed bridge point even on an otherwise idle stream.
+    if node.atomic_broadcast(frame(TAG_REJOIN, &[])).is_err() {
+        abort_rejoin(node, shared);
+        return None;
+    }
+
+    let mut fifo = fifo;
+    let mut buffer: Vec<AbDelivery> = Vec::new();
+    let mut buffered: HashSet<(ProcessId, u64)> = HashSet::new();
+    let mut idle = 0u32;
+    'catchup: loop {
+        // Buffer live deliveries; they are applied only after the fill
+        // stream reaches one of them (never double-applied: the bridge
+        // entry itself switches streams *instead of* applying via fill).
+        loop {
+            match node.atomic_try_recv() {
+                Ok(Some(d)) => {
+                    buffered.insert((d.id.sender, d.id.rbid));
+                    buffer.push(d);
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    abort_rejoin(node, shared);
+                    return None;
+                }
+            }
+        }
+        // Poll every peer for the next stretch of the applied log.
+        let from_seq = core.inner.lock().applied_seq + 1;
+        let req = XferMessage::FillReq {
+            from_seq,
+            max: core.cfg.fill_batch,
+        }
+        .to_bytes();
+        for &p in &peers {
+            if node.send_xfer(p, req.clone()).is_err() {
+                abort_rejoin(node, shared);
+                return None;
+            }
+        }
+        let mut fills: HashMap<ProcessId, Vec<FillEntry>> = HashMap::new();
+        let deadline = Instant::now() + FILL_ROUND;
+        while Instant::now() < deadline {
+            match node.xfer_recv_timeout(XFER_POLL) {
+                Ok((from, payload)) => {
+                    if let Ok(XferMessage::FillResp { entries }) = XferMessage::from_bytes(&payload)
+                    {
+                        fills.insert(from, entries);
+                        if fills.len() == peers.len() {
+                            break;
+                        }
+                    }
+                }
+                Err(NodeError::Timeout) => {}
+                Err(_) => {
+                    abort_rejoin(node, shared);
+                    return None;
+                }
+            }
+        }
+        // Apply f+1-agreed entries strictly in sequence order. An entry
+        // counts only when f+1 peers served byte-identical copies — one
+        // of them is correct, so the entry is the true delivery at that
+        // position of the total order.
+        let mut progressed = false;
+        loop {
+            let want = core.inner.lock().applied_seq + 1;
+            let mut groups: Vec<(&FillEntry, usize)> = Vec::new();
+            for entries in fills.values() {
+                if let Some(e) = entries.iter().find(|e| e.seq == want) {
+                    match groups.iter_mut().find(|(g, _)| {
+                        g.sender == e.sender && g.rbid == e.rbid && g.payload == e.payload
+                    }) {
+                        Some(g) => g.1 += 1,
+                        None => groups.push((e, 1)),
+                    }
+                }
+            }
+            let Some((entry, _)) = groups.into_iter().find(|&(_, count)| count > f) else {
+                break;
+            };
+            let entry = entry.clone();
+            // The bridge: the next fill entry is already sitting in the
+            // live buffer. From here on the buffer is the complete
+            // total-order suffix (live deliveries only start once the
+            // resumed AB concludes rounds normally, after which no round
+            // is skipped), so switch to it and stop filling.
+            if buffered.contains(&(entry.sender as ProcessId, entry.rbid)) {
+                break 'catchup;
+            }
+            let d = AbDelivery {
+                id: MsgId {
+                    sender: entry.sender as ProcessId,
+                    rbid: entry.rbid,
+                },
+                payload: entry.payload,
+            };
+            apply_ready(node, shared, core, me, apply, &[d]);
+            // Keep the FIFO's view of the sender aligned with what the
+            // fill stream applied (fills bypass the FIFO).
+            fifo.reset_sender(entry.sender as ProcessId, entry.rbid + 1);
+            m.recovery_fills_applied.inc();
+            progressed = true;
+        }
+        // Rounds can conclude on batch ids whose payload dissemination
+        // finished before the wipe: fetch the raw batches from peers and
+        // inject any copy f+1 of them agree on.
+        let missing = match node.ab_missing_payloads() {
+            Ok(v) => v,
+            Err(_) => {
+                abort_rejoin(node, shared);
+                return None;
+            }
+        };
+        if !missing.is_empty() {
+            let req = XferMessage::BatchReq {
+                ids: missing
+                    .iter()
+                    .map(|id| (id.sender as u32, id.rbid))
+                    .collect(),
+            }
+            .to_bytes();
+            for &p in &peers {
+                if node.send_xfer(p, req.clone()).is_err() {
+                    abort_rejoin(node, shared);
+                    return None;
+                }
+            }
+            let mut copies: HashMap<(u32, u64), Vec<Bytes>> = HashMap::new();
+            let deadline = Instant::now() + FILL_ROUND;
+            while Instant::now() < deadline {
+                match node.xfer_recv_timeout(XFER_POLL) {
+                    Ok((_, payload)) => {
+                        if let Ok(XferMessage::BatchResp { batches }) =
+                            XferMessage::from_bytes(&payload)
+                        {
+                            for (sender, seq, raw) in batches {
+                                copies.entry((sender, seq)).or_default().push(raw);
+                            }
+                        }
+                    }
+                    Err(NodeError::Timeout) => {}
+                    Err(_) => {
+                        abort_rejoin(node, shared);
+                        return None;
+                    }
+                }
+            }
+            for ((sender, seq), raws) in copies {
+                let agreed = raws
+                    .iter()
+                    .find(|raw| raws.iter().filter(|r| r == raw).count() > f);
+                if let Some(raw) = agreed {
+                    let id = MsgId {
+                        sender: sender as ProcessId,
+                        rbid: seq,
+                    };
+                    if node.ab_inject_batch(id, raw.clone()).is_err() {
+                        abort_rejoin(node, shared);
+                        return None;
+                    }
+                }
+            }
+        }
+        if progressed {
+            idle = 0;
+        } else {
+            idle += 1;
+            if idle >= IDLE_PROBE_ROUNDS {
+                idle = 0;
+                // Force the stream forward so a delivery we hold live
+                // also lands in peers' fill logs.
+                if node.atomic_broadcast(frame(TAG_MARKER, &[])).is_err() {
+                    abort_rejoin(node, shared);
+                    return None;
+                }
+            }
+        }
+    }
+
+    // --- Switch to the live buffer ---
+    let mut ready = Vec::new();
+    for d in buffer {
+        // Entries up to the bridge point are duplicates of what the fill
+        // stream applied; the FIFO's per-sender watermark drops them.
+        ready.extend(push_with_reset(&mut fifo, d));
+    }
+    apply_ready(node, shared, core, me, apply, &ready);
+    let live_seq = core.inner.lock().applied_seq;
+    m.span_close("recover:catchup");
+    m.recovery_phase.set(0);
+    m.recovery_completed_total.inc();
+    m.flight_record(FlightKind::Recovery, me as u32, milestones::LIVE, live_seq);
+    Some(fifo)
+}
+
+impl<S: SnapshotState + Send + 'static> Replica<S> {
+    /// Like [`Replica::new`], but with the recovery pipeline active: the
+    /// replica snapshots its state at every `cfg.snapshot_every` stream
+    /// boundary (producing a digest comparable across replicas), retains
+    /// the last two snapshot bundles plus the post-snapshot delivery
+    /// log, and serves the pull-based state-transfer protocol to
+    /// rejoining peers.
+    pub fn with_recovery(
+        node: Node,
+        initial: S,
+        cfg: RecoveryConfig,
+        apply: impl FnMut(&mut S, ProcessId, &[u8]) + Send + 'static,
+    ) -> Self {
+        Self::build_recovering(node, initial, cfg, None, false, apply)
+    }
+
+    /// Rebuilds a wiped replica from its peers: fetches snapshot
+    /// manifests from `2f+1` peers, accepts one only at `f+1` matching
+    /// digests, downloads the chunks that differ from `stale` (an
+    /// optional previously-retained snapshot encoding whose unchanged
+    /// Merkle subtrees are reused instead of re-downloaded) with
+    /// per-chunk proof verification, then replays the delivery log from
+    /// the snapshot watermark and hands over to live deliveries without
+    /// applying anything twice. The `node` must come from
+    /// [`Node::rejoin`] (its atomic broadcast starts held).
+    pub fn rejoin(
+        node: Node,
+        initial: S,
+        cfg: RecoveryConfig,
+        stale: Option<Bytes>,
+        apply: impl FnMut(&mut S, ProcessId, &[u8]) + Send + 'static,
+    ) -> Self {
+        Self::build_recovering(node, initial, cfg, stale, true, apply)
+    }
+
+    fn build_recovering(
+        node: Node,
+        initial: S,
+        cfg: RecoveryConfig,
+        stale: Option<Bytes>,
+        rejoining: bool,
+        mut apply: impl FnMut(&mut S, ProcessId, &[u8]) + Send + 'static,
+    ) -> Self {
+        let node = Arc::new(node);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(initial),
+            applied: Mutex::new(OwnApplied::default()),
+            applied_cv: Condvar::new(),
+            stopped: std::sync::atomic::AtomicBool::new(false),
+        });
+        let n = node.group_size();
+        let me = node.id();
+        let core = RecoveryCore::new(cfg, n);
+        let server = Arc::new(Mutex::new(None));
+        if !rejoining {
+            *server.lock() = Some(spawn_xfer_server(Arc::clone(&node), Arc::clone(&core)));
+        }
+        let applier = {
+            let node = Arc::clone(&node);
+            let shared = Arc::clone(&shared);
+            let core = Arc::clone(&core);
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                let fifo = if rejoining {
+                    match run_rejoin(&node, &shared, &core, me, stale, &mut apply) {
+                        Some(fifo) => {
+                            // Live: start answering transfer requests
+                            // (the driver owned the channel until now).
+                            *server.lock() =
+                                Some(spawn_xfer_server(Arc::clone(&node), Arc::clone(&core)));
+                            fifo
+                        }
+                        None => return,
+                    }
+                } else {
+                    FifoOrder::new(n)
+                };
+                run_live(&node, &shared, &core, me, &mut apply, fifo);
+            })
+        };
+        Replica {
+            node,
+            shared,
+            applier: Some(applier),
+            recovery: Some(core),
+            server,
+        }
+    }
+
+    /// The latest local snapshot digest as `(seq, merkle_root)` — equal
+    /// across correct replicas at equal `seq`.
+    pub fn snapshot_digest(&self) -> Option<(u64, Hash)> {
+        let core = self.recovery.as_ref()?;
+        let inner = core.inner.lock();
+        inner
+            .snaps
+            .last()
+            .map(|b| (b.manifest.seq, b.manifest.root))
+    }
+
+    /// The encoded bytes of the latest local snapshot, if any. A
+    /// wiped-but-not-erased replica feeds these back into
+    /// [`Replica::rejoin`] as the `stale` image so Merkle anti-entropy
+    /// can reuse unchanged chunks instead of re-downloading them.
+    pub fn latest_snapshot_bytes(&self) -> Option<Bytes> {
+        let core = self.recovery.as_ref()?;
+        let inner = core.inner.lock();
+        inner.snaps.last().map(|b| b.bytes.clone())
+    }
+
+    /// Fault-injection hook: when set, this replica serves bit-flipped
+    /// snapshot chunk bytes (a Byzantine snapshot server). Rejoiners
+    /// must detect the corruption by Merkle proof and fetch elsewhere.
+    pub fn set_chunk_tamper(&self, on: bool) {
+        if let Some(core) = &self.recovery {
+            core.tamper.store(on, Ordering::SeqCst);
         }
     }
 }
@@ -416,5 +1419,241 @@ mod tests {
         assert!(!a.contains(4));
         assert_eq!(a.watermark, 4);
         assert!(a.sparse.is_empty());
+    }
+
+    #[test]
+    fn own_applied_fast_forward_boundary() {
+        let mut a = OwnApplied::default();
+        a.insert(0);
+        a.insert(5); // sparse
+        a.fast_forward(1000);
+        // Everything below the rejoin base reads as applied/covered…
+        assert_eq!(a.base, 1000);
+        assert_eq!(a.watermark, 1000);
+        assert!(a.contains(999));
+        assert!(!a.contains(1000));
+        assert!(a.sparse.is_empty());
+        // …and post-resume rbids compact contiguously from the base.
+        a.insert(1000);
+        assert_eq!(a.watermark, 1001);
+        // A stale fast-forward never regresses the watermark.
+        a.fast_forward(10);
+        assert_eq!(a.base, 1000);
+        assert_eq!(a.watermark, 1001);
+    }
+
+    /// Satellite: `wait_applied_covered` must resolve pre-snapshot rbids
+    /// as `CoveredBySnapshot` immediately (no wait, no error), exactly at
+    /// the base boundary, while live rbids behave like `submit_sync`.
+    #[test]
+    fn wait_applied_covered_boundary() {
+        let nodes = Node::cluster(SessionConfig::new(4).unwrap()).unwrap();
+        let replicas: Vec<_> = nodes
+            .into_iter()
+            .map(|node| Replica::new(node, 0u64, |s, _, _| *s += 1))
+            .collect();
+        // Simulate a rejoin watermark on replica 0.
+        replicas[0].shared.applied.lock().fast_forward(50);
+        assert_eq!(
+            replicas[0].wait_applied_covered(49).unwrap(),
+            Applied::CoveredBySnapshot
+        );
+        // On a replica without a rejoin watermark the call waits for the
+        // real apply and reports it as fresh.
+        let id = replicas[1].submit_sync(Bytes::from_static(b"x")).unwrap();
+        assert_eq!(
+            replicas[1].wait_applied_covered(id.rbid).unwrap(),
+            Applied::Fresh
+        );
+        for r in &replicas {
+            r.shutdown();
+        }
+    }
+
+    fn small_recovery_cfg() -> RecoveryConfig {
+        RecoveryConfig {
+            snapshot_every: 8,
+            chunk_size: 64,
+            fill_batch: 64,
+        }
+    }
+
+    fn incr_counter(s: &mut u64, _from: ProcessId, cmd: &[u8]) {
+        if cmd == b"incr" {
+            *s += 1;
+        }
+    }
+
+    /// Correct replicas must cut byte-identical snapshots at identical
+    /// stream boundaries — the digest is what a rejoiner votes on.
+    #[test]
+    fn recovery_replicas_snapshot_identically() {
+        let config = SessionConfig::new(4).unwrap();
+        let nodes = Node::cluster(config).unwrap();
+        let replicas: Vec<_> = nodes
+            .into_iter()
+            .map(|n| Replica::with_recovery(n, 0u64, small_recovery_cfg(), incr_counter))
+            .collect();
+        for _ in 0..20 {
+            replicas[0]
+                .submit_sync(Bytes::from_static(b"incr"))
+                .unwrap();
+        }
+        for r in &replicas {
+            r.barrier().unwrap();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        loop {
+            let digests: Vec<_> = replicas.iter().map(Replica::snapshot_digest).collect();
+            if digests.iter().all(|d| d.is_some() && *d == digests[0]) {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "snapshot digests never converged: {digests:?}"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(replicas[0].node().metrics().recovery_snapshots_total.get() >= 1);
+        for r in &replicas {
+            r.shutdown();
+        }
+    }
+
+    /// The tentpole happy path at the rsm layer: crash + wipe a replica
+    /// under traffic, rejoin it through snapshot transfer + catch-up, and
+    /// require exact state convergence (any double-apply would overshoot
+    /// the counter).
+    #[test]
+    fn rejoin_via_state_transfer() {
+        let config = SessionConfig::new(4).unwrap();
+        let (nodes, hub) = Node::cluster_with_hub(&config).unwrap();
+        let mut replicas: Vec<_> = nodes
+            .into_iter()
+            .map(|n| Replica::with_recovery(n, 0u64, small_recovery_cfg(), incr_counter))
+            .collect();
+        for _ in 0..20 {
+            replicas[1]
+                .submit_sync(Bytes::from_static(b"incr"))
+                .unwrap();
+        }
+        // Fail-stop and wipe replica 3.
+        hub.crash(3);
+        let victim = replicas.pop().unwrap();
+        drop(victim);
+        // The survivors keep ordering (n - f = 3 alive).
+        for _ in 0..20 {
+            replicas[0]
+                .submit_sync(Bytes::from_static(b"incr"))
+                .unwrap();
+        }
+        // Rejoin from nothing but the session config.
+        let node = Node::rejoin(&config, &hub, 3).unwrap();
+        let m = node.metrics().clone();
+        let rejoined = Replica::rejoin(node, 0u64, small_recovery_cfg(), None, incr_counter);
+        // Keep the stream moving while the transfer runs.
+        for _ in 0..10 {
+            replicas[0]
+                .submit_sync(Bytes::from_static(b"incr"))
+                .unwrap();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        loop {
+            if m.recovery_completed_total.get() == 1 && rejoined.read(|s| *s) == 50 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "rejoin stuck: completed={} counter={} phase={}",
+                m.recovery_completed_total.get(),
+                rejoined.read(|s| *s),
+                m.recovery_phase.get()
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(m.recovery_phase.get(), 0, "back to Live");
+        assert!(
+            m.flight()
+                .events()
+                .iter()
+                .any(|e| e.kind == FlightKind::Recovery && e.a == milestones::LIVE),
+            "LIVE milestone recorded"
+        );
+        // Exactly once: the counter landed exactly on the submitted
+        // total on every replica, including the rejoined one.
+        for r in replicas.iter().chain([&rejoined]) {
+            r.barrier().unwrap();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        loop {
+            let values: Vec<u64> = replicas
+                .iter()
+                .chain([&rejoined])
+                .map(|r| r.read(|s| *s))
+                .collect();
+            if values.iter().all(|&v| v == 50) {
+                // Digest convergence: the rejoined replica's next
+                // snapshot boundary must hash identically to a peer's.
+                let d0 = replicas[0].snapshot_digest();
+                let dr = rejoined.snapshot_digest();
+                if d0.is_some() && d0 == dr {
+                    break;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "post-rejoin convergence failed: values={values:?} d0={:?} dr={:?}",
+                replicas[0].snapshot_digest(),
+                rejoined.snapshot_digest()
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        for r in replicas.iter().chain([&rejoined]) {
+            r.shutdown();
+        }
+    }
+
+    /// Satellite: shutting a node down while its state transfer is still
+    /// in flight must abort cleanly — the applier thread exits (Drop
+    /// joins it; a wedge would hang the test), waiters unblock with an
+    /// error, and the ABORTED milestone lands in the flight ring.
+    #[test]
+    fn rejoin_shutdown_mid_transfer_aborts_cleanly() {
+        let config = SessionConfig::new(4).unwrap();
+        let (mut nodes, hub) = Node::cluster_with_hub(&config).unwrap();
+        // Wipe replica 3; peers 0..2 stay up but run *no* recovery
+        // servers, so the rejoiner's manifest requests are never
+        // answered and the driver stays in Syncing forever.
+        let node3 = nodes.pop().unwrap();
+        drop(node3);
+        let node = Node::rejoin(&config, &hub, 3).unwrap();
+        let m = node.metrics().clone();
+        let rejoined = Replica::rejoin(
+            node,
+            0u64,
+            small_recovery_cfg(),
+            None,
+            |_: &mut u64, _, _| {},
+        );
+        std::thread::sleep(Duration::from_millis(300));
+        assert_eq!(m.recovery_phase.get(), 1, "still syncing");
+        rejoined.shutdown();
+        // A waiter blocked on the recovering replica must surface the
+        // shutdown, not hang.
+        assert_eq!(
+            rejoined.wait_applied_covered(u64::MAX).unwrap_err(),
+            NodeError::Disconnected
+        );
+        drop(rejoined); // joins the applier + (never-started) server
+        assert!(
+            m.flight()
+                .events()
+                .iter()
+                .any(|e| e.kind == FlightKind::Recovery && e.a == milestones::ABORTED),
+            "aborted transfer must leave an ABORTED milestone"
+        );
+        assert_eq!(m.recovery_phase.get(), 0);
+        drop(nodes);
+        drop(hub);
     }
 }

@@ -32,6 +32,7 @@
 
 use crate::codec::{Reader, WireError, WireMessage, Writer};
 use crate::node::{Node, NodeError};
+use crate::recovery::{Hash, RecoveryConfig, SnapshotState};
 use crate::rsm::Replica;
 use bytes::Bytes;
 use crossbeam_channel::{bounded, Receiver, Sender};
@@ -266,6 +267,55 @@ impl SessionTable {
         }
     }
 
+    /// Deterministic decode bound: a snapshot's session count can never
+    /// exceed the table capacity it encodes.
+    fn decode_bounded(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let cap = r.u64("sess.cap")? as usize;
+        let clock = r.u64("sess.clock")?;
+        let count = r.u32("sess.count")? as usize;
+        if count > cap.max(1) {
+            return Err(WireError::FieldTooLong {
+                what: "sess.count",
+                len: count,
+            });
+        }
+        let mut clients = HashMap::new();
+        for _ in 0..count {
+            let id = r.u64("sess.client")?;
+            let last_seq = r.u64("sess.last_seq")?;
+            let stamp = r.u64("sess.stamp")?;
+            let last_reply = match r.u8("sess.has_reply")? {
+                0 => None,
+                _ => Some(r.bytes("sess.reply")?),
+            };
+            let pins = r.u32("sess.pins")? as usize;
+            if pins > cap.max(1) * 64 {
+                return Err(WireError::FieldTooLong {
+                    what: "sess.pins",
+                    len: pins,
+                });
+            }
+            let mut in_flight = BTreeSet::new();
+            for _ in 0..pins {
+                in_flight.insert(r.u64("sess.pin")?);
+            }
+            clients.insert(
+                id,
+                Session {
+                    last_seq,
+                    last_reply,
+                    in_flight,
+                    stamp,
+                },
+            );
+        }
+        Ok(SessionTable {
+            cap: cap.max(1),
+            clients,
+            clock,
+        })
+    }
+
     /// Ensures room for one more session. Never evicts a session with a
     /// live in-flight request.
     fn make_room(&mut self) -> bool {
@@ -285,6 +335,45 @@ impl SessionTable {
             }
             None => false,
         }
+    }
+}
+
+/// Canonical encoding of the *replicated* session table for snapshots.
+///
+/// Everything that influences replicated behavior is included: the LRU
+/// clock and per-session stamps drive eviction decisions, which are part
+/// of the deterministic apply path, so a restored replica must make the
+/// same evictions as its peers. Clients encode sorted by id (the map is
+/// unordered in memory) and in-flight sets iterate sorted, so equal
+/// tables always produce equal bytes — snapshot digests are
+/// vote-compared across replicas.
+impl SnapshotState for SessionTable {
+    fn encode_snapshot(&self, w: &mut Writer) {
+        w.u64(self.cap as u64)
+            .u64(self.clock)
+            .u32(self.clients.len() as u32);
+        let mut ids: Vec<ClientId> = self.clients.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let s = &self.clients[&id];
+            w.u64(id).u64(s.last_seq).u64(s.stamp);
+            match &s.last_reply {
+                Some(reply) => {
+                    w.u8(1).bytes(reply);
+                }
+                None => {
+                    w.u8(0);
+                }
+            }
+            w.u32(s.in_flight.len() as u32);
+            for &seq in &s.in_flight {
+                w.u64(seq);
+            }
+        }
+    }
+
+    fn decode_snapshot(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        SessionTable::decode_bounded(r)
     }
 }
 
@@ -330,6 +419,24 @@ impl From<NodeError> for ServiceError {
 struct ServiceState<S> {
     app: S,
     sessions: SessionTable,
+}
+
+/// Snapshots capture the app state *and* the replicated session table:
+/// restoring one without the other would either lose application data or
+/// forget which `(client, seq)` pairs already applied — exactly the
+/// state that keeps a retry across the snapshot boundary exactly-once.
+impl<S: SnapshotState> SnapshotState for ServiceState<S> {
+    fn encode_snapshot(&self, w: &mut Writer) {
+        self.app.encode_snapshot(w);
+        self.sessions.encode_snapshot(w);
+    }
+
+    fn decode_snapshot(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ServiceState {
+            app: S::decode_snapshot(r)?,
+            sessions: SessionTable::decode_snapshot(r)?,
+        })
+    }
 }
 
 type Waiters = Mutex<HashMap<(ClientId, u64), Vec<Sender<Bytes>>>>;
@@ -415,7 +522,7 @@ impl<S: Send + 'static> ServiceReplica<S> {
         node: Node,
         initial: S,
         config: ServiceConfig,
-        mut apply: impl FnMut(&mut S, ClientId, &[u8]) -> Bytes + Send + 'static,
+        apply: impl FnMut(&mut S, ClientId, &[u8]) -> Bytes + Send + 'static,
         query: impl Fn(&S, &[u8]) -> Bytes + Send + Sync + 'static,
     ) -> Self {
         let metrics = node.metrics().clone();
@@ -427,11 +534,33 @@ impl<S: Send + 'static> ServiceReplica<S> {
             app: initial,
             sessions: SessionTable::new(config.session_capacity),
         };
-        let m = metrics.clone();
-        let t = Arc::clone(&table);
-        let w = Arc::clone(&waiters);
-        let q = Arc::clone(&query);
-        let replica = Replica::new(node, state, move |state, _submitter, cmd| {
+        let applier = Self::make_apply(
+            metrics.clone(),
+            Arc::clone(&table),
+            Arc::clone(&waiters),
+            Arc::clone(&query),
+            apply,
+        );
+        let replica = Replica::new(node, state, applier);
+        ServiceReplica {
+            replica,
+            table,
+            waiters,
+            query,
+            metrics,
+        }
+    }
+
+    /// The shared per-delivery apply closure: decode, replicated dedup,
+    /// apply/query, mirror into the serving table, wake local waiters.
+    fn make_apply(
+        m: Metrics,
+        t: Arc<Mutex<SessionTable>>,
+        w: Arc<Waiters>,
+        q: Arc<QueryFn<S>>,
+        mut apply: impl FnMut(&mut S, ClientId, &[u8]) -> Bytes + Send + 'static,
+    ) -> impl FnMut(&mut ServiceState<S>, crate::ProcessId, &[u8]) + Send + 'static {
+        move |state, _submitter, cmd| {
             let Ok(c) = ServiceCommand::from_bytes(cmd) else {
                 // A correct front-end only ever submits well-formed
                 // commands; garbage here means a Byzantine replica
@@ -473,13 +602,6 @@ impl<S: Send + 'static> ServiceReplica<S> {
                     }
                 }
             }
-        });
-        ServiceReplica {
-            replica,
-            table,
-            waiters,
-            query,
-            metrics,
         }
     }
 
@@ -672,6 +794,106 @@ impl<S: Send + 'static> ServiceReplica<S> {
     /// Shuts the underlying node down.
     pub fn shutdown(&self) {
         self.replica.shutdown();
+    }
+}
+
+impl<S: SnapshotState + Send + 'static> ServiceReplica<S> {
+    /// Like [`ServiceReplica::new`] with the recovery pipeline active:
+    /// the replica snapshots the app state *and* the replicated session
+    /// table at every `recovery.snapshot_every` stream boundary and
+    /// serves state transfer to rejoining peers (see
+    /// [`Replica::with_recovery`]).
+    pub fn with_recovery(
+        node: Node,
+        initial: S,
+        config: ServiceConfig,
+        recovery: RecoveryConfig,
+        apply: impl FnMut(&mut S, ClientId, &[u8]) -> Bytes + Send + 'static,
+        query: impl Fn(&S, &[u8]) -> Bytes + Send + Sync + 'static,
+    ) -> Self {
+        let metrics = node.metrics().clone();
+        let table = Arc::new(Mutex::new(SessionTable::new(config.session_capacity)));
+        let waiters: Arc<Waiters> = Arc::new(Mutex::new(HashMap::new()));
+        let query: Arc<QueryFn<S>> = Arc::new(query);
+        let state = ServiceState {
+            app: initial,
+            sessions: SessionTable::new(config.session_capacity),
+        };
+        let applier = Self::make_apply(
+            metrics.clone(),
+            Arc::clone(&table),
+            Arc::clone(&waiters),
+            Arc::clone(&query),
+            apply,
+        );
+        let replica = Replica::with_recovery(node, state, recovery, applier);
+        ServiceReplica {
+            replica,
+            table,
+            waiters,
+            query,
+            metrics,
+        }
+    }
+
+    /// Rebuilds a wiped service replica from its peers via snapshot
+    /// transfer and Merkle anti-entropy (see [`Replica::rejoin`]). The
+    /// restored replicated session table keeps retried `(client, seq)`
+    /// pairs exactly-once across the snapshot boundary: an ordered
+    /// duplicate of a pre-snapshot command is skipped by the restored
+    /// dedup state, not re-applied.
+    pub fn rejoin(
+        node: Node,
+        initial: S,
+        config: ServiceConfig,
+        recovery: RecoveryConfig,
+        stale: Option<Bytes>,
+        apply: impl FnMut(&mut S, ClientId, &[u8]) -> Bytes + Send + 'static,
+        query: impl Fn(&S, &[u8]) -> Bytes + Send + Sync + 'static,
+    ) -> Self {
+        let metrics = node.metrics().clone();
+        let table = Arc::new(Mutex::new(SessionTable::new(config.session_capacity)));
+        let waiters: Arc<Waiters> = Arc::new(Mutex::new(HashMap::new()));
+        let query: Arc<QueryFn<S>> = Arc::new(query);
+        let state = ServiceState {
+            app: initial,
+            sessions: SessionTable::new(config.session_capacity),
+        };
+        let applier = Self::make_apply(
+            metrics.clone(),
+            Arc::clone(&table),
+            Arc::clone(&waiters),
+            Arc::clone(&query),
+            apply,
+        );
+        let replica = Replica::rejoin(node, state, recovery, stale, applier);
+        ServiceReplica {
+            replica,
+            table,
+            waiters,
+            query,
+            metrics,
+        }
+    }
+
+    /// The latest local snapshot digest as `(seq, merkle_root)` — equal
+    /// across correct replicas at equal `seq`. `None` for replicas built
+    /// without recovery or before the first snapshot boundary.
+    pub fn snapshot_digest(&self) -> Option<(u64, Hash)> {
+        self.replica.snapshot_digest()
+    }
+
+    /// The encoded bytes of the latest local snapshot (see
+    /// [`Replica::latest_snapshot_bytes`]) — the `stale` image for a
+    /// later [`ServiceReplica::rejoin`].
+    pub fn latest_snapshot_bytes(&self) -> Option<Bytes> {
+        self.replica.latest_snapshot_bytes()
+    }
+
+    /// Fault-injection hook: serve corrupted snapshot chunks (see
+    /// [`Replica::set_chunk_tamper`]).
+    pub fn set_chunk_tamper(&self, on: bool) {
+        self.replica.set_chunk_tamper(on);
     }
 }
 
@@ -883,6 +1105,65 @@ mod tests {
             matches!(e, ServiceError::Node(_)),
             "retry saw a stale in-flight pin: {e:?}"
         );
+    }
+
+    /// Satellite: snapshotting the replicated session table mid-retry and
+    /// restoring it on a peer must keep a retried `(client, seq)`
+    /// exactly-once across the snapshot boundary, and equal tables must
+    /// encode byte-identically (digests are vote-compared).
+    #[test]
+    fn session_table_snapshot_restore_determinism() {
+        let mut t = SessionTable::new(8);
+        assert!(t.complete(7, 1, Bytes::from_static(b"r1")));
+        // Mid-retry: (7, 2) submitted (in-flight at the front-end) while
+        // the snapshot is cut.
+        assert!(t.begin(7, 2));
+        assert!(t.complete(9, 5, Bytes::from_static(b"r5")));
+        let mut w = Writer::new();
+        t.encode_snapshot(&mut w);
+        let bytes = w.freeze();
+        // Determinism: re-encoding the same table yields the same bytes.
+        let mut w2 = Writer::new();
+        t.encode_snapshot(&mut w2);
+        assert_eq!(bytes, w2.freeze(), "snapshot encoding must be stable");
+        // Restore on a "peer" and replay the retry as an ordered
+        // duplicate: the restored dedup state must skip it.
+        let mut restored = SessionTable::decode_snapshot(&mut Reader::new(&bytes)).unwrap();
+        assert!(restored.is_applied(7, 1), "pre-snapshot apply survived");
+        assert_eq!(restored.cached(7, 1), Some(Bytes::from_static(b"r1")));
+        assert_eq!(
+            restored.check(7, 2),
+            SessionCheck::InFlight,
+            "mid-retry pin survives the snapshot"
+        );
+        // The retried command now applies (once); a second ordered copy
+        // is a duplicate by the replicated predicate.
+        assert!(!restored.is_applied(7, 2));
+        assert!(restored.complete(7, 2, Bytes::from_static(b"r2")));
+        assert!(restored.is_applied(7, 2), "second copy dedups");
+        // Round-trip again: restored tables re-encode identically, so a
+        // rejoined replica's next snapshot digest matches its peers'.
+        let mut w3 = Writer::new();
+        restored.encode_snapshot(&mut w3);
+        let reencoded = w3.freeze();
+        let t2 = SessionTable::decode_snapshot(&mut Reader::new(&reencoded)).unwrap();
+        let mut w4 = Writer::new();
+        t2.encode_snapshot(&mut w4);
+        assert_eq!(reencoded, w4.freeze());
+        // Eviction decisions after restore match the original's LRU
+        // clock: the stamps are replicated state.
+        assert_eq!(restored.len(), 2);
+    }
+
+    #[test]
+    fn session_table_snapshot_rejects_garbage() {
+        // Truncated input and absurd counts must error, not panic or
+        // allocate unboundedly.
+        assert!(SessionTable::decode_snapshot(&mut Reader::new(&[1, 2, 3])).is_err());
+        let mut w = Writer::new();
+        w.u64(4).u64(0).u32(u32::MAX);
+        let bytes = w.freeze();
+        assert!(SessionTable::decode_snapshot(&mut Reader::new(&bytes)).is_err());
     }
 
     #[test]

@@ -81,6 +81,12 @@ pub enum InstanceKey {
         /// Session number (usually 0).
         session: u32,
     },
+    /// A state-transfer frame (snapshot manifests, Merkle nodes, chunks,
+    /// log fills; see [`crate::recovery`]). Not a protocol instance: the
+    /// payload is handed to the application verbatim as
+    /// [`Output::Xfer`] — the recovery driver in [`crate::rsm`] does its
+    /// own request/response matching and `f+1` vote counting.
+    Xfer,
 }
 
 /// Root span path of an instance (children extend it with `/`-separated
@@ -93,6 +99,7 @@ fn span_path_for(key: &InstanceKey) -> String {
         InstanceKey::Mvc { tag } => format!("mvc:{tag}"),
         InstanceKey::Vc { tag } => format!("vc:{tag}"),
         InstanceKey::Ab { session } => format!("ab:{session}"),
+        InstanceKey::Xfer => "xfer".to_string(),
     }
 }
 
@@ -113,6 +120,7 @@ const KEY_BC: u8 = 3;
 const KEY_MVC: u8 = 4;
 const KEY_VC: u8 = 5;
 const KEY_AB: u8 = 6;
+const KEY_XFER: u8 = 7;
 
 impl WireMessage for InstanceKey {
     fn encode(&self, w: &mut Writer) {
@@ -134,6 +142,9 @@ impl WireMessage for InstanceKey {
             }
             InstanceKey::Ab { session } => {
                 w.u8(KEY_AB).u32(*session);
+            }
+            InstanceKey::Xfer => {
+                w.u8(KEY_XFER);
             }
         }
     }
@@ -160,6 +171,7 @@ impl WireMessage for InstanceKey {
             KEY_AB => Ok(InstanceKey::Ab {
                 session: r.u32("key.session")?,
             }),
+            KEY_XFER => Ok(InstanceKey::Xfer),
             t => Err(WireError::InvalidTag {
                 what: "key.kind",
                 tag: t,
@@ -216,6 +228,15 @@ pub enum Output {
         key: InstanceKey,
         /// The delivery (id + payload), in total order.
         delivery: AbDelivery,
+    },
+    /// A state-transfer frame arrived (payload is an encoded
+    /// [`crate::recovery::XferMessage`]; decoding and authentication by
+    /// `f+1` cross-checking are the recovery driver's job).
+    Xfer {
+        /// The peer that sent the frame.
+        from: ProcessId,
+        /// The opaque transfer payload.
+        payload: Bytes,
     },
 }
 
@@ -313,6 +334,12 @@ pub struct Stack {
     ooc: HashMap<InstanceKey, VecDeque<(ProcessId, Bytes)>>,
     next_rb_seq: u64,
     next_eb_seq: u64,
+    /// While `true`, inbound atomic-broadcast frames are parked in the
+    /// OOC table instead of being fed to (or auto-creating) the session —
+    /// the rejoin window between reattaching to the transport and
+    /// [`Stack::ab_resume`]: the parked frames replay once the session
+    /// exists at its resume cursor.
+    ab_hold: bool,
     /// Total frames dropped because the OOC table was full.
     ooc_dropped: u64,
     /// Messages currently parked across all OOC queues.
@@ -364,6 +391,7 @@ impl Stack {
             ooc: HashMap::new(),
             next_rb_seq: 0,
             next_eb_seq: 0,
+            ab_hold: false,
             ooc_dropped: 0,
             ooc_buffered: 0,
             metrics: Metrics::default(),
@@ -728,6 +756,80 @@ impl Stack {
         }
     }
 
+    // ----- recovery / state transfer -----
+
+    /// Arms or disarms the rejoin hold: while armed, inbound
+    /// atomic-broadcast frames are parked (OOC) instead of feeding the
+    /// session, so a rejoiner can reattach to the transport before it
+    /// knows its resume cursor. [`Stack::ab_resume`] disarms and replays.
+    pub fn set_ab_hold(&mut self, hold: bool) {
+        self.ab_hold = hold;
+    }
+
+    /// Creates atomic-broadcast session `session` at a rejoin cursor,
+    /// disarms the hold, and replays every parked frame into it. See
+    /// [`crate::ab::AtomicBroadcast::resume`].
+    pub fn ab_resume(&mut self, session: u32, cursor: &crate::ab::AbCursor) -> StackStep {
+        let key = InstanceKey::Ab { session };
+        self.ab_hold = false;
+        self.ensure_ab(key);
+        if let Some(Instance::Ab(ab)) = self.instances.get_mut(&key) {
+            ab.resume(cursor);
+        }
+        self.replay_ooc(key)
+    }
+
+    /// The atomic-broadcast session's stream position as served to a
+    /// rejoiner; a session that has seen no traffic reports the default
+    /// (all-zero) hints.
+    pub fn ab_hints(&self, session: u32) -> crate::recovery::PeerHints {
+        match self.instances.get(&InstanceKey::Ab { session }) {
+            Some(Instance::Ab(ab)) => ab.hints(),
+            _ => crate::recovery::PeerHints {
+                round: 0,
+                batch_w: vec![0; self.group.n()],
+                max_batch: vec![0; self.group.n()],
+                max_rbid: vec![0; self.group.n()],
+            },
+        }
+    }
+
+    /// Decided-but-payloadless batch ids of the session (see
+    /// [`crate::ab::AtomicBroadcast::missing_payloads`]).
+    pub fn ab_missing_payloads(&self, session: u32) -> Vec<MsgId> {
+        match self.instances.get(&InstanceKey::Ab { session }) {
+            Some(Instance::Ab(ab)) => ab.missing_payloads(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// A retained batch payload for re-serving to a rejoiner.
+    pub fn ab_retained_batch(&self, session: u32, id: &MsgId) -> Option<Bytes> {
+        match self.instances.get(&InstanceKey::Ab { session }) {
+            Some(Instance::Ab(ab)) => ab.retained_batch(id),
+            _ => None,
+        }
+    }
+
+    /// Injects an out-of-band batch payload obtained from `f+1`
+    /// identically-serving peers.
+    pub fn ab_inject_batch(&mut self, session: u32, id: MsgId, raw: Bytes) -> StackStep {
+        let key = InstanceKey::Ab { session };
+        match self.instances.get_mut(&key) {
+            Some(Instance::Ab(ab)) => encode_ab_step(key, ab.inject_batch(id, raw)),
+            _ => Step::none(),
+        }
+    }
+
+    /// True while the session is between a resume and its first normally
+    /// concluded round.
+    pub fn ab_recovering(&self, session: u32) -> bool {
+        match self.instances.get(&InstanceKey::Ab { session }) {
+            Some(Instance::Ab(ab)) => ab.recovering(),
+            _ => false,
+        }
+    }
+
     fn ensure_ab(&mut self, key: InstanceKey) {
         if !self.instances.contains_key(&key) {
             let mut inst = AtomicBroadcast::with_config(
@@ -798,6 +900,20 @@ impl Stack {
     }
 
     fn dispatch(&mut self, from: ProcessId, key: InstanceKey, inner: Bytes) -> StackStep {
+        // Transfer frames bypass instance management entirely.
+        if key == InstanceKey::Xfer {
+            let mut out = Step::none();
+            out.push_output(Output::Xfer {
+                from,
+                payload: inner,
+            });
+            return out;
+        }
+        // Rejoin window: park AB traffic until the session is resumed.
+        if self.ab_hold && matches!(key, InstanceKey::Ab { .. }) {
+            self.park_ooc(key, from, inner);
+            return Step::none();
+        }
         // Auto-create broadcast instances on first contact.
         if !self.instances.contains_key(&key) {
             match key {
@@ -824,6 +940,8 @@ impl Stack {
                     self.park_ooc(key, from, inner);
                     return Step::none();
                 }
+                // Handled by the early return above.
+                InstanceKey::Xfer => return Step::none(),
             }
         }
         self.feed_instance(from, key, inner)
@@ -915,6 +1033,15 @@ fn encode_frame<M: WireMessage>(key: InstanceKey, m: &M) -> Bytes {
     w.freeze()
 }
 
+/// Encodes a state-transfer payload into a wire frame: the receiving
+/// stack routes it to [`Output::Xfer`] verbatim.
+pub fn encode_xfer(payload: &[u8]) -> Bytes {
+    let mut w = Writer::new();
+    InstanceKey::Xfer.encode(&mut w);
+    w.raw(payload);
+    w.freeze()
+}
+
 fn encode_rb_step(key: InstanceKey, sender: ProcessId, sub: Step<RbMessage, Bytes>) -> StackStep {
     sub.map_messages(|m| encode_frame(key, &m))
         .map_outputs(|payload| {
@@ -971,9 +1098,56 @@ mod tests {
             InstanceKey::Mvc { tag: u64::MAX },
             InstanceKey::Vc { tag: 7 },
             InstanceKey::Ab { session: 3 },
+            InstanceKey::Xfer,
         ] {
             assert_eq!(InstanceKey::from_bytes(&key.to_bytes()).unwrap(), key);
         }
+    }
+
+    #[test]
+    fn xfer_frames_surface_verbatim() {
+        let mut cluster = Cluster::new(4, 21);
+        let frame = encode_xfer(b"opaque-transfer-payload");
+        let step = cluster.stack_mut(0).handle_frame(2, frame);
+        assert_eq!(
+            step.outputs,
+            vec![Output::Xfer {
+                from: 2,
+                payload: Bytes::from_static(b"opaque-transfer-payload"),
+            }]
+        );
+        assert!(step.messages.is_empty());
+        // No instance was created for it.
+        assert_eq!(cluster.stack_mut(0).instance_count(), 0);
+    }
+
+    #[test]
+    fn ab_hold_parks_frames_until_resume() {
+        let mut cluster = Cluster::new(4, 22);
+        // Peer 1 a-broadcasts; capture one of its AB frames.
+        let (_, step) = cluster
+            .stack_mut(1)
+            .ab_broadcast(0, Bytes::from_static(b"held"));
+        let frame = step.messages[0].message.clone();
+        // Process 0 holds AB traffic: the frame parks, no session exists.
+        cluster.stack_mut(0).set_ab_hold(true);
+        let s = cluster.stack_mut(0).handle_frame(1, frame.clone());
+        assert!(s.is_empty());
+        assert_eq!(cluster.stack_mut(0).instance_count(), 0);
+        assert!(cluster.stack_mut(0).ooc_len() > 0, "frame must be parked");
+        // Resume replays the parked frame into a fresh session: the RBC
+        // echo traffic it triggers proves the frame was processed.
+        let cursor = crate::ab::AbCursor {
+            round: 0,
+            a_delivered: vec![0; 4],
+            cmd_delivered: vec![0; 4],
+            next_rbid: 0,
+            next_batch: 0,
+        };
+        let s = cluster.stack_mut(0).ab_resume(0, &cursor);
+        assert!(!s.messages.is_empty(), "replayed frame produced traffic");
+        assert_eq!(cluster.stack_mut(0).ooc_len(), 0);
+        assert!(cluster.stack_mut(0).ab_recovering(0));
     }
 
     #[test]

@@ -56,6 +56,11 @@ pub enum FlightKind {
     Suspicion,
     /// Driver-specific marker (tests, shutdown notes…).
     Marker,
+    /// A recovery-pipeline milestone (snapshot taken, rejoin phase
+    /// change, transfer abort); `a` = milestone code (0 snapshot,
+    /// 1 syncing, 2 catching-up, 3 live, 4 aborted), `b` = the applied
+    /// sequence number involved.
+    Recovery,
 }
 
 impl FlightKind {
@@ -71,6 +76,7 @@ impl FlightKind {
             FlightKind::Stall => 7,
             FlightKind::Suspicion => 8,
             FlightKind::Marker => 9,
+            FlightKind::Recovery => 10,
         }
     }
 
@@ -86,6 +92,7 @@ impl FlightKind {
             7 => FlightKind::Stall,
             8 => FlightKind::Suspicion,
             9 => FlightKind::Marker,
+            10 => FlightKind::Recovery,
             _ => return None,
         })
     }
@@ -102,6 +109,7 @@ impl FlightKind {
             FlightKind::Stall => "stall",
             FlightKind::Suspicion => "suspicion",
             FlightKind::Marker => "marker",
+            FlightKind::Recovery => "recovery",
         }
     }
 }

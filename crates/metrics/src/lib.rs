@@ -949,10 +949,14 @@ pub enum SuspicionKind {
     /// A value that fails the protocol's justification rule (Bracha
     /// validation, biased coins, unjustified proposals).
     Unjustified,
+    /// A state-transfer chunk whose Merkle proof did not verify against
+    /// the agreed snapshot root (corrupt snapshot served during
+    /// recovery).
+    BadChunk,
 }
 
 /// Number of [`SuspicionKind`] variants (the per-peer counter row width).
-pub const SUSPICION_KINDS: usize = 6;
+pub const SUSPICION_KINDS: usize = 7;
 
 impl SuspicionKind {
     /// All kinds, in counter-row order.
@@ -963,6 +967,7 @@ impl SuspicionKind {
         SuspicionKind::NotEntitled,
         SuspicionKind::BadAuthenticator,
         SuspicionKind::Unjustified,
+        SuspicionKind::BadChunk,
     ];
 
     /// This kind's slot in a per-peer counter row.
@@ -974,6 +979,7 @@ impl SuspicionKind {
             SuspicionKind::NotEntitled => 3,
             SuspicionKind::BadAuthenticator => 4,
             SuspicionKind::Unjustified => 5,
+            SuspicionKind::BadChunk => 6,
         }
     }
 
@@ -986,6 +992,7 @@ impl SuspicionKind {
             SuspicionKind::NotEntitled => "not-entitled",
             SuspicionKind::BadAuthenticator => "bad-authenticator",
             SuspicionKind::Unjustified => "unjustified",
+            SuspicionKind::BadChunk => "bad-chunk",
         }
     }
 }
@@ -1205,6 +1212,28 @@ pub struct MetricsInner {
     /// per-kind breakdown is [`Metrics::suspicions`]).
     pub suspicions_total: Counter,
 
+    // ---- recovery (snapshots, state transfer, rejoin) ----
+    /// Snapshots taken at apply-watermark boundaries.
+    pub recovery_snapshots_total: Counter,
+    /// Snapshot/Merkle-node/chunk/fill requests served to peers.
+    pub recovery_chunks_served: Counter,
+    /// Snapshot chunks fetched (and proof-verified) during a rejoin.
+    pub recovery_chunks_fetched: Counter,
+    /// Chunks reused from a stale local snapshot by Merkle anti-entropy
+    /// (not downloaded).
+    pub recovery_chunks_reused: Counter,
+    /// Fetched chunks whose Merkle proof failed verification (corrupt
+    /// chunk server; also feeds the suspicion table).
+    pub recovery_chunk_proof_rejected: Counter,
+    /// Log entries applied from the peer fill protocol while catching up.
+    pub recovery_fills_applied: Counter,
+    /// Rejoins that reached the `Live` phase.
+    pub recovery_completed_total: Counter,
+    /// Current recovery phase (0 live, 1 syncing, 2 catching up).
+    pub recovery_phase: Gauge,
+    /// Encoded size in bytes of the latest local snapshot.
+    pub recovery_snapshot_bytes: Gauge,
+
     suspicions: Mutex<BTreeMap<u32, [u64; SUSPICION_KINDS]>>,
     flight: flight::FlightRecorder,
     spans: SpanRegistry,
@@ -1294,6 +1323,15 @@ impl Default for MetricsInner {
             rsm_applied_total: Counter::default(),
             rsm_applied_watermark: Gauge::default(),
             suspicions_total: Counter::default(),
+            recovery_snapshots_total: Counter::default(),
+            recovery_chunks_served: Counter::default(),
+            recovery_chunks_fetched: Counter::default(),
+            recovery_chunks_reused: Counter::default(),
+            recovery_chunk_proof_rejected: Counter::default(),
+            recovery_fills_applied: Counter::default(),
+            recovery_completed_total: Counter::default(),
+            recovery_phase: Gauge::default(),
+            recovery_snapshot_bytes: Gauge::default(),
             suspicions: Mutex::new(BTreeMap::new()),
             flight: flight::FlightRecorder::new(flight::FLIGHT_CAPACITY),
             spans: SpanRegistry::new(SPAN_CAPACITY),
@@ -1580,6 +1618,13 @@ impl Metrics {
             node_stalls_total,
             rsm_applied_total,
             suspicions_total,
+            recovery_snapshots_total,
+            recovery_chunks_served,
+            recovery_chunks_fetched,
+            recovery_chunks_reused,
+            recovery_chunk_proof_rejected,
+            recovery_fills_applied,
+            recovery_completed_total,
         );
         // Gauges join the counter map (point-in-time values).
         counters.insert("stack_instances", m.stack_instances.get());
@@ -1592,6 +1637,8 @@ impl Metrics {
         counters.insert("service_sessions_live", m.service_sessions_live.get());
         counters.insert("service_inflight", m.service_inflight.get());
         counters.insert("rsm_applied_watermark", m.rsm_applied_watermark.get());
+        counters.insert("recovery_phase", m.recovery_phase.get());
+        counters.insert("recovery_snapshot_bytes", m.recovery_snapshot_bytes.get());
         histogram!(
             bc_rounds,
             mvc_vect_bytes,
@@ -1715,7 +1762,7 @@ impl MetricsSnapshot {
     /// (metric prefix `ritas_`, histograms with cumulative `le` buckets).
     pub fn to_prometheus(&self) -> String {
         // Point-in-time instruments that live in the counter map.
-        const GAUGES: [&str; 10] = [
+        const GAUGES: [&str; 12] = [
             "stack_instances",
             "stack_ooc_buffered",
             "stack_ooc_high_water",
@@ -1726,6 +1773,8 @@ impl MetricsSnapshot {
             "service_sessions_live",
             "service_inflight",
             "rsm_applied_watermark",
+            "recovery_phase",
+            "recovery_snapshot_bytes",
         ];
         let mut out = String::new();
         for (name, value) in &self.counters {

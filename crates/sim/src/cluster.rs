@@ -194,6 +194,9 @@ enum EventKind {
     },
     /// An application service request fires.
     Invoke { p: ProcessId, action: Action },
+    /// A wiped process rejoins: its stack is rebuilt from scratch
+    /// (see [`Faultload::Wipe`]).
+    Reset { p: ProcessId },
 }
 
 #[derive(Debug)]
@@ -265,6 +268,33 @@ pub struct SimCluster {
     flap_fifo: std::collections::HashMap<(ProcessId, ProcessId), Ns>,
 }
 
+/// Builds process `me`'s protocol stack from nothing but the run
+/// configuration — used both at cluster construction and when a
+/// [`Faultload::Wipe`] victim rejoins with zero state.
+fn fresh_stack(config: &SimConfig, group: Group, table: &KeyTable, me: ProcessId) -> Stack {
+    let stack_config = StackConfig {
+        ab: ritas::ab::AbConfig {
+            mvc: config.mvc,
+            byzantine_bottom: config.faultload.is_byzantine(me),
+            eager_rounds: false,
+            // Paper-faithful per-message dissemination: the
+            // simulator reproduces Figures 4–7
+            // instance-for-instance, so batching stays off.
+            batch: ritas::ab::BatchPolicy::immediate(),
+        },
+        consensus: config.mvc,
+        eager_vc_rounds: false,
+        coin: config.coin,
+    };
+    Stack::with_config(
+        group,
+        me,
+        table.view_of(me),
+        config.seed.wrapping_mul(0xD6E8_FEB8_6659_FD93) ^ ((me as u64) << 24),
+        stack_config,
+    )
+}
+
 impl SimCluster {
     /// Builds a simulated cluster.
     ///
@@ -279,34 +309,20 @@ impl SimCluster {
             .collect();
         let stacks = (0..config.n)
             .map(|me| {
-                let stack_config = StackConfig {
-                    ab: ritas::ab::AbConfig {
-                        mvc: config.mvc,
-                        byzantine_bottom: config.faultload.is_byzantine(me),
-                        eager_rounds: false,
-                        // Paper-faithful per-message dissemination: the
-                        // simulator reproduces Figures 4–7
-                        // instance-for-instance, so batching stays off.
-                        batch: ritas::ab::BatchPolicy::immediate(),
-                    },
-                    consensus: config.mvc,
-                    eager_vc_rounds: false,
-                    coin: config.coin,
-                };
-                let mut stack = Stack::with_config(
-                    group,
-                    me,
-                    table.view_of(me),
-                    config.seed.wrapping_mul(0xD6E8_FEB8_6659_FD93) ^ ((me as u64) << 24),
-                    stack_config,
-                );
+                let mut stack = fresh_stack(&config, group, &table, me);
                 stack.set_metrics(metrics[me].clone());
                 stack
             })
             .collect();
-        // The observer must be a live, correct process.
+        // The observer must be a live, correct process (a wipe victim
+        // loses its state mid-run, so it cannot observe either).
+        let wipe_victim = config.faultload.wipe_rejoin_at().map(|(v, _)| v);
         let observer = (0..config.n)
-            .find(|p| config.faultload.participates(*p) && !config.faultload.is_byzantine(*p))
+            .find(|p| {
+                config.faultload.participates(*p)
+                    && !config.faultload.is_byzantine(*p)
+                    && Some(*p) != wipe_victim
+            })
             .expect("at least one correct process");
         let mut lan = LanModel::new(
             config.n,
@@ -317,7 +333,7 @@ impl SimCluster {
         if let Some((lo, hi)) = config.wan_spread_ns {
             lan.set_propagation_matrix(wan_matrix(config.n, lo, hi, config.seed ^ 0x3A9));
         }
-        SimCluster {
+        let mut sim = SimCluster {
             lan,
             stacks,
             events: BinaryHeap::new(),
@@ -330,7 +346,11 @@ impl SimCluster {
             observer,
             flap_fifo: std::collections::HashMap::new(),
             config,
+        };
+        if let Some((victim, at)) = sim.config.faultload.wipe_rejoin_at() {
+            sim.push(at, EventKind::Reset { p: victim });
         }
+        sim
     }
 
     /// The virtual clock, nanoseconds.
@@ -378,6 +398,10 @@ impl SimCluster {
         assert!(
             self.config.faultload.participates(p),
             "cannot invoke a crashed process"
+        );
+        assert!(
+            !self.config.faultload.wiped(p, t),
+            "cannot invoke a process inside its wipe window"
         );
         self.push(t, EventKind::Invoke { p, action });
     }
@@ -464,7 +488,9 @@ impl SimCluster {
             self.now = ev.time;
             match ev.kind {
                 EventKind::Arrive { from, to, frame } => {
-                    if !self.config.faultload.participates(to) {
+                    if !self.config.faultload.participates(to)
+                        || self.config.faultload.wiped(to, ev.time)
+                    {
                         continue; // frames into a crashed host vanish
                     }
                     self.counters.frames += 1;
@@ -482,6 +508,12 @@ impl SimCluster {
                 }
                 EventKind::Deliver { from, to, frame } => {
                     if !self.config.faultload.participates(to) {
+                        continue;
+                    }
+                    if self.config.faultload.wiped(to, ev.time) {
+                        // Arrived just before the crash, would have been
+                        // processed inside the window: lost with the host.
+                        self.pending_rx[to] -= 1;
                         continue;
                     }
                     self.pending_rx[to] -= 1;
@@ -505,6 +537,16 @@ impl SimCluster {
                     self.metrics[p].set_time(ev.time);
                     let step = self.invoke(p, action);
                     self.absorb(p, step);
+                }
+                EventKind::Reset { p } => {
+                    // The wiped process returns: same identity and keys,
+                    // zero protocol state. Whatever was queued for the
+                    // old incarnation died with it at the crash edge.
+                    let group = Group::new(self.config.n).expect("n >= 4");
+                    let table = KeyTable::dealer(self.config.n, self.config.seed);
+                    let mut stack = fresh_stack(&self.config, group, &table, p);
+                    stack.set_metrics(self.metrics[p].clone());
+                    self.stacks[p] = stack;
                 }
             }
         }
@@ -665,6 +707,43 @@ mod tests {
         sim.run();
         assert!(sim.outputs(3).is_empty());
         assert_eq!(sim.ab_delivery_times(0).len(), 3);
+    }
+
+    #[test]
+    fn wipe_rejoin_keeps_the_correct_majority_live() {
+        // A stream of atomic broadcasts from process 0 spans the
+        // victim's dark window: crash at 2 ms, amnesiac comeback at
+        // 30 ms. The correct majority (n − f = 3) must a-deliver every
+        // message as if nothing happened, and the returnee — zero
+        // protocol state, no recovery pipeline in the protocol-layer
+        // sim — must be tolerated like any other single fault.
+        let wipe = Faultload::Wipe {
+            victim: 3,
+            down_from_ns: 2_000_000,
+            down_until_ns: 30_000_000,
+        };
+        let config = SimConfig::paper_testbed(17).with_faultload(wipe);
+        let mut sim = SimCluster::new(config);
+        let k = 8u64;
+        for i in 0..k {
+            sim.schedule(
+                i * 4_000_000,
+                0,
+                Action::AbBroadcast(Bytes::from(format!("wipe-{i}"))),
+            );
+        }
+        sim.run();
+        assert_ne!(sim.observer(), 3, "observer must not be the victim");
+        for p in 0..3 {
+            assert_eq!(sim.ab_delivery_times(p).len(), k as usize, "process {p}");
+        }
+        // The wiped process misses deliveries: protocol-layer catch-up
+        // alone is impossible, which is exactly why the recovery
+        // pipeline (snapshots + state transfer) exists above this sim.
+        assert!(
+            sim.ab_delivery_times(3).len() < k as usize,
+            "an amnesiac rejoiner cannot have caught up by itself"
+        );
     }
 
     #[test]

@@ -45,6 +45,23 @@ pub enum Faultload {
         /// Outage length per cycle, nanoseconds (must be `< period_ns`).
         outage_ns: u64,
     },
+    /// One process fail-stops mid-run and comes back later **wiped**:
+    /// its protocol stack is rebuilt from scratch at the rejoin time
+    /// (same identity and keys, zero protocol state) — the
+    /// discrete-event twin of the kill/wipe/rejoin chaos scenario. The
+    /// protocol layer alone cannot re-integrate the amnesiac (that is
+    /// the recovery pipeline's job, `ritas::rsm`); what the simulator
+    /// checks is that the correct majority is unaffected throughout and
+    /// the returnee is tolerated like any other single fault.
+    Wipe {
+        /// The wiped process.
+        victim: ProcessId,
+        /// Virtual time the victim crashes, nanoseconds.
+        down_from_ns: u64,
+        /// Virtual time the victim returns wiped, nanoseconds
+        /// (must be `> down_from_ns`).
+        down_until_ns: u64,
+    },
 }
 
 impl Faultload {
@@ -89,6 +106,11 @@ impl Faultload {
                 period_ns,
                 outage_ns,
             } => format!("link-flap:{a}-{b}:{period_ns}:{outage_ns}"),
+            Faultload::Wipe {
+                victim,
+                down_from_ns,
+                down_until_ns,
+            } => format!("wipe:{victim}:{down_from_ns}:{down_until_ns}"),
         }
     }
 
@@ -100,6 +122,32 @@ impl Faultload {
             Faultload::Byzantine { .. } => "byzantine",
             Faultload::Slow { .. } => "slow-process",
             Faultload::LinkFlap { .. } => "link-flap",
+            Faultload::Wipe { .. } => "wipe-rejoin",
+        }
+    }
+
+    /// Whether process `p` is dark — crashed, not yet rejoined — at
+    /// virtual time `t` (only ever true under [`Faultload::Wipe`]).
+    pub fn wiped(&self, p: ProcessId, t: u64) -> bool {
+        matches!(
+            self,
+            Faultload::Wipe {
+                victim,
+                down_from_ns,
+                down_until_ns,
+            } if *victim == p && (*down_from_ns..*down_until_ns).contains(&t)
+        )
+    }
+
+    /// Under [`Faultload::Wipe`], the victim and its rejoin time.
+    pub fn wipe_rejoin_at(&self) -> Option<(ProcessId, u64)> {
+        match self {
+            Faultload::Wipe {
+                victim,
+                down_until_ns,
+                ..
+            } => Some((*victim, *down_until_ns)),
+            _ => None,
         }
     }
 
@@ -144,7 +192,7 @@ impl core::fmt::Display for FaultloadParseError {
         write!(
             f,
             "invalid faultload {:?} (expected failure-free | fail-stop:V | byzantine:A | \
-             slow:V:DELAY_NS | link-flap:A-B:PERIOD_NS:OUTAGE_NS)",
+             slow:V:DELAY_NS | link-flap:A-B:PERIOD_NS:OUTAGE_NS | wipe:V:FROM_NS:UNTIL_NS)",
             self.0
         )
     }
@@ -187,6 +235,19 @@ impl std::str::FromStr for Faultload {
                     victim_link: (a.parse().map_err(|_| err())?, b.parse().map_err(|_| err())?),
                     period_ns,
                     outage_ns,
+                }
+            }
+            "wipe" => {
+                let victim = arg()?.parse().map_err(|_| err())?;
+                let down_from_ns: u64 = arg()?.parse().map_err(|_| err())?;
+                let down_until_ns: u64 = arg()?.parse().map_err(|_| err())?;
+                if down_from_ns >= down_until_ns {
+                    return Err(err());
+                }
+                Faultload::Wipe {
+                    victim,
+                    down_from_ns,
+                    down_until_ns,
                 }
             }
             _ => return Err(err()),
@@ -232,6 +293,39 @@ mod tests {
             .label(),
             "slow-process"
         );
+        assert_eq!(
+            Faultload::Wipe {
+                victim: 0,
+                down_from_ns: 1,
+                down_until_ns: 2
+            }
+            .label(),
+            "wipe-rejoin"
+        );
+    }
+
+    #[test]
+    fn wipe_darkens_only_the_victim_only_in_window() {
+        let f = Faultload::Wipe {
+            victim: 3,
+            down_from_ns: 1_000,
+            down_until_ns: 5_000,
+        };
+        // Overall participant (it is alive at the start and rejoins),
+        // never Byzantine, no send delay.
+        assert!(f.participates(3));
+        assert!(!f.is_byzantine(3));
+        assert_eq!(f.send_delay(3), 0);
+        // Dark exactly inside the half-open window.
+        assert!(!f.wiped(3, 999));
+        assert!(f.wiped(3, 1_000));
+        assert!(f.wiped(3, 4_999));
+        assert!(!f.wiped(3, 5_000));
+        // Other processes are never dark; other faultloads never wipe.
+        assert!(!f.wiped(0, 2_000));
+        assert!(!Faultload::FailureFree.wiped(3, 2_000));
+        assert_eq!(f.wipe_rejoin_at(), Some((3, 5_000)));
+        assert_eq!(Faultload::FailureFree.wipe_rejoin_at(), None);
     }
 
     #[test]
@@ -289,6 +383,14 @@ mod tests {
                 outage_ns: 1_000_000
             }
         );
+        assert_eq!(
+            "wipe:3:2000000:30000000".parse::<Faultload>().unwrap(),
+            Faultload::Wipe {
+                victim: 3,
+                down_from_ns: 2_000_000,
+                down_until_ns: 30_000_000
+            }
+        );
         for bad in [
             "",
             "nope",
@@ -299,6 +401,10 @@ mod tests {
             "link-flap:0-1:0:0",
             "link-flap:0-1:100:100",
             "failure-free:extra",
+            // A wipe window must be non-empty.
+            "wipe:3:100:100",
+            "wipe:3:200:100",
+            "wipe:3:100",
         ] {
             assert!(bad.parse::<Faultload>().is_err(), "accepted {bad:?}");
         }
@@ -328,6 +434,11 @@ mod tests {
                 victim_link: (2, 3),
                 period_ns: 2,
                 outage_ns: 1,
+            },
+            Faultload::Wipe {
+                victim: 3,
+                down_from_ns: 2_000_000,
+                down_until_ns: 30_000_000,
             },
         ];
         for f in loads {

@@ -69,6 +69,9 @@ pub fn classify_broadcast_init(frame: &Bytes) -> Option<Purpose> {
                 _ => None,
             }
         }
+        // State-transfer traffic is point-to-point request/response,
+        // not a broadcast instance.
+        InstanceKey::Xfer => None,
         InstanceKey::Ab { .. } => match AbMessage::from_bytes(&body).ok()? {
             AbMessage::Msg {
                 inner: RbMessage::Init(_),

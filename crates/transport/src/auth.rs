@@ -43,6 +43,8 @@ pub struct AuthConfig {
     keys: Vec<SecretKey>,
     /// Whether replayed sequence numbers are rejected.
     anti_replay: bool,
+    /// First outbound sequence number minus one (0 = fresh association).
+    initial_seq: u64,
 }
 
 impl AuthConfig {
@@ -56,12 +58,23 @@ impl AuthConfig {
         AuthConfig {
             keys: (0..view.len()).map(|j| view.key_for(j)).collect(),
             anti_replay: true,
+            initial_seq: 0,
         }
     }
 
     /// Disables anti-replay (used by tests that re-inject frames).
     pub fn without_anti_replay(mut self) -> Self {
         self.anti_replay = false;
+        self
+    }
+
+    /// Starts the outbound sequence counters above `seq` — the rekey/new-SA
+    /// escape hatch for a process that lost its counters in a wipe: peers'
+    /// replay windows still sit at the old incarnation's high-water mark,
+    /// so a rejoiner must resume *above* every number it could previously
+    /// have used or all of its frames are dropped as replays.
+    pub fn with_initial_seq(mut self, seq: u64) -> Self {
+        self.initial_seq = seq;
         self
     }
 }
@@ -151,10 +164,11 @@ impl<T: Transport> AuthenticatedTransport<T> {
             "one key per peer required"
         );
         let n = inner.group_size();
+        let base = config.initial_seq;
         AuthenticatedTransport {
             inner,
             config,
-            tx_seq: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            tx_seq: (0..n).map(|_| AtomicU64::new(base)).collect(),
             rx_replay: Mutex::new(vec![ReplayState::default(); n]),
             rejected: AtomicU64::new(0),
             metrics: Metrics::default(),

@@ -19,13 +19,17 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Shared hub state: link matrix and crash flags.
+/// Shared hub state: link matrix, crash flags and the inbound sender of
+/// every process (shared so a reattached endpoint's fresh channel is
+/// visible to all peers).
 #[derive(Debug)]
 struct HubState {
     /// `links[i][j]` is `true` when the `i → j` link is up.
     links: Vec<Vec<bool>>,
     /// `crashed[i]` marks a fail-stopped process.
     crashed: Vec<bool>,
+    /// `txs[j]` feeds process `j`'s inbound queue.
+    txs: Vec<Sender<(ProcessId, Bytes)>>,
 }
 
 /// An in-memory network connecting `n` processes with reliable FIFO links.
@@ -57,11 +61,6 @@ impl Hub {
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "hub needs at least one process");
-        let state = Arc::new(RwLock::new(HubState {
-            links: vec![vec![true; n]; n],
-            crashed: vec![false; n],
-        }));
-
         let mut txs: Vec<Sender<(ProcessId, Bytes)>> = Vec::with_capacity(n);
         let mut rxs: Vec<Receiver<(ProcessId, Bytes)>> = Vec::with_capacity(n);
         for _ in 0..n {
@@ -69,6 +68,11 @@ impl Hub {
             txs.push(tx);
             rxs.push(rx);
         }
+        let state = Arc::new(RwLock::new(HubState {
+            links: vec![vec![true; n]; n],
+            crashed: vec![false; n],
+            txs,
+        }));
 
         let endpoints = rxs
             .into_iter()
@@ -77,7 +81,6 @@ impl Hub {
                 me,
                 n,
                 state: Arc::clone(&state),
-                peers: txs.clone(),
                 rx,
                 closed: Arc::new(AtomicBool::new(false)),
             })
@@ -139,6 +142,34 @@ impl Hub {
     pub fn is_crashed(&self, p: ProcessId) -> bool {
         self.state.read().crashed.get(p).copied().unwrap_or(false)
     }
+
+    /// Re-admits process `p` with a **fresh** inbound queue: clears its
+    /// crash flag, restores all of its links, and installs a new channel
+    /// that all peers route to from now on — the network face of a
+    /// wipe-and-rejoin. Frames queued on (or sent to) the old endpoint
+    /// are lost, exactly like a process that lost its disk and memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn reattach(&self, p: ProcessId) -> MemoryEndpoint {
+        assert!(p < self.n, "reattach of unknown process {p}");
+        let (tx, rx) = unbounded();
+        let mut s = self.state.write();
+        s.crashed[p] = false;
+        for j in 0..self.n {
+            s.links[p][j] = true;
+            s.links[j][p] = true;
+        }
+        s.txs[p] = tx;
+        MemoryEndpoint {
+            me: p,
+            n: self.n,
+            state: Arc::clone(&self.state),
+            rx,
+            closed: Arc::new(AtomicBool::new(false)),
+        }
+    }
 }
 
 /// One process's endpoint on a [`Hub`].
@@ -147,7 +178,6 @@ pub struct MemoryEndpoint {
     me: ProcessId,
     n: usize,
     state: Arc<RwLock<HubState>>,
-    peers: Vec<Sender<(ProcessId, Bytes)>>,
     rx: Receiver<(ProcessId, Bytes)>,
     closed: Arc<AtomicBool>,
 }
@@ -193,19 +223,17 @@ impl Transport for MemoryEndpoint {
         if to >= self.n {
             return Err(TransportError::UnknownPeer(to));
         }
-        {
-            let s = self.state.read();
-            // A crashed or partitioned link silently drops: from the
-            // receiver's perspective this is indistinguishable from an
-            // arbitrarily slow asynchronous link, which is the model.
-            if s.crashed[self.me] || !s.links[self.me][to] {
-                return Ok(());
-            }
+        let s = self.state.read();
+        // A crashed or partitioned link silently drops: from the
+        // receiver's perspective this is indistinguishable from an
+        // arbitrarily slow asynchronous link, which is the model.
+        if s.crashed[self.me] || !s.links[self.me][to] {
+            return Ok(());
         }
         // A peer whose endpoint has been dropped (its process exited) is
         // indistinguishable from a crashed one: the frame vanishes
         // silently, exactly like the crash/partition cases above.
-        let _ = self.peers[to].send((self.me, payload));
+        let _ = s.txs[to].send((self.me, payload));
         Ok(())
     }
 
@@ -337,6 +365,24 @@ mod tests {
             eps[0].send(1, bytes("x")).unwrap_err(),
             TransportError::Disconnected
         );
+    }
+
+    #[test]
+    fn reattach_revives_a_crashed_process_with_a_fresh_queue() {
+        let mut hub = Hub::new(3);
+        let eps = hub.take_endpoints();
+        // Frames queued before the wipe must not survive it.
+        eps[1].send(0, bytes("pre-crash")).unwrap();
+        hub.crash(0);
+        eps[1].send(0, bytes("while down")).unwrap(); // dropped
+        let revived = hub.reattach(0);
+        assert!(!hub.is_crashed(0));
+        assert!(revived.try_recv().is_none(), "old queue must be wiped");
+        // Fresh traffic flows in both directions through the new channel.
+        eps[1].send(0, bytes("welcome back")).unwrap();
+        assert_eq!(revived.recv().unwrap(), (1, bytes("welcome back")));
+        revived.send(2, bytes("rejoined")).unwrap();
+        assert_eq!(eps[2].recv().unwrap(), (0, bytes("rejoined")));
     }
 
     #[test]

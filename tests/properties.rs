@@ -70,14 +70,19 @@ proptest! {
     }
 
     /// A stack fed arbitrary frames from a "Byzantine" peer must not
-    /// panic and must not produce outputs out of thin air.
+    /// panic and must not deliver or send out of thin air. Frames whose
+    /// tag happens to decode as `InstanceKey::Xfer` are routed verbatim
+    /// to `Output::Xfer` by design — the recovery driver in `rsm`
+    /// authenticates and validates them — but nothing else may surface.
     #[test]
     fn stack_survives_garbage_frames(frames in proptest::collection::vec(
         proptest::collection::vec(any::<u8>(), 0..120), 1..20)) {
         let mut cluster = Cluster::new(4, 99);
         for f in frames {
             let step = cluster.stack_mut(0).handle_frame(1, Bytes::from(f));
-            prop_assert!(step.outputs.is_empty());
+            for out in &step.outputs {
+                prop_assert!(matches!(out, Output::Xfer { .. }));
+            }
         }
     }
 }
