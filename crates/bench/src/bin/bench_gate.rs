@@ -8,12 +8,16 @@
 //!
 //! ```text
 //! bench_gate <baseline.json> <current.json> \
-//!     [--max-ops-drop 0.20] [--max-p99-rise 0.30]
+//!     [--max-ops-drop 0.20] [--max-p99-rise 0.30] [--max-ttl-rise 0.50]
 //! ```
 //!
 //! * ops/s may drop at most `max-ops-drop` (fraction) below baseline;
 //! * p99 latency may rise at most `max-p99-rise` (fraction) above
 //!   baseline;
+//! * when **both** reports carry a positive `time_to_live_ms` (recovery
+//!   and rotation episodes), it may rise at most `max-ttl-rise` above
+//!   baseline — wipe-and-rejoin getting slower is a regression too.
+//!   Reports without the field (plain throughput runs) skip this check;
 //! * `duplicate_applies` must be 0 in the current report — a perf gate
 //!   must never wave through a correctness regression.
 //!
@@ -46,6 +50,10 @@ struct Report {
     throughput_rps: f64,
     latency_p99_ns: f64,
     duplicate_applies: f64,
+    /// Wipe-to-Live wall time of a recovery/rotation episode. `None` for
+    /// plain throughput runs (and for `null`/never-reached sentinels —
+    /// loadgen already exits nonzero on those).
+    time_to_live_ms: Option<f64>,
 }
 
 #[derive(Debug, PartialEq)]
@@ -69,12 +77,19 @@ fn parse_report(json: &str) -> Result<Report, ParseError> {
             .ok_or(ParseError::Missing("latency_p99_ns"))?,
         duplicate_applies: field(json, "duplicate_applies")
             .ok_or(ParseError::Missing("duplicate_applies"))?,
+        time_to_live_ms: field(json, "time_to_live_ms").filter(|&v| v > 0.0),
     })
 }
 
 /// The gate verdict: every violated constraint, human-readable. Empty
 /// means pass.
-fn judge(baseline: &Report, current: &Report, max_ops_drop: f64, max_p99_rise: f64) -> Vec<String> {
+fn judge(
+    baseline: &Report,
+    current: &Report,
+    max_ops_drop: f64,
+    max_p99_rise: f64,
+    max_ttl_rise: f64,
+) -> Vec<String> {
     let mut violations = Vec::new();
     let ops_floor = baseline.throughput_rps * (1.0 - max_ops_drop);
     if current.throughput_rps < ops_floor {
@@ -98,6 +113,16 @@ fn judge(baseline: &Report, current: &Report, max_ops_drop: f64, max_p99_rise: f
             max_p99_rise * 100.0
         ));
     }
+    if let (Some(base_ttl), Some(cur_ttl)) = (baseline.time_to_live_ms, current.time_to_live_ms) {
+        let ttl_ceiling = base_ttl * (1.0 + max_ttl_rise);
+        if cur_ttl > ttl_ceiling {
+            violations.push(format!(
+                "time-to-Live inflated: {cur_ttl:.0} ms > ceiling {ttl_ceiling:.0} ms \
+                 (baseline {base_ttl:.0} ms, tolerance +{:.0}%)",
+                max_ttl_rise * 100.0
+            ));
+        }
+    }
     if current.duplicate_applies != 0.0 {
         violations.push(format!(
             "exactly-once violated: duplicate_applies = {}",
@@ -111,6 +136,7 @@ fn main() -> ExitCode {
     let mut paths = Vec::new();
     let mut max_ops_drop = 0.20;
     let mut max_p99_rise = 0.30;
+    let mut max_ttl_rise = 0.50;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut val = |what: &str| -> f64 {
@@ -122,13 +148,14 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--max-ops-drop" => max_ops_drop = val("--max-ops-drop"),
             "--max-p99-rise" => max_p99_rise = val("--max-p99-rise"),
+            "--max-ttl-rise" => max_ttl_rise = val("--max-ttl-rise"),
             other => paths.push(other.to_string()),
         }
     }
     let [baseline_path, current_path] = paths.as_slice() else {
         eprintln!(
             "usage: bench_gate <baseline.json> <current.json> \
-             [--max-ops-drop F] [--max-p99-rise F]"
+             [--max-ops-drop F] [--max-p99-rise F] [--max-ttl-rise F]"
         );
         return ExitCode::from(2);
     };
@@ -156,7 +183,13 @@ fn main() -> ExitCode {
         current.throughput_rps,
         current.latency_p99_ns / 1e6,
     );
-    let violations = judge(&baseline, &current, max_ops_drop, max_p99_rise);
+    let violations = judge(
+        &baseline,
+        &current,
+        max_ops_drop,
+        max_p99_rise,
+        max_ttl_rise,
+    );
     if violations.is_empty() {
         println!("bench_gate: PASS");
         ExitCode::SUCCESS
@@ -177,6 +210,14 @@ mod tests {
             throughput_rps: ops,
             latency_p99_ns: p99,
             duplicate_applies: dups,
+            time_to_live_ms: None,
+        }
+    }
+
+    fn report_ttl(ops: f64, p99: f64, dups: f64, ttl: f64) -> Report {
+        Report {
+            time_to_live_ms: Some(ttl),
+            ..report(ops, p99, dups)
         }
     }
 
@@ -214,14 +255,14 @@ mod tests {
         let base = report(1000.0, 100e6, 0.0);
         // 15% ops drop and 25% p99 rise: inside the default tolerances.
         let cur = report(850.0, 125e6, 0.0);
-        assert!(judge(&base, &cur, 0.20, 0.30).is_empty());
+        assert!(judge(&base, &cur, 0.20, 0.30, 0.50).is_empty());
     }
 
     #[test]
     fn gate_fails_on_ops_drop() {
         let base = report(1000.0, 100e6, 0.0);
         let cur = report(799.0, 100e6, 0.0);
-        let v = judge(&base, &cur, 0.20, 0.30);
+        let v = judge(&base, &cur, 0.20, 0.30, 0.50);
         assert_eq!(v.len(), 1);
         assert!(v[0].contains("throughput regressed"), "{v:?}");
     }
@@ -230,7 +271,7 @@ mod tests {
     fn gate_fails_on_p99_rise() {
         let base = report(1000.0, 100e6, 0.0);
         let cur = report(1000.0, 131e6, 0.0);
-        let v = judge(&base, &cur, 0.20, 0.30);
+        let v = judge(&base, &cur, 0.20, 0.30, 0.50);
         assert_eq!(v.len(), 1);
         assert!(v[0].contains("p99 latency inflated"), "{v:?}");
     }
@@ -239,7 +280,7 @@ mod tests {
     fn gate_fails_on_duplicate_applies() {
         let base = report(1000.0, 100e6, 0.0);
         let cur = report(5000.0, 10e6, 1.0);
-        let v = judge(&base, &cur, 0.20, 0.30);
+        let v = judge(&base, &cur, 0.20, 0.30, 0.50);
         assert_eq!(v.len(), 1);
         assert!(v[0].contains("exactly-once violated"), "{v:?}");
     }
@@ -248,14 +289,14 @@ mod tests {
     fn gate_improvements_always_pass() {
         let base = report(1000.0, 100e6, 0.0);
         let cur = report(10_000.0, 10e6, 0.0);
-        assert!(judge(&base, &cur, 0.20, 0.30).is_empty());
+        assert!(judge(&base, &cur, 0.20, 0.30, 0.50).is_empty());
     }
 
     #[test]
     fn gate_reports_every_violation() {
         let base = report(1000.0, 100e6, 0.0);
         let cur = report(1.0, 500e6, 2.0);
-        assert_eq!(judge(&base, &cur, 0.20, 0.30).len(), 3);
+        assert_eq!(judge(&base, &cur, 0.20, 0.30, 0.50).len(), 3);
     }
 
     #[test]
@@ -272,5 +313,43 @@ mod tests {
         assert_eq!(r.throughput_rps, 3200.0);
         assert_eq!(r.latency_p99_ns, 21_000_000.0);
         assert_eq!(r.duplicate_applies, 0.0);
+        assert_eq!(r.time_to_live_ms, None);
+    }
+
+    #[test]
+    fn ttl_parses_and_skips_sentinels() {
+        let episode = r#"{"throughput_rps":100.0,"latency_p99_ns":5,
+                          "duplicate_applies":0,"time_to_live_ms":350}"#;
+        assert_eq!(parse_report(episode).unwrap().time_to_live_ms, Some(350.0));
+        // `null` (plain run) and `-1` (never reached Live — loadgen
+        // already exited nonzero) both mean "nothing to compare".
+        let plain = r#"{"throughput_rps":100.0,"latency_p99_ns":5,
+                        "duplicate_applies":0,"time_to_live_ms":null}"#;
+        assert_eq!(parse_report(plain).unwrap().time_to_live_ms, None);
+        let dead = r#"{"throughput_rps":100.0,"latency_p99_ns":5,
+                       "duplicate_applies":0,"time_to_live_ms":-1}"#;
+        assert_eq!(parse_report(dead).unwrap().time_to_live_ms, None);
+    }
+
+    #[test]
+    fn gate_fails_on_ttl_rise() {
+        let base = report_ttl(1000.0, 100e6, 0.0, 200.0);
+        let cur = report_ttl(1000.0, 100e6, 0.0, 301.0);
+        let v = judge(&base, &cur, 0.20, 0.30, 0.50);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("time-to-Live inflated"), "{v:?}");
+        // Inside tolerance passes.
+        let ok = report_ttl(1000.0, 100e6, 0.0, 299.0);
+        assert!(judge(&base, &ok, 0.20, 0.30, 0.50).is_empty());
+    }
+
+    #[test]
+    fn gate_skips_ttl_when_either_side_lacks_it() {
+        // Old baseline without the field vs a new episode report (and
+        // vice versa): backward compatible, no violation.
+        let base = report(1000.0, 100e6, 0.0);
+        let cur = report_ttl(1000.0, 100e6, 0.0, 10_000.0);
+        assert!(judge(&base, &cur, 0.20, 0.30, 0.50).is_empty());
+        assert!(judge(&cur, &base, 0.20, 0.30, 0.50).is_empty());
     }
 }

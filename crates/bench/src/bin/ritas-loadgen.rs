@@ -34,6 +34,14 @@
 //!   Merkle anti-entropy while the load keeps running. The JSON report
 //!   gains `time_to_live_ms` — wall time from the rejoin call to the
 //!   replica reaching the `Live` recovery phase;
+//! * `--rotate R` — hub mesh only, exclusive with the flags above: run
+//!   `R` proactive-recovery rounds under sustained in-process load. The
+//!   replicated rotation coordinator grants wipe slots one replica at a
+//!   time; each granted victim is crashed, wiped and rejoined through
+//!   state transfer while the other replicas keep serving. Emits the
+//!   `BENCH_rotation.json` artifact: per-round `ttl_ms`, aggregate
+//!   `time_to_live_ms`, `final_epoch` and the measured `max_non_live`
+//!   and `duplicate_applies` invariants;
 //! * `--json` — emit a JSON report on stdout (the `BENCH_service.json`
 //!   artifact).
 //!
@@ -45,14 +53,16 @@
 use bytes::Bytes;
 use ritas::codec::{Reader, WireError, Writer};
 use ritas::node::{Node, SessionConfig};
+use ritas::recovery::scheduler::RotationConfig;
 use ritas::recovery::{RecoveryConfig, SnapshotState};
-use ritas::service::{ServiceConfig, ServiceReplica};
+use ritas::service::{CommandKind, ServiceConfig, ServiceError, ServiceReplica};
 use ritas_crypto::ClientKeyDealer;
 use ritas_metrics::Metrics;
 use ritas_service::client::{ClientConfig, ServiceClient};
 use ritas_service::server::{ServerConfig, ServiceServer};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Replicated loadgen state: the running counter clients read back, plus
@@ -124,6 +134,7 @@ struct Args {
     tcp: bool,
     chaos: bool,
     kill_replica: Option<(usize, u64)>,
+    rotate: usize,
     seed: u64,
     json: bool,
 }
@@ -138,6 +149,7 @@ fn parse_args() -> Args {
         tcp: false,
         chaos: false,
         kill_replica: None,
+        rotate: 0,
         seed: 7,
         json: false,
     };
@@ -169,6 +181,7 @@ fn parse_args() -> Args {
                     t.parse().expect("--kill-replica kill time (ms)"),
                 ));
             }
+            "--rotate" => args.rotate = val("--rotate").parse().expect("--rotate"),
             "--json" => args.json = true,
             other => panic!("unknown flag {other} (see the module docs for usage)"),
         }
@@ -187,6 +200,16 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 fn main() {
     let args = parse_args();
     let n = 4;
+
+    if args.rotate > 0 {
+        assert!(
+            !args.tcp && args.kill_replica.is_none(),
+            "--rotate is its own episode on the in-memory hub mesh; \
+             drop --tcp/--chaos/--kill-replica"
+        );
+        run_rotation_episode(&args);
+        return;
+    }
 
     let session = SessionConfig::new(n)
         .expect("n=4 is a valid group")
@@ -232,6 +255,7 @@ fn main() {
                     load_apply,
                     load_query,
                 )
+                .expect("valid recovery config")
             } else {
                 ServiceReplica::new(
                     node,
@@ -358,15 +382,18 @@ fn main() {
         let node = Node::rejoin(&session, hub, victim).expect("rejoin node");
         let m = node.metrics().clone();
         m.set_tracing(false);
-        let replica = Arc::new(ServiceReplica::rejoin(
-            node,
-            LoadState::default(),
-            ServiceConfig::default(),
-            recovery_cfg(),
-            None,
-            load_apply,
-            load_query,
-        ));
+        let replica = Arc::new(
+            ServiceReplica::rejoin(
+                node,
+                LoadState::default(),
+                ServiceConfig::default(),
+                recovery_cfg(),
+                None,
+                load_apply,
+                load_query,
+            )
+            .expect("valid recovery config"),
+        );
         live_watcher = Some(std::thread::spawn(move || {
             let deadline = Instant::now() + Duration::from_secs(120);
             while m.recovery_completed_total.get() != 1 {
@@ -519,6 +546,359 @@ fn main() {
     for mut s in servers {
         s.replica().shutdown();
         s.shutdown();
+    }
+    if !failures.is_empty() {
+        eprintln!("FAIL: {}", failures.join("; "));
+        std::process::exit(1);
+    }
+}
+
+/// Rotation tuning for `--rotate` runs: a short quiet period keeps the
+/// episode brisk; the defer threshold is high enough that a clean run
+/// never defers (a deferral here would mask a scheduling bug, and the
+/// report surfaces the count so the gate can see it).
+fn rotation_cfg() -> RotationConfig {
+    RotationConfig {
+        period: Duration::from_millis(250),
+        abort_after: Duration::from_secs(60),
+        suspicion_defer_threshold: 1 << 20,
+    }
+}
+
+/// Live replica slots for the rotation episode: `None` marks "currently
+/// wiped and rejoining".
+type RotationSlots = Arc<Mutex<Vec<Option<Arc<ServiceReplica<LoadState>>>>>>;
+
+/// Arms the rotation driver on `replica`: when the replicated scheduler
+/// grants this replica's wipe slot, the driver fires `on_wipe` and the
+/// orchestrator thread in [`run_rotation_episode`] performs the actual
+/// crash/wipe/rejoin (in production the callback would exec into a clean
+/// binary; a bench process stands in for itself).
+fn arm_rotation(
+    replica: &Arc<ServiceReplica<LoadState>>,
+    id: usize,
+    wipe_tx: &mpsc::Sender<(usize, u64)>,
+) {
+    let tx = wipe_tx.clone();
+    replica.start_rotation(rotation_cfg(), move |epoch| {
+        let _ = tx.send((id, epoch));
+    });
+}
+
+/// The `--rotate R` episode: proactive recovery of `R` replicas, one
+/// ordered slot at a time, under sustained load.
+///
+/// No TCP edge here: the service front-end binds ephemeral ports, so a
+/// fully rotated group could never resurrect a client-visible address.
+/// Load is driven in-process through [`ServiceReplica::submit`] instead —
+/// the write path under test (session dedup, atomic broadcast, apply) is
+/// identical either way.
+fn run_rotation_episode(args: &Args) {
+    let n = 4usize;
+    let session = SessionConfig::new(n)
+        .expect("n=4 is a valid group")
+        .with_master_seed(args.seed);
+    let (nodes, hub) = Node::cluster_with_hub(&session).expect("hub mesh");
+    let (wipe_tx, wipe_rx) = mpsc::channel::<(usize, u64)>();
+
+    // Load workers route around a wiped slot's hole; the monitor thread
+    // measures that it is never wider than one replica — the scheduler's
+    // core invariant, checked empirically rather than assumed.
+    let slots: RotationSlots = Arc::new(Mutex::new(Vec::with_capacity(n)));
+    {
+        let mut s = slots.lock().unwrap();
+        for (i, node) in nodes.into_iter().enumerate() {
+            let replica = Arc::new(
+                ServiceReplica::with_recovery(
+                    node,
+                    LoadState::default(),
+                    ServiceConfig::default(),
+                    recovery_cfg(),
+                    load_apply,
+                    load_query,
+                )
+                .expect("valid recovery config"),
+            );
+            replica.metrics().set_tracing(false);
+            arm_rotation(&replica, i, &wipe_tx);
+            s.push(Some(replica));
+        }
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let monitor = {
+        let slots = Arc::clone(&slots);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut max_non_live = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let holes = slots.lock().unwrap().iter().filter(|s| s.is_none()).count();
+                max_non_live = max_non_live.max(holes);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            max_non_live
+        })
+    };
+
+    let started = Instant::now();
+    let workers: Vec<_> = (0..args.clients)
+        .map(|c| {
+            let slots = Arc::clone(&slots);
+            let stop = Arc::clone(&stop);
+            let value_size = args.value_size;
+            std::thread::spawn(move || {
+                let client = 1000 + c as u64;
+                let mut seq = 0u64;
+                let mut ok = 0u64;
+                let mut latencies: Vec<u64> = Vec::new();
+                let mut rr = c; // stagger round-robin starting points
+                while !stop.load(Ordering::Relaxed) {
+                    seq += 1;
+                    let mut payload = vec![0u8; 8 + value_size];
+                    payload[..8].copy_from_slice(&seq.to_be_bytes());
+                    let payload = Bytes::from(payload);
+                    // Retry each seq until it lands: the *replicated*
+                    // session table makes retried (client, seq) pairs
+                    // exactly-once, which is what the audit below
+                    // measures across every wipe/rejoin boundary.
+                    let t0 = Instant::now();
+                    loop {
+                        if stop.load(Ordering::Relaxed) {
+                            return (ok, latencies);
+                        }
+                        rr += 1;
+                        let replica = {
+                            let s = slots.lock().unwrap();
+                            s[rr % s.len()].clone()
+                        };
+                        let Some(r) = replica else {
+                            std::thread::sleep(Duration::from_millis(2));
+                            continue;
+                        };
+                        match r.submit(
+                            client,
+                            seq,
+                            CommandKind::Apply,
+                            payload.clone(),
+                            Duration::from_secs(5),
+                        ) {
+                            Ok(_) => {
+                                ok += 1;
+                                latencies.push(t0.elapsed().as_nanos() as u64);
+                                break;
+                            }
+                            // Stale means an earlier attempt applied and
+                            // the cached reply already aged out: the
+                            // write landed exactly once.
+                            Err(ServiceError::Stale) => {
+                                ok += 1;
+                                break;
+                            }
+                            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                        }
+                    }
+                }
+                (ok, latencies)
+            })
+        })
+        .collect();
+
+    // Orchestrate the rounds in lock-step with the replicated log: a
+    // slot grant arrives on the channel, the victim is crashed and
+    // wiped, the rejoiner broadcasts its own WipeComplete when it
+    // reaches Live, and only then does the coordinator open the next
+    // slot — so waiting for Live here never races the next grant.
+    let mut rounds: Vec<(usize, u64, u128)> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    while rounds.len() < args.rotate {
+        let (victim, epoch) = match wipe_rx.recv_timeout(Duration::from_secs(120)) {
+            Ok(grant) => grant,
+            Err(_) => {
+                failures.push(format!(
+                    "rotation stalled: no wipe grant within 120 s after round {}",
+                    rounds.len()
+                ));
+                break;
+            }
+        };
+        eprintln!("rotation: slot granted, wiping replica {victim} (epoch {epoch})");
+        let old = slots.lock().unwrap()[victim]
+            .take()
+            .expect("granted replica is live");
+        hub.crash(victim);
+        old.shutdown();
+        drop(old);
+        let t0 = Instant::now();
+        let node = Node::rejoin(&session, &hub, victim).expect("rejoin node");
+        let m = node.metrics().clone();
+        m.set_tracing(false);
+        let replica = Arc::new(
+            ServiceReplica::rejoin(
+                node,
+                LoadState::default(),
+                ServiceConfig::default(),
+                recovery_cfg(),
+                None,
+                load_apply,
+                load_query,
+            )
+            .expect("valid recovery config"),
+        );
+        let deadline = Instant::now() + Duration::from_secs(120);
+        while m.recovery_completed_total.get() != 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        if m.recovery_completed_total.get() != 1 {
+            failures.push(format!(
+                "replica {victim} never reached Live after its wipe"
+            ));
+            break;
+        }
+        let ttl_ms = t0.elapsed().as_millis();
+        eprintln!("rotation: replica {victim} back to Live in {ttl_ms} ms");
+        arm_rotation(&replica, victim, &wipe_tx);
+        slots.lock().unwrap()[victim] = Some(replica);
+        rounds.push((victim, epoch, ttl_ms));
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    let mut ok_total = 0u64;
+    let mut latencies: Vec<u64> = Vec::new();
+    for w in workers {
+        let (ok, mut lat) = w.join().expect("load worker");
+        ok_total += ok;
+        latencies.append(&mut lat);
+    }
+    let wall = started.elapsed();
+    let max_non_live = monitor.join().expect("monitor thread");
+
+    // Exactly-once audit plus scheduler/epoch bookkeeping across the
+    // whole group (every replica, including each rejoiner).
+    // A failed round leaves its slot vacant; audit the replicas that are
+    // live (the failure is already recorded above and fails the run).
+    let replicas: Vec<Arc<ServiceReplica<LoadState>>> = slots
+        .lock()
+        .unwrap()
+        .iter()
+        .filter_map(|s| s.as_ref().map(Arc::clone))
+        .collect();
+    for r in &replicas {
+        let _ = r.barrier();
+    }
+    let mut duplicate_applies = 0u64;
+    let mut applied_distinct = 0u64;
+    for (i, r) in replicas.iter().enumerate() {
+        let (dups, distinct) = r.read_state(|st| {
+            (
+                st.applied.values().map(|c| c - 1).sum::<u64>(),
+                st.applied.len() as u64,
+            )
+        });
+        if i == 0 {
+            applied_distinct = distinct;
+        }
+        duplicate_applies += dups;
+    }
+    let rot = replicas[0]
+        .rotation_state()
+        .expect("recovery-enabled replicas track rotation state");
+    let key_epochs: Vec<u64> = replicas.iter().map(|r| r.key_epoch()).collect();
+    let epochs_adopted: u64 = replicas
+        .iter()
+        .map(|r| r.metrics().transport_epoch_adopted.get())
+        .sum();
+
+    latencies.sort_unstable();
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+    let throughput = ok_total as f64 / wall.as_secs_f64();
+    let mean_ttl = if rounds.is_empty() {
+        0
+    } else {
+        rounds.iter().map(|r| r.2).sum::<u128>() / rounds.len() as u128
+    };
+
+    if duplicate_applies != 0 {
+        failures.push(format!(
+            "{duplicate_applies} duplicate applies (exactly-once violated)"
+        ));
+    }
+    if ok_total == 0 {
+        failures.push("no request succeeded".to_string());
+    }
+    if max_non_live > 1 {
+        failures.push(format!(
+            "{max_non_live} replicas were non-Live at once (rotation overlap)"
+        ));
+    }
+    if rot.epoch < rounds.len() as u64 {
+        failures.push(format!(
+            "epoch {} did not keep pace with {} completed rounds",
+            rot.epoch,
+            rounds.len()
+        ));
+    }
+    // Post-rotation traffic must be sealed under refreshed keys on every
+    // replica: each completed round advanced the epoch at schedule time,
+    // so after the barrier no transport may still seal below the round
+    // count. (No exact-equality check: the next round's grant may already
+    // be in flight when we sample.)
+    if key_epochs.iter().any(|&e| e < rounds.len() as u64) {
+        failures.push(format!(
+            "transport epochs {key_epochs:?} lag the {} completed rounds",
+            rounds.len()
+        ));
+    }
+
+    if args.json {
+        let detail: Vec<String> = rounds
+            .iter()
+            .map(|(v, e, t)| format!("{{\"victim\":{v},\"epoch\":{e},\"ttl_ms\":{t}}}"))
+            .collect();
+        println!(
+            "{{\"bench\":\"rotation\",\"n\":{n},\"f\":1,\"clients\":{},\"rounds\":{},\
+             \"seed\":{},\"requests_ok\":{ok_total},\"wall_ms\":{},\
+             \"throughput_rps\":{throughput:.1},\
+             \"latency_p50_ns\":{p50},\"latency_p99_ns\":{p99},\
+             \"applied_distinct\":{applied_distinct},\
+             \"duplicate_applies\":{duplicate_applies},\
+             \"time_to_live_ms\":{mean_ttl},\"max_non_live\":{max_non_live},\
+             \"final_epoch\":{},\"rounds_completed\":{},\"deferrals\":{},\
+             \"epochs_adopted\":{epochs_adopted},\
+             \"rounds_detail\":[{}]}}",
+            args.clients,
+            rounds.len(),
+            args.seed,
+            wall.as_millis(),
+            rot.epoch,
+            rot.rounds_completed,
+            rot.deferrals,
+            detail.join(","),
+        );
+    } else {
+        println!(
+            "ritas-loadgen --rotate: n={n} f=1, {} rounds, {} in-process clients",
+            rounds.len(),
+            args.clients
+        );
+        println!("  wall:               {:.2} s", wall.as_secs_f64());
+        println!("  throughput:         {throughput:.1} req/s");
+        println!("  e2e p50:            {:.2} ms", p50 as f64 / 1e6);
+        println!("  e2e p99:            {:.2} ms", p99 as f64 / 1e6);
+        println!("  mean time to Live:  {mean_ttl} ms");
+        println!("  max non-Live:       {max_non_live} (must be <= 1)");
+        println!(
+            "  final epoch:        {} ({} rounds, {} deferrals)",
+            rot.epoch, rot.rounds_completed, rot.deferrals
+        );
+        println!("  duplicate applies:  {duplicate_applies} (exactly-once check)");
+        for (v, e, t) in &rounds {
+            println!("    round: replica {v} epoch {e} time-to-Live {t} ms");
+        }
+    }
+
+    for r in &replicas {
+        r.shutdown();
     }
     if !failures.is_empty() {
         eprintln!("FAIL: {}", failures.join("; "));

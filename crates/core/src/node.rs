@@ -92,6 +92,12 @@ pub struct SessionConfig {
     /// counter, a `stall` trace event and the flight recorder) whenever
     /// work is outstanding but nothing a-delivers within the budget.
     pub stall_budget: Option<Duration>,
+    /// How long inbound frames sealed under the *previous* key epoch
+    /// stay acceptable after a proactive key rotation (see
+    /// [`Node::set_key_epoch`]). Long enough to cover in-flight frames
+    /// and queue residue; short enough that exfiltrated old-epoch keys
+    /// die quickly.
+    pub epoch_grace: Duration,
     /// Stack configuration.
     pub stack: StackConfig,
 }
@@ -118,6 +124,7 @@ impl SessionConfig {
             authenticate: true,
             metrics_endpoint: false,
             stall_budget: None,
+            epoch_grace: Duration::from_secs(5),
             stack,
         })
     }
@@ -147,6 +154,14 @@ impl SessionConfig {
     /// Sets the key-dealer seed.
     pub fn with_master_seed(mut self, seed: u64) -> Self {
         self.master_seed = seed;
+        self
+    }
+
+    /// Sets the grace window during which previous-epoch frames stay
+    /// acceptable after a proactive key rotation (see
+    /// [`SessionConfig::epoch_grace`]).
+    pub fn with_epoch_grace(mut self, grace: Duration) -> Self {
+        self.epoch_grace = grace;
         self
     }
 
@@ -266,6 +281,8 @@ pub struct Node {
     fault_rx: Receiver<Fault>,
     link_rx: Receiver<LinkEvent>,
     link_state_fn: Arc<dyn Fn(ProcessId) -> LinkState + Send + Sync>,
+    set_key_epoch_fn: Arc<dyn Fn(u64) + Send + Sync>,
+    key_epoch_fn: Arc<dyn Fn() -> u64 + Send + Sync>,
     metrics: Metrics,
     health: Arc<HealthShared>,
     epoch: Instant,
@@ -364,7 +381,14 @@ impl Node {
         }
         let mut node = if config.authenticate {
             let metrics = Metrics::new();
-            let mut auth = AuthConfig::from_key_table(&table, me);
+            // Epoch 0 is wire-compatible with the legacy format; the
+            // rekey machinery only changes behavior once a rotation
+            // advances the epoch (Node::set_key_epoch).
+            let mut auth = AuthConfig::from_key_table(&table, me).with_epoch_rekey(
+                config.master_seed,
+                0,
+                config.epoch_grace,
+            );
             if hold_ab {
                 // A rejoiner lost its AH sequence counters but the peers'
                 // replay windows did not: resume above anything the old
@@ -449,7 +473,11 @@ impl Node {
             ep.set_metrics(metrics.clone());
             chaos.push(ep.chaos_handle());
             let mut node = if config.authenticate {
-                let auth = AuthConfig::from_key_table(&table, me);
+                let auth = AuthConfig::from_key_table(&table, me).with_epoch_rekey(
+                    config.master_seed,
+                    0,
+                    config.epoch_grace,
+                );
                 let mut transport = AuthenticatedTransport::new(ep, auth);
                 transport.set_metrics(metrics.clone());
                 Node::spawn_with_metrics(transport, stack, metrics)
@@ -649,6 +677,14 @@ impl Node {
             let transport = Arc::clone(&transport);
             Arc::new(move |peer| transport.link_state(peer))
         };
+        let set_key_epoch_fn: Arc<dyn Fn(u64) + Send + Sync> = {
+            let transport = Arc::clone(&transport);
+            Arc::new(move |epoch| transport.set_key_epoch(epoch))
+        };
+        let key_epoch_fn: Arc<dyn Fn() -> u64 + Send + Sync> = {
+            let transport = Arc::clone(&transport);
+            Arc::new(move || transport.key_epoch())
+        };
         Node {
             id,
             group_size,
@@ -660,6 +696,8 @@ impl Node {
             fault_rx,
             link_rx,
             link_state_fn,
+            set_key_epoch_fn,
+            key_epoch_fn,
             metrics,
             health,
             epoch,
@@ -681,6 +719,21 @@ impl Node {
     /// [`LinkState::Up`] for failure-free transports).
     pub fn link_state(&self, peer: ProcessId) -> LinkState {
         (self.link_state_fn)(peer)
+    }
+
+    /// Switches the underlying transport to the pairwise key table of
+    /// `epoch` (proactive key rejuvenation): outbound frames seal under
+    /// the new epoch immediately; inbound frames from the previous epoch
+    /// stay acceptable for [`SessionConfig::epoch_grace`]. Forward-only;
+    /// a no-op on unkeyed transports.
+    pub fn set_key_epoch(&self, epoch: u64) {
+        (self.set_key_epoch_fn)(epoch);
+    }
+
+    /// The key epoch outbound frames are currently sealed under (0 on
+    /// unkeyed transports and before any rotation).
+    pub fn key_epoch(&self) -> u64 {
+        (self.key_epoch_fn)()
     }
 
     /// Starts serving this node's observability endpoints over HTTP on an
@@ -1209,6 +1262,22 @@ fn health_json(ctx: &ServeCtx) -> String {
         suspicions.push_str(&format!("{{\"peer\":{},\"total\":{}}}", s.peer, s.total()));
     }
     suspicions.push(']');
+    // Proactive-recovery scheduler state, from the same lock-free gauges
+    // the RSM layer refreshes on every applied rotation command
+    // (`active_victim` is -1 while no wipe slot is open).
+    let rotation = format!(
+        "{{\"epoch\":{},\"active_victim\":{},\"next_victim\":{},\
+         \"scheduled_total\":{},\"rounds_total\":{},\"deferrals_total\":{},\
+         \"transport_epochs_adopted\":{},\"transport_epoch_rejected\":{}}}",
+        m.rotation_epoch.get(),
+        m.rotation_active_victim.get() as i64 - 1,
+        m.rotation_next_victim.get(),
+        m.rotation_scheduled_total.get(),
+        m.rotation_rounds_total.get(),
+        m.rotation_deferrals_total.get(),
+        m.transport_epoch_adopted.get(),
+        m.transport_epoch_rejected.get(),
+    );
     format!(
         "{{\"id\":{},\"stalled\":{},\"budget_ns\":{},\
          \"heartbeat_age_ns\":{},\"pending\":{},\"pending_age_ns\":{},\
@@ -1216,6 +1285,7 @@ fn health_json(ctx: &ServeCtx) -> String {
          \"rsm_applied_watermark\":{},\"sessions_live\":{},\
          \"recovery_phase\":{},\
          \"stalls_total\":{},\
+         \"rotation\":{rotation},\
          \"suspicions_total\":{},\"suspicions\":{}}}",
         ctx.id,
         h.stalled.load(Ordering::Relaxed),
@@ -1419,10 +1489,23 @@ impl<T: Transport> Worker<T> {
             ),
             None => String::from("null"),
         };
+        // Scheduler introspection mirrors `/health`'s rotation block so a
+        // single `/state` scrape shows where the rotation cursor stands
+        // relative to the protocol's progress watermarks.
+        let rotation = format!(
+            "{{\"epoch\":{},\"active_victim\":{},\"next_victim\":{},\
+             \"scheduled_total\":{},\"rounds_total\":{},\"deferrals_total\":{}}}",
+            m.rotation_epoch.get(),
+            m.rotation_active_victim.get() as i64 - 1,
+            m.rotation_next_victim.get(),
+            m.rotation_scheduled_total.get(),
+            m.rotation_rounds_total.get(),
+            m.rotation_deferrals_total.get(),
+        );
         format!(
             "{{\"time_ns\":{now_ns},\"ab\":{ab},\"instances\":{},\
              \"ooc_buffered\":{},\"rsm_applied_watermark\":{},\
-             \"faults_detected\":{},\"links\":{links}}}",
+             \"faults_detected\":{},\"rotation\":{rotation},\"links\":{links}}}",
             m.stack_instances.get(),
             m.stack_ooc_buffered.get(),
             m.rsm_applied_watermark.get(),

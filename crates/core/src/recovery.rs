@@ -32,6 +32,8 @@
 //! Everything here is pure (no I/O, no threads); the driver lives in
 //! [`crate::rsm`].
 
+pub mod scheduler;
+
 use crate::ab::AbCursor;
 use crate::codec::{Reader, WireError, WireMessage, Writer};
 use bytes::Bytes;
@@ -51,6 +53,55 @@ pub struct RecoveryConfig {
     pub chunk_size: usize,
     /// Maximum log entries per fill response.
     pub fill_batch: u32,
+}
+
+/// A [`RecoveryConfig`] field that cannot work (all three are divisors
+/// or batch bounds — zero would loop or divide-by-zero deep inside the
+/// transfer machinery, so it is rejected at construction instead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryConfigError {
+    /// `snapshot_every == 0`: there would never be a snapshot boundary.
+    ZeroSnapshotEvery,
+    /// `chunk_size == 0`: the snapshot could not be chunked.
+    ZeroChunkSize,
+    /// `fill_batch == 0`: fill responses could never make progress.
+    ZeroFillBatch,
+}
+
+impl core::fmt::Display for RecoveryConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RecoveryConfigError::ZeroSnapshotEvery => {
+                write!(f, "recovery config: snapshot_every must be nonzero")
+            }
+            RecoveryConfigError::ZeroChunkSize => {
+                write!(f, "recovery config: chunk_size must be nonzero")
+            }
+            RecoveryConfigError::ZeroFillBatch => {
+                write!(f, "recovery config: fill_batch must be nonzero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryConfigError {}
+
+impl RecoveryConfig {
+    /// Checks every field for values the transfer machinery cannot
+    /// operate with. Called by the `Replica` recovery constructors, so a
+    /// bad config is a clean `Err` at build time, not a panic mid-rejoin.
+    pub fn validate(&self) -> Result<(), RecoveryConfigError> {
+        if self.snapshot_every == 0 {
+            return Err(RecoveryConfigError::ZeroSnapshotEvery);
+        }
+        if self.chunk_size == 0 {
+            return Err(RecoveryConfigError::ZeroChunkSize);
+        }
+        if self.fill_batch == 0 {
+            return Err(RecoveryConfigError::ZeroFillBatch);
+        }
+        Ok(())
+    }
 }
 
 impl Default for RecoveryConfig {
@@ -75,6 +126,13 @@ pub mod milestones {
     pub const LIVE: u64 = 3;
     /// A transfer was aborted (shutdown mid-recovery).
     pub const ABORTED: u64 = 4;
+    /// A rotation slot was scheduled through the replicated log
+    /// (`b` = packed `victim << 32 | epoch` — see the scheduler).
+    pub const WIPE_SCHEDULED: u64 = 5;
+    /// A rotation slot completed: the victim is Live under the new epoch.
+    pub const WIPE_COMPLETED: u64 = 6;
+    /// A rotation slot was deferred (degraded group or stuck slot).
+    pub const WIPE_DEFERRED: u64 = 7;
 }
 
 // ---------------------------------------------------------------------------
@@ -893,6 +951,29 @@ mod tests {
         (0..len)
             .map(|i| (i as u8).wrapping_mul(31) ^ seed)
             .collect()
+    }
+
+    #[test]
+    fn config_validation_rejects_zero_fields() {
+        assert_eq!(RecoveryConfig::default().validate(), Ok(()));
+        let cfg = RecoveryConfig {
+            snapshot_every: 0,
+            ..RecoveryConfig::default()
+        };
+        assert_eq!(cfg.validate(), Err(RecoveryConfigError::ZeroSnapshotEvery));
+        let cfg = RecoveryConfig {
+            chunk_size: 0,
+            ..RecoveryConfig::default()
+        };
+        assert_eq!(cfg.validate(), Err(RecoveryConfigError::ZeroChunkSize));
+        let cfg = RecoveryConfig {
+            fill_batch: 0,
+            ..RecoveryConfig::default()
+        };
+        assert_eq!(cfg.validate(), Err(RecoveryConfigError::ZeroFillBatch));
+        // Errors render as readable diagnostics.
+        let msg = RecoveryConfigError::ZeroChunkSize.to_string();
+        assert!(msg.contains("chunk_size"));
     }
 
     #[test]

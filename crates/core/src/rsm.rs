@@ -22,10 +22,13 @@ use crate::ab::{AbDelivery, MsgId};
 use crate::codec::{Reader, WireMessage, Writer};
 use crate::fifo::FifoOrder;
 use crate::node::{Node, NodeError};
+use crate::recovery::scheduler::{
+    DeferReason, RecoveryCommand, RotationConfig, RotationEffect, RotationState,
+};
 use crate::recovery::{
     accept_manifest, milestones, plan_fetch, select_cursor, AntiEntropyError, FillEntry, Hash,
-    Manifest, MerkleTree, PeerHints, RecoveryConfig, Snapshot, SnapshotBundle, SnapshotState,
-    XferMessage,
+    Manifest, MerkleTree, PeerHints, RecoveryConfig, RecoveryConfigError, Snapshot, SnapshotBundle,
+    SnapshotState, XferMessage,
 };
 use crate::ProcessId;
 use bytes::{BufMut, Bytes, BytesMut};
@@ -48,6 +51,12 @@ const TAG_MARKER: u8 = 2;
 /// only skip *its own* pending commands, which is indistinguishable
 /// from never having sent them.
 const TAG_REJOIN: u8 = 3;
+/// A proactive-recovery rotation command (see
+/// [`crate::recovery::scheduler`]): the payload is a
+/// [`RecoveryCommand`], ordered through the same total order as user
+/// commands so every replica applies it to the same [`RotationState`].
+/// Replicas without the recovery pipeline ignore the tag.
+const TAG_RECOVERY: u8 = 4;
 
 /// Tracks which of our own commands have been applied, compactly
 /// (watermark + sparse set over our sequential rbids).
@@ -151,6 +160,9 @@ pub struct Replica<S: Send + 'static> {
     /// rejoining replica only starts serving once it reaches `Live`
     /// (from the applier thread), while `Drop` must still join it.
     server: Arc<Mutex<Option<JoinHandle<()>>>>,
+    /// The proactive-rotation driver thread, if armed (see
+    /// [`Replica::start_rotation`]).
+    driver: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl<S: Send + 'static> core::fmt::Debug for Replica<S> {
@@ -242,6 +254,7 @@ impl<S: Send + 'static> Replica<S> {
             applier: Some(applier),
             recovery: None,
             server: Arc::new(Mutex::new(None)),
+            driver: Mutex::new(None),
         }
     }
 
@@ -357,6 +370,10 @@ impl<S: Send + 'static> Replica<S> {
 impl<S: Send + 'static> Drop for Replica<S> {
     fn drop(&mut self) {
         self.shutdown();
+        // The rotation driver exits on the stopped flag set by shutdown.
+        if let Some(h) = self.driver.lock().take() {
+            let _ = h.join();
+        }
         // Join the applier first: a rejoining applier is the only writer
         // of the server slot, so after it exits the slot is final.
         if let Some(h) = self.applier.take() {
@@ -406,6 +423,10 @@ struct CoreInner {
     log: BTreeMap<u64, LogEntry>,
     /// Retained snapshot bundles, oldest first.
     snaps: Vec<SnapshotBundle>,
+    /// The proactive-recovery rotation coordinator — replicated state,
+    /// mutated only by ordered `TAG_RECOVERY` commands and carried
+    /// inside snapshots (appended after the application state).
+    rotation: RotationState,
 }
 
 /// Shared snapshot/log bookkeeping between the applier thread (writer),
@@ -428,6 +449,7 @@ impl RecoveryCore {
                 applied_next: vec![0; n],
                 log: BTreeMap::new(),
                 snaps: Vec::new(),
+                rotation: RotationState::default(),
             }),
         })
     }
@@ -468,6 +490,9 @@ fn apply_ready<S, F>(
     if ready.is_empty() {
         return;
     }
+    let n = node.group_size();
+    let mut effects: Vec<RotationEffect> = Vec::new();
+    let rotation_after;
     {
         let mut state = shared.state.lock();
         let mut c = core.inner.lock();
@@ -476,6 +501,14 @@ fn apply_ready<S, F>(
             let tag = body.first().copied().unwrap_or(0);
             if tag == TAG_USER {
                 apply(&mut state, d.id.sender, body.get(1..).unwrap_or(&[]));
+            } else if tag == TAG_RECOVERY {
+                // Rotation commands mutate the replicated coordinator
+                // state inside the lock (they are part of the state the
+                // snapshot digests); their side effects (key switch,
+                // gauges, suspicion clearing) run after it.
+                if let Ok(cmd) = RecoveryCommand::from_bytes(body.get(1..).unwrap_or(&[])) {
+                    effects.push(c.rotation.apply(&cmd, n));
+                }
             }
             c.applied_seq += 1;
             let seq = c.applied_seq;
@@ -493,6 +526,10 @@ fn apply_ready<S, F>(
             if seq.is_multiple_of(core.cfg.snapshot_every) {
                 let mut w = Writer::new();
                 state.encode_snapshot(&mut w);
+                // The rotation coordinator is replicated state too: a
+                // rejoiner must resume the rotation protocol (current
+                // epoch, open slot, cursor) exactly where the group is.
+                c.rotation.encode(&mut w);
                 let snap = Snapshot {
                     seq,
                     next: c.applied_next.clone(),
@@ -514,6 +551,10 @@ fn apply_ready<S, F>(
                 c.log = c.log.split_off(&(floor + 1));
             }
         }
+        rotation_after = c.rotation;
+    }
+    if !effects.is_empty() {
+        rotation_side_effects(node, me, &effects, rotation_after, n);
     }
     node.metrics().rsm_applied_total.add(ready.len() as u64);
     let mut applied = shared.applied.lock();
@@ -524,6 +565,66 @@ fn apply_ready<S, F>(
     }
     node.metrics().rsm_applied_watermark.set(applied.watermark);
     shared.applied_cv.notify_all();
+}
+
+/// Turns accepted rotation-command effects into their side effects —
+/// outside the state lock: the transport key switch, the rotation
+/// gauges/counters, flight-recorder milestones, and (on a completed
+/// wipe) clearing the rejuvenated replica's pre-wipe suspicion rows.
+fn rotation_side_effects(
+    node: &Node,
+    me: ProcessId,
+    effects: &[RotationEffect],
+    after: RotationState,
+    n: usize,
+) {
+    let m = node.metrics();
+    let pack = |victim: u32, epoch: u64| (u64::from(victim) << 32) | (epoch & 0xffff_ffff);
+    for eff in effects {
+        match *eff {
+            RotationEffect::Scheduled { victim, epoch } => {
+                // Every replica switches its sealing keys the moment the
+                // accepted schedule applies — the epoch advance *is* the
+                // group-wide key rejuvenation.
+                node.set_key_epoch(epoch);
+                m.rotation_scheduled_total.inc();
+                m.flight_record(
+                    FlightKind::Recovery,
+                    me as u32,
+                    milestones::WIPE_SCHEDULED,
+                    pack(victim, epoch),
+                );
+            }
+            RotationEffect::Completed { victim, epoch } => {
+                m.rotation_rounds_total.inc();
+                // The wiped replica restarted from a clean image: its
+                // pre-wipe suspicion evidence describes a process that
+                // no longer exists.
+                m.clear_suspicions_of(victim);
+                m.flight_record(
+                    FlightKind::Recovery,
+                    me as u32,
+                    milestones::WIPE_COMPLETED,
+                    pack(victim, epoch),
+                );
+            }
+            RotationEffect::Deferred { victim, epoch, .. } => {
+                m.rotation_deferrals_total.inc();
+                m.flight_record(
+                    FlightKind::Recovery,
+                    me as u32,
+                    milestones::WIPE_DEFERRED,
+                    pack(victim, epoch),
+                );
+            }
+            RotationEffect::Rejected => {}
+        }
+    }
+    m.rotation_epoch.set(after.epoch);
+    m.rotation_active_victim
+        .set(after.active.map_or(0, |(v, _)| u64::from(v) + 1));
+    m.rotation_next_victim
+        .set(u64::from(after.expected_victim(n)));
 }
 
 /// The live applier loop for recovery-enabled replicas.
@@ -921,7 +1022,14 @@ where
             abort_rejoin(node, shared);
             return None;
         };
-        let Ok(decoded) = S::decode_snapshot(&mut Reader::new(&snap.state)) else {
+        let mut reader = Reader::new(&snap.state);
+        let Ok(decoded) = S::decode_snapshot(&mut reader) else {
+            abort_rejoin(node, shared);
+            return None;
+        };
+        // The rotation coordinator rides after the application state in
+        // the same snapshot encoding.
+        let Ok(rotation) = RotationState::decode(&mut reader) else {
             abort_rejoin(node, shared);
             return None;
         };
@@ -934,7 +1042,13 @@ where
             c.applied_next = next.clone();
             c.log.clear();
             c.snaps = vec![SnapshotBundle::build(&snap, core.cfg.chunk_size)];
+            c.rotation = rotation;
         }
+        // Seal outbound frames under the epoch the group had at the
+        // snapshot boundary (catch-up replays any later advance). The
+        // transport also fast-forwards on verified inbound traffic, so
+        // this is a shortcut, not a correctness requirement.
+        node.set_key_epoch(rotation.epoch);
         m.recovery_snapshot_bytes.set(manifest.len);
         fifo = FifoOrder::from_watermarks(n, &next);
         snap_next = next;
@@ -1157,11 +1271,24 @@ where
         ready.extend(push_with_reset(&mut fifo, d));
     }
     apply_ready(node, shared, core, me, apply, &ready);
-    let live_seq = core.inner.lock().applied_seq;
+    let (live_seq, rotation) = {
+        let c = core.inner.lock();
+        (c.applied_seq, c.rotation)
+    };
     m.span_close("recover:catchup");
     m.recovery_phase.set(0);
     m.recovery_completed_total.inc();
     m.flight_record(FlightKind::Recovery, me as u32, milestones::LIVE, live_seq);
+    // If this rejoin *is* the open rotation slot, close it: the ordered
+    // WipeComplete advances the cursor on every replica and clears our
+    // pre-wipe suspicion rows. (A reactive rejoin — no slot, or someone
+    // else's — announces nothing.)
+    if let Some((victim, epoch)) = rotation.active {
+        if victim == me as u32 {
+            let cmd = RecoveryCommand::WipeComplete { victim, epoch };
+            let _ = node.atomic_broadcast(frame(TAG_RECOVERY, &cmd.to_bytes()));
+        }
+    }
     Some(fifo)
 }
 
@@ -1172,13 +1299,23 @@ impl<S: SnapshotState + Send + 'static> Replica<S> {
     /// the last two snapshot bundles plus the post-snapshot delivery
     /// log, and serves the pull-based state-transfer protocol to
     /// rejoining peers.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RecoveryConfigError`] when `cfg` contains a zero
+    /// field (a zero `snapshot_every` would divide by zero at every
+    /// stream boundary; zero `chunk_size` / `fill_batch` would wedge
+    /// state transfer) — rejected here, before any thread spawns.
     pub fn with_recovery(
         node: Node,
         initial: S,
         cfg: RecoveryConfig,
         apply: impl FnMut(&mut S, ProcessId, &[u8]) + Send + 'static,
-    ) -> Self {
-        Self::build_recovering(node, initial, cfg, None, false, apply)
+    ) -> Result<Self, RecoveryConfigError> {
+        cfg.validate()?;
+        Ok(Self::build_recovering(
+            node, initial, cfg, None, false, apply,
+        ))
     }
 
     /// Rebuilds a wiped replica from its peers: fetches snapshot
@@ -1190,14 +1327,22 @@ impl<S: SnapshotState + Send + 'static> Replica<S> {
     /// the snapshot watermark and hands over to live deliveries without
     /// applying anything twice. The `node` must come from
     /// [`Node::rejoin`] (its atomic broadcast starts held).
+    ///
+    /// # Errors
+    ///
+    /// As [`Replica::with_recovery`]: a zero field in `cfg` is rejected
+    /// before any thread spawns.
     pub fn rejoin(
         node: Node,
         initial: S,
         cfg: RecoveryConfig,
         stale: Option<Bytes>,
         apply: impl FnMut(&mut S, ProcessId, &[u8]) + Send + 'static,
-    ) -> Self {
-        Self::build_recovering(node, initial, cfg, stale, true, apply)
+    ) -> Result<Self, RecoveryConfigError> {
+        cfg.validate()?;
+        Ok(Self::build_recovering(
+            node, initial, cfg, stale, true, apply,
+        ))
     }
 
     fn build_recovering(
@@ -1251,6 +1396,7 @@ impl<S: SnapshotState + Send + 'static> Replica<S> {
             applier: Some(applier),
             recovery: Some(core),
             server,
+            driver: Mutex::new(None),
         }
     }
 
@@ -1282,6 +1428,170 @@ impl<S: SnapshotState + Send + 'static> Replica<S> {
         if let Some(core) = &self.recovery {
             core.tamper.store(on, Ordering::SeqCst);
         }
+    }
+
+    /// The replicated rotation-coordinator state as of the last applied
+    /// command (`None` on replicas without the recovery pipeline).
+    pub fn rotation_state(&self) -> Option<RotationState> {
+        self.recovery.as_ref().map(|c| c.inner.lock().rotation)
+    }
+
+    /// Arms the proactive-recovery rotation driver (see
+    /// [`crate::recovery::scheduler`]): a background thread that
+    ///
+    /// * proposes this replica's own wipe slot (via an ordered
+    ///   `ScheduleWipe`) whenever the rotation cursor points at it and
+    ///   `cfg.period` has elapsed since the last slot closed;
+    /// * reacts to its slot opening — calling `on_wipe(epoch)` so the
+    ///   embedding runtime tears this replica down and rejoins it (the
+    ///   rejoin pipeline announces `WipeComplete` on reaching Live), or
+    ///   deferring with an ordered `DeferWipe` when the stall watchdog
+    ///   or accumulated suspicion evidence says the group is already
+    ///   degraded;
+    /// * clears any peer's slot stuck active past `cfg.abort_after`.
+    ///
+    /// `on_wipe` must not block and must not drop the replica from
+    /// inside the callback (signal the owning thread instead): `Drop`
+    /// joins the driver thread that calls it. No-op on replicas without
+    /// the recovery pipeline, and at most one driver per replica.
+    pub fn start_rotation(&self, cfg: RotationConfig, on_wipe: impl Fn(u64) + Send + 'static) {
+        let Some(core) = self.recovery.as_ref().map(Arc::clone) else {
+            return;
+        };
+        let mut slot = self.driver.lock();
+        if slot.is_some() {
+            return;
+        }
+        let node = Arc::clone(&self.node);
+        let shared = Arc::clone(&self.shared);
+        let me = node.id() as u32;
+        let n = node.group_size();
+        *slot = Some(std::thread::spawn(move || {
+            let poll =
+                (cfg.period / 8).clamp(Duration::from_millis(10), Duration::from_millis(100));
+            // Liveness bookkeeping is all local wall-clock: the *safety*
+            // of the protocol never depends on these timers (any command
+            // mistimed by them is rejected deterministically everywhere).
+            let mut quiet_since = Instant::now();
+            let mut slot_seen: Option<((u32, u64), Instant)> = None;
+            // A slot already open when the driver arms is never this
+            // driver's grant: on a rejoined replica it is its own
+            // just-completed recovery (the rejoin pipeline's
+            // WipeComplete is still in flight, and reacting to it again
+            // would wipe the replica in a loop), and a foreign slot is
+            // the established drivers' stuck-slot watchdog duty.
+            let mut acted: Option<(u32, u64)> = core.inner.lock().rotation.active;
+            let mut closed = (0u64, 0u64);
+            loop {
+                if shared.stopped.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(poll);
+                let (rot, has_snapshot) = {
+                    let c = core.inner.lock();
+                    (c.rotation, !c.snaps.is_empty())
+                };
+                let progress = (rot.rounds_completed, rot.deferrals);
+                if progress != closed {
+                    closed = progress;
+                    quiet_since = Instant::now();
+                }
+                match rot.active {
+                    Some(active) => {
+                        let since = match slot_seen {
+                            Some((s, t)) if s == active => t,
+                            _ => {
+                                let now = Instant::now();
+                                slot_seen = Some((active, now));
+                                now
+                            }
+                        };
+                        if acted == Some(active) {
+                            continue;
+                        }
+                        let (victim, epoch) = active;
+                        if victim == me {
+                            acted = Some(active);
+                            // Health gate: rotation must never
+                            // *voluntarily* push the group past f
+                            // unavailable. (The epoch already advanced at
+                            // schedule time, so deferring keeps the key
+                            // refresh.)
+                            let suspicion: u64 = node
+                                .metrics()
+                                .suspicions()
+                                .iter()
+                                .map(|s| s.counts.iter().sum::<u64>())
+                                .sum();
+                            let reason = if node.is_stalled() {
+                                Some(DeferReason::Stalled)
+                            } else if suspicion >= cfg.suspicion_defer_threshold {
+                                Some(DeferReason::Suspicion)
+                            } else {
+                                None
+                            };
+                            match reason {
+                                Some(reason) => {
+                                    let cmd = RecoveryCommand::DeferWipe {
+                                        victim,
+                                        epoch,
+                                        reason,
+                                    };
+                                    if node
+                                        .atomic_broadcast(frame(TAG_RECOVERY, &cmd.to_bytes()))
+                                        .is_err()
+                                    {
+                                        return;
+                                    }
+                                }
+                                None => on_wipe(epoch),
+                            }
+                        } else if since.elapsed() >= cfg.abort_after {
+                            acted = Some(active);
+                            let cmd = RecoveryCommand::DeferWipe {
+                                victim,
+                                epoch,
+                                reason: DeferReason::StuckSlot,
+                            };
+                            if node
+                                .atomic_broadcast(frame(TAG_RECOVERY, &cmd.to_bytes()))
+                                .is_err()
+                            {
+                                return;
+                            }
+                        }
+                    }
+                    None => {
+                        slot_seen = None;
+                        // Never schedule the own wipe before the group has a
+                        // snapshot to restore from: a genesis rejoin races the
+                        // survivors' log pruning under load and can wedge.
+                        // Correct replicas snapshot at the same stream
+                        // boundaries, so the local bundle is a sound proxy for
+                        // the group's (skew is absorbed by the Syncing
+                        // re-poll).
+                        if has_snapshot
+                            && rot.expected_victim(n) == me
+                            && quiet_since.elapsed() >= cfg.period
+                        {
+                            let cmd = RecoveryCommand::ScheduleWipe {
+                                victim: me,
+                                epoch: rot.epoch + 1,
+                            };
+                            if node
+                                .atomic_broadcast(frame(TAG_RECOVERY, &cmd.to_bytes()))
+                                .is_err()
+                            {
+                                return;
+                            }
+                            // Rate-limit re-proposals: if this one is
+                            // lost or rejected, wait another full period.
+                            quiet_since = Instant::now();
+                        }
+                    }
+                }
+            }
+        }));
     }
 }
 
@@ -1492,7 +1802,7 @@ mod tests {
         let nodes = Node::cluster(config).unwrap();
         let replicas: Vec<_> = nodes
             .into_iter()
-            .map(|n| Replica::with_recovery(n, 0u64, small_recovery_cfg(), incr_counter))
+            .map(|n| Replica::with_recovery(n, 0u64, small_recovery_cfg(), incr_counter).unwrap())
             .collect();
         for _ in 0..20 {
             replicas[0]
@@ -1530,7 +1840,7 @@ mod tests {
         let (nodes, hub) = Node::cluster_with_hub(&config).unwrap();
         let mut replicas: Vec<_> = nodes
             .into_iter()
-            .map(|n| Replica::with_recovery(n, 0u64, small_recovery_cfg(), incr_counter))
+            .map(|n| Replica::with_recovery(n, 0u64, small_recovery_cfg(), incr_counter).unwrap())
             .collect();
         for _ in 0..20 {
             replicas[1]
@@ -1550,7 +1860,8 @@ mod tests {
         // Rejoin from nothing but the session config.
         let node = Node::rejoin(&config, &hub, 3).unwrap();
         let m = node.metrics().clone();
-        let rejoined = Replica::rejoin(node, 0u64, small_recovery_cfg(), None, incr_counter);
+        let rejoined =
+            Replica::rejoin(node, 0u64, small_recovery_cfg(), None, incr_counter).unwrap();
         // Keep the stream moving while the transfer runs.
         for _ in 0..10 {
             replicas[0]
@@ -1634,7 +1945,8 @@ mod tests {
             small_recovery_cfg(),
             None,
             |_: &mut u64, _, _| {},
-        );
+        )
+        .unwrap();
         std::thread::sleep(Duration::from_millis(300));
         assert_eq!(m.recovery_phase.get(), 1, "still syncing");
         rejoined.shutdown();

@@ -32,7 +32,8 @@
 
 use crate::codec::{Reader, WireError, WireMessage, Writer};
 use crate::node::{Node, NodeError};
-use crate::recovery::{Hash, RecoveryConfig, SnapshotState};
+use crate::recovery::scheduler::{RotationConfig, RotationState};
+use crate::recovery::{Hash, RecoveryConfig, RecoveryConfigError, SnapshotState};
 use crate::rsm::Replica;
 use bytes::Bytes;
 use crossbeam_channel::{bounded, Receiver, Sender};
@@ -803,6 +804,11 @@ impl<S: SnapshotState + Send + 'static> ServiceReplica<S> {
     /// table at every `recovery.snapshot_every` stream boundary and
     /// serves state transfer to rejoining peers (see
     /// [`Replica::with_recovery`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RecoveryConfigError`] when `recovery` contains a
+    /// zero field — rejected before any thread spawns.
     pub fn with_recovery(
         node: Node,
         initial: S,
@@ -810,7 +816,7 @@ impl<S: SnapshotState + Send + 'static> ServiceReplica<S> {
         recovery: RecoveryConfig,
         apply: impl FnMut(&mut S, ClientId, &[u8]) -> Bytes + Send + 'static,
         query: impl Fn(&S, &[u8]) -> Bytes + Send + Sync + 'static,
-    ) -> Self {
+    ) -> Result<Self, RecoveryConfigError> {
         let metrics = node.metrics().clone();
         let table = Arc::new(Mutex::new(SessionTable::new(config.session_capacity)));
         let waiters: Arc<Waiters> = Arc::new(Mutex::new(HashMap::new()));
@@ -826,14 +832,14 @@ impl<S: SnapshotState + Send + 'static> ServiceReplica<S> {
             Arc::clone(&query),
             apply,
         );
-        let replica = Replica::with_recovery(node, state, recovery, applier);
-        ServiceReplica {
+        let replica = Replica::with_recovery(node, state, recovery, applier)?;
+        Ok(ServiceReplica {
             replica,
             table,
             waiters,
             query,
             metrics,
-        }
+        })
     }
 
     /// Rebuilds a wiped service replica from its peers via snapshot
@@ -842,6 +848,10 @@ impl<S: SnapshotState + Send + 'static> ServiceReplica<S> {
     /// pairs exactly-once across the snapshot boundary: an ordered
     /// duplicate of a pre-snapshot command is skipped by the restored
     /// dedup state, not re-applied.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServiceReplica::with_recovery`].
     pub fn rejoin(
         node: Node,
         initial: S,
@@ -850,7 +860,7 @@ impl<S: SnapshotState + Send + 'static> ServiceReplica<S> {
         stale: Option<Bytes>,
         apply: impl FnMut(&mut S, ClientId, &[u8]) -> Bytes + Send + 'static,
         query: impl Fn(&S, &[u8]) -> Bytes + Send + Sync + 'static,
-    ) -> Self {
+    ) -> Result<Self, RecoveryConfigError> {
         let metrics = node.metrics().clone();
         let table = Arc::new(Mutex::new(SessionTable::new(config.session_capacity)));
         let waiters: Arc<Waiters> = Arc::new(Mutex::new(HashMap::new()));
@@ -866,14 +876,14 @@ impl<S: SnapshotState + Send + 'static> ServiceReplica<S> {
             Arc::clone(&query),
             apply,
         );
-        let replica = Replica::rejoin(node, state, recovery, stale, applier);
-        ServiceReplica {
+        let replica = Replica::rejoin(node, state, recovery, stale, applier)?;
+        Ok(ServiceReplica {
             replica,
             table,
             waiters,
             query,
             metrics,
-        }
+        })
     }
 
     /// The latest local snapshot digest as `(seq, merkle_root)` — equal
@@ -894,6 +904,26 @@ impl<S: SnapshotState + Send + 'static> ServiceReplica<S> {
     /// [`Replica::set_chunk_tamper`]).
     pub fn set_chunk_tamper(&self, on: bool) {
         self.replica.set_chunk_tamper(on);
+    }
+
+    /// Arms the proactive-recovery rotation driver on the underlying
+    /// replica (see [`Replica::start_rotation`]): `on_wipe(epoch)` fires
+    /// when this replica's ordered wipe slot opens and it is healthy
+    /// enough to take it.
+    pub fn start_rotation(&self, cfg: RotationConfig, on_wipe: impl Fn(u64) + Send + 'static) {
+        self.replica.start_rotation(cfg, on_wipe);
+    }
+
+    /// The replicated rotation-coordinator state (see
+    /// [`Replica::rotation_state`]).
+    pub fn rotation_state(&self) -> Option<RotationState> {
+        self.replica.rotation_state()
+    }
+
+    /// The underlying node's current transport key epoch — the epoch its
+    /// outbound frames are sealed under after rotation rekeys.
+    pub fn key_epoch(&self) -> u64 {
+        self.replica.node().key_epoch()
     }
 }
 

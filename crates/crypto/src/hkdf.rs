@@ -1,0 +1,160 @@
+//! HKDF-SHA256 (RFC 5869) — extract-and-expand key derivation.
+//!
+//! Used by the proactive recovery scheduler to re-derive the pairwise
+//! key table on every rotation epoch: `HKDF(master, epoch)` yields a
+//! fresh key matrix, so keys an intruder may have exfiltrated before
+//! its host was wiped stop authenticating traffic once the grace
+//! window closes. Built directly on the crate's [`Hmac`]`<Sha256>` —
+//! no external dependencies.
+
+use crate::hmac::Hmac;
+use crate::sha256::Sha256;
+
+/// Output length of the underlying hash (SHA-256).
+pub const HASH_LEN: usize = 32;
+
+/// HKDF-Extract: `PRK = HMAC-Hash(salt, IKM)`.
+///
+/// An empty `salt` is treated as `HASH_LEN` zero bytes, per RFC 5869
+/// §2.2.
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; HASH_LEN] {
+    const ZERO_SALT: [u8; HASH_LEN] = [0u8; HASH_LEN];
+    let salt = if salt.is_empty() {
+        &ZERO_SALT[..]
+    } else {
+        salt
+    };
+    Hmac::<Sha256>::mac(salt, ikm)
+}
+
+/// HKDF-Expand: grows `prk` into `out.len()` bytes of output keying
+/// material bound to `info`, per RFC 5869 §2.3.
+///
+/// # Panics
+///
+/// Panics if `out.len() > 255 * HASH_LEN` (the RFC's hard limit) —
+/// callers in this crate derive at most one key table row at a time,
+/// far below the bound.
+pub fn expand(prk: &[u8; HASH_LEN], info: &[u8], out: &mut [u8]) {
+    assert!(
+        out.len() <= 255 * HASH_LEN,
+        "HKDF output length exceeds RFC 5869 bound"
+    );
+    let mut t: [u8; HASH_LEN] = [0u8; HASH_LEN];
+    let mut t_len = 0usize;
+    let mut counter = 1u8;
+    let mut written = 0usize;
+    while written < out.len() {
+        let mut mac = Hmac::<Sha256>::new(prk);
+        mac.update(&t[..t_len]);
+        mac.update(info);
+        mac.update(&[counter]);
+        t = mac.finalize();
+        t_len = HASH_LEN;
+        let take = (out.len() - written).min(HASH_LEN);
+        out[written..written + take].copy_from_slice(&t[..take]);
+        written += take;
+        counter += 1;
+    }
+}
+
+/// One-shot extract-then-expand producing `N` bytes.
+pub fn derive<const N: usize>(salt: &[u8], ikm: &[u8], info: &[u8]) -> [u8; N] {
+    let prk = extract(salt, ikm);
+    let mut out = [0u8; N];
+    expand(&prk, info, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 5869 Appendix A, Test Case 1 (SHA-256, basic).
+    #[test]
+    fn rfc5869_test_case_1() {
+        let ikm = unhex("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b");
+        let salt = unhex("000102030405060708090a0b0c");
+        let info = unhex("f0f1f2f3f4f5f6f7f8f9");
+        let prk = extract(&salt, &ikm);
+        assert_eq!(
+            prk.to_vec(),
+            unhex("077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5")
+        );
+        let mut okm = [0u8; 42];
+        expand(&prk, &info, &mut okm);
+        assert_eq!(
+            okm.to_vec(),
+            unhex(
+                "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf\
+                 34007208d5b887185865"
+            )
+        );
+    }
+
+    // RFC 5869 Appendix A, Test Case 2 (SHA-256, longer inputs/outputs).
+    #[test]
+    fn rfc5869_test_case_2() {
+        let ikm = unhex(
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f\
+             202122232425262728292a2b2c2d2e2f303132333435363738393a3b3c3d3e3f\
+             404142434445464748494a4b4c4d4e4f",
+        );
+        let salt = unhex(
+            "606162636465666768696a6b6c6d6e6f707172737475767778797a7b7c7d7e7f\
+             808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f\
+             a0a1a2a3a4a5a6a7a8a9aaabacadaeaf",
+        );
+        let info = unhex(
+            "b0b1b2b3b4b5b6b7b8b9babbbcbdbebfc0c1c2c3c4c5c6c7c8c9cacbcccdcecf\
+             d0d1d2d3d4d5d6d7d8d9dadbdcdddedfe0e1e2e3e4e5e6e7e8e9eaebecedeeef\
+             f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff",
+        );
+        let prk = extract(&salt, &ikm);
+        let mut okm = [0u8; 82];
+        expand(&prk, &info, &mut okm);
+        assert_eq!(
+            okm.to_vec(),
+            unhex(
+                "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c\
+                 59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71\
+                 cc30c58179ec3e87c14c01d5c1f3434f1d87"
+            )
+        );
+    }
+
+    // RFC 5869 Appendix A, Test Case 3 (SHA-256, zero-length salt/info).
+    #[test]
+    fn rfc5869_test_case_3() {
+        let ikm = unhex("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b");
+        let prk = extract(&[], &ikm);
+        let mut okm = [0u8; 42];
+        expand(&prk, &[], &mut okm);
+        assert_eq!(
+            okm.to_vec(),
+            unhex(
+                "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d\
+                 9d201395faa4b61a96c8"
+            )
+        );
+    }
+
+    #[test]
+    fn derive_is_extract_then_expand() {
+        let okm: [u8; 32] = derive(b"salt", b"master", b"epoch-7");
+        let prk = extract(b"salt", b"master");
+        let mut expect = [0u8; 32];
+        expand(&prk, b"epoch-7", &mut expect);
+        assert_eq!(okm, expect);
+        // Different info ⇒ unrelated output.
+        let other: [u8; 32] = derive(b"salt", b"master", b"epoch-8");
+        assert_ne!(okm, other);
+    }
+}

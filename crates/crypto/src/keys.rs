@@ -94,6 +94,47 @@ impl KeyTable {
         KeyTable { n, matrix }
     }
 
+    /// Acts as the trusted dealer for one rotation **epoch**: derives the
+    /// pairwise key matrix for `(master_seed, epoch)`.
+    ///
+    /// Epoch `0` is exactly [`KeyTable::dealer`] — existing deployments
+    /// and recorded traffic stay valid, and a freshly wiped replica that
+    /// has not yet learned the cluster's epoch can still authenticate
+    /// enough to be told it (there is no flag day). For `epoch > 0` the
+    /// matrix is re-derived through HKDF-SHA256: a per-epoch master
+    /// `HKDF(master_seed, "ritas-epoch" ‖ epoch)` is expanded into each
+    /// pairwise key, so every proactive-recovery round rotates every
+    /// `s_ij` and keys exfiltrated before a wipe stop authenticating
+    /// traffic once the grace window closes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn dealer_for_epoch(n: usize, master_seed: u64, epoch: u64) -> Self {
+        if epoch == 0 {
+            return KeyTable::dealer(n, master_seed);
+        }
+        assert!(n > 0, "key table needs at least one process");
+        let mut info = Vec::with_capacity(b"ritas-epoch".len() + 8);
+        info.extend_from_slice(b"ritas-epoch");
+        info.extend_from_slice(&epoch.to_be_bytes());
+        let prk = crate::hkdf::extract(&info, &master_seed.to_be_bytes());
+        let mut matrix = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                let (lo, hi) = (i.min(j) as u64, i.max(j) as u64);
+                let mut pair_info = Vec::with_capacity(b"ritas-key".len() + 16);
+                pair_info.extend_from_slice(b"ritas-key");
+                pair_info.extend_from_slice(&lo.to_be_bytes());
+                pair_info.extend_from_slice(&hi.to_be_bytes());
+                let mut key = [0u8; KEY_LEN];
+                crate::hkdf::expand(&prk, &pair_info, &mut key);
+                matrix.push(SecretKey(key));
+            }
+        }
+        KeyTable { n, matrix }
+    }
+
     /// Number of processes the table was dealt for.
     pub fn len(&self) -> usize {
         self.n
@@ -274,6 +315,46 @@ mod tests {
         let a = KeyTable::dealer(4, 5);
         let b = KeyTable::dealer(4, 5);
         assert_eq!(a.shared_key(2, 3), b.shared_key(2, 3));
+    }
+
+    #[test]
+    fn epoch_zero_is_the_legacy_dealer() {
+        let legacy = KeyTable::dealer(4, 42);
+        let epoch0 = KeyTable::dealer_for_epoch(4, 42, 0);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(legacy.shared_key(i, j), epoch0.shared_key(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_tables_are_symmetric_distinct_and_deterministic() {
+        let e1 = KeyTable::dealer_for_epoch(5, 42, 1);
+        let e2 = KeyTable::dealer_for_epoch(5, 42, 2);
+        for i in 0..5 {
+            for j in 0..5 {
+                // Symmetry within an epoch.
+                assert_eq!(e1.shared_key(i, j), e1.shared_key(j, i));
+                // Every pairwise key rotates between epochs.
+                assert_ne!(e1.shared_key(i, j), e2.shared_key(i, j));
+            }
+        }
+        // Same (seed, epoch) re-derives the same table out-of-band.
+        let again = KeyTable::dealer_for_epoch(5, 42, 1);
+        assert_eq!(e1.shared_key(2, 3), again.shared_key(2, 3));
+        // Different seeds diverge within the same epoch.
+        assert_ne!(
+            KeyTable::dealer_for_epoch(5, 43, 1).shared_key(0, 1),
+            e1.shared_key(0, 1)
+        );
+        // Pairwise-distinct within an epoch.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..5 {
+            for j in i..5 {
+                assert!(seen.insert(*e1.shared_key(i, j).unwrap().as_bytes()));
+            }
+        }
     }
 
     #[test]

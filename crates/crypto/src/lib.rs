@@ -37,6 +37,7 @@
 
 pub mod coin;
 pub mod digest;
+pub mod hkdf;
 pub mod hmac;
 pub mod keys;
 pub mod mac;

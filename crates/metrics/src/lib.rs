@@ -1046,6 +1046,12 @@ pub struct MetricsInner {
     /// Sends that hit the bounded retransmission buffer and gave up with
     /// `LinkDown` after the bounded wait (backpressure surfaced).
     pub transport_send_backpressure_total: Counter,
+    /// Inbound frames rejected for carrying a stale key epoch (older than
+    /// the grace window after a proactive key refresh).
+    pub transport_epoch_rejected: Counter,
+    /// Key-epoch fast-forwards adopted from authenticated peer traffic
+    /// (a rejoining replica learning the cluster's current epoch).
+    pub transport_epoch_adopted: Counter,
     /// Point-to-point links currently in the `Up` state.
     pub transport_links_up: Gauge,
 
@@ -1234,6 +1240,23 @@ pub struct MetricsInner {
     /// Encoded size in bytes of the latest local snapshot.
     pub recovery_snapshot_bytes: Gauge,
 
+    // ---- proactive rotation (scheduler) ----
+    /// Rotation slots scheduled through atomic broadcast (`ScheduleWipe`
+    /// commands applied from the replicated log).
+    pub rotation_scheduled_total: Counter,
+    /// Wipe-and-rejoin rounds completed (`WipeComplete` applied).
+    pub rotation_rounds_total: Counter,
+    /// Rotation slots deferred because the group was already degraded
+    /// (stall watchdog, suspicion pressure, or a stuck slot aborted).
+    pub rotation_deferrals_total: Counter,
+    /// Current key epoch agreed through the replicated log.
+    pub rotation_epoch: Gauge,
+    /// Victim of the in-flight rotation slot, stored as `id + 1`
+    /// (0 = no slot active).
+    pub rotation_active_victim: Gauge,
+    /// Replica scheduled to recover on the next rotation slot.
+    pub rotation_next_victim: Gauge,
+
     suspicions: Mutex<BTreeMap<u32, [u64; SUSPICION_KINDS]>>,
     flight: flight::FlightRecorder,
     spans: SpanRegistry,
@@ -1256,6 +1279,8 @@ impl Default for MetricsInner {
             transport_dup_dropped_total: Counter::default(),
             transport_link_down_total: Counter::default(),
             transport_send_backpressure_total: Counter::default(),
+            transport_epoch_rejected: Counter::default(),
+            transport_epoch_adopted: Counter::default(),
             transport_links_up: Gauge::default(),
             rb_init_recv: Counter::default(),
             rb_echo_recv: Counter::default(),
@@ -1332,6 +1357,12 @@ impl Default for MetricsInner {
             recovery_completed_total: Counter::default(),
             recovery_phase: Gauge::default(),
             recovery_snapshot_bytes: Gauge::default(),
+            rotation_scheduled_total: Counter::default(),
+            rotation_rounds_total: Counter::default(),
+            rotation_deferrals_total: Counter::default(),
+            rotation_epoch: Gauge::default(),
+            rotation_active_victim: Gauge::default(),
+            rotation_next_victim: Gauge::default(),
             suspicions: Mutex::new(BTreeMap::new()),
             flight: flight::FlightRecorder::new(flight::FLIGHT_CAPACITY),
             spans: SpanRegistry::new(SPAN_CAPACITY),
@@ -1502,6 +1533,31 @@ impl Metrics {
         self.flight_record(FlightKind::Suspicion, peer, kind.index() as u64, 0);
     }
 
+    /// Drops every suspicion row accumulated against `peer`.
+    ///
+    /// Called when `peer` completes a proactive wipe-and-rejoin: a
+    /// rejuvenated replica starts from a clean image and a fresh key
+    /// epoch, so pre-wipe Byzantine evidence no longer describes the
+    /// process now running under that id. The aggregate
+    /// `suspicions_total` counter is monotone history and is *not*
+    /// rewound; only the live per-peer table is reset. The clear itself
+    /// is flight-recorded so forensics can see when evidence was aged
+    /// out.
+    pub fn clear_suspicions_of(&self, peer: u32) {
+        let cleared = {
+            let mut g = self
+                .inner
+                .suspicions
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            match g.remove(&peer) {
+                Some(counts) => counts.iter().sum::<u64>(),
+                None => return,
+            }
+        };
+        self.flight_record(FlightKind::Recovery, peer, u64::MAX, cleared);
+    }
+
     /// The per-peer suspicion table, peers in ascending order. Empty in
     /// failure-free runs — every row is evidence.
     pub fn suspicions(&self) -> Vec<SuspicionSnapshot> {
@@ -1568,6 +1624,8 @@ impl Metrics {
             transport_dup_dropped_total,
             transport_link_down_total,
             transport_send_backpressure_total,
+            transport_epoch_rejected,
+            transport_epoch_adopted,
             rb_init_recv,
             rb_echo_recv,
             rb_ready_recv,
@@ -1625,6 +1683,9 @@ impl Metrics {
             recovery_chunk_proof_rejected,
             recovery_fills_applied,
             recovery_completed_total,
+            rotation_scheduled_total,
+            rotation_rounds_total,
+            rotation_deferrals_total,
         );
         // Gauges join the counter map (point-in-time values).
         counters.insert("stack_instances", m.stack_instances.get());
@@ -1639,6 +1700,9 @@ impl Metrics {
         counters.insert("rsm_applied_watermark", m.rsm_applied_watermark.get());
         counters.insert("recovery_phase", m.recovery_phase.get());
         counters.insert("recovery_snapshot_bytes", m.recovery_snapshot_bytes.get());
+        counters.insert("rotation_epoch", m.rotation_epoch.get());
+        counters.insert("rotation_active_victim", m.rotation_active_victim.get());
+        counters.insert("rotation_next_victim", m.rotation_next_victim.get());
         histogram!(
             bc_rounds,
             mvc_vect_bytes,
@@ -1762,7 +1826,7 @@ impl MetricsSnapshot {
     /// (metric prefix `ritas_`, histograms with cumulative `le` buckets).
     pub fn to_prometheus(&self) -> String {
         // Point-in-time instruments that live in the counter map.
-        const GAUGES: [&str; 12] = [
+        const GAUGES: [&str; 15] = [
             "stack_instances",
             "stack_ooc_buffered",
             "stack_ooc_high_water",
@@ -1775,6 +1839,9 @@ impl MetricsSnapshot {
             "rsm_applied_watermark",
             "recovery_phase",
             "recovery_snapshot_bytes",
+            "rotation_epoch",
+            "rotation_active_victim",
+            "rotation_next_victim",
         ];
         let mut out = String::new();
         for (name, value) in &self.counters {
@@ -2495,6 +2562,53 @@ mod tests {
                 .count(),
             5
         );
+    }
+
+    #[test]
+    fn rejoin_clears_suspicions_of_the_wiped_peer_only() {
+        let m = Metrics::new();
+        m.suspect(1, SuspicionKind::BadMac);
+        m.suspect(1, SuspicionKind::BadChunk);
+        m.suspect(3, SuspicionKind::Equivocation);
+        assert_eq!(m.suspicions().len(), 2);
+
+        // Peer 1 completes a wipe-and-rejoin: its pre-wipe evidence is
+        // dropped, other peers' rows are untouched, and the monotone
+        // aggregate counter keeps the history.
+        m.clear_suspicions_of(1);
+        let rows = m.suspicions();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].peer, 3);
+        assert_eq!(rows[0].count(SuspicionKind::Equivocation), 1);
+        assert_eq!(m.suspicions_total.get(), 3);
+
+        // The clear itself is flight-recorded (kind=Recovery, a=MAX
+        // sentinel, b=evidence dropped) so forensics can see it.
+        let cleared: Vec<_> = m
+            .flight()
+            .events()
+            .into_iter()
+            .filter(|e| e.kind == FlightKind::Recovery && e.a == u64::MAX)
+            .collect();
+        assert_eq!(cleared.len(), 1);
+        assert_eq!(cleared[0].peer, 1);
+        assert_eq!(cleared[0].b, 2);
+
+        // Clearing an unknown peer is a no-op, not a new flight event.
+        m.clear_suspicions_of(9);
+        assert_eq!(
+            m.flight()
+                .events()
+                .iter()
+                .filter(|e| e.kind == FlightKind::Recovery && e.a == u64::MAX)
+                .count(),
+            1
+        );
+        // Fresh evidence after the wipe accumulates from zero.
+        m.suspect(1, SuspicionKind::Malformed);
+        let rows = m.suspicions();
+        assert_eq!(rows[0].peer, 1);
+        assert_eq!(rows[0].total(), 1);
     }
 
     #[test]

@@ -315,7 +315,10 @@ impl SimCluster {
             })
             .collect();
         // The observer must be a live, correct process (a wipe victim
-        // loses its state mid-run, so it cannot observe either).
+        // loses its state mid-run, so it cannot observe either). Under
+        // Rotation every process is wiped at some point; the observer
+        // stays process 0, so rotation experiments place slot 0 away
+        // from the traffic they measure.
         let wipe_victim = config.faultload.wipe_rejoin_at().map(|(v, _)| v);
         let observer = (0..config.n)
             .find(|p| {
@@ -347,7 +350,9 @@ impl SimCluster {
             flap_fifo: std::collections::HashMap::new(),
             config,
         };
-        if let Some((victim, at)) = sim.config.faultload.wipe_rejoin_at() {
+        // One rebuild per dark window: the single victim under Wipe,
+        // every process in turn under Rotation.
+        for (victim, at) in sim.config.faultload.resets(sim.config.n) {
             sim.push(at, EventKind::Reset { p: victim });
         }
         sim
@@ -743,6 +748,74 @@ mod tests {
         assert!(
             sim.ab_delivery_times(3).len() < k as usize,
             "an amnesiac rejoiner cannot have caught up by itself"
+        );
+    }
+
+    #[test]
+    fn rotation_keeps_a_quorum_live_through_a_full_cycle() {
+        // Proactive recovery sweeps all four processes, one 25 ms dark
+        // window per 150 ms slot: p0 [2,27), p1 [152,177), p2 [302,327),
+        // p3 [452,477) ms. A broadcast stream from process 0 — whose own
+        // slot closes before its first send — runs across p1's window.
+        // An AB instance in this calibration concludes in ~21 ms, well
+        // inside one slot, so every instance begins while a full-state
+        // quorum (n − f = 3) is live and must conclude. The burst ends
+        // before p2's slot: once two processes have rotated, only two
+        // full-state members remain and protocol-layer catch-up alone
+        // cannot rebuild the quorum — that is the recovery pipeline's
+        // job (snapshots + state transfer, exercised above this sim),
+        // same caveat as the wipe test's amnesiac returnee.
+        let rotation = Faultload::Rotation {
+            start_ns: 2_000_000,
+            interval_ns: 150_000_000,
+            down_ns: 25_000_000,
+        };
+        // The scheduler invariant, by construction of the faultload:
+        // never two dark processes at once (sampled densely over the
+        // whole cycle).
+        for t in (0..600_000_000u64).step_by(500_000) {
+            let dark = (0..4).filter(|&p| rotation.wiped(p, t)).count();
+            assert!(dark <= 1, "{dark} processes dark at t = {t} ns");
+        }
+        let config = SimConfig::paper_testbed(19).with_faultload(rotation);
+        let mut sim = SimCluster::new(config);
+        let k = 8u64;
+        for i in 0..k {
+            sim.schedule(
+                40_000_000 + i * 20_000_000,
+                0,
+                Action::AbBroadcast(Bytes::from(format!("rot-{i}"))),
+            );
+        }
+        sim.run();
+        // The run spans the full rotation: the last returnee (p3) was
+        // rebuilt before the event queue drained.
+        assert!(
+            sim.now() >= 477_000_000,
+            "cycle incomplete at {}",
+            sim.now()
+        );
+        // The observer rotated before the burst: a rebuilt sender must
+        // still a-deliver the entire stream.
+        assert_eq!(sim.observer(), 0);
+        assert_eq!(sim.ab_delivery_times(0).len(), k as usize);
+        // p2 and p3 rotate after the stream concludes, so they deliver
+        // everything first; p1 goes dark mid-stream and misses the
+        // instances in flight across (and concluded after) its window.
+        for p in 2..4 {
+            assert_eq!(sim.ab_delivery_times(p).len(), k as usize, "process {p}");
+        }
+        let got = sim.ab_delivery_times(1).len();
+        assert!(
+            (1..k as usize).contains(&got),
+            "mid-stream returnee delivered {got} of {k}"
+        );
+        // The group as a whole never loses quorum: ≥ 3 full-state
+        // deliveries per message.
+        let total: usize = (0..4).map(|p| sim.ab_delivery_times(p).len()).sum();
+        assert!(
+            total >= 3 * k as usize,
+            "quorum lost during rotation: {total} total deliveries"
         );
     }
 

@@ -62,6 +62,24 @@ pub enum Faultload {
         /// (must be `> down_from_ns`).
         down_until_ns: u64,
     },
+    /// Proactive recovery: **every** process is wiped and rejoined in
+    /// turn, one slot at a time — the discrete-event twin of the rotation
+    /// scheduler (`ritas::recovery::scheduler`). Process `p`'s dark
+    /// window is `[start_ns + p·interval_ns, start_ns + p·interval_ns +
+    /// down_ns)`; `down_ns ≤ interval_ns` makes the windows disjoint, so
+    /// at most one process is non-Live because of rotation at any
+    /// instant — the scheduler's core invariant, by construction here
+    /// and checked empirically by the property test.
+    Rotation {
+        /// Virtual time the first slot (process 0) opens, nanoseconds.
+        start_ns: u64,
+        /// Slot pitch, nanoseconds (process `p` goes dark at
+        /// `start_ns + p·interval_ns`; must be `> 0`).
+        interval_ns: u64,
+        /// Dark time per slot, nanoseconds
+        /// (`0 < down_ns ≤ interval_ns`).
+        down_ns: u64,
+    },
 }
 
 impl Faultload {
@@ -111,6 +129,11 @@ impl Faultload {
                 down_from_ns,
                 down_until_ns,
             } => format!("wipe:{victim}:{down_from_ns}:{down_until_ns}"),
+            Faultload::Rotation {
+                start_ns,
+                interval_ns,
+                down_ns,
+            } => format!("rotation:{start_ns}:{interval_ns}:{down_ns}"),
         }
     }
 
@@ -123,20 +146,30 @@ impl Faultload {
             Faultload::Slow { .. } => "slow-process",
             Faultload::LinkFlap { .. } => "link-flap",
             Faultload::Wipe { .. } => "wipe-rejoin",
+            Faultload::Rotation { .. } => "rotation",
         }
     }
 
     /// Whether process `p` is dark — crashed, not yet rejoined — at
-    /// virtual time `t` (only ever true under [`Faultload::Wipe`]).
+    /// virtual time `t` (only ever true under [`Faultload::Wipe`] and
+    /// [`Faultload::Rotation`]).
     pub fn wiped(&self, p: ProcessId, t: u64) -> bool {
-        matches!(
-            self,
+        match self {
             Faultload::Wipe {
                 victim,
                 down_from_ns,
                 down_until_ns,
-            } if *victim == p && (*down_from_ns..*down_until_ns).contains(&t)
-        )
+            } => *victim == p && (*down_from_ns..*down_until_ns).contains(&t),
+            Faultload::Rotation {
+                start_ns,
+                interval_ns,
+                down_ns,
+            } => {
+                let begin = start_ns + p as u64 * interval_ns;
+                (begin..begin + down_ns).contains(&t)
+            }
+            _ => false,
+        }
     }
 
     /// Under [`Faultload::Wipe`], the victim and its rejoin time.
@@ -148,6 +181,27 @@ impl Faultload {
                 ..
             } => Some((*victim, *down_until_ns)),
             _ => None,
+        }
+    }
+
+    /// Every `(process, rejoin_time_ns)` rebuild the simulator must
+    /// schedule: the single victim under [`Faultload::Wipe`], one per
+    /// process under [`Faultload::Rotation`], none otherwise.
+    pub fn resets(&self, n: usize) -> Vec<(ProcessId, u64)> {
+        match self {
+            Faultload::Wipe {
+                victim,
+                down_until_ns,
+                ..
+            } => vec![(*victim, *down_until_ns)],
+            Faultload::Rotation {
+                start_ns,
+                interval_ns,
+                down_ns,
+            } => (0..n)
+                .map(|p| (p, start_ns + p as u64 * interval_ns + down_ns))
+                .collect(),
+            _ => Vec::new(),
         }
     }
 
@@ -192,7 +246,8 @@ impl core::fmt::Display for FaultloadParseError {
         write!(
             f,
             "invalid faultload {:?} (expected failure-free | fail-stop:V | byzantine:A | \
-             slow:V:DELAY_NS | link-flap:A-B:PERIOD_NS:OUTAGE_NS | wipe:V:FROM_NS:UNTIL_NS)",
+             slow:V:DELAY_NS | link-flap:A-B:PERIOD_NS:OUTAGE_NS | wipe:V:FROM_NS:UNTIL_NS | \
+             rotation:START_NS:INTERVAL_NS:DOWN_NS)",
             self.0
         )
     }
@@ -204,8 +259,9 @@ impl std::str::FromStr for Faultload {
     type Err = FaultloadParseError;
 
     /// Parses the CLI faultload syntax used by the bench binaries:
-    /// `failure-free`, `fail-stop:V`, `byzantine:A`, `slow:V:DELAY_NS`
-    /// or `link-flap:A-B:PERIOD_NS:OUTAGE_NS`.
+    /// `failure-free`, `fail-stop:V`, `byzantine:A`, `slow:V:DELAY_NS`,
+    /// `link-flap:A-B:PERIOD_NS:OUTAGE_NS`, `wipe:V:FROM_NS:UNTIL_NS`
+    /// or `rotation:START_NS:INTERVAL_NS:DOWN_NS`.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let err = || FaultloadParseError(s.to_string());
         let mut parts = s.split(':');
@@ -248,6 +304,19 @@ impl std::str::FromStr for Faultload {
                     victim,
                     down_from_ns,
                     down_until_ns,
+                }
+            }
+            "rotation" => {
+                let start_ns: u64 = arg()?.parse().map_err(|_| err())?;
+                let interval_ns: u64 = arg()?.parse().map_err(|_| err())?;
+                let down_ns: u64 = arg()?.parse().map_err(|_| err())?;
+                if interval_ns == 0 || down_ns == 0 || down_ns > interval_ns {
+                    return Err(err());
+                }
+                Faultload::Rotation {
+                    start_ns,
+                    interval_ns,
+                    down_ns,
                 }
             }
             _ => return Err(err()),
@@ -329,6 +398,56 @@ mod tests {
     }
 
     #[test]
+    fn rotation_windows_are_disjoint_and_cover_everyone() {
+        let f = Faultload::Rotation {
+            start_ns: 1_000,
+            interval_ns: 10_000,
+            down_ns: 4_000,
+        };
+        // Everyone participates, nobody is Byzantine, no send delay.
+        assert_eq!(f.senders(4).len(), 4);
+        assert!(!f.is_byzantine(2));
+        assert_eq!(f.send_delay(2), 0);
+        // Process p is dark exactly in [start + p·interval, + down).
+        assert!(!f.wiped(0, 999));
+        assert!(f.wiped(0, 1_000));
+        assert!(f.wiped(0, 4_999));
+        assert!(!f.wiped(0, 5_000));
+        assert!(f.wiped(3, 31_000));
+        assert!(!f.wiped(3, 35_000));
+        // ≤ 1 dark at any instant, across parameter shapes (down ==
+        // interval is the tightest legal packing: back-to-back windows).
+        for (start, interval, down) in [(0, 7_000, 7_000), (1_000, 10_000, 4_000), (5, 3, 1)] {
+            let f = Faultload::Rotation {
+                start_ns: start,
+                interval_ns: interval,
+                down_ns: down,
+            };
+            for t in 0..(start + 5 * interval) {
+                let dark = (0..4).filter(|&p| f.wiped(p, t)).count();
+                assert!(dark <= 1, "{dark} dark at t = {t} under {f:?}");
+            }
+        }
+        // One rebuild per process, at each window's closing edge.
+        assert_eq!(
+            f.resets(4),
+            vec![(0, 5_000), (1, 15_000), (2, 25_000), (3, 35_000)]
+        );
+        // Wipe resets stay the single victim; others schedule none.
+        assert_eq!(
+            Faultload::Wipe {
+                victim: 2,
+                down_from_ns: 1,
+                down_until_ns: 9,
+            }
+            .resets(4),
+            vec![(2, 9)]
+        );
+        assert_eq!(Faultload::FailureFree.resets(4), Vec::new());
+        assert_eq!(f.label(), "rotation");
+    }
+
+    #[test]
     fn link_flap_delays_only_outage_window_hits() {
         let f = Faultload::LinkFlap {
             victim_link: (0, 1),
@@ -391,6 +510,16 @@ mod tests {
                 down_until_ns: 30_000_000
             }
         );
+        assert_eq!(
+            "rotation:2000000:10000000:4000000"
+                .parse::<Faultload>()
+                .unwrap(),
+            Faultload::Rotation {
+                start_ns: 2_000_000,
+                interval_ns: 10_000_000,
+                down_ns: 4_000_000
+            }
+        );
         for bad in [
             "",
             "nope",
@@ -405,6 +534,12 @@ mod tests {
             "wipe:3:100:100",
             "wipe:3:200:100",
             "wipe:3:100",
+            // Rotation windows must be non-empty and fit their slot.
+            "rotation:0:100:0",
+            "rotation:0:0:0",
+            "rotation:0:100:101",
+            "rotation:0:100",
+            "rotation:0:100:50:9",
         ] {
             assert!(bad.parse::<Faultload>().is_err(), "accepted {bad:?}");
         }
@@ -439,6 +574,16 @@ mod tests {
                 victim: 3,
                 down_from_ns: 2_000_000,
                 down_until_ns: 30_000_000,
+            },
+            Faultload::Rotation {
+                start_ns: 2_000_000,
+                interval_ns: 10_000_000,
+                down_ns: 4_000_000,
+            },
+            Faultload::Rotation {
+                start_ns: 0,
+                interval_ns: 1,
+                down_ns: 1,
             },
         ];
         for f in loads {

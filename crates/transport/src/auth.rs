@@ -16,6 +16,24 @@
 //! Frames that fail authentication are *dropped*, exactly like AH: the
 //! receiving protocol stack never sees them, which is how the integrity
 //! property is enforced against a network-level adversary.
+//!
+//! # Epoch key refresh (proactive recovery)
+//!
+//! When built with [`AuthConfig::with_epoch_rekey`], the transport
+//! additionally supports the rotation scheduler's **key rejuvenation**:
+//! the otherwise-zero *reserved* field of the AH header carries the key
+//! epoch (low 16 bits; the header stays 24 bytes, so Table 1's overhead
+//! claim is untouched), and the pairwise key row is re-derived as
+//! `HKDF(master, epoch)` on every [`Transport::set_key_epoch`]. Inbound
+//! frames are accepted under the current epoch, under the immediately
+//! previous epoch for a bounded *grace window* after the switch (in-
+//! flight traffic must not be lost on rotation), and under a *newer*
+//! epoch than ours — which, when the ICV verifies against the derived
+//! keys, fast-forwards the local epoch (this is how a freshly wiped
+//! replica, restarting at epoch 0, self-synchronizes to the cluster's
+//! current epoch from authenticated traffic alone). Anything older is
+//! dropped and counted in `transport_epoch_rejected`: keys an intruder
+//! exfiltrated before its host was wiped die with the grace window.
 
 use crate::wire::{Reader, Writer};
 use crate::{ProcessId, Transport, TransportError};
@@ -36,6 +54,17 @@ const ICV_LEN: usize = 12;
 /// AH anti-replay window size (RFC 2402 recommends at least 32; we use 64).
 const REPLAY_WINDOW: u64 = 64;
 
+/// Epoch-rekey parameters (see [`AuthConfig::with_epoch_rekey`]).
+#[derive(Debug, Clone, Copy)]
+struct RekeyConfig {
+    /// Master seed the per-epoch key tables are derived from.
+    master_seed: u64,
+    /// Epoch the transport starts sealing under.
+    epoch: u64,
+    /// How long previous-epoch frames stay acceptable after a switch.
+    grace: Duration,
+}
+
 /// Configuration for an [`AuthenticatedTransport`].
 #[derive(Debug, Clone)]
 pub struct AuthConfig {
@@ -45,6 +74,8 @@ pub struct AuthConfig {
     anti_replay: bool,
     /// First outbound sequence number minus one (0 = fresh association).
     initial_seq: u64,
+    /// Epoch key refresh, when enabled.
+    rekey: Option<RekeyConfig>,
 }
 
 impl AuthConfig {
@@ -59,6 +90,7 @@ impl AuthConfig {
             keys: (0..view.len()).map(|j| view.key_for(j)).collect(),
             anti_replay: true,
             initial_seq: 0,
+            rekey: None,
         }
     }
 
@@ -75,6 +107,26 @@ impl AuthConfig {
     /// have used or all of its frames are dropped as replays.
     pub fn with_initial_seq(mut self, seq: u64) -> Self {
         self.initial_seq = seq;
+        self
+    }
+
+    /// Enables **epoch key refresh**: the transport starts sealing under
+    /// the key table `HKDF(master_seed, epoch)` (epoch 0 is the legacy
+    /// dealer table, so existing associations interoperate), tags every
+    /// frame with its epoch in the AH reserved field, and honours
+    /// [`Transport::set_key_epoch`] switches. After a switch, frames
+    /// sealed under the immediately previous epoch stay acceptable for
+    /// `grace`; anything older is dropped.
+    ///
+    /// The on-wire tag is the epoch's low 16 bits — ample for a
+    /// deployment's rotation count, and keeps the header at exactly
+    /// [`AH_OVERHEAD`] bytes.
+    pub fn with_epoch_rekey(mut self, master_seed: u64, epoch: u64, grace: Duration) -> Self {
+        self.rekey = Some(RekeyConfig {
+            master_seed,
+            epoch,
+            grace,
+        });
         self
     }
 }
@@ -145,10 +197,51 @@ pub struct AuthenticatedTransport<T: Transport> {
     rx_replay: Mutex<Vec<ReplayState>>,
     /// Count of inbound frames dropped by authentication.
     rejected: AtomicU64,
+    /// Live epoch-rekey state, when enabled via
+    /// [`AuthConfig::with_epoch_rekey`].
+    rekey: Option<RekeyRuntime>,
     /// Observability registry (a private one until [`set_metrics`] is called).
     ///
     /// [`set_metrics`]: AuthenticatedTransport::set_metrics
     metrics: Metrics,
+}
+
+/// The previous epoch's key row, kept alive for the grace window.
+#[derive(Debug)]
+struct PrevEpoch {
+    epoch: u64,
+    keys: Vec<SecretKey>,
+    rotated_at: Instant,
+}
+
+/// The epoch the transport currently seals under, plus the grace-window
+/// remnant of the one before it.
+#[derive(Debug)]
+struct EpochState {
+    epoch: u64,
+    keys: Vec<SecretKey>,
+    prev: Option<PrevEpoch>,
+}
+
+#[derive(Debug)]
+struct RekeyRuntime {
+    master_seed: u64,
+    grace: Duration,
+    state: Mutex<EpochState>,
+}
+
+/// Why an inbound frame was dropped (drives which counter it lands in).
+enum Rejection {
+    /// ICV/SPI/replay failure — forged, corrupted or replayed traffic.
+    BadMac,
+    /// Sealed under a key epoch retired past its grace window.
+    StaleEpoch,
+}
+
+/// This process's key row for `(master_seed, epoch)`.
+fn derive_row(n: usize, master_seed: u64, epoch: u64, me: ProcessId) -> Vec<SecretKey> {
+    let view = KeyTable::dealer_for_epoch(n, master_seed, epoch).view_of(me);
+    (0..n).map(|j| view.key_for(j)).collect()
 }
 
 impl<T: Transport> AuthenticatedTransport<T> {
@@ -165,12 +258,31 @@ impl<T: Transport> AuthenticatedTransport<T> {
         );
         let n = inner.group_size();
         let base = config.initial_seq;
+        let rekey = config.rekey.map(|rc| {
+            // The dealt row in `config.keys` is the epoch-0 table; when
+            // starting at a later epoch, re-derive the row for it.
+            let keys = if rc.epoch == 0 {
+                config.keys.clone()
+            } else {
+                derive_row(n, rc.master_seed, rc.epoch, inner.local_id())
+            };
+            RekeyRuntime {
+                master_seed: rc.master_seed,
+                grace: rc.grace,
+                state: Mutex::new(EpochState {
+                    epoch: rc.epoch,
+                    keys,
+                    prev: None,
+                }),
+            }
+        });
         AuthenticatedTransport {
             inner,
             config,
             tx_seq: (0..n).map(|_| AtomicU64::new(base)).collect(),
             rx_replay: Mutex::new(vec![ReplayState::default(); n]),
             rejected: AtomicU64::new(0),
+            rekey,
             metrics: Metrics::default(),
         }
     }
@@ -200,16 +312,23 @@ impl<T: Transport> AuthenticatedTransport<T> {
     fn seal(&self, to: ProcessId, payload: &[u8]) -> Bytes {
         let seq = self.tx_seq[to].fetch_add(1, Ordering::Relaxed) + 1; // AH starts at 1
         let me = self.inner.local_id();
+        let (epoch, key) = match &self.rekey {
+            Some(rt) => {
+                let g = rt.state.lock();
+                (g.epoch, g.keys[to])
+            }
+            None => (0, self.config.keys[to]),
+        };
         let mut w = Writer::with_capacity(AH_OVERHEAD + payload.len());
         w.u8(0) // next header (opaque payload)
             .u8(((AH_OVERHEAD / 4) - 2) as u8) // AH "payload len" in 32-bit words minus 2
-            .u16(0) // reserved
+            .u16(epoch as u16) // reserved field carries the key epoch
             .u32(Self::spi(me, to))
             .u32(seq as u32)
             .raw(&[0u8; ICV_LEN]) // ICV placeholder
             .raw(payload);
         let mut frame = w.freeze().to_vec();
-        let icv = Self::icv(&self.config.keys[to], &frame);
+        let icv = Self::icv(&key, &frame);
         frame[12..12 + ICV_LEN].copy_from_slice(&icv);
         Bytes::from(frame)
     }
@@ -224,35 +343,122 @@ impl<T: Transport> AuthenticatedTransport<T> {
     }
 
     /// Validates a sealed frame from `from`; returns the payload on success.
-    fn open(&self, from: ProcessId, frame: &Bytes) -> Option<Bytes> {
+    fn open(&self, from: ProcessId, frame: &Bytes) -> Result<Bytes, Rejection> {
         let mut r = Reader::new(frame);
-        let _next = r.u8("ah.next").ok()?;
-        let _plen = r.u8("ah.len").ok()?;
-        let _resv = r.u16("ah.reserved").ok()?;
-        let spi = r.u32("ah.spi").ok()?;
-        let seq = r.u32("ah.seq").ok()? as u64;
-        let icv: [u8; ICV_LEN] = r.array("ah.icv").ok()?;
+        let parse = (|| {
+            let _next = r.u8("ah.next").ok()?;
+            let _plen = r.u8("ah.len").ok()?;
+            let resv = r.u16("ah.reserved").ok()?;
+            let spi = r.u32("ah.spi").ok()?;
+            let seq = r.u32("ah.seq").ok()? as u64;
+            let icv: [u8; ICV_LEN] = r.array("ah.icv").ok()?;
+            Some((resv, spi, seq, icv))
+        })();
+        let Some((resv, spi, seq, icv)) = parse else {
+            return Err(Rejection::BadMac);
+        };
 
         if spi != Self::spi(from, self.inner.local_id()) {
-            return None;
+            return Err(Rejection::BadMac);
         }
 
         // Recompute the ICV over the frame with the ICV field zeroed.
         let mut zeroed = frame.to_vec();
         zeroed[12..12 + ICV_LEN].fill(0);
-        let expected = Self::icv(&self.config.keys[from], &zeroed);
-        if !ritas_crypto::digest::ct_eq(&expected, &icv) {
-            return None;
+        let checks = |key: &SecretKey| ritas_crypto::digest::ct_eq(&Self::icv(key, &zeroed), &icv);
+
+        match &self.rekey {
+            // Legacy mode: single static key table, reserved field ignored
+            // (always 0 on the sealing side).
+            None => {
+                if !checks(&self.config.keys[from]) {
+                    return Err(Rejection::BadMac);
+                }
+            }
+            Some(rt) => {
+                let claimed = resv as u64;
+                enum Candidate {
+                    Key(SecretKey),
+                    Future,
+                    Stale,
+                }
+                let cand = {
+                    let g = rt.state.lock();
+                    if claimed == g.epoch {
+                        Candidate::Key(g.keys[from])
+                    } else if claimed > g.epoch {
+                        Candidate::Future
+                    } else {
+                        match &g.prev {
+                            Some(p) if p.epoch == claimed && p.rotated_at.elapsed() <= rt.grace => {
+                                Candidate::Key(p.keys[from])
+                            }
+                            _ => Candidate::Stale,
+                        }
+                    }
+                };
+                match cand {
+                    Candidate::Key(key) => {
+                        if !checks(&key) {
+                            return Err(Rejection::BadMac);
+                        }
+                    }
+                    Candidate::Stale => return Err(Rejection::StaleEpoch),
+                    Candidate::Future => {
+                        // A peer is ahead of us (we may be a freshly wiped
+                        // rejoiner still at epoch 0). Verify against the
+                        // derived keys for the claimed epoch; a valid ICV
+                        // is proof of the master secret, so adopt it.
+                        let row = derive_row(
+                            self.inner.group_size(),
+                            rt.master_seed,
+                            claimed,
+                            self.inner.local_id(),
+                        );
+                        if !checks(&row[from]) {
+                            return Err(Rejection::BadMac);
+                        }
+                        let mut g = rt.state.lock();
+                        if claimed > g.epoch {
+                            let old = std::mem::replace(&mut g.keys, row);
+                            g.prev = Some(PrevEpoch {
+                                epoch: g.epoch,
+                                keys: old,
+                                rotated_at: Instant::now(),
+                            });
+                            g.epoch = claimed;
+                            self.metrics.transport_epoch_adopted.inc();
+                        }
+                    }
+                }
+            }
         }
 
         if self.config.anti_replay {
             let mut windows = self.rx_replay.lock();
             if !windows[from].accept(seq) {
-                return None;
+                return Err(Rejection::BadMac);
             }
         }
 
-        Some(frame.slice(AH_OVERHEAD..))
+        Ok(frame.slice(AH_OVERHEAD..))
+    }
+
+    /// Counts one dropped frame into the kind-appropriate instruments.
+    fn note_rejection(&self, from: ProcessId, why: &Rejection) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        match why {
+            Rejection::BadMac => {
+                self.metrics.transport_mac_rejected.inc();
+                self.metrics
+                    .suspect(from as u32, ritas_metrics::SuspicionKind::BadMac);
+            }
+            // A stale epoch is *not* Byzantine evidence by itself — an
+            // honest-but-slow peer's in-flight frames look the same as an
+            // intruder replaying exfiltrated old keys — so it gets its own
+            // counter instead of poisoning the suspicion table.
+            Rejection::StaleEpoch => self.metrics.transport_epoch_rejected.inc(),
+        }
     }
 }
 
@@ -276,13 +482,8 @@ impl<T: Transport> Transport for AuthenticatedTransport<T> {
         loop {
             let (from, frame) = self.inner.recv()?;
             match self.open(from, &frame) {
-                Some(payload) => return Ok((from, payload)),
-                None => {
-                    self.rejected.fetch_add(1, Ordering::Relaxed);
-                    self.metrics.transport_mac_rejected.inc();
-                    self.metrics
-                        .suspect(from as u32, ritas_metrics::SuspicionKind::BadMac);
-                }
+                Ok(payload) => return Ok((from, payload)),
+                Err(why) => self.note_rejection(from, &why),
             }
         }
     }
@@ -296,13 +497,8 @@ impl<T: Transport> Transport for AuthenticatedTransport<T> {
             }
             let (from, frame) = self.inner.recv_timeout(remaining)?;
             match self.open(from, &frame) {
-                Some(payload) => return Ok((from, payload)),
-                None => {
-                    self.rejected.fetch_add(1, Ordering::Relaxed);
-                    self.metrics.transport_mac_rejected.inc();
-                    self.metrics
-                        .suspect(from as u32, ritas_metrics::SuspicionKind::BadMac);
-                }
+                Ok(payload) => return Ok((from, payload)),
+                Err(why) => self.note_rejection(from, &why),
             }
         }
     }
@@ -313,6 +509,31 @@ impl<T: Transport> Transport for AuthenticatedTransport<T> {
 
     fn poll_link_event(&self) -> Option<crate::LinkEvent> {
         self.inner.poll_link_event()
+    }
+
+    fn set_key_epoch(&self, epoch: u64) {
+        let Some(rt) = &self.rekey else { return };
+        let mut g = rt.state.lock();
+        if epoch <= g.epoch {
+            return; // epochs only move forward
+        }
+        let row = derive_row(
+            self.inner.group_size(),
+            rt.master_seed,
+            epoch,
+            self.inner.local_id(),
+        );
+        let old = std::mem::replace(&mut g.keys, row);
+        g.prev = Some(PrevEpoch {
+            epoch: g.epoch,
+            keys: old,
+            rotated_at: Instant::now(),
+        });
+        g.epoch = epoch;
+    }
+
+    fn key_epoch(&self) -> u64 {
+        self.rekey.as_ref().map_or(0, |rt| rt.state.lock().epoch)
     }
 }
 
@@ -472,6 +693,130 @@ mod tests {
             b.recv_timeout(Duration::from_millis(5)).unwrap_err(),
             TransportError::Timeout
         );
+    }
+
+    fn rekey_pair(
+        grace: Duration,
+    ) -> (
+        AuthenticatedTransport<crate::MemoryEndpoint>,
+        AuthenticatedTransport<crate::MemoryEndpoint>,
+    ) {
+        let table = KeyTable::dealer(2, 7);
+        let mut hub = Hub::new(2);
+        let mut eps = hub.take_endpoints().into_iter();
+        (
+            AuthenticatedTransport::new(
+                eps.next().unwrap(),
+                AuthConfig::from_key_table(&table, 0).with_epoch_rekey(7, 0, grace),
+            ),
+            AuthenticatedTransport::new(
+                eps.next().unwrap(),
+                AuthConfig::from_key_table(&table, 1).with_epoch_rekey(7, 0, grace),
+            ),
+        )
+    }
+
+    #[test]
+    fn epoch_zero_rekey_interoperates_with_legacy_and_keeps_overhead() {
+        let table = KeyTable::dealer(2, 7);
+        let mut hub = Hub::new(2);
+        let mut eps = hub.take_endpoints().into_iter();
+        // Legacy (no rekey) endpoint 0 talks to a rekey-enabled endpoint 1
+        // still at epoch 0 — identical wire format, both directions.
+        let legacy =
+            AuthenticatedTransport::new(eps.next().unwrap(), AuthConfig::from_key_table(&table, 0));
+        let rekeyed = AuthenticatedTransport::new(
+            eps.next().unwrap(),
+            AuthConfig::from_key_table(&table, 1).with_epoch_rekey(7, 0, Duration::from_secs(1)),
+        );
+        legacy.send(1, Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(rekeyed.recv().unwrap(), (0, Bytes::from_static(b"hello")));
+        rekeyed.send(0, Bytes::from_static(b"back")).unwrap();
+        assert_eq!(legacy.recv().unwrap(), (1, Bytes::from_static(b"back")));
+        // The epoch tag rides in the existing reserved field: still 24 bytes.
+        assert_eq!(rekeyed.seal(0, b"x").len(), 1 + AH_OVERHEAD);
+    }
+
+    #[test]
+    fn rotated_peers_exchange_frames_under_the_new_epoch() {
+        let (a, b) = rekey_pair(Duration::from_secs(60));
+        a.set_key_epoch(3);
+        b.set_key_epoch(3);
+        assert_eq!(a.key_epoch(), 3);
+        // The frame is tagged with epoch 3 in the reserved field.
+        let sealed = a.seal(1, b"tagged");
+        assert_eq!(u16::from_be_bytes([sealed[2], sealed[3]]), 3);
+        a.inner.send(1, sealed).unwrap();
+        assert_eq!(b.recv().unwrap(), (0, Bytes::from_static(b"tagged")));
+        assert_eq!(b.rejected_frames(), 0);
+    }
+
+    #[test]
+    fn previous_epoch_accepted_within_grace_then_rejected_after() {
+        // Generous grace: an in-flight epoch-0 frame survives b's switch.
+        let (a, b) = rekey_pair(Duration::from_secs(60));
+        let in_flight = a.seal(1, b"old but fresh");
+        b.set_key_epoch(1);
+        a.inner.send(1, in_flight).unwrap();
+        assert_eq!(b.recv().unwrap(), (0, Bytes::from_static(b"old but fresh")));
+
+        // Zero grace: the same situation drops the frame and counts it as
+        // an epoch rejection, not a MAC failure / suspicion.
+        let (a, b) = rekey_pair(Duration::ZERO);
+        let stale = a.seal(1, b"exfiltrated");
+        b.set_key_epoch(1);
+        b.set_key_epoch(2); // epoch 0 is now older than prev: always stale
+        a.inner.send(1, stale).unwrap();
+        let m = Metrics::new();
+        let mut b = b;
+        b.set_metrics(m.clone());
+        a.set_key_epoch(2);
+        a.send(1, Bytes::from_static(b"current")).unwrap();
+        assert_eq!(b.recv().unwrap(), (0, Bytes::from_static(b"current")));
+        assert_eq!(b.rejected_frames(), 1);
+        assert_eq!(m.transport_epoch_rejected.get(), 1);
+        assert_eq!(m.transport_mac_rejected.get(), 0);
+        assert!(
+            m.suspicions().is_empty(),
+            "stale epoch is not an accusation"
+        );
+    }
+
+    #[test]
+    fn receiver_fast_forwards_to_a_verified_higher_epoch() {
+        // b (say, a freshly wiped rejoiner) is still at epoch 0; a has
+        // rotated to 5. b verifies a's frame under the derived epoch-5
+        // keys and adopts the epoch — self-synchronization from
+        // authenticated traffic alone.
+        let (a, b) = rekey_pair(Duration::from_secs(60));
+        let m = Metrics::new();
+        let mut b = b;
+        b.set_metrics(m.clone());
+        a.set_key_epoch(5);
+        a.send(1, Bytes::from_static(b"from the future")).unwrap();
+        assert_eq!(
+            b.recv().unwrap(),
+            (0, Bytes::from_static(b"from the future"))
+        );
+        assert_eq!(b.key_epoch(), 5);
+        assert_eq!(m.transport_epoch_adopted.get(), 1);
+        // And b now seals under epoch 5, readable by a.
+        b.send(0, Bytes::from_static(b"caught up")).unwrap();
+        assert_eq!(a.recv().unwrap(), (1, Bytes::from_static(b"caught up")));
+    }
+
+    #[test]
+    fn forged_future_epoch_does_not_move_the_receiver() {
+        // An attacker without the master seed cannot fast-forward a peer:
+        // the ICV check under the derived keys fails and the epoch stays.
+        let (a, b) = rekey_pair(Duration::from_secs(60));
+        let mut forged = a.seal(1, b"evil").to_vec();
+        forged[2..4].copy_from_slice(&9u16.to_be_bytes()); // claim epoch 9
+        a.inner.send(1, Bytes::from(forged)).unwrap();
+        a.send(1, Bytes::from_static(b"real")).unwrap();
+        assert_eq!(b.recv().unwrap(), (0, Bytes::from_static(b"real")));
+        assert_eq!(b.rejected_frames(), 1);
+        assert_eq!(b.key_epoch(), 0);
     }
 
     use ritas_crypto::KeyTable;

@@ -200,6 +200,24 @@ pub trait Transport: Send {
     fn poll_link_event(&self) -> Option<LinkEvent> {
         None
     }
+
+    /// Switches the transport to the pairwise key table of `epoch`
+    /// (proactive key rejuvenation — see `ritas_crypto::KeyTable::
+    /// dealer_for_epoch`). Subsequent outbound frames are sealed under
+    /// the new epoch's keys; inbound frames from the previous epoch stay
+    /// acceptable during a bounded grace window.
+    ///
+    /// Transports without keyed authentication underneath (the in-memory
+    /// hub, the simulator) ignore this — the default is a no-op.
+    fn set_key_epoch(&self, epoch: u64) {
+        let _ = epoch;
+    }
+
+    /// The key epoch outbound frames are currently sealed under.
+    /// Unkeyed transports are permanently at epoch 0 (the default).
+    fn key_epoch(&self) -> u64 {
+        0
+    }
 }
 
 pub use auth::{AuthConfig, AuthenticatedTransport, AH_OVERHEAD};

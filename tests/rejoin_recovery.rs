@@ -124,6 +124,7 @@ fn build(node: Node) -> ServiceReplica<Audit> {
         audit_apply,
         audit_query,
     )
+    .expect("valid recovery config")
 }
 
 const SUBMIT_TIMEOUT: Duration = Duration::from_secs(30);
@@ -209,7 +210,8 @@ fn rejoin_under_load_with_byzantine_chunk_server() {
         None,
         audit_apply,
         audit_query,
-    );
+    )
+    .expect("valid recovery config");
 
     // Keep the stream moving while the transfer runs.
     for seq in 51..=60 {
@@ -334,7 +336,8 @@ fn rejoin_with_stale_snapshot_reuses_chunks() {
         Some(stale),
         audit_apply,
         audit_query,
-    );
+    )
+    .expect("valid recovery config");
 
     let deadline = Instant::now() + Duration::from_secs(60);
     while m.recovery_completed_total.get() != 1 {
