@@ -20,7 +20,13 @@
 //! invariant *at most one replica in Syncing/CatchingUp at a time due
 //! to rotation* holds by construction: a second `ScheduleWipe` is
 //! rejected by [`RotationState::apply`] while a slot is active, on
-//! every replica, deterministically.
+//! every replica, deterministically. The atomic-broadcast **origin** of
+//! each command is validated too ([`RotationState::apply`] takes the
+//! sender): `ScheduleWipe` and `WipeComplete` are accepted only from
+//! the victim itself, so a Byzantine peer can neither open somebody
+//! else's slot nor forge a `WipeComplete` while the victim is still
+//! dark mid-wipe (which would let it immediately schedule the next
+//! victim and put two replicas down at once).
 //!
 //! The protocol round is:
 //!
@@ -97,8 +103,8 @@ impl DeferReason {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RecoveryCommand {
     /// Open a rotation slot: wipe `victim` and advance the key table to
-    /// `epoch`. Valid only from the expected victim, for the successor
-    /// epoch, while no slot is active.
+    /// `epoch`. Valid only when *broadcast by* the expected victim, for
+    /// the successor epoch, while no slot is active.
     ScheduleWipe {
         /// The replica to be wiped.
         victim: u32,
@@ -106,6 +112,8 @@ pub enum RecoveryCommand {
         epoch: u64,
     },
     /// Close the active slot: `victim` is back Live under `epoch`.
+    /// Valid only when broadcast by the victim itself — being able to
+    /// a-broadcast it under the current epoch *is* the proof of life.
     WipeComplete {
         /// The replica that completed its wipe-and-rejoin.
         victim: u32,
@@ -113,6 +121,10 @@ pub enum RecoveryCommand {
         epoch: u64,
     },
     /// Abandon the active slot without a wipe (or after a failed one).
+    /// The self-assessed reasons ([`DeferReason::Stalled`],
+    /// [`DeferReason::Suspicion`]) are valid only from the victim;
+    /// [`DeferReason::StuckSlot`] is the peers' watchdog path and is
+    /// accepted from any replica.
     DeferWipe {
         /// The victim of the abandoned slot.
         victim: u32,
@@ -233,13 +245,26 @@ impl RotationState {
         (self.next_idx % n as u64) as u32
     }
 
-    /// Applies one ordered command. Total and deterministic: every
-    /// correct replica, applying the same stream, reaches the same
-    /// state and returns the same effect.
-    pub fn apply(&mut self, cmd: &RecoveryCommand, n: usize) -> RotationEffect {
+    /// Applies one ordered command broadcast by `sender` — the
+    /// atomic-broadcast origin of the `TAG_RECOVERY` frame, which the
+    /// broadcast layer authenticates, so a Byzantine replica cannot
+    /// spoof it. Total and deterministic: every correct replica,
+    /// applying the same stream, reaches the same state and returns
+    /// the same effect.
+    ///
+    /// Sender discipline: `ScheduleWipe` and `WipeComplete` are valid
+    /// only from the victim itself (otherwise one Byzantine replica
+    /// could forge `WipeComplete` for a victim still dark mid-wipe and
+    /// immediately schedule the next one — two replicas unavailable at
+    /// once, breaking the "≤ 1 rotating replica" invariant). `DeferWipe`
+    /// with [`DeferReason::StuckSlot`] is the peers' watchdog path and
+    /// is accepted from any replica; the self-assessed reasons are
+    /// victim-only.
+    pub fn apply(&mut self, cmd: &RecoveryCommand, sender: u32, n: usize) -> RotationEffect {
         match *cmd {
             RecoveryCommand::ScheduleWipe { victim, epoch } => {
-                if self.active.is_some()
+                if sender != victim
+                    || self.active.is_some()
                     || epoch != self.epoch + 1
                     || victim != self.expected_victim(n)
                     || victim as usize >= n
@@ -251,7 +276,7 @@ impl RotationState {
                 RotationEffect::Scheduled { victim, epoch }
             }
             RecoveryCommand::WipeComplete { victim, epoch } => {
-                if self.active != Some((victim, epoch)) {
+                if sender != victim || self.active != Some((victim, epoch)) {
                     return RotationEffect::Rejected;
                 }
                 self.active = None;
@@ -264,7 +289,9 @@ impl RotationState {
                 epoch,
                 reason,
             } => {
-                if self.active != Some((victim, epoch)) {
+                if self.active != Some((victim, epoch))
+                    || (reason != DeferReason::StuckSlot && sender != victim)
+                {
                     return RotationEffect::Rejected;
                 }
                 // The cursor advances on deferral too: a victim that is
@@ -460,12 +487,12 @@ mod tests {
             assert_eq!(victim as u64, round % n as u64);
             let epoch = st.epoch + 1;
             assert_eq!(
-                st.apply(&RecoveryCommand::ScheduleWipe { victim, epoch }, n),
+                st.apply(&RecoveryCommand::ScheduleWipe { victim, epoch }, victim, n),
                 RotationEffect::Scheduled { victim, epoch }
             );
             assert_eq!(st.active, Some((victim, epoch)));
             assert_eq!(
-                st.apply(&RecoveryCommand::WipeComplete { victim, epoch }, n),
+                st.apply(&RecoveryCommand::WipeComplete { victim, epoch }, victim, n),
                 RotationEffect::Completed { victim, epoch }
             );
         }
@@ -484,14 +511,16 @@ mod tests {
                 victim: 0,
                 epoch: 1,
             },
+            0,
             n,
         );
-        // No second slot — from anyone, at any epoch — while one is
-        // active: the "≤ 1 non-Live due to rotation" invariant.
+        // No second slot — from anyone, at any epoch, even the victim
+        // proposing itself honestly — while one is active: the "≤ 1
+        // non-Live due to rotation" invariant.
         for victim in 0..4 {
             for epoch in [1, 2, 3] {
                 assert_eq!(
-                    st.apply(&RecoveryCommand::ScheduleWipe { victim, epoch }, n),
+                    st.apply(&RecoveryCommand::ScheduleWipe { victim, epoch }, victim, n),
                     RotationEffect::Rejected
                 );
             }
@@ -510,6 +539,7 @@ mod tests {
                     victim: 1,
                     epoch: 1
                 },
+                1,
                 n
             ),
             RotationEffect::Rejected
@@ -521,6 +551,7 @@ mod tests {
                     victim: 0,
                     epoch: 2
                 },
+                0,
                 n
             ),
             RotationEffect::Rejected
@@ -536,6 +567,7 @@ mod tests {
                     victim: 7,
                     epoch: 1
                 },
+                7,
                 4
             ),
             RotationEffect::Rejected
@@ -547,6 +579,7 @@ mod tests {
                     victim: 0,
                     epoch: 1
                 },
+                0,
                 n
             ),
             RotationEffect::Rejected
@@ -556,6 +589,7 @@ mod tests {
                 victim: 0,
                 epoch: 1,
             },
+            0,
             n,
         );
         assert_eq!(
@@ -564,6 +598,7 @@ mod tests {
                     victim: 1,
                     epoch: 1
                 },
+                1,
                 n
             ),
             RotationEffect::Rejected
@@ -574,6 +609,7 @@ mod tests {
                     victim: 0,
                     epoch: 2
                 },
+                0,
                 n
             ),
             RotationEffect::Rejected
@@ -585,6 +621,7 @@ mod tests {
                     victim: 0,
                     epoch: 1
                 },
+                0,
                 n
             ),
             RotationEffect::Rejected
@@ -595,9 +632,92 @@ mod tests {
                     victim: 0,
                     epoch: 1
                 },
+                0,
                 n
             ),
             RotationEffect::Rejected
+        );
+    }
+
+    #[test]
+    fn commands_from_the_wrong_sender_rejected() {
+        let n = 4;
+        let mut st = RotationState::default();
+        // Peer 2 cannot open victim 0's slot on its behalf.
+        assert_eq!(
+            st.apply(
+                &RecoveryCommand::ScheduleWipe {
+                    victim: 0,
+                    epoch: 1
+                },
+                2,
+                n
+            ),
+            RotationEffect::Rejected
+        );
+        assert_eq!(st.active, None);
+        // The victim itself opens it.
+        assert_eq!(
+            st.apply(
+                &RecoveryCommand::ScheduleWipe {
+                    victim: 0,
+                    epoch: 1
+                },
+                0,
+                n
+            ),
+            RotationEffect::Scheduled {
+                victim: 0,
+                epoch: 1
+            }
+        );
+        // A Byzantine peer cannot forge `WipeComplete` while the victim
+        // is still dark mid-wipe — that would free the slot and let it
+        // schedule the next victim, putting two replicas down at once.
+        assert_eq!(
+            st.apply(
+                &RecoveryCommand::WipeComplete {
+                    victim: 0,
+                    epoch: 1
+                },
+                2,
+                n
+            ),
+            RotationEffect::Rejected
+        );
+        assert_eq!(st.active, Some((0, 1)));
+        // Self-assessed deferrals are victim-only too.
+        for reason in [DeferReason::Stalled, DeferReason::Suspicion] {
+            assert_eq!(
+                st.apply(
+                    &RecoveryCommand::DeferWipe {
+                        victim: 0,
+                        epoch: 1,
+                        reason
+                    },
+                    3,
+                    n
+                ),
+                RotationEffect::Rejected
+            );
+        }
+        // ...but the stuck-slot watchdog is the *peers'* path: any
+        // replica may clear a slot whose victim died mid-wipe.
+        assert_eq!(
+            st.apply(
+                &RecoveryCommand::DeferWipe {
+                    victim: 0,
+                    epoch: 1,
+                    reason: DeferReason::StuckSlot
+                },
+                3,
+                n
+            ),
+            RotationEffect::Deferred {
+                victim: 0,
+                epoch: 1,
+                reason: DeferReason::StuckSlot
+            }
         );
     }
 
@@ -610,6 +730,7 @@ mod tests {
                 victim: 0,
                 epoch: 1,
             },
+            0,
             n,
         );
         assert_eq!(
@@ -619,6 +740,7 @@ mod tests {
                     epoch: 1,
                     reason: DeferReason::Stalled
                 },
+                0,
                 n
             ),
             RotationEffect::Deferred {
@@ -651,6 +773,7 @@ mod tests {
             for _ in 0..512 {
                 let victim = (rng.next() % (n as u64 + 2)) as u32; // incl. out-of-range
                 let epoch = a.epoch + rng.next() % 3; // current-1..current+2 style drift
+                let sender = (rng.next() % (n as u64 + 2)) as u32; // incl. forged origins
                 let cmd = match rng.next() % 3 {
                     0 => RecoveryCommand::ScheduleWipe { victim, epoch },
                     1 => RecoveryCommand::WipeComplete { victim, epoch },
@@ -661,9 +784,9 @@ mod tests {
                     },
                 };
                 let before = a;
-                let eff = a.apply(&cmd, n);
+                let eff = a.apply(&cmd, sender, n);
                 // Same stream, same state: replicas cannot diverge.
-                assert_eq!(b.apply(&cmd, n), eff);
+                assert_eq!(b.apply(&cmd, sender, n), eff);
                 assert_eq!(a, b);
                 // ≤ 1 active slot is structural (Option), but check the
                 // transition discipline around it.
@@ -674,12 +797,24 @@ mod tests {
                         assert_eq!(epoch, before.epoch + 1);
                         assert_eq!(victim, before.expected_victim(n));
                         assert!((victim as usize) < n);
+                        assert_eq!(sender, victim); // only the victim schedules itself
                         assert_eq!(a.active, Some((victim, epoch)));
                     }
-                    RotationEffect::Completed { .. } | RotationEffect::Deferred { .. } => {
+                    RotationEffect::Completed { victim, .. } => {
                         assert!(before.active.is_some());
                         assert!(a.active.is_none());
                         assert_eq!(a.next_idx, before.next_idx + 1);
+                        assert_eq!(sender, victim); // only the victim proves itself Live
+                    }
+                    RotationEffect::Deferred { victim, reason, .. } => {
+                        assert!(before.active.is_some());
+                        assert!(a.active.is_none());
+                        assert_eq!(a.next_idx, before.next_idx + 1);
+                        // Peers may only clear a stuck slot; self-assessed
+                        // deferrals must come from the victim.
+                        if reason != DeferReason::StuckSlot {
+                            assert_eq!(sender, victim);
+                        }
                     }
                     RotationEffect::Rejected => assert_eq!(a, before),
                 }

@@ -505,9 +505,11 @@ fn apply_ready<S, F>(
                 // Rotation commands mutate the replicated coordinator
                 // state inside the lock (they are part of the state the
                 // snapshot digests); their side effects (key switch,
-                // gauges, suspicion clearing) run after it.
+                // gauges, suspicion clearing) run after it. The AB
+                // origin is passed through so `apply` can enforce the
+                // sender discipline (victim-only schedule/complete).
                 if let Ok(cmd) = RecoveryCommand::from_bytes(body.get(1..).unwrap_or(&[])) {
-                    effects.push(c.rotation.apply(&cmd, n));
+                    effects.push(c.rotation.apply(&cmd, d.id.sender as u32, n));
                 }
             }
             c.applied_seq += 1;

@@ -54,7 +54,12 @@ pub fn expand(prk: &[u8; HASH_LEN], info: &[u8], out: &mut [u8]) {
         let take = (out.len() - written).min(HASH_LEN);
         out[written..written + take].copy_from_slice(&t[..take]);
         written += take;
-        counter += 1;
+        // Only bump the counter when another block is coming: at the
+        // RFC's 255-block maximum the counter ends at 255, and an
+        // unconditional final increment would overflow the u8.
+        if written < out.len() {
+            counter += 1;
+        }
     }
 }
 
@@ -144,6 +149,28 @@ mod tests {
                  9d201395faa4b61a96c8"
             )
         );
+    }
+
+    #[test]
+    fn maximum_length_output_is_reachable() {
+        // 255 blocks is the RFC 5869 ceiling; producing the final block
+        // must not overflow the u8 counter.
+        let prk = extract(b"salt", b"ikm");
+        let mut okm = vec![0u8; 255 * HASH_LEN];
+        expand(&prk, b"info", &mut okm);
+        // Expand is prefix-consistent: a shorter output is a prefix of
+        // a longer one over the same prk/info.
+        let mut short = [0u8; HASH_LEN + 7];
+        expand(&prk, b"info", &mut short);
+        assert_eq!(&okm[..short.len()], &short[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "RFC 5869 bound")]
+    fn over_limit_output_rejected() {
+        let prk = extract(b"salt", b"ikm");
+        let mut okm = vec![0u8; 255 * HASH_LEN + 1];
+        expand(&prk, b"info", &mut okm);
     }
 
     #[test]

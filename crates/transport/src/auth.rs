@@ -22,8 +22,10 @@
 //! When built with [`AuthConfig::with_epoch_rekey`], the transport
 //! additionally supports the rotation scheduler's **key rejuvenation**:
 //! the otherwise-zero *reserved* field of the AH header carries the key
-//! epoch (low 16 bits; the header stays 24 bytes, so Table 1's overhead
-//! claim is untouched), and the pairwise key row is re-derived as
+//! epoch (its low 16 bits; the header stays 24 bytes, so Table 1's
+//! overhead claim is untouched — the receiver reconstructs the full
+//! epoch windowed around its own, ESN-style, so the tag keeps working
+//! after the counter passes 2^16), and the pairwise key row is re-derived as
 //! `HKDF(master, epoch)` on every [`Transport::set_key_epoch`]. Inbound
 //! frames are accepted under the current epoch, under the immediately
 //! previous epoch for a bounded *grace window* after the switch (in-
@@ -118,9 +120,12 @@ impl AuthConfig {
     /// sealed under the immediately previous epoch stay acceptable for
     /// `grace`; anything older is dropped.
     ///
-    /// The on-wire tag is the epoch's low 16 bits — ample for a
-    /// deployment's rotation count, and keeps the header at exactly
-    /// [`AH_OVERHEAD`] bytes.
+    /// The on-wire tag is the epoch's low 16 bits, which keeps the
+    /// header at exactly [`AH_OVERHEAD`] bytes; receivers reconstruct
+    /// the full epoch as the congruent value closest to their own
+    /// (extended-sequence-number style), so peers interoperate across
+    /// the 16-bit wrap as long as they are within 2^15 rotations of
+    /// each other — honest peers are within a handful.
     pub fn with_epoch_rekey(mut self, master_seed: u64, epoch: u64, grace: Duration) -> Self {
         self.rekey = Some(RekeyConfig {
             master_seed,
@@ -221,6 +226,12 @@ struct EpochState {
     epoch: u64,
     keys: Vec<SecretKey>,
     prev: Option<PrevEpoch>,
+    /// One-entry cache of the most recently derived *future*-epoch
+    /// candidate row, so inbound frames claiming an epoch ahead of ours
+    /// cost one full n×n derivation per distinct claim instead of one
+    /// per frame (the derivation runs before the ICV verifies, so it
+    /// would otherwise be attacker-forceable work).
+    future: Option<(u64, Vec<SecretKey>)>,
 }
 
 #[derive(Debug)]
@@ -228,6 +239,9 @@ struct RekeyRuntime {
     master_seed: u64,
     grace: Duration,
     state: Mutex<EpochState>,
+    /// How many future-epoch candidate rows have been derived (cache
+    /// misses on the path above) — observability for the DoS bound.
+    future_derives: AtomicU64,
 }
 
 /// Why an inbound frame was dropped (drives which counter it lands in).
@@ -242,6 +256,31 @@ enum Rejection {
 fn derive_row(n: usize, master_seed: u64, epoch: u64, me: ProcessId) -> Vec<SecretKey> {
     let view = KeyTable::dealer_for_epoch(n, master_seed, epoch).view_of(me);
     (0..n).map(|j| view.key_for(j)).collect()
+}
+
+/// Recovers the full u64 epoch from its on-wire low 16 bits: the value
+/// congruent to `tag` (mod 2^16) that is *closest* to `local` (the
+/// receiver's own epoch), in the style of IPSec AH extended sequence
+/// numbers (RFC 4302 appendix B). A raw `tag as u64` comparison would
+/// wrap below the receiver's epoch once the cluster passes epoch 65535
+/// (~23 days at the default rotation period) and drop every frame as
+/// stale — a permanent cluster-wide outage. Honest peers are always
+/// within a handful of rotations of each other, so the ±2^15 window is
+/// never a constraint; when the nearest congruent value would be
+/// negative (a receiver near epoch 0 seeing a high tag), the smallest
+/// congruent value is used instead, which keeps the freshly-wiped
+/// rejoiner's fast-forward bootstrap working.
+fn reconstruct_epoch(local: u64, tag: u16) -> u64 {
+    const SPAN: u64 = 1 << 16;
+    // Forward distance from `local` to its next tag-congruent value.
+    let fwd = u64::from(tag).wrapping_sub(local) & (SPAN - 1);
+    if fwd < SPAN / 2 {
+        local + fwd
+    } else {
+        // The congruent value just behind us — unless that would be
+        // negative, in which case the true epoch can only be ahead.
+        (local + fwd).checked_sub(SPAN).unwrap_or(u64::from(tag))
+    }
 }
 
 impl<T: Transport> AuthenticatedTransport<T> {
@@ -273,7 +312,9 @@ impl<T: Transport> AuthenticatedTransport<T> {
                     epoch: rc.epoch,
                     keys,
                     prev: None,
+                    future: None,
                 }),
+                future_derives: AtomicU64::new(0),
             }
         });
         AuthenticatedTransport {
@@ -376,18 +417,21 @@ impl<T: Transport> AuthenticatedTransport<T> {
                 }
             }
             Some(rt) => {
-                let claimed = resv as u64;
                 enum Candidate {
                     Key(SecretKey),
-                    Future,
+                    Future(u64),
                     Stale,
                 }
                 let cand = {
                     let g = rt.state.lock();
+                    // The wire carries only the epoch's low 16 bits:
+                    // recover the full epoch windowed around our own, so
+                    // the tag keeps working after the counter wraps.
+                    let claimed = reconstruct_epoch(g.epoch, resv);
                     if claimed == g.epoch {
                         Candidate::Key(g.keys[from])
                     } else if claimed > g.epoch {
-                        Candidate::Future
+                        Candidate::Future(claimed)
                     } else {
                         match &g.prev {
                             Some(p) if p.epoch == claimed && p.rotated_at.elapsed() <= rt.grace => {
@@ -404,17 +448,40 @@ impl<T: Transport> AuthenticatedTransport<T> {
                         }
                     }
                     Candidate::Stale => return Err(Rejection::StaleEpoch),
-                    Candidate::Future => {
+                    Candidate::Future(claimed) => {
                         // A peer is ahead of us (we may be a freshly wiped
                         // rejoiner still at epoch 0). Verify against the
                         // derived keys for the claimed epoch; a valid ICV
                         // is proof of the master secret, so adopt it.
-                        let row = derive_row(
-                            self.inner.group_size(),
-                            rt.master_seed,
-                            claimed,
-                            self.inner.local_id(),
-                        );
+                        //
+                        // Deriving a row is an n×n HKDF sweep and this
+                        // path runs *before* the ICV verifies, so a
+                        // one-entry candidate cache keeps an off-path
+                        // attacker from forcing that work per forged
+                        // frame: repeat claims of the same epoch (also
+                        // the legitimate pattern — every frame from a
+                        // rotated-ahead peer) cost one cheap ICV check.
+                        let cached = {
+                            let g = rt.state.lock();
+                            match &g.future {
+                                Some((e, row)) if *e == claimed => Some(row.clone()),
+                                _ => None,
+                            }
+                        };
+                        let row = match cached {
+                            Some(row) => row,
+                            None => {
+                                let row = derive_row(
+                                    self.inner.group_size(),
+                                    rt.master_seed,
+                                    claimed,
+                                    self.inner.local_id(),
+                                );
+                                rt.future_derives.fetch_add(1, Ordering::Relaxed);
+                                rt.state.lock().future = Some((claimed, row.clone()));
+                                row
+                            }
+                        };
                         if !checks(&row[from]) {
                             return Err(Rejection::BadMac);
                         }
@@ -427,6 +494,7 @@ impl<T: Transport> AuthenticatedTransport<T> {
                                 rotated_at: Instant::now(),
                             });
                             g.epoch = claimed;
+                            g.future = None; // no longer a future epoch
                             self.metrics.transport_epoch_adopted.inc();
                         }
                     }
@@ -530,6 +598,11 @@ impl<T: Transport> Transport for AuthenticatedTransport<T> {
             rotated_at: Instant::now(),
         });
         g.epoch = epoch;
+        // A cached future-candidate row at or below the new epoch can
+        // never be consulted again.
+        if g.future.as_ref().is_some_and(|(e, _)| *e <= epoch) {
+            g.future = None;
+        }
     }
 
     fn key_epoch(&self) -> u64 {
@@ -803,6 +876,78 @@ mod tests {
         // And b now seals under epoch 5, readable by a.
         b.send(0, Bytes::from_static(b"caught up")).unwrap();
         assert_eq!(a.recv().unwrap(), (1, Bytes::from_static(b"caught up")));
+    }
+
+    #[test]
+    fn epoch_reconstruction_windows_around_local() {
+        // Steady state past the 16-bit wrap: same / ahead / behind.
+        assert_eq!(reconstruct_epoch(65540, 4), 65540);
+        assert_eq!(reconstruct_epoch(65540, 5), 65541);
+        assert_eq!(reconstruct_epoch(65540, 3), 65539);
+        // Exactly at the wrap boundary, both directions.
+        assert_eq!(reconstruct_epoch(65535, 0), 65536);
+        assert_eq!(reconstruct_epoch(65536, 65535), 65535);
+        // Many wraps in.
+        let e = 1_000_017u64;
+        assert_eq!(reconstruct_epoch(1_000_000, (e % 65536) as u16), e);
+        // A receiver near zero resolves otherwise-negative candidates to
+        // the smallest congruent value (there are no negative epochs) —
+        // the freshly-wiped rejoiner bootstrap.
+        assert_eq!(reconstruct_epoch(0, 7), 7);
+        assert_eq!(reconstruct_epoch(0, 65535), 65535);
+        assert_eq!(reconstruct_epoch(5, 65535), 65535);
+    }
+
+    #[test]
+    fn epoch_tag_survives_the_16_bit_wrap() {
+        // Past epoch 65535 the wire tag wraps; the windowed
+        // reconstruction must keep same-epoch, grace-window and
+        // fast-forward traffic flowing (a raw `tag as u64` comparison
+        // would drop everything as stale once the cluster epoch passed
+        // 2^16 — a permanent authentication outage).
+        let (a, b) = rekey_pair(Duration::from_secs(60));
+        a.set_key_epoch(70_000);
+        b.set_key_epoch(70_000);
+        a.send(1, Bytes::from_static(b"wrapped")).unwrap();
+        assert_eq!(b.recv().unwrap(), (0, Bytes::from_static(b"wrapped")));
+        // Grace window across the wrap: b rotates one ahead, a's
+        // epoch-70000 frames still verify under prev.
+        b.set_key_epoch(70_001);
+        a.send(1, Bytes::from_static(b"in flight")).unwrap();
+        assert_eq!(b.recv().unwrap(), (0, Bytes::from_static(b"in flight")));
+        // Fast-forward across the wrap: a jumps ahead of b, which
+        // adopts the verified higher epoch.
+        a.set_key_epoch(70_002);
+        a.send(1, Bytes::from_static(b"ahead")).unwrap();
+        assert_eq!(b.recv().unwrap(), (0, Bytes::from_static(b"ahead")));
+        assert_eq!(b.key_epoch(), 70_002);
+        assert_eq!(b.rejected_frames(), 0);
+    }
+
+    #[test]
+    fn repeated_future_epoch_claims_derive_at_most_once() {
+        // Garbage frames claiming a future epoch must not cost a full
+        // n×n key-table derivation each: the candidate row is derived
+        // once, cached, and every repeat claim dies on the cheap ICV
+        // check.
+        let (a, b) = rekey_pair(Duration::from_secs(60));
+        for _ in 0..32 {
+            let mut forged = a.seal(1, b"junk").to_vec();
+            forged[2..4].copy_from_slice(&9u16.to_be_bytes()); // claim epoch 9
+            a.inner.send(1, Bytes::from(forged)).unwrap();
+        }
+        a.send(1, Bytes::from_static(b"real")).unwrap();
+        assert_eq!(b.recv().unwrap(), (0, Bytes::from_static(b"real")));
+        assert_eq!(b.rejected_frames(), 32);
+        let rt = b.rekey.as_ref().unwrap();
+        assert_eq!(rt.future_derives.load(Ordering::Relaxed), 1);
+        assert_eq!(b.key_epoch(), 0);
+        // The poisoned cache does not block a genuine adoption of a
+        // *different* future epoch.
+        a.set_key_epoch(5);
+        a.send(1, Bytes::from_static(b"rotate")).unwrap();
+        assert_eq!(b.recv().unwrap(), (0, Bytes::from_static(b"rotate")));
+        assert_eq!(b.key_epoch(), 5);
     }
 
     #[test]
